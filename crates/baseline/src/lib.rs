@@ -1,0 +1,26 @@
+//! State-of-the-art baselines for the EvoStore evaluation (§5.2),
+//! reproduced from scratch:
+//!
+//! * [`h5lite`] — an HDF5-style hierarchical serialization format with
+//!   the same structural costs as the Keras HDF5 writer (whole-model
+//!   serialization, per-object headers, no partial access);
+//! * [`model_io`] — Keras-style save/load of full models (optionally
+//!   including Adam-style optimizer state);
+//! * [`pfs`] — a simulated Lustre parallel file system (metadata-server
+//!   latency, per-client caps, fair-shared aggregate bandwidth);
+//! * [`redis_queries`] — the centralized Redis-style metadata server
+//!   with the paper's global/architecture-level lock protocol;
+//! * [`hdf5_repo`] — the composed `HDF5+PFS` repository implementing the
+//!   same trait as EvoStore for end-to-end comparisons.
+
+pub mod h5lite;
+pub mod hdf5_repo;
+pub mod model_io;
+pub mod pfs;
+pub mod redis_queries;
+
+pub use h5lite::{read_file, write_file, H5Error, H5Node};
+pub use hdf5_repo::Hdf5PfsRepository;
+pub use model_io::{h5_architecture, h5_to_tensors, model_to_h5};
+pub use pfs::{PfsError, PfsOp, SimulatedPfs};
+pub use redis_queries::{RedisServer, RedisState, RedisStats};

@@ -1,0 +1,211 @@
+//! Simulated Lustre parallel file system.
+//!
+//! Files are stored for real (correctness); *time* is modeled through
+//! [`evostore_sim::PfsModel`] (metadata-server latency per file op,
+//! per-client streaming caps, aggregate OST bandwidth shared by all
+//! concurrent clients). Every operation returns the virtual seconds it
+//! would have taken on the modeled system — the NAS driver adds those to
+//! its virtual clock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bytes::Bytes;
+use evostore_sim::PfsModel;
+use parking_lot::Mutex;
+
+/// Outcome of one PFS operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PfsOp {
+    /// Modeled duration in seconds.
+    pub seconds: f64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+}
+
+/// Errors from the simulated file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PfsError {
+    /// Path not found.
+    NotFound(String),
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::NotFound(p) => write!(f, "no such file: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+/// The simulated file system.
+pub struct SimulatedPfs {
+    files: Mutex<HashMap<String, Bytes>>,
+    model: PfsModel,
+    /// Clients with an operation in flight (drives the contention model).
+    active: AtomicUsize,
+    /// Floor on the modeled concurrency. A virtual-time driver executes
+    /// operations one at a time, so the real in-flight count stays at 1;
+    /// it sets this to the number of workers whose I/O phases overlap in
+    /// virtual time.
+    assumed_concurrency: AtomicUsize,
+    total_ops: AtomicUsize,
+}
+
+impl SimulatedPfs {
+    /// File system with the default (Polaris-like) model.
+    pub fn new() -> SimulatedPfs {
+        SimulatedPfs::with_model(PfsModel::default())
+    }
+
+    /// File system with an explicit cost model.
+    pub fn with_model(model: PfsModel) -> SimulatedPfs {
+        SimulatedPfs {
+            files: Mutex::new(HashMap::new()),
+            model,
+            active: AtomicUsize::new(0),
+            assumed_concurrency: AtomicUsize::new(1),
+            total_ops: AtomicUsize::new(0),
+        }
+    }
+
+    /// Set the concurrency floor used by the contention model (see the
+    /// field docs; virtual-time drivers use this).
+    pub fn set_assumed_concurrency(&self, n: usize) {
+        self.assumed_concurrency.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> &PfsModel {
+        &self.model
+    }
+
+    /// Tell the contention model that a client's op begins; returns the
+    /// concurrency level including this client.
+    fn begin(&self) -> usize {
+        self.total_ops.fetch_add(1, Ordering::Relaxed);
+        let live = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        live.max(self.assumed_concurrency.load(Ordering::Relaxed))
+    }
+
+    fn end(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Write (create or replace) a file.
+    pub fn write(&self, path: &str, data: Bytes) -> PfsOp {
+        let concurrent = self.begin();
+        let bytes = data.len() as u64;
+        let seconds = self.model.file_write_time(bytes as f64, concurrent);
+        self.files.lock().insert(path.to_string(), data);
+        self.end();
+        PfsOp { seconds, bytes }
+    }
+
+    /// Read a whole file (the only access granularity the baseline
+    /// supports — "optimized for bulk I/O access", §1).
+    pub fn read(&self, path: &str) -> Result<(Bytes, PfsOp), PfsError> {
+        let concurrent = self.begin();
+        let data = {
+            let files = self.files.lock();
+            files.get(path).cloned()
+        };
+        self.end();
+        match data {
+            Some(d) => {
+                let bytes = d.len() as u64;
+                let seconds = self.model.file_read_time(bytes as f64, concurrent);
+                Ok((d, PfsOp { seconds, bytes }))
+            }
+            None => Err(PfsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Delete a file. Costs one metadata round trip.
+    pub fn delete(&self, path: &str) -> Result<PfsOp, PfsError> {
+        self.total_ops.fetch_add(1, Ordering::Relaxed);
+        match self.files.lock().remove(path) {
+            Some(d) => Ok(PfsOp {
+                seconds: self.model.metadata_latency_s,
+                bytes: d.len() as u64,
+            }),
+            None => Err(PfsError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.lock().contains_key(path)
+    }
+
+    /// Number of stored files.
+    pub fn file_count(&self) -> usize {
+        self.files.lock().len()
+    }
+
+    /// Total stored bytes (the Fig 10 storage metric).
+    pub fn total_bytes(&self) -> u64 {
+        self.files.lock().values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Total operations served.
+    pub fn total_ops(&self) -> usize {
+        self.total_ops.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for SimulatedPfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_delete_cycle() {
+        let pfs = SimulatedPfs::new();
+        let op = pfs.write("/models/m1.h5", Bytes::from(vec![7u8; 1024]));
+        assert_eq!(op.bytes, 1024);
+        assert!(op.seconds > 0.0);
+        assert!(pfs.exists("/models/m1.h5"));
+        assert_eq!(pfs.total_bytes(), 1024);
+
+        let (data, rop) = pfs.read("/models/m1.h5").unwrap();
+        assert_eq!(data.len(), 1024);
+        assert!(rop.seconds > 0.0);
+
+        pfs.delete("/models/m1.h5").unwrap();
+        assert!(!pfs.exists("/models/m1.h5"));
+        assert_eq!(pfs.total_bytes(), 0);
+        assert_eq!(pfs.read("/models/m1.h5"), Err(PfsError::NotFound("/models/m1.h5".into())));
+    }
+
+    #[test]
+    fn every_op_pays_metadata_latency() {
+        let pfs = SimulatedPfs::new();
+        let op = pfs.write("/tiny", Bytes::from_static(b"x"));
+        assert!(op.seconds >= pfs.model().metadata_latency_s);
+    }
+
+    #[test]
+    fn larger_files_cost_more() {
+        let pfs = SimulatedPfs::new();
+        let small = pfs.write("/s", Bytes::from(vec![0u8; 1 << 10]));
+        let large = pfs.write("/l", Bytes::from(vec![0u8; 1 << 26]));
+        assert!(large.seconds > small.seconds);
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes() {
+        let pfs = SimulatedPfs::new();
+        pfs.write("/f", Bytes::from(vec![0u8; 100]));
+        pfs.write("/f", Bytes::from(vec![0u8; 40]));
+        assert_eq!(pfs.total_bytes(), 40);
+        assert_eq!(pfs.file_count(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the baseline substrates: H5Lite roundtrips over
+//! arbitrary trees, PFS cost monotonicity, and the Redis lock protocol's
+//! refcount accounting under arbitrary add/query/retire interleavings.
+
+use bytes::Bytes;
+use evostore_baseline::{h5lite, RedisState, SimulatedPfs};
+use evostore_baseline::redis_queries::{BeginAddRequest, ModelRef, RedisLcpRequest};
+use evostore_graph::{flatten, GenomeSpace};
+use evostore_tensor::{DType, ModelId, TensorData};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arb_tree(depth: u32) -> impl Strategy<Value = h5lite::H5Node> {
+    let leaf = (
+        "[a-z]{1,8}",
+        prop::collection::vec(("[a-z]{1,6}", "[a-z0-9]{0,12}"), 0..3),
+        prop::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(name, attrs, payload)| {
+            let len = payload.len();
+            h5lite::H5Node::Dataset {
+                name,
+                attrs,
+                data: TensorData::from_bytes(DType::U8, vec![len], Bytes::from(payload)).unwrap(),
+            }
+        });
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (
+            "[a-z]{1,8}",
+            prop::collection::vec(("[a-z]{1,6}", "[a-z0-9]{0,12}"), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| h5lite::H5Node::Group {
+                name,
+                attrs,
+                children,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any H5Lite tree roundtrips byte-exactly.
+    #[test]
+    fn h5_roundtrip(tree in arb_tree(3)) {
+        let img = h5lite::write_file(&tree);
+        let back = h5lite::read_file(img).unwrap();
+        prop_assert_eq!(back, tree);
+    }
+
+    /// Truncating an H5Lite file anywhere is always rejected.
+    #[test]
+    fn h5_truncation_rejected(tree in arb_tree(2), frac in 0.0f64..1.0) {
+        let img = h5lite::write_file(&tree);
+        let cut = ((img.len() as f64) * frac) as usize;
+        if cut < img.len() {
+            prop_assert!(h5lite::read_file(img.slice(..cut)).is_err());
+        }
+    }
+
+    /// PFS write cost is monotone in size and concurrency, and byte
+    /// accounting tracks the live file set exactly.
+    #[test]
+    fn pfs_costs_and_accounting(sizes in prop::collection::vec(1usize..1_000_000, 1..12)) {
+        let pfs = SimulatedPfs::new();
+        let mut total = 0u64;
+        let mut last_cost_per_byte = f64::INFINITY;
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        for (i, &size) in sorted.iter().enumerate() {
+            let op = pfs.write(&format!("/f{i}"), Bytes::from(vec![0u8; size]));
+            total += size as u64;
+            prop_assert!(op.seconds > 0.0);
+            // Larger files amortize the metadata latency: cost/byte falls.
+            let per_byte = op.seconds / size as f64;
+            prop_assert!(per_byte <= last_cost_per_byte * 1.0001);
+            last_cost_per_byte = per_byte;
+        }
+        prop_assert_eq!(pfs.total_bytes(), total);
+        // Contention raises the modeled time for the same transfer.
+        pfs.set_assumed_concurrency(10_000);
+        let contended = pfs.write("/c", Bytes::from(vec![0u8; 1_000_000]));
+        pfs.set_assumed_concurrency(1);
+        let alone = pfs.write("/a", Bytes::from(vec![0u8; 1_000_000]));
+        prop_assert!(contended.seconds >= alone.seconds);
+    }
+
+    /// Redis protocol: after arbitrary add/query(+unpin)/retire sequences
+    /// that retire every registration and release every pin, the server
+    /// is empty and every freed weights path was reported exactly once.
+    #[test]
+    fn redis_refcounts_balance(ops in prop::collection::vec(any::<u8>(), 1..40), seed in any::<u64>()) {
+        let state = RedisState::new();
+        let space = GenomeSpace::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut next_id = 1u64;
+        let mut registered: Vec<ModelId> = Vec::new();
+        let mut pins: Vec<ModelId> = Vec::new();
+        let mut freed = 0usize;
+        let mut paths = 0usize;
+
+        for op in ops {
+            match op % 3 {
+                0 => {
+                    let g = flatten(&space.materialize(&space.sample(&mut rng))).unwrap();
+                    let m = ModelId(next_id);
+                    next_id += 1;
+                    let r = state
+                        .begin_add(BeginAddRequest {
+                            model: m,
+                            graph: g,
+                            quality: 0.5,
+                            weights_path: format!("/{}", m.0),
+                        })
+                        .unwrap();
+                    if r.need_weights {
+                        paths += 1;
+                    }
+                    state.publish(ModelRef { model: m }).unwrap();
+                    registered.push(m);
+                }
+                1 if !registered.is_empty() => {
+                    let g = flatten(&space.materialize(&space.sample(&mut rng))).unwrap();
+                    let reply = state.query_lcp(RedisLcpRequest { graph: g }).unwrap();
+                    if let Some(best) = reply.best {
+                        pins.push(best.model);
+                    }
+                }
+                _ => {
+                    if let Some(m) = registered.pop() {
+                        if state.retire(ModelRef { model: m }).unwrap().free_weights.is_some() {
+                            freed += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Drain everything.
+        for m in registered.drain(..) {
+            if state.retire(ModelRef { model: m }).unwrap().free_weights.is_some() {
+                freed += 1;
+            }
+        }
+        for m in pins.drain(..) {
+            if state.unpin(ModelRef { model: m }).unwrap().free_weights.is_some() {
+                freed += 1;
+            }
+        }
+        prop_assert_eq!(state.stats().entries, 0, "server fully drained");
+        prop_assert_eq!(freed, paths, "each written path freed exactly once");
+    }
+}

@@ -1,0 +1,289 @@
+//! Criterion micro-benchmarks and design-choice ablations.
+//!
+//! Covers the ablations called out in DESIGN.md:
+//! 1. owner-map reads vs delta-chain reconstruction,
+//! 2. leaf-layer flattening cost,
+//! 3. Algorithm 1 (frontier LCP) vs the naive fixpoint,
+//! 4. provider-side collective LCP vs client-side iterative pull,
+//! 5. consolidated incremental store vs full store,
+//! 6. KV backend comparison (pool vs log).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use evostore_core::{random_tensors, trained_tensors, Deployment, OwnerMap};
+use evostore_graph::{flatten, lcp, lcp_fixpoint, CompactGraph, GenomeSpace};
+use evostore_kv::{KvBackend, LogStore, MemPoolStore};
+use evostore_tensor::{ModelId, TensorKey, VertexId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sample_graphs(n: usize, seed: u64) -> Vec<CompactGraph> {
+    let space = GenomeSpace::attn_like();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut genome = space.sample(&mut rng);
+    (0..n)
+        .map(|i| {
+            if i % 10 == 0 {
+                genome = space.sample(&mut rng);
+            } else {
+                genome = space.mutate(&genome, &mut rng);
+            }
+            flatten(&space.materialize(&genome)).unwrap()
+        })
+        .collect()
+}
+
+/// Ablation 3: Algorithm 1 vs the O(V^2) fixpoint.
+fn bench_lcp(c: &mut Criterion) {
+    let graphs = sample_graphs(2, 1);
+    let (g, a) = (&graphs[0], &graphs[1]);
+    let mut group = c.benchmark_group("lcp");
+    group.bench_function("frontier_algorithm1", |b| b.iter(|| lcp(g, a)));
+    group.bench_function("naive_fixpoint", |b| b.iter(|| lcp_fixpoint(g, a)));
+
+    // Catalog scan: the per-query work of one provider.
+    let catalog = sample_graphs(500, 2);
+    let probe = &catalog[250];
+    group.bench_function("scan_500_graphs", |b| {
+        b.iter(|| catalog.iter().map(|a| lcp(probe, a).len()).max().unwrap())
+    });
+    group.finish();
+}
+
+/// Ablation 2: flattening cost (nested -> compact).
+fn bench_flatten(c: &mut Criterion) {
+    let space = GenomeSpace::attn_like();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let genome = space.sample(&mut rng);
+    let arch = space.materialize(&genome);
+    c.bench_function("flatten/attn_genome", |b| b.iter(|| flatten(&arch).unwrap()));
+}
+
+/// Ablation 1: one owner-map read vs walking a lineage of delta maps.
+fn bench_owner_map(c: &mut Criterion) {
+    // Build a chain of K derived models over the same architecture
+    // (suffix retrained each generation), then resolve all tensor keys of
+    // the newest model (a) via its single owner map, (b) by walking the
+    // delta chain the way a naive incremental store would.
+    let graphs = sample_graphs(1, 4);
+    let g = &graphs[0];
+    let chain_len = 32usize;
+
+    let mut full_maps: Vec<OwnerMap> = Vec::new();
+    let mut deltas: Vec<HashMap<u32, (ModelId, VertexId, u32)>> = Vec::new();
+    let first = OwnerMap::fresh(ModelId(0), g);
+    deltas.push(
+        g.vertex_ids()
+            .map(|v| (v.0, (ModelId(0), v, first.vertex(v).slots)))
+            .collect(),
+    );
+    full_maps.push(first);
+    for k in 1..chain_len {
+        let prev = full_maps.last().unwrap();
+        // Retrain the last quarter of vertices each generation.
+        let mut r = lcp(g, g);
+        let keep = g.len() * 3 / 4;
+        r.prefix.truncate(keep);
+        for v in keep..g.len() {
+            r.match_in_ancestor[v] = None;
+        }
+        let map = OwnerMap::derive(ModelId(k as u64), g, &r, prev);
+        deltas.push(
+            map.self_owned()
+                .map(|v| (v.0, (ModelId(k as u64), v, map.vertex(v).slots)))
+                .collect(),
+        );
+        full_maps.push(map);
+    }
+    let newest = full_maps.last().unwrap();
+
+    let mut group = c.benchmark_group("owner_map");
+    group.bench_function("single_map_read", |b| {
+        b.iter(|| newest.all_tensor_keys().len())
+    });
+    group.bench_function(BenchmarkId::new("delta_chain_walk", chain_len), |b| {
+        b.iter(|| {
+            // Resolve each vertex by walking the chain newest -> oldest.
+            let mut resolved = 0usize;
+            for v in g.vertex_ids() {
+                for delta in deltas.iter().rev() {
+                    if let Some((owner, ov, slots)) = delta.get(&v.0) {
+                        let keys: Vec<TensorKey> =
+                            (0..*slots).map(|s| TensorKey::new(*owner, *ov, s)).collect();
+                        resolved += keys.len();
+                        break;
+                    }
+                }
+            }
+            resolved
+        })
+    });
+    group.bench_function("derive_from_ancestor", |b| {
+        let r = lcp(g, g);
+        b.iter(|| OwnerMap::derive(ModelId(999), g, &r, newest))
+    });
+    group.finish();
+}
+
+/// KV backends under the provider's access pattern.
+fn bench_kv(c: &mut Criterion) {
+    let value = Bytes::from(vec![7u8; 64 * 1024]);
+    let mut group = c.benchmark_group("kv");
+    group.sample_size(20);
+
+    group.bench_function("mempool_put_get", |b| {
+        let store = MemPoolStore::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = i.to_le_bytes();
+            store.put(&key, value.clone()).unwrap();
+            let got = store.get(&key).unwrap();
+            i += 1;
+            got.len()
+        })
+    });
+
+    let dir = std::env::temp_dir().join(format!("evostore-bench-log-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    group.bench_function("logstore_put_get", |b| {
+        let store = LogStore::open(&dir).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = i.to_le_bytes();
+            store.put(&key, value.clone()).unwrap();
+            let got = store.get(&key).unwrap();
+            i += 1;
+            got.len()
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+/// Ablation 5: consolidated incremental store vs full store, plus the
+/// owner-map-guided load path, on a live deployment.
+fn bench_store_load(c: &mut Criterion) {
+    let dep = Deployment::in_memory(4);
+    let client = dep.client();
+    let graphs = sample_graphs(1, 5);
+    let g = graphs[0].clone();
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+
+    let mut group = c.benchmark_group("store_load");
+    group.sample_size(10);
+
+    let mut next_id = 1u64;
+    {
+        let client = client.clone();
+        let g2 = g.clone();
+        group.bench_function("store_full_model", |b| {
+            b.iter_batched(
+                || {
+                    let id = ModelId(next_id);
+                    next_id += 1;
+                    let map = OwnerMap::fresh(id, &g2);
+                    let tensors = random_tensors(id, &g2, &mut rng);
+                    (map, tensors)
+                },
+                |(map, tensors)| {
+                    client
+                        .store_model(g2.clone(), map, None, 0.5, &tensors)
+                        .unwrap()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    // Seed one ancestor for the incremental path.
+    let base = ModelId(1_000_000);
+    let mut rng2 = ChaCha8Rng::seed_from_u64(7);
+    client.store_fresh(base, &g, 0.9, &mut rng2).unwrap();
+    let best = client.query_best_ancestor(&g).unwrap().unwrap();
+    let meta = client.get_meta(best.model).unwrap();
+    let mut next_id2 = 2_000_000u64;
+    {
+        let client = client.clone();
+        let g2 = g.clone();
+        group.bench_function("store_incremental_25pct", |b| {
+            b.iter_batched(
+                || {
+                    let id = ModelId(next_id2);
+                    next_id2 += 1;
+                    let mut r = best.lcp.clone();
+                    let keep = g2.len() * 3 / 4;
+                    r.prefix.truncate(keep);
+                    for v in keep..g2.len() {
+                        r.match_in_ancestor[v] = None;
+                    }
+                    let map = OwnerMap::derive(id, &g2, &r, &meta.owner_map);
+                    let tensors = trained_tensors(&g2, &map, id.0);
+                    (map, tensors)
+                },
+                |(map, tensors)| {
+                    client
+                        .store_model(g2.clone(), map, Some(best.model), 0.5, &tensors)
+                        .unwrap()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+
+    group.bench_function("load_model", |b| {
+        b.iter(|| client.load_model(base).unwrap().tensors.len())
+    });
+    group.finish();
+}
+
+/// Ablation 4: broadcast/reduce LCP query vs iterating providers and
+/// pulling metadata client-side.
+fn bench_collective_query(c: &mut Criterion) {
+    let providers = 8usize;
+    let dep = Deployment::in_memory(providers);
+    let states = dep.provider_states();
+    let catalog = sample_graphs(400, 7);
+    for (i, g) in catalog.iter().enumerate() {
+        let model = ModelId(i as u64);
+        states[model.provider_for(providers)].insert_meta_only(model, g.clone(), 0.5);
+    }
+    let client = dep.client();
+    let probe = catalog[200].clone();
+
+    let mut group = c.benchmark_group("metadata_query");
+    group.sample_size(30);
+    group.bench_function("broadcast_reduce", |b| {
+        b.iter(|| client.query_best_ancestor(&probe).unwrap().unwrap().model)
+    });
+    group.bench_function("client_side_iterative", |b| {
+        // The naive pattern: fetch each model's metadata to the client and
+        // compute the LCP locally, serially.
+        b.iter(|| {
+            let mut best_len = 0usize;
+            let mut best_model = ModelId(0);
+            for i in 0..catalog.len() {
+                let meta = client.get_meta(ModelId(i as u64)).unwrap();
+                let r = lcp(&probe, &meta.graph);
+                if r.len() > best_len {
+                    best_len = r.len();
+                    best_model = ModelId(i as u64);
+                }
+            }
+            best_model
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lcp,
+    bench_flatten,
+    bench_owner_map,
+    bench_kv,
+    bench_store_load,
+    bench_collective_query
+);
+criterion_main!(benches);

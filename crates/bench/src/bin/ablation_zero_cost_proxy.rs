@@ -1,0 +1,90 @@
+//! Ablation — zero-cost proxies (the paper's future-work direction).
+//!
+//! "Zero cost proxies offer the opportunity to reduce the training
+//! costs. With reduced training costs, the percentage of the workflow
+//! dominated by I/O increases" (§6). This harness quantifies exactly
+//! that: the same search run with full superficial epochs vs a
+//! zero-cost proxy, for EvoStore and HDF5+PFS.
+
+use std::sync::Arc;
+
+use evostore_baseline::{Hdf5PfsRepository, RedisServer, SimulatedPfs};
+use evostore_bench::{banner, f2, paper_space, print_table, Args};
+use evostore_core::{Deployment, ModelRepository};
+use evostore_nas::{run_nas, NasConfig, RepoSetup};
+use evostore_rpc::Fabric;
+use evostore_sim::FabricModel;
+
+fn main() {
+    let args = Args::parse();
+    let workers = args.get("workers", 32);
+    let candidates = args.get("candidates", 200);
+
+    banner(
+        "Ablation",
+        "Zero-cost proxies: repository overhead share rises as training shrinks",
+    );
+
+    let mut rows = Vec::new();
+    for proxy in [false, true] {
+        let cfg = NasConfig {
+            space: paper_space(),
+            workers,
+            max_candidates: candidates,
+            population_cap: 100,
+            sample_size: 10,
+            seed: 42,
+            retire_dropped: false,
+            zero_cost_proxy: proxy,
+            io_byte_scale: 128.0,
+            ..Default::default()
+        };
+
+        let dep = Deployment::in_memory((workers / 4).max(1));
+        let repo: Arc<dyn ModelRepository> = Arc::new(dep.client());
+        let evo = run_nas(
+            &cfg,
+            &RepoSetup::Rdma {
+                repo,
+                fabric: FabricModel::default(),
+            },
+        );
+
+        let fabric = Fabric::new();
+        let server = RedisServer::spawn(&fabric, 8);
+        let pfs = Arc::new(SimulatedPfs::new());
+        pfs.set_assumed_concurrency((workers / 4).max(1));
+        let repo: Arc<dyn ModelRepository> = Arc::new(Hdf5PfsRepository::new(
+            Arc::clone(&fabric),
+            server.endpoint_id(),
+            pfs,
+            false,
+        ));
+        let hdf5 = run_nas(&cfg, &RepoSetup::Modeled { repo, meta_servers: 8 });
+
+        for r in [&evo, &hdf5] {
+            rows.push(vec![
+                if proxy { "zero-cost proxy" } else { "full epoch" }.to_string(),
+                r.approach.clone(),
+                format!("{:.0}", r.end_to_end_seconds),
+                f2(r.io_overhead_fraction() * 100.0),
+                f2(r.mean_accuracy()),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "evaluation",
+            "repository",
+            "end-to-end (s)",
+            "repo overhead (%)",
+            "mean acc",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "expected: proxies slash runtime, repository overhead share multiplies \
+         (I/O becomes the bottleneck), and EvoStore's advantage over HDF5+PFS widens."
+    );
+}

@@ -1,0 +1,96 @@
+//! Figure 10 — Storage space overhead.
+//!
+//! Runs the NAS workflow with EvoStore and HDF5+PFS, with and without
+//! retirement of candidates dropped from the population, and reports the
+//! real bytes each repository holds (peak and final). Storage accounting
+//! is exact: every tensor/file byte is actually stored.
+
+use std::sync::Arc;
+
+use evostore_baseline::{Hdf5PfsRepository, RedisServer, SimulatedPfs};
+use evostore_bench::{banner, gb, print_table, Args};
+use evostore_core::{Deployment, ModelRepository};
+use evostore_nas::{run_nas, NasConfig, NasRunResult, RepoSetup};
+use evostore_rpc::Fabric;
+use evostore_sim::FabricModel;
+
+fn config(args: &Args, retire: bool) -> NasConfig {
+    let full = args.flag("full");
+    NasConfig {
+        space: evostore_bench::paper_space(),
+        workers: args.get("workers", if full { 128 } else { 32 }),
+        max_candidates: args.get("candidates", if full { 1000 } else { 300 }),
+        population_cap: args.get("population", 100),
+        sample_size: 10,
+        seed: args.get("seed", 42),
+        retire_dropped: retire,
+        io_byte_scale: 128.0,
+        ..Default::default()
+    }
+}
+
+fn run_evostore(cfg: &NasConfig) -> NasRunResult {
+    let dep = Deployment::in_memory((cfg.workers / 4).max(1));
+    let repo: Arc<dyn ModelRepository> = Arc::new(dep.client());
+    run_nas(
+        cfg,
+        &RepoSetup::Rdma {
+            repo,
+            fabric: FabricModel::default(),
+        },
+    )
+}
+
+fn run_hdf5(cfg: &NasConfig) -> NasRunResult {
+    let fabric = Fabric::new();
+    let server = RedisServer::spawn(&fabric, 8);
+    let pfs = Arc::new(SimulatedPfs::new());
+    pfs.set_assumed_concurrency((cfg.workers / 4).max(1));
+    let repo: Arc<dyn ModelRepository> = Arc::new(Hdf5PfsRepository::new(
+        Arc::clone(&fabric),
+        server.endpoint_id(),
+        pfs,
+        false,
+    ));
+    run_nas(cfg, &RepoSetup::Modeled { repo, meta_servers: 8 })
+}
+
+fn main() {
+    let args = Args::parse();
+    banner("Figure 10", "Storage space overhead (GB, real byte accounting)");
+    let probe = config(&args, true);
+    println!(
+        "{} candidates, {} workers, population cap {}",
+        probe.max_candidates, probe.workers, probe.population_cap
+    );
+
+    let mut rows = Vec::new();
+    let mut peaks = std::collections::HashMap::new();
+    for (label, retire) in [("No Retire", false), ("With Retire", true)] {
+        let cfg = config(&args, retire);
+        for (name, result) in [
+            ("HDF5+PFS", run_hdf5(&cfg)),
+            ("EvoStore", run_evostore(&cfg)),
+        ] {
+            rows.push(vec![
+                format!("{name} {label}"),
+                gb(result.peak_storage_bytes as f64),
+                gb(result.final_storage_bytes as f64),
+            ]);
+            peaks.insert(format!("{name} {label}"), result.peak_storage_bytes as f64);
+        }
+    }
+    print_table(&["method", "peak (GB)", "final (GB)"], &rows);
+
+    println!();
+    let ratio = |a: &str, b: &str| peaks[a] / peaks[b];
+    println!(
+        "HDF5+PFS / EvoStore peak ratio: {:.1}x without retirement, {:.1}x with retirement",
+        ratio("HDF5+PFS No Retire", "EvoStore No Retire"),
+        ratio("HDF5+PFS With Retire", "EvoStore With Retire"),
+    );
+    println!(
+        "EvoStore retirement saving: {:.1}%",
+        (1.0 - ratio("EvoStore With Retire", "EvoStore No Retire")) * 100.0
+    );
+}

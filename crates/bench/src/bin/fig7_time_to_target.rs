@@ -1,0 +1,89 @@
+//! Figure 7 — Time to target accuracy.
+//!
+//! Runs DH-NoTransfer and EvoStore at two scales and reports the virtual
+//! time until the first candidate reaches each accuracy threshold;
+//! unreachable targets are marked `*` as in the paper.
+
+use std::sync::Arc;
+
+use evostore_bench::{banner, print_table, Args};
+use evostore_core::{Deployment, ModelRepository};
+use evostore_nas::{run_nas, NasConfig, NasRunResult, RepoSetup};
+use evostore_sim::FabricModel;
+
+fn run_pair(workers: usize, candidates: usize, seed: u64) -> (NasRunResult, NasRunResult) {
+    let cfg = NasConfig {
+        space: evostore_bench::paper_space(),
+        workers,
+        max_candidates: candidates,
+        population_cap: 100,
+        retire_dropped: false,
+        io_byte_scale: 128.0,
+        sample_size: 10,
+        seed,
+        ..Default::default()
+    };
+    let no_transfer = run_nas(&cfg, &RepoSetup::None);
+    let dep = Deployment::in_memory((workers / 4).max(1));
+    let repo: Arc<dyn ModelRepository> = Arc::new(dep.client());
+    let evostore = run_nas(
+        &cfg,
+        &RepoSetup::Rdma {
+            repo,
+            fabric: FabricModel::default(),
+        },
+    );
+    (no_transfer, evostore)
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let scales: Vec<usize> = if full { vec![128, 256] } else { vec![32, 64] };
+    let candidates = args.get("candidates", if full { 1000 } else { 300 });
+    let seed = args.get("seed", 42);
+    let thresholds = [0.91, 0.92, 0.93, 0.94, 0.95];
+
+    banner("Figure 7", "Time to target accuracy (s; * = never reached)");
+    println!("scales = {scales:?} workers, {candidates} candidates, seed {seed}");
+
+    let mut results = Vec::new();
+    for &w in &scales {
+        let (nt, evo) = run_pair(w, candidates, seed);
+        results.push((w, nt, evo));
+    }
+
+    let fmt = |r: &NasRunResult, th: f64| -> String {
+        match r.time_to_accuracy(th) {
+            Some(t) => format!("{t:.0}"),
+            None => "*".into(),
+        }
+    };
+
+    let mut rows = Vec::new();
+    for (w, nt, evo) in &results {
+        for th in thresholds {
+            rows.push(vec![
+                format!("{th:.2}"),
+                w.to_string(),
+                fmt(nt, th),
+                fmt(evo, th),
+                match (nt.time_to_accuracy(th), evo.time_to_accuracy(th)) {
+                    (Some(a), Some(b)) if b > 0.0 => format!("{:.1}x", a / b),
+                    (None, Some(_)) => "inf".into(),
+                    _ => "-".into(),
+                },
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "target acc",
+            "GPUs",
+            "DH-NoTransfer (s)",
+            "EvoStore (s)",
+            "speedup",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,109 @@
+//! Figure 8 — End-to-end NAS runtime.
+//!
+//! Full evaluation of all candidates at two scales for the three
+//! approaches: DH-NoTransfer, EvoStore, and HDF5+PFS (with the Redis
+//! metadata server). Also prints the repository-overhead breakdown the
+//! paper discusses alongside Fig 9.
+
+use std::sync::Arc;
+
+use evostore_baseline::{Hdf5PfsRepository, RedisServer, SimulatedPfs};
+use evostore_bench::{banner, f2, print_table, Args};
+use evostore_core::{Deployment, ModelRepository};
+use evostore_nas::{run_nas, NasConfig, NasRunResult, RepoSetup};
+use evostore_rpc::Fabric;
+use evostore_sim::FabricModel;
+
+fn config(workers: usize, candidates: usize, seed: u64) -> NasConfig {
+    NasConfig {
+        space: evostore_bench::paper_space(),
+        workers,
+        max_candidates: candidates,
+        population_cap: 100,
+        retire_dropped: false,
+        io_byte_scale: 128.0,
+        sample_size: 10,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn run_three(workers: usize, candidates: usize, seed: u64) -> [NasRunResult; 3] {
+    let cfg = config(workers, candidates, seed);
+    let no_transfer = run_nas(&cfg, &RepoSetup::None);
+
+    let dep = Deployment::in_memory((workers / 4).max(1));
+    let repo: Arc<dyn ModelRepository> = Arc::new(dep.client());
+    let evostore = run_nas(
+        &cfg,
+        &RepoSetup::Rdma {
+            repo,
+            fabric: FabricModel::default(),
+        },
+    );
+
+    let fabric = Fabric::new();
+    let server = RedisServer::spawn(&fabric, 8);
+    let pfs = Arc::new(SimulatedPfs::new());
+    pfs.set_assumed_concurrency((workers / 4).max(1));
+    let repo: Arc<dyn ModelRepository> = Arc::new(Hdf5PfsRepository::new(
+        Arc::clone(&fabric),
+        server.endpoint_id(),
+        pfs,
+        false,
+    ));
+    let hdf5 = run_nas(&cfg, &RepoSetup::Modeled { repo, meta_servers: 8 });
+
+    [no_transfer, evostore, hdf5]
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let scales: Vec<usize> = if full { vec![128, 256] } else { vec![32, 64] };
+    let candidates = args.get("candidates", if full { 1000 } else { 300 });
+    let seed = args.get("seed", 42);
+
+    banner("Figure 8", "End-to-end NAS runtime (s)");
+    println!("{candidates} candidates per run, seed {seed}");
+
+    let mut rows = Vec::new();
+    let mut breakdown = Vec::new();
+    for &w in &scales {
+        let results = run_three(w, candidates, seed);
+        for r in &results {
+            rows.push(vec![
+                r.approach.clone(),
+                w.to_string(),
+                format!("{:.0}", r.end_to_end_seconds),
+                f2(r.io_overhead_fraction() * 100.0),
+                f2(r.task_duration_std()),
+            ]);
+            let q: f64 = r.traces.iter().map(|t| t.query_s).sum();
+            let io: f64 = r.traces.iter().map(|t| t.fetch_s + t.store_s).sum();
+            breakdown.push(vec![
+                r.approach.clone(),
+                w.to_string(),
+                f2(q),
+                f2(io),
+                f2(r.traces.iter().map(|t| t.train_s).sum()),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "approach",
+            "GPUs",
+            "end-to-end (s)",
+            "repo overhead (%)",
+            "task stddev (s)",
+        ],
+        &rows,
+    );
+    println!();
+    println!("cumulative per-phase seconds across all tasks:");
+    print_table(
+        &["approach", "GPUs", "metadata (s)", "data I/O (s)", "training (s)"],
+        &breakdown,
+    );
+}

@@ -1,0 +1,145 @@
+//! Shared plumbing for the figure harnesses.
+//!
+//! One binary per figure of the paper's evaluation lives under
+//! `src/bin/`; each prints the figure's rows/series to stdout as an
+//! aligned table and records the model parameters it ran with, so
+//! EXPERIMENTS.md can compare shapes against the paper.
+
+use std::collections::HashMap;
+
+use evostore_graph::{Activation, GenomeSpace};
+
+/// The ATTN-like space the figure harnesses run on. Width options span a
+/// moderate range (the CANDLE ATTN space varies units/depth within one
+/// family of dense/attention models), so from-scratch training times are
+/// relatively homogeneous — which is what gives DH-NoTransfer its wave
+/// pattern in Fig 9.
+pub fn paper_space() -> GenomeSpace {
+    GenomeSpace {
+        input_dim: 256,
+        widths: vec![256, 320, 384, 448, 512],
+        attn_dims: vec![128, 256],
+        attn_heads: vec![2, 4, 8],
+        dropout_rates: vec![0, 100, 200, 300, 500],
+        activations: vec![
+            Activation::ReLU,
+            Activation::GeLU,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Elu,
+        ],
+        min_cells: 8,
+        max_cells: 14,
+        num_classes: 2,
+        kind_weights: [5, 2, 3, 2, 2, 2],
+    }
+}
+
+/// Minimal `--key value` / `--flag` argument parser (no external deps).
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn parse() -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    values.insert(name.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(name.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// A `--key value` as a parsed type, or the default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether `--flag` was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Print an aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            out.push_str(&format!("{:>width$}  ", cell, width = w));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<String>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format bytes as GB (decimal) with 2 decimals.
+pub fn gb(bytes: f64) -> String {
+    format!("{:.2}", bytes / 1e9)
+}
+
+/// Format with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Banner for a figure harness.
+pub fn banner(figure: &str, title: &str) {
+    println!("=== {figure}: {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gb_formats() {
+        assert_eq!(gb(4e9), "4.00");
+    }
+
+    #[test]
+    fn table_prints() {
+        print_table(&["a", "b"], &[vec!["1".into(), "22".into()]]);
+    }
+}

@@ -1,0 +1,714 @@
+//! The EvoStore client library.
+//!
+//! Clients are what application processes (NAS workers) link against
+//! (§4.3): they interpret owner maps, consolidate tensors for writes,
+//! parallelize bulk transfers across providers, and drive the LCP
+//! broadcast/reduce. A client is cheap to clone per worker thread — it is
+//! just the fabric handle plus the provider list.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use evostore_graph::{CompactGraph, LcpResult};
+use evostore_rpc::{decode, encode, BulkHandle, EndpointId, Fabric, RpcError};
+use evostore_tensor::{read_tensor, write_tensor, ModelId, TensorData, TensorKey, VertexId};
+use rand::Rng;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::messages::*;
+use crate::owner_map::OwnerMap;
+
+/// Client-facing errors.
+#[derive(Debug)]
+pub enum EvoError {
+    /// Transport or handler failure.
+    Rpc(RpcError),
+    /// Protocol/validation failure detected client-side.
+    Protocol(String),
+}
+
+impl std::fmt::Display for EvoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvoError::Rpc(e) => write!(f, "rpc: {e}"),
+            EvoError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvoError {}
+
+impl From<RpcError> for EvoError {
+    fn from(e: RpcError) -> Self {
+        EvoError::Rpc(e)
+    }
+}
+
+/// Client result alias.
+pub type Result<T> = std::result::Result<T, EvoError>;
+
+/// The best transfer-learning ancestor found by an LCP query.
+#[derive(Debug, Clone)]
+pub struct BestAncestor {
+    /// The ancestor model.
+    pub model: ModelId,
+    /// Its quality metric.
+    pub quality: f64,
+    /// LCP of the queried graph against it.
+    pub lcp: LcpResult,
+}
+
+/// Outcome of a store.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOutcome {
+    /// Tensor payload bytes actually written (the incremental write size).
+    pub bytes_written: u64,
+    /// Number of tensors written.
+    pub tensors_written: usize,
+    /// Global write-order stamp assigned by the provider.
+    pub timestamp: u64,
+}
+
+/// Outcome of a retirement.
+#[derive(Debug, Clone, Copy)]
+pub struct RetireOutcome {
+    /// References dropped.
+    pub refs_dropped: usize,
+    /// Tensors physically reclaimed (refcount hit zero).
+    pub tensors_reclaimed: usize,
+}
+
+/// A fully loaded model.
+#[derive(Debug, Clone)]
+pub struct LoadedModel {
+    /// Flattened architecture.
+    pub graph: CompactGraph,
+    /// Ownership of every vertex.
+    pub owner_map: OwnerMap,
+    /// Every parameter tensor, keyed as in the owner map.
+    pub tensors: HashMap<TensorKey, TensorData>,
+    /// Direct ancestor.
+    pub parent: Option<ModelId>,
+    /// Quality metric.
+    pub quality: f64,
+}
+
+/// An EvoStore client.
+#[derive(Clone)]
+pub struct EvoStoreClient {
+    fabric: Arc<Fabric>,
+    providers: Arc<Vec<EndpointId>>,
+    telemetry: Arc<crate::telemetry::ClientTelemetry>,
+}
+
+impl EvoStoreClient {
+    /// Client for a deployment of the given providers.
+    pub fn new(fabric: Arc<Fabric>, providers: Vec<EndpointId>) -> EvoStoreClient {
+        assert!(!providers.is_empty(), "deployment has no providers");
+        EvoStoreClient {
+            fabric,
+            providers: Arc::new(providers),
+            telemetry: Arc::new(crate::telemetry::ClientTelemetry::new()),
+        }
+    }
+
+    /// Operation latency telemetry (shared across clones of this client).
+    pub fn telemetry(&self) -> &crate::telemetry::ClientTelemetry {
+        &self.telemetry
+    }
+
+    /// Number of providers.
+    pub fn num_providers(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// The provider hosting `model`'s metadata and self-owned tensors.
+    fn provider_of(&self, model: ModelId) -> EndpointId {
+        self.providers[model.provider_for(self.providers.len())]
+    }
+
+    /// Issue the same method with per-target requests to many providers in
+    /// parallel; fail if any leg fails.
+    fn par_calls<Req: Serialize, Resp: DeserializeOwned>(
+        &self,
+        method: &str,
+        reqs: Vec<(EndpointId, Req)>,
+    ) -> Result<Vec<(EndpointId, Resp)>> {
+        let mut pending = Vec::with_capacity(reqs.len());
+        for (ep, req) in reqs {
+            let body = encode(&req)?;
+            pending.push((ep, self.fabric.call_async(ep, method, body)?));
+        }
+        let mut out = Vec::with_capacity(pending.len());
+        for (ep, rx) in pending {
+            let reply = rx
+                .recv()
+                .map_err(|_| EvoError::Rpc(RpcError::Disconnected))??;
+            out.push((ep, decode(&reply)?));
+        }
+        Ok(out)
+    }
+
+    /// Group tensor keys by the provider hosting them.
+    fn group_by_provider(&self, keys: impl IntoIterator<Item = TensorKey>) -> HashMap<EndpointId, Vec<TensorKey>> {
+        let mut groups: HashMap<EndpointId, Vec<TensorKey>> = HashMap::new();
+        for key in keys {
+            groups.entry(self.provider_of(key.owner)).or_default().push(key);
+        }
+        groups
+    }
+
+    // ---- store paths -----------------------------------------------------
+
+    /// Store a model given its owner map and the tensors it owns itself.
+    ///
+    /// Protocol (§4.1): (1) pin every inherited tensor by incrementing its
+    /// reference count on its hosting provider — in parallel; (2) push the
+    /// consolidated new tensors plus metadata to the model's own provider
+    /// in a single bulk operation. If the store fails after pinning, the
+    /// pins are rolled back.
+    pub fn store_model(
+        &self,
+        graph: CompactGraph,
+        owner_map: OwnerMap,
+        parent: Option<ModelId>,
+        quality: f64,
+        new_tensors: &HashMap<TensorKey, TensorData>,
+    ) -> Result<StoreOutcome> {
+        let _timer = OpTimer::new(&self.telemetry.store);
+        // 1. Pin inherited tensors.
+        let inherited: Vec<TensorKey> = owner_map
+            .inherited()
+            .flat_map(|(_, o)| o.tensor_keys().collect::<Vec<_>>())
+            .collect();
+        let pin_groups = self.group_by_provider(inherited.iter().copied());
+        let pin_reqs: Vec<(EndpointId, RefsRequest)> = pin_groups
+            .iter()
+            .map(|(&ep, keys)| (ep, RefsRequest { keys: keys.clone() }))
+            .collect();
+        if !pin_reqs.is_empty() {
+            let _: Vec<(EndpointId, RefsReply)> =
+                self.par_calls(methods::INCR_REFS, pin_reqs).map_err(|e| {
+                    EvoError::Protocol(format!("pinning inherited tensors failed: {e}"))
+                })?;
+        }
+
+        // 2. Consolidate and push.
+        let result = self.push_store(graph, owner_map, parent, quality, new_tensors);
+
+        // 3. Roll back pins on failure.
+        if result.is_err() && !pin_groups.is_empty() {
+            let unpin: Vec<(EndpointId, RefsRequest)> = pin_groups
+                .into_iter()
+                .map(|(ep, keys)| (ep, RefsRequest { keys }))
+                .collect();
+            let _ = self.par_calls::<_, RefsReply>(methods::DECR_REFS, unpin);
+        }
+        result
+    }
+
+    fn push_store(
+        &self,
+        graph: CompactGraph,
+        owner_map: OwnerMap,
+        parent: Option<ModelId>,
+        quality: f64,
+        new_tensors: &HashMap<TensorKey, TensorData>,
+    ) -> Result<StoreOutcome> {
+        let model = owner_map.model;
+        let mut buf = BytesMut::new();
+        let mut manifest = Vec::with_capacity(new_tensors.len());
+        // Deterministic order for reproducible layouts.
+        let mut keys: Vec<&TensorKey> = new_tensors.keys().collect();
+        keys.sort();
+        for key in keys {
+            let record = write_tensor(&new_tensors[key]);
+            manifest.push(ManifestEntry {
+                key: *key,
+                offset: buf.len() as u64,
+                len: record.len() as u64,
+            });
+            buf.extend_from_slice(&record);
+        }
+        let tensors_written = manifest.len();
+        let bulk = self.fabric.bulk_expose(buf.freeze());
+
+        let req = StoreModelRequest {
+            model,
+            graph,
+            owner_map,
+            parent,
+            quality,
+            manifest,
+            bulk: bulk.0,
+        };
+        let reply: Result<StoreModelReply> =
+            evostore_rpc::call_typed(&self.fabric, self.provider_of(model), methods::STORE, &req)
+                .map_err(EvoError::from);
+        self.fabric.bulk_release(bulk);
+        let reply = reply?;
+        Ok(StoreOutcome {
+            bytes_written: reply.bytes_stored,
+            tensors_written,
+            timestamp: reply.timestamp,
+        })
+    }
+
+    /// Store a from-scratch model with randomly initialized parameters.
+    pub fn store_fresh<R: Rng + ?Sized>(
+        &self,
+        model: ModelId,
+        graph: &CompactGraph,
+        quality: f64,
+        rng: &mut R,
+    ) -> Result<StoreOutcome> {
+        let owner_map = OwnerMap::fresh(model, graph);
+        let tensors = random_tensors(model, graph, rng);
+        self.store_model(graph.clone(), owner_map, None, quality, &tensors)
+    }
+
+    /// Store a model derived from `ancestor` via the given LCP: inherits
+    /// the prefix, owns (and uploads) everything else.
+    ///
+    /// `trained_tensors` must contain one tensor per self-owned key (the
+    /// layers outside the frozen prefix).
+    #[allow(clippy::too_many_arguments)]
+    pub fn store_derived(
+        &self,
+        model: ModelId,
+        graph: &CompactGraph,
+        lcp: &LcpResult,
+        ancestor: ModelId,
+        ancestor_map: &OwnerMap,
+        quality: f64,
+        trained_tensors: &HashMap<TensorKey, TensorData>,
+    ) -> Result<StoreOutcome> {
+        let owner_map = OwnerMap::derive(model, graph, lcp, ancestor_map);
+        self.store_model(
+            graph.clone(),
+            owner_map,
+            Some(ancestor),
+            quality,
+            trained_tensors,
+        )
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// Broadcast an LCP query to every provider and reduce to the global
+    /// best match (longest prefix; quality, then lower model id, break
+    /// ties). Returns `None` when no stored model shares even the input
+    /// layer.
+    pub fn query_best_ancestor(&self, graph: &CompactGraph) -> Result<Option<BestAncestor>> {
+        let _timer = OpTimer::new(&self.telemetry.query);
+        let body = encode(&LcpQueryRequest {
+            graph: graph.clone(),
+        })?;
+        let (best, failures) = evostore_rpc::broadcast_reduce(
+            &self.fabric,
+            &self.providers,
+            methods::LCP,
+            body,
+            None::<LcpCandidate>,
+            |acc, _from, bytes| {
+                let reply: LcpQueryReply = match decode(&bytes) {
+                    Ok(r) => r,
+                    Err(_) => return acc,
+                };
+                match (acc, reply.best) {
+                    (None, b) => b,
+                    (Some(a), None) => Some(a),
+                    (Some(a), Some(b)) => {
+                        let better = b.lcp.len() > a.lcp.len()
+                            || (b.lcp.len() == a.lcp.len()
+                                && (b.quality > a.quality
+                                    || (b.quality == a.quality && b.model < a.model)));
+                        Some(if better { b } else { a })
+                    }
+                }
+            },
+        );
+        if !failures.is_empty() {
+            return Err(EvoError::Protocol(format!(
+                "{} providers failed the LCP broadcast: {:?}",
+                failures.len(),
+                failures[0].1
+            )));
+        }
+        Ok(best.map(|c| BestAncestor {
+            model: c.model,
+            quality: c.quality,
+            lcp: c.lcp,
+        }))
+    }
+
+    /// Fetch model metadata.
+    pub fn get_meta(&self, model: ModelId) -> Result<ModelMetaReply> {
+        evostore_rpc::call_typed(
+            &self.fabric,
+            self.provider_of(model),
+            methods::GET_META,
+            &GetMetaRequest { model },
+        )
+        .map_err(EvoError::from)
+    }
+
+    // ---- data plane ------------------------------------------------------
+
+    /// Fetch an arbitrary set of tensors, grouped by provider and pulled
+    /// in parallel via one-sided bulk reads.
+    pub fn fetch_tensors(&self, keys: &[TensorKey]) -> Result<HashMap<TensorKey, TensorData>> {
+        let _timer = OpTimer::new(&self.telemetry.fetch);
+        let groups = self.group_by_provider(keys.iter().copied());
+        let reqs: Vec<(EndpointId, ReadTensorsRequest)> = groups
+            .into_iter()
+            .map(|(ep, keys)| (ep, ReadTensorsRequest { keys }))
+            .collect();
+        let replies: Vec<(EndpointId, ReadTensorsReply)> = self.par_calls(methods::READ, reqs)?;
+
+        let mut out = HashMap::with_capacity(keys.len());
+        for (_, reply) in replies {
+            let handle = BulkHandle(reply.bulk);
+            let region = self.fabric.bulk_get(handle)?;
+            for entry in &reply.manifest {
+                let (off, len) = (entry.offset as usize, entry.len as usize);
+                if off + len > region.len() {
+                    self.fabric.bulk_release(handle);
+                    return Err(EvoError::Protocol(format!(
+                        "read manifest entry {} out of bounds",
+                        entry.key
+                    )));
+                }
+                let tensor = read_tensor(region.slice(off..off + len))
+                    .map_err(|e| EvoError::Protocol(format!("tensor {}: {e}", entry.key)))?;
+                out.insert(entry.key, tensor);
+            }
+            // One-sided completion: the reader withdraws the region.
+            self.fabric.bulk_release(handle);
+        }
+        Ok(out)
+    }
+
+    /// Fetch the tensors of an LCP prefix from the ancestor (the transfer
+    /// step). Returns the ancestor's metadata and the fetched tensors,
+    /// keyed by their owner-map keys.
+    pub fn fetch_prefix(
+        &self,
+        best: &BestAncestor,
+    ) -> Result<(ModelMetaReply, HashMap<TensorKey, TensorData>)> {
+        let meta = self.get_meta(best.model)?;
+        let mut keys = Vec::new();
+        for &gv in &best.lcp.prefix {
+            let av = best.lcp.match_in_ancestor[gv.0 as usize].ok_or_else(|| {
+                EvoError::Protocol(format!("prefix vertex {gv} has no ancestor match"))
+            })?;
+            // A stale LCP (computed against a different architecture than
+            // the one actually stored) must surface as an error, never a
+            // panic.
+            if av.0 as usize >= meta.owner_map.len() {
+                return Err(EvoError::Protocol(format!(
+                    "LCP match {av} out of bounds for ancestor {} ({} vertices) — stale query?",
+                    best.model,
+                    meta.owner_map.len()
+                )));
+            }
+            keys.extend(meta.owner_map.vertex(av).tensor_keys());
+        }
+        let tensors = self.fetch_tensors(&keys)?;
+        Ok((meta, tensors))
+    }
+
+    /// Load a complete model: metadata plus every tensor, resolved through
+    /// its single owner map (no lineage walk, §4.1).
+    pub fn load_model(&self, model: ModelId) -> Result<LoadedModel> {
+        let meta = self.get_meta(model)?;
+        let keys = meta.owner_map.all_tensor_keys();
+        let tensors = self.fetch_tensors(&keys)?;
+        Ok(LoadedModel {
+            graph: meta.graph,
+            owner_map: meta.owner_map,
+            tensors,
+            parent: meta.parent,
+            quality: meta.quality,
+        })
+    }
+
+    /// Read a contiguous element range of one stored tensor without
+    /// transferring the rest of it (fine-grain partial access). Returns a
+    /// 1-D tensor holding exactly the requested elements.
+    pub fn fetch_tensor_slice(
+        &self,
+        key: TensorKey,
+        elem_offset: u64,
+        elem_count: u64,
+    ) -> Result<TensorData> {
+        let reply: ReadRangeReply = evostore_rpc::call_typed(
+            &self.fabric,
+            self.provider_of(key.owner),
+            methods::READ_RANGE,
+            &ReadRangeRequest {
+                key,
+                elem_offset,
+                elem_count,
+            },
+        )?;
+        let handle = BulkHandle(reply.bulk);
+        let payload = self.fabric.bulk_get(handle)?;
+        self.fabric.bulk_release(handle);
+        let dtype = evostore_tensor::DType::from_tag(reply.dtype_tag)
+            .ok_or_else(|| EvoError::Protocol(format!("bad dtype tag {}", reply.dtype_tag)))?;
+        TensorData::from_bytes(dtype, vec![elem_count as usize], payload)
+            .ok_or_else(|| EvoError::Protocol("range length mismatch".into()))
+    }
+
+    /// Find every stored model whose architecture matches `pattern`
+    /// (broadcast + concatenating reduce across providers). Results are
+    /// `(model, quality)`, sorted by descending quality.
+    pub fn find_matching(
+        &self,
+        pattern: &evostore_graph::ArchPattern,
+    ) -> Result<Vec<(ModelId, f64)>> {
+        let body = encode(&PatternQueryRequest {
+            pattern: pattern.clone(),
+        })?;
+        let (mut acc, failures) = evostore_rpc::broadcast_reduce(
+            &self.fabric,
+            &self.providers,
+            methods::MATCH_PATTERN,
+            body,
+            Vec::new(),
+            |mut acc: Vec<(ModelId, f64)>, _from, bytes| {
+                if let Ok(reply) = decode::<PatternQueryReply>(&bytes) {
+                    acc.extend(reply.matches);
+                }
+                acc
+            },
+        );
+        if !failures.is_empty() {
+            return Err(EvoError::Protocol(format!(
+                "{} providers failed the pattern broadcast",
+                failures.len()
+            )));
+        }
+        acc.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        Ok(acc)
+    }
+
+    /// Attach optimizer state to an already-stored model (supports
+    /// resuming the original training — the paper's stated extension).
+    /// Tensors are keyed by their position in `moments`.
+    pub fn store_optimizer_state(
+        &self,
+        model: ModelId,
+        moments: &[TensorData],
+    ) -> Result<StoreOutcome> {
+        let mut buf = BytesMut::new();
+        let mut manifest = Vec::with_capacity(moments.len());
+        for (i, t) in moments.iter().enumerate() {
+            let record = write_tensor(t);
+            manifest.push(ManifestEntry {
+                // The optimizer namespace: vertex = u32::MAX sentinel.
+                key: TensorKey::new(model, VertexId(u32::MAX), i as u32),
+                offset: buf.len() as u64,
+                len: record.len() as u64,
+            });
+            buf.extend_from_slice(&record);
+        }
+        let tensors_written = manifest.len();
+        let bulk = self.fabric.bulk_expose(buf.freeze());
+        let reply: Result<StoreModelReply> = evostore_rpc::call_typed(
+            &self.fabric,
+            self.provider_of(model),
+            methods::STORE_OPTIMIZER,
+            &StoreOptimizerRequest {
+                model,
+                manifest,
+                bulk: bulk.0,
+            },
+        )
+        .map_err(EvoError::from);
+        self.fabric.bulk_release(bulk);
+        let reply = reply?;
+        Ok(StoreOutcome {
+            bytes_written: reply.bytes_stored,
+            tensors_written,
+            timestamp: reply.timestamp,
+        })
+    }
+
+    /// Fetch a model's optimizer state, in the order it was stored.
+    /// Empty when the model has none.
+    pub fn load_optimizer_state(&self, model: ModelId) -> Result<Vec<TensorData>> {
+        let reply: ReadTensorsReply = evostore_rpc::call_typed(
+            &self.fabric,
+            self.provider_of(model),
+            methods::LOAD_OPTIMIZER,
+            &LoadOptimizerRequest { model },
+        )?;
+        let handle = BulkHandle(reply.bulk);
+        let region = self.fabric.bulk_get(handle)?;
+        let mut entries = reply.manifest;
+        entries.sort_by_key(|e| e.key.slot);
+        let mut out = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let (off, len) = (entry.offset as usize, entry.len as usize);
+            if off + len > region.len() {
+                self.fabric.bulk_release(handle);
+                return Err(EvoError::Protocol("optimizer manifest out of bounds".into()));
+            }
+            let tensor = read_tensor(region.slice(off..off + len))
+                .map_err(|e| EvoError::Protocol(format!("optimizer tensor: {e}")))?;
+            out.push(tensor);
+        }
+        self.fabric.bulk_release(handle);
+        Ok(out)
+    }
+
+    // ---- retirement ------------------------------------------------------
+
+    /// Retire a model: drop its metadata, then decrement the reference
+    /// count of every tensor its owner map references (fanned out to the
+    /// hosting providers in parallel). Tensors still referenced by
+    /// descendants survive.
+    pub fn retire_model(&self, model: ModelId) -> Result<RetireOutcome> {
+        let _timer = OpTimer::new(&self.telemetry.retire);
+        let reply: RetireMetaReply = evostore_rpc::call_typed(
+            &self.fabric,
+            self.provider_of(model),
+            methods::RETIRE_META,
+            &RetireMetaRequest { model },
+        )?;
+        let keys = reply.owner_map.all_tensor_keys();
+        let refs_dropped = keys.len();
+        let groups = self.group_by_provider(keys);
+        let reqs: Vec<(EndpointId, RefsRequest)> = groups
+            .into_iter()
+            .map(|(ep, keys)| (ep, RefsRequest { keys }))
+            .collect();
+        let replies: Vec<(EndpointId, RefsReply)> = self.par_calls(methods::DECR_REFS, reqs)?;
+        Ok(RetireOutcome {
+            refs_dropped,
+            tensors_reclaimed: replies.iter().map(|(_, r)| r.reclaimed).sum(),
+        })
+    }
+
+    // ---- provenance --------------------------------------------------------
+
+    /// The transfer-learning chain of `model`, oldest last:
+    /// `[model, parent, grandparent, ...]`.
+    pub fn lineage(&self, model: ModelId) -> Result<Vec<ModelId>> {
+        let mut chain = vec![model];
+        let mut cur = model;
+        loop {
+            let meta = self.get_meta(cur)?;
+            match meta.parent {
+                Some(p) => {
+                    if chain.contains(&p) {
+                        return Err(EvoError::Protocol(format!("lineage cycle at {p}")));
+                    }
+                    chain.push(p);
+                    cur = p;
+                }
+                None => return Ok(chain),
+            }
+        }
+    }
+
+    /// Most recent common ancestor of two models (by lineage walk).
+    /// Returns `None` when the lineages are disjoint.
+    pub fn most_recent_common_ancestor(
+        &self,
+        a: ModelId,
+        b: ModelId,
+    ) -> Result<Option<ModelId>> {
+        let la = self.lineage(a)?;
+        let lb: std::collections::HashSet<ModelId> = self.lineage(b)?.into_iter().collect();
+        Ok(la.into_iter().find(|m| lb.contains(m)))
+    }
+
+    /// Which ancestors contributed tensors to `model`, with vertex counts
+    /// and global write-order stamps — a pure owner-map read, no lineage
+    /// walk (§4.1, "Owner Maps as a Foundation for Provenance").
+    pub fn contributors(&self, model: ModelId) -> Result<Vec<(ModelId, usize, u64)>> {
+        let meta = self.get_meta(model)?;
+        let mut out = Vec::new();
+        for (owner, count) in meta.owner_map.contribution_counts() {
+            let ts = if owner == model {
+                meta.timestamp
+            } else {
+                self.get_meta(owner)?.timestamp
+            };
+            out.push((owner, count, ts));
+        }
+        // Chronological order of contribution (the transfer chain order).
+        out.sort_by_key(|&(_, _, ts)| ts);
+        Ok(out)
+    }
+
+    // ---- stats -------------------------------------------------------------
+
+    /// Aggregate statistics across all providers.
+    pub fn stats(&self) -> Result<ProviderStats> {
+        let body = encode(&StatsRequest {})?;
+        let (acc, failures) = evostore_rpc::broadcast_reduce(
+            &self.fabric,
+            &self.providers,
+            methods::STATS,
+            body,
+            ProviderStats::default(),
+            |acc, _from, bytes| match decode::<ProviderStats>(&bytes) {
+                Ok(s) => acc.merge(s),
+                Err(_) => acc,
+            },
+        );
+        if !failures.is_empty() {
+            return Err(EvoError::Protocol(format!(
+                "{} providers failed the stats broadcast",
+                failures.len()
+            )));
+        }
+        Ok(acc)
+    }
+}
+
+/// Materialize random parameters for every vertex of `graph`, keyed as a
+/// fresh model owned by `model`.
+pub fn random_tensors<R: Rng + ?Sized>(
+    model: ModelId,
+    graph: &CompactGraph,
+    rng: &mut R,
+) -> HashMap<TensorKey, TensorData> {
+    let mut out = HashMap::new();
+    for v in graph.vertex_ids() {
+        for spec in graph.param_specs(v) {
+            out.insert(
+                TensorKey::new(model, VertexId(v.0), spec.slot),
+                spec.random(rng),
+            );
+        }
+    }
+    out
+}
+
+/// RAII latency recorder for one client operation.
+struct OpTimer<'a> {
+    hist: &'a crate::telemetry::LatencyHistogram,
+    start: std::time::Instant,
+}
+
+impl<'a> OpTimer<'a> {
+    fn new(hist: &'a crate::telemetry::LatencyHistogram) -> OpTimer<'a> {
+        OpTimer {
+            hist,
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Drop for OpTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed());
+    }
+}

@@ -1,0 +1,217 @@
+//! Deployment helper: spin up a fabric of providers plus clients.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use evostore_kv::{KvBackend, LogStore, MemPoolStore};
+use evostore_rpc::{EndpointId, Fabric};
+
+use crate::client::EvoStoreClient;
+use crate::provider::{Provider, ProviderState};
+
+/// Which KV backend providers persist tensors into.
+#[derive(Debug, Clone)]
+pub enum BackendKind {
+    /// Synchronized in-memory pools (the paper's experimental config).
+    Memory,
+    /// Append-only log store under `dir/provider-<i>/` (the RocksDB-style
+    /// persistent config).
+    Log { dir: std::path::PathBuf },
+    /// Persistent log store fronted by a byte-bounded in-memory cache
+    /// (the combined "in-memory and persistently" provider of §4.3).
+    Tiered {
+        /// Storage directory.
+        dir: std::path::PathBuf,
+        /// Memory-tier budget per provider, in bytes.
+        memory_budget: usize,
+    },
+}
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Number of providers.
+    pub providers: usize,
+    /// RPC service threads per provider.
+    pub service_threads: usize,
+    /// Tensor storage backend.
+    pub backend: BackendKind,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            providers: 4,
+            service_threads: 2,
+            backend: BackendKind::Memory,
+        }
+    }
+}
+
+/// A running EvoStore deployment.
+pub struct Deployment {
+    fabric: Arc<Fabric>,
+    providers: Vec<Provider>,
+    provider_ids: Vec<EndpointId>,
+}
+
+impl Deployment {
+    /// Start a deployment.
+    pub fn new(cfg: DeploymentConfig) -> Deployment {
+        assert!(cfg.providers > 0);
+        let fabric = Fabric::new();
+        let clock = Arc::new(AtomicU64::new(1));
+        let mut providers = Vec::with_capacity(cfg.providers);
+        for i in 0..cfg.providers {
+            let (backend, meta): (Box<dyn KvBackend>, Box<dyn KvBackend>) = match &cfg.backend {
+                BackendKind::Memory => (
+                    Box::new(MemPoolStore::new()),
+                    Box::new(MemPoolStore::new()),
+                ),
+                BackendKind::Log { dir } => (
+                    Box::new(
+                        LogStore::open(dir.join(format!("provider-{i}/tensors")))
+                            .expect("open provider tensor store"),
+                    ),
+                    Box::new(
+                        LogStore::open(dir.join(format!("provider-{i}/meta")))
+                            .expect("open provider meta store"),
+                    ),
+                ),
+                BackendKind::Tiered { dir, memory_budget } => (
+                    Box::new(evostore_kv::TieredStore::new(
+                        LogStore::open(dir.join(format!("provider-{i}/tensors")))
+                            .expect("open provider tensor store"),
+                        *memory_budget,
+                    )),
+                    Box::new(
+                        LogStore::open(dir.join(format!("provider-{i}/meta")))
+                            .expect("open provider meta store"),
+                    ),
+                ),
+            };
+            providers.push(Provider::spawn(
+                Arc::clone(&fabric),
+                i,
+                cfg.providers,
+                Arc::clone(&clock),
+                backend,
+                meta,
+                cfg.service_threads,
+            ));
+        }
+        let provider_ids = providers.iter().map(|p| p.endpoint_id()).collect();
+        Deployment {
+            fabric,
+            providers,
+            provider_ids,
+        }
+    }
+
+    /// Reopen a log-backed deployment after a restart: restore every
+    /// provider's catalog from its durable meta store, then rebuild the
+    /// tensor reference counts by replaying all owner maps (and attached
+    /// optimizer states) across providers, and finally purge tensors
+    /// orphaned by a crash.
+    pub fn reopen(cfg: DeploymentConfig) -> Result<Deployment, String> {
+        if matches!(cfg.backend, BackendKind::Memory) {
+            return Err("reopen requires a persistent (Log) backend".into());
+        }
+        let dep = Deployment::new(cfg);
+        let states = dep.provider_states();
+        for s in &states {
+            s.recover_catalog();
+        }
+        // Replay references: every owner-map key and optimizer key, from
+        // every catalog, increments its hosting provider's count.
+        let n = states.len();
+        for s in &states {
+            for map in s.owner_maps() {
+                for key in map.all_tensor_keys() {
+                    let host = key.owner.provider_for(n);
+                    states[host].replay_ref(key)?;
+                }
+            }
+            for key in s.optimizer_key_refs() {
+                let host = key.owner.provider_for(n);
+                states[host].replay_ref(key)?;
+            }
+        }
+        for s in &states {
+            s.purge_orphan_tensors()
+                .map_err(|e| format!("purge orphans: {e}"))?;
+        }
+        dep.gc_audit()?;
+        Ok(dep)
+    }
+
+    /// In-memory deployment with `n` providers (test/example shorthand).
+    pub fn in_memory(n: usize) -> Deployment {
+        Deployment::new(DeploymentConfig {
+            providers: n,
+            ..Default::default()
+        })
+    }
+
+    /// A new client handle (cheap; one per worker thread).
+    pub fn client(&self) -> EvoStoreClient {
+        EvoStoreClient::new(Arc::clone(&self.fabric), self.provider_ids.clone())
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Provider endpoint ids, in provider-index order.
+    pub fn provider_ids(&self) -> &[EndpointId] {
+        &self.provider_ids
+    }
+
+    /// Direct access to provider state (tests, audits, benches).
+    pub fn provider_states(&self) -> Vec<Arc<ProviderState>> {
+        self.providers.iter().map(|p| Arc::clone(&p.state)).collect()
+    }
+
+    /// Cross-provider garbage-collection audit: the reference count of
+    /// every hosted tensor must equal the number of cataloged models
+    /// whose owner maps reference it, and no unreferenced tensor may
+    /// remain stored.
+    pub fn gc_audit(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut expected: HashMap<evostore_tensor::TensorKey, u64> = HashMap::new();
+        for p in &self.providers {
+            for map in p.state.owner_maps() {
+                for key in map.all_tensor_keys() {
+                    *expected.entry(key).or_default() += 1;
+                }
+            }
+        }
+        for p in &self.providers {
+            for key in p.state.optimizer_key_refs() {
+                *expected.entry(key).or_default() += 1;
+            }
+        }
+        let mut hosted = 0usize;
+        for p in &self.providers {
+            p.state.audit_tensors()?;
+            for key in p.state.hosted_tensor_keys() {
+                hosted += 1;
+                let refs = p.state.tensor_refs(key);
+                let want = expected.get(&key).copied().unwrap_or(0);
+                if refs != want {
+                    return Err(format!(
+                        "tensor {key}: refcount {refs}, but {want} models reference it"
+                    ));
+                }
+            }
+        }
+        if hosted != expected.len() {
+            return Err(format!(
+                "{hosted} tensors hosted but {} referenced by owner maps",
+                expected.len()
+            ));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,307 @@
+//! Wire messages between EvoStore clients and providers.
+//!
+//! Control messages travel as JSON over the RPC fabric; the tensor data
+//! plane never does — store and read requests carry a *bulk handle* plus a
+//! manifest, and the payload moves through one consolidated one-sided
+//! transfer (the owner-based consolidation of §4.1).
+
+use evostore_graph::{CompactGraph, LcpResult};
+use evostore_tensor::{ModelId, TensorKey};
+use serde::{Deserialize, Serialize};
+
+use crate::owner_map::OwnerMap;
+
+/// Location of one tensor inside a consolidated bulk region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Which tensor this is.
+    pub key: TensorKey,
+    /// Byte offset of its serialized record inside the region.
+    pub offset: u64,
+    /// Record length in bytes.
+    pub len: u64,
+}
+
+/// Store a new (or derived) model: metadata inline, new tensors in the
+/// exposed bulk region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreModelRequest {
+    /// Id of the model being stored (determines its provider placement).
+    pub model: ModelId,
+    /// The flattened architecture.
+    pub graph: CompactGraph,
+    /// Ownership of every vertex.
+    pub owner_map: OwnerMap,
+    /// Direct transfer-learning ancestor, if any.
+    pub parent: Option<ModelId>,
+    /// Quality metric (e.g. validation accuracy) used for LCP tie-breaks.
+    pub quality: f64,
+    /// Where each *self-owned* tensor lives in the bulk region.
+    pub manifest: Vec<ManifestEntry>,
+    /// Bulk region holding the consolidated new tensors.
+    pub bulk: u64,
+}
+
+/// Reply to a store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreModelReply {
+    /// Global write ordering stamp (provenance ordering, §4.1).
+    pub timestamp: u64,
+    /// Bytes of tensor payload persisted by this request.
+    pub bytes_stored: u64,
+}
+
+/// Fetch a model's metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GetMetaRequest {
+    /// The model to look up.
+    pub model: ModelId,
+}
+
+/// A model's metadata record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelMetaReply {
+    /// The flattened architecture.
+    pub graph: CompactGraph,
+    /// Ownership of every vertex.
+    pub owner_map: OwnerMap,
+    /// Direct ancestor.
+    pub parent: Option<ModelId>,
+    /// Quality metric.
+    pub quality: f64,
+    /// Global write-order stamp.
+    pub timestamp: u64,
+}
+
+/// Read a set of tensors hosted by the target provider.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadTensorsRequest {
+    /// Keys to read; every key's owner must hash to the target provider.
+    pub keys: Vec<TensorKey>,
+}
+
+/// Reply: a freshly exposed bulk region + manifest. The *client* releases
+/// the region after pulling it (one-sided completion).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadTensorsReply {
+    /// Offsets of each requested tensor in the region.
+    pub manifest: Vec<ManifestEntry>,
+    /// The exposed region.
+    pub bulk: u64,
+}
+
+/// Read a contiguous element range of one hosted tensor (fine-grain
+/// partial access, §1: "partial I/O to enable fine-grain access to
+/// individual tensors").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadRangeRequest {
+    /// The tensor.
+    pub key: TensorKey,
+    /// First element of the range.
+    pub elem_offset: u64,
+    /// Number of elements.
+    pub elem_count: u64,
+}
+
+/// Reply: the requested slice as a freshly exposed bulk region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadRangeReply {
+    /// Element type of the tensor.
+    pub dtype_tag: u8,
+    /// The exposed region holding exactly the requested bytes.
+    pub bulk: u64,
+}
+
+/// Adjust reference counts of tensors hosted by the target provider.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RefsRequest {
+    /// Tensor keys to increment/decrement.
+    pub keys: Vec<TensorKey>,
+}
+
+/// Reply to a refs adjustment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RefsReply {
+    /// Keys applied.
+    pub applied: usize,
+    /// Tensors physically reclaimed (decrement reached zero).
+    pub reclaimed: usize,
+}
+
+/// Provider-side LCP query: the client broadcasts the candidate graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LcpQueryRequest {
+    /// The new candidate's flattened architecture.
+    pub graph: CompactGraph,
+}
+
+/// One provider's best local match.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LcpQueryReply {
+    /// Best local candidate, absent when nothing matches.
+    pub best: Option<LcpCandidate>,
+    /// How many stored models this provider scanned (diagnostics).
+    pub scanned: usize,
+}
+
+/// A candidate ancestor found by a provider.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LcpCandidate {
+    /// The ancestor model.
+    pub model: ModelId,
+    /// Its quality metric (tie-break).
+    pub quality: f64,
+    /// The LCP of the queried graph against this ancestor.
+    pub lcp: LcpResult,
+}
+
+/// Remove a model's metadata; the reply carries the owner map so the
+/// client can decrement tensor references across providers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetireMetaRequest {
+    /// The model to retire.
+    pub model: ModelId,
+}
+
+/// Reply to metadata retirement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetireMetaReply {
+    /// The retired model's owner map (drives the decrement fan-out).
+    pub owner_map: OwnerMap,
+}
+
+/// Scan the target provider's catalog for architectures matching a
+/// pattern (§1's "queries that look for specific architectural features
+/// and patterns").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatternQueryRequest {
+    /// The pattern.
+    pub pattern: evostore_graph::ArchPattern,
+}
+
+/// Locally matching models.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatternQueryReply {
+    /// `(model, quality)` of every local match.
+    pub matches: Vec<(ModelId, f64)>,
+    /// Models scanned.
+    pub scanned: usize,
+}
+
+/// Attach optimizer state to a stored model (the paper's stated future
+/// work: checkpoints that can resume the original training). The state
+/// is model-private — never shared or deduplicated — and is reclaimed
+/// with the model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreOptimizerRequest {
+    /// The (already stored) model.
+    pub model: ModelId,
+    /// Slots of the optimizer tensors in the bulk region.
+    pub manifest: Vec<ManifestEntry>,
+    /// Bulk region holding the serialized optimizer tensors.
+    pub bulk: u64,
+}
+
+/// Fetch a model's optimizer state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadOptimizerRequest {
+    /// The model.
+    pub model: ModelId,
+}
+
+/// Empty request for parameterless methods (stats).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StatsRequest {}
+
+/// Provider statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ProviderStats {
+    /// Models whose metadata lives here.
+    pub models: usize,
+    /// Live tensors hosted here.
+    pub tensors: usize,
+    /// Bytes of live tensor payload.
+    pub tensor_bytes: u64,
+    /// Approximate metadata bytes (owner maps).
+    pub metadata_bytes: u64,
+}
+
+impl ProviderStats {
+    /// Element-wise sum (the reduce step of a stats broadcast).
+    pub fn merge(self, other: ProviderStats) -> ProviderStats {
+        ProviderStats {
+            models: self.models + other.models,
+            tensors: self.tensors + other.tensors,
+            tensor_bytes: self.tensor_bytes + other.tensor_bytes,
+            metadata_bytes: self.metadata_bytes + other.metadata_bytes,
+        }
+    }
+}
+
+/// RPC method names registered by every provider.
+pub mod methods {
+    /// Store a model (metadata + consolidated tensors).
+    pub const STORE: &str = "evostore.store";
+    /// Fetch model metadata.
+    pub const GET_META: &str = "evostore.get_meta";
+    /// Read hosted tensors (returns a bulk region).
+    pub const READ: &str = "evostore.read";
+    /// Increment tensor refcounts.
+    pub const INCR_REFS: &str = "evostore.incr_refs";
+    /// Decrement tensor refcounts (GC at zero).
+    pub const DECR_REFS: &str = "evostore.decr_refs";
+    /// Provider-side LCP scan.
+    pub const LCP: &str = "evostore.lcp";
+    /// Partial (element-range) tensor read.
+    pub const READ_RANGE: &str = "evostore.read_range";
+    /// Retire model metadata.
+    pub const RETIRE_META: &str = "evostore.retire_meta";
+    /// Architecture pattern scan.
+    pub const MATCH_PATTERN: &str = "evostore.match_pattern";
+    /// Attach optimizer state.
+    pub const STORE_OPTIMIZER: &str = "evostore.store_optimizer";
+    /// Fetch optimizer state.
+    pub const LOAD_OPTIMIZER: &str = "evostore.load_optimizer";
+    /// Provider statistics.
+    pub const STATS: &str = "evostore.stats";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_sums() {
+        let a = ProviderStats {
+            models: 1,
+            tensors: 2,
+            tensor_bytes: 100,
+            metadata_bytes: 16,
+        };
+        let b = ProviderStats {
+            models: 3,
+            tensors: 4,
+            tensor_bytes: 900,
+            metadata_bytes: 32,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.models, 4);
+        assert_eq!(m.tensors, 6);
+        assert_eq!(m.tensor_bytes, 1000);
+        assert_eq!(m.metadata_bytes, 48);
+    }
+
+    #[test]
+    fn messages_roundtrip_json() {
+        let req = RefsRequest {
+            keys: vec![TensorKey::new(
+                ModelId(3),
+                evostore_tensor::VertexId(1),
+                0,
+            )],
+        };
+        let bytes = serde_json::to_vec(&req).unwrap();
+        let back: RefsRequest = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back.keys, req.keys);
+    }
+}

@@ -1,0 +1,290 @@
+//! Owner maps — the paper's central metadata structure (§4.1).
+//!
+//! An owner map assigns each leaf-layer vertex of a model to its *owner*:
+//! the most recent ancestor that modified the vertex's tensors. A model
+//! obtained from scratch owns everything; a derived model inherits its
+//! ancestor's owner map over the transferred (frozen) prefix and owns the
+//! rest. Reconstructing a model therefore consults exactly *one* owner
+//! map, regardless of how long the transfer-learning chain is — the
+//! property that makes reads O(1) in lineage depth.
+//!
+//! Each entry is ~128 bits per leaf layer (owner model id + owner-side
+//! vertex id + slot count), matching the paper's metadata budget.
+
+use evostore_graph::{CompactGraph, LcpResult};
+use evostore_tensor::{ModelId, TensorKey, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// Ownership record of one leaf-layer vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VertexOwner {
+    /// The most recent ancestor that modified this vertex's tensors.
+    pub owner: ModelId,
+    /// The vertex id *inside the owner's* compact graph (tensor keys are
+    /// expressed in the owner's numbering).
+    pub owner_vertex: VertexId,
+    /// Number of parameter tensors (slots) of this vertex. Zero for
+    /// parameter-free layers.
+    pub slots: u32,
+}
+
+impl VertexOwner {
+    /// Keys of every tensor of this vertex.
+    pub fn tensor_keys(&self) -> impl Iterator<Item = TensorKey> + '_ {
+        (0..self.slots).map(move |s| TensorKey::new(self.owner, self.owner_vertex, s))
+    }
+}
+
+/// The owner map of one stored model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OwnerMap {
+    /// The model this map describes.
+    pub model: ModelId,
+    /// One record per vertex of the model's compact graph, indexed by
+    /// [`VertexId`].
+    pub vertices: Vec<VertexOwner>,
+}
+
+impl OwnerMap {
+    /// Owner map of a from-scratch model: it owns every vertex.
+    pub fn fresh(model: ModelId, graph: &CompactGraph) -> OwnerMap {
+        let vertices = graph
+            .vertex_ids()
+            .map(|v| VertexOwner {
+                owner: model,
+                owner_vertex: v,
+                slots: graph.param_specs(v).len() as u32,
+            })
+            .collect();
+        OwnerMap { model, vertices }
+    }
+
+    /// Owner map of a derived model: vertices inside the transferred
+    /// prefix inherit the ancestor's ownership records (the ancestor's map
+    /// already points at the *most recent* owner of each tensor, so no
+    /// chain walk is ever needed); the rest are owned by `child`.
+    ///
+    /// `lcp` must be the LCP of `child_graph` against the ancestor whose
+    /// map is given.
+    pub fn derive(
+        child: ModelId,
+        child_graph: &CompactGraph,
+        lcp: &LcpResult,
+        ancestor_map: &OwnerMap,
+    ) -> OwnerMap {
+        assert_eq!(
+            lcp.match_in_ancestor.len(),
+            child_graph.len(),
+            "LCP result does not belong to this child graph"
+        );
+        let vertices = child_graph
+            .vertex_ids()
+            .map(|v| match lcp.match_in_ancestor[v.0 as usize] {
+                Some(av) => {
+                    let inherited = ancestor_map.vertices[av.0 as usize];
+                    debug_assert_eq!(
+                        inherited.slots,
+                        child_graph.param_specs(v).len() as u32,
+                        "matched vertices must have identical slot counts"
+                    );
+                    inherited
+                }
+                None => VertexOwner {
+                    owner: child,
+                    owner_vertex: v,
+                    slots: child_graph.param_specs(v).len() as u32,
+                },
+            })
+            .collect();
+        OwnerMap { model: child, vertices }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True when the map covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Ownership record of one vertex.
+    pub fn vertex(&self, v: VertexId) -> &VertexOwner {
+        &self.vertices[v.0 as usize]
+    }
+
+    /// Vertices owned by this model itself (the "new/modified" set whose
+    /// tensors the store request must carry).
+    pub fn self_owned(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(move |(_, o)| o.owner == self.model)
+            .map(|(i, _)| VertexId(i as u32))
+    }
+
+    /// Vertices inherited from ancestors.
+    pub fn inherited(&self) -> impl Iterator<Item = (VertexId, &VertexOwner)> + '_ {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(move |(_, o)| o.owner != self.model)
+            .map(|(i, o)| (VertexId(i as u32), o))
+    }
+
+    /// Every tensor key the model references (its full parameter set).
+    pub fn all_tensor_keys(&self) -> Vec<TensorKey> {
+        self.vertices
+            .iter()
+            .flat_map(|o| o.tensor_keys().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Distinct owners contributing to this model, i.e. the provenance
+    /// set ("what ancestors contributed to the composition of a given DL
+    /// model", §4.1).
+    pub fn distinct_owners(&self) -> Vec<ModelId> {
+        let mut owners: Vec<ModelId> = self.vertices.iter().map(|o| o.owner).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        owners
+    }
+
+    /// Per-owner vertex counts (for provenance reports).
+    pub fn contribution_counts(&self) -> Vec<(ModelId, usize)> {
+        let mut counts: std::collections::BTreeMap<ModelId, usize> = Default::default();
+        for o in &self.vertices {
+            *counts.entry(o.owner).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Approximate serialized size in bytes (16 bytes ≈ 128 bits per
+    /// vertex, as in the paper's metadata estimate).
+    pub fn metadata_bytes(&self) -> usize {
+        16 * self.vertices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evostore_graph::{flatten, lcp, Activation, Architecture, LayerConfig, LayerKind};
+
+    fn seq(units: &[u32]) -> CompactGraph {
+        let mut a = Architecture::new("seq");
+        let mut prev = a.add_layer(LayerConfig::new(
+            "in",
+            LayerKind::Input {
+                shape: vec![units[0]],
+            },
+        ));
+        let mut inf = units[0];
+        for (i, &u) in units.iter().enumerate().skip(1) {
+            prev = a.chain(
+                prev,
+                LayerConfig::new(
+                    format!("d{i}"),
+                    LayerKind::Dense {
+                        in_features: inf,
+                        units: u,
+                        activation: Activation::ReLU,
+                    },
+                ),
+            );
+            inf = u;
+        }
+        flatten(&a).unwrap()
+    }
+
+    #[test]
+    fn fresh_model_owns_everything() {
+        let g = seq(&[4, 8, 8, 2]);
+        let m = OwnerMap::fresh(ModelId(1), &g);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.self_owned().count(), 4);
+        assert_eq!(m.inherited().count(), 0);
+        assert_eq!(m.distinct_owners(), vec![ModelId(1)]);
+        // Input layer has no tensors, dense layers have 2 each.
+        assert_eq!(m.all_tensor_keys().len(), 6);
+    }
+
+    #[test]
+    fn derived_model_inherits_prefix() {
+        let parent_g = seq(&[4, 8, 8, 2]);
+        let child_g = seq(&[4, 8, 8, 3]); // differs in the last layer
+        let parent_map = OwnerMap::fresh(ModelId(1), &parent_g);
+        let r = lcp(&child_g, &parent_g);
+        assert_eq!(r.len(), 3);
+
+        let child_map = OwnerMap::derive(ModelId(2), &child_g, &r, &parent_map);
+        assert_eq!(child_map.self_owned().count(), 1);
+        assert_eq!(child_map.inherited().count(), 3);
+        assert_eq!(child_map.distinct_owners(), vec![ModelId(1), ModelId(2)]);
+    }
+
+    /// Figure 2's grandparent/parent/child ownership: the child's map must
+    /// point *directly* at the grandparent for the oldest layers — one map
+    /// lookup, no chain walk.
+    #[test]
+    fn chained_derivation_points_at_original_owner() {
+        let gp_g = seq(&[4, 10, 20, 30, 99, 98]);
+        let p_g = seq(&[4, 10, 20, 30, 40, 50]);
+        let c_g = seq(&[4, 10, 20, 30, 40, 50, 60]);
+
+        let gp_map = OwnerMap::fresh(ModelId(1), &gp_g);
+        let lcp_p = lcp(&p_g, &gp_g);
+        assert_eq!(lcp_p.len(), 4); // input + {10,20,30}
+        let p_map = OwnerMap::derive(ModelId(2), &p_g, &lcp_p, &gp_map);
+
+        let lcp_c = lcp(&c_g, &p_g);
+        assert_eq!(lcp_c.len(), 6); // input + {10,20,30,40,50}
+        let c_map = OwnerMap::derive(ModelId(3), &c_g, &lcp_c, &p_map);
+
+        // Layers {10,20,30} (vertices 1..=3): owned by grandparent.
+        for v in 1..=3u32 {
+            assert_eq!(c_map.vertex(VertexId(v)).owner, ModelId(1));
+        }
+        // Layers {40,50} (vertices 4..=5): owned by parent.
+        for v in 4..=5u32 {
+            assert_eq!(c_map.vertex(VertexId(v)).owner, ModelId(2));
+        }
+        // Layer {60} (vertex 6): owned by the child itself.
+        assert_eq!(c_map.vertex(VertexId(6)).owner, ModelId(3));
+        assert_eq!(
+            c_map.distinct_owners(),
+            vec![ModelId(1), ModelId(2), ModelId(3)]
+        );
+    }
+
+    #[test]
+    fn tensor_keys_use_owner_numbering() {
+        let parent_g = seq(&[4, 8, 2]);
+        let child_g = seq(&[4, 8, 3]);
+        let parent_map = OwnerMap::fresh(ModelId(7), &parent_g);
+        let r = lcp(&child_g, &parent_g);
+        let child_map = OwnerMap::derive(ModelId(8), &child_g, &r, &parent_map);
+        // Vertex 1 of the child is inherited: its keys must reference the
+        // parent's model id and the parent's vertex id.
+        let keys: Vec<TensorKey> = child_map.vertex(VertexId(1)).tensor_keys().collect();
+        assert!(keys.iter().all(|k| k.owner == ModelId(7)));
+    }
+
+    #[test]
+    fn contribution_counts_sum_to_len() {
+        let g = seq(&[4, 8, 8, 2]);
+        let m = OwnerMap::fresh(ModelId(1), &g);
+        let total: usize = m.contribution_counts().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, m.len());
+    }
+
+    #[test]
+    fn metadata_stays_small() {
+        // "at most hundreds of KB (128 bits per leaf-layer)" — even a
+        // 10k-layer model stays at 160 KB.
+        let g = seq(&[4, 8, 8, 8, 8, 2]);
+        let m = OwnerMap::fresh(ModelId(1), &g);
+        assert_eq!(m.metadata_bytes(), 16 * g.len());
+    }
+}

@@ -1,0 +1,716 @@
+//! EvoStore providers.
+//!
+//! A provider is simultaneously a *data* node (reference-counted tensor
+//! store) and a *metadata* node (catalog of model records: compact graph,
+//! owner map, lineage link, quality, write timestamp) — §4.1's coupled
+//! data/metadata design. Providers serve:
+//!
+//! * consolidated model stores (one bulk pull per store request);
+//! * fine-grained tensor reads (one bulk expose per read request);
+//! * reference-count adjustments (the distributed-GC primitive);
+//! * provider-side LCP scans over the local catalog, executed in parallel
+//!   (the map step of the broadcast/reduce metadata query).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::BytesMut;
+use evostore_graph::{lcp, CompactGraph};
+use evostore_kv::{KvBackend, RefCountedStore};
+use evostore_rpc::{typed_handler, Endpoint, EndpointId, Fabric};
+use evostore_tensor::{read_tensor, ModelId, TensorKey};
+use parking_lot::RwLock;
+use rayon::prelude::*;
+
+use crate::messages::*;
+use crate::owner_map::OwnerMap;
+
+/// Catalog entry for one stored model.
+#[derive(Clone)]
+pub struct ModelRecord {
+    /// Flattened architecture (shared, read-only).
+    pub graph: Arc<CompactGraph>,
+    /// Ownership of every vertex.
+    pub owner_map: OwnerMap,
+    /// Direct transfer-learning ancestor.
+    pub parent: Option<ModelId>,
+    /// Quality metric.
+    pub quality: f64,
+    /// Global write-order stamp.
+    pub timestamp: u64,
+    /// Keys of attached optimizer-state tensors (model-private).
+    pub optimizer_keys: Vec<TensorKey>,
+}
+
+/// On-disk form of a [`ModelRecord`] (catalog persistence).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PersistedRecord {
+    graph: CompactGraph,
+    owner_map: OwnerMap,
+    parent: Option<ModelId>,
+    quality: f64,
+    timestamp: u64,
+    optimizer_keys: Vec<TensorKey>,
+}
+
+impl ModelRecord {
+    fn to_persisted(&self) -> PersistedRecord {
+        PersistedRecord {
+            graph: (*self.graph).clone(),
+            owner_map: self.owner_map.clone(),
+            parent: self.parent,
+            quality: self.quality,
+            timestamp: self.timestamp,
+            optimizer_keys: self.optimizer_keys.clone(),
+        }
+    }
+
+    fn from_persisted(p: PersistedRecord) -> ModelRecord {
+        ModelRecord {
+            graph: Arc::new(p.graph),
+            owner_map: p.owner_map,
+            parent: p.parent,
+            quality: p.quality,
+            timestamp: p.timestamp,
+            optimizer_keys: p.optimizer_keys,
+        }
+    }
+}
+
+/// Shared state of one provider.
+pub struct ProviderState {
+    fabric: Arc<Fabric>,
+    /// This provider's index within the deployment.
+    pub index: usize,
+    /// Total providers in the deployment (placement function input).
+    pub num_providers: usize,
+    tensors: RefCountedStore<Box<dyn KvBackend>>,
+    catalog: RwLock<HashMap<ModelId, ModelRecord>>,
+    /// Durable catalog records (separate namespace from tensors).
+    meta_store: Box<dyn KvBackend>,
+    /// Deployment-wide write-ordering clock.
+    clock: Arc<AtomicU64>,
+}
+
+impl ProviderState {
+    /// Does `model`'s metadata belong on this provider?
+    fn places_here(&self, model: ModelId) -> bool {
+        model.provider_for(self.num_providers) == self.index
+    }
+
+    fn meta_key(model: ModelId) -> Vec<u8> {
+        let mut k = b"meta/".to_vec();
+        k.extend_from_slice(&model.0.to_le_bytes());
+        k
+    }
+
+    fn persist_record(&self, model: ModelId, rec: &ModelRecord) {
+        let blob = serde_json::to_vec(&rec.to_persisted()).expect("record serializes");
+        self.meta_store
+            .put(&Self::meta_key(model), bytes::Bytes::from(blob))
+            .expect("persist catalog record");
+    }
+
+    fn unpersist_record(&self, model: ModelId) {
+        let _ = self.meta_store.delete(&Self::meta_key(model));
+    }
+
+    /// Restore the catalog from the durable meta store and register every
+    /// hosted tensor with a zero reference count. The deployment then
+    /// replays reference counts from *all* providers' owner maps
+    /// ([`crate::deployment::Deployment::reopen`]); counts are correct
+    /// only after that pass completes.
+    pub fn recover_catalog(&self) -> usize {
+        let mut restored = 0;
+        for key in self.meta_store.keys() {
+            let Ok(blob) = self.meta_store.get(&key) else {
+                continue;
+            };
+            let Ok(p) = serde_json::from_slice::<PersistedRecord>(&blob) else {
+                continue;
+            };
+            let model = p.owner_map.model;
+            self.clock
+                .fetch_max(p.timestamp + 1, Ordering::Relaxed);
+            self.catalog
+                .write()
+                .insert(model, ModelRecord::from_persisted(p));
+            restored += 1;
+        }
+        // Adopt hosted tensors with zero counts; the deployment replay
+        // brings them up to their true values.
+        for key in self.tensors.backend().keys() {
+            self.tensors.adopt(&key);
+        }
+        restored
+    }
+
+    /// Directly bump a hosted tensor's reference count (recovery replay).
+    pub fn replay_ref(&self, key: TensorKey) -> Result<(), String> {
+        self.tensors
+            .incr_adopted(&key.encode())
+            .map_err(|e| format!("replay ref {key}: {e}"))?;
+        Ok(())
+    }
+
+    /// Drop tensors whose replayed reference count stayed at zero.
+    pub fn purge_orphan_tensors(&self) -> Result<usize, String> {
+        self.tensors.purge_zero_refs().map_err(|e| e.to_string())
+    }
+
+    /// Handle a store request.
+    pub fn handle_store(&self, req: StoreModelRequest) -> Result<StoreModelReply, String> {
+        if req.owner_map.model != req.model {
+            return Err(format!(
+                "owner map belongs to {} but stores {}",
+                req.owner_map.model, req.model
+            ));
+        }
+        if req.owner_map.len() != req.graph.len() {
+            return Err(format!(
+                "owner map covers {} vertices, graph has {}",
+                req.owner_map.len(),
+                req.graph.len()
+            ));
+        }
+        if !self.places_here(req.model) {
+            return Err(format!(
+                "model {} does not hash to provider {}",
+                req.model, self.index
+            ));
+        }
+        if self.catalog.read().contains_key(&req.model) {
+            return Err(format!("model {} already stored", req.model));
+        }
+
+        // The manifest must carry exactly the self-owned tensors.
+        let expected: std::collections::HashSet<TensorKey> = req
+            .owner_map
+            .self_owned()
+            .flat_map(|v| req.owner_map.vertex(v).tensor_keys().collect::<Vec<_>>())
+            .collect();
+        let got: std::collections::HashSet<TensorKey> =
+            req.manifest.iter().map(|m| m.key).collect();
+        if expected != got {
+            return Err(format!(
+                "manifest carries {} tensors, owner map declares {} self-owned",
+                got.len(),
+                expected.len()
+            ));
+        }
+
+        // One consolidated one-sided pull for the whole request.
+        let region = self
+            .fabric
+            .bulk_get(evostore_rpc::BulkHandle(req.bulk))
+            .map_err(|e| format!("bulk pull failed: {e}"))?;
+
+        // Validate the ENTIRE manifest before persisting anything, so a
+        // malformed request can never leave partially-stored tensors with
+        // no catalog entry referencing them.
+        let mut validated = Vec::with_capacity(req.manifest.len());
+        for entry in &req.manifest {
+            let (off, len) = (entry.offset as usize, entry.len as usize);
+            if off.checked_add(len).map(|end| end > region.len()).unwrap_or(true) {
+                return Err(format!(
+                    "manifest entry {} out of bulk bounds ({} + {} > {})",
+                    entry.key,
+                    off,
+                    len,
+                    region.len()
+                ));
+            }
+            let record = region.slice(off..off + len);
+            // Integrity + spec check before persisting.
+            let tensor = read_tensor(record.clone()).map_err(|e| format!("tensor {}: {e}", entry.key))?;
+            let specs = req.graph.param_specs(evostore_tensor::VertexId(entry.key.vertex.0));
+            let spec = specs
+                .iter()
+                .find(|s| s.slot == entry.key.slot)
+                .ok_or_else(|| format!("tensor {} has no spec in the graph", entry.key))?;
+            if spec.shape != tensor.shape() || spec.dtype != tensor.dtype() {
+                return Err(format!(
+                    "tensor {} does not match its layer spec ({:?} {} vs {:?} {})",
+                    entry.key,
+                    tensor.shape(),
+                    tensor.dtype(),
+                    spec.shape,
+                    spec.dtype
+                ));
+            }
+            validated.push((entry.key, record));
+        }
+
+        let mut bytes_stored = 0u64;
+        for (key, record) in validated {
+            bytes_stored += record.len() as u64;
+            self.tensors
+                .put(&key.encode(), record, 1)
+                .map_err(|e| format!("store tensor {key}: {e}"))?;
+        }
+
+        let timestamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let record = ModelRecord {
+            graph: Arc::new(req.graph),
+            owner_map: req.owner_map,
+            parent: req.parent,
+            quality: req.quality,
+            timestamp,
+            optimizer_keys: Vec::new(),
+        };
+        self.persist_record(req.model, &record);
+        self.catalog.write().insert(req.model, record);
+        Ok(StoreModelReply {
+            timestamp,
+            bytes_stored,
+        })
+    }
+
+    /// Handle a metadata fetch.
+    pub fn handle_get_meta(&self, req: GetMetaRequest) -> Result<ModelMetaReply, String> {
+        let catalog = self.catalog.read();
+        let rec = catalog
+            .get(&req.model)
+            .ok_or_else(|| format!("model {} not found", req.model))?;
+        Ok(ModelMetaReply {
+            graph: (*rec.graph).clone(),
+            owner_map: rec.owner_map.clone(),
+            parent: rec.parent,
+            quality: rec.quality,
+            timestamp: rec.timestamp,
+        })
+    }
+
+    /// Handle a tensor read: consolidate the requested tensors into one
+    /// freshly exposed bulk region.
+    pub fn handle_read(&self, req: ReadTensorsRequest) -> Result<ReadTensorsReply, String> {
+        let mut buf = BytesMut::new();
+        let mut manifest = Vec::with_capacity(req.keys.len());
+        for key in &req.keys {
+            if key.owner.provider_for(self.num_providers) != self.index {
+                return Err(format!("tensor {key} is not hosted by provider {}", self.index));
+            }
+            let record = self
+                .tensors
+                .get(&key.encode())
+                .map_err(|_| format!("tensor {key} not stored"))?;
+            manifest.push(ManifestEntry {
+                key: *key,
+                offset: buf.len() as u64,
+                len: record.len() as u64,
+            });
+            buf.extend_from_slice(&record);
+        }
+        let bulk = self.fabric.bulk_expose(buf.freeze());
+        Ok(ReadTensorsReply {
+            manifest,
+            bulk: bulk.0,
+        })
+    }
+
+    /// Handle reference-count increments (pinning a new descendant's
+    /// inherited tensors).
+    pub fn handle_incr_refs(&self, req: RefsRequest) -> Result<RefsReply, String> {
+        // Check-then-apply: a missing tensor indicates the ancestor was
+        // retired between query and pin; the whole request fails and the
+        // client re-queries.
+        for key in &req.keys {
+            if !self.tensors.contains(&key.encode()) {
+                return Err(format!("tensor {key} no longer stored (ancestor retired?)"));
+            }
+        }
+        for key in &req.keys {
+            self.tensors
+                .incr(&key.encode())
+                .map_err(|e| format!("incr {key}: {e}"))?;
+        }
+        Ok(RefsReply {
+            applied: req.keys.len(),
+            reclaimed: 0,
+        })
+    }
+
+    /// Handle reference-count decrements (model retirement); tensors whose
+    /// count reaches zero are reclaimed.
+    pub fn handle_decr_refs(&self, req: RefsRequest) -> Result<RefsReply, String> {
+        let mut reclaimed = 0usize;
+        for key in &req.keys {
+            match self.tensors.decr(&key.encode()) {
+                Ok(0) => reclaimed += 1,
+                Ok(_) => {}
+                Err(e) => return Err(format!("decr {key}: {e}")),
+            }
+        }
+        Ok(RefsReply {
+            applied: req.keys.len(),
+            reclaimed,
+        })
+    }
+
+    /// Handle a provider-side LCP scan: check all locally stored models in
+    /// parallel and return the best match (longest prefix; quality breaks
+    /// ties; lower model id breaks exact ties deterministically).
+    pub fn handle_lcp(&self, req: LcpQueryRequest) -> Result<LcpQueryReply, String> {
+        let snapshot: Vec<(ModelId, Arc<CompactGraph>, f64)> = {
+            let catalog = self.catalog.read();
+            catalog
+                .iter()
+                .map(|(&id, rec)| (id, Arc::clone(&rec.graph), rec.quality))
+                .collect()
+        };
+        let scanned = snapshot.len();
+        let g = &req.graph;
+        let best = snapshot
+            .into_par_iter()
+            .map(|(model, graph, quality)| {
+                let r = lcp(g, &graph);
+                (model, quality, r)
+            })
+            .filter(|(_, _, r)| !r.is_empty())
+            .max_by(|(ma, qa, ra), (mb, qb, rb)| {
+                ra.len()
+                    .cmp(&rb.len())
+                    .then(qa.partial_cmp(qb).unwrap_or(std::cmp::Ordering::Equal))
+                    .then(mb.cmp(ma)) // lower id wins => treat lower as greater
+            })
+            .map(|(model, quality, lcp)| LcpCandidate {
+                model,
+                quality,
+                lcp,
+            });
+        Ok(LcpQueryReply { best, scanned })
+    }
+
+    /// Handle metadata retirement. The caller receives the owner map and
+    /// is responsible for the decrement fan-out.
+    pub fn handle_retire_meta(&self, req: RetireMetaRequest) -> Result<RetireMetaReply, String> {
+        let rec = self
+            .catalog
+            .write()
+            .remove(&req.model)
+            .ok_or_else(|| format!("model {} not found", req.model))?;
+        self.unpersist_record(req.model);
+        // Optimizer state is model-private: reclaim it with the model.
+        for key in &rec.optimizer_keys {
+            let _ = self.tensors.decr(&key.encode());
+        }
+        Ok(RetireMetaReply {
+            owner_map: rec.owner_map,
+        })
+    }
+
+    /// Handle a partial (element-range) tensor read.
+    pub fn handle_read_range(&self, req: ReadRangeRequest) -> Result<ReadRangeReply, String> {
+        if req.key.owner.provider_for(self.num_providers) != self.index {
+            return Err(format!(
+                "tensor {} is not hosted by provider {}",
+                req.key, self.index
+            ));
+        }
+        let record = self
+            .tensors
+            .get(&req.key.encode())
+            .map_err(|_| format!("tensor {} not stored", req.key))?;
+        let (range, dtype) = evostore_tensor::payload_range(&record)
+            .map_err(|e| format!("tensor {}: {e}", req.key))?;
+        let esz = dtype.size_of() as u64;
+        let start = range.start as u64 + req.elem_offset * esz;
+        let end = start + req.elem_count * esz;
+        if end > range.end as u64 {
+            return Err(format!(
+                "range {}+{} elements out of bounds for tensor {}",
+                req.elem_offset, req.elem_count, req.key
+            ));
+        }
+        let slice = record.slice(start as usize..end as usize);
+        let bulk = self.fabric.bulk_expose(slice);
+        Ok(ReadRangeReply {
+            dtype_tag: dtype.tag(),
+            bulk: bulk.0,
+        })
+    }
+
+    /// Handle a catalog pattern scan (parallel, provider-side).
+    pub fn handle_match_pattern(
+        &self,
+        req: PatternQueryRequest,
+    ) -> Result<PatternQueryReply, String> {
+        let snapshot: Vec<(ModelId, Arc<CompactGraph>, f64)> = {
+            let catalog = self.catalog.read();
+            catalog
+                .iter()
+                .map(|(&id, rec)| (id, Arc::clone(&rec.graph), rec.quality))
+                .collect()
+        };
+        let scanned = snapshot.len();
+        let mut matches: Vec<(ModelId, f64)> = snapshot
+            .into_par_iter()
+            .filter(|(_, g, _)| req.pattern.matches(g))
+            .map(|(id, _, q)| (id, q))
+            .collect();
+        matches.sort_by_key(|a| a.0);
+        Ok(PatternQueryReply { matches, scanned })
+    }
+
+    /// Handle attaching optimizer state to a stored model.
+    pub fn handle_store_optimizer(
+        &self,
+        req: StoreOptimizerRequest,
+    ) -> Result<StoreModelReply, String> {
+        let region = self
+            .fabric
+            .bulk_get(evostore_rpc::BulkHandle(req.bulk))
+            .map_err(|e| format!("bulk pull failed: {e}"))?;
+
+        let mut catalog = self.catalog.write();
+        let rec = catalog
+            .get_mut(&req.model)
+            .ok_or_else(|| format!("model {} not found", req.model))?;
+        if !rec.optimizer_keys.is_empty() {
+            return Err(format!("model {} already has optimizer state", req.model));
+        }
+        // Validate everything first (see handle_store): no partial state
+        // on malformed requests.
+        let mut validated = Vec::with_capacity(req.manifest.len());
+        for entry in &req.manifest {
+            if entry.key.owner != req.model || entry.key.vertex.0 != u32::MAX {
+                return Err(format!(
+                    "optimizer tensor {} must use the owner's optimizer namespace",
+                    entry.key
+                ));
+            }
+            let (off, len) = (entry.offset as usize, entry.len as usize);
+            if off.checked_add(len).map(|end| end > region.len()).unwrap_or(true) {
+                return Err(format!("optimizer manifest entry {} out of bounds", entry.key));
+            }
+            let record = region.slice(off..off + len);
+            evostore_tensor::read_tensor(record.clone())
+                .map_err(|e| format!("optimizer tensor {}: {e}", entry.key))?;
+            validated.push((entry.key, record));
+        }
+        let mut bytes_stored = 0u64;
+        let mut keys = Vec::with_capacity(validated.len());
+        for (key, record) in validated {
+            bytes_stored += record.len() as u64;
+            self.tensors
+                .put(&key.encode(), record, 1)
+                .map_err(|e| format!("store optimizer tensor {key}: {e}"))?;
+            keys.push(key);
+        }
+        rec.optimizer_keys = keys;
+        let rec_clone = rec.clone();
+        let timestamp = rec.timestamp;
+        drop(catalog);
+        self.persist_record(req.model, &rec_clone);
+        Ok(StoreModelReply {
+            timestamp,
+            bytes_stored,
+        })
+    }
+
+    /// Handle fetching a model's optimizer state.
+    pub fn handle_load_optimizer(
+        &self,
+        req: LoadOptimizerRequest,
+    ) -> Result<ReadTensorsReply, String> {
+        let keys = {
+            let catalog = self.catalog.read();
+            let rec = catalog
+                .get(&req.model)
+                .ok_or_else(|| format!("model {} not found", req.model))?;
+            rec.optimizer_keys.clone()
+        };
+        let mut buf = BytesMut::new();
+        let mut manifest = Vec::with_capacity(keys.len());
+        for key in keys {
+            let record = self
+                .tensors
+                .get(&key.encode())
+                .map_err(|_| format!("optimizer tensor {key} not stored"))?;
+            manifest.push(ManifestEntry {
+                key,
+                offset: buf.len() as u64,
+                len: record.len() as u64,
+            });
+            buf.extend_from_slice(&record);
+        }
+        let bulk = self.fabric.bulk_expose(buf.freeze());
+        Ok(ReadTensorsReply {
+            manifest,
+            bulk: bulk.0,
+        })
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ProviderStats {
+        let catalog = self.catalog.read();
+        ProviderStats {
+            models: catalog.len(),
+            tensors: self.tensors.len(),
+            tensor_bytes: self.tensors.bytes_used() as u64,
+            metadata_bytes: catalog
+                .values()
+                .map(|r| r.owner_map.metadata_bytes() as u64)
+                .sum(),
+        }
+    }
+
+    /// Models cataloged here (diagnostics/tests).
+    pub fn cataloged_models(&self) -> Vec<ModelId> {
+        let mut v: Vec<ModelId> = self.catalog.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Reference count of a hosted tensor (tests/GC audits).
+    pub fn tensor_refs(&self, key: TensorKey) -> u64 {
+        self.tensors.refs(&key.encode())
+    }
+
+    /// Owner maps of all cataloged models (GC audits).
+    pub fn owner_maps(&self) -> Vec<OwnerMap> {
+        self.catalog
+            .read()
+            .values()
+            .map(|r| r.owner_map.clone())
+            .collect()
+    }
+
+    /// Consistency check between the refcount wrapper and the backend.
+    pub fn audit_tensors(&self) -> Result<(), String> {
+        self.tensors.audit()
+    }
+
+    /// Insert a metadata-only catalog entry (no tensors) — the tensor-less
+    /// catalog population path of the Fig 5 micro-benchmark, where "the
+    /// actual DL model tensors are not stored" (§5.5).
+    pub fn insert_meta_only(&self, model: ModelId, graph: CompactGraph, quality: f64) {
+        assert!(
+            self.places_here(model),
+            "model {model} does not hash to provider {}",
+            self.index
+        );
+        let owner_map = OwnerMap::fresh(model, &graph);
+        let timestamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.catalog.write().insert(
+            model,
+            ModelRecord {
+                graph: Arc::new(graph),
+                owner_map,
+                parent: None,
+                quality,
+                timestamp,
+                optimizer_keys: Vec::new(),
+            },
+        );
+    }
+
+    /// Optimizer keys referenced by local catalog records (GC audits).
+    pub fn optimizer_key_refs(&self) -> Vec<TensorKey> {
+        self.catalog
+            .read()
+            .values()
+            .flat_map(|r| r.optimizer_keys.clone())
+            .collect()
+    }
+
+    /// Keys of every tensor hosted here (GC audits).
+    pub fn hosted_tensor_keys(&self) -> Vec<TensorKey> {
+        self.tensors
+            .backend()
+            .keys()
+            .iter()
+            .filter_map(|k| TensorKey::decode(k))
+            .collect()
+    }
+}
+
+/// A running provider: shared state + its fabric endpoint.
+pub struct Provider {
+    /// Shared state (handlers hold clones of this Arc).
+    pub state: Arc<ProviderState>,
+    endpoint: Endpoint,
+}
+
+impl Provider {
+    /// Spawn a provider on `fabric` as provider `index` of
+    /// `num_providers`, with the given tensor backend and RPC service
+    /// thread count.
+    pub fn spawn(
+        fabric: Arc<Fabric>,
+        index: usize,
+        num_providers: usize,
+        clock: Arc<AtomicU64>,
+        backend: Box<dyn KvBackend>,
+        meta_store: Box<dyn KvBackend>,
+        service_threads: usize,
+    ) -> Provider {
+        let endpoint = fabric.create_endpoint(service_threads);
+        let state = Arc::new(ProviderState {
+            fabric: Arc::clone(&fabric),
+            index,
+            num_providers,
+            tensors: RefCountedStore::new(backend),
+            catalog: RwLock::new(HashMap::new()),
+            meta_store,
+            clock,
+        });
+
+        let s = Arc::clone(&state);
+        endpoint.register(methods::STORE, typed_handler(move |r| s.handle_store(r)));
+        let s = Arc::clone(&state);
+        endpoint.register(methods::GET_META, typed_handler(move |r| s.handle_get_meta(r)));
+        let s = Arc::clone(&state);
+        endpoint.register(methods::READ, typed_handler(move |r| s.handle_read(r)));
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::INCR_REFS,
+            typed_handler(move |r| s.handle_incr_refs(r)),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::DECR_REFS,
+            typed_handler(move |r| s.handle_decr_refs(r)),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(methods::LCP, typed_handler(move |r| s.handle_lcp(r)));
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::RETIRE_META,
+            typed_handler(move |r| s.handle_retire_meta(r)),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::READ_RANGE,
+            typed_handler(move |r| s.handle_read_range(r)),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::MATCH_PATTERN,
+            typed_handler(move |r| s.handle_match_pattern(r)),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::STORE_OPTIMIZER,
+            typed_handler(move |r| s.handle_store_optimizer(r)),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::LOAD_OPTIMIZER,
+            typed_handler(move |r| s.handle_load_optimizer(r)),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::STATS,
+            typed_handler(move |_: StatsRequest| Ok(s.stats())),
+        );
+
+        Provider { state, endpoint }
+    }
+
+    /// The provider's fabric address.
+    pub fn endpoint_id(&self) -> EndpointId {
+        self.endpoint.id()
+    }
+}

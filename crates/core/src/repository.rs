@@ -1,0 +1,213 @@
+//! The repository abstraction the NAS workflow drives.
+//!
+//! Fig 6-10 compare three configurations: EvoStore, HDF5+PFS (with a
+//! Redis-style metadata server), and no repository at all. The NAS driver
+//! programs against this trait; `evostore-core` implements it for
+//! [`EvoStoreClient`], `evostore-baseline` for the HDF5+PFS stack.
+
+use std::collections::HashMap;
+
+use evostore_graph::{CompactGraph, LcpResult};
+use evostore_tensor::{ModelId, TensorData, TensorKey, VertexId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::client::{BestAncestor, EvoStoreClient};
+use crate::owner_map::OwnerMap;
+
+/// A transfer source selected by a best-ancestor query.
+#[derive(Debug, Clone)]
+pub struct TransferSource {
+    /// The ancestor to transfer from.
+    pub ancestor: ModelId,
+    /// Its quality metric.
+    pub quality: f64,
+    /// LCP of the candidate graph against the ancestor.
+    pub lcp: LcpResult,
+}
+
+impl TransferSource {
+    /// Fraction of the candidate's vertices covered by the prefix.
+    pub fn prefix_fraction(&self, graph: &CompactGraph) -> f64 {
+        self.lcp.fraction_of(graph)
+    }
+
+    /// Parameter bytes covered by the prefix (what transfer saves).
+    pub fn prefix_bytes(&self, graph: &CompactGraph) -> usize {
+        graph.param_bytes_of(&self.lcp.prefix)
+    }
+}
+
+/// Outcome of fetching transferred weights.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FetchOutcome {
+    /// Tensor payload bytes read.
+    pub bytes_read: u64,
+    /// Tensors fetched.
+    pub tensors: usize,
+    /// Modeled seconds charged by the repository's own medium (the
+    /// simulated PFS for the baseline; 0 for EvoStore, whose transfer
+    /// time the caller derives from `bytes_read` and the fabric model).
+    pub model_seconds: f64,
+}
+
+/// Outcome of storing a trained candidate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreOutcomeStats {
+    /// Tensor payload bytes written (incremental for EvoStore, full for
+    /// the baselines).
+    pub bytes_written: u64,
+    /// Tensors written.
+    pub tensors: usize,
+    /// True when a derived store lost a race with the ancestor's
+    /// retirement and fell back to storing the model from scratch.
+    pub fell_back_fresh: bool,
+    /// Modeled seconds charged by the repository's own medium (see
+    /// [`FetchOutcome::model_seconds`]).
+    pub model_seconds: f64,
+}
+
+/// Outcome of retiring a candidate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetireOutcomeStats {
+    /// Tensors physically reclaimed.
+    pub reclaimed: usize,
+    /// Modeled seconds charged by the repository's own medium.
+    pub model_seconds: f64,
+}
+
+/// A model repository, as seen by the NAS workflow.
+pub trait ModelRepository: Send + Sync {
+    /// Human-readable name for reports ("EvoStore", "HDF5+PFS").
+    fn name(&self) -> &'static str;
+
+    /// Best transfer source for a candidate architecture, if any.
+    fn find_transfer_source(&self, graph: &CompactGraph) -> Option<TransferSource>;
+
+    /// Fetch the prefix weights from the source (the transfer read).
+    /// `None` when the source vanished (retired between query and fetch);
+    /// the worker then trains from scratch.
+    fn fetch_transfer(&self, graph: &CompactGraph, src: &TransferSource) -> Option<FetchOutcome>;
+
+    /// Store a trained candidate. When `src` is given, the layers inside
+    /// its prefix were frozen during training (only the rest changed);
+    /// `seed` determinizes the simulated trained weights.
+    fn store_candidate(
+        &self,
+        model: ModelId,
+        graph: &CompactGraph,
+        src: Option<&TransferSource>,
+        quality: f64,
+        seed: u64,
+    ) -> StoreOutcomeStats;
+
+    /// Retire a candidate dropped from the NAS population.
+    fn retire_candidate(&self, model: ModelId) -> RetireOutcomeStats;
+
+    /// Total stored bytes (tensor payload + metadata) — Fig 10's metric.
+    fn storage_bytes(&self) -> u64;
+}
+
+/// Generate simulated "trained" tensors for the given self-owned keys.
+pub fn trained_tensors(
+    graph: &CompactGraph,
+    owner_map: &OwnerMap,
+    seed: u64,
+) -> HashMap<TensorKey, TensorData> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = HashMap::new();
+    for v in owner_map.self_owned() {
+        for spec in graph.param_specs(VertexId(v.0)) {
+            out.insert(
+                TensorKey::new(owner_map.model, v, spec.slot),
+                spec.random(&mut rng),
+            );
+        }
+    }
+    out
+}
+
+impl ModelRepository for EvoStoreClient {
+    fn name(&self) -> &'static str {
+        "EvoStore"
+    }
+
+    fn find_transfer_source(&self, graph: &CompactGraph) -> Option<TransferSource> {
+        self.query_best_ancestor(graph)
+            .ok()
+            .flatten()
+            .map(|b| TransferSource {
+                ancestor: b.model,
+                quality: b.quality,
+                lcp: b.lcp,
+            })
+    }
+
+    fn fetch_transfer(&self, _graph: &CompactGraph, src: &TransferSource) -> Option<FetchOutcome> {
+        let best = BestAncestor {
+            model: src.ancestor,
+            quality: src.quality,
+            lcp: src.lcp.clone(),
+        };
+        // A failed fetch means the ancestor was retired in between — the
+        // legitimate race of a concurrent NAS; the caller falls back.
+        self.fetch_prefix(&best).ok().map(|(_meta, tensors)| FetchOutcome {
+            bytes_read: tensors.values().map(|t| t.byte_len() as u64).sum(),
+            tensors: tensors.len(),
+            model_seconds: 0.0,
+        })
+    }
+
+    fn store_candidate(
+        &self,
+        model: ModelId,
+        graph: &CompactGraph,
+        src: Option<&TransferSource>,
+        quality: f64,
+        seed: u64,
+    ) -> StoreOutcomeStats {
+        if let Some(s) = src {
+            // Derived store; may lose a race with the ancestor's retirement.
+            let derived = self.get_meta(s.ancestor).and_then(|meta| {
+                let owner_map = OwnerMap::derive(model, graph, &s.lcp, &meta.owner_map);
+                let tensors = trained_tensors(graph, &owner_map, seed);
+                self.store_model(graph.clone(), owner_map, Some(s.ancestor), quality, &tensors)
+            });
+            if let Ok(o) = derived {
+                return StoreOutcomeStats {
+                    bytes_written: o.bytes_written,
+                    tensors: o.tensors_written,
+                    fell_back_fresh: false,
+                    model_seconds: 0.0,
+                };
+            }
+        }
+        let owner_map = OwnerMap::fresh(model, graph);
+        let tensors = trained_tensors(graph, &owner_map, seed);
+        let o = self
+            .store_model(graph.clone(), owner_map, None, quality, &tensors)
+            .expect("fresh store must succeed");
+        StoreOutcomeStats {
+            bytes_written: o.bytes_written,
+            tensors: o.tensors_written,
+            fell_back_fresh: src.is_some(),
+            model_seconds: 0.0,
+        }
+    }
+
+    fn retire_candidate(&self, model: ModelId) -> RetireOutcomeStats {
+        let o = self
+            .retire_model(model)
+            .expect("retiring a cataloged model must succeed");
+        RetireOutcomeStats {
+            reclaimed: o.tensors_reclaimed,
+            model_seconds: 0.0,
+        }
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.stats()
+            .map(|s| s.tensor_bytes + s.metadata_bytes)
+            .unwrap_or(0)
+    }
+}

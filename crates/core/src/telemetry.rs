@@ -1,0 +1,205 @@
+//! Client-side operation telemetry.
+//!
+//! Lock-free log-scaled latency histograms for every repository
+//! operation class. The figure harnesses and production deployments use
+//! these to report p50/p95/p99 without holding raw samples.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of log2 buckets: bucket `i` covers `[2^i, 2^(i+1))` microseconds,
+/// with the last bucket catching everything slower (~2.3 hours).
+const BUCKETS: usize = 43;
+
+/// A log2-scaled latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Fresh histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record a duration.
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_us(d.as_micros() as u64);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Maximum recorded latency in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile (upper bound of the bucket containing it).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((n as f64) * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1); // bucket upper bound
+            }
+        }
+        self.max_us()
+    }
+
+    /// One-line report: `n=..., mean=..us, p50<=..us, p95<=..us, max=..us`.
+    pub fn report(&self) -> String {
+        format!(
+            "n={} mean={:.0}us p50<={}us p95<={}us p99<={}us max={}us",
+            self.count(),
+            self.mean_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.95),
+            self.quantile_us(0.99),
+            self.max_us()
+        )
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-operation-class telemetry of one client (shared by clones).
+#[derive(Debug, Default)]
+pub struct ClientTelemetry {
+    /// LCP best-ancestor queries.
+    pub query: LatencyHistogram,
+    /// Tensor fetches (grouped reads).
+    pub fetch: LatencyHistogram,
+    /// Model stores.
+    pub store: LatencyHistogram,
+    /// Retirements.
+    pub retire: LatencyHistogram,
+}
+
+impl ClientTelemetry {
+    /// Fresh telemetry.
+    pub fn new() -> ClientTelemetry {
+        ClientTelemetry::default()
+    }
+
+    /// Time a closure into the given histogram.
+    pub fn time<T>(hist: &LatencyHistogram, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        hist.record(t0.elapsed());
+        out
+    }
+
+    /// Multi-line report over all operation classes.
+    pub fn report(&self) -> String {
+        format!(
+            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}",
+            self.query.report(),
+            self.fetch.report(),
+            self.store.report(),
+            self.retire.report()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let h = LatencyHistogram::new();
+        h.record_us(1);
+        h.record_us(2);
+        h.record_us(3);
+        h.record_us(1000);
+        assert_eq!(h.count(), 4);
+        assert!(h.mean_us() > 200.0);
+        assert_eq!(h.max_us(), 1000);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_upper_bounds() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120] {
+            h.record_us(us);
+        }
+        let p50 = h.quantile_us(0.5);
+        let p95 = h.quantile_us(0.95);
+        assert!(p50 <= p95);
+        assert!(p50 >= 160, "p50 bound {p50} too low");
+        assert!(p95 >= 5120, "p95 bound {p95} too low");
+    }
+
+    #[test]
+    fn zero_latency_is_clamped() {
+        let h = LatencyHistogram::new();
+        h.record_us(0);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_us(1.0) >= 1);
+    }
+
+    #[test]
+    fn report_formats() {
+        let t = ClientTelemetry::new();
+        ClientTelemetry::time(&t.query, || std::thread::sleep(std::time::Duration::from_micros(50)));
+        let r = t.report();
+        assert!(r.contains("query:"));
+        assert!(r.contains("n=1"));
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 1..=100u64 {
+                        h.record_us(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 800);
+    }
+}

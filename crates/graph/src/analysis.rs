@@ -1,0 +1,258 @@
+//! Architecture analysis utilities: structural diffs, summaries, and
+//! Graphviz export.
+//!
+//! These back the provenance/debugging workflows the paper's conclusion
+//! sketches ("explain or debug model performance ... similar to how git
+//! does for source code"): a structural diff between two architectures,
+//! per-kind composition statistics, and DOT rendering of compact graphs
+//! with optional LCP highlighting.
+
+use std::collections::HashMap;
+
+use evostore_tensor::VertexId;
+
+use crate::compact::CompactGraph;
+use crate::lcp::LcpResult;
+
+/// Structural difference between a graph `G` and an ancestor `A`,
+/// relative to a computed LCP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphDiff {
+    /// Vertices of `G` inside the shared prefix.
+    pub shared: Vec<VertexId>,
+    /// Vertices of `G` outside the prefix (new/changed in `G`).
+    pub added: Vec<VertexId>,
+    /// Vertices of `A` not matched by any prefix vertex (removed or
+    /// changed relative to `G`).
+    pub removed: Vec<VertexId>,
+}
+
+impl GraphDiff {
+    /// Compute the diff induced by an LCP result.
+    pub fn from_lcp(g: &CompactGraph, a: &CompactGraph, lcp: &LcpResult) -> GraphDiff {
+        let mut matched_a = vec![false; a.len()];
+        for v in &lcp.prefix {
+            if let Some(av) = lcp.match_in_ancestor[v.0 as usize] {
+                matched_a[av.0 as usize] = true;
+            }
+        }
+        let shared = lcp.prefix.clone();
+        let in_prefix: std::collections::HashSet<u32> =
+            lcp.prefix.iter().map(|v| v.0).collect();
+        let added = g
+            .vertex_ids()
+            .filter(|v| !in_prefix.contains(&v.0))
+            .collect();
+        let removed = a
+            .vertex_ids()
+            .filter(|v| !matched_a[v.0 as usize])
+            .collect();
+        GraphDiff {
+            shared,
+            added,
+            removed,
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} shared, {} added, {} removed",
+            self.shared.len(),
+            self.added.len(),
+            self.removed.len()
+        )
+    }
+}
+
+/// Per-kind composition and shape statistics of one architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchStats {
+    /// Leaf-layer count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Longest path length (depth) in vertices.
+    pub depth: usize,
+    /// Maximum in-degree (joins).
+    pub max_in_degree: u32,
+    /// Total parameters.
+    pub params: usize,
+    /// Total parameter bytes.
+    pub param_bytes: usize,
+    /// Count per layer kind name.
+    pub kind_counts: HashMap<&'static str, usize>,
+}
+
+/// Compute [`ArchStats`] for a compact graph.
+pub fn arch_stats(g: &CompactGraph) -> ArchStats {
+    let mut kind_counts: HashMap<&'static str, usize> = HashMap::new();
+    let mut params = 0usize;
+    let mut max_in = 0u32;
+    for v in g.vertex_ids() {
+        let cfg = &g.vertex(v).config;
+        *kind_counts.entry(cfg.kind.name()).or_default() += 1;
+        params += cfg.param_count();
+        max_in = max_in.max(g.in_degree(v));
+    }
+    // Longest path over the topological order.
+    let order = g.topo_order();
+    let mut dist = vec![1usize; g.len()];
+    for &u in &order {
+        for &v in g.out(u) {
+            dist[v as usize] = dist[v as usize].max(dist[u.0 as usize] + 1);
+        }
+    }
+    ArchStats {
+        vertices: g.len(),
+        edges: g.edge_count(),
+        depth: dist.iter().copied().max().unwrap_or(0),
+        max_in_degree: max_in,
+        params,
+        param_bytes: g.total_param_bytes(),
+        kind_counts,
+    }
+}
+
+/// Render a compact graph as Graphviz DOT. Vertices inside
+/// `highlight_prefix` (an LCP result, if given) are drawn filled — the
+/// visual version of Figure 2.
+pub fn to_dot(g: &CompactGraph, highlight: Option<&LcpResult>) -> String {
+    let in_prefix: std::collections::HashSet<u32> = highlight
+        .map(|r| r.prefix.iter().map(|v| v.0).collect())
+        .unwrap_or_default();
+    let mut out = String::from("digraph model {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for v in g.vertex_ids() {
+        let cfg = &g.vertex(v).config;
+        let style = if in_prefix.contains(&v.0) {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  v{} [label=\"{}: {}\"{}];\n",
+            v.0,
+            v.0,
+            cfg.kind.name(),
+            style
+        ));
+    }
+    for (from, to) in g.edge_list() {
+        out.push_str(&format!("  v{from} -> v{to};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::flatten::flatten;
+    use crate::layer::{Activation, LayerConfig, LayerKind};
+    use crate::lcp::lcp;
+
+    fn seq(units: &[u32]) -> CompactGraph {
+        let mut a = Architecture::new("seq");
+        let mut prev = a.add_layer(LayerConfig::new(
+            "in",
+            LayerKind::Input {
+                shape: vec![units[0]],
+            },
+        ));
+        let mut inf = units[0];
+        for (i, &u) in units.iter().enumerate().skip(1) {
+            prev = a.chain(
+                prev,
+                LayerConfig::new(
+                    format!("d{i}"),
+                    LayerKind::Dense {
+                        in_features: inf,
+                        units: u,
+                        activation: Activation::ReLU,
+                    },
+                ),
+            );
+            inf = u;
+        }
+        flatten(&a).unwrap()
+    }
+
+    #[test]
+    fn diff_partitions_vertices() {
+        let g = seq(&[4, 8, 8, 2]);
+        let a = seq(&[4, 8, 9, 3]);
+        let r = lcp(&g, &a);
+        let d = GraphDiff::from_lcp(&g, &a, &r);
+        assert_eq!(d.shared.len() + d.added.len(), g.len());
+        assert_eq!(d.shared.len(), r.len());
+        // A's unmatched vertices: the two differing dense layers.
+        assert_eq!(d.removed.len(), 2);
+        assert!(d.summary().contains("shared"));
+    }
+
+    #[test]
+    fn identical_graphs_diff_empty() {
+        let g = seq(&[4, 8, 2]);
+        let r = lcp(&g, &g);
+        let d = GraphDiff::from_lcp(&g, &g, &r);
+        assert_eq!(d.added.len(), 0);
+        assert_eq!(d.removed.len(), 0);
+        assert_eq!(d.shared.len(), g.len());
+    }
+
+    #[test]
+    fn stats_capture_shape() {
+        let g = seq(&[4, 8, 8, 2]);
+        let s = arch_stats(&g);
+        assert_eq!(s.vertices, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.depth, 4); // a pure chain
+        assert_eq!(s.max_in_degree, 1);
+        assert_eq!(s.kind_counts["dense"], 3);
+        assert_eq!(s.kind_counts["input"], 1);
+        assert_eq!(s.params, (4 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2));
+        assert_eq!(s.param_bytes, s.params * 4);
+    }
+
+    #[test]
+    fn depth_of_branching_graph() {
+        // input -> a -> add ; input -> add (skip): depth 3.
+        let mut m = Architecture::new("m");
+        let i = m.add_layer(LayerConfig::new("in", LayerKind::Input { shape: vec![4] }));
+        let a = m.chain(
+            i,
+            LayerConfig::new(
+                "a",
+                LayerKind::Dense {
+                    in_features: 4,
+                    units: 4,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        let add = m.add_layer(LayerConfig::new("add", LayerKind::Add));
+        m.connect(a, add);
+        m.connect(i, add);
+        let g = flatten(&m).unwrap();
+        let s = arch_stats(&g);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.max_in_degree, 2);
+    }
+
+    #[test]
+    fn dot_export_mentions_every_vertex_and_edge() {
+        let g = seq(&[4, 8, 2]);
+        let r = lcp(&g, &g);
+        let dot = to_dot(&g, Some(&r));
+        assert!(dot.starts_with("digraph"));
+        for v in g.vertex_ids() {
+            assert!(dot.contains(&format!("v{} [", v.0)));
+        }
+        assert_eq!(dot.matches("->").count(), g.edge_count());
+        // Highlighted prefix produces filled nodes.
+        assert_eq!(dot.matches("fillcolor").count(), g.len());
+        // Without highlight: none.
+        assert_eq!(to_dot(&g, None).matches("fillcolor").count(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Nested (Keras-style) model architectures.
+//!
+//! High-level AI runtimes express layers *recursively*: a "layer" may itself
+//! be a whole submodel, nested arbitrarily deep, whose leaves hold the
+//! actual parameters (§4.2). [`Architecture`] models exactly that: a DAG
+//! whose nodes are either leaf layers or nested architectures.
+//!
+//! The repository never stores this form — it flattens it into a
+//! [`crate::CompactGraph`] of leaf layers first (see [`crate::flatten()`](crate::flatten::flatten)).
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::LayerConfig;
+
+/// A node of a (possibly nested) architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArchNode {
+    /// A leaf layer holding parameters (or a parameter-free op).
+    Leaf(LayerConfig),
+    /// A nested submodel with its own internal DAG.
+    Submodel(Box<Architecture>),
+}
+
+/// Handle to a node inside an [`Architecture`] under construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef(pub u32);
+
+/// A directed acyclic graph of [`ArchNode`]s.
+///
+/// Edges connect nodes *within one nesting level*. An edge into a submodel
+/// feeds the submodel's internal source layer(s); an edge out of a submodel
+/// leaves from its internal sink layer(s) — mirroring how functional Keras
+/// wires nested models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    /// Display name (non-semantic).
+    pub name: String,
+    nodes: Vec<ArchNode>,
+    edges: Vec<(u32, u32)>,
+}
+
+/// Structural problems detected by [`Architecture::validate`] (or during
+/// flattening).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchError {
+    /// The architecture (or a submodel) has no nodes.
+    Empty,
+    /// An edge endpoint is out of range.
+    EdgeOutOfRange { from: u32, to: u32, nodes: usize },
+    /// The same edge was added twice.
+    DuplicateEdge { from: u32, to: u32 },
+    /// A self-loop.
+    SelfLoop { node: u32 },
+    /// The expanded leaf-layer graph contains a cycle.
+    Cycle,
+    /// The expanded graph has `count` source vertices; exactly one is
+    /// required (the input layer).
+    MultipleSources { count: usize },
+    /// `count` leaf vertices are unreachable from the input layer.
+    Unreachable { count: usize },
+}
+
+impl std::fmt::Display for ArchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchError::Empty => write!(f, "architecture has no nodes"),
+            ArchError::EdgeOutOfRange { from, to, nodes } => {
+                write!(f, "edge ({from},{to}) out of range for {nodes} nodes")
+            }
+            ArchError::DuplicateEdge { from, to } => write!(f, "duplicate edge ({from},{to})"),
+            ArchError::SelfLoop { node } => write!(f, "self-loop on node {node}"),
+            ArchError::Cycle => write!(f, "architecture graph contains a cycle"),
+            ArchError::MultipleSources { count } => {
+                write!(f, "expected exactly one input layer, found {count} sources")
+            }
+            ArchError::Unreachable { count } => {
+                write!(f, "{count} leaf layers unreachable from the input layer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+impl Architecture {
+    /// Empty architecture with a display name.
+    pub fn new(name: impl Into<String>) -> Architecture {
+        Architecture {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a leaf layer; returns its handle.
+    pub fn add_layer(&mut self, config: LayerConfig) -> NodeRef {
+        self.nodes.push(ArchNode::Leaf(config));
+        NodeRef(self.nodes.len() as u32 - 1)
+    }
+
+    /// Add a nested submodel; returns its handle.
+    pub fn add_submodel(&mut self, sub: Architecture) -> NodeRef {
+        self.nodes.push(ArchNode::Submodel(Box::new(sub)));
+        NodeRef(self.nodes.len() as u32 - 1)
+    }
+
+    /// Connect `from -> to` at this nesting level.
+    pub fn connect(&mut self, from: NodeRef, to: NodeRef) {
+        self.edges.push((from.0, to.0));
+    }
+
+    /// Convenience: add `config` and connect `after -> new`; returns the new
+    /// node. Lets sequential models be written as a fold.
+    pub fn chain(&mut self, after: NodeRef, config: LayerConfig) -> NodeRef {
+        let n = self.add_layer(config);
+        self.connect(after, n);
+        n
+    }
+
+    /// Nodes at this level.
+    pub fn nodes(&self) -> &[ArchNode] {
+        &self.nodes
+    }
+
+    /// Edges at this level.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Number of *leaf* layers across all nesting levels.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                ArchNode::Leaf(_) => 1,
+                ArchNode::Submodel(s) => s.leaf_count(),
+            })
+            .sum()
+    }
+
+    /// Maximum nesting depth (a flat model has depth 1).
+    pub fn nesting_depth(&self) -> usize {
+        1 + self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                ArchNode::Leaf(_) => 0,
+                ArchNode::Submodel(s) => s.nesting_depth(),
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total parameter bytes across all leaf layers.
+    pub fn param_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                ArchNode::Leaf(c) => c.param_bytes(),
+                ArchNode::Submodel(s) => s.param_bytes(),
+            })
+            .sum()
+    }
+
+    /// Validate the *local* structure of this level and all submodels:
+    /// non-empty, edges in range, no duplicates, no self-loops.
+    ///
+    /// Global properties (acyclicity, single source, reachability) are
+    /// checked on the expanded graph by [`crate::flatten::flatten`].
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.nodes.is_empty() {
+            return Err(ArchError::Empty);
+        }
+        let n = self.nodes.len() as u32;
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &self.edges {
+            if a >= n || b >= n {
+                return Err(ArchError::EdgeOutOfRange {
+                    from: a,
+                    to: b,
+                    nodes: self.nodes.len(),
+                });
+            }
+            if a == b {
+                return Err(ArchError::SelfLoop { node: a });
+            }
+            if !seen.insert((a, b)) {
+                return Err(ArchError::DuplicateEdge { from: a, to: b });
+            }
+        }
+        for node in &self.nodes {
+            if let ArchNode::Submodel(s) = node {
+                s.validate()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, LayerKind};
+
+    fn dense(n: &str, i: u32, u: u32) -> LayerConfig {
+        LayerConfig::new(
+            n,
+            LayerKind::Dense {
+                in_features: i,
+                units: u,
+                activation: Activation::ReLU,
+            },
+        )
+    }
+
+    #[test]
+    fn builder_chain() {
+        let mut a = Architecture::new("m");
+        let input = a.add_layer(LayerConfig::new("in", LayerKind::Input { shape: vec![8] }));
+        let d1 = a.chain(input, dense("d1", 8, 16));
+        let _d2 = a.chain(d1, dense("d2", 16, 4));
+        assert_eq!(a.leaf_count(), 3);
+        assert_eq!(a.edges().len(), 2);
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn nesting_depth_and_leaf_count() {
+        let mut inner = Architecture::new("inner");
+        let i0 = inner.add_layer(dense("a", 4, 4));
+        inner.chain(i0, dense("b", 4, 4));
+
+        let mut outer = Architecture::new("outer");
+        let input = outer.add_layer(LayerConfig::new("in", LayerKind::Input { shape: vec![4] }));
+        let sub = outer.add_submodel(inner);
+        outer.connect(input, sub);
+
+        assert_eq!(outer.leaf_count(), 3);
+        assert_eq!(outer.nesting_depth(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_bad_edges() {
+        let mut a = Architecture::new("m");
+        let x = a.add_layer(dense("x", 2, 2));
+        a.connect(x, NodeRef(9));
+        assert!(matches!(
+            a.validate(),
+            Err(ArchError::EdgeOutOfRange { .. })
+        ));
+
+        let mut b = Architecture::new("m");
+        let y = b.add_layer(dense("y", 2, 2));
+        b.connect(y, y);
+        assert_eq!(b.validate(), Err(ArchError::SelfLoop { node: 0 }));
+
+        let mut c = Architecture::new("m");
+        let p = c.add_layer(dense("p", 2, 2));
+        let q = c.add_layer(dense("q", 2, 2));
+        c.connect(p, q);
+        c.connect(p, q);
+        assert_eq!(c.validate(), Err(ArchError::DuplicateEdge { from: 0, to: 1 }));
+    }
+
+    #[test]
+    fn validate_recurses_into_submodels() {
+        let mut bad_inner = Architecture::new("inner");
+        let z = bad_inner.add_layer(dense("z", 2, 2));
+        bad_inner.connect(z, z);
+
+        let mut outer = Architecture::new("outer");
+        outer.add_submodel(bad_inner);
+        assert_eq!(outer.validate(), Err(ArchError::SelfLoop { node: 0 }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(Architecture::new("e").validate(), Err(ArchError::Empty));
+    }
+
+    #[test]
+    fn param_bytes_sums_leaves() {
+        let mut a = Architecture::new("m");
+        a.add_layer(dense("d", 8, 8)); // 8*8+8 = 72 f32 = 288 bytes
+        assert_eq!(a.param_bytes(), 288);
+    }
+}

@@ -1,0 +1,341 @@
+//! Flattening nested architectures into compact leaf-layer graphs.
+//!
+//! §4.2: "we 'flatten' the model architecture into a single hierarchy of
+//! leaf layers. Flattening recursively visits all complex layers starting
+//! from the input layer in a deterministic fashion (e.g., a
+//! breadth-first-search). During this process, we construct (...) a compact
+//! architecture graph of the leaf layers that assigns unique IDs to the
+//! vertices and retains the edges between the vertices."
+//!
+//! Expansion splices each submodel into its parent level: edges *into* a
+//! submodel node attach to the submodel's internal sources, edges *out of*
+//! it leave from its internal sinks. A final deterministic BFS from the
+//! unique global source renumbers vertices (so vertex `0` is always the
+//! input layer) and verifies reachability and acyclicity.
+
+use std::collections::VecDeque;
+
+use crate::arch::{ArchError, ArchNode, Architecture};
+use crate::compact::{CompactGraph, CompactVertex};
+use crate::layer::LayerConfig;
+
+/// Expanded (pre-renumbering) graph of one nesting level.
+struct Expanded {
+    configs: Vec<LayerConfig>,
+    edges: Vec<(usize, usize)>,
+    /// Leaf vertices acting as this level's inputs.
+    sources: Vec<usize>,
+    /// Leaf vertices acting as this level's outputs.
+    sinks: Vec<usize>,
+}
+
+fn expand(arch: &Architecture) -> Result<Expanded, ArchError> {
+    arch.validate()?;
+
+    let mut configs: Vec<LayerConfig> = Vec::with_capacity(arch.leaf_count());
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Per level-node: the expanded sources/sinks it exposes.
+    let mut node_sources: Vec<Vec<usize>> = Vec::with_capacity(arch.nodes().len());
+    let mut node_sinks: Vec<Vec<usize>> = Vec::with_capacity(arch.nodes().len());
+
+    for node in arch.nodes() {
+        match node {
+            ArchNode::Leaf(cfg) => {
+                let id = configs.len();
+                configs.push(cfg.clone());
+                node_sources.push(vec![id]);
+                node_sinks.push(vec![id]);
+            }
+            ArchNode::Submodel(sub) => {
+                let inner = expand(sub)?;
+                let off = configs.len();
+                configs.extend(inner.configs);
+                edges.extend(inner.edges.iter().map(|&(a, b)| (a + off, b + off)));
+                node_sources.push(inner.sources.iter().map(|&s| s + off).collect());
+                node_sinks.push(inner.sinks.iter().map(|&s| s + off).collect());
+            }
+        }
+    }
+
+    // Wire level edges: every sink of `a`'s expansion feeds every source of
+    // `b`'s expansion.
+    let n = arch.nodes().len();
+    let mut level_in = vec![0usize; n];
+    let mut level_out = vec![0usize; n];
+    for &(a, b) in arch.edges() {
+        level_out[a as usize] += 1;
+        level_in[b as usize] += 1;
+        for &s in &node_sinks[a as usize] {
+            for &t in &node_sources[b as usize] {
+                edges.push((s, t));
+            }
+        }
+    }
+
+    // This level's sources/sinks: expansions of nodes with no level edges
+    // in/out.
+    let mut sources = Vec::new();
+    let mut sinks = Vec::new();
+    for i in 0..n {
+        if level_in[i] == 0 {
+            sources.extend(node_sources[i].iter().copied());
+        }
+        if level_out[i] == 0 {
+            sinks.extend(node_sinks[i].iter().copied());
+        }
+    }
+
+    Ok(Expanded {
+        configs,
+        edges,
+        sources,
+        sinks,
+    })
+}
+
+/// Flatten a nested architecture into a [`CompactGraph`].
+///
+/// Errors when the architecture is structurally invalid, has no unique
+/// input layer, contains a cycle, or has leaf layers unreachable from the
+/// input.
+pub fn flatten(arch: &Architecture) -> Result<CompactGraph, ArchError> {
+    let ex = expand(arch)?;
+    let n = ex.configs.len();
+
+    if ex.sources.len() != 1 {
+        return Err(ArchError::MultipleSources {
+            count: ex.sources.len(),
+        });
+    }
+    let root = ex.sources[0];
+
+    // Adjacency in expansion order (deterministic).
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0u32; n];
+    for &(a, b) in &ex.edges {
+        out[a].push(b);
+        indeg[b] += 1;
+    }
+
+    // Acyclicity (Kahn over the expanded graph).
+    {
+        let mut d = indeg.clone();
+        let mut q: VecDeque<usize> = (0..n).filter(|&v| d[v] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = q.pop_front() {
+            seen += 1;
+            for &v in &out[u] {
+                d[v] -= 1;
+                if d[v] == 0 {
+                    q.push_back(v);
+                }
+            }
+        }
+        if seen != n {
+            return Err(ArchError::Cycle);
+        }
+    }
+
+    // Deterministic BFS renumbering from the root.
+    let mut new_id = vec![u32::MAX; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut q = VecDeque::new();
+    new_id[root] = 0;
+    order.push(root);
+    q.push_back(root);
+    while let Some(u) = q.pop_front() {
+        for &v in &out[u] {
+            if new_id[v] == u32::MAX {
+                new_id[v] = order.len() as u32;
+                order.push(v);
+                q.push_back(v);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(ArchError::Unreachable {
+            count: n - order.len(),
+        });
+    }
+
+    let vertices: Vec<CompactVertex> = order
+        .iter()
+        .map(|&old| {
+            let config = ex.configs[old].clone();
+            let sig = config.signature();
+            CompactVertex { config, sig }
+        })
+        .collect();
+    let out_edges: Vec<Vec<u32>> = order
+        .iter()
+        .map(|&old| out[old].iter().map(|&v| new_id[v]).collect())
+        .collect();
+    let in_degree: Vec<u32> = order.iter().map(|&old| indeg[old]).collect();
+
+    Ok(CompactGraph::from_parts(vertices, out_edges, in_degree))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, LayerKind};
+    use evostore_tensor::VertexId;
+
+    fn input(d: u32) -> LayerConfig {
+        LayerConfig::new("in", LayerKind::Input { shape: vec![d] })
+    }
+
+    fn dense(name: &str, i: u32, u: u32) -> LayerConfig {
+        LayerConfig::new(
+            name,
+            LayerKind::Dense {
+                in_features: i,
+                units: u,
+                activation: Activation::ReLU,
+            },
+        )
+    }
+
+    #[test]
+    fn flat_sequential() {
+        let mut a = Architecture::new("m");
+        let i = a.add_layer(input(4));
+        let d1 = a.chain(i, dense("d1", 4, 8));
+        a.chain(d1, dense("d2", 8, 2));
+        let g = flatten(&a).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.root(), VertexId(0));
+        assert_eq!(g.vertex(VertexId(0)).config.kind.name(), "input");
+        assert_eq!(g.out(VertexId(0)), &[1]);
+        assert_eq!(g.out(VertexId(1)), &[2]);
+        assert_eq!(g.out(VertexId(2)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn submodel_is_spliced() {
+        // inner: a -> b (2 leaves)
+        let mut inner = Architecture::new("inner");
+        let ia = inner.add_layer(dense("a", 8, 8));
+        inner.chain(ia, dense("b", 8, 8));
+
+        // outer: input -> [inner] -> out
+        let mut outer = Architecture::new("outer");
+        let i = outer.add_layer(input(8));
+        let sub = outer.add_submodel(inner);
+        outer.connect(i, sub);
+        let out = outer.add_layer(dense("out", 8, 2));
+        outer.connect(sub, out);
+
+        let g = flatten(&outer).unwrap();
+        // 4 leaves: input, a, b, out — submodel fully decomposed.
+        assert_eq!(g.len(), 4);
+        // Chain: 0 -> 1 -> 2 -> 3.
+        assert_eq!(g.out(VertexId(0)), &[1]);
+        assert_eq!(g.out(VertexId(1)), &[2]);
+        assert_eq!(g.out(VertexId(2)), &[3]);
+    }
+
+    #[test]
+    fn flattening_matches_equivalent_flat_model() {
+        // Nesting must be invisible: nested and flat builds of the same
+        // leaf-layer chain flatten to graphs with equal signatures.
+        let mut inner = Architecture::new("sub");
+        let ia = inner.add_layer(dense("x", 4, 4));
+        inner.chain(ia, dense("y", 4, 4));
+        let mut nested = Architecture::new("nested");
+        let i = nested.add_layer(input(4));
+        let s = nested.add_submodel(inner);
+        nested.connect(i, s);
+
+        let mut flat = Architecture::new("flat");
+        let fi = flat.add_layer(input(4));
+        let fx = flat.chain(fi, dense("x2", 4, 4));
+        flat.chain(fx, dense("y2", 4, 4));
+
+        let gn = flatten(&nested).unwrap();
+        let gf = flatten(&flat).unwrap();
+        assert_eq!(gn.arch_signature(), gf.arch_signature());
+    }
+
+    #[test]
+    fn branch_and_join() {
+        // input -> d1 -> add ; input -> d2 -> add ; add has in_degree 2.
+        let mut a = Architecture::new("m");
+        let i = a.add_layer(input(4));
+        let d1 = a.chain(i, dense("d1", 4, 4));
+        let d2 = a.chain(i, dense("d2", 4, 4));
+        let add = a.add_layer(LayerConfig::new("add", LayerKind::Add));
+        a.connect(d1, add);
+        a.connect(d2, add);
+        let g = flatten(&a).unwrap();
+        assert_eq!(g.len(), 4);
+        let add_id = g
+            .vertex_ids()
+            .find(|&v| g.vertex(v).config.kind.name() == "add")
+            .unwrap();
+        assert_eq!(g.in_degree(add_id), 2);
+    }
+
+    #[test]
+    fn multi_output_submodel_fans_out() {
+        // inner has two sinks; both must connect to the next node.
+        let mut inner = Architecture::new("inner");
+        let a = inner.add_layer(dense("a", 4, 4));
+        inner.chain(a, dense("s1", 4, 4));
+        inner.chain(a, dense("s2", 4, 4));
+
+        let mut outer = Architecture::new("outer");
+        let i = outer.add_layer(input(4));
+        let s = outer.add_submodel(inner);
+        outer.connect(i, s);
+        let cat = outer.add_layer(LayerConfig::new("cat", LayerKind::Concat { axis: 1 }));
+        outer.connect(s, cat);
+
+        let g = flatten(&outer).unwrap();
+        let cat_id = g
+            .vertex_ids()
+            .find(|&v| g.vertex(v).config.kind.name() == "concat")
+            .unwrap();
+        assert_eq!(g.in_degree(cat_id), 2, "both inner sinks feed concat");
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut a = Architecture::new("m");
+        let i = a.add_layer(input(4));
+        let x = a.add_layer(dense("x", 4, 4));
+        let y = a.add_layer(dense("y", 4, 4));
+        a.connect(i, x);
+        a.connect(x, y);
+        a.connect(y, x);
+        assert_eq!(flatten(&a), Err(ArchError::Cycle));
+    }
+
+    #[test]
+    fn multiple_sources_rejected() {
+        let mut a = Architecture::new("m");
+        a.add_layer(input(4));
+        a.add_layer(input(4));
+        assert!(matches!(
+            flatten(&a),
+            Err(ArchError::MultipleSources { count: 2 })
+        ));
+    }
+
+    #[test]
+    fn deterministic_ids() {
+        let build = || {
+            let mut a = Architecture::new("m");
+            let i = a.add_layer(input(4));
+            let d1 = a.chain(i, dense("d1", 4, 8));
+            let d2 = a.chain(i, dense("d2", 4, 8));
+            let add = a.add_layer(LayerConfig::new("add", LayerKind::Add));
+            a.connect(d1, add);
+            a.connect(d2, add);
+            flatten(&a).unwrap()
+        };
+        let g1 = build();
+        let g2 = build();
+        assert_eq!(g1, g2);
+    }
+}

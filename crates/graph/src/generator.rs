@@ -1,0 +1,611 @@
+//! Architecture generators.
+//!
+//! Two generator families back the paper's experiments (§5.3):
+//!
+//! * [`layered_model`] — the micro-benchmark generator: a sequential model
+//!   of a configurable total size and number of evenly-sized layers
+//!   (Fig 4's "4 GB model comprised of 100 evenly-sized layers").
+//! * [`GenomeSpace`] / [`Genome`] — a DeepSpace-style generative space of
+//!   nested architectures with branches, submodels, attention blocks and
+//!   skip connections. A genome is a compact, mutable description; NAS
+//!   search operates on genomes ("candidate sequences") and materializes
+//!   them into [`Architecture`]s. Mutating one gene changes the
+//!   architecture from that cell onward, which is precisely what gives NAS
+//!   populations their long shared prefixes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::arch::Architecture;
+use crate::layer::{Activation, LayerConfig, LayerKind};
+
+/// Build a sequential model of `num_layers` dense layers totalling
+/// approximately `total_bytes` of parameters (Fig 4's generator).
+///
+/// Layer width `d` is chosen so that `d*d + d` f32 parameters per layer hit
+/// the per-layer budget. All layers share the same width so layers are
+/// "evenly sized".
+pub fn layered_model(total_bytes: usize, num_layers: usize) -> Architecture {
+    assert!(num_layers > 0, "need at least one layer");
+    let per_layer_elems = total_bytes / 4 / num_layers;
+    // d^2 + d = per_layer_elems  =>  d ≈ sqrt(per_layer_elems)
+    let d = ((per_layer_elems as f64).sqrt().floor() as u32).max(1);
+
+    let mut a = Architecture::new(format!("layered-{num_layers}x{d}"));
+    let mut prev = a.add_layer(LayerConfig::new("input", LayerKind::Input { shape: vec![d] }));
+    for i in 0..num_layers {
+        prev = a.chain(
+            prev,
+            LayerConfig::new(
+                format!("dense_{i}"),
+                LayerKind::Dense {
+                    in_features: d,
+                    units: d,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+    }
+    a
+}
+
+/// How a branch cell joins its two paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinKind {
+    /// Element-wise sum (paths forced to equal width).
+    Add,
+    /// Concatenation (output width is the sum).
+    Concat,
+}
+
+/// Normalization choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NormKind {
+    Batch,
+    Layer,
+}
+
+/// One evolvable cell of a genome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellGene {
+    /// A dense layer: width option + activation option.
+    Dense { width: u8, act: u8 },
+    /// Two parallel dense paths joined by `join`.
+    Branch { left: u8, right: u8, join: JoinKind },
+    /// Pre-norm multi-head attention with a residual skip connection.
+    Attention { dim: u8, heads: u8 },
+    /// A nested MLP submodel (depth 1-4 dense layers of one width).
+    Submodel { width: u8, depth: u8 },
+    /// A normalization layer.
+    Norm { kind: NormKind },
+    /// Dropout with a rate option.
+    Dropout { rate: u8 },
+}
+
+/// The generative space: option tables + structural bounds.
+///
+/// `sample`/`mutate` keep every gene's option indices inside these tables,
+/// so any genome from a space can always be materialized.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenomeSpace {
+    /// Model input dimensionality.
+    pub input_dim: u32,
+    /// Width options for dense/branch/submodel cells.
+    pub widths: Vec<u32>,
+    /// Attention embed-dim options.
+    pub attn_dims: Vec<u32>,
+    /// Attention head-count options.
+    pub attn_heads: Vec<u32>,
+    /// Dropout rate options (per-mille).
+    pub dropout_rates: Vec<u32>,
+    /// Activation options.
+    pub activations: Vec<Activation>,
+    /// Minimum number of cells.
+    pub min_cells: usize,
+    /// Maximum number of cells.
+    pub max_cells: usize,
+    /// Output classes of the final head.
+    pub num_classes: u32,
+    /// Relative likelihood of each gene kind when sampling:
+    /// `[dense, branch, attention, submodel, norm, dropout]`.
+    pub kind_weights: [u32; 6],
+}
+
+impl GenomeSpace {
+    /// The ATTN-like space used by the NAS experiments (§5.3): wide enough
+    /// that its size is ~10^27 candidate sequences, mixing dense blocks,
+    /// residual attention, branches and nested submodels.
+    pub fn attn_like() -> GenomeSpace {
+        GenomeSpace {
+            input_dim: 256,
+            widths: vec![64, 96, 128, 192, 256, 384, 512, 768],
+            attn_dims: vec![64, 128, 256, 512],
+            attn_heads: vec![2, 4, 8],
+            dropout_rates: vec![0, 100, 200, 300, 500],
+            activations: vec![
+                Activation::ReLU,
+                Activation::GeLU,
+                Activation::Tanh,
+                Activation::Sigmoid,
+                Activation::Elu,
+            ],
+            min_cells: 6,
+            max_cells: 16,
+            num_classes: 2,
+            kind_weights: [5, 2, 3, 2, 2, 2],
+        }
+    }
+
+    /// A smaller space for tests and quick examples.
+    pub fn tiny() -> GenomeSpace {
+        GenomeSpace {
+            input_dim: 16,
+            widths: vec![8, 16, 32],
+            attn_dims: vec![16, 32],
+            attn_heads: vec![2, 4],
+            dropout_rates: vec![0, 250, 500],
+            activations: vec![Activation::ReLU, Activation::Tanh],
+            min_cells: 2,
+            max_cells: 5,
+            num_classes: 2,
+            kind_weights: [4, 1, 1, 1, 1, 1],
+        }
+    }
+
+    /// Base-10 log of the number of distinct candidate sequences in the
+    /// space (sum over admissible cell counts of the per-cell choice
+    /// product).
+    pub fn log10_size(&self) -> f64 {
+        let w = self.widths.len() as f64;
+        let per_cell = (w * self.activations.len() as f64)           // dense
+            + (w * w * 2.0)                                          // branch
+            + (self.attn_dims.len() * self.attn_heads.len()) as f64  // attention
+            + (w * 4.0)                                              // submodel depths 1..=4
+            + 2.0                                                    // norm
+            + self.dropout_rates.len() as f64; // dropout
+        let stem_head = w * w;
+        let mut total = 0f64;
+        for cells in self.min_cells..=self.max_cells {
+            total += stem_head * per_cell.powi(cells as i32);
+        }
+        total.log10()
+    }
+
+    /// Sample a random genome.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Genome {
+        let n = rng.random_range(self.min_cells..=self.max_cells);
+        let cells = (0..n).map(|_| self.sample_cell(rng)).collect();
+        Genome {
+            stem: rng.random_range(0..self.widths.len() as u8),
+            head: rng.random_range(0..self.widths.len() as u8),
+            cells,
+        }
+    }
+
+    /// Sample one cell gene.
+    pub fn sample_cell<R: Rng + ?Sized>(&self, rng: &mut R) -> CellGene {
+        let total: u32 = self.kind_weights.iter().sum();
+        let mut pick = rng.random_range(0..total);
+        let mut kind = 0usize;
+        for (i, &w) in self.kind_weights.iter().enumerate() {
+            if pick < w {
+                kind = i;
+                break;
+            }
+            pick -= w;
+        }
+        let w8 = |rng: &mut R| rng.random_range(0..self.widths.len() as u8);
+        match kind {
+            0 => CellGene::Dense {
+                width: w8(rng),
+                act: rng.random_range(0..self.activations.len() as u8),
+            },
+            1 => CellGene::Branch {
+                left: w8(rng),
+                right: w8(rng),
+                join: if rng.random_bool(0.5) {
+                    JoinKind::Add
+                } else {
+                    JoinKind::Concat
+                },
+            },
+            2 => CellGene::Attention {
+                dim: rng.random_range(0..self.attn_dims.len() as u8),
+                heads: rng.random_range(0..self.attn_heads.len() as u8),
+            },
+            3 => CellGene::Submodel {
+                width: w8(rng),
+                depth: rng.random_range(1..=4),
+            },
+            4 => CellGene::Norm {
+                kind: if rng.random_bool(0.5) {
+                    NormKind::Batch
+                } else {
+                    NormKind::Layer
+                },
+            },
+            _ => CellGene::Dropout {
+                rate: rng.random_range(0..self.dropout_rates.len() as u8),
+            },
+        }
+    }
+
+    /// Aged-evolution mutation: change exactly one position (stem, head, or
+    /// one cell), or — with small probability — grow/shrink by one cell at
+    /// the end, within bounds.
+    pub fn mutate<R: Rng + ?Sized>(&self, genome: &Genome, rng: &mut R) -> Genome {
+        let mut g = genome.clone();
+        let grow = rng.random_bool(0.10) && g.cells.len() < self.max_cells;
+        let shrink = !grow && rng.random_bool(0.10) && g.cells.len() > self.min_cells;
+        if grow {
+            g.cells.push(self.sample_cell(rng));
+            return g;
+        }
+        if shrink {
+            g.cells.pop();
+            return g;
+        }
+        // Positions: 0 = stem, 1..=cells = cell i-1, cells+1 = head.
+        // Triangular bias toward later positions: NAS practice mutates
+        // deeper layers more often, which is what drives the ~50% average
+        // frozen fraction the paper reports (citing its companion study
+        // of model-evolution patterns).
+        let n = g.cells.len() + 2;
+        let pos = rng.random_range(0..n).max(rng.random_range(0..n));
+        if pos == 0 {
+            g.stem = rng.random_range(0..self.widths.len() as u8);
+        } else if pos == g.cells.len() + 1 {
+            g.head = rng.random_range(0..self.widths.len() as u8);
+        } else {
+            // Re-sample until the gene actually changes (a no-op mutation
+            // would produce a duplicate candidate).
+            for _ in 0..16 {
+                let c = self.sample_cell(rng);
+                if c != g.cells[pos - 1] {
+                    g.cells[pos - 1] = c;
+                    break;
+                }
+            }
+        }
+        g
+    }
+
+    /// Materialize a genome into a nested architecture.
+    ///
+    /// Deterministic: equal genomes always produce equal architectures
+    /// (and therefore equal compact graphs after flattening).
+    pub fn materialize(&self, genome: &Genome) -> Architecture {
+        let mut m = Architecture::new("genome");
+        let input = m.add_layer(LayerConfig::new(
+            "input",
+            LayerKind::Input {
+                shape: vec![self.input_dim],
+            },
+        ));
+        let mut cur = input;
+        let mut dim = self.input_dim;
+
+        // Stem.
+        let stem_w = self.widths[genome.stem as usize];
+        cur = m.chain(
+            cur,
+            LayerConfig::new(
+                "stem",
+                LayerKind::Dense {
+                    in_features: dim,
+                    units: stem_w,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        dim = stem_w;
+
+        for (ci, cell) in genome.cells.iter().enumerate() {
+            match *cell {
+                CellGene::Dense { width, act } => {
+                    let w = self.widths[width as usize];
+                    let a = self.activations[act as usize];
+                    cur = m.chain(
+                        cur,
+                        LayerConfig::new(
+                            format!("c{ci}_dense"),
+                            LayerKind::Dense {
+                                in_features: dim,
+                                units: w,
+                                activation: a,
+                            },
+                        ),
+                    );
+                    dim = w;
+                }
+                CellGene::Branch { left, right, join } => {
+                    let lw = self.widths[left as usize];
+                    // Add requires equal widths; reuse the left width then.
+                    let rw = match join {
+                        JoinKind::Add => lw,
+                        JoinKind::Concat => self.widths[right as usize],
+                    };
+                    let l = m.chain(
+                        cur,
+                        LayerConfig::new(
+                            format!("c{ci}_bl"),
+                            LayerKind::Dense {
+                                in_features: dim,
+                                units: lw,
+                                activation: Activation::ReLU,
+                            },
+                        ),
+                    );
+                    let r = m.chain(
+                        cur,
+                        LayerConfig::new(
+                            format!("c{ci}_br"),
+                            LayerKind::Dense {
+                                in_features: dim,
+                                units: rw,
+                                activation: Activation::ReLU,
+                            },
+                        ),
+                    );
+                    let join_node = match join {
+                        JoinKind::Add => m.add_layer(LayerConfig::new(
+                            format!("c{ci}_add"),
+                            LayerKind::Add,
+                        )),
+                        JoinKind::Concat => m.add_layer(LayerConfig::new(
+                            format!("c{ci}_cat"),
+                            LayerKind::Concat { axis: 1 },
+                        )),
+                    };
+                    m.connect(l, join_node);
+                    m.connect(r, join_node);
+                    cur = join_node;
+                    dim = match join {
+                        JoinKind::Add => lw,
+                        JoinKind::Concat => lw + rw,
+                    };
+                }
+                CellGene::Attention { dim: d_idx, heads } => {
+                    let d = self.attn_dims[d_idx as usize];
+                    let h = self.attn_heads[heads as usize];
+                    // Project into the attention dim when necessary.
+                    if dim != d {
+                        cur = m.chain(
+                            cur,
+                            LayerConfig::new(
+                                format!("c{ci}_proj"),
+                                LayerKind::Dense {
+                                    in_features: dim,
+                                    units: d,
+                                    activation: Activation::Identity,
+                                },
+                            ),
+                        );
+                        dim = d;
+                    }
+                    let ln = m.chain(
+                        cur,
+                        LayerConfig::new(format!("c{ci}_ln"), LayerKind::LayerNorm { features: d }),
+                    );
+                    let at = m.chain(
+                        ln,
+                        LayerConfig::new(
+                            format!("c{ci}_attn"),
+                            LayerKind::Attention {
+                                embed_dim: d,
+                                heads: h,
+                            },
+                        ),
+                    );
+                    // Residual skip: cur + attention output.
+                    let add = m.add_layer(LayerConfig::new(format!("c{ci}_res"), LayerKind::Add));
+                    m.connect(cur, add);
+                    m.connect(at, add);
+                    cur = add;
+                }
+                CellGene::Submodel { width, depth } => {
+                    let w = self.widths[width as usize];
+                    let mut sub = Architecture::new(format!("c{ci}_sub"));
+                    let mut sprev = sub.add_layer(LayerConfig::new(
+                        "s0",
+                        LayerKind::Dense {
+                            in_features: dim,
+                            units: w,
+                            activation: Activation::ReLU,
+                        },
+                    ));
+                    for di in 1..depth {
+                        sprev = sub.chain(
+                            sprev,
+                            LayerConfig::new(
+                                format!("s{di}"),
+                                LayerKind::Dense {
+                                    in_features: w,
+                                    units: w,
+                                    activation: Activation::ReLU,
+                                },
+                            ),
+                        );
+                    }
+                    let _ = sprev;
+                    let s = m.add_submodel(sub);
+                    m.connect(cur, s);
+                    cur = s;
+                    dim = w;
+                }
+                CellGene::Norm { kind } => {
+                    let cfg = match kind {
+                        NormKind::Batch => LayerKind::BatchNorm { features: dim },
+                        NormKind::Layer => LayerKind::LayerNorm { features: dim },
+                    };
+                    cur = m.chain(cur, LayerConfig::new(format!("c{ci}_norm"), cfg));
+                }
+                CellGene::Dropout { rate } => {
+                    cur = m.chain(
+                        cur,
+                        LayerConfig::new(
+                            format!("c{ci}_drop"),
+                            LayerKind::Dropout {
+                                rate_milli: self.dropout_rates[rate as usize],
+                            },
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Head: hidden dense + classifier.
+        let head_w = self.widths[genome.head as usize];
+        let h = m.chain(
+            cur,
+            LayerConfig::new(
+                "head",
+                LayerKind::Dense {
+                    in_features: dim,
+                    units: head_w,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        m.chain(
+            h,
+            LayerConfig::new(
+                "classifier",
+                LayerKind::Dense {
+                    in_features: head_w,
+                    units: self.num_classes,
+                    activation: Activation::Softmax,
+                },
+            ),
+        );
+        m
+    }
+}
+
+/// A candidate sequence: the set of choices that define one architecture
+/// in a [`GenomeSpace`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Genome {
+    /// Stem width option index.
+    pub stem: u8,
+    /// Head width option index.
+    pub head: u8,
+    /// Evolvable cells.
+    pub cells: Vec<CellGene>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flatten::flatten;
+    use crate::lcp::lcp;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn layered_model_hits_size_budget() {
+        let total = 64 * 1024 * 1024; // 64 MB
+        let a = layered_model(total, 100);
+        assert_eq!(a.leaf_count(), 101); // input + 100 dense
+        let got = a.param_bytes();
+        let err = (got as f64 - total as f64).abs() / total as f64;
+        assert!(err < 0.05, "size {got} deviates {err:.3} from budget");
+    }
+
+    #[test]
+    fn layered_model_layers_even() {
+        let a = layered_model(16 * 1024 * 1024, 10);
+        let g = flatten(&a).unwrap();
+        let sizes: Vec<usize> = g
+            .vertex_ids()
+            .skip(1)
+            .map(|v| g.vertex(v).config.param_bytes())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sampled_genomes_materialize_and_flatten() {
+        let space = GenomeSpace::attn_like();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..50 {
+            let g = space.sample(&mut rng);
+            let arch = space.materialize(&g);
+            let cg = flatten(&arch).expect("sampled genome must flatten");
+            assert!(cg.len() >= 4);
+            assert!(cg.total_param_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let space = GenomeSpace::attn_like();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = space.sample(&mut rng);
+        let a = flatten(&space.materialize(&g)).unwrap();
+        let b = flatten(&space.materialize(&g)).unwrap();
+        assert_eq!(a.arch_signature(), b.arch_signature());
+    }
+
+    #[test]
+    fn mutation_changes_genome() {
+        let space = GenomeSpace::attn_like();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = space.sample(&mut rng);
+        let mut changed = 0;
+        for _ in 0..20 {
+            if space.mutate(&g, &mut rng) != g {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 18, "mutations almost always change the genome");
+    }
+
+    #[test]
+    fn mutation_preserves_a_prefix_often() {
+        // The core premise of NAS-with-transfer: a mutated child usually
+        // shares a non-trivial prefix with its parent.
+        let space = GenomeSpace::attn_like();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let parent = space.sample(&mut rng);
+        let pg = flatten(&space.materialize(&parent)).unwrap();
+
+        let mut nonzero = 0;
+        let mut total_frac = 0.0;
+        let n = 30;
+        for _ in 0..n {
+            let child = space.mutate(&parent, &mut rng);
+            let cg = flatten(&space.materialize(&child)).unwrap();
+            let r = lcp(&cg, &pg);
+            if r.len() > 1 {
+                nonzero += 1;
+            }
+            total_frac += r.fraction_of(&cg);
+        }
+        assert!(nonzero >= n * 2 / 3, "only {nonzero}/{n} mutations shared a prefix");
+        assert!(
+            total_frac / n as f64 > 0.25,
+            "mean prefix fraction {:.2} too low",
+            total_frac / n as f64
+        );
+    }
+
+    #[test]
+    fn attn_space_is_astronomically_large() {
+        let space = GenomeSpace::attn_like();
+        let lg = space.log10_size();
+        assert!(lg > 20.0, "log10 size {lg:.1} — paper's space is ~10^27");
+    }
+
+    #[test]
+    fn cell_bounds_respected() {
+        let space = GenomeSpace::tiny();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut g = space.sample(&mut rng);
+        for _ in 0..200 {
+            g = space.mutate(&g, &mut rng);
+            assert!(g.cells.len() >= space.min_cells);
+            assert!(g.cells.len() <= space.max_cells);
+        }
+    }
+}

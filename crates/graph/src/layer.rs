@@ -1,0 +1,418 @@
+//! Leaf-layer configurations.
+//!
+//! A *leaf layer* is the unit of architecture matching and tensor ownership
+//! in EvoStore (§4.2). Two leaf layers are "the same choice" iff their
+//! configurations are structurally identical — names never participate
+//! (identical names may describe different configurations and vice versa),
+//! so [`LayerConfig::signature`] hashes only the semantic fields.
+
+use evostore_tensor::{ContentHash, DType, Fnv128, TensorData};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Activation functions (parameter-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    ReLU,
+    GeLU,
+    Tanh,
+    Sigmoid,
+    Elu,
+    Softmax,
+    /// No activation (linear).
+    Identity,
+}
+
+impl Activation {
+    /// Stable numeric tag for signature hashing.
+    pub const fn tag(self) -> u8 {
+        match self {
+            Activation::ReLU => 0,
+            Activation::GeLU => 1,
+            Activation::Tanh => 2,
+            Activation::Sigmoid => 3,
+            Activation::Elu => 4,
+            Activation::Softmax => 5,
+            Activation::Identity => 6,
+        }
+    }
+
+    /// All variants, for generators and tests.
+    pub const ALL: [Activation; 7] = [
+        Activation::ReLU,
+        Activation::GeLU,
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::Elu,
+        Activation::Softmax,
+        Activation::Identity,
+    ];
+}
+
+/// The semantic configuration of one leaf layer.
+///
+/// Every variant carries *fully resolved* dimensions (like a built Keras
+/// layer after shape inference), so parameter tensor shapes are derivable
+/// from the configuration alone — a property the repository relies on when
+/// reconstructing a model from its owner map.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Model input; `shape` excludes the batch dimension.
+    Input { shape: Vec<u32> },
+    /// Fully connected: `y = act(W x + b)`.
+    Dense {
+        in_features: u32,
+        units: u32,
+        activation: Activation,
+    },
+    /// 2-D convolution (square kernel).
+    Conv2d {
+        in_channels: u32,
+        out_channels: u32,
+        kernel: u32,
+        stride: u32,
+    },
+    /// Batch normalization over `features` channels.
+    BatchNorm { features: u32 },
+    /// Layer normalization over `features`.
+    LayerNorm { features: u32 },
+    /// Token embedding table.
+    Embedding { vocab: u32, dim: u32 },
+    /// Multi-head self attention block (fused QKV + output projection).
+    Attention { embed_dim: u32, heads: u32 },
+    /// Standalone activation.
+    Act { activation: Activation },
+    /// Dropout; the rate is stored in per-mille so the config stays `Eq`.
+    Dropout { rate_milli: u32 },
+    /// Max pooling (square window).
+    MaxPool2d { kernel: u32, stride: u32 },
+    /// Average pooling (square window).
+    AvgPool2d { kernel: u32, stride: u32 },
+    /// Flatten to a vector.
+    Flatten,
+    /// Element-wise sum of all inputs (residual joins; in-degree >= 2).
+    Add,
+    /// Concatenation of all inputs along `axis`.
+    Concat { axis: u32 },
+}
+
+impl LayerKind {
+    /// Stable numeric tag for signature hashing.
+    pub const fn tag(&self) -> u8 {
+        match self {
+            LayerKind::Input { .. } => 0,
+            LayerKind::Dense { .. } => 1,
+            LayerKind::Conv2d { .. } => 2,
+            LayerKind::BatchNorm { .. } => 3,
+            LayerKind::LayerNorm { .. } => 4,
+            LayerKind::Embedding { .. } => 5,
+            LayerKind::Attention { .. } => 6,
+            LayerKind::Act { .. } => 7,
+            LayerKind::Dropout { .. } => 8,
+            LayerKind::MaxPool2d { .. } => 9,
+            LayerKind::AvgPool2d { .. } => 10,
+            LayerKind::Flatten => 11,
+            LayerKind::Add => 12,
+            LayerKind::Concat { .. } => 13,
+        }
+    }
+
+    /// Short human-readable kind name.
+    pub const fn name(&self) -> &'static str {
+        match self {
+            LayerKind::Input { .. } => "input",
+            LayerKind::Dense { .. } => "dense",
+            LayerKind::Conv2d { .. } => "conv2d",
+            LayerKind::BatchNorm { .. } => "batch_norm",
+            LayerKind::LayerNorm { .. } => "layer_norm",
+            LayerKind::Embedding { .. } => "embedding",
+            LayerKind::Attention { .. } => "attention",
+            LayerKind::Act { .. } => "activation",
+            LayerKind::Dropout { .. } => "dropout",
+            LayerKind::MaxPool2d { .. } => "max_pool2d",
+            LayerKind::AvgPool2d { .. } => "avg_pool2d",
+            LayerKind::Flatten => "flatten",
+            LayerKind::Add => "add",
+            LayerKind::Concat { .. } => "concat",
+        }
+    }
+}
+
+/// Shape + dtype of one parameter tensor of a layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorSpec {
+    /// Slot index within the layer (stable: 0 = kernel/weights, 1 = bias, ...).
+    pub slot: u32,
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorSpec {
+    /// Payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.shape.iter().product::<usize>() * self.dtype.size_of()
+    }
+
+    /// Materialize a randomly initialized tensor matching this spec.
+    pub fn random<R: Rng + ?Sized>(&self, rng: &mut R) -> TensorData {
+        TensorData::random(rng, self.dtype, self.shape.clone())
+    }
+}
+
+/// A configured leaf layer: semantic kind plus a free-form display name.
+///
+/// The name is carried for debuggability and API parity with Keras but is
+/// explicitly excluded from [`LayerConfig::signature`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerConfig {
+    /// Display name (non-semantic).
+    pub name: String,
+    /// Semantic configuration.
+    pub kind: LayerKind,
+}
+
+impl LayerConfig {
+    /// New layer config.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> LayerConfig {
+        LayerConfig {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Structural signature: hashes the semantic configuration only.
+    ///
+    /// Two layers match for LCP purposes iff their signatures are equal.
+    pub fn signature(&self) -> ContentHash {
+        let mut h = Fnv128::new();
+        let k = &self.kind;
+        h.update(&[k.tag()]);
+        match k {
+            LayerKind::Input { shape } => {
+                h.update_u64(shape.len() as u64);
+                for &d in shape {
+                    h.update_u32(d);
+                }
+            }
+            LayerKind::Dense {
+                in_features,
+                units,
+                activation,
+            } => {
+                h.update_u32(*in_features);
+                h.update_u32(*units);
+                h.update(&[activation.tag()]);
+            }
+            LayerKind::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+            } => {
+                h.update_u32(*in_channels);
+                h.update_u32(*out_channels);
+                h.update_u32(*kernel);
+                h.update_u32(*stride);
+            }
+            LayerKind::BatchNorm { features } => h.update_u32(*features),
+            LayerKind::LayerNorm { features } => h.update_u32(*features),
+            LayerKind::Embedding { vocab, dim } => {
+                h.update_u32(*vocab);
+                h.update_u32(*dim);
+            }
+            LayerKind::Attention { embed_dim, heads } => {
+                h.update_u32(*embed_dim);
+                h.update_u32(*heads);
+            }
+            LayerKind::Act { activation } => h.update(&[activation.tag()]),
+            LayerKind::Dropout { rate_milli } => h.update_u32(*rate_milli),
+            LayerKind::MaxPool2d { kernel, stride } | LayerKind::AvgPool2d { kernel, stride } => {
+                h.update_u32(*kernel);
+                h.update_u32(*stride);
+            }
+            LayerKind::Flatten | LayerKind::Add => {}
+            LayerKind::Concat { axis } => h.update_u32(*axis),
+        }
+        h.finish()
+    }
+
+    /// Parameter tensors this layer owns (empty for parameter-free layers).
+    pub fn param_specs(&self) -> Vec<TensorSpec> {
+        let f32s = |slot: u32, shape: Vec<usize>| TensorSpec {
+            slot,
+            shape,
+            dtype: DType::F32,
+        };
+        match &self.kind {
+            LayerKind::Dense {
+                in_features, units, ..
+            } => vec![
+                f32s(0, vec![*in_features as usize, *units as usize]),
+                f32s(1, vec![*units as usize]),
+            ],
+            LayerKind::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => vec![
+                f32s(
+                    0,
+                    vec![
+                        *out_channels as usize,
+                        *in_channels as usize,
+                        *kernel as usize,
+                        *kernel as usize,
+                    ],
+                ),
+                f32s(1, vec![*out_channels as usize]),
+            ],
+            LayerKind::BatchNorm { features } => {
+                let n = *features as usize;
+                vec![
+                    f32s(0, vec![n]), // gamma
+                    f32s(1, vec![n]), // beta
+                    f32s(2, vec![n]), // running mean
+                    f32s(3, vec![n]), // running var
+                ]
+            }
+            LayerKind::LayerNorm { features } => {
+                let n = *features as usize;
+                vec![f32s(0, vec![n]), f32s(1, vec![n])]
+            }
+            LayerKind::Embedding { vocab, dim } => {
+                vec![f32s(0, vec![*vocab as usize, *dim as usize])]
+            }
+            LayerKind::Attention { embed_dim, .. } => {
+                let d = *embed_dim as usize;
+                vec![
+                    f32s(0, vec![d, 3 * d]), // fused QKV projection
+                    f32s(1, vec![3 * d]),    // QKV bias
+                    f32s(2, vec![d, d]),     // output projection
+                    f32s(3, vec![d]),        // output bias
+                ]
+            }
+            LayerKind::Input { .. }
+            | LayerKind::Act { .. }
+            | LayerKind::Dropout { .. }
+            | LayerKind::MaxPool2d { .. }
+            | LayerKind::AvgPool2d { .. }
+            | LayerKind::Flatten
+            | LayerKind::Add
+            | LayerKind::Concat { .. } => vec![],
+        }
+    }
+
+    /// Total parameter bytes of this layer.
+    pub fn param_bytes(&self) -> usize {
+        self.param_specs().iter().map(TensorSpec::byte_len).sum()
+    }
+
+    /// Total parameter element count.
+    pub fn param_count(&self) -> usize {
+        self.param_specs()
+            .iter()
+            .map(|s| s.shape.iter().product::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(name: &str, inf: u32, units: u32, act: Activation) -> LayerConfig {
+        LayerConfig::new(
+            name,
+            LayerKind::Dense {
+                in_features: inf,
+                units,
+                activation: act,
+            },
+        )
+    }
+
+    #[test]
+    fn signature_ignores_name() {
+        let a = dense("alpha", 8, 16, Activation::ReLU);
+        let b = dense("beta", 8, 16, Activation::ReLU);
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn signature_sensitive_to_every_dense_field() {
+        let base = dense("x", 8, 16, Activation::ReLU);
+        assert_ne!(
+            base.signature(),
+            dense("x", 9, 16, Activation::ReLU).signature()
+        );
+        assert_ne!(
+            base.signature(),
+            dense("x", 8, 17, Activation::ReLU).signature()
+        );
+        assert_ne!(
+            base.signature(),
+            dense("x", 8, 16, Activation::Tanh).signature()
+        );
+    }
+
+    #[test]
+    fn signature_distinguishes_pool_kinds_with_same_fields() {
+        let a = LayerConfig::new("p", LayerKind::MaxPool2d { kernel: 2, stride: 2 });
+        let b = LayerConfig::new("p", LayerKind::AvgPool2d { kernel: 2, stride: 2 });
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn dense_param_specs() {
+        let l = dense("d", 8, 16, Activation::ReLU);
+        let specs = l.param_specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].shape, vec![8, 16]);
+        assert_eq!(specs[1].shape, vec![16]);
+        assert_eq!(l.param_count(), 8 * 16 + 16);
+        assert_eq!(l.param_bytes(), (8 * 16 + 16) * 4);
+    }
+
+    #[test]
+    fn attention_param_specs() {
+        let l = LayerConfig::new(
+            "attn",
+            LayerKind::Attention {
+                embed_dim: 64,
+                heads: 4,
+            },
+        );
+        let specs = l.param_specs();
+        assert_eq!(specs.len(), 4);
+        assert_eq!(l.param_count(), 64 * 192 + 192 + 64 * 64 + 64);
+        // slots are unique and dense
+        let slots: Vec<u32> = specs.iter().map(|s| s.slot).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parameter_free_layers_have_no_specs() {
+        for k in [
+            LayerKind::Flatten,
+            LayerKind::Add,
+            LayerKind::Concat { axis: 1 },
+            LayerKind::Dropout { rate_milli: 500 },
+            LayerKind::Act {
+                activation: Activation::ReLU,
+            },
+            LayerKind::Input { shape: vec![3, 32, 32] },
+        ] {
+            assert!(LayerConfig::new("x", k).param_specs().is_empty());
+        }
+    }
+
+    #[test]
+    fn batchnorm_has_four_tensors() {
+        let l = LayerConfig::new("bn", LayerKind::BatchNorm { features: 32 });
+        assert_eq!(l.param_specs().len(), 4);
+        assert_eq!(l.param_count(), 4 * 32);
+    }
+}

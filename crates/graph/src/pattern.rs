@@ -1,0 +1,287 @@
+//! Architecture pattern queries.
+//!
+//! §1 motivates "queries that look for specific architectural features
+//! and patterns in the whole collection of DL models". A
+//! [`LayerPattern`] matches one leaf layer; an [`ArchPattern`] combines
+//! layer requirements, structural bounds and an optional *sequence*
+//! pattern (a directed path whose vertices match consecutive layer
+//! patterns — e.g. "LayerNorm feeding Attention feeding a residual
+//! Add").
+
+use serde::{Deserialize, Serialize};
+
+use crate::compact::CompactGraph;
+use crate::layer::{Activation, LayerKind};
+use evostore_tensor::VertexId;
+
+/// Predicate over one leaf layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerPattern {
+    /// Matches any layer.
+    Any,
+    /// Matches layers of the named kind (see [`LayerKind::name`]).
+    Kind(String),
+    /// Dense layer with `units` inside the inclusive range.
+    DenseUnits {
+        /// Minimum units.
+        min: u32,
+        /// Maximum units.
+        max: u32,
+    },
+    /// Attention layer with at least this many heads.
+    AttentionHeads {
+        /// Minimum heads.
+        min: u32,
+    },
+    /// A layer using the given activation (dense or standalone).
+    Uses(Activation),
+    /// Any of the sub-patterns matches.
+    AnyOf(Vec<LayerPattern>),
+    /// All of the sub-patterns match.
+    AllOf(Vec<LayerPattern>),
+}
+
+impl LayerPattern {
+    /// Does `kind` satisfy this pattern?
+    pub fn matches(&self, kind: &LayerKind) -> bool {
+        match self {
+            LayerPattern::Any => true,
+            LayerPattern::Kind(name) => kind.name() == name,
+            LayerPattern::DenseUnits { min, max } => {
+                matches!(kind, LayerKind::Dense { units, .. } if units >= min && units <= max)
+            }
+            LayerPattern::AttentionHeads { min } => {
+                matches!(kind, LayerKind::Attention { heads, .. } if heads >= min)
+            }
+            LayerPattern::Uses(act) => match kind {
+                LayerKind::Dense { activation, .. } | LayerKind::Act { activation } => {
+                    activation == act
+                }
+                _ => false,
+            },
+            LayerPattern::AnyOf(ps) => ps.iter().any(|p| p.matches(kind)),
+            LayerPattern::AllOf(ps) => ps.iter().all(|p| p.matches(kind)),
+        }
+    }
+}
+
+/// Predicate over a whole compact architecture graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ArchPattern {
+    /// Each of these must match at least one vertex (in any position).
+    pub require_layers: Vec<LayerPattern>,
+    /// Minimum leaf-layer count (0 = unconstrained).
+    pub min_vertices: usize,
+    /// Maximum leaf-layer count (0 = unconstrained).
+    pub max_vertices: usize,
+    /// Minimum total parameter count (0 = unconstrained).
+    pub min_params: usize,
+    /// Maximum total parameter count (0 = unconstrained).
+    pub max_params: usize,
+    /// Optional sequence: a directed path v1 -> v2 -> ... -> vk whose
+    /// vertices match these patterns consecutively.
+    pub sequence: Vec<LayerPattern>,
+}
+
+impl ArchPattern {
+    /// Pattern that matches everything.
+    pub fn any() -> ArchPattern {
+        ArchPattern::default()
+    }
+
+    /// Builder: require a layer somewhere in the graph.
+    pub fn with_layer(mut self, p: LayerPattern) -> ArchPattern {
+        self.require_layers.push(p);
+        self
+    }
+
+    /// Builder: require a consecutive path matching these patterns.
+    pub fn with_sequence(mut self, seq: Vec<LayerPattern>) -> ArchPattern {
+        self.sequence = seq;
+        self
+    }
+
+    /// Builder: bound the vertex count.
+    pub fn with_vertices(mut self, min: usize, max: usize) -> ArchPattern {
+        self.min_vertices = min;
+        self.max_vertices = max;
+        self
+    }
+
+    /// Builder: bound the parameter count.
+    pub fn with_params(mut self, min: usize, max: usize) -> ArchPattern {
+        self.min_params = min;
+        self.max_params = max;
+        self
+    }
+
+    /// Does `g` satisfy the pattern?
+    pub fn matches(&self, g: &CompactGraph) -> bool {
+        if self.min_vertices > 0 && g.len() < self.min_vertices {
+            return false;
+        }
+        if self.max_vertices > 0 && g.len() > self.max_vertices {
+            return false;
+        }
+        if self.min_params > 0 || self.max_params > 0 {
+            let params: usize = g
+                .vertex_ids()
+                .map(|v| g.vertex(v).config.param_count())
+                .sum();
+            if self.min_params > 0 && params < self.min_params {
+                return false;
+            }
+            if self.max_params > 0 && params > self.max_params {
+                return false;
+            }
+        }
+        for p in &self.require_layers {
+            if !g.vertex_ids().any(|v| p.matches(&g.vertex(v).config.kind)) {
+                return false;
+            }
+        }
+        if !self.sequence.is_empty() && !self.sequence_matches(g) {
+            return false;
+        }
+        true
+    }
+
+    /// DFS for a directed path matching `sequence` consecutively.
+    fn sequence_matches(&self, g: &CompactGraph) -> bool {
+        let seq = &self.sequence;
+        // From each vertex matching seq[0], walk forward.
+        g.vertex_ids()
+            .filter(|&v| seq[0].matches(&g.vertex(v).config.kind))
+            .any(|start| self.path_from(g, start, 1))
+    }
+
+    fn path_from(&self, g: &CompactGraph, v: VertexId, depth: usize) -> bool {
+        if depth == self.sequence.len() {
+            return true;
+        }
+        g.out(v).iter().any(|&n| {
+            let nv = VertexId(n);
+            self.sequence[depth].matches(&g.vertex(nv).config.kind)
+                && self.path_from(g, nv, depth + 1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::flatten::flatten;
+    use crate::layer::LayerConfig;
+
+    fn attn_model() -> CompactGraph {
+        // input -> dense -> layer_norm -> attention -> add (residual)
+        let mut m = Architecture::new("m");
+        let i = m.add_layer(LayerConfig::new("in", LayerKind::Input { shape: vec![64] }));
+        let d = m.chain(
+            i,
+            LayerConfig::new(
+                "d",
+                LayerKind::Dense {
+                    in_features: 64,
+                    units: 128,
+                    activation: Activation::GeLU,
+                },
+            ),
+        );
+        let ln = m.chain(
+            d,
+            LayerConfig::new("ln", LayerKind::LayerNorm { features: 128 }),
+        );
+        let at = m.chain(
+            ln,
+            LayerConfig::new(
+                "attn",
+                LayerKind::Attention {
+                    embed_dim: 128,
+                    heads: 8,
+                },
+            ),
+        );
+        let add = m.add_layer(LayerConfig::new("res", LayerKind::Add));
+        m.connect(d, add);
+        m.connect(at, add);
+        flatten(&m).unwrap()
+    }
+
+    #[test]
+    fn kind_and_range_patterns() {
+        let g = attn_model();
+        assert!(LayerPattern::Kind("attention".into())
+            .matches(&g.vertex(VertexId(3)).config.kind) || g.vertex_ids().any(|v| LayerPattern::Kind("attention".into()).matches(&g.vertex(v).config.kind)));
+        assert!(ArchPattern::any()
+            .with_layer(LayerPattern::DenseUnits { min: 100, max: 200 })
+            .matches(&g));
+        assert!(!ArchPattern::any()
+            .with_layer(LayerPattern::DenseUnits { min: 1, max: 64 })
+            .matches(&g));
+        assert!(ArchPattern::any()
+            .with_layer(LayerPattern::AttentionHeads { min: 4 })
+            .matches(&g));
+        assert!(!ArchPattern::any()
+            .with_layer(LayerPattern::AttentionHeads { min: 16 })
+            .matches(&g));
+        assert!(ArchPattern::any()
+            .with_layer(LayerPattern::Uses(Activation::GeLU))
+            .matches(&g));
+    }
+
+    #[test]
+    fn vertex_and_param_bounds() {
+        let g = attn_model();
+        assert!(ArchPattern::any().with_vertices(3, 10).matches(&g));
+        assert!(!ArchPattern::any().with_vertices(10, 20).matches(&g));
+        let params: usize = g.vertex_ids().map(|v| g.vertex(v).config.param_count()).sum();
+        assert!(ArchPattern::any().with_params(params, params).matches(&g));
+        assert!(!ArchPattern::any().with_params(params + 1, 0).matches(&g));
+    }
+
+    #[test]
+    fn sequence_path_matching() {
+        let g = attn_model();
+        // The pre-norm attention motif exists...
+        let motif = ArchPattern::any().with_sequence(vec![
+            LayerPattern::Kind("layer_norm".into()),
+            LayerPattern::Kind("attention".into()),
+            LayerPattern::Kind("add".into()),
+        ]);
+        assert!(motif.matches(&g));
+        // ...but not a norm feeding directly into an add.
+        let absent = ArchPattern::any().with_sequence(vec![
+            LayerPattern::Kind("layer_norm".into()),
+            LayerPattern::Kind("add".into()),
+        ]);
+        assert!(!absent.matches(&g));
+    }
+
+    #[test]
+    fn combinators() {
+        let g = attn_model();
+        let p = LayerPattern::AllOf(vec![
+            LayerPattern::Kind("dense".into()),
+            LayerPattern::Uses(Activation::GeLU),
+        ]);
+        assert!(ArchPattern::any().with_layer(p).matches(&g));
+        let q = LayerPattern::AnyOf(vec![
+            LayerPattern::Kind("embedding".into()),
+            LayerPattern::Kind("attention".into()),
+        ]);
+        assert!(ArchPattern::any().with_layer(q).matches(&g));
+    }
+
+    #[test]
+    fn pattern_serde_roundtrip() {
+        let p = ArchPattern::any()
+            .with_layer(LayerPattern::AttentionHeads { min: 2 })
+            .with_sequence(vec![LayerPattern::Any, LayerPattern::Kind("add".into())])
+            .with_vertices(1, 100);
+        let j = serde_json::to_string(&p).unwrap();
+        let back: ArchPattern = serde_json::from_str(&j).unwrap();
+        assert_eq!(format!("{p:?}"), format!("{back:?}"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests for flattening and LCP queries.
+
+use evostore_graph::{flatten, lcp, lcp_fixpoint, Genome, GenomeSpace};
+use evostore_tensor::VertexId;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Sample a genome (and its space) from a seed.
+fn genome_from_seed(seed: u64) -> (GenomeSpace, Genome) {
+    let space = GenomeSpace::attn_like();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = space.sample(&mut rng);
+    (space, g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every sampled genome flattens; the result is rooted at the input
+    /// layer, connected, and acyclic (topo order covers all vertices).
+    #[test]
+    fn flatten_invariants(seed in any::<u64>()) {
+        let (space, g) = genome_from_seed(seed);
+        let cg = flatten(&space.materialize(&g)).unwrap();
+        prop_assert!(cg.len() >= 4);
+        prop_assert_eq!(cg.vertex(cg.root()).config.kind.name(), "input");
+        prop_assert_eq!(cg.in_degree(cg.root()), 0);
+        prop_assert_eq!(cg.topo_order().len(), cg.len());
+        // leaf count preserved by flattening
+        prop_assert_eq!(cg.len(), space.materialize(&g).leaf_count());
+        // in_degree matches the edge relation
+        let mut indeg = vec![0u32; cg.len()];
+        for (_, to) in cg.edge_list() {
+            indeg[to as usize] += 1;
+        }
+        for v in cg.vertex_ids() {
+            prop_assert_eq!(cg.in_degree(v), indeg[v.0 as usize]);
+        }
+    }
+
+    /// LCP of a graph with itself is the whole graph, mapped identically.
+    #[test]
+    fn lcp_reflexive(seed in any::<u64>()) {
+        let (space, g) = genome_from_seed(seed);
+        let cg = flatten(&space.materialize(&g)).unwrap();
+        let r = lcp(&cg, &cg);
+        prop_assert_eq!(r.len(), cg.len());
+    }
+
+    /// The prefix is always closed under predecessors, matched vertices
+    /// have equal signatures and in-degrees, and the A-side matches are
+    /// injective.
+    #[test]
+    fn lcp_structural_invariants(seed_a in any::<u64>(), steps in 0usize..6, mseed in any::<u64>()) {
+        let (space, parent) = genome_from_seed(seed_a);
+        let mut rng = ChaCha8Rng::seed_from_u64(mseed);
+        let mut child = parent.clone();
+        for _ in 0..steps {
+            child = space.mutate(&child, &mut rng);
+        }
+        let g = flatten(&space.materialize(&child)).unwrap();
+        let a = flatten(&space.materialize(&parent)).unwrap();
+        let r = lcp(&g, &a);
+
+        // Root always matches (same input layer for one space).
+        prop_assert!(!r.is_empty());
+
+        let inset: std::collections::HashSet<u32> = r.prefix.iter().map(|v| v.0).collect();
+        for (from, to) in g.edge_list() {
+            if inset.contains(&to) {
+                prop_assert!(inset.contains(&from), "prefix not predecessor-closed");
+            }
+        }
+
+        let mut used_a = std::collections::HashSet::new();
+        for v in g.vertex_ids() {
+            match r.match_in_ancestor[v.0 as usize] {
+                Some(av) => {
+                    prop_assert!(inset.contains(&v.0), "match outside prefix");
+                    prop_assert_eq!(g.sig(v), a.sig(av), "matched sigs differ");
+                    prop_assert_eq!(g.in_degree(v), a.in_degree(av), "matched in-degrees differ");
+                    prop_assert!(used_a.insert(av.0), "A vertex matched twice");
+                }
+                None => prop_assert!(!inset.contains(&v.0), "prefix vertex without match"),
+            }
+        }
+    }
+
+    /// A single mutation keeps a prefix: the un-mutated stem cells stay
+    /// transferable (LCP >= 2 means input + stem at minimum when the stem
+    /// was not the mutated position — we only require >= 1 universally).
+    #[test]
+    fn lcp_after_mutation_nonempty(seed in any::<u64>(), mseed in any::<u64>()) {
+        let (space, parent) = genome_from_seed(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(mseed);
+        let child = space.mutate(&parent, &mut rng);
+        let g = flatten(&space.materialize(&child)).unwrap();
+        let a = flatten(&space.materialize(&parent)).unwrap();
+        prop_assert!(!lcp(&g, &a).is_empty());
+    }
+
+    /// Differential: the frontier algorithm (Algorithm 1) and the naive
+    /// fixpoint compute prefixes of the same size on mutation families.
+    ///
+    /// (Sizes, not sets: with symmetric branches the greedy binding may
+    /// choose different—equally valid—matchings.)
+    #[test]
+    fn lcp_matches_fixpoint(seed in any::<u64>(), mseed in any::<u64>()) {
+        let (space, parent) = genome_from_seed(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(mseed);
+        let child = space.mutate(&parent, &mut rng);
+        let g = flatten(&space.materialize(&child)).unwrap();
+        let a = flatten(&space.materialize(&parent)).unwrap();
+        let fast = lcp(&g, &a);
+        let slow = lcp_fixpoint(&g, &a);
+        prop_assert_eq!(fast.len(), slow.len());
+    }
+
+    /// Serialization: compact graphs roundtrip through JSON with identical
+    /// signatures (the catalog population path of §5.5).
+    #[test]
+    fn compact_graph_json_roundtrip(seed in any::<u64>()) {
+        let (space, g) = genome_from_seed(seed);
+        let cg = flatten(&space.materialize(&g)).unwrap();
+        let back = evostore_graph::CompactGraph::from_json(&cg.to_json()).unwrap();
+        prop_assert_eq!(back.arch_signature(), cg.arch_signature());
+        prop_assert_eq!(back.len(), cg.len());
+    }
+
+    /// Prefix parameter bytes never exceed total parameter bytes, and the
+    /// full-prefix case is exact.
+    #[test]
+    fn prefix_bytes_bounded(seed in any::<u64>()) {
+        let (space, g) = genome_from_seed(seed);
+        let cg = flatten(&space.materialize(&g)).unwrap();
+        let r = lcp(&cg, &cg);
+        prop_assert_eq!(cg.param_bytes_of(&r.prefix), cg.total_param_bytes());
+        let half: Vec<VertexId> = r.prefix.iter().take(cg.len() / 2).copied().collect();
+        prop_assert!(cg.param_bytes_of(&half) <= cg.total_param_bytes());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The empty pattern matches every generated architecture; vertex
+    /// bounds behave as a filter; a sequence pattern constructed from an
+    /// actual path of the graph always matches.
+    #[test]
+    fn pattern_queries_are_sound(seed in any::<u64>()) {
+        use evostore_graph::{ArchPattern, LayerPattern};
+
+        let (space, g) = genome_from_seed(seed);
+        let cg = flatten(&space.materialize(&g)).unwrap();
+
+        prop_assert!(ArchPattern::any().matches(&cg));
+        prop_assert!(ArchPattern::any().with_vertices(1, cg.len()).matches(&cg));
+        prop_assert!(!ArchPattern::any().with_vertices(cg.len() + 1, 0).matches(&cg));
+
+        // Walk an actual path from the root and demand it as a sequence.
+        let mut path = vec![cg.root()];
+        let mut cur = cg.root();
+        for _ in 0..3 {
+            let Some(&next) = cg.out(cur).first() else { break };
+            cur = VertexId(next);
+            path.push(cur);
+        }
+        let seq: Vec<LayerPattern> = path
+            .iter()
+            .map(|&v| LayerPattern::Kind(cg.vertex(v).config.kind.name().to_string()))
+            .collect();
+        prop_assert!(ArchPattern::any().with_sequence(seq).matches(&cg));
+
+        // A layer kind that never appears must not match.
+        prop_assert!(!ArchPattern::any()
+            .with_layer(LayerPattern::Kind("embedding".into()))
+            .matches(&cg));
+    }
+
+    /// Structural diff partitions G's vertices and stats are consistent.
+    #[test]
+    fn diff_and_stats_consistent(seed in any::<u64>(), mseed in any::<u64>()) {
+        use evostore_graph::{arch_stats, GraphDiff};
+
+        let (space, parent) = genome_from_seed(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(mseed);
+        let child = space.mutate(&parent, &mut rng);
+        let g = flatten(&space.materialize(&child)).unwrap();
+        let a = flatten(&space.materialize(&parent)).unwrap();
+        let r = lcp(&g, &a);
+        let d = GraphDiff::from_lcp(&g, &a, &r);
+        prop_assert_eq!(d.shared.len() + d.added.len(), g.len());
+        prop_assert_eq!(d.shared.len() + d.removed.len(), a.len());
+
+        let s = arch_stats(&g);
+        prop_assert_eq!(s.vertices, g.len());
+        prop_assert_eq!(s.edges, g.edge_count());
+        prop_assert!(s.depth >= 1 && s.depth <= g.len());
+        prop_assert_eq!(s.param_bytes, g.total_param_bytes());
+        prop_assert_eq!(s.kind_counts.values().sum::<usize>(), g.len());
+    }
+}

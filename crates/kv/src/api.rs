@@ -1,0 +1,133 @@
+//! The key-value backend abstraction.
+
+use bytes::Bytes;
+
+/// Errors a backend can produce.
+///
+/// In-memory backends only ever return `NotFound`; the log store adds I/O
+/// and corruption cases.
+#[derive(Debug)]
+pub enum KvError {
+    /// Key not present.
+    NotFound,
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A persisted record failed its integrity check.
+    Corrupt { detail: String },
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::NotFound => write!(f, "key not found"),
+            KvError::Io(e) => write!(f, "kv i/o error: {e}"),
+            KvError::Corrupt { detail } => write!(f, "kv corruption: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<std::io::Error> for KvError {
+    fn from(e: std::io::Error) -> Self {
+        KvError::Io(e)
+    }
+}
+
+impl PartialEq for KvError {
+    fn eq(&self, other: &Self) -> bool {
+        matches!(
+            (self, other),
+            (KvError::NotFound, KvError::NotFound) | (KvError::Corrupt { .. }, KvError::Corrupt { .. })
+        )
+    }
+}
+
+/// A thread-safe key-value store.
+///
+/// All methods take `&self`: implementations synchronize internally, since
+/// a provider serves many concurrent clients.
+pub trait KvBackend: Send + Sync {
+    /// Insert or overwrite `key`.
+    fn put(&self, key: &[u8], value: Bytes) -> Result<(), KvError>;
+
+    /// Fetch a value (cheap clone of a shared buffer for in-memory
+    /// backends).
+    fn get(&self, key: &[u8]) -> Result<Bytes, KvError>;
+
+    /// Remove a key. `Ok(true)` when it existed.
+    fn delete(&self, key: &[u8]) -> Result<bool, KvError>;
+
+    /// Presence check without copying the value.
+    fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_ok()
+    }
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// True when no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of live values (the storage-space metric of Fig 10).
+    fn bytes_used(&self) -> usize;
+
+    /// Bulk insert; the default loops, backends may batch.
+    fn put_many(&self, items: &[(&[u8], Bytes)]) -> Result<(), KvError> {
+        for (k, v) in items {
+            self.put(k, v.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of all live keys (diagnostics, GC audits, compaction).
+    fn keys(&self) -> Vec<Vec<u8>>;
+}
+
+impl<T: KvBackend + ?Sized> KvBackend for Box<T> {
+    fn put(&self, key: &[u8], value: Bytes) -> Result<(), KvError> {
+        (**self).put(key, value)
+    }
+    fn get(&self, key: &[u8]) -> Result<Bytes, KvError> {
+        (**self).get(key)
+    }
+    fn delete(&self, key: &[u8]) -> Result<bool, KvError> {
+        (**self).delete(key)
+    }
+    fn contains(&self, key: &[u8]) -> bool {
+        (**self).contains(key)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn bytes_used(&self) -> usize {
+        (**self).bytes_used()
+    }
+    fn keys(&self) -> Vec<Vec<u8>> {
+        (**self).keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert_eq!(KvError::NotFound.to_string(), "key not found");
+        let c = KvError::Corrupt {
+            detail: "bad crc".into(),
+        };
+        assert!(c.to_string().contains("bad crc"));
+    }
+
+    #[test]
+    fn error_eq_ignores_detail() {
+        let a = KvError::Corrupt { detail: "x".into() };
+        let b = KvError::Corrupt { detail: "y".into() };
+        assert_eq!(a, b);
+        assert_ne!(a, KvError::NotFound);
+    }
+}

@@ -1,0 +1,28 @@
+//! Key-value storage backends for EvoStore providers.
+//!
+//! Each provider persists tensors and owner maps through "an extensible
+//! key-value store abstraction (...) either in-memory \[or\] persistently
+//! using underlying backends such as C++ synchronized memory pools or
+//! RocksDB" (§4.3). This crate supplies the Rust equivalents:
+//!
+//! * [`MemPoolStore`] — a sharded, lock-synchronized in-memory pool (the
+//!   backend used in all of the paper's experiments);
+//! * [`LogStore`] — an append-only, crash-recoverable, compacting log
+//!   store standing in for RocksDB;
+//! * [`RefCountedStore`] — the reference-counting wrapper providers use
+//!   for distributed garbage collection (§4.1): values survive exactly as
+//!   long as some stored model still references them.
+
+pub mod api;
+pub mod logstore;
+pub mod mempool;
+pub mod metrics;
+pub mod refcount;
+pub mod tiered;
+
+pub use api::{KvBackend, KvError};
+pub use logstore::LogStore;
+pub use mempool::MemPoolStore;
+pub use metrics::StoreMetrics;
+pub use refcount::RefCountedStore;
+pub use tiered::TieredStore;

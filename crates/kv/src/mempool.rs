@@ -1,0 +1,228 @@
+//! Sharded in-memory pool backend.
+//!
+//! The Rust analogue of the paper's "C++ synchronized memory pools"
+//! (§4.3): values live in memory behind per-shard reader-writer locks, so
+//! concurrent readers of *different* tensors — the dominant access pattern
+//! during parallel model reconstruction — never contend on one global
+//! lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::api::{KvBackend, KvError};
+use crate::metrics::StoreMetrics;
+
+/// Number of lock shards. Power of two so shard selection is a mask.
+const DEFAULT_SHARDS: usize = 64;
+
+/// A sharded, synchronized in-memory KV store.
+pub struct MemPoolStore {
+    shards: Vec<RwLock<HashMap<Box<[u8]>, Bytes>>>,
+    mask: usize,
+    live_bytes: AtomicUsize,
+    live_keys: AtomicUsize,
+    metrics: StoreMetrics,
+}
+
+impl MemPoolStore {
+    /// Store with the default shard count.
+    pub fn new() -> MemPoolStore {
+        MemPoolStore::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Store with `shards` lock shards (rounded up to a power of two).
+    pub fn with_shards(shards: usize) -> MemPoolStore {
+        let n = shards.next_power_of_two().max(1);
+        MemPoolStore {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: n - 1,
+            live_bytes: AtomicUsize::new(0),
+            live_keys: AtomicUsize::new(0),
+            metrics: StoreMetrics::new(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: &[u8]) -> &RwLock<HashMap<Box<[u8]>, Bytes>> {
+        let h = evostore_tensor::fnv1a128(key) as usize;
+        &self.shards[h & self.mask]
+    }
+
+    /// Operation counters.
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+}
+
+impl Default for MemPoolStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KvBackend for MemPoolStore {
+    fn put(&self, key: &[u8], value: Bytes) -> Result<(), KvError> {
+        let vlen = value.len();
+        self.metrics.record_put(vlen);
+        let mut map = self.shard(key).write();
+        match map.insert(key.into(), value) {
+            Some(old) => {
+                // Overwrite: adjust byte accounting by the delta.
+                self.live_bytes.fetch_add(vlen, Ordering::Relaxed);
+                self.live_bytes.fetch_sub(old.len(), Ordering::Relaxed);
+            }
+            None => {
+                self.live_bytes.fetch_add(vlen, Ordering::Relaxed);
+                self.live_keys.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Bytes, KvError> {
+        let map = self.shard(key).read();
+        match map.get(key) {
+            Some(v) => {
+                self.metrics.record_get(v.len());
+                Ok(v.clone())
+            }
+            None => {
+                self.metrics.record_miss();
+                Err(KvError::NotFound)
+            }
+        }
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<bool, KvError> {
+        let mut map = self.shard(key).write();
+        match map.remove(key) {
+            Some(old) => {
+                self.metrics.record_delete();
+                self.live_bytes.fetch_sub(old.len(), Ordering::Relaxed);
+                self.live_keys.fetch_sub(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn contains(&self, key: &[u8]) -> bool {
+        self.shard(key).read().contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.live_keys.load(Ordering::Relaxed)
+    }
+
+    fn bytes_used(&self) -> usize {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    fn keys(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let map = shard.read();
+            out.extend(map.keys().map(|k| k.to_vec()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_delete() {
+        let s = MemPoolStore::new();
+        s.put(b"a", Bytes::from_static(b"xyz")).unwrap();
+        assert_eq!(s.get(b"a").unwrap(), Bytes::from_static(b"xyz"));
+        assert!(s.contains(b"a"));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.bytes_used(), 3);
+        assert!(s.delete(b"a").unwrap());
+        assert!(!s.delete(b"a").unwrap());
+        assert_eq!(s.get(b"a"), Err(KvError::NotFound));
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.bytes_used(), 0);
+    }
+
+    #[test]
+    fn overwrite_adjusts_accounting() {
+        let s = MemPoolStore::new();
+        s.put(b"k", Bytes::from(vec![0u8; 100])).unwrap();
+        s.put(b"k", Bytes::from(vec![0u8; 40])).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.bytes_used(), 40);
+    }
+
+    #[test]
+    fn keys_lists_everything() {
+        let s = MemPoolStore::with_shards(4);
+        for i in 0..100u32 {
+            s.put(&i.to_le_bytes(), Bytes::from_static(b"v")).unwrap();
+        }
+        let mut keys = s.keys();
+        keys.sort();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_keys() {
+        let s = Arc::new(MemPoolStore::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        let key = [t, i.to_le_bytes()[0], i.to_le_bytes()[1], 0];
+                        s.put(&key, Bytes::from(vec![t; 16])).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.len(), 8 * 500);
+        assert_eq!(s.bytes_used(), 8 * 500 * 16);
+    }
+
+    #[test]
+    fn concurrent_same_key_overwrites_stay_consistent() {
+        let s = Arc::new(MemPoolStore::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t: u8| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        s.put(b"shared", Bytes::from(vec![t; (t as usize + 1) * 8]))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.len(), 1);
+        // Whatever write won, accounting must equal the live value's size.
+        assert_eq!(s.bytes_used(), s.get(b"shared").unwrap().len());
+    }
+
+    #[test]
+    fn metrics_count_operations() {
+        let s = MemPoolStore::new();
+        s.put(b"a", Bytes::from_static(b"1")).unwrap();
+        let _ = s.get(b"a");
+        let _ = s.get(b"missing");
+        let m = s.metrics().snapshot();
+        assert_eq!(m.puts, 1);
+        assert_eq!(m.gets, 1);
+        assert_eq!(m.misses, 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Model-based property tests: both backends must behave exactly like a
+//! reference `HashMap` under arbitrary operation sequences, and the log
+//! store must additionally survive reopen at any point.
+
+use bytes::Bytes;
+use evostore_kv::{KvBackend, LogStore, MemPoolStore, RefCountedStore};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Get(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| Op::Put(k, v)),
+        any::<u8>().prop_map(Op::Delete),
+        any::<u8>().prop_map(Op::Get),
+    ]
+}
+
+fn check_against_reference<B: KvBackend>(store: &B, ops: &[Op]) {
+    let mut reference: HashMap<u8, Vec<u8>> = HashMap::new();
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                store.put(&[*k], Bytes::from(v.clone())).unwrap();
+                reference.insert(*k, v.clone());
+            }
+            Op::Delete(k) => {
+                let existed = store.delete(&[*k]).unwrap();
+                assert_eq!(existed, reference.remove(k).is_some());
+            }
+            Op::Get(k) => {
+                let got = store.get(&[*k]).ok().map(|b| b.to_vec());
+                assert_eq!(got, reference.get(k).cloned());
+            }
+        }
+        assert_eq!(store.len(), reference.len());
+        assert_eq!(
+            store.bytes_used(),
+            reference.values().map(Vec::len).sum::<usize>()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mempool_matches_reference(ops in prop::collection::vec(arb_op(), 0..120)) {
+        check_against_reference(&MemPoolStore::new(), &ops);
+    }
+
+    #[test]
+    fn logstore_matches_reference(ops in prop::collection::vec(arb_op(), 0..120)) {
+        let dir = std::env::temp_dir().join(format!(
+            "evostore-kv-prop-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        check_against_reference(&LogStore::open(&dir).unwrap(), &ops);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Split an op sequence at an arbitrary point, close and reopen the
+    /// log store in between: the final state must equal the uninterrupted
+    /// reference.
+    #[test]
+    fn logstore_reopen_preserves_state(
+        ops in prop::collection::vec(arb_op(), 1..80),
+        split_frac in 0.0f64..1.0
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "evostore-kv-reopen-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let split = ((ops.len() as f64) * split_frac) as usize;
+        let mut reference: HashMap<u8, Vec<u8>> = HashMap::new();
+
+        {
+            let s = LogStore::open(&dir).unwrap();
+            for op in &ops[..split] {
+                match op {
+                    Op::Put(k, v) => {
+                        s.put(&[*k], Bytes::from(v.clone())).unwrap();
+                        reference.insert(*k, v.clone());
+                    }
+                    Op::Delete(k) => {
+                        s.delete(&[*k]).unwrap();
+                        reference.remove(k);
+                    }
+                    Op::Get(_) => {}
+                }
+            }
+        } // dropped: close
+
+        let s = LogStore::open(&dir).unwrap();
+        for op in &ops[split..] {
+            match op {
+                Op::Put(k, v) => {
+                    s.put(&[*k], Bytes::from(v.clone())).unwrap();
+                    reference.insert(*k, v.clone());
+                }
+                Op::Delete(k) => {
+                    s.delete(&[*k]).unwrap();
+                    reference.remove(k);
+                }
+                Op::Get(k) => {
+                    let got = s.get(&[*k]).ok().map(|b| b.to_vec());
+                    prop_assert_eq!(got, reference.get(k).cloned());
+                }
+            }
+        }
+        prop_assert_eq!(s.len(), reference.len());
+        for (k, v) in &reference {
+            prop_assert_eq!(s.get(&[*k]).unwrap().to_vec(), v.clone());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Refcount lifecycle: after an arbitrary interleaving of incr/decr
+    /// that nets to zero for every key, the store is empty and the audit
+    /// passes at every step.
+    #[test]
+    fn refcount_net_zero_empties_store(keys in prop::collection::vec(any::<u8>(), 1..12), extra in 0u64..6) {
+        let s = RefCountedStore::new(MemPoolStore::new());
+        let uniq: std::collections::HashSet<u8> = keys.iter().copied().collect();
+        for k in &uniq {
+            s.put(&[*k], Bytes::from(vec![*k; 8]), 1).unwrap();
+            for _ in 0..extra {
+                s.incr(&[*k]).unwrap();
+            }
+        }
+        s.audit().unwrap();
+        for k in &uniq {
+            for _ in 0..extra {
+                assert!(s.decr(&[*k]).unwrap() > 0);
+            }
+            assert_eq!(s.decr(&[*k]).unwrap(), 0);
+        }
+        prop_assert!(s.is_empty());
+        prop_assert_eq!(s.bytes_used(), 0);
+        s.audit().unwrap();
+    }
+}

@@ -1,0 +1,228 @@
+//! The aged-evolution (regularized evolution) search controller.
+//!
+//! DeepHyper's controller role (§2, §4.3): keep a FIFO population of at
+//! most `population_cap` candidates; produce new candidate sequences by
+//! mutating the best of a random sample; drop (and retire) the oldest
+//! member when the population overflows — age-based removal is what
+//! regularizes the search.
+
+use std::collections::VecDeque;
+
+use evostore_graph::{Genome, GenomeSpace};
+use evostore_tensor::ModelId;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A population member.
+#[derive(Debug, Clone)]
+pub struct Member {
+    /// Stored model id.
+    pub model: ModelId,
+    /// Its candidate sequence.
+    pub genome: Genome,
+    /// Observed accuracy.
+    pub accuracy: f64,
+}
+
+/// Aged evolution controller.
+pub struct AgedEvolution {
+    space: GenomeSpace,
+    population: VecDeque<Member>,
+    population_cap: usize,
+    sample_size: usize,
+    rng: ChaCha8Rng,
+    issued: usize,
+    max_candidates: usize,
+}
+
+impl AgedEvolution {
+    /// New controller over `space`, exploring at most `max_candidates`
+    /// candidates with the given population cap and tournament sample
+    /// size. `seed` fixes the pseudo-random stream (§5.6's fixed seed).
+    pub fn new(
+        space: GenomeSpace,
+        max_candidates: usize,
+        population_cap: usize,
+        sample_size: usize,
+        seed: u64,
+    ) -> AgedEvolution {
+        assert!(population_cap >= 2);
+        assert!(sample_size >= 1);
+        use rand::SeedableRng;
+        AgedEvolution {
+            space,
+            population: VecDeque::new(),
+            population_cap,
+            sample_size,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            issued: 0,
+            max_candidates,
+        }
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &GenomeSpace {
+        &self.space
+    }
+
+    /// Candidates issued so far.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+
+    /// Whether the exploration budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.issued >= self.max_candidates
+    }
+
+    /// Produce the next candidate sequence, or `None` when the budget is
+    /// exhausted. Random sampling until the population warms up, then
+    /// mutation of the best of a random sample.
+    pub fn next_candidate(&mut self) -> Option<Genome> {
+        if self.exhausted() {
+            return None;
+        }
+        self.issued += 1;
+        // Warm-up: random until the population is half full.
+        if self.population.len() < self.population_cap / 2 {
+            return Some(self.space.sample(&mut self.rng));
+        }
+        // Tournament: best of `sample_size` random members.
+        let mut best: Option<&Member> = None;
+        for _ in 0..self.sample_size {
+            let idx = self.rng.random_range(0..self.population.len());
+            let m = &self.population[idx];
+            if best.map(|b| m.accuracy > b.accuracy).unwrap_or(true) {
+                best = Some(m);
+            }
+        }
+        let parent = best.expect("population non-empty").genome.clone();
+        Some(self.space.mutate(&parent, &mut self.rng))
+    }
+
+    /// Report a completed evaluation. Returns the models dropped from the
+    /// population (to be retired from the repository).
+    pub fn report(&mut self, model: ModelId, genome: Genome, accuracy: f64) -> Vec<ModelId> {
+        self.population.push_back(Member {
+            model,
+            genome,
+            accuracy,
+        });
+        let mut retired = Vec::new();
+        while self.population.len() > self.population_cap {
+            // Age-based: drop the OLDEST, not the worst.
+            let old = self.population.pop_front().expect("len > cap >= 2");
+            retired.push(old.model);
+        }
+        retired
+    }
+
+    /// Current population (diagnostics).
+    pub fn population(&self) -> impl Iterator<Item = &Member> {
+        self.population.iter()
+    }
+
+    /// Best member so far in the current population.
+    pub fn best(&self) -> Option<&Member> {
+        self.population
+            .iter()
+            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evostore_graph::GenomeSpace;
+
+    fn controller(cap: usize, max: usize) -> AgedEvolution {
+        AgedEvolution::new(GenomeSpace::tiny(), max, cap, 3, 42)
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut c = controller(4, 10);
+        let mut n = 0;
+        while let Some(g) = c.next_candidate() {
+            n += 1;
+            c.report(ModelId(n as u64), g, 0.5);
+        }
+        assert_eq!(n, 10);
+        assert!(c.exhausted());
+    }
+
+    #[test]
+    fn population_capped_and_fifo() {
+        let mut c = controller(4, 100);
+        let mut all_retired = Vec::new();
+        for i in 0..10u64 {
+            let g = c.next_candidate().unwrap();
+            all_retired.extend(c.report(ModelId(i), g, 0.5));
+        }
+        assert_eq!(c.population().count(), 4);
+        // FIFO: the first six models were retired in order.
+        assert_eq!(
+            all_retired,
+            (0..6).map(ModelId).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let run = |seed| {
+            let mut c = AgedEvolution::new(GenomeSpace::tiny(), 20, 5, 3, seed);
+            let mut genomes = Vec::new();
+            for i in 0..20u64 {
+                let g = c.next_candidate().unwrap();
+                genomes.push(g.clone());
+                c.report(ModelId(i), g, (i % 7) as f64 / 7.0);
+            }
+            genomes
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn evolution_exploits_good_members() {
+        // After warm-up with one clearly-best member, new candidates
+        // should mostly be mutations of it (sharing most cells).
+        let space = GenomeSpace::tiny();
+        let mut c = AgedEvolution::new(space.clone(), 1000, 6, 6, 7);
+        let mut star = None;
+        for i in 0..6u64 {
+            let g = c.next_candidate().unwrap();
+            let acc = if i == 3 { 0.99 } else { 0.1 };
+            if i == 3 {
+                star = Some(g.clone());
+            }
+            c.report(ModelId(i), g, acc);
+        }
+        let star = star.unwrap();
+        // Sample size = population size => tournament always finds the star.
+        let mut close = 0;
+        for _ in 0..20 {
+            let child = c.next_candidate().unwrap();
+            let shared = child
+                .cells
+                .iter()
+                .zip(star.cells.iter())
+                .filter(|(a, b)| a == b)
+                .count();
+            if shared * 2 >= star.cells.len().min(child.cells.len()) {
+                close += 1;
+            }
+        }
+        assert!(close >= 12, "only {close}/20 children resembled the star");
+    }
+
+    #[test]
+    fn best_tracks_maximum() {
+        let mut c = controller(5, 100);
+        for i in 0..5u64 {
+            let g = c.next_candidate().unwrap();
+            c.report(ModelId(i), g, i as f64 / 10.0);
+        }
+        assert_eq!(c.best().unwrap().model, ModelId(4));
+    }
+}

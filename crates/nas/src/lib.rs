@@ -1,0 +1,19 @@
+//! Network architecture search substrate — the DeepHyper substitute.
+//!
+//! Reproduces the workflow of §2/§4.3: an aged-evolution controller
+//! ([`controller::AgedEvolution`]) feeding a pool of workers that query
+//! the repository for the best transfer ancestor, fetch and freeze the
+//! shared prefix, train superficially, write back the modified tensors,
+//! and report accuracy. Training itself is an analytic substitute
+//! ([`training::QualityModel`]); everything repository-side runs for
+//! real. The virtual-time executor lives in [`driver`].
+
+pub mod controller;
+pub mod driver;
+pub mod refine;
+pub mod training;
+
+pub use controller::{AgedEvolution, Member};
+pub use refine::{refine_top_k, RefinedCandidate, RefinementReport};
+pub use driver::{run_nas, NasConfig, NasRunResult, RepoSetup, TaskTrace};
+pub use training::QualityModel;

@@ -1,0 +1,201 @@
+//! Simulated training: architecture quality and observed accuracy.
+//!
+//! We have no GPUs and no CANDLE data, so candidate training is an
+//! analytic substitute calibrated to preserve the effects Fig 6-8 rest
+//! on (documented in EXPERIMENTS.md):
+//!
+//! 1. **Heritable quality.** Each candidate has a deterministic
+//!    *potential* composed of per-cell contributions, so a mutation
+//!    changes one term — children of good parents tend to be good, which
+//!    is what lets aged evolution climb (and is true of real NAS
+//!    landscapes).
+//! 2. **Transfer closes the observation gap.** Superficial (one-epoch)
+//!    training *underestimates* potential; inherited experience through
+//!    transferred weights shrinks the gap: the paper's "the superficial
+//!    training \[becomes\] more accurate as an estimation of the quality
+//!    metric" (§2). Without transfer the observation plateaus below the
+//!    true potential.
+//! 3. **Frozen layers accelerate training** (handled by
+//!    [`evostore_sim::TrainModel`]): the backward pass skips them.
+
+use evostore_graph::{CellGene, Genome};
+use evostore_tensor::Fnv128;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated training landscape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QualityModel {
+    /// Base potential of an empty architecture.
+    pub base: f64,
+    /// Lower clamp on potential.
+    pub min_potential: f64,
+    /// Upper clamp on potential.
+    pub max_potential: f64,
+    /// Observation gap at one epoch with no inheritance.
+    pub gap: f64,
+    /// Exponential rate at which experience closes the gap.
+    pub gap_rate: f64,
+    /// Std-dev of observation noise.
+    pub noise: f64,
+    /// Landscape seed (fixing it makes runs reproducible, like the
+    /// paper's fixed controller seed).
+    pub landscape_seed: u64,
+}
+
+impl Default for QualityModel {
+    fn default() -> Self {
+        QualityModel {
+            base: 0.835,
+            min_potential: 0.70,
+            max_potential: 0.975,
+            gap: 0.10,
+            gap_rate: 0.9,
+            noise: 0.004,
+            landscape_seed: 0xE405,
+        }
+    }
+}
+
+impl QualityModel {
+    /// Deterministic per-cell contribution: a stable pseudo-random term
+    /// (the "unknowable" part of the landscape) plus mild structural
+    /// priors (attention and residual branches help, heavy dropout
+    /// hurts) so the landscape has learnable signal.
+    fn cell_contribution(&self, position: usize, gene: &CellGene) -> f64 {
+        let mut h = Fnv128::new();
+        h.update_u64(self.landscape_seed);
+        h.update_u64(position as u64);
+        // Hash the gene through its serialized form for stability.
+        h.update_str(&format!("{gene:?}"));
+        let raw = (h.finish().0 as u32) as f64 / u32::MAX as f64; // [0,1]
+        let noise_term = (raw - 0.5) * 0.030; // [-0.015, +0.015]
+
+        let prior = match gene {
+            CellGene::Attention { .. } => 0.010,
+            CellGene::Branch { .. } => 0.006,
+            CellGene::Norm { .. } => 0.004,
+            CellGene::Submodel { depth, .. } => 0.002 * (*depth as f64),
+            CellGene::Dense { .. } => 0.003,
+            CellGene::Dropout { rate } => {
+                // Moderate dropout helps, heavy dropout hurts.
+                if *rate as usize <= 2 {
+                    0.003
+                } else {
+                    -0.008
+                }
+            }
+        };
+        noise_term + prior
+    }
+
+    /// The true potential of a candidate.
+    pub fn potential(&self, genome: &Genome) -> f64 {
+        let sum: f64 = genome
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, g)| self.cell_contribution(i, g))
+            .sum();
+        (self.base + sum).clamp(self.min_potential, self.max_potential)
+    }
+
+    /// Accuracy observed after superficial training with `effective`
+    /// epochs of effective experience (own epoch + inherited).
+    pub fn observed_accuracy(&self, potential: f64, effective: f64, noise_seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(noise_seed ^ self.landscape_seed);
+        let noise: f64 = (rng.random::<f64>() - 0.5) * 2.0 * self.noise;
+        (potential - self.gap * (-self.gap_rate * effective).exp() + noise).clamp(0.0, 1.0)
+    }
+
+    /// Effective experience of a candidate trained for one epoch after
+    /// inheriting `ancestor_experience` through a prefix covering
+    /// `prefix_fraction` of its layers.
+    pub fn effective_experience(&self, ancestor_experience: f64, prefix_fraction: f64) -> f64 {
+        1.0 + ancestor_experience * prefix_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evostore_graph::GenomeSpace;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_genome(seed: u64) -> Genome {
+        let space = GenomeSpace::attn_like();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        space.sample(&mut rng)
+    }
+
+    #[test]
+    fn potential_is_deterministic_and_bounded() {
+        let qm = QualityModel::default();
+        for seed in 0..50 {
+            let g = sample_genome(seed);
+            let p1 = qm.potential(&g);
+            let p2 = qm.potential(&g);
+            assert_eq!(p1, p2);
+            assert!((qm.min_potential..=qm.max_potential).contains(&p1));
+        }
+    }
+
+    #[test]
+    fn potential_is_heritable() {
+        // A single mutation must change potential by much less than the
+        // spread across random genomes (the landscape is climbable).
+        let qm = QualityModel::default();
+        let space = GenomeSpace::attn_like();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+
+        let mut mutation_deltas = Vec::new();
+        let mut potentials = Vec::new();
+        for seed in 0..40u64 {
+            let g = sample_genome(seed);
+            let p = qm.potential(&g);
+            potentials.push(p);
+            let child = space.mutate(&g, &mut rng);
+            mutation_deltas.push((qm.potential(&child) - p).abs());
+        }
+        let mean_delta: f64 = mutation_deltas.iter().sum::<f64>() / mutation_deltas.len() as f64;
+        let spread = potentials.iter().cloned().fold(f64::MIN, f64::max)
+            - potentials.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            mean_delta < spread / 3.0,
+            "mutations too disruptive: delta {mean_delta:.4} vs spread {spread:.4}"
+        );
+    }
+
+    #[test]
+    fn experience_closes_the_observation_gap() {
+        let qm = QualityModel::default();
+        let p = 0.95;
+        let scratch = qm.observed_accuracy(p, 1.0, 1);
+        let inherited = qm.observed_accuracy(p, 4.0, 1);
+        assert!(inherited > scratch);
+        assert!(p - inherited < 0.02, "deep lineage almost reaches potential");
+        assert!(p - scratch > 0.03, "scratch training underestimates");
+    }
+
+    #[test]
+    fn effective_experience_composes() {
+        let qm = QualityModel::default();
+        assert_eq!(qm.effective_experience(0.0, 0.0), 1.0);
+        let e1 = qm.effective_experience(1.0, 0.5); // 1.5
+        let e2 = qm.effective_experience(e1, 0.5); // 1.75
+        assert!(e2 > e1);
+        // Experience saturates geometrically under a fixed fraction.
+        assert!(e2 < 2.0);
+    }
+
+    #[test]
+    fn observation_noise_is_small_and_seeded() {
+        let qm = QualityModel::default();
+        let a = qm.observed_accuracy(0.9, 2.0, 7);
+        let b = qm.observed_accuracy(0.9, 2.0, 7);
+        assert_eq!(a, b, "same seed, same observation");
+        let c = qm.observed_accuracy(0.9, 2.0, 8);
+        assert!((a - c).abs() <= 2.0 * qm.noise);
+    }
+}

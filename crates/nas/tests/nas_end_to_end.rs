@@ -1,0 +1,197 @@
+//! End-to-end NAS runs at test scale: the qualitative claims of
+//! Figures 6-10 must hold (who wins, in which direction), just at a
+//! smaller candidate count.
+
+use std::sync::Arc;
+
+use evostore_baseline::{Hdf5PfsRepository, RedisServer, SimulatedPfs};
+use evostore_core::{Deployment, ModelRepository};
+use evostore_graph::{Activation, GenomeSpace};
+use evostore_nas::{run_nas, NasConfig, NasRunResult, RepoSetup};
+use evostore_rpc::Fabric;
+use evostore_sim::FabricModel;
+
+fn test_space() -> GenomeSpace {
+    GenomeSpace {
+        input_dim: 64,
+        widths: vec![32, 64, 96, 128],
+        attn_dims: vec![32, 64],
+        attn_heads: vec![2, 4],
+        dropout_rates: vec![0, 200, 500],
+        activations: vec![Activation::ReLU, Activation::GeLU, Activation::Tanh],
+        min_cells: 3,
+        max_cells: 8,
+        num_classes: 2,
+        kind_weights: [5, 2, 2, 2, 2, 2],
+    }
+}
+
+fn config() -> NasConfig {
+    NasConfig {
+        space: test_space(),
+        workers: 8,
+        max_candidates: 80,
+        population_cap: 24,
+        sample_size: 6,
+        seed: 1234,
+        ..Default::default()
+    }
+}
+
+fn evostore_setup() -> (Deployment, RepoSetup) {
+    let dep = Deployment::in_memory(4);
+    let repo: Arc<dyn ModelRepository> = Arc::new(dep.client());
+    (
+        dep,
+        RepoSetup::Rdma {
+            repo,
+            fabric: FabricModel::default(),
+        },
+    )
+}
+
+fn hdf5_setup() -> (Arc<Fabric>, RedisServer, RepoSetup) {
+    let fabric = Fabric::new();
+    let server = RedisServer::spawn(&fabric, 4);
+    let pfs = Arc::new(SimulatedPfs::new());
+    pfs.set_assumed_concurrency(8 / 4);
+    let repo: Arc<dyn ModelRepository> = Arc::new(Hdf5PfsRepository::new(
+        Arc::clone(&fabric),
+        server.endpoint_id(),
+        pfs,
+        false,
+    ));
+    (fabric, server, RepoSetup::Modeled { repo, meta_servers: 8 })
+}
+
+fn run_all() -> (NasRunResult, NasRunResult, NasRunResult) {
+    let cfg = config();
+    let no_transfer = run_nas(&cfg, &RepoSetup::None);
+    let (_dep, evo_setup) = evostore_setup();
+    let evostore = run_nas(&cfg, &evo_setup);
+    let (_f, _s, hdf5_setup) = hdf5_setup();
+    let hdf5 = run_nas(&cfg, &hdf5_setup);
+    (no_transfer, evostore, hdf5)
+}
+
+#[test]
+fn transfer_learning_improves_search_quality_and_speed() {
+    let (no_transfer, evostore, hdf5) = run_all();
+
+    assert_eq!(no_transfer.traces.len(), 80);
+    assert_eq!(evostore.traces.len(), 80);
+    assert_eq!(hdf5.traces.len(), 80);
+
+    // Fig 6: transfer raises mean candidate accuracy.
+    assert!(
+        evostore.mean_accuracy() > no_transfer.mean_accuracy() + 0.01,
+        "evostore {} vs no-transfer {}",
+        evostore.mean_accuracy(),
+        no_transfer.mean_accuracy()
+    );
+
+    // Fig 6/8: transfer shortens the end-to-end runtime (frozen layers
+    // skip the backward pass).
+    assert!(
+        evostore.end_to_end_seconds < no_transfer.end_to_end_seconds,
+        "evostore {} vs no-transfer {}",
+        evostore.end_to_end_seconds,
+        no_transfer.end_to_end_seconds
+    );
+
+    // Fig 8: HDF5+PFS pays more repository overhead than EvoStore.
+    assert!(
+        hdf5.end_to_end_seconds > evostore.end_to_end_seconds,
+        "hdf5 {} vs evostore {}",
+        hdf5.end_to_end_seconds,
+        evostore.end_to_end_seconds
+    );
+
+    // EvoStore repository interactions stay a small fraction of runtime
+    // (paper: < 2%; we allow some slack at test scale).
+    assert!(
+        evostore.io_overhead_fraction() < 0.10,
+        "evostore io fraction {}",
+        evostore.io_overhead_fraction()
+    );
+    assert!(hdf5.io_overhead_fraction() > evostore.io_overhead_fraction());
+
+    // Transfers actually happened with meaningful frozen fractions.
+    assert!(evostore.mean_frozen_fraction() > 0.2);
+    let transferred = evostore.traces.iter().filter(|t| t.transferred).count();
+    assert!(transferred > 40, "only {transferred}/80 tasks transferred");
+}
+
+#[test]
+fn time_to_target_accuracy_favors_transfer() {
+    let (no_transfer, evostore, _hdf5) = run_all();
+    // Pick a threshold the transfer run certainly reaches.
+    let series = evostore.best_over_time();
+    let top = series.last().unwrap().1;
+    let threshold = (top - 0.01).min(0.93);
+
+    let t_evo = evostore.time_to_accuracy(threshold);
+    assert!(t_evo.is_some(), "evostore never reached {threshold}");
+    // Either much later, or never (the paper's asterisks).
+    if let Some(t_nt) = no_transfer.time_to_accuracy(threshold) {
+        assert!(
+            t_nt > t_evo.unwrap(),
+            "no-transfer {t_nt} not slower than evostore {:?}",
+            t_evo
+        );
+    }
+}
+
+#[test]
+fn storage_space_favors_evostore() {
+    let cfg = config();
+    let (_dep, evo_setup) = evostore_setup();
+    let evostore = run_nas(&cfg, &evo_setup);
+    let (_f, _s, hdf5_setup) = hdf5_setup();
+    let hdf5 = run_nas(&cfg, &hdf5_setup);
+
+    // Fig 10: incremental storage keeps EvoStore's peak footprint well
+    // below the baseline's.
+    assert!(
+        (evostore.peak_storage_bytes as f64) < hdf5.peak_storage_bytes as f64 * 0.8,
+        "evostore {} vs hdf5 {}",
+        evostore.peak_storage_bytes,
+        hdf5.peak_storage_bytes
+    );
+
+    // Retirement keeps storage bounded relative to no-retirement.
+    let mut no_retire_cfg = config();
+    no_retire_cfg.retire_dropped = false;
+    let (_dep2, evo_setup2) = evostore_setup();
+    let evostore_no_retire = run_nas(&no_retire_cfg, &evo_setup2);
+    assert!(evostore_no_retire.final_storage_bytes > evostore.final_storage_bytes);
+}
+
+#[test]
+fn task_timeline_shows_wave_vs_irregular_pattern() {
+    let (no_transfer, evostore, _hdf5) = run_all();
+    // Fig 9: without transfer, task durations are near-uniform (waves);
+    // with transfer they vary with the frozen fraction.
+    let spread = |r: &NasRunResult| {
+        let durations: Vec<f64> = r.traces.iter().map(|t| t.duration()).collect();
+        let mean = durations.iter().sum::<f64>() / durations.len() as f64;
+        r.task_duration_std() / mean
+    };
+    assert!(
+        spread(&evostore) > spread(&no_transfer),
+        "evostore cv {} vs no-transfer cv {}",
+        spread(&evostore),
+        spread(&no_transfer)
+    );
+}
+
+#[test]
+fn runs_are_reproducible_under_fixed_seed() {
+    let cfg = config();
+    let a = run_nas(&cfg, &RepoSetup::None);
+    let b = run_nas(&cfg, &RepoSetup::None);
+    let accs_a: Vec<f64> = a.traces.iter().map(|t| t.accuracy).collect();
+    let accs_b: Vec<f64> = b.traces.iter().map(|t| t.accuracy).collect();
+    assert_eq!(accs_a, accs_b);
+    assert_eq!(a.end_to_end_seconds, b.end_to_end_seconds);
+}

@@ -1,0 +1,159 @@
+//! Broadcast + reduce collectives.
+//!
+//! The LCP query path (§4.1) broadcasts one request to every provider,
+//! lets them scan their local catalogs *in parallel*, and reduces the
+//! replies to a single best match. The broadcast issues all requests
+//! asynchronously before collecting any reply, so provider-side work
+//! genuinely overlaps; the reduction is a fold over replies as they
+//! arrive.
+
+use bytes::Bytes;
+
+use crate::fabric::{EndpointId, Fabric, RpcError};
+
+/// One provider's reply within a collective.
+#[derive(Debug, Clone)]
+pub struct MemberReply {
+    /// Which endpoint replied.
+    pub from: EndpointId,
+    /// Its reply (or per-member failure).
+    pub reply: Result<Bytes, RpcError>,
+}
+
+/// Broadcast `body` to `targets` and collect every reply.
+///
+/// All requests are in flight before the first reply is awaited.
+pub fn broadcast(
+    fabric: &Fabric,
+    targets: &[EndpointId],
+    method: &str,
+    body: Bytes,
+) -> Vec<MemberReply> {
+    let pending: Vec<_> = targets
+        .iter()
+        .map(|&t| (t, fabric.call_async(t, method, body.clone())))
+        .collect();
+    pending
+        .into_iter()
+        .map(|(from, rx)| {
+            let reply = match rx {
+                Ok(rx) => rx.recv().unwrap_or(Err(RpcError::Disconnected)),
+                Err(e) => Err(e),
+            };
+            MemberReply { from, reply }
+        })
+        .collect()
+}
+
+/// Broadcast, then reduce the successful replies with `fold`, starting
+/// from `init`. Per-member failures are reported alongside the reduced
+/// value so callers can decide whether partial results are acceptable.
+pub fn broadcast_reduce<T, F>(
+    fabric: &Fabric,
+    targets: &[EndpointId],
+    method: &str,
+    body: Bytes,
+    init: T,
+    mut fold: F,
+) -> (T, Vec<(EndpointId, RpcError)>)
+where
+    F: FnMut(T, EndpointId, Bytes) -> T,
+{
+    let mut acc = init;
+    let mut failures = Vec::new();
+    for member in broadcast(fabric, targets, method, body) {
+        match member.reply {
+            Ok(bytes) => acc = fold(acc, member.from, bytes),
+            Err(e) => failures.push((member.from, e)),
+        }
+    }
+    (acc, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn broadcast_reaches_all_members() {
+        let fabric = Fabric::new();
+        let eps: Vec<_> = (0..5)
+            .map(|i| {
+                let ep = fabric.create_endpoint(1);
+                ep.register("whoami", move |_| Ok(Bytes::from(vec![i as u8])));
+                ep
+            })
+            .collect();
+        let ids: Vec<_> = eps.iter().map(|e| e.id()).collect();
+        let replies = broadcast(&fabric, &ids, "whoami", Bytes::new());
+        assert_eq!(replies.len(), 5);
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.reply.as_ref().unwrap().as_ref(), &[i as u8]);
+        }
+    }
+
+    #[test]
+    fn reduce_folds_successes_and_reports_failures() {
+        let fabric = Fabric::new();
+        let good = fabric.create_endpoint(1);
+        good.register("v", |_| Ok(Bytes::from(vec![7u8])));
+        let bad = fabric.create_endpoint(1);
+        bad.register("v", |_| Err("nope".into()));
+
+        let (sum, failures) = broadcast_reduce(
+            &fabric,
+            &[good.id(), bad.id()],
+            "v",
+            Bytes::new(),
+            0u64,
+            |acc, _, b| acc + b[0] as u64,
+        );
+        assert_eq!(sum, 7);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, bad.id());
+    }
+
+    #[test]
+    fn broadcast_overlaps_member_work() {
+        // 4 members each sleep 20ms; an overlapped broadcast finishes in
+        // far less than the 80ms a sequential loop would need.
+        let fabric = Fabric::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        let eps: Vec<_> = (0..4)
+            .map(|_| {
+                let ep = fabric.create_endpoint(1);
+                let c = Arc::clone(&counter);
+                ep.register("slow", move |_| {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(Bytes::new())
+                });
+                ep
+            })
+            .collect();
+        let ids: Vec<_> = eps.iter().map(|e| e.id()).collect();
+        let t0 = std::time::Instant::now();
+        let replies = broadcast(&fabric, &ids, "slow", Bytes::new());
+        let elapsed = t0.elapsed();
+        assert!(replies.iter().all(|r| r.reply.is_ok()));
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert!(
+            elapsed < std::time::Duration::from_millis(60),
+            "broadcast took {elapsed:?}; members did not overlap"
+        );
+    }
+
+    #[test]
+    fn broadcast_to_missing_endpoint_reports_failure() {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        ep.register("x", |_| Ok(Bytes::new()));
+        let ghost = crate::fabric::EndpointId(404);
+        let replies = broadcast(&fabric, &[ep.id(), ghost], "x", Bytes::new());
+        assert!(replies[0].reply.is_ok());
+        assert_eq!(replies[1].reply, Err(RpcError::NoSuchEndpoint(ghost)));
+    }
+}

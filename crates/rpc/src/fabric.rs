@@ -1,0 +1,411 @@
+//! The in-process fabric: endpoints, RPC dispatch, bulk regions.
+//!
+//! Stands in for the Mochi stack (Mercury + Argobots + Thallium, §4.3):
+//!
+//! * an [`Endpoint`] owns a pool of *service threads* draining a request
+//!   queue — so a provider's request-processing parallelism is a real,
+//!   bounded resource, and a centralized server (the Redis baseline)
+//!   genuinely saturates under concurrent load;
+//! * two-sided RPCs carry opaque byte bodies; [`crate::codec`] layers
+//!   typed messages on top;
+//! * [`Fabric::bulk_get`] is the one-sided path: clients pull registered
+//!   memory regions directly, *without* involving the target's service
+//!   threads — the defining property of RDMA that EvoStore's design
+//!   exploits ("the providers are mostly idle because the majority of I/O
+//!   transfers are performed using bulk RDMA operations", §4.1).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+/// Identifies an endpoint on a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub u32);
+
+impl std::fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// Handle to a registered bulk (RDMA-exposed) memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BulkHandle(pub u64);
+
+/// RPC-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// Target endpoint does not exist (or was shut down).
+    NoSuchEndpoint(EndpointId),
+    /// Target endpoint has no handler registered under that name.
+    NoSuchMethod(String),
+    /// The handler returned an application error.
+    Handler(String),
+    /// The endpoint shut down while the request was in flight.
+    Disconnected,
+    /// Bulk handle not registered.
+    NoSuchBulk(BulkHandle),
+    /// Typed-codec failure.
+    Codec(String),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::NoSuchEndpoint(e) => write!(f, "no such endpoint {e}"),
+            RpcError::NoSuchMethod(m) => write!(f, "no such method {m:?}"),
+            RpcError::Handler(msg) => write!(f, "handler error: {msg}"),
+            RpcError::Disconnected => write!(f, "endpoint disconnected"),
+            RpcError::NoSuchBulk(h) => write!(f, "no such bulk handle {h:?}"),
+            RpcError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// An RPC handler: opaque request bytes in, response bytes (or an
+/// application error string) out.
+pub type Handler = Arc<dyn Fn(Bytes) -> Result<Bytes, String> + Send + Sync>;
+
+struct Job {
+    method: String,
+    body: Bytes,
+    reply: Sender<Result<Bytes, RpcError>>,
+}
+
+struct EndpointInner {
+    /// Shared with the service threads. Kept behind its own `Arc` so the
+    /// threads do not keep the request queue's `Sender` alive (that would
+    /// prevent the channel from ever closing on shutdown).
+    handlers: Arc<RwLock<HashMap<String, Handler>>>,
+    queue: Sender<Job>,
+    /// Joined on shutdown.
+    threads: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A registered endpoint (provider, metadata server, ...).
+///
+/// Holds the registration alive; dropping the `Endpoint` (or calling
+/// [`Fabric::shutdown_endpoint`]) stops its service threads.
+pub struct Endpoint {
+    id: EndpointId,
+    inner: Arc<EndpointInner>,
+}
+
+impl Endpoint {
+    /// This endpoint's id.
+    pub fn id(&self) -> EndpointId {
+        self.id
+    }
+
+    /// Register (or replace) a handler for `method`.
+    pub fn register<F>(&self, method: &str, handler: F)
+    where
+        F: Fn(Bytes) -> Result<Bytes, String> + Send + Sync + 'static,
+    {
+        self.inner
+            .handlers
+            .write()
+            .insert(method.to_string(), Arc::new(handler));
+    }
+}
+
+/// The fabric: endpoint registry + bulk-region registry.
+pub struct Fabric {
+    endpoints: RwLock<HashMap<EndpointId, Arc<EndpointInner>>>,
+    next_endpoint: AtomicU64,
+    bulk: RwLock<HashMap<u64, Bytes>>,
+    next_bulk: AtomicU64,
+}
+
+impl Fabric {
+    /// A fresh fabric.
+    pub fn new() -> Arc<Fabric> {
+        Arc::new(Fabric {
+            endpoints: RwLock::new(HashMap::new()),
+            next_endpoint: AtomicU64::new(0),
+            bulk: RwLock::new(HashMap::new()),
+            next_bulk: AtomicU64::new(0),
+        })
+    }
+
+    /// Create an endpoint with `service_threads` request-processing
+    /// threads (Argobots execution streams, in Mochi terms).
+    pub fn create_endpoint(self: &Arc<Self>, service_threads: usize) -> Endpoint {
+        assert!(service_threads > 0, "endpoint needs at least one service thread");
+        let id = EndpointId(self.next_endpoint.fetch_add(1, Ordering::Relaxed) as u32);
+        let (tx, rx) = unbounded::<Job>();
+        let handlers: Arc<RwLock<HashMap<String, Handler>>> = Arc::new(RwLock::new(HashMap::new()));
+        let inner = Arc::new(EndpointInner {
+            handlers: Arc::clone(&handlers),
+            queue: tx,
+            threads: parking_lot::Mutex::new(Vec::new()),
+        });
+
+        let mut threads = Vec::with_capacity(service_threads);
+        for t in 0..service_threads {
+            let rx: Receiver<Job> = rx.clone();
+            let handlers = Arc::clone(&handlers);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ep{}-svc{}", id.0, t))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let handler = handlers.read().get(&job.method).cloned();
+                            let result = match handler {
+                                Some(h) => h(job.body).map_err(RpcError::Handler),
+                                None => Err(RpcError::NoSuchMethod(job.method.clone())),
+                            };
+                            // Caller may have given up; ignore send failure.
+                            let _ = job.reply.send(result);
+                        }
+                    })
+                    .expect("spawn service thread"),
+            );
+        }
+        *inner.threads.lock() = threads;
+
+        self.endpoints.write().insert(id, Arc::clone(&inner));
+        Endpoint { id, inner }
+    }
+
+    /// Two-sided RPC: block until the target's service threads produce a
+    /// response.
+    pub fn call(&self, target: EndpointId, method: &str, body: Bytes) -> Result<Bytes, RpcError> {
+        self.call_async(target, method, body)?
+            .recv()
+            .map_err(|_| RpcError::Disconnected)?
+    }
+
+    /// Fire a request and return the reply channel — the building block of
+    /// the broadcast collective.
+    pub fn call_async(
+        &self,
+        target: EndpointId,
+        method: &str,
+        body: Bytes,
+    ) -> Result<Receiver<Result<Bytes, RpcError>>, RpcError> {
+        let inner = self
+            .endpoints
+            .read()
+            .get(&target)
+            .cloned()
+            .ok_or(RpcError::NoSuchEndpoint(target))?;
+        let (reply_tx, reply_rx) = bounded(1);
+        inner
+            .queue
+            .send(Job {
+                method: method.to_string(),
+                body,
+                reply: reply_tx,
+            })
+            .map_err(|_| RpcError::NoSuchEndpoint(target))?;
+        Ok(reply_rx)
+    }
+
+    /// Deregister an endpoint and stop its service threads (pending
+    /// requests are drained first; new calls fail with `NoSuchEndpoint`).
+    pub fn shutdown_endpoint(&self, ep: Endpoint) {
+        self.endpoints.write().remove(&ep.id);
+        let Endpoint { inner, .. } = ep;
+        // Dropping our map entry + the Endpoint's queue clone closes the
+        // channel once all senders are gone; service threads then exit.
+        let threads = std::mem::take(&mut *inner.threads.lock());
+        drop(inner);
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+
+    /// All currently registered endpoint ids (ascending).
+    pub fn endpoint_ids(&self) -> Vec<EndpointId> {
+        let mut ids: Vec<EndpointId> = self.endpoints.read().keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    // ---- one-sided (RDMA-style) bulk operations -------------------------
+
+    /// Expose a memory region for one-sided reads. Zero-copy: the region
+    /// shares the caller's buffer.
+    pub fn bulk_expose(&self, data: Bytes) -> BulkHandle {
+        let id = self.next_bulk.fetch_add(1, Ordering::Relaxed);
+        self.bulk.write().insert(id, data);
+        BulkHandle(id)
+    }
+
+    /// One-sided read of an exposed region. Does *not* involve any service
+    /// thread of the exposing endpoint.
+    pub fn bulk_get(&self, handle: BulkHandle) -> Result<Bytes, RpcError> {
+        self.bulk
+            .read()
+            .get(&handle.0)
+            .cloned()
+            .ok_or(RpcError::NoSuchBulk(handle))
+    }
+
+    /// One-sided sub-range read (partial tensor access).
+    pub fn bulk_get_range(
+        &self,
+        handle: BulkHandle,
+        offset: usize,
+        len: usize,
+    ) -> Result<Bytes, RpcError> {
+        let region = self.bulk_get(handle)?;
+        if offset + len > region.len() {
+            return Err(RpcError::Handler(format!(
+                "bulk range {offset}+{len} out of bounds for region of {}",
+                region.len()
+            )));
+        }
+        Ok(region.slice(offset..offset + len))
+    }
+
+    /// Withdraw a region.
+    pub fn bulk_release(&self, handle: BulkHandle) -> bool {
+        self.bulk.write().remove(&handle.0).is_some()
+    }
+
+    /// Number of live bulk regions (leak checks in tests).
+    pub fn bulk_regions(&self) -> usize {
+        self.bulk.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(2);
+        ep.register("echo", Ok);
+        let reply = fabric
+            .call(ep.id(), "echo", Bytes::from_static(b"ping"))
+            .unwrap();
+        assert_eq!(reply, Bytes::from_static(b"ping"));
+    }
+
+    #[test]
+    fn unknown_method_and_endpoint() {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        assert_eq!(
+            fabric.call(ep.id(), "nope", Bytes::new()),
+            Err(RpcError::NoSuchMethod("nope".into()))
+        );
+        assert_eq!(
+            fabric.call(EndpointId(999), "x", Bytes::new()),
+            Err(RpcError::NoSuchEndpoint(EndpointId(999)))
+        );
+    }
+
+    #[test]
+    fn handler_errors_propagate() {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        ep.register("fail", |_| Err("boom".to_string()));
+        assert_eq!(
+            fabric.call(ep.id(), "fail", Bytes::new()),
+            Err(RpcError::Handler("boom".into()))
+        );
+    }
+
+    #[test]
+    fn concurrent_calls_served_by_pool() {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(4);
+        ep.register("double", |body| {
+            let v: Vec<u8> = body.iter().map(|b| b.wrapping_mul(2)).collect();
+            Ok(Bytes::from(v))
+        });
+        let id = ep.id();
+        std::thread::scope(|s| {
+            for t in 0..16u8 {
+                let fabric = &fabric;
+                s.spawn(move || {
+                    for i in 0..50u8 {
+                        let req = Bytes::from(vec![t, i]);
+                        let resp = fabric.call(id, "double", req).unwrap();
+                        assert_eq!(resp.as_ref(), &[t.wrapping_mul(2), i.wrapping_mul(2)]);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn single_service_thread_serializes() {
+        // One service thread => strictly sequential handler execution.
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        let concurrent = Arc::new(AtomicU64::new(0));
+        let max_seen = Arc::new(AtomicU64::new(0));
+        {
+            let c = Arc::clone(&concurrent);
+            let m = Arc::clone(&max_seen);
+            ep.register("probe", move |_| {
+                let now = c.fetch_add(1, Ordering::SeqCst) + 1;
+                m.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                c.fetch_sub(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            });
+        }
+        let id = ep.id();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let fabric = &fabric;
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        fabric.call(id, "probe", Bytes::new()).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn bulk_expose_get_release() {
+        let fabric = Fabric::new();
+        let data = Bytes::from(vec![42u8; 1024]);
+        let h = fabric.bulk_expose(data.clone());
+        let got = fabric.bulk_get(h).unwrap();
+        assert_eq!(got, data);
+        // Zero-copy: same allocation.
+        assert_eq!(got.as_ptr(), data.as_ptr());
+        assert!(fabric.bulk_release(h));
+        assert!(!fabric.bulk_release(h));
+        assert_eq!(fabric.bulk_get(h), Err(RpcError::NoSuchBulk(h)));
+    }
+
+    #[test]
+    fn bulk_range_reads() {
+        let fabric = Fabric::new();
+        let data = Bytes::from((0u8..=255).collect::<Vec<u8>>());
+        let h = fabric.bulk_expose(data);
+        let mid = fabric.bulk_get_range(h, 100, 10).unwrap();
+        assert_eq!(mid.as_ref(), &(100u8..110).collect::<Vec<u8>>()[..]);
+        assert!(fabric.bulk_get_range(h, 250, 10).is_err());
+    }
+
+    #[test]
+    fn shutdown_stops_endpoint() {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(2);
+        ep.register("echo", Ok);
+        let id = ep.id();
+        fabric.shutdown_endpoint(ep);
+        assert_eq!(
+            fabric.call(id, "echo", Bytes::new()),
+            Err(RpcError::NoSuchEndpoint(id))
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! In-process RPC fabric for EvoStore — the Mochi/Thallium/Mercury
+//! substitute.
+//!
+//! Provides the three primitives the repository is built on (§4.3):
+//! two-sided RPCs served by bounded per-endpoint thread pools
+//! ([`fabric`]), one-sided bulk transfers over registered memory regions
+//! (the RDMA path), and broadcast/reduce collectives for provider-side
+//! metadata queries ([`collective`]).
+
+pub mod codec;
+pub mod collective;
+pub mod fabric;
+
+pub use codec::{call_typed, decode, encode, typed_handler};
+pub use collective::{broadcast, broadcast_reduce, MemberReply};
+pub use fabric::{BulkHandle, Endpoint, EndpointId, Fabric, Handler, RpcError};

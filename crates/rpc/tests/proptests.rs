@@ -1,0 +1,99 @@
+//! Property tests for the RPC fabric: payload fidelity under arbitrary
+//! bodies, routing across many endpoints, and bulk-region semantics.
+
+use bytes::Bytes;
+use evostore_rpc::{broadcast, Fabric};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary request bodies echo back byte-identically through the
+    /// service-thread path.
+    #[test]
+    fn echo_is_identity(body in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(2);
+        ep.register("echo", Ok);
+        let reply = fabric.call(ep.id(), "echo", Bytes::from(body.clone())).unwrap();
+        prop_assert_eq!(reply.as_ref(), &body[..]);
+    }
+
+    /// With N endpoints each tagging replies with their index, every
+    /// request routes to exactly the endpoint it was addressed to.
+    #[test]
+    fn routing_is_exact(n in 1usize..12, calls in prop::collection::vec(any::<u8>(), 1..64)) {
+        let fabric = Fabric::new();
+        let eps: Vec<_> = (0..n)
+            .map(|i| {
+                let ep = fabric.create_endpoint(1);
+                ep.register("who", move |_| Ok(Bytes::from(vec![i as u8])));
+                ep
+            })
+            .collect();
+        for c in calls {
+            let target = (c as usize) % n;
+            let reply = fabric.call(eps[target].id(), "who", Bytes::new()).unwrap();
+            prop_assert_eq!(reply.as_ref(), &[target as u8]);
+        }
+    }
+
+    /// Broadcast returns one reply per target, in target order.
+    #[test]
+    fn broadcast_covers_all_targets(n in 1usize..10) {
+        let fabric = Fabric::new();
+        let eps: Vec<_> = (0..n)
+            .map(|i| {
+                let ep = fabric.create_endpoint(1);
+                ep.register("v", move |_| Ok(Bytes::from(vec![i as u8])));
+                ep
+            })
+            .collect();
+        let ids: Vec<_> = eps.iter().map(|e| e.id()).collect();
+        let replies = broadcast(&fabric, &ids, "v", Bytes::new());
+        prop_assert_eq!(replies.len(), n);
+        for (i, r) in replies.iter().enumerate() {
+            prop_assert_eq!(r.from, ids[i]);
+            prop_assert_eq!(r.reply.as_ref().unwrap().as_ref(), &[i as u8]);
+        }
+    }
+
+    /// Bulk regions: expose/get preserves bytes; ranges slice correctly;
+    /// release makes the handle invalid; no region leaks.
+    #[test]
+    fn bulk_region_semantics(data in prop::collection::vec(any::<u8>(), 1..2048), cuts in prop::collection::vec((any::<u16>(), any::<u16>()), 0..8)) {
+        let fabric = Fabric::new();
+        let h = fabric.bulk_expose(Bytes::from(data.clone()));
+        let full = fabric.bulk_get(h).unwrap();
+        prop_assert_eq!(full.as_ref(), &data[..]);
+        for (a, b) in cuts {
+            let off = (a as usize) % data.len();
+            let len = (b as usize) % (data.len() - off + 1);
+            let got = fabric.bulk_get_range(h, off, len).unwrap();
+            prop_assert_eq!(got.as_ref(), &data[off..off + len]);
+        }
+        prop_assert!(fabric.bulk_release(h));
+        prop_assert!(fabric.bulk_get(h).is_err());
+        prop_assert_eq!(fabric.bulk_regions(), 0);
+    }
+
+    /// Handlers that error never take the endpoint down: subsequent calls
+    /// still succeed.
+    #[test]
+    fn handler_errors_are_isolated(msgs in prop::collection::vec(any::<bool>(), 1..32)) {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        ep.register("maybe", |body: Bytes| {
+            if body.first() == Some(&1) {
+                Err("requested failure".into())
+            } else {
+                Ok(Bytes::from_static(b"ok"))
+            }
+        });
+        for fail in msgs {
+            let body = Bytes::from(vec![fail as u8]);
+            let r = fabric.call(ep.id(), "maybe", body);
+            prop_assert_eq!(r.is_err(), fail);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Virtual time.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, in seconds since simulation start.
+///
+/// Wraps `f64` with a total order (times are always finite; constructors
+/// enforce it) so it can live in heaps and sorted structures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation origin.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// From seconds. Panics on NaN/infinite input — those are always bugs
+    /// in a cost model.
+    pub fn from_secs(s: f64) -> SimTime {
+        assert!(s.is_finite(), "non-finite SimTime: {s}");
+        SimTime(s)
+    }
+
+    /// Seconds since origin.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Advance by a duration in seconds.
+    pub fn after(self, secs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + secs)
+    }
+
+    /// Elapsed seconds since `earlier` (>= 0 when ordered correctly).
+    pub fn since(self, earlier: SimTime) -> f64 {
+        self.0 - earlier.0
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Finite by construction.
+        self.0.partial_cmp(&other.0).expect("finite times")
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = a.after(0.5);
+        assert!(b > a);
+        assert_eq!(b.since(a), 0.5);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::ZERO.as_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        let _ = SimTime::from_secs(f64::NAN);
+    }
+}

@@ -1,0 +1,18 @@
+//! Discrete-event simulation substrate for cluster-scale experiments.
+//!
+//! The paper's testbed (560-node Polaris, Slingshot fabric, Lustre) is
+//! simulated: algorithms and data structures run for real, while
+//! transfer-medium timing comes from these models. Provides a virtual
+//! clock ([`SimTime`]), a time-ordered [`EventQueue`], fair-share
+//! bandwidth resources ([`PsResource`]), and documented cost models for
+//! the fabric, the parallel file system, and GPU training ([`model`]).
+
+pub mod clock;
+pub mod model;
+pub mod queue;
+pub mod resource;
+
+pub use clock::SimTime;
+pub use model::{FabricModel, PfsModel, TrainModel, GB};
+pub use queue::EventQueue;
+pub use resource::{run_transfers, PsResource, TransferId};

@@ -1,0 +1,83 @@
+//! Property tests for the simulation substrate: event ordering and
+//! conservation laws of the processor-sharing resource.
+
+use evostore_sim::{run_transfers, EventQueue, PsResource, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The event queue pops in non-decreasing time order and FIFO within
+    /// equal times.
+    #[test]
+    fn event_queue_ordering(times in prop::collection::vec(0u32..1000, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(t as f64), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut last_seq_at_time: Option<(SimTime, usize)> = None;
+        while let Some((t, seq)) = q.pop() {
+            prop_assert!(t >= last);
+            if let Some((lt, ls)) = last_seq_at_time {
+                if lt == t {
+                    prop_assert!(seq > ls, "FIFO violated at equal times");
+                }
+            }
+            last = t;
+            last_seq_at_time = Some((t, seq));
+        }
+    }
+
+    /// Work conservation: for transfers all arriving at t=0, the makespan
+    /// equals total bytes / capacity, and every completion is no earlier
+    /// than its own solo transfer time.
+    #[test]
+    fn ps_resource_conserves_work(
+        sizes in prop::collection::vec(1.0f64..100_000.0, 1..32),
+        capacity in 1.0f64..10_000.0
+    ) {
+        let mut r = PsResource::new(capacity);
+        let jobs: Vec<(SimTime, f64)> = sizes.iter().map(|&b| (SimTime::ZERO, b)).collect();
+        let finish = run_transfers(&mut r, &jobs);
+        let total: f64 = sizes.iter().sum();
+        let makespan = finish.iter().map(|t| t.as_secs()).fold(0.0, f64::max);
+        prop_assert!((makespan - total / capacity).abs() < 1e-6 * (1.0 + makespan));
+        for (i, t) in finish.iter().enumerate() {
+            let solo = sizes[i] / capacity;
+            prop_assert!(t.as_secs() >= solo - 1e-9);
+        }
+    }
+
+    /// Fairness: identical transfers arriving together finish together.
+    #[test]
+    fn ps_resource_is_fair(n in 1usize..24, bytes in 1.0f64..10_000.0, capacity in 1.0f64..1_000.0) {
+        let mut r = PsResource::new(capacity);
+        let jobs = vec![(SimTime::ZERO, bytes); n];
+        let finish = run_transfers(&mut r, &jobs);
+        let first = finish[0].as_secs();
+        for t in &finish {
+            prop_assert!((t.as_secs() - first).abs() < 1e-9);
+        }
+    }
+
+    /// Staggered arrivals: completions are monotone in arrival order for
+    /// equal-size transfers (no overtaking under PS).
+    #[test]
+    fn ps_no_overtaking_for_equal_sizes(
+        gaps in prop::collection::vec(0.0f64..10.0, 1..16),
+        bytes in 1.0f64..1000.0
+    ) {
+        let mut r = PsResource::new(50.0);
+        let mut t = 0.0;
+        let mut jobs = Vec::new();
+        for g in &gaps {
+            t += g;
+            jobs.push((SimTime::from_secs(t), bytes));
+        }
+        let finish = run_transfers(&mut r, &jobs);
+        for w in finish.windows(2) {
+            prop_assert!(w[1] >= w[0], "later arrival finished earlier");
+        }
+    }
+}

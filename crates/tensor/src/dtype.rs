@@ -1,0 +1,123 @@
+//! Element types supported by repository tensors.
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a tensor.
+///
+/// The repository never interprets tensor payloads beyond their byte length,
+/// but the dtype participates in the layer *configuration* (and therefore in
+/// architecture matching: two layers with identical shapes but different
+/// dtypes are different layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum DType {
+    /// 32-bit IEEE-754 float (the default training dtype).
+    F32 = 0,
+    /// 64-bit IEEE-754 float.
+    F64 = 1,
+    /// 16-bit IEEE-754 float (storage only; we never do arithmetic on it).
+    F16 = 2,
+    /// bfloat16 (storage only).
+    BF16 = 3,
+    /// 32-bit signed integer (embedding indices, masks).
+    I32 = 4,
+    /// 64-bit signed integer.
+    I64 = 5,
+    /// 8-bit unsigned integer (quantized weights).
+    U8 = 6,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size_of(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F64 | DType::I64 => 8,
+            DType::F16 | DType::BF16 => 2,
+            DType::U8 => 1,
+        }
+    }
+
+    /// Stable numeric tag used on the wire.
+    #[inline]
+    pub const fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`DType::tag`].
+    pub const fn from_tag(tag: u8) -> Option<DType> {
+        Some(match tag {
+            0 => DType::F32,
+            1 => DType::F64,
+            2 => DType::F16,
+            3 => DType::BF16,
+            4 => DType::I32,
+            5 => DType::I64,
+            6 => DType::U8,
+            _ => return None,
+        })
+    }
+
+    /// All supported dtypes (used by property tests and generators).
+    pub const ALL: [DType; 7] = [
+        DType::F32,
+        DType::F64,
+        DType::F16,
+        DType::BF16,
+        DType::I32,
+        DType::I64,
+        DType::U8,
+    ];
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::U8 => "u8",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for d in DType::ALL {
+            assert_eq!(DType::from_tag(d.tag()), Some(d));
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(DType::from_tag(7), None);
+        assert_eq!(DType::from_tag(255), None);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_of(), 4);
+        assert_eq!(DType::F64.size_of(), 8);
+        assert_eq!(DType::F16.size_of(), 2);
+        assert_eq!(DType::BF16.size_of(), 2);
+        assert_eq!(DType::I32.size_of(), 4);
+        assert_eq!(DType::I64.size_of(), 8);
+        assert_eq!(DType::U8.size_of(), 1);
+    }
+
+    #[test]
+    fn display_names_are_unique() {
+        let names: std::collections::HashSet<String> =
+            DType::ALL.iter().map(|d| d.to_string()).collect();
+        assert_eq!(names.len(), DType::ALL.len());
+    }
+}

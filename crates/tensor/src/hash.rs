@@ -1,0 +1,161 @@
+//! 128-bit content hashing.
+//!
+//! EvoStore identifies "the same layer configuration" and "the same tensor
+//! payload" structurally, never by name (§4.2 of the paper: identical names
+//! may describe different configurations and vice versa). We use FNV-1a with
+//! a 128-bit state: it is deterministic across platforms and processes (so
+//! hashes computed by one worker match hashes computed by a provider),
+//! cheap, and — at 128 bits — collision-free for all practical catalog sizes.
+//!
+//! This is *not* a cryptographic hash; the repository is not adversarial.
+
+use serde::{Deserialize, Serialize};
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit structural content hash.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ContentHash(pub u128);
+
+impl ContentHash {
+    /// Hash a byte slice in one shot.
+    pub fn of_bytes(bytes: &[u8]) -> ContentHash {
+        ContentHash(fnv1a128(bytes))
+    }
+
+    /// The low 64 bits, used when a smaller key is enough (e.g. shard
+    /// selection).
+    #[inline]
+    pub fn low64(self) -> u64 {
+        self.0 as u64
+    }
+}
+
+impl std::fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ContentHash({:032x})", self.0)
+    }
+}
+
+impl std::fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// One-shot FNV-1a over a byte slice with a 128-bit state.
+pub fn fnv1a128(bytes: &[u8]) -> u128 {
+    let mut h = Fnv128::new();
+    h.update(bytes);
+    h.finish().0
+}
+
+/// Incremental FNV-1a-128 hasher.
+///
+/// Layer configurations hash themselves field-by-field through this (see
+/// `evostore-graph`), which avoids building an intermediate encoding buffer.
+#[derive(Clone)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Fnv128 {
+    /// Fresh hasher with the standard FNV offset basis.
+    #[inline]
+    pub fn new() -> Fnv128 {
+        Fnv128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Absorb raw bytes.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &b in bytes {
+            s ^= b as u128;
+            s = s.wrapping_mul(FNV128_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// Absorb a `u64` in a fixed (little-endian) encoding.
+    #[inline]
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorb a `u32` in a fixed (little-endian) encoding.
+    #[inline]
+    pub fn update_u32(&mut self, v: u32) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorb a length-prefixed string (length prefix prevents ambiguity
+    /// between `("ab","c")` and `("a","bc")`).
+    #[inline]
+    pub fn update_str(&mut self, s: &str) {
+        self.update_u64(s.len() as u64);
+        self.update(s.as_bytes());
+    }
+
+    /// Finalize.
+    #[inline]
+    pub fn finish(&self) -> ContentHash {
+        ContentHash(self.state)
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_offset_basis() {
+        assert_eq!(fnv1a128(&[]), FNV128_OFFSET);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = fnv1a128(b"evostore");
+        let b = fnv1a128(b"evostore");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        assert_ne!(fnv1a128(b"layer-0"), fnv1a128(b"layer-1"));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv128::new();
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finish().0, fnv1a128(b"hello world"));
+    }
+
+    #[test]
+    fn str_framing_disambiguates() {
+        let mut a = Fnv128::new();
+        a.update_str("ab");
+        a.update_str("c");
+        let mut b = Fnv128::new();
+        b.update_str("a");
+        b.update_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn display_is_32_hex_chars() {
+        let h = ContentHash::of_bytes(b"x");
+        assert_eq!(h.to_string().len(), 32);
+    }
+}

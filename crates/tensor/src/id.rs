@@ -1,0 +1,154 @@
+//! Identifiers used across the repository.
+
+use serde::{Deserialize, Serialize};
+
+/// Globally unique identifier of a stored model.
+///
+/// Model ids drive provider placement (static hashing, §4.1) so they must be
+/// unique across all clients. In the paper they are assigned by the NAS
+/// controller; here any `u64` works — the NAS driver hands out sequential
+/// ids, tests use arbitrary ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModelId(pub u64);
+
+impl ModelId {
+    /// The provider index this model's metadata and consolidated tensors are
+    /// placed on, for a deployment of `num_providers` providers.
+    ///
+    /// A multiplicative (Fibonacci) hash rather than a plain modulo, so that
+    /// sequential NAS-assigned ids spread instead of striping.
+    #[inline]
+    pub fn provider_for(self, num_providers: usize) -> usize {
+        assert!(num_providers > 0, "deployment must have at least 1 provider");
+        // 2^64 / phi, the canonical multiplicative-hash constant.
+        let mixed = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // High bits are the well-mixed ones.
+        ((mixed >> 32) as usize) % num_providers
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Index of a leaf-layer vertex inside one model's *compact architecture
+/// graph* (assigned by flattening, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Key of one stored tensor: the model that *owns* (last modified) it plus
+/// the vertex it parameterizes in that owner, plus which of the vertex's
+/// parameter slots it is (weights = 0, bias = 1, ...).
+///
+/// This is the paper's "128 bits per leaf-layer" owner-map entry: 64-bit
+/// owner + 32-bit vertex + 32-bit slot. A tensor key is resolvable without
+/// any directory lookup — the tensor lives on `owner.provider_for(n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TensorKey {
+    /// Owning model (most recent ancestor that modified the tensor).
+    pub owner: ModelId,
+    /// Vertex id inside the owner's compact graph.
+    pub vertex: VertexId,
+    /// Parameter slot within the vertex (0 = kernel/weights, 1 = bias, ...).
+    pub slot: u32,
+}
+
+impl TensorKey {
+    /// Construct a key.
+    #[inline]
+    pub fn new(owner: ModelId, vertex: VertexId, slot: u32) -> TensorKey {
+        TensorKey {
+            owner,
+            vertex,
+            slot,
+        }
+    }
+
+    /// Fixed-width byte encoding (used as the KV-store key).
+    #[inline]
+    pub fn encode(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.owner.0.to_le_bytes());
+        out[8..12].copy_from_slice(&self.vertex.0.to_le_bytes());
+        out[12..16].copy_from_slice(&self.slot.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`TensorKey::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<TensorKey> {
+        if bytes.len() != 16 {
+            return None;
+        }
+        let owner = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+        let vertex = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        let slot = u32::from_le_bytes(bytes[12..16].try_into().ok()?);
+        Some(TensorKey {
+            owner: ModelId(owner),
+            vertex: VertexId(vertex),
+            slot,
+        })
+    }
+}
+
+impl std::fmt::Display for TensorKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.owner, self.vertex, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_key_encode_roundtrip() {
+        let k = TensorKey::new(ModelId(0xDEAD_BEEF_0BAD_F00D), VertexId(42), 1);
+        assert_eq!(TensorKey::decode(&k.encode()), Some(k));
+    }
+
+    #[test]
+    fn tensor_key_decode_rejects_bad_length() {
+        assert_eq!(TensorKey::decode(&[0u8; 15]), None);
+        assert_eq!(TensorKey::decode(&[0u8; 17]), None);
+    }
+
+    #[test]
+    fn placement_in_range_and_deterministic() {
+        for n in [1usize, 2, 3, 7, 64] {
+            for id in 0..500u64 {
+                let p = ModelId(id).provider_for(n);
+                assert!(p < n);
+                assert_eq!(p, ModelId(id).provider_for(n));
+            }
+        }
+    }
+
+    #[test]
+    fn placement_spreads_sequential_ids() {
+        // Sequential NAS ids should land roughly uniformly on providers.
+        let n = 16usize;
+        let mut counts = vec![0usize; n];
+        for id in 0..1600u64 {
+            counts[ModelId(id).provider_for(n)] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        // Perfect balance is 100 each; allow generous slack.
+        assert!(min >= 50, "min load {min} too small: {counts:?}");
+        assert!(max <= 200, "max load {max} too large: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 provider")]
+    fn placement_zero_providers_panics() {
+        let _ = ModelId(1).provider_for(0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Tensor substrate for the EvoStore model repository.
+//!
+//! Deep-learning models decompose into *leaf layers*, each of which owns a
+//! small set of parameter tensors (weights, biases, running statistics, ...).
+//! EvoStore stores, deduplicates and transfers models at exactly this
+//! granularity, so this crate provides the primitives everything else builds
+//! on:
+//!
+//! * [`DType`] / [`TensorData`] — typed, shape-carrying, cheaply-cloneable
+//!   binary buffers (backed by [`bytes::Bytes`], so sharing a tensor between
+//!   two models never copies the payload);
+//! * [`ContentHash`] — a 128-bit structural content hash used to detect
+//!   identical tensors and identical layer configurations;
+//! * [`ModelId`] / [`TensorKey`] — the identifiers the distributed repository
+//!   uses for placement (static hashing of the model id) and for owner maps
+//!   (`128` bits per leaf layer, as in the paper);
+//! * wire (de)serialization with integrity checks ([`ser`]).
+
+pub mod dtype;
+pub mod hash;
+pub mod id;
+pub mod ser;
+pub mod tensor;
+
+pub use dtype::DType;
+pub use hash::{fnv1a128, ContentHash, Fnv128};
+pub use id::{ModelId, TensorKey, VertexId};
+pub use ser::{payload_range, read_tensor, write_tensor, SerError};
+pub use tensor::TensorData;

@@ -1,0 +1,96 @@
+//! Architecture pattern queries — "how to query the DL model
+//! architectures for specific patterns?" (§1).
+//!
+//! Populates a small repository with diverse generated models and runs
+//! provider-side pattern scans: layer-kind filters, width ranges, and
+//! structural motifs (a pre-norm attention block). Also demonstrates
+//! partial tensor reads and the DOT export for inspecting a match.
+//!
+//! ```text
+//! cargo run --release --example pattern_queries
+//! ```
+
+use evostore::core::{trained_tensors, Deployment, OwnerMap};
+use evostore::graph::{arch_stats, flatten, to_dot, ArchPattern, GenomeSpace, LayerPattern};
+use evostore::tensor::ModelId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let dep = Deployment::in_memory(4);
+    let client = dep.client();
+    let space = GenomeSpace::attn_like();
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+
+    // Populate with 40 diverse candidates.
+    for id in 1..=40u64 {
+        let genome = space.sample(&mut rng);
+        let graph = flatten(&space.materialize(&genome)).unwrap();
+        let map = OwnerMap::fresh(ModelId(id), &graph);
+        let tensors = trained_tensors(&graph, &map, id);
+        client
+            .store_model(graph, map, None, 0.70 + (id as f64 % 25.0) / 100.0, &tensors)
+            .unwrap();
+    }
+    println!("stored 40 models across {} providers\n", client.num_providers());
+
+    // 1. All models with any attention layer.
+    let with_attention = client
+        .find_matching(&ArchPattern::any().with_layer(LayerPattern::Kind("attention".into())))
+        .unwrap();
+    println!("models containing attention: {}", with_attention.len());
+
+    // 2. Wide dense layers (512+ units).
+    let wide = client
+        .find_matching(&ArchPattern::any().with_layer(LayerPattern::DenseUnits {
+            min: 512,
+            max: u32::MAX,
+        }))
+        .unwrap();
+    println!("models with a dense layer of >= 512 units: {}", wide.len());
+
+    // 3. The pre-norm attention motif as a structural sequence.
+    let motif = ArchPattern::any().with_sequence(vec![
+        LayerPattern::Kind("layer_norm".into()),
+        LayerPattern::Kind("attention".into()),
+        LayerPattern::Kind("add".into()),
+    ]);
+    let prenorm = client.find_matching(&motif).unwrap();
+    println!("models with a pre-norm attention block: {}", prenorm.len());
+
+    // 4. Compact models only (parameter budget).
+    let small = client
+        .find_matching(&ArchPattern::any().with_params(0, 2_000_000))
+        .unwrap();
+    println!("models under 2M parameters: {}\n", small.len());
+
+    // Inspect the best pre-norm match.
+    if let Some(&(model, quality)) = prenorm.first() {
+        let meta = client.get_meta(model).unwrap();
+        let stats = arch_stats(&meta.graph);
+        println!("best pre-norm match: {model} (quality {quality:.2})");
+        println!(
+            "  {} layers, depth {}, {:.1}M params, kinds: {:?}",
+            stats.vertices,
+            stats.depth,
+            stats.params as f64 / 1e6,
+            {
+                let mut kinds: Vec<_> = stats.kind_counts.iter().collect();
+                kinds.sort();
+                kinds
+            }
+        );
+
+        // Partial read: peek at the first 8 elements of its first tensor.
+        let key = meta.owner_map.all_tensor_keys()[0];
+        let peek = client.fetch_tensor_slice(key, 0, 8).unwrap();
+        println!("  first 8 elements of {key}: {} bytes fetched", peek.byte_len());
+
+        // DOT export for visual inspection.
+        let dot = to_dot(&meta.graph, None);
+        println!(
+            "  DOT graph: {} lines (pipe into `dot -Tsvg` to render)",
+            dot.lines().count()
+        );
+    }
+}

