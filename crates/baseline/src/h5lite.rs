@@ -336,7 +336,9 @@ mod tests {
         let tree = sample_tree();
         let ds = tree.datasets();
         assert_eq!(ds.len(), 6);
-        assert!(ds.iter().any(|(p, _)| p == "model/model_weights/dense_0/kernel"));
+        assert!(ds
+            .iter()
+            .any(|(p, _)| p == "model/model_weights/dense_0/kernel"));
     }
 
     #[test]

@@ -26,8 +26,7 @@ use parking_lot::Mutex;
 use crate::model_io::model_to_h5;
 use crate::pfs::SimulatedPfs;
 use crate::redis_queries::{
-    methods, BeginAddReply, BeginAddRequest, ModelRef, RedisLcpReply, RedisLcpRequest,
-    RetireReply,
+    methods, BeginAddReply, BeginAddRequest, ModelRef, RedisLcpReply, RedisLcpRequest, RetireReply,
 };
 
 /// The HDF5+PFS baseline repository.
@@ -181,15 +180,24 @@ impl ModelRepository for Hdf5PfsRepository {
             // trips were paid.
             stats.model_seconds = self.pfs.model().metadata_latency_s;
         }
-        let _: () = call_typed(&self.fabric, self.redis, methods::PUBLISH, &ModelRef { model })
-            .expect("redis publish must succeed");
+        let _: () = call_typed(
+            &self.fabric,
+            self.redis,
+            methods::PUBLISH,
+            &ModelRef { model },
+        )
+        .expect("redis publish must succeed");
         stats
     }
 
     fn retire_candidate(&self, model: ModelId) -> RetireOutcomeStats {
-        let reply: RetireReply =
-            call_typed(&self.fabric, self.redis, methods::RETIRE, &ModelRef { model })
-                .expect("redis retire must succeed");
+        let reply: RetireReply = call_typed(
+            &self.fabric,
+            self.redis,
+            methods::RETIRE,
+            &ModelRef { model },
+        )
+        .expect("redis retire must succeed");
         let mut out = RetireOutcomeStats {
             reclaimed: 0,
             model_seconds: self.pfs.model().metadata_latency_s,

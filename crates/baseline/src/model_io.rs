@@ -49,11 +49,10 @@ pub fn model_to_h5(
                 .filter(|(k, _)| k.vertex == v && k.slot == spec.slot)
                 .map(|(_, t)| t)
                 .collect();
-            let data = key_candidates
-                .first()
-                .copied()
-                .cloned()
-                .unwrap_or_else(|| panic!("missing tensor for layer {} slot {}", v.0, spec.slot));
+            let data =
+                key_candidates.first().copied().cloned().unwrap_or_else(|| {
+                    panic!("missing tensor for layer {} slot {}", v.0, spec.slot)
+                });
             layer.push_child(H5Node::Dataset {
                 name: format!("slot_{}", spec.slot),
                 attrs: vec![],
@@ -102,8 +101,9 @@ pub fn h5_to_tensors(root: &H5Node) -> HashMap<(VertexId, u32), TensorData> {
                 if let H5Node::Group { children, .. } = layer {
                     for ds in children {
                         if let H5Node::Dataset { name, data, .. } = ds {
-                            if let Some(slot) =
-                                name.strip_prefix("slot_").and_then(|s| s.parse::<u32>().ok())
+                            if let Some(slot) = name
+                                .strip_prefix("slot_")
+                                .and_then(|s| s.parse::<u32>().ok())
                             {
                                 out.insert((VertexId(v), slot), data.clone());
                             }

@@ -182,7 +182,10 @@ mod tests {
         pfs.delete("/models/m1.h5").unwrap();
         assert!(!pfs.exists("/models/m1.h5"));
         assert_eq!(pfs.total_bytes(), 0);
-        assert_eq!(pfs.read("/models/m1.h5"), Err(PfsError::NotFound("/models/m1.h5".into())));
+        assert_eq!(
+            pfs.read("/models/m1.h5"),
+            Err(PfsError::NotFound("/models/m1.h5".into()))
+        );
     }
 
     #[test]

@@ -155,7 +155,9 @@ impl RedisState {
                 // Architecture-specific lock "fails": already registered —
                 // bump the count, no weights write needed.
                 entry.refs.fetch_add(1, Ordering::Relaxed);
-                Ok(BeginAddReply { need_weights: false })
+                Ok(BeginAddReply {
+                    need_weights: false,
+                })
             }
             None => {
                 cat.by_sig.insert(

@@ -3,8 +3,8 @@
 //! refcount accounting under arbitrary add/query/retire interleavings.
 
 use bytes::Bytes;
-use evostore_baseline::{h5lite, RedisState, SimulatedPfs};
 use evostore_baseline::redis_queries::{BeginAddRequest, ModelRef, RedisLcpRequest};
+use evostore_baseline::{h5lite, RedisState, SimulatedPfs};
 use evostore_graph::{flatten, GenomeSpace};
 use evostore_tensor::{DType, ModelId, TensorData};
 use proptest::prelude::*;

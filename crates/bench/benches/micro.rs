@@ -58,7 +58,9 @@ fn bench_flatten(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
     let genome = space.sample(&mut rng);
     let arch = space.materialize(&genome);
-    c.bench_function("flatten/attn_genome", |b| b.iter(|| flatten(&arch).unwrap()));
+    c.bench_function("flatten/attn_genome", |b| {
+        b.iter(|| flatten(&arch).unwrap())
+    });
 }
 
 /// Ablation 1: one owner-map read vs walking a lineage of delta maps.
@@ -110,8 +112,9 @@ fn bench_owner_map(c: &mut Criterion) {
             for v in g.vertex_ids() {
                 for delta in deltas.iter().rev() {
                     if let Some((owner, ov, slots)) = delta.get(&v.0) {
-                        let keys: Vec<TensorKey> =
-                            (0..*slots).map(|s| TensorKey::new(*owner, *ov, s)).collect();
+                        let keys: Vec<TensorKey> = (0..*slots)
+                            .map(|s| TensorKey::new(*owner, *ov, s))
+                            .collect();
                         resolved += keys.len();
                         break;
                     }
@@ -201,7 +204,11 @@ fn bench_store_load(c: &mut Criterion) {
     let base = ModelId(1_000_000);
     let mut rng2 = ChaCha8Rng::seed_from_u64(7);
     client.store_fresh(base, &g, 0.9, &mut rng2).unwrap();
-    let best = client.query_best_ancestor(&g).unwrap().unwrap();
+    let best = client
+        .query_best_ancestor(&g)
+        .unwrap()
+        .into_inner()
+        .unwrap();
     let meta = client.get_meta(best.model).unwrap();
     let mut next_id2 = 2_000_000u64;
     {
@@ -255,7 +262,14 @@ fn bench_collective_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("metadata_query");
     group.sample_size(30);
     group.bench_function("broadcast_reduce", |b| {
-        b.iter(|| client.query_best_ancestor(&probe).unwrap().unwrap().model)
+        b.iter(|| {
+            client
+                .query_best_ancestor(&probe)
+                .unwrap()
+                .into_inner()
+                .unwrap()
+                .model
+        })
     });
     group.bench_function("client_side_iterative", |b| {
         // The naive pattern: fetch each model's metadata to the client and

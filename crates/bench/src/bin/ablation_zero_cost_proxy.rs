@@ -60,11 +60,22 @@ fn main() {
             pfs,
             false,
         ));
-        let hdf5 = run_nas(&cfg, &RepoSetup::Modeled { repo, meta_servers: 8 });
+        let hdf5 = run_nas(
+            &cfg,
+            &RepoSetup::Modeled {
+                repo,
+                meta_servers: 8,
+            },
+        );
 
         for r in [&evo, &hdf5] {
             rows.push(vec![
-                if proxy { "zero-cost proxy" } else { "full epoch" }.to_string(),
+                if proxy {
+                    "zero-cost proxy"
+                } else {
+                    "full epoch"
+                }
+                .to_string(),
                 r.approach.clone(),
                 format!("{:.0}", r.end_to_end_seconds),
                 f2(r.io_overhead_fraction() * 100.0),

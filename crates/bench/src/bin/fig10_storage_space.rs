@@ -52,12 +52,21 @@ fn run_hdf5(cfg: &NasConfig) -> NasRunResult {
         pfs,
         false,
     ));
-    run_nas(cfg, &RepoSetup::Modeled { repo, meta_servers: 8 })
+    run_nas(
+        cfg,
+        &RepoSetup::Modeled {
+            repo,
+            meta_servers: 8,
+        },
+    )
 }
 
 fn main() {
     let args = Args::parse();
-    banner("Figure 10", "Storage space overhead (GB, real byte accounting)");
+    banner(
+        "Figure 10",
+        "Storage space overhead (GB, real byte accounting)",
+    );
     let probe = config(&args, true);
     println!(
         "{} candidates, {} workers, population cap {}",

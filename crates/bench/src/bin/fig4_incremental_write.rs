@@ -83,7 +83,9 @@ fn main() {
     for &gpus in &gpu_counts {
         let mut row = vec![gpus.to_string()];
         for frac in [0.25, 0.50, 0.75, 1.00] {
-            row.push(f1(evostore_bandwidth(&fabric, gpus, model_bytes, frac) / 1e9));
+            row.push(f1(
+                evostore_bandwidth(&fabric, gpus, model_bytes, frac) / 1e9
+            ));
         }
         row.push(f1(hdf5_bandwidth(&pfs, gpus, model_bytes) / 1e9));
         rows.push(row);
@@ -136,7 +138,13 @@ fn main() {
     let child_map = OwnerMap::derive(ModelId(2), &graph, &partial, &base_map);
     let child_tensors = trained_tensors(&graph, &child_map, 2);
     let inc = client
-        .store_model(graph.clone(), child_map, Some(ModelId(1)), 0.5, &child_tensors)
+        .store_model(
+            graph.clone(),
+            child_map,
+            Some(ModelId(1)),
+            0.5,
+            &child_tensors,
+        )
         .unwrap();
     println!(
         "  full write: {} bytes; 25%-modified write: {} bytes ({:.1}% of full)",

@@ -198,7 +198,11 @@ fn main() {
         };
         let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
         let churn_handle = churn.then(|| {
-            evostore_churn(dep.provider_states(), space.clone(), std::sync::Arc::clone(&stop))
+            evostore_churn(
+                dep.provider_states(),
+                space.clone(),
+                std::sync::Arc::clone(&stop),
+            )
         });
         let (evo_secs, done) = run_queries(w, queries, |i| {
             let probe = &probes[i % probes.len()];
@@ -267,16 +271,15 @@ fn main() {
         });
         let (redis_secs, rdone) = run_queries(w, redis_queries, |i| {
             let probe = &probes[i % probes.len()];
-            let reply: evostore_baseline::redis_queries::RedisLcpReply =
-                evostore_rpc::call_typed(
-                    &fabric,
-                    server.endpoint_id(),
-                    evostore_baseline::redis_queries::methods::QUERY,
-                    &evostore_baseline::redis_queries::RedisLcpRequest {
-                        graph: probe.clone(),
-                    },
-                )
-                .expect("redis query");
+            let reply: evostore_baseline::redis_queries::RedisLcpReply = evostore_rpc::call_typed(
+                &fabric,
+                server.endpoint_id(),
+                evostore_baseline::redis_queries::methods::QUERY,
+                &evostore_baseline::redis_queries::RedisLcpRequest {
+                    graph: probe.clone(),
+                },
+            )
+            .expect("redis query");
             if let Some(best) = reply.best {
                 let _: evostore_baseline::redis_queries::RetireReply = evostore_rpc::call_typed(
                     &fabric,

@@ -31,11 +31,7 @@ fn nas_config(args: &Args) -> NasConfig {
 }
 
 fn summarize(r: &NasRunResult) -> Vec<String> {
-    let best = r
-        .best_over_time()
-        .last()
-        .map(|&(_, a)| a)
-        .unwrap_or(0.0);
+    let best = r.best_over_time().last().map(|&(_, a)| a).unwrap_or(0.0);
     let above_80 = r.traces.iter().filter(|t| t.accuracy > 0.80).count();
     let first_high = r
         .time_to_accuracy(0.90)

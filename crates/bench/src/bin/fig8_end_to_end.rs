@@ -52,7 +52,13 @@ fn run_three(workers: usize, candidates: usize, seed: u64) -> [NasRunResult; 3] 
         pfs,
         false,
     ));
-    let hdf5 = run_nas(&cfg, &RepoSetup::Modeled { repo, meta_servers: 8 });
+    let hdf5 = run_nas(
+        &cfg,
+        &RepoSetup::Modeled {
+            repo,
+            meta_servers: 8,
+        },
+    );
 
     [no_transfer, evostore, hdf5]
 }
@@ -103,7 +109,13 @@ fn main() {
     println!();
     println!("cumulative per-phase seconds across all tasks:");
     print_table(
-        &["approach", "GPUs", "metadata (s)", "data I/O (s)", "training (s)"],
+        &[
+            "approach",
+            "GPUs",
+            "metadata (s)",
+            "data I/O (s)",
+            "training (s)",
+        ],
         &breakdown,
     );
 }

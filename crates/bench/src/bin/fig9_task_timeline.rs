@@ -95,7 +95,13 @@ fn main() {
         pfs,
         false,
     ));
-    let hdf5 = run_nas(&cfg, &RepoSetup::Modeled { repo, meta_servers: 8 });
+    let hdf5 = run_nas(
+        &cfg,
+        &RepoSetup::Modeled {
+            repo,
+            meta_servers: 8,
+        },
+    );
 
     let runs = [&no_transfer, &evostore, &hdf5];
 

@@ -8,11 +8,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::BytesMut;
 use evostore_graph::{CompactGraph, LcpResult};
-use evostore_rpc::{decode, encode, BulkHandle, EndpointId, Fabric, RpcError};
+use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy, RpcError};
 use evostore_tensor::{read_tensor, write_tensor, ModelId, TensorData, TensorKey, VertexId};
+use parking_lot::Mutex;
 use rand::Rng;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -20,20 +22,64 @@ use serde::Serialize;
 use crate::messages::*;
 use crate::owner_map::OwnerMap;
 
-/// Client-facing errors.
+/// Client-facing errors, structured so callers can branch on failure
+/// class instead of parsing strings. [`EvoError::is_transient`] mirrors
+/// [`RpcError::is_transient`]: transient failures may clear on retry (a
+/// provider rebooting), permanent ones will not (a decode bug).
 #[derive(Debug)]
 pub enum EvoError {
-    /// Transport or handler failure.
-    Rpc(RpcError),
+    /// Permanent transport or handler failure.
+    Transport(RpcError),
+    /// A call exhausted its deadline (and any retry budget).
+    Timeout,
+    /// A provider is currently unreachable.
+    Unavailable {
+        /// The unreachable provider.
+        endpoint: EndpointId,
+    },
     /// Protocol/validation failure detected client-side.
     Protocol(String),
+    /// Stored data failed validation when read back.
+    Corrupt {
+        /// The tensor key whose payload is bad.
+        key: String,
+    },
+    /// A collective completed on too few providers (below the client's
+    /// quorum); lists the providers that did not respond.
+    PartialFailure {
+        /// Providers that failed their leg of the collective.
+        failed: Vec<EndpointId>,
+    },
+}
+
+impl EvoError {
+    /// Could retrying the operation plausibly succeed?
+    pub fn is_transient(&self) -> bool {
+        match self {
+            EvoError::Timeout | EvoError::Unavailable { .. } | EvoError::PartialFailure { .. } => {
+                true
+            }
+            EvoError::Transport(e) => e.is_transient(),
+            EvoError::Protocol(_) | EvoError::Corrupt { .. } => false,
+        }
+    }
 }
 
 impl std::fmt::Display for EvoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EvoError::Rpc(e) => write!(f, "rpc: {e}"),
+            EvoError::Transport(e) => write!(f, "transport: {e}"),
+            EvoError::Timeout => write!(f, "operation timed out"),
+            EvoError::Unavailable { endpoint } => write!(f, "provider {endpoint} unavailable"),
             EvoError::Protocol(m) => write!(f, "protocol: {m}"),
+            EvoError::Corrupt { key } => write!(f, "corrupt data for tensor {key}"),
+            EvoError::PartialFailure { failed } => {
+                write!(
+                    f,
+                    "quorum not met: {} providers failed: {failed:?}",
+                    failed.len()
+                )
+            }
         }
     }
 }
@@ -42,12 +88,41 @@ impl std::error::Error for EvoError {}
 
 impl From<RpcError> for EvoError {
     fn from(e: RpcError) -> Self {
-        EvoError::Rpc(e)
+        match e {
+            RpcError::Timeout => EvoError::Timeout,
+            RpcError::Unavailable(endpoint) => EvoError::Unavailable { endpoint },
+            other => EvoError::Transport(other),
+        }
     }
 }
 
 /// Client result alias.
 pub type Result<T> = std::result::Result<T, EvoError>;
+
+/// A query answer that may rest on fewer than all providers.
+///
+/// When a collective reaches quorum but some providers were unreachable,
+/// the value is still correct *over the reachable subset* and
+/// `unreachable` lists the providers whose catalogs it could not see.
+#[derive(Debug, Clone)]
+pub struct Degraded<T> {
+    /// The (possibly partial) answer.
+    pub value: T,
+    /// Providers that did not contribute; empty means full coverage.
+    pub unreachable: Vec<EndpointId>,
+}
+
+impl<T> Degraded<T> {
+    /// Did any provider fail to contribute?
+    pub fn is_partial(&self) -> bool {
+        !self.unreachable.is_empty()
+    }
+
+    /// Unwrap the answer, discarding the coverage annotation.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
 
 /// The best transfer-learning ancestor found by an LCP query.
 #[derive(Debug, Clone)]
@@ -78,6 +153,11 @@ pub struct RetireOutcome {
     pub refs_dropped: usize,
     /// Tensors physically reclaimed (refcount hit zero).
     pub tensors_reclaimed: usize,
+    /// Decrements that failed transiently and were parked in the
+    /// client's retry queue (see
+    /// [`EvoStoreClient::flush_pending_decrements`]); GC remains
+    /// eventually consistent.
+    pub refs_parked: usize,
 }
 
 /// A fully loaded model.
@@ -95,28 +175,110 @@ pub struct LoadedModel {
     pub quality: f64,
 }
 
+/// Configures an [`EvoStoreClient`]: providers, retry policy, per-call
+/// timeout, and collective quorum. Obtained from
+/// [`EvoStoreClient::builder`].
+pub struct EvoStoreClientBuilder {
+    fabric: Arc<Fabric>,
+    providers: Vec<EndpointId>,
+    retry: RetryPolicy,
+    min_quorum: Option<usize>,
+}
+
+impl EvoStoreClientBuilder {
+    /// The providers this client talks to (required, non-empty).
+    pub fn providers(mut self, providers: Vec<EndpointId>) -> Self {
+        self.providers = providers;
+        self
+    }
+
+    /// Replace the whole retry policy (attempts, backoff, deadline).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Per-attempt deadline for every call this client issues.
+    pub fn call_timeout(mut self, timeout: Duration) -> Self {
+        self.retry.call_timeout = timeout;
+        self
+    }
+
+    /// Total attempts per call (1 = no retries).
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.retry.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Minimum providers that must answer a broadcast for the query to
+    /// succeed (possibly degraded). Defaults to *all* providers —
+    /// i.e. any unreachable provider fails the collective. Clamped to
+    /// `1..=providers`.
+    pub fn min_quorum(mut self, quorum: usize) -> Self {
+        self.min_quorum = Some(quorum);
+        self
+    }
+
+    /// Build the client. Panics when no providers were configured.
+    pub fn build(self) -> EvoStoreClient {
+        assert!(!self.providers.is_empty(), "deployment has no providers");
+        let n = self.providers.len();
+        EvoStoreClient {
+            fabric: self.fabric,
+            providers: Arc::new(self.providers),
+            retry: self.retry,
+            min_quorum: self.min_quorum.unwrap_or(n).clamp(1, n),
+            telemetry: Arc::new(crate::telemetry::ClientTelemetry::new()),
+            pending_decrements: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
 /// An EvoStore client.
 #[derive(Clone)]
 pub struct EvoStoreClient {
     fabric: Arc<Fabric>,
     providers: Arc<Vec<EndpointId>>,
+    retry: RetryPolicy,
+    min_quorum: usize,
     telemetry: Arc<crate::telemetry::ClientTelemetry>,
+    /// Refcount decrements that failed transiently, awaiting re-issue
+    /// (shared across clones so any handle can flush them).
+    pending_decrements: Arc<Mutex<Vec<(EndpointId, RefsRequest)>>>,
 }
 
 impl EvoStoreClient {
-    /// Client for a deployment of the given providers.
-    pub fn new(fabric: Arc<Fabric>, providers: Vec<EndpointId>) -> EvoStoreClient {
-        assert!(!providers.is_empty(), "deployment has no providers");
-        EvoStoreClient {
+    /// Start configuring a client for `fabric`. The default policy is 3
+    /// attempts with millisecond-scale backoff, a 30 s per-attempt
+    /// deadline, and full quorum (all providers must answer queries).
+    pub fn builder(fabric: Arc<Fabric>) -> EvoStoreClientBuilder {
+        EvoStoreClientBuilder {
             fabric,
-            providers: Arc::new(providers),
-            telemetry: Arc::new(crate::telemetry::ClientTelemetry::new()),
+            providers: Vec::new(),
+            retry: RetryPolicy::default().with_timeout(Duration::from_secs(30)),
+            min_quorum: None,
         }
+    }
+
+    /// Client for a deployment of the given providers.
+    #[deprecated(note = "use EvoStoreClient::builder(fabric).providers(...).build()")]
+    pub fn new(fabric: Arc<Fabric>, providers: Vec<EndpointId>) -> EvoStoreClient {
+        EvoStoreClient::builder(fabric).providers(providers).build()
     }
 
     /// Operation latency telemetry (shared across clones of this client).
     pub fn telemetry(&self) -> &crate::telemetry::ClientTelemetry {
         &self.telemetry
+    }
+
+    /// The retry policy applied to every call.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Providers that must answer for a collective to succeed.
+    pub fn min_quorum(&self) -> usize {
+        self.min_quorum
     }
 
     /// Number of providers.
@@ -129,33 +291,96 @@ impl EvoStoreClient {
         self.providers[model.provider_for(self.providers.len())]
     }
 
+    /// Typed unary call under this client's retry policy.
+    fn unary<Req: Serialize, Resp: DeserializeOwned>(
+        &self,
+        target: EndpointId,
+        method: &str,
+        req: &Req,
+    ) -> Result<Resp> {
+        evostore_rpc::unary(
+            &self.fabric,
+            target,
+            method,
+            req,
+            &self.retry,
+            Some(&self.telemetry.rpc),
+        )
+        .map_err(EvoError::from)
+    }
+
     /// Issue the same method with per-target requests to many providers in
-    /// parallel; fail if any leg fails.
-    fn par_calls<Req: Serialize, Resp: DeserializeOwned>(
+    /// parallel (each leg retried per policy); fail if any leg fails.
+    fn par_calls<Req, Resp>(
         &self,
         method: &str,
         reqs: Vec<(EndpointId, Req)>,
-    ) -> Result<Vec<(EndpointId, Resp)>> {
-        let mut pending = Vec::with_capacity(reqs.len());
-        for (ep, req) in reqs {
-            let body = encode(&req)?;
-            pending.push((ep, self.fabric.call_async(ep, method, body)?));
+    ) -> Result<Vec<(EndpointId, Resp)>>
+    where
+        Req: Serialize + Sync,
+        Resp: DeserializeOwned + Send,
+    {
+        evostore_rpc::fan_out(
+            &self.fabric,
+            &reqs,
+            method,
+            &self.retry,
+            Some(&self.telemetry.rpc),
+        )
+        .into_iter()
+        .map(|(ep, r)| r.map(|resp| (ep, resp)).map_err(EvoError::from))
+        .collect()
+    }
+
+    /// Broadcast `req` to every provider, apply quorum semantics:
+    /// permanent failures abort; transient failures count against the
+    /// quorum. With at least `min_quorum` replies the collective
+    /// succeeds, reporting the unreachable providers alongside.
+    fn quorum_broadcast<Req: Serialize, Resp: DeserializeOwned>(
+        &self,
+        method: &str,
+        req: &Req,
+    ) -> Result<(Vec<Resp>, Vec<EndpointId>)> {
+        let legs = evostore_rpc::broadcast(
+            &self.fabric,
+            &self.providers,
+            method,
+            req,
+            &self.retry,
+            Some(&self.telemetry.rpc),
+        )
+        .map_err(EvoError::from)?;
+        let mut replies = Vec::with_capacity(legs.len());
+        let mut unreachable = Vec::new();
+        for (ep, reply) in legs {
+            match reply {
+                Ok(resp) => replies.push(resp),
+                Err(e) if e.is_transient() => unreachable.push(ep),
+                Err(e) => return Err(e.into()),
+            }
         }
-        let mut out = Vec::with_capacity(pending.len());
-        for (ep, rx) in pending {
-            let reply = rx
-                .recv()
-                .map_err(|_| EvoError::Rpc(RpcError::Disconnected))??;
-            out.push((ep, decode(&reply)?));
+        if replies.len() < self.min_quorum {
+            return Err(EvoError::PartialFailure {
+                failed: unreachable,
+            });
         }
-        Ok(out)
+        if !unreachable.is_empty() {
+            self.telemetry.note_degraded_query();
+        }
+        Ok((replies, unreachable))
     }
 
     /// Group tensor keys by the provider hosting them.
-    fn group_by_provider(&self, keys: impl IntoIterator<Item = TensorKey>) -> HashMap<EndpointId, Vec<TensorKey>> {
+    fn group_by_provider(
+        &self,
+        keys: impl IntoIterator<Item = TensorKey>,
+    ) -> HashMap<EndpointId, Vec<TensorKey>> {
         let mut groups: HashMap<EndpointId, Vec<TensorKey>> = HashMap::new();
         for key in keys {
-            groups.entry(self.provider_of(key.owner)).or_default().push(key);
+            groups
+                .entry(self.provider_of(key.owner))
+                .or_default()
+                .push(key);
         }
         groups
     }
@@ -189,10 +414,9 @@ impl EvoStoreClient {
             .map(|(&ep, keys)| (ep, RefsRequest { keys: keys.clone() }))
             .collect();
         if !pin_reqs.is_empty() {
-            let _: Vec<(EndpointId, RefsReply)> =
-                self.par_calls(methods::INCR_REFS, pin_reqs).map_err(|e| {
-                    EvoError::Protocol(format!("pinning inherited tensors failed: {e}"))
-                })?;
+            // Propagate the pin failure as-is: a transient error here
+            // means the whole store is retryable by the caller.
+            let _: Vec<(EndpointId, RefsReply)> = self.par_calls(methods::INCR_REFS, pin_reqs)?;
         }
 
         // 2. Consolidate and push.
@@ -245,8 +469,7 @@ impl EvoStoreClient {
             bulk: bulk.0,
         };
         let reply: Result<StoreModelReply> =
-            evostore_rpc::call_typed(&self.fabric, self.provider_of(model), methods::STORE, &req)
-                .map_err(EvoError::from);
+            self.unary(self.provider_of(model), methods::STORE, &req);
         self.fabric.bulk_release(bulk);
         let reply = reply?;
         Ok(StoreOutcome {
@@ -299,60 +522,55 @@ impl EvoStoreClient {
 
     /// Broadcast an LCP query to every provider and reduce to the global
     /// best match (longest prefix; quality, then lower model id, break
-    /// ties). Returns `None` when no stored model shares even the input
-    /// layer.
-    pub fn query_best_ancestor(&self, graph: &CompactGraph) -> Result<Option<BestAncestor>> {
+    /// ties). The inner value is `None` when no stored model shares even
+    /// the input layer.
+    ///
+    /// Degraded mode: providers that fail transiently (down, timing out)
+    /// don't abort the query — as long as [`EvoStoreClient::min_quorum`]
+    /// providers answer, the best match *over the reachable catalogs* is
+    /// returned, with [`Degraded::unreachable`] naming the providers
+    /// whose models were not considered. Below quorum the query fails
+    /// with [`EvoError::PartialFailure`].
+    pub fn query_best_ancestor(
+        &self,
+        graph: &CompactGraph,
+    ) -> Result<Degraded<Option<BestAncestor>>> {
         let _timer = OpTimer::new(&self.telemetry.query);
-        let body = encode(&LcpQueryRequest {
+        let req = LcpQueryRequest {
             graph: graph.clone(),
-        })?;
-        let (best, failures) = evostore_rpc::broadcast_reduce(
-            &self.fabric,
-            &self.providers,
-            methods::LCP,
-            body,
-            None::<LcpCandidate>,
-            |acc, _from, bytes| {
-                let reply: LcpQueryReply = match decode(&bytes) {
-                    Ok(r) => r,
-                    Err(_) => return acc,
-                };
-                match (acc, reply.best) {
-                    (None, b) => b,
-                    (Some(a), None) => Some(a),
-                    (Some(a), Some(b)) => {
-                        let better = b.lcp.len() > a.lcp.len()
-                            || (b.lcp.len() == a.lcp.len()
-                                && (b.quality > a.quality
-                                    || (b.quality == a.quality && b.model < a.model)));
-                        Some(if better { b } else { a })
-                    }
+        };
+        let (replies, unreachable) =
+            self.quorum_broadcast::<_, LcpQueryReply>(methods::LCP, &req)?;
+        let best = replies
+            .into_iter()
+            .fold(None::<LcpCandidate>, |acc, reply| match (acc, reply.best) {
+                (None, b) => b,
+                (Some(a), None) => Some(a),
+                (Some(a), Some(b)) => {
+                    let better = b.lcp.len() > a.lcp.len()
+                        || (b.lcp.len() == a.lcp.len()
+                            && (b.quality > a.quality
+                                || (b.quality == a.quality && b.model < a.model)));
+                    Some(if better { b } else { a })
                 }
-            },
-        );
-        if !failures.is_empty() {
-            return Err(EvoError::Protocol(format!(
-                "{} providers failed the LCP broadcast: {:?}",
-                failures.len(),
-                failures[0].1
-            )));
-        }
-        Ok(best.map(|c| BestAncestor {
-            model: c.model,
-            quality: c.quality,
-            lcp: c.lcp,
-        }))
+            });
+        Ok(Degraded {
+            value: best.map(|c| BestAncestor {
+                model: c.model,
+                quality: c.quality,
+                lcp: c.lcp,
+            }),
+            unreachable,
+        })
     }
 
     /// Fetch model metadata.
     pub fn get_meta(&self, model: ModelId) -> Result<ModelMetaReply> {
-        evostore_rpc::call_typed(
-            &self.fabric,
+        self.unary(
             self.provider_of(model),
             methods::GET_META,
             &GetMetaRequest { model },
         )
-        .map_err(EvoError::from)
     }
 
     // ---- data plane ------------------------------------------------------
@@ -381,8 +599,12 @@ impl EvoStoreClient {
                         entry.key
                     )));
                 }
-                let tensor = read_tensor(region.slice(off..off + len))
-                    .map_err(|e| EvoError::Protocol(format!("tensor {}: {e}", entry.key)))?;
+                let tensor = read_tensor(region.slice(off..off + len)).map_err(|_| {
+                    self.fabric.bulk_release(handle);
+                    EvoError::Corrupt {
+                        key: entry.key.to_string(),
+                    }
+                })?;
                 out.insert(entry.key, tensor);
             }
             // One-sided completion: the reader withdraws the region.
@@ -444,8 +666,7 @@ impl EvoStoreClient {
         elem_offset: u64,
         elem_count: u64,
     ) -> Result<TensorData> {
-        let reply: ReadRangeReply = evostore_rpc::call_typed(
-            &self.fabric,
+        let reply: ReadRangeReply = self.unary(
             self.provider_of(key.owner),
             methods::READ_RANGE,
             &ReadRangeRequest {
@@ -466,34 +687,26 @@ impl EvoStoreClient {
     /// Find every stored model whose architecture matches `pattern`
     /// (broadcast + concatenating reduce across providers). Results are
     /// `(model, quality)`, sorted by descending quality.
+    ///
+    /// Same degraded-mode quorum semantics as
+    /// [`EvoStoreClient::query_best_ancestor`]: unreachable providers'
+    /// catalogs are simply absent from the result as long as quorum is
+    /// met.
     pub fn find_matching(
         &self,
         pattern: &evostore_graph::ArchPattern,
-    ) -> Result<Vec<(ModelId, f64)>> {
-        let body = encode(&PatternQueryRequest {
+    ) -> Result<Degraded<Vec<(ModelId, f64)>>> {
+        let req = PatternQueryRequest {
             pattern: pattern.clone(),
-        })?;
-        let (mut acc, failures) = evostore_rpc::broadcast_reduce(
-            &self.fabric,
-            &self.providers,
-            methods::MATCH_PATTERN,
-            body,
-            Vec::new(),
-            |mut acc: Vec<(ModelId, f64)>, _from, bytes| {
-                if let Ok(reply) = decode::<PatternQueryReply>(&bytes) {
-                    acc.extend(reply.matches);
-                }
-                acc
-            },
-        );
-        if !failures.is_empty() {
-            return Err(EvoError::Protocol(format!(
-                "{} providers failed the pattern broadcast",
-                failures.len()
-            )));
-        }
+        };
+        let (replies, unreachable) =
+            self.quorum_broadcast::<_, PatternQueryReply>(methods::MATCH_PATTERN, &req)?;
+        let mut acc: Vec<(ModelId, f64)> = replies.into_iter().flat_map(|r| r.matches).collect();
         acc.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        Ok(acc)
+        Ok(Degraded {
+            value: acc,
+            unreachable,
+        })
     }
 
     /// Attach optimizer state to an already-stored model (supports
@@ -518,8 +731,7 @@ impl EvoStoreClient {
         }
         let tensors_written = manifest.len();
         let bulk = self.fabric.bulk_expose(buf.freeze());
-        let reply: Result<StoreModelReply> = evostore_rpc::call_typed(
-            &self.fabric,
+        let reply: Result<StoreModelReply> = self.unary(
             self.provider_of(model),
             methods::STORE_OPTIMIZER,
             &StoreOptimizerRequest {
@@ -527,8 +739,7 @@ impl EvoStoreClient {
                 manifest,
                 bulk: bulk.0,
             },
-        )
-        .map_err(EvoError::from);
+        );
         self.fabric.bulk_release(bulk);
         let reply = reply?;
         Ok(StoreOutcome {
@@ -541,8 +752,7 @@ impl EvoStoreClient {
     /// Fetch a model's optimizer state, in the order it was stored.
     /// Empty when the model has none.
     pub fn load_optimizer_state(&self, model: ModelId) -> Result<Vec<TensorData>> {
-        let reply: ReadTensorsReply = evostore_rpc::call_typed(
-            &self.fabric,
+        let reply: ReadTensorsReply = self.unary(
             self.provider_of(model),
             methods::LOAD_OPTIMIZER,
             &LoadOptimizerRequest { model },
@@ -556,7 +766,9 @@ impl EvoStoreClient {
             let (off, len) = (entry.offset as usize, entry.len as usize);
             if off + len > region.len() {
                 self.fabric.bulk_release(handle);
-                return Err(EvoError::Protocol("optimizer manifest out of bounds".into()));
+                return Err(EvoError::Protocol(
+                    "optimizer manifest out of bounds".into(),
+                ));
             }
             let tensor = read_tensor(region.slice(off..off + len))
                 .map_err(|e| EvoError::Protocol(format!("optimizer tensor: {e}")))?;
@@ -572,10 +784,19 @@ impl EvoStoreClient {
     /// count of every tensor its owner map references (fanned out to the
     /// hosting providers in parallel). Tensors still referenced by
     /// descendants survive.
+    ///
+    /// Decrement legs that fail *transiently* (provider down, timing
+    /// out) do not fail the retirement: once the metadata drop
+    /// succeeded, the model is gone, so the pending decrements are
+    /// parked in a client-side queue and re-issued on the next
+    /// retirement or an explicit
+    /// [`EvoStoreClient::flush_pending_decrements`] — GC is eventually
+    /// consistent under provider failures instead of leaking pins.
     pub fn retire_model(&self, model: ModelId) -> Result<RetireOutcome> {
         let _timer = OpTimer::new(&self.telemetry.retire);
-        let reply: RetireMetaReply = evostore_rpc::call_typed(
-            &self.fabric,
+        // Opportunistically drain decrements parked by earlier failures.
+        let _ = self.flush_pending_decrements();
+        let reply: RetireMetaReply = self.unary(
             self.provider_of(model),
             methods::RETIRE_META,
             &RetireMetaRequest { model },
@@ -587,11 +808,73 @@ impl EvoStoreClient {
             .into_iter()
             .map(|(ep, keys)| (ep, RefsRequest { keys }))
             .collect();
-        let replies: Vec<(EndpointId, RefsReply)> = self.par_calls(methods::DECR_REFS, reqs)?;
+        let results = evostore_rpc::fan_out::<RefsRequest, RefsReply>(
+            &self.fabric,
+            &reqs,
+            methods::DECR_REFS,
+            &self.retry,
+            Some(&self.telemetry.rpc),
+        );
+        let mut tensors_reclaimed = 0;
+        let mut refs_parked = 0;
+        for ((ep, req), (_, result)) in reqs.into_iter().zip(results) {
+            match result {
+                Ok(r) => tensors_reclaimed += r.reclaimed,
+                Err(e) if e.is_transient() => {
+                    refs_parked += req.keys.len();
+                    self.pending_decrements.lock().push((ep, req));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if refs_parked > 0 {
+            self.telemetry.note_parked_decrements(refs_parked as u64);
+        }
         Ok(RetireOutcome {
             refs_dropped,
-            tensors_reclaimed: replies.iter().map(|(_, r)| r.reclaimed).sum(),
+            tensors_reclaimed,
+            refs_parked,
         })
+    }
+
+    /// Re-issue every parked refcount decrement. Legs that fail
+    /// transiently again are re-parked; permanently failing legs are
+    /// dropped (they can never succeed). Returns the number of tensor
+    /// references successfully decremented.
+    pub fn flush_pending_decrements(&self) -> Result<usize> {
+        let pending: Vec<(EndpointId, RefsRequest)> =
+            std::mem::take(&mut *self.pending_decrements.lock());
+        if pending.is_empty() {
+            return Ok(0);
+        }
+        let results = evostore_rpc::fan_out::<RefsRequest, RefsReply>(
+            &self.fabric,
+            &pending,
+            methods::DECR_REFS,
+            &self.retry,
+            Some(&self.telemetry.rpc),
+        );
+        let mut flushed = 0;
+        let mut requeue = Vec::new();
+        for ((ep, req), (_, result)) in pending.into_iter().zip(results) {
+            match result {
+                Ok(_) => flushed += req.keys.len(),
+                Err(e) if e.is_transient() => requeue.push((ep, req)),
+                Err(_) => {}
+            }
+        }
+        self.pending_decrements.lock().extend(requeue);
+        Ok(flushed)
+    }
+
+    /// Tensor references currently parked awaiting a successful
+    /// decrement.
+    pub fn pending_decrement_count(&self) -> usize {
+        self.pending_decrements
+            .lock()
+            .iter()
+            .map(|(_, r)| r.keys.len())
+            .sum()
     }
 
     // ---- provenance --------------------------------------------------------
@@ -618,11 +901,7 @@ impl EvoStoreClient {
 
     /// Most recent common ancestor of two models (by lineage walk).
     /// Returns `None` when the lineages are disjoint.
-    pub fn most_recent_common_ancestor(
-        &self,
-        a: ModelId,
-        b: ModelId,
-    ) -> Result<Option<ModelId>> {
+    pub fn most_recent_common_ancestor(&self, a: ModelId, b: ModelId) -> Result<Option<ModelId>> {
         let la = self.lineage(a)?;
         let lb: std::collections::HashSet<ModelId> = self.lineage(b)?.into_iter().collect();
         Ok(la.into_iter().find(|m| lb.contains(m)))
@@ -649,25 +928,31 @@ impl EvoStoreClient {
 
     // ---- stats -------------------------------------------------------------
 
-    /// Aggregate statistics across all providers.
+    /// Aggregate statistics across all providers. Unlike the query
+    /// collectives, stats are only meaningful over the *complete*
+    /// deployment, so any failed provider fails the call
+    /// ([`EvoError::PartialFailure`] when transient).
     pub fn stats(&self) -> Result<ProviderStats> {
-        let body = encode(&StatsRequest {})?;
-        let (acc, failures) = evostore_rpc::broadcast_reduce(
+        let legs = evostore_rpc::broadcast::<_, ProviderStats>(
             &self.fabric,
             &self.providers,
             methods::STATS,
-            body,
-            ProviderStats::default(),
-            |acc, _from, bytes| match decode::<ProviderStats>(&bytes) {
-                Ok(s) => acc.merge(s),
-                Err(_) => acc,
-            },
-        );
-        if !failures.is_empty() {
-            return Err(EvoError::Protocol(format!(
-                "{} providers failed the stats broadcast",
-                failures.len()
-            )));
+            &StatsRequest {},
+            &self.retry,
+            Some(&self.telemetry.rpc),
+        )
+        .map_err(EvoError::from)?;
+        let mut acc = ProviderStats::default();
+        let mut failed = Vec::new();
+        for (ep, reply) in legs {
+            match reply {
+                Ok(s) => acc = acc.merge(s),
+                Err(e) if e.is_transient() => failed.push(ep),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if !failed.is_empty() {
+            return Err(EvoError::PartialFailure { failed });
         }
         Ok(acc)
     }

@@ -64,10 +64,9 @@ impl Deployment {
         let mut providers = Vec::with_capacity(cfg.providers);
         for i in 0..cfg.providers {
             let (backend, meta): (Box<dyn KvBackend>, Box<dyn KvBackend>) = match &cfg.backend {
-                BackendKind::Memory => (
-                    Box::new(MemPoolStore::new()),
-                    Box::new(MemPoolStore::new()),
-                ),
+                BackendKind::Memory => {
+                    (Box::new(MemPoolStore::new()), Box::new(MemPoolStore::new()))
+                }
                 BackendKind::Log { dir } => (
                     Box::new(
                         LogStore::open(dir.join(format!("provider-{i}/tensors")))
@@ -153,9 +152,17 @@ impl Deployment {
         })
     }
 
-    /// A new client handle (cheap; one per worker thread).
+    /// A new client handle (cheap; one per worker thread), with the
+    /// default resilience policy.
     pub fn client(&self) -> EvoStoreClient {
-        EvoStoreClient::new(Arc::clone(&self.fabric), self.provider_ids.clone())
+        self.client_builder().build()
+    }
+
+    /// A client builder pre-wired to this deployment's fabric and
+    /// providers — for callers that want a custom retry policy, call
+    /// timeout, or quorum.
+    pub fn client_builder(&self) -> crate::client::EvoStoreClientBuilder {
+        EvoStoreClient::builder(Arc::clone(&self.fabric)).providers(self.provider_ids.clone())
     }
 
     /// The underlying fabric.
@@ -170,7 +177,10 @@ impl Deployment {
 
     /// Direct access to provider state (tests, audits, benches).
     pub fn provider_states(&self) -> Vec<Arc<ProviderState>> {
-        self.providers.iter().map(|p| Arc::clone(&p.state)).collect()
+        self.providers
+            .iter()
+            .map(|p| Arc::clone(&p.state))
+            .collect()
     }
 
     /// Cross-provider garbage-collection audit: the reference count of

@@ -30,13 +30,16 @@ pub mod repository;
 pub mod telemetry;
 
 pub use cache::{CachingClient, TensorCache};
-pub use client::{random_tensors, BestAncestor, EvoError, EvoStoreClient, LoadedModel, RetireOutcome, StoreOutcome};
+pub use client::{
+    random_tensors, BestAncestor, Degraded, EvoError, EvoStoreClient, EvoStoreClientBuilder,
+    LoadedModel, RetireOutcome, StoreOutcome,
+};
 pub use deployment::{BackendKind, Deployment, DeploymentConfig};
 pub use messages::ProviderStats;
 pub use owner_map::{OwnerMap, VertexOwner};
 pub use provider::{ModelRecord, Provider, ProviderState};
-pub use telemetry::{ClientTelemetry, LatencyHistogram};
 pub use repository::{
     trained_tensors, FetchOutcome, ModelRepository, RetireOutcomeStats, StoreOutcomeStats,
     TransferSource,
 };
+pub use telemetry::{ClientTelemetry, LatencyHistogram};

@@ -294,11 +294,7 @@ mod tests {
     #[test]
     fn messages_roundtrip_json() {
         let req = RefsRequest {
-            keys: vec![TensorKey::new(
-                ModelId(3),
-                evostore_tensor::VertexId(1),
-                0,
-            )],
+            keys: vec![TensorKey::new(ModelId(3), evostore_tensor::VertexId(1), 0)],
         };
         let bytes = serde_json::to_vec(&req).unwrap();
         let back: RefsRequest = serde_json::from_slice(&bytes).unwrap();

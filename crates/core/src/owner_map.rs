@@ -96,7 +96,10 @@ impl OwnerMap {
                 },
             })
             .collect();
-        OwnerMap { model: child, vertices }
+        OwnerMap {
+            model: child,
+            vertices,
+        }
     }
 
     /// Number of vertices.

@@ -131,8 +131,7 @@ impl ProviderState {
                 continue;
             };
             let model = p.owner_map.model;
-            self.clock
-                .fetch_max(p.timestamp + 1, Ordering::Relaxed);
+            self.clock.fetch_max(p.timestamp + 1, Ordering::Relaxed);
             self.catalog
                 .write()
                 .insert(model, ModelRecord::from_persisted(p));
@@ -212,7 +211,11 @@ impl ProviderState {
         let mut validated = Vec::with_capacity(req.manifest.len());
         for entry in &req.manifest {
             let (off, len) = (entry.offset as usize, entry.len as usize);
-            if off.checked_add(len).map(|end| end > region.len()).unwrap_or(true) {
+            if off
+                .checked_add(len)
+                .map(|end| end > region.len())
+                .unwrap_or(true)
+            {
                 return Err(format!(
                     "manifest entry {} out of bulk bounds ({} + {} > {})",
                     entry.key,
@@ -223,8 +226,11 @@ impl ProviderState {
             }
             let record = region.slice(off..off + len);
             // Integrity + spec check before persisting.
-            let tensor = read_tensor(record.clone()).map_err(|e| format!("tensor {}: {e}", entry.key))?;
-            let specs = req.graph.param_specs(evostore_tensor::VertexId(entry.key.vertex.0));
+            let tensor =
+                read_tensor(record.clone()).map_err(|e| format!("tensor {}: {e}", entry.key))?;
+            let specs = req
+                .graph
+                .param_specs(evostore_tensor::VertexId(entry.key.vertex.0));
             let spec = specs
                 .iter()
                 .find(|s| s.slot == entry.key.slot)
@@ -289,7 +295,10 @@ impl ProviderState {
         let mut manifest = Vec::with_capacity(req.keys.len());
         for key in &req.keys {
             if key.owner.provider_for(self.num_providers) != self.index {
-                return Err(format!("tensor {key} is not hosted by provider {}", self.index));
+                return Err(format!(
+                    "tensor {key} is not hosted by provider {}",
+                    self.index
+                ));
             }
             let record = self
                 .tensors
@@ -481,8 +490,15 @@ impl ProviderState {
                 ));
             }
             let (off, len) = (entry.offset as usize, entry.len as usize);
-            if off.checked_add(len).map(|end| end > region.len()).unwrap_or(true) {
-                return Err(format!("optimizer manifest entry {} out of bounds", entry.key));
+            if off
+                .checked_add(len)
+                .map(|end| end > region.len())
+                .unwrap_or(true)
+            {
+                return Err(format!(
+                    "optimizer manifest entry {} out of bounds",
+                    entry.key
+                ));
             }
             let record = region.slice(off..off + len);
             evostore_tensor::read_tensor(record.clone())
@@ -660,7 +676,10 @@ impl Provider {
         let s = Arc::clone(&state);
         endpoint.register(methods::STORE, typed_handler(move |r| s.handle_store(r)));
         let s = Arc::clone(&state);
-        endpoint.register(methods::GET_META, typed_handler(move |r| s.handle_get_meta(r)));
+        endpoint.register(
+            methods::GET_META,
+            typed_handler(move |r| s.handle_get_meta(r)),
+        );
         let s = Arc::clone(&state);
         endpoint.register(methods::READ, typed_handler(move |r| s.handle_read(r)));
         let s = Arc::clone(&state);

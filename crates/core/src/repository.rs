@@ -135,7 +135,7 @@ impl ModelRepository for EvoStoreClient {
     fn find_transfer_source(&self, graph: &CompactGraph) -> Option<TransferSource> {
         self.query_best_ancestor(graph)
             .ok()
-            .flatten()
+            .and_then(|d| d.into_inner())
             .map(|b| TransferSource {
                 ancestor: b.model,
                 quality: b.quality,
@@ -151,11 +151,13 @@ impl ModelRepository for EvoStoreClient {
         };
         // A failed fetch means the ancestor was retired in between — the
         // legitimate race of a concurrent NAS; the caller falls back.
-        self.fetch_prefix(&best).ok().map(|(_meta, tensors)| FetchOutcome {
-            bytes_read: tensors.values().map(|t| t.byte_len() as u64).sum(),
-            tensors: tensors.len(),
-            model_seconds: 0.0,
-        })
+        self.fetch_prefix(&best)
+            .ok()
+            .map(|(_meta, tensors)| FetchOutcome {
+                bytes_read: tensors.values().map(|t| t.byte_len() as u64).sum(),
+                tensors: tensors.len(),
+                model_seconds: 0.0,
+            })
     }
 
     fn store_candidate(
@@ -171,7 +173,13 @@ impl ModelRepository for EvoStoreClient {
             let derived = self.get_meta(s.ancestor).and_then(|meta| {
                 let owner_map = OwnerMap::derive(model, graph, &s.lcp, &meta.owner_map);
                 let tensors = trained_tensors(graph, &owner_map, seed);
-                self.store_model(graph.clone(), owner_map, Some(s.ancestor), quality, &tensors)
+                self.store_model(
+                    graph.clone(),
+                    owner_map,
+                    Some(s.ancestor),
+                    quality,
+                    &tensors,
+                )
             });
             if let Ok(o) = derived {
                 return StoreOutcomeStats {

@@ -102,7 +102,9 @@ impl Default for LatencyHistogram {
     }
 }
 
-/// Per-operation-class telemetry of one client (shared by clones).
+/// Per-operation-class telemetry of one client (shared by clones):
+/// latency histograms plus resilience counters — retries, timeouts,
+/// degraded (partial-coverage) queries, and parked GC decrements.
 #[derive(Debug, Default)]
 pub struct ClientTelemetry {
     /// LCP best-ancestor queries.
@@ -113,6 +115,11 @@ pub struct ClientTelemetry {
     pub store: LatencyHistogram,
     /// Retirements.
     pub retire: LatencyHistogram,
+    /// RPC-layer resilience counters (retries, timeouts, exhausted
+    /// calls), fed by every call this client issues.
+    pub rpc: evostore_rpc::RpcMetrics,
+    degraded_queries: AtomicU64,
+    parked_decrements: AtomicU64,
 }
 
 impl ClientTelemetry {
@@ -129,14 +136,42 @@ impl ClientTelemetry {
         out
     }
 
-    /// Multi-line report over all operation classes.
+    /// Queries answered from fewer than all providers (quorum met, some
+    /// unreachable).
+    pub fn degraded_queries(&self) -> u64 {
+        self.degraded_queries.load(Ordering::Relaxed)
+    }
+
+    /// Refcount decrements parked for later retry after transient
+    /// failures.
+    pub fn parked_decrements(&self) -> u64 {
+        self.parked_decrements.load(Ordering::Relaxed)
+    }
+
+    /// Record one degraded (partial-coverage) query.
+    pub fn note_degraded_query(&self) {
+        self.degraded_queries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` decrements parked in the retry queue.
+    pub fn note_parked_decrements(&self, n: u64) {
+        self.parked_decrements.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Multi-line report over all operation classes and resilience
+    /// counters.
     pub fn report(&self) -> String {
         format!(
-            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}",
+            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}",
             self.query.report(),
             self.fetch.report(),
             self.store.report(),
-            self.retire.report()
+            self.retire.report(),
+            self.rpc.retries(),
+            self.rpc.timeouts(),
+            self.rpc.exhausted(),
+            self.degraded_queries(),
+            self.parked_decrements()
         )
     }
 }
@@ -181,7 +216,9 @@ mod tests {
     #[test]
     fn report_formats() {
         let t = ClientTelemetry::new();
-        ClientTelemetry::time(&t.query, || std::thread::sleep(std::time::Duration::from_micros(50)));
+        ClientTelemetry::time(&t.query, || {
+            std::thread::sleep(std::time::Duration::from_micros(50))
+        });
         let r = t.report();
         assert!(r.contains("query:"));
         assert!(r.contains("n=1"));

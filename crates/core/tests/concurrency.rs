@@ -45,13 +45,12 @@ fn mixed_workload_stays_consistent() {
                 for _ in 0..12 {
                     let g = flatten(&space.materialize(&space.sample(&mut rng))).unwrap();
                     let model = ModelId(next_id.fetch_add(1, Ordering::Relaxed));
-                    match client.query_best_ancestor(&g).unwrap() {
+                    match client.query_best_ancestor(&g).unwrap().into_inner() {
                         Some(best) => {
                             // The ancestor may be retired mid-flight by the
                             // retirement thread: both outcomes are legal.
                             if let Ok((meta, _tensors)) = client.fetch_prefix(&best) {
-                                let map =
-                                    OwnerMap::derive(model, &g, &best.lcp, &meta.owner_map);
+                                let map = OwnerMap::derive(model, &g, &best.lcp, &meta.owner_map);
                                 let new = trained_tensors(&g, &map, model.0);
                                 if client
                                     .store_model(g, map, Some(best.model), 0.6, &new)
@@ -107,7 +106,10 @@ fn mixed_workload_stays_consistent() {
     assert!(!stored.is_empty());
     for m in &stored {
         let loaded = client.load_model(*m).unwrap();
-        assert_eq!(loaded.tensors.len(), loaded.owner_map.all_tensor_keys().len());
+        assert_eq!(
+            loaded.tensors.len(),
+            loaded.owner_map.all_tensor_keys().len()
+        );
     }
 
     // Drain everything; the store must empty.

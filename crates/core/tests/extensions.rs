@@ -44,7 +44,13 @@ fn partial_tensor_reads_match_full_reads() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let tensors = random_tensors(ModelId(1), &g, &mut rng);
     client
-        .store_model(g.clone(), OwnerMap::fresh(ModelId(1), &g), None, 0.5, &tensors)
+        .store_model(
+            g.clone(),
+            OwnerMap::fresh(ModelId(1), &g),
+            None,
+            0.5,
+            &tensors,
+        )
         .unwrap();
 
     // Slice the first dense kernel (16x32 f32 = 512 elements).
@@ -77,22 +83,31 @@ fn pattern_queries_span_providers() {
     let mut rng = ChaCha8Rng::seed_from_u64(2);
 
     // Three models with distinctive widths, spread by placement hashing.
-    client.store_fresh(ModelId(1), &seq(&[8, 100, 4]), 0.5, &mut rng).unwrap();
-    client.store_fresh(ModelId(2), &seq(&[8, 200, 4]), 0.9, &mut rng).unwrap();
-    client.store_fresh(ModelId(3), &seq(&[8, 300, 4]), 0.7, &mut rng).unwrap();
+    client
+        .store_fresh(ModelId(1), &seq(&[8, 100, 4]), 0.5, &mut rng)
+        .unwrap();
+    client
+        .store_fresh(ModelId(2), &seq(&[8, 200, 4]), 0.9, &mut rng)
+        .unwrap();
+    client
+        .store_fresh(ModelId(3), &seq(&[8, 300, 4]), 0.7, &mut rng)
+        .unwrap();
 
     // Everything matches the empty pattern, best quality first.
-    let all = client.find_matching(&ArchPattern::any()).unwrap();
+    let all = client
+        .find_matching(&ArchPattern::any())
+        .unwrap()
+        .into_inner();
     assert_eq!(all.len(), 3);
     assert_eq!(all[0].0, ModelId(2));
 
     // Range query.
     let wide = client
-        .find_matching(&ArchPattern::any().with_layer(LayerPattern::DenseUnits {
-            min: 150,
-            max: 250,
-        }))
-        .unwrap();
+        .find_matching(
+            &ArchPattern::any().with_layer(LayerPattern::DenseUnits { min: 150, max: 250 }),
+        )
+        .unwrap()
+        .into_inner();
     assert_eq!(wide.len(), 1);
     assert_eq!(wide[0].0, ModelId(2));
 
@@ -102,14 +117,16 @@ fn pattern_queries_span_providers() {
             LayerPattern::DenseUnits { min: 300, max: 300 },
             LayerPattern::DenseUnits { min: 4, max: 4 },
         ]))
-        .unwrap();
+        .unwrap()
+        .into_inner();
     assert_eq!(seq_q.len(), 1);
     assert_eq!(seq_q[0].0, ModelId(3));
 
     // No match.
     let none = client
         .find_matching(&ArchPattern::any().with_layer(LayerPattern::Kind("attention".into())))
-        .unwrap();
+        .unwrap()
+        .into_inner();
     assert!(none.is_empty());
 }
 
@@ -188,7 +205,11 @@ fn reopen_recovers_catalog_and_refcounts() {
         parent_tensors = Some(tensors);
         let _ = &parent_tensors;
 
-        let best = client.query_best_ancestor(&child_g).unwrap().unwrap();
+        let best = client
+            .query_best_ancestor(&child_g)
+            .unwrap()
+            .into_inner()
+            .unwrap();
         let (meta, _) = client.fetch_prefix(&best).unwrap();
         let map = OwnerMap::derive(ModelId(2), &child_g, &best.lcp, &meta.owner_map);
         let new = trained_tensors(&child_g, &map, 7);
@@ -221,7 +242,11 @@ fn reopen_recovers_catalog_and_refcounts() {
     assert_eq!(moments.len(), 1);
 
     // LCP queries see the recovered catalog.
-    let best = client.query_best_ancestor(&child_g).unwrap().unwrap();
+    let best = client
+        .query_best_ancestor(&child_g)
+        .unwrap()
+        .into_inner()
+        .unwrap();
     assert_eq!(best.model, ModelId(2));
 
     // GC still works across the restart: retiring the parent keeps the
@@ -282,11 +307,17 @@ fn caching_client_serves_repeated_transfers_locally() {
     let caching = CachingClient::new(dep.client(), 64 << 20);
     let base_g = seq(&[8, 16, 16, 4]);
     let mut rng = ChaCha8Rng::seed_from_u64(6);
-    client.store_fresh(ModelId(1), &base_g, 0.9, &mut rng).unwrap();
+    client
+        .store_fresh(ModelId(1), &base_g, 0.9, &mut rng)
+        .unwrap();
 
     // Two children transfer the same prefix from the same popular parent.
     let child_g = seq(&[8, 16, 16, 9]);
-    let best = client.query_best_ancestor(&child_g).unwrap().unwrap();
+    let best = client
+        .query_best_ancestor(&child_g)
+        .unwrap()
+        .into_inner()
+        .unwrap();
 
     let (_, first) = caching.fetch_prefix(&best).unwrap();
     let (h0, m0) = caching.cache().stats();
@@ -330,7 +361,13 @@ fn tiered_backend_deployment_roundtrip_and_reopen() {
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         tensors = random_tensors(ModelId(1), &g, &mut rng);
         client
-            .store_model(g.clone(), OwnerMap::fresh(ModelId(1), &g), None, 0.5, &tensors)
+            .store_model(
+                g.clone(),
+                OwnerMap::fresh(ModelId(1), &g),
+                None,
+                0.5,
+                &tensors,
+            )
             .unwrap();
         // Served from the memory tier.
         let loaded = client.load_model(ModelId(1)).unwrap();

@@ -3,9 +3,7 @@
 
 use std::collections::HashMap;
 
-use evostore_core::{
-    random_tensors, trained_tensors, Deployment, ModelRepository, OwnerMap,
-};
+use evostore_core::{random_tensors, trained_tensors, Deployment, ModelRepository, OwnerMap};
 use evostore_graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
 use evostore_tensor::{ModelId, TensorData, TensorKey};
 use rand::SeedableRng;
@@ -89,7 +87,11 @@ fn derived_store_is_incremental_and_shares_tensors() {
         .unwrap();
 
     // Query the repository for the best ancestor (should be the parent).
-    let best = client.query_best_ancestor(&child_g).unwrap().unwrap();
+    let best = client
+        .query_best_ancestor(&child_g)
+        .unwrap()
+        .into_inner()
+        .unwrap();
     assert_eq!(best.model, ModelId(1));
     assert_eq!(best.lcp.len(), 4); // input + 3 shared dense layers
 
@@ -105,7 +107,13 @@ fn derived_store_is_incremental_and_shares_tensors() {
     let new_tensors = trained_tensors(&child_g, &child_map, 42);
     assert_eq!(new_tensors.len(), 2); // only the final layer's W and b
     let inc = client
-        .store_model(child_g.clone(), child_map, Some(ModelId(1)), 0.8, &new_tensors)
+        .store_model(
+            child_g.clone(),
+            child_map,
+            Some(ModelId(1)),
+            0.8,
+            &new_tensors,
+        )
         .unwrap();
     assert!(
         inc.bytes_written < full.bytes_written / 2,
@@ -123,7 +131,8 @@ fn derived_store_is_incremental_and_shares_tensors() {
 
     // Storage: the shared tensors exist exactly once.
     let stats = client.stats().unwrap();
-    let unique_bytes = parent_g.total_param_bytes() + new_tensors.values().map(|t| t.byte_len()).sum::<usize>();
+    let unique_bytes =
+        parent_g.total_param_bytes() + new_tensors.values().map(|t| t.byte_len()).sum::<usize>();
     // Stored records carry a fixed framing overhead per tensor.
     assert!(
         stats.tensor_bytes as usize <= unique_bytes + 64 * stats.tensors,
@@ -145,10 +154,16 @@ fn figure2_chain_ownership_and_retirement() {
     let c_g = seq(&[8, 10, 20, 30, 40, 51, 60]);
 
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    client.store_fresh(ModelId(1), &gp_g, 0.6, &mut rng).unwrap();
+    client
+        .store_fresh(ModelId(1), &gp_g, 0.6, &mut rng)
+        .unwrap();
 
     // Parent derives from grandparent.
-    let best = client.query_best_ancestor(&p_g).unwrap().unwrap();
+    let best = client
+        .query_best_ancestor(&p_g)
+        .unwrap()
+        .into_inner()
+        .unwrap();
     assert_eq!(best.model, ModelId(1));
     let (meta, _) = client.fetch_prefix(&best).unwrap();
     let p_map = OwnerMap::derive(ModelId(2), &p_g, &best.lcp, &meta.owner_map);
@@ -158,7 +173,11 @@ fn figure2_chain_ownership_and_retirement() {
         .unwrap();
 
     // Child derives from parent (longest prefix).
-    let best_c = client.query_best_ancestor(&c_g).unwrap().unwrap();
+    let best_c = client
+        .query_best_ancestor(&c_g)
+        .unwrap()
+        .into_inner()
+        .unwrap();
     assert_eq!(best_c.model, ModelId(2));
     assert_eq!(best_c.lcp.len(), 5); // input + {10,20,30,40}; layer 50 not inherited
     let (meta_p, _) = client.fetch_prefix(&best_c).unwrap();
@@ -189,7 +208,10 @@ fn figure2_chain_ownership_and_retirement() {
     let before = client.stats().unwrap();
     let retired = client.retire_model(ModelId(2)).unwrap();
     // Layer 50's two tensors were never inherited by the child.
-    assert_eq!(retired.tensors_reclaimed, 2, "parent's unshared layer reclaimed");
+    assert_eq!(
+        retired.tensors_reclaimed, 2,
+        "parent's unshared layer reclaimed"
+    );
     let after = client.stats().unwrap();
     assert!(after.tensor_bytes < before.tensor_bytes);
     dep.gc_audit().unwrap();
@@ -218,18 +240,32 @@ fn lcp_query_prefers_longer_prefix_then_quality() {
     let short = seq(&[8, 16, 99, 4]); // LCP 2 with probe
     let long_low = seq(&[8, 16, 16, 9]); // LCP 3, low quality
     let long_high = seq(&[8, 16, 16, 7]); // LCP 3, high quality
-    client.store_fresh(ModelId(10), &short, 0.99, &mut rng).unwrap();
-    client.store_fresh(ModelId(11), &long_low, 0.30, &mut rng).unwrap();
-    client.store_fresh(ModelId(12), &long_high, 0.80, &mut rng).unwrap();
+    client
+        .store_fresh(ModelId(10), &short, 0.99, &mut rng)
+        .unwrap();
+    client
+        .store_fresh(ModelId(11), &long_low, 0.30, &mut rng)
+        .unwrap();
+    client
+        .store_fresh(ModelId(12), &long_high, 0.80, &mut rng)
+        .unwrap();
 
     let probe = seq(&[8, 16, 16, 4]);
-    let best = client.query_best_ancestor(&probe).unwrap().unwrap();
+    let best = client
+        .query_best_ancestor(&probe)
+        .unwrap()
+        .into_inner()
+        .unwrap();
     assert_eq!(best.model, ModelId(12), "longest prefix, then quality");
     assert_eq!(best.lcp.len(), 3);
 
     // A probe matching nothing at the root returns None.
     let alien = seq(&[9, 16]);
-    assert!(client.query_best_ancestor(&alien).unwrap().is_none());
+    assert!(client
+        .query_best_ancestor(&alien)
+        .unwrap()
+        .into_inner()
+        .is_none());
 }
 
 #[test]
@@ -238,7 +274,9 @@ fn concurrent_derived_stores_keep_gc_consistent() {
     let client = dep.client();
     let base = seq(&[8, 16, 16, 16, 4]);
     let mut rng = ChaCha8Rng::seed_from_u64(5);
-    client.store_fresh(ModelId(0), &base, 0.5, &mut rng).unwrap();
+    client
+        .store_fresh(ModelId(0), &base, 0.5, &mut rng)
+        .unwrap();
 
     // 8 workers concurrently derive children with distinct last layers.
     std::thread::scope(|s| {
@@ -246,10 +284,19 @@ fn concurrent_derived_stores_keep_gc_consistent() {
             let client = dep.client();
             s.spawn(move || {
                 let child_g = seq(&[8, 16, 16, 16, 20 + w]);
-                let best = client.query_best_ancestor(&child_g).unwrap().unwrap();
+                let best = client
+                    .query_best_ancestor(&child_g)
+                    .unwrap()
+                    .into_inner()
+                    .unwrap();
                 let (meta, fetched) = client.fetch_prefix(&best).unwrap();
                 assert!(!fetched.is_empty());
-                let map = OwnerMap::derive(ModelId(100 + w as u64), &child_g, &best.lcp, &meta.owner_map);
+                let map = OwnerMap::derive(
+                    ModelId(100 + w as u64),
+                    &child_g,
+                    &best.lcp,
+                    &meta.owner_map,
+                );
                 let tensors = trained_tensors(&child_g, &map, w as u64);
                 client
                     .store_model(child_g.clone(), map, Some(best.model), 0.6, &tensors)
@@ -348,11 +395,17 @@ fn mrca_of_siblings_is_parent() {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     // Highest quality so that equal-length LCP ties resolve to the base
     // (both siblings share the same 3-vertex prefix with everything).
-    client.store_fresh(ModelId(1), &base, 0.9, &mut rng).unwrap();
+    client
+        .store_fresh(ModelId(1), &base, 0.9, &mut rng)
+        .unwrap();
 
     for (id, last) in [(2u64, 5u32), (3u64, 6u32)] {
         let g = seq(&[8, 16, 16, last]);
-        let best = client.query_best_ancestor(&g).unwrap().unwrap();
+        let best = client
+            .query_best_ancestor(&g)
+            .unwrap()
+            .into_inner()
+            .unwrap();
         let (meta, _) = client.fetch_prefix(&best).unwrap();
         let map = OwnerMap::derive(ModelId(id), &g, &best.lcp, &meta.owner_map);
         let t = trained_tensors(&g, &map, id);
@@ -389,7 +442,13 @@ fn log_backed_deployment_roundtrip() {
     let mut rng = ChaCha8Rng::seed_from_u64(8);
     let tensors = random_tensors(ModelId(1), &g, &mut rng);
     client
-        .store_model(g.clone(), OwnerMap::fresh(ModelId(1), &g), None, 0.5, &tensors)
+        .store_model(
+            g.clone(),
+            OwnerMap::fresh(ModelId(1), &g),
+            None,
+            0.5,
+            &tensors,
+        )
         .unwrap();
     let loaded = client.load_model(ModelId(1)).unwrap();
     for (k, t) in &tensors {
@@ -407,7 +466,11 @@ fn bulk_regions_do_not_leak() {
     let mut rng = ChaCha8Rng::seed_from_u64(9);
     client.store_fresh(ModelId(1), &g, 0.5, &mut rng).unwrap();
     let _ = client.load_model(ModelId(1)).unwrap();
-    let best = client.query_best_ancestor(&g).unwrap().unwrap();
+    let best = client
+        .query_best_ancestor(&g)
+        .unwrap()
+        .into_inner()
+        .unwrap();
     let _ = client.fetch_prefix(&best).unwrap();
     assert_eq!(dep.fabric().bulk_regions(), 0, "bulk regions leaked");
 }

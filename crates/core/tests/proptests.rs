@@ -37,7 +37,7 @@ proptest! {
             let model = ModelId(next_id);
             next_id += 1;
 
-            match client.query_best_ancestor(&graph).unwrap() {
+            match client.query_best_ancestor(&graph).unwrap().into_inner() {
                 Some(best) => {
                     let (meta, fetched) = client.fetch_prefix(&best).unwrap();
                     // Transferred tensors must match the prefix keys.

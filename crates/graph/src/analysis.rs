@@ -37,8 +37,7 @@ impl GraphDiff {
             }
         }
         let shared = lcp.prefix.clone();
-        let in_prefix: std::collections::HashSet<u32> =
-            lcp.prefix.iter().map(|v| v.0).collect();
+        let in_prefix: std::collections::HashSet<u32> = lcp.prefix.iter().map(|v| v.0).collect();
         let added = g
             .vertex_ids()
             .filter(|v| !in_prefix.contains(&v.0))
@@ -121,7 +120,9 @@ pub fn to_dot(g: &CompactGraph, highlight: Option<&LcpResult>) -> String {
     let in_prefix: std::collections::HashSet<u32> = highlight
         .map(|r| r.prefix.iter().map(|v| v.0).collect())
         .unwrap_or_default();
-    let mut out = String::from("digraph model {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph model {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     for v in g.vertex_ids() {
         let cfg = &g.vertex(v).config;
         let style = if in_prefix.contains(&v.0) {

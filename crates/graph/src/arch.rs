@@ -259,7 +259,10 @@ mod tests {
         let q = c.add_layer(dense("q", 2, 2));
         c.connect(p, q);
         c.connect(p, q);
-        assert_eq!(c.validate(), Err(ArchError::DuplicateEdge { from: 0, to: 1 }));
+        assert_eq!(
+            c.validate(),
+            Err(ArchError::DuplicateEdge { from: 0, to: 1 })
+        );
     }
 
     #[test]

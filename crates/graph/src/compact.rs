@@ -136,9 +136,8 @@ impl CompactGraph {
     pub fn topo_order(&self) -> Vec<VertexId> {
         let n = self.len();
         let mut indeg = self.in_degree.clone();
-        let mut queue: std::collections::VecDeque<u32> = (0..n as u32)
-            .filter(|&v| indeg[v as usize] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<u32> =
+            (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(VertexId(u));

@@ -32,7 +32,10 @@ pub fn layered_model(total_bytes: usize, num_layers: usize) -> Architecture {
     let d = ((per_layer_elems as f64).sqrt().floor() as u32).max(1);
 
     let mut a = Architecture::new(format!("layered-{num_layers}x{d}"));
-    let mut prev = a.add_layer(LayerConfig::new("input", LayerKind::Input { shape: vec![d] }));
+    let mut prev = a.add_layer(LayerConfig::new(
+        "input",
+        LayerKind::Input { shape: vec![d] },
+    ));
     for i in 0..num_layers {
         prev = a.chain(
             prev,
@@ -348,10 +351,9 @@ impl GenomeSpace {
                         ),
                     );
                     let join_node = match join {
-                        JoinKind::Add => m.add_layer(LayerConfig::new(
-                            format!("c{ci}_add"),
-                            LayerKind::Add,
-                        )),
+                        JoinKind::Add => {
+                            m.add_layer(LayerConfig::new(format!("c{ci}_add"), LayerKind::Add))
+                        }
                         JoinKind::Concat => m.add_layer(LayerConfig::new(
                             format!("c{ci}_cat"),
                             LayerKind::Concat { axis: 1 },
@@ -582,7 +584,10 @@ mod tests {
             }
             total_frac += r.fraction_of(&cg);
         }
-        assert!(nonzero >= n * 2 / 3, "only {nonzero}/{n} mutations shared a prefix");
+        assert!(
+            nonzero >= n * 2 / 3,
+            "only {nonzero}/{n} mutations shared a prefix"
+        );
         assert!(
             total_frac / n as f64 > 0.25,
             "mean prefix fraction {:.2} too low",

@@ -360,8 +360,20 @@ mod tests {
 
     #[test]
     fn signature_distinguishes_pool_kinds_with_same_fields() {
-        let a = LayerConfig::new("p", LayerKind::MaxPool2d { kernel: 2, stride: 2 });
-        let b = LayerConfig::new("p", LayerKind::AvgPool2d { kernel: 2, stride: 2 });
+        let a = LayerConfig::new(
+            "p",
+            LayerKind::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
+        );
+        let b = LayerConfig::new(
+            "p",
+            LayerKind::AvgPool2d {
+                kernel: 2,
+                stride: 2,
+            },
+        );
         assert_ne!(a.signature(), b.signature());
     }
 
@@ -403,7 +415,9 @@ mod tests {
             LayerKind::Act {
                 activation: Activation::ReLU,
             },
-            LayerKind::Input { shape: vec![3, 32, 32] },
+            LayerKind::Input {
+                shape: vec![3, 32, 32],
+            },
         ] {
             assert!(LayerConfig::new("x", k).param_specs().is_empty());
         }

@@ -99,8 +99,8 @@ pub fn lcp(g: &CompactGraph, a: &CompactGraph) -> LcpResult {
         in_prefix[u.0 as usize] = true;
         result.prefix.push(u);
 
-        let au = result.match_in_ancestor[u.0 as usize]
-            .expect("frontier vertices always carry a match");
+        let au =
+            result.match_in_ancestor[u.0 as usize].expect("frontier vertices always carry a match");
 
         for &v_raw in g.out(u) {
             let v = VertexId(v_raw);
@@ -197,10 +197,8 @@ pub fn lcp_fixpoint(g: &CompactGraph, a: &CompactGraph) -> LcpResult {
                 if ap.len() != gp.len() {
                     continue;
                 }
-                let mapped: std::collections::HashSet<u32> = gp
-                    .iter()
-                    .map(|&p| matched[p as usize].unwrap().0)
-                    .collect();
+                let mapped: std::collections::HashSet<u32> =
+                    gp.iter().map(|&p| matched[p as usize].unwrap().0).collect();
                 let actual: std::collections::HashSet<u32> = ap.iter().copied().collect();
                 if mapped == actual {
                     matched[v.0 as usize] = Some(av);
@@ -341,8 +339,8 @@ mod tests {
         let a = seq(&[4, 8, 9, 2]); // differs at layer 2
         let r = lcp(&g, &a);
         assert_eq!(r.len(), 2); // input + first dense
-        // Nothing after the mismatch, even though dims re-align later
-        // would not matter here (d3 differs because in_features differ).
+                                // Nothing after the mismatch, even though dims re-align later
+                                // would not matter here (d3 differs because in_features differ).
     }
 
     #[test]
@@ -496,11 +494,8 @@ mod tests {
         let a_long = seq(&[4, 8, 8, 3]); // LCP 3
         let a_long2 = seq(&[4, 8, 8, 5]); // LCP 3, higher score
 
-        let got = best_ancestor(
-            &g,
-            vec![(&a_short, 0.9), (&a_long, 0.5), (&a_long2, 0.8)],
-        )
-        .unwrap();
+        let got =
+            best_ancestor(&g, vec![(&a_short, 0.9), (&a_long, 0.5), (&a_long2, 0.8)]).unwrap();
         assert_eq!(got.result.len(), 3);
         assert!((got.score - 0.8).abs() < 1e-9);
         assert!(std::ptr::eq(got.key, &a_long2));

@@ -212,8 +212,12 @@ mod tests {
     #[test]
     fn kind_and_range_patterns() {
         let g = attn_model();
-        assert!(LayerPattern::Kind("attention".into())
-            .matches(&g.vertex(VertexId(3)).config.kind) || g.vertex_ids().any(|v| LayerPattern::Kind("attention".into()).matches(&g.vertex(v).config.kind)));
+        assert!(
+            LayerPattern::Kind("attention".into()).matches(&g.vertex(VertexId(3)).config.kind)
+                || g.vertex_ids()
+                    .any(|v| LayerPattern::Kind("attention".into())
+                        .matches(&g.vertex(v).config.kind))
+        );
         assert!(ArchPattern::any()
             .with_layer(LayerPattern::DenseUnits { min: 100, max: 200 })
             .matches(&g));
@@ -236,7 +240,10 @@ mod tests {
         let g = attn_model();
         assert!(ArchPattern::any().with_vertices(3, 10).matches(&g));
         assert!(!ArchPattern::any().with_vertices(10, 20).matches(&g));
-        let params: usize = g.vertex_ids().map(|v| g.vertex(v).config.param_count()).sum();
+        let params: usize = g
+            .vertex_ids()
+            .map(|v| g.vertex(v).config.param_count())
+            .sum();
         assert!(ArchPattern::any().with_params(params, params).matches(&g));
         assert!(!ArchPattern::any().with_params(params + 1, 0).matches(&g));
     }

@@ -38,7 +38,8 @@ impl PartialEq for KvError {
     fn eq(&self, other: &Self) -> bool {
         matches!(
             (self, other),
-            (KvError::NotFound, KvError::NotFound) | (KvError::Corrupt { .. }, KvError::Corrupt { .. })
+            (KvError::NotFound, KvError::NotFound)
+                | (KvError::Corrupt { .. }, KvError::Corrupt { .. })
         )
     }
 }

@@ -111,7 +111,10 @@ impl LogStore {
             let entry = entry?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if let Some(rest) = name.strip_prefix("seg-").and_then(|s| s.strip_suffix(".log")) {
+            if let Some(rest) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".log"))
+            {
                 if let Ok(id) = rest.parse::<u64>() {
                     ids.push(id);
                 }
@@ -239,7 +242,13 @@ impl Inner {
         Ok(())
     }
 
-    fn apply_replayed(&mut self, key: &[u8], value: Option<&[u8]>, segment: u64, value_offset: u64) {
+    fn apply_replayed(
+        &mut self,
+        key: &[u8],
+        value: Option<&[u8]>,
+        segment: u64,
+        value_offset: u64,
+    ) {
         match value {
             Some(v) => {
                 let entry = IndexEntry {
@@ -323,9 +332,12 @@ impl Inner {
         // Snapshot live entries (key -> value bytes).
         let mut live: Vec<(Box<[u8]>, Vec<u8>)> = Vec::with_capacity(self.index.len());
         for (key, entry) in &self.index {
-            let seg = self.segments.get(&entry.segment).ok_or_else(|| KvError::Corrupt {
-                detail: format!("index references missing segment {}", entry.segment),
-            })?;
+            let seg = self
+                .segments
+                .get(&entry.segment)
+                .ok_or_else(|| KvError::Corrupt {
+                    detail: format!("index references missing segment {}", entry.segment),
+                })?;
             let mut buf = vec![0u8; entry.value_len as usize];
             seg.file.read_exact_at(&mut buf, entry.value_offset)?;
             live.push((key.clone(), buf));
@@ -432,9 +444,12 @@ impl KvBackend for LogStore {
             let inner = self.inner.lock();
             match inner.index.get(key) {
                 Some(e) => {
-                    let seg = inner.segments.get(&e.segment).ok_or_else(|| KvError::Corrupt {
-                        detail: format!("missing segment {}", e.segment),
-                    })?;
+                    let seg = inner
+                        .segments
+                        .get(&e.segment)
+                        .ok_or_else(|| KvError::Corrupt {
+                            detail: format!("missing segment {}", e.segment),
+                        })?;
                     (Arc::clone(&seg.file), e.value_offset, e.value_len as usize)
                 }
                 None => {
@@ -588,7 +603,10 @@ mod tests {
         let after = s.disk_bytes();
         assert!(after < before / 4, "compaction {before} -> {after}");
         for k in 0..10u32 {
-            assert_eq!(s.get(&k.to_le_bytes()).unwrap(), Bytes::from(vec![19u8; 128]));
+            assert_eq!(
+                s.get(&k.to_le_bytes()).unwrap(),
+                Bytes::from(vec![19u8; 128])
+            );
         }
         // And state survives a reopen post-compaction.
         drop(s);
@@ -608,7 +626,11 @@ mod tests {
             s.put(b"hot", Bytes::from(vec![round as u8; 1024])).unwrap();
         }
         // 39 dead versions of "hot" -> ratio >> 0.5 -> compacted.
-        assert!(s.disk_bytes() < 8 * 1024, "disk {} too large", s.disk_bytes());
+        assert!(
+            s.disk_bytes() < 8 * 1024,
+            "disk {} too large",
+            s.disk_bytes()
+        );
         assert_eq!(s.get(b"hot").unwrap(), Bytes::from(vec![39u8; 1024]));
     }
 

@@ -41,7 +41,8 @@ impl StoreMetrics {
 
     pub(crate) fn record_put(&self, bytes: usize) {
         self.puts.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_get(&self, bytes: usize) {

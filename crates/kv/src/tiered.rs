@@ -128,10 +128,7 @@ mod tests {
     use crate::logstore::LogStore;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "evostore-tiered-{name}-{}",
-            std::process::id()
-        ));
+        let d = std::env::temp_dir().join(format!("evostore-tiered-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
         d
     }

@@ -161,10 +161,7 @@ mod tests {
         }
         assert_eq!(c.population().count(), 4);
         // FIFO: the first six models were retired in order.
-        assert_eq!(
-            all_retired,
-            (0..6).map(ModelId).collect::<Vec<_>>()
-        );
+        assert_eq!(all_retired, (0..6).map(ModelId).collect::<Vec<_>>());
     }
 
     #[test]

@@ -274,8 +274,7 @@ impl NasRunResult {
 
     /// Mean fraction of layers frozen across transferred tasks.
     pub fn mean_frozen_fraction(&self) -> f64 {
-        let transferred: Vec<&TaskTrace> =
-            self.traces.iter().filter(|t| t.transferred).collect();
+        let transferred: Vec<&TaskTrace> = self.traces.iter().filter(|t| t.transferred).collect();
         if transferred.is_empty() {
             return 0.0;
         }
@@ -315,12 +314,12 @@ pub fn run_nas(cfg: &NasConfig, setup: &RepoSetup) -> NasRunResult {
     });
 
     let launch = |controller: &mut AgedEvolution,
-                      experience: &mut HashMap<ModelId, f64>,
-                      next_id: &mut u64,
-                      queue: &mut EventQueue<PendingTask>,
-                      fallbacks: &mut usize,
-                      worker: usize,
-                      now: SimTime| {
+                  experience: &mut HashMap<ModelId, f64>,
+                  next_id: &mut u64,
+                  queue: &mut EventQueue<PendingTask>,
+                  fallbacks: &mut usize,
+                  worker: usize,
+                  now: SimTime| {
         let Some(genome) = controller.next_candidate() else {
             return;
         };
@@ -365,7 +364,8 @@ pub fn run_nas(cfg: &NasConfig, setup: &RepoSetup) -> NasRunResult {
         if let (Some(repo), Some(s)) = (setup.repo(), src) {
             match repo.fetch_transfer(&graph, &s) {
                 Some(fetch) => {
-                    fetch_s = setup.io_seconds(fetch.bytes_read, fetch.model_seconds, cfg.io_byte_scale);
+                    fetch_s =
+                        setup.io_seconds(fetch.bytes_read, fetch.model_seconds, cfg.io_byte_scale);
                     frozen_fraction = s.prefix_fraction(&graph);
                     frozen_params = s.prefix_bytes(&graph) / 4;
                     ancestor_exp = experience.get(&s.ancestor).copied().unwrap_or(0.0);
@@ -388,9 +388,9 @@ pub fn run_nas(cfg: &NasConfig, setup: &RepoSetup) -> NasRunResult {
             // iterations) and produces a weaker quality estimate.
             let t = cfg.train.task_overhead_s * 0.25
                 + cfg.train.forward_s_per_param * params as f64 * 0.1;
-            let a = cfg
-                .quality
-                .observed_accuracy(cfg.quality.potential(&genome), 0.3 * eff, model.0);
+            let a =
+                cfg.quality
+                    .observed_accuracy(cfg.quality.potential(&genome), 0.3 * eff, model.0);
             (t, a)
         } else {
             let t = cfg.train.epoch_time(params, frozen_params);
@@ -405,7 +405,11 @@ pub fn run_nas(cfg: &NasConfig, setup: &RepoSetup) -> NasRunResult {
         let mut store_s = 0.0;
         if let Some(repo) = setup.repo() {
             let outcome = repo.store_candidate(model, &graph, live_src.as_ref(), accuracy, model.0);
-            store_s = setup.io_seconds(outcome.bytes_written, outcome.model_seconds, cfg.io_byte_scale);
+            store_s = setup.io_seconds(
+                outcome.bytes_written,
+                outcome.model_seconds,
+                cfg.io_byte_scale,
+            );
             if outcome.fell_back_fresh {
                 *fallbacks += 1;
             }

@@ -14,6 +14,6 @@ pub mod refine;
 pub mod training;
 
 pub use controller::{AgedEvolution, Member};
-pub use refine::{refine_top_k, RefinedCandidate, RefinementReport};
 pub use driver::{run_nas, NasConfig, NasRunResult, RepoSetup, TaskTrace};
+pub use refine::{refine_top_k, RefinedCandidate, RefinementReport};
 pub use training::QualityModel;

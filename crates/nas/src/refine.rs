@@ -93,11 +93,8 @@ pub fn refine_top_k(
         }
         // Refinement drives the observation toward the true potential.
         let potential = quality.potential(&genome);
-        let refined = quality.observed_accuracy(
-            potential,
-            1.0 + epochs as f64,
-            trace.model ^ 0xF1E1D,
-        );
+        let refined =
+            quality.observed_accuracy(potential, 1.0 + epochs as f64, trace.model ^ 0xF1E1D);
 
         candidates.push(RefinedCandidate {
             model: trace.model,

@@ -174,7 +174,10 @@ mod tests {
         let scratch = qm.observed_accuracy(p, 1.0, 1);
         let inherited = qm.observed_accuracy(p, 4.0, 1);
         assert!(inherited > scratch);
-        assert!(p - inherited < 0.02, "deep lineage almost reaches potential");
+        assert!(
+            p - inherited < 0.02,
+            "deep lineage almost reaches potential"
+        );
         assert!(p - scratch > 0.03, "scratch training underestimates");
     }
 

@@ -33,7 +33,7 @@ fn config() -> NasConfig {
         max_candidates: 80,
         population_cap: 24,
         sample_size: 6,
-        seed: 1234,
+        seed: 2024,
         ..Default::default()
     }
 }
@@ -61,7 +61,14 @@ fn hdf5_setup() -> (Arc<Fabric>, RedisServer, RepoSetup) {
         pfs,
         false,
     ));
-    (fabric, server, RepoSetup::Modeled { repo, meta_servers: 8 })
+    (
+        fabric,
+        server,
+        RepoSetup::Modeled {
+            repo,
+            meta_servers: 8,
+        },
+    )
 }
 
 fn run_all() -> (NasRunResult, NasRunResult, NasRunResult) {

@@ -23,16 +23,29 @@ pub fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, RpcError> {
     serde_json::from_slice(bytes).map_err(|e| RpcError::Codec(e.to_string()))
 }
 
-/// Typed two-sided RPC.
+/// Typed two-sided RPC — the raw, no-retry path.
+///
+/// Since the resilient redesign this is a shim over
+/// [`resilient::unary`](crate::resilient::unary) with
+/// [`RetryPolicy::no_retry`](crate::resilient::RetryPolicy::no_retry):
+/// one attempt, a generous 30 s deadline (so an injected reply loss
+/// surfaces as [`RpcError::Timeout`] instead of hanging forever), no
+/// metrics. Prefer the resilient surface for anything that should
+/// survive transient faults.
 pub fn call_typed<Req: Serialize, Resp: DeserializeOwned>(
     fabric: &Fabric,
     target: EndpointId,
     method: &str,
     req: &Req,
 ) -> Result<Resp, RpcError> {
-    let body = encode(req)?;
-    let reply = fabric.call(target, method, body)?;
-    decode(&reply)
+    crate::resilient::unary(
+        fabric,
+        target,
+        method,
+        req,
+        &crate::resilient::RetryPolicy::no_retry(),
+        None,
+    )
 }
 
 /// Wrap a typed handler into the byte-level [`crate::fabric::Handler`]
@@ -99,10 +112,15 @@ mod tests {
         let fabric = Fabric::new();
         let ep = fabric.create_endpoint(1);
         ep.register("junk", |_| Ok(Bytes::from_static(b"not json")));
-        let r: Result<Answer, RpcError> = call_typed(&fabric, ep.id(), "junk", &Query {
-            id: 0,
-            tags: vec![],
-        });
+        let r: Result<Answer, RpcError> = call_typed(
+            &fabric,
+            ep.id(),
+            "junk",
+            &Query {
+                id: 0,
+                tags: vec![],
+            },
+        );
         assert!(matches!(r, Err(RpcError::Codec(_))));
     }
 

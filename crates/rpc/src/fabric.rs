@@ -15,12 +15,15 @@
 //!   transfers are performed using bulk RDMA operations", §4.1).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
+
+use crate::fault::{FaultAction, FaultPlan};
 
 /// Identifies an endpoint on a fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,6 +40,11 @@ impl std::fmt::Display for EndpointId {
 pub struct BulkHandle(pub u64);
 
 /// RPC-layer errors.
+///
+/// Variants split into *transient* faults — the target may answer on a
+/// retry ([`RpcError::is_transient`]) — and *permanent* ones, where
+/// retrying can never help (wrong method name, withdrawn bulk handle,
+/// malformed message).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RpcError {
     /// Target endpoint does not exist (or was shut down).
@@ -51,6 +59,21 @@ pub enum RpcError {
     NoSuchBulk(BulkHandle),
     /// Typed-codec failure.
     Codec(String),
+    /// No response within the caller's deadline.
+    Timeout,
+    /// The endpoint exists but is (currently) unreachable — the
+    /// transient counterpart of [`RpcError::NoSuchEndpoint`].
+    Unavailable(EndpointId),
+}
+
+impl RpcError {
+    /// Could a retry of the same call plausibly succeed?
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            RpcError::Timeout | RpcError::Unavailable(_) | RpcError::Disconnected
+        )
+    }
 }
 
 impl std::fmt::Display for RpcError {
@@ -62,6 +85,8 @@ impl std::fmt::Display for RpcError {
             RpcError::Disconnected => write!(f, "endpoint disconnected"),
             RpcError::NoSuchBulk(h) => write!(f, "no such bulk handle {h:?}"),
             RpcError::Codec(msg) => write!(f, "codec error: {msg}"),
+            RpcError::Timeout => write!(f, "call timed out"),
+            RpcError::Unavailable(e) => write!(f, "endpoint {e} unavailable"),
         }
     }
 }
@@ -76,6 +101,10 @@ struct Job {
     method: String,
     body: Bytes,
     reply: Sender<Result<Bytes, RpcError>>,
+    /// Injected service delay (fault plan); `None` on the normal path.
+    delay: Option<Duration>,
+    /// Injected reply loss (fault plan): run the handler, never answer.
+    drop_reply: bool,
 }
 
 struct EndpointInner {
@@ -115,12 +144,25 @@ impl Endpoint {
     }
 }
 
+/// A registered bulk region: the shared buffer plus (optionally) the
+/// endpoint whose memory it models. Ownerless regions survive any fault;
+/// owned regions become unreadable while their owner is marked down.
+struct BulkRegion {
+    data: Bytes,
+    owner: Option<EndpointId>,
+}
+
 /// The fabric: endpoint registry + bulk-region registry.
 pub struct Fabric {
     endpoints: RwLock<HashMap<EndpointId, Arc<EndpointInner>>>,
     next_endpoint: AtomicU64,
-    bulk: RwLock<HashMap<u64, Bytes>>,
+    bulk: RwLock<HashMap<u64, BulkRegion>>,
     next_bulk: AtomicU64,
+    /// Fast-path guard: `true` iff a fault plan is installed. Checked
+    /// with one relaxed load per dispatch/bulk read so the no-plan path
+    /// pays nothing else (no lock, no allocation).
+    faults_active: AtomicBool,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
 }
 
 impl Fabric {
@@ -131,13 +173,46 @@ impl Fabric {
             next_endpoint: AtomicU64::new(0),
             bulk: RwLock::new(HashMap::new()),
             next_bulk: AtomicU64::new(0),
+            faults_active: AtomicBool::new(false),
+            faults: RwLock::new(None),
         })
+    }
+
+    // ---- fault injection ------------------------------------------------
+
+    /// Install a fault plan; every subsequent dispatch and bulk read is
+    /// filtered through it. Returns the shared handle so the caller can
+    /// keep toggling endpoints down/up and reading
+    /// [`FaultPlan::stats`]. Replaces any previous plan.
+    pub fn install_fault_plan(&self, plan: FaultPlan) -> Arc<FaultPlan> {
+        let plan = Arc::new(plan);
+        *self.faults.write() = Some(Arc::clone(&plan));
+        self.faults_active.store(true, Ordering::Release);
+        plan
+    }
+
+    /// Remove the installed plan (dispatch returns to the zero-overhead
+    /// path).
+    pub fn clear_fault_plan(&self) {
+        self.faults_active.store(false, Ordering::Release);
+        *self.faults.write() = None;
+    }
+
+    /// The currently installed plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        if !self.faults_active.load(Ordering::Acquire) {
+            return None;
+        }
+        self.faults.read().clone()
     }
 
     /// Create an endpoint with `service_threads` request-processing
     /// threads (Argobots execution streams, in Mochi terms).
     pub fn create_endpoint(self: &Arc<Self>, service_threads: usize) -> Endpoint {
-        assert!(service_threads > 0, "endpoint needs at least one service thread");
+        assert!(
+            service_threads > 0,
+            "endpoint needs at least one service thread"
+        );
         let id = EndpointId(self.next_endpoint.fetch_add(1, Ordering::Relaxed) as u32);
         let (tx, rx) = unbounded::<Job>();
         let handlers: Arc<RwLock<HashMap<String, Handler>>> = Arc::new(RwLock::new(HashMap::new()));
@@ -156,11 +231,23 @@ impl Fabric {
                     .name(format!("ep{}-svc{}", id.0, t))
                     .spawn(move || {
                         while let Ok(job) = rx.recv() {
+                            if let Some(delay) = job.delay {
+                                std::thread::sleep(delay);
+                            }
                             let handler = handlers.read().get(&job.method).cloned();
                             let result = match handler {
                                 Some(h) => h(job.body).map_err(RpcError::Handler),
                                 None => Err(RpcError::NoSuchMethod(job.method.clone())),
                             };
+                            if job.drop_reply {
+                                // Injected reply loss: the handler ran (its
+                                // side effects stand) but the caller never
+                                // hears back. Forgetting the sender keeps the
+                                // channel open so a deadline-aware caller
+                                // observes a timeout, not a disconnect.
+                                std::mem::forget(job.reply);
+                                continue;
+                            }
                             // Caller may have given up; ignore send failure.
                             let _ = job.reply.send(result);
                         }
@@ -182,14 +269,51 @@ impl Fabric {
             .map_err(|_| RpcError::Disconnected)?
     }
 
+    /// Two-sided RPC with a per-call deadline: like [`Fabric::call`] but
+    /// gives up with [`RpcError::Timeout`] when no reply lands within
+    /// `deadline`. The resilient client paths use this exclusively — an
+    /// injected [`FaultAction::DropReply`] would hang a plain `call`
+    /// forever.
+    pub fn call_deadline(
+        &self,
+        target: EndpointId,
+        method: &str,
+        body: Bytes,
+        deadline: Duration,
+    ) -> Result<Bytes, RpcError> {
+        match self
+            .call_async(target, method, body)?
+            .recv_timeout(deadline)
+        {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(RpcError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RpcError::Disconnected),
+        }
+    }
+
     /// Fire a request and return the reply channel — the building block of
     /// the broadcast collective.
+    ///
+    /// This is *the* dispatch boundary: when a fault plan is installed,
+    /// it decides here whether the call is rejected (`Unavailable` /
+    /// `Timeout`), delayed, or delivered with its reply marked for loss.
     pub fn call_async(
         &self,
         target: EndpointId,
         method: &str,
         body: Bytes,
     ) -> Result<Receiver<Result<Bytes, RpcError>>, RpcError> {
+        let mut delay = None;
+        let mut drop_reply = false;
+        if self.faults_active.load(Ordering::Acquire) {
+            match self.faulted_dispatch(target, method) {
+                Ok((d, dr)) => {
+                    delay = d;
+                    drop_reply = dr;
+                }
+                Err(e) => return Err(e),
+            }
+        }
         let inner = self
             .endpoints
             .read()
@@ -203,9 +327,32 @@ impl Fabric {
                 method: method.to_string(),
                 body,
                 reply: reply_tx,
+                delay,
+                drop_reply,
             })
             .map_err(|_| RpcError::NoSuchEndpoint(target))?;
         Ok(reply_rx)
+    }
+
+    /// Slow path of [`Fabric::call_async`], taken only while a plan is
+    /// installed. Kept out of line so the common path stays tight.
+    #[cold]
+    #[allow(clippy::type_complexity)]
+    fn faulted_dispatch(
+        &self,
+        target: EndpointId,
+        method: &str,
+    ) -> Result<(Option<Duration>, bool), RpcError> {
+        let Some(plan) = self.faults.read().clone() else {
+            return Ok((None, false));
+        };
+        match plan.decide(target, method) {
+            None => Ok((None, false)),
+            Some(FaultAction::Delay(d)) => Ok((Some(d), false)),
+            Some(FaultAction::DropReply) => Ok((None, true)),
+            Some(FaultAction::Unavailable) => Err(RpcError::Unavailable(target)),
+            Some(FaultAction::Timeout) => Err(RpcError::Timeout),
+        }
     }
 
     /// Deregister an endpoint and stop its service threads (pending
@@ -232,21 +379,46 @@ impl Fabric {
     // ---- one-sided (RDMA-style) bulk operations -------------------------
 
     /// Expose a memory region for one-sided reads. Zero-copy: the region
-    /// shares the caller's buffer.
+    /// shares the caller's buffer. The region is *ownerless*: it stays
+    /// readable regardless of any endpoint's fault state.
     pub fn bulk_expose(&self, data: Bytes) -> BulkHandle {
+        self.bulk_insert(data, None)
+    }
+
+    /// Expose a memory region *owned by* `owner`. While `owner` is
+    /// marked down in an installed fault plan, reads of this region fail
+    /// with [`RpcError::Unavailable`] — a crashed provider's RDMA
+    /// windows go away with it.
+    pub fn bulk_expose_owned(&self, data: Bytes, owner: EndpointId) -> BulkHandle {
+        self.bulk_insert(data, Some(owner))
+    }
+
+    fn bulk_insert(&self, data: Bytes, owner: Option<EndpointId>) -> BulkHandle {
         let id = self.next_bulk.fetch_add(1, Ordering::Relaxed);
-        self.bulk.write().insert(id, data);
+        self.bulk.write().insert(id, BulkRegion { data, owner });
         BulkHandle(id)
     }
 
     /// One-sided read of an exposed region. Does *not* involve any service
     /// thread of the exposing endpoint.
+    ///
+    /// This is the second fault-injection boundary: a withdrawn handle is
+    /// the *permanent* failure [`RpcError::NoSuchBulk`]; a region whose
+    /// owner is down is the *transient* [`RpcError::Unavailable`].
     pub fn bulk_get(&self, handle: BulkHandle) -> Result<Bytes, RpcError> {
-        self.bulk
-            .read()
-            .get(&handle.0)
-            .cloned()
-            .ok_or(RpcError::NoSuchBulk(handle))
+        let (data, owner) = {
+            let map = self.bulk.read();
+            let region = map.get(&handle.0).ok_or(RpcError::NoSuchBulk(handle))?;
+            (region.data.clone(), region.owner)
+        };
+        if self.faults_active.load(Ordering::Acquire) {
+            if let (Some(owner), Some(plan)) = (owner, self.faults.read().clone()) {
+                if plan.rejects_bulk(owner) {
+                    return Err(RpcError::Unavailable(owner));
+                }
+            }
+        }
+        Ok(data)
     }
 
     /// One-sided sub-range read (partial tensor access).
@@ -394,6 +566,66 @@ mod tests {
         let mid = fabric.bulk_get_range(h, 100, 10).unwrap();
         assert_eq!(mid.as_ref(), &(100u8..110).collect::<Vec<u8>>()[..]);
         assert!(fabric.bulk_get_range(h, 250, 10).is_err());
+    }
+
+    #[test]
+    fn call_deadline_times_out_on_slow_handler() {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        ep.register("slow", |_| {
+            std::thread::sleep(Duration::from_millis(200));
+            Ok(Bytes::new())
+        });
+        assert_eq!(
+            fabric.call_deadline(ep.id(), "slow", Bytes::new(), Duration::from_millis(20)),
+            Err(RpcError::Timeout)
+        );
+        // Generous deadline: same handler succeeds.
+        assert!(fabric
+            .call_deadline(ep.id(), "slow", Bytes::new(), Duration::from_secs(5))
+            .is_ok());
+    }
+
+    #[test]
+    fn down_endpoint_rejects_dispatch_until_up() {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        ep.register("echo", Ok);
+        let plan = fabric.install_fault_plan(crate::fault::FaultPlan::new(1));
+        plan.set_down(ep.id());
+        assert_eq!(
+            fabric.call(ep.id(), "echo", Bytes::new()),
+            Err(RpcError::Unavailable(ep.id()))
+        );
+        plan.set_up(ep.id());
+        assert!(fabric.call(ep.id(), "echo", Bytes::new()).is_ok());
+        fabric.clear_fault_plan();
+    }
+
+    #[test]
+    fn owned_bulk_region_follows_owner_fault_state() {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        let data = Bytes::from(vec![9u8; 64]);
+        let owned = fabric.bulk_expose_owned(data.clone(), ep.id());
+        let orphan = fabric.bulk_expose(data.clone());
+
+        let plan = fabric.install_fault_plan(crate::fault::FaultPlan::new(1));
+        plan.set_down(ep.id());
+        // Owned region: transient Unavailable while the owner is down.
+        assert_eq!(fabric.bulk_get(owned), Err(RpcError::Unavailable(ep.id())));
+        assert_eq!(
+            fabric.bulk_get_range(owned, 0, 8),
+            Err(RpcError::Unavailable(ep.id()))
+        );
+        // Ownerless region: unaffected.
+        assert_eq!(fabric.bulk_get(orphan).unwrap(), data);
+        plan.set_up(ep.id());
+        assert_eq!(fabric.bulk_get(owned).unwrap(), data);
+
+        // A *withdrawn* handle is the permanent error, fault plan or not.
+        assert!(fabric.bulk_release(owned));
+        assert_eq!(fabric.bulk_get(owned), Err(RpcError::NoSuchBulk(owned)));
     }
 
     #[test]

@@ -7,10 +7,22 @@
 //! (the RDMA path), and broadcast/reduce collectives for provider-side
 //! metadata queries ([`collective`]).
 
+//!
+//! Fault tolerance is layered on top: [`fault`] injects failures
+//! (errors, delays, reply loss, down endpoints) at the dispatch and
+//! bulk-read boundaries — opt-in, zero overhead when unused — and
+//! [`resilient`] is the policy-driven typed call surface (`unary`,
+//! `fan_out`, `broadcast`) with bounded-backoff retries, per-call
+//! deadlines and metrics.
+
 pub mod codec;
 pub mod collective;
 pub mod fabric;
+pub mod fault;
+pub mod resilient;
 
 pub use codec::{call_typed, decode, encode, typed_handler};
-pub use collective::{broadcast, broadcast_reduce, MemberReply};
+pub use collective::{broadcast_reduce, MemberReply};
 pub use fabric::{BulkHandle, Endpoint, EndpointId, Fabric, Handler, RpcError};
+pub use fault::{FaultAction, FaultPlan, FaultRule, FaultStats, FaultWindow};
+pub use resilient::{broadcast, fan_out, unary, LegResults, RetryPolicy, RpcMetrics};

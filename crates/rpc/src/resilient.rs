@@ -1,0 +1,494 @@
+//! The resilient typed call surface: retries, deadlines, metrics.
+//!
+//! One policy-driven surface replaces the three ad-hoc call shapes the
+//! client used to hand-roll ([`codec::call_typed`](crate::codec::call_typed)
+//! without deadlines, a private parallel fan-out, and the raw
+//! [`collective::broadcast_reduce`](crate::collective::broadcast_reduce)):
+//!
+//! * [`unary`] — one typed request/response pair;
+//! * [`fan_out`] — per-target request bodies, issued in parallel;
+//! * [`broadcast`] — one body to many targets, all in flight at once.
+//!
+//! Every shape takes a [`RetryPolicy`]: each attempt runs under a
+//! per-call deadline, *transient* failures ([`RpcError::is_transient`])
+//! are retried with bounded exponential backoff, permanent ones fail
+//! immediately. An optional [`RpcMetrics`] records retries, timeouts and
+//! exhausted calls so callers (the EvoStore client's telemetry) can
+//! report them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::codec::{decode, encode};
+use crate::fabric::{EndpointId, Fabric, RpcError};
+
+/// Bounded-exponential-backoff retry policy with a per-attempt deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Deadline for each individual attempt.
+    pub call_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(64),
+            call_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Single attempt, generous deadline — the behavior of the legacy
+    /// raw call path (minus its ability to hang forever).
+    pub fn no_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            call_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the attempt budget (clamped to ≥ 1).
+    pub fn with_attempts(mut self, attempts: u32) -> RetryPolicy {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Override the per-attempt deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> RetryPolicy {
+        self.call_timeout = timeout;
+        self
+    }
+
+    /// Override the backoff range.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> RetryPolicy {
+        self.base_backoff = base;
+        self.max_backoff = max;
+        self
+    }
+
+    /// Backoff to sleep before retry number `retry` (1-based): base,
+    /// 2·base, 4·base, ... capped at `max_backoff`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let exp = retry.saturating_sub(1).min(16);
+        (self.base_backoff * 2u32.saturating_pow(exp)).min(self.max_backoff)
+    }
+}
+
+/// Counters for what the resilient surface had to do. Shareable across
+/// threads; all loads/stores are relaxed (these are statistics, not
+/// synchronization).
+#[derive(Debug, Default)]
+pub struct RpcMetrics {
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+impl RpcMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> RpcMetrics {
+        RpcMetrics::default()
+    }
+
+    /// Attempts re-issued after a transient failure.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Attempts that ended in `RpcError::Timeout`.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Calls that failed transiently with the attempt budget spent.
+    pub fn exhausted(&self) -> u64 {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    fn note(&self, err: &RpcError) {
+        if matches!(err, RpcError::Timeout) {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn note_metrics(metrics: Option<&RpcMetrics>, f: impl FnOnce(&RpcMetrics)) {
+    if let Some(m) = metrics {
+        f(m);
+    }
+}
+
+/// Retry loop over raw bodies — the primitive under [`unary`] and
+/// [`fan_out`]. Each attempt runs under `policy.call_timeout`; transient
+/// errors are retried with backoff until the budget is spent.
+pub fn call_with_retry(
+    fabric: &Fabric,
+    target: EndpointId,
+    method: &str,
+    body: Bytes,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+) -> Result<Bytes, RpcError> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match fabric.call_deadline(target, method, body.clone(), policy.call_timeout) {
+            Ok(reply) => return Ok(reply),
+            Err(err) => {
+                note_metrics(metrics, |m| m.note(&err));
+                if !err.is_transient() {
+                    return Err(err);
+                }
+                if attempt >= policy.max_attempts.max(1) {
+                    note_metrics(metrics, |m| {
+                        m.exhausted.fetch_add(1, Ordering::Relaxed);
+                    });
+                    return Err(err);
+                }
+                note_metrics(metrics, |m| {
+                    m.retries.fetch_add(1, Ordering::Relaxed);
+                });
+                std::thread::sleep(policy.backoff(attempt));
+            }
+        }
+    }
+}
+
+/// Typed unary call with retries: the resilient successor of
+/// [`call_typed`](crate::codec::call_typed).
+pub fn unary<Req: Serialize, Resp: DeserializeOwned>(
+    fabric: &Fabric,
+    target: EndpointId,
+    method: &str,
+    req: &Req,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+) -> Result<Resp, RpcError> {
+    let body = encode(req)?;
+    let reply = call_with_retry(fabric, target, method, body, policy, metrics)?;
+    decode(&reply)
+}
+
+/// Per-target results of a collective: one entry per input target, in
+/// input order, each leg succeeding or failing independently.
+pub type LegResults<T> = Vec<(EndpointId, Result<T, RpcError>)>;
+
+/// Typed parallel fan-out: a distinct request per target, all legs in
+/// flight at once, each leg independently retried per `policy`. Results
+/// come back in input order; per-leg failures do not abort the others.
+pub fn fan_out<Req, Resp>(
+    fabric: &Fabric,
+    legs: &[(EndpointId, Req)],
+    method: &str,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+) -> LegResults<Resp>
+where
+    Req: Serialize + Sync,
+    Resp: DeserializeOwned + Send,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = legs
+            .iter()
+            .map(|(target, req)| {
+                let target = *target;
+                scope.spawn(move || {
+                    let resp = encode(req).and_then(|body| {
+                        call_with_retry(fabric, target, method, body, policy, metrics)
+                    });
+                    (target, resp.and_then(|reply| decode(&reply)))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan-out leg panicked"))
+            .collect()
+    })
+}
+
+/// Raw resilient broadcast: one body to every target, all requests in
+/// flight before any reply is awaited (preserving the overlap the LCP
+/// query depends on), then transient failures retried in overlapped
+/// rounds with backoff. Returns one entry per target, in input order.
+pub fn broadcast_with_retry(
+    fabric: &Fabric,
+    targets: &[EndpointId],
+    method: &str,
+    body: Bytes,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+) -> LegResults<Bytes> {
+    let mut results: Vec<Option<Result<Bytes, RpcError>>> = targets.iter().map(|_| None).collect();
+    let mut pending: Vec<usize> = (0..targets.len()).collect();
+
+    let max_attempts = policy.max_attempts.max(1);
+    for attempt in 1..=max_attempts {
+        // Issue every pending leg before collecting any reply.
+        let in_flight: Vec<(usize, _)> = pending
+            .iter()
+            .map(|&i| (i, fabric.call_async(targets[i], method, body.clone())))
+            .collect();
+
+        let round_start = Instant::now();
+        let mut still_pending = Vec::new();
+        for (i, dispatched) in in_flight {
+            let outcome = match dispatched {
+                Ok(rx) => {
+                    // Legs share the round's deadline: replies arrive
+                    // concurrently, so the slowest leg bounds the round.
+                    let left = policy.call_timeout.saturating_sub(round_start.elapsed());
+                    match rx.recv_timeout(left) {
+                        Ok(result) => result,
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            Err(RpcError::Timeout)
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                            Err(RpcError::Disconnected)
+                        }
+                    }
+                }
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(reply) => results[i] = Some(Ok(reply)),
+                Err(err) => {
+                    note_metrics(metrics, |m| m.note(&err));
+                    if err.is_transient() && attempt < max_attempts {
+                        still_pending.push(i);
+                    } else {
+                        if err.is_transient() {
+                            note_metrics(metrics, |m| {
+                                m.exhausted.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                        results[i] = Some(Err(err));
+                    }
+                }
+            }
+        }
+
+        pending = still_pending;
+        if pending.is_empty() {
+            break;
+        }
+        note_metrics(metrics, |m| {
+            m.retries.fetch_add(pending.len() as u64, Ordering::Relaxed);
+        });
+        std::thread::sleep(policy.backoff(attempt));
+    }
+
+    targets
+        .iter()
+        .zip(results)
+        .map(|(&t, r)| (t, r.expect("every leg resolved")))
+        .collect()
+}
+
+/// Typed resilient broadcast: encode once, send to every target, decode
+/// each success. The per-leg `Result` keeps partial outcomes visible so
+/// callers can apply quorum semantics.
+pub fn broadcast<Req: Serialize, Resp: DeserializeOwned>(
+    fabric: &Fabric,
+    targets: &[EndpointId],
+    method: &str,
+    req: &Req,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+) -> Result<LegResults<Resp>, RpcError> {
+    let body = encode(req)?;
+    Ok(
+        broadcast_with_retry(fabric, targets, method, body, policy, metrics)
+            .into_iter()
+            .map(|(t, r)| (t, r.and_then(|reply| decode(&reply))))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultAction, FaultPlan, FaultRule};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    fn echo_fabric(n: usize) -> (Arc<Fabric>, Vec<crate::fabric::Endpoint>) {
+        let fabric = Fabric::new();
+        let eps: Vec<_> = (0..n)
+            .map(|_| {
+                let ep = fabric.create_endpoint(2);
+                ep.register("echo", Ok);
+                ep
+            })
+            .collect();
+        (fabric, eps)
+    }
+
+    #[test]
+    fn unary_retries_through_transient_faults() {
+        let (fabric, eps) = echo_fabric(1);
+        // First two dispatches time out, third succeeds.
+        fabric.install_fault_plan(
+            FaultPlan::new(7).rule(FaultRule::new(FaultAction::Timeout).first(2)),
+        );
+        let metrics = RpcMetrics::new();
+        let policy = RetryPolicy::default().with_attempts(3);
+        let got: String = unary(
+            &fabric,
+            eps[0].id(),
+            "echo",
+            &"hello".to_string(),
+            &policy,
+            Some(&metrics),
+        )
+        .unwrap();
+        assert_eq!(got, "hello");
+        assert_eq!(metrics.retries(), 2);
+        assert_eq!(metrics.timeouts(), 2);
+        assert_eq!(metrics.exhausted(), 0);
+    }
+
+    #[test]
+    fn unary_exhausts_on_persistent_fault() {
+        let (fabric, eps) = echo_fabric(1);
+        let plan = fabric.install_fault_plan(FaultPlan::new(7));
+        plan.set_down(eps[0].id());
+        let metrics = RpcMetrics::new();
+        let policy = RetryPolicy::default().with_attempts(3);
+        let err = unary::<String, String>(
+            &fabric,
+            eps[0].id(),
+            "echo",
+            &"x".to_string(),
+            &policy,
+            Some(&metrics),
+        )
+        .unwrap_err();
+        assert_eq!(err, RpcError::Unavailable(eps[0].id()));
+        assert_eq!(metrics.retries(), 2);
+        assert_eq!(metrics.exhausted(), 1);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let (fabric, eps) = echo_fabric(1);
+        let metrics = RpcMetrics::new();
+        let err = unary::<String, String>(
+            &fabric,
+            eps[0].id(),
+            "no-such-method",
+            &"x".to_string(),
+            &RetryPolicy::default(),
+            Some(&metrics),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RpcError::NoSuchMethod(_)));
+        assert_eq!(metrics.retries(), 0);
+    }
+
+    #[test]
+    fn fan_out_isolates_leg_failures() {
+        let (fabric, eps) = echo_fabric(3);
+        let plan = fabric.install_fault_plan(FaultPlan::new(7));
+        plan.set_down(eps[1].id());
+        let legs: Vec<(EndpointId, String)> = eps
+            .iter()
+            .enumerate()
+            .map(|(i, ep)| (ep.id(), format!("leg{i}")))
+            .collect();
+        let policy = RetryPolicy::default()
+            .with_attempts(2)
+            .with_timeout(Duration::from_millis(500));
+        let results: Vec<(EndpointId, Result<String, RpcError>)> =
+            fan_out(&fabric, &legs, "echo", &policy, None);
+        assert_eq!(results[0].1.as_deref().unwrap(), "leg0");
+        assert_eq!(results[1].1, Err(RpcError::Unavailable(eps[1].id())));
+        assert_eq!(results[2].1.as_deref().unwrap(), "leg2");
+    }
+
+    #[test]
+    fn broadcast_recovers_flaky_member_and_overlaps() {
+        let (fabric, eps) = echo_fabric(4);
+        let ids: Vec<_> = eps.iter().map(|e| e.id()).collect();
+        // Endpoint 2's first dispatch is rejected, then it heals.
+        fabric.install_fault_plan(
+            FaultPlan::new(7).rule(
+                FaultRule::new(FaultAction::Unavailable)
+                    .on_endpoint(ids[2])
+                    .first(1),
+            ),
+        );
+        let metrics = RpcMetrics::new();
+        let results = broadcast::<String, String>(
+            &fabric,
+            &ids,
+            "echo",
+            &"ping".to_string(),
+            &RetryPolicy::default(),
+            Some(&metrics),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|(_, r)| r.is_ok()));
+        assert_eq!(metrics.retries(), 1);
+    }
+
+    #[test]
+    fn dropped_reply_surfaces_as_timeout_not_hang() {
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        let served = Arc::new(AtomicU64::new(0));
+        {
+            let served = Arc::clone(&served);
+            ep.register("incr", move |_| {
+                served.fetch_add(1, Ordering::SeqCst);
+                Ok(Bytes::new())
+            });
+        }
+        fabric.install_fault_plan(
+            FaultPlan::new(7).rule(FaultRule::new(FaultAction::DropReply).first(1)),
+        );
+        let policy = RetryPolicy::default()
+            .with_attempts(2)
+            .with_timeout(Duration::from_millis(100));
+        let metrics = RpcMetrics::new();
+        let r = call_with_retry(
+            &fabric,
+            ep.id(),
+            "incr",
+            Bytes::new(),
+            &policy,
+            Some(&metrics),
+        );
+        assert!(r.is_ok(), "retry after dropped reply should succeed: {r:?}");
+        assert_eq!(metrics.timeouts(), 1);
+        // The dropped attempt's handler still ran: the side effect happened twice.
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let p = RetryPolicy::default()
+            .with_backoff(Duration::from_millis(2), Duration::from_millis(10));
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(4), Duration::from_millis(10));
+        assert_eq!(p.backoff(30), Duration::from_millis(10));
+    }
+}

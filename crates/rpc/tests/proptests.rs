@@ -2,7 +2,8 @@
 //! bodies, routing across many endpoints, and bulk-region semantics.
 
 use bytes::Bytes;
-use evostore_rpc::{broadcast, Fabric};
+use evostore_rpc::collective::broadcast;
+use evostore_rpc::Fabric;
 use proptest::prelude::*;
 
 proptest! {

@@ -1,0 +1,276 @@
+//! Deterministic fault schedules over virtual time.
+//!
+//! A [`FaultSchedule`] is a pre-generated, seed-reproducible sequence of
+//! endpoint down/up events on the [`SimTime`](crate::SimTime) axis. The
+//! experiment harness generates one from a seed, walks the simulation
+//! clock forward, and mirrors each event into the live fabric's fault
+//! plan (`FaultPlan::set_down` / `set_up` in `evostore-rpc`) — so a
+//! chaos experiment can be replayed bit-for-bit from its seed alone.
+//!
+//! Up/down durations are drawn per endpoint from independent ChaCha8
+//! streams (seed ⊕ endpoint index), so adding an endpoint never perturbs
+//! the schedules of the others.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::clock::SimTime;
+
+/// What happens to an endpoint at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The endpoint stops serving (crash / partition).
+    Down,
+    /// The endpoint recovers.
+    Up,
+}
+
+/// One scheduled transition of one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time of the transition.
+    pub at: SimTime,
+    /// Endpoint index (provider index, not fabric id — the harness maps
+    /// indices to live `EndpointId`s at replay time).
+    pub endpoint: usize,
+    /// Direction of the transition.
+    pub kind: FaultKind,
+}
+
+/// Parameters of a generated schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultScheduleConfig {
+    /// Number of endpoints that can fail.
+    pub endpoints: usize,
+    /// Mean seconds an endpoint stays up between failures.
+    pub mean_uptime: f64,
+    /// Mean seconds an endpoint stays down per failure.
+    pub mean_downtime: f64,
+    /// Schedule horizon; no event is generated at or past this time.
+    pub horizon: f64,
+}
+
+impl Default for FaultScheduleConfig {
+    fn default() -> Self {
+        FaultScheduleConfig {
+            endpoints: 4,
+            mean_uptime: 60.0,
+            mean_downtime: 5.0,
+            horizon: 600.0,
+        }
+    }
+}
+
+/// A seed-reproducible down/up schedule, sorted by time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+    endpoints: usize,
+}
+
+impl FaultSchedule {
+    /// Generate the schedule for `seed` under `cfg`. The same
+    /// `(seed, cfg)` pair always yields the same event list.
+    pub fn generate(seed: u64, cfg: &FaultScheduleConfig) -> FaultSchedule {
+        assert!(cfg.mean_uptime > 0.0 && cfg.mean_downtime > 0.0 && cfg.horizon > 0.0);
+        let mut events = Vec::new();
+        for ep in 0..cfg.endpoints {
+            // Independent stream per endpoint: widen the index so distinct
+            // (seed, endpoint) pairs never collide.
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ ((ep as u64 + 1) << 32));
+            let mut t = exponential(&mut rng, cfg.mean_uptime);
+            loop {
+                if t >= cfg.horizon {
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: SimTime::from_secs(t),
+                    endpoint: ep,
+                    kind: FaultKind::Down,
+                });
+                t += exponential(&mut rng, cfg.mean_downtime);
+                if t >= cfg.horizon {
+                    // Ends the run down; replay must handle a missing Up.
+                    break;
+                }
+                events.push(FaultEvent {
+                    at: SimTime::from_secs(t),
+                    endpoint: ep,
+                    kind: FaultKind::Up,
+                });
+                t += exponential(&mut rng, cfg.mean_uptime);
+            }
+        }
+        // Stable key: time, then endpoint (two endpoints never share an
+        // exact f64 instant in practice, but determinism must not rely
+        // on that).
+        events.sort_by(|a, b| a.at.cmp(&b.at).then(a.endpoint.cmp(&b.endpoint)));
+        FaultSchedule {
+            events,
+            endpoints: cfg.endpoints,
+        }
+    }
+
+    /// All events, time-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of endpoints the schedule covers.
+    pub fn endpoints(&self) -> usize {
+        self.endpoints
+    }
+
+    /// Events with `from < at <= to` — the transitions a replay loop must
+    /// apply when the clock advances from `from` to `to`.
+    pub fn events_between(&self, from: SimTime, to: SimTime) -> &[FaultEvent] {
+        let lo = self.events.partition_point(|e| e.at <= from);
+        let hi = self.events.partition_point(|e| e.at <= to);
+        &self.events[lo..hi]
+    }
+
+    /// Endpoints down at time `t` (after applying every event at or
+    /// before `t`), in ascending index order.
+    pub fn active_downs(&self, t: SimTime) -> Vec<usize> {
+        let mut down = vec![false; self.endpoints];
+        for e in &self.events {
+            if e.at > t {
+                break;
+            }
+            down[e.endpoint] = matches!(e.kind, FaultKind::Down);
+        }
+        (0..self.endpoints).filter(|&ep| down[ep]).collect()
+    }
+
+    /// Fraction of the horizon each endpoint spends down (for sanity
+    /// checks against `mean_downtime / (mean_uptime + mean_downtime)`).
+    pub fn downtime_fraction(&self, horizon: f64) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.endpoints];
+        let mut down_since = vec![None; self.endpoints];
+        for e in &self.events {
+            match e.kind {
+                FaultKind::Down => down_since[e.endpoint] = Some(e.at.as_secs()),
+                FaultKind::Up => {
+                    if let Some(s) = down_since[e.endpoint].take() {
+                        acc[e.endpoint] += e.at.as_secs() - s;
+                    }
+                }
+            }
+        }
+        for (ep, s) in down_since.iter().enumerate() {
+            if let Some(s) = s {
+                acc[ep] += horizon - s;
+            }
+        }
+        acc.iter().map(|a| a / horizon).collect()
+    }
+}
+
+/// Exponential draw with the given mean (inverse-CDF over a uniform in
+/// `[0, 1)`; the `1 - u` flip keeps `ln` away from zero).
+fn exponential(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    let u: f64 = rng.random();
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FaultScheduleConfig {
+        FaultScheduleConfig {
+            endpoints: 4,
+            mean_uptime: 20.0,
+            mean_downtime: 4.0,
+            horizon: 400.0,
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let a = FaultSchedule::generate(7, &cfg());
+        let b = FaultSchedule::generate(7, &cfg());
+        assert_eq!(a, b);
+        assert!(!a.events().is_empty(), "horizon long enough to fault");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultSchedule::generate(7, &cfg());
+        let b = FaultSchedule::generate(8, &cfg());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_alternating() {
+        let s = FaultSchedule::generate(21, &cfg());
+        let mut last = SimTime::ZERO;
+        let mut state = [FaultKind::Up; 4];
+        for e in s.events() {
+            assert!(e.at >= last, "events sorted");
+            last = e.at;
+            assert_ne!(state[e.endpoint], e.kind, "down/up must alternate");
+            state[e.endpoint] = e.kind;
+        }
+    }
+
+    #[test]
+    fn incremental_replay_matches_active_downs() {
+        // Walking the clock in steps and applying events_between must
+        // reconstruct exactly the state active_downs reports.
+        let s = FaultSchedule::generate(99, &cfg());
+        let mut down = vec![false; s.endpoints()];
+        let mut t = SimTime::ZERO;
+        for step in 1..=80 {
+            let next = SimTime::from_secs(step as f64 * 5.0);
+            for e in s.events_between(t, next) {
+                down[e.endpoint] = matches!(e.kind, FaultKind::Down);
+            }
+            t = next;
+            let expect: Vec<usize> = (0..s.endpoints()).filter(|&ep| down[ep]).collect();
+            assert_eq!(s.active_downs(t), expect, "at {t}");
+        }
+    }
+
+    #[test]
+    fn downtime_fraction_tracks_means() {
+        let c = FaultScheduleConfig {
+            endpoints: 8,
+            mean_uptime: 10.0,
+            mean_downtime: 10.0,
+            horizon: 5000.0,
+        };
+        let s = FaultSchedule::generate(3, &c);
+        let fracs = s.downtime_fraction(c.horizon);
+        let avg = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        // Expected 0.5; generous tolerance for an 8-endpoint sample.
+        assert!((0.3..0.7).contains(&avg), "avg downtime fraction {avg}");
+    }
+
+    #[test]
+    fn adding_endpoints_preserves_existing_streams() {
+        let small = FaultSchedule::generate(
+            11,
+            &FaultScheduleConfig {
+                endpoints: 2,
+                ..cfg()
+            },
+        );
+        let big = FaultSchedule::generate(
+            11,
+            &FaultScheduleConfig {
+                endpoints: 6,
+                ..cfg()
+            },
+        );
+        let only_01 = |s: &FaultSchedule| {
+            s.events()
+                .iter()
+                .filter(|e| e.endpoint < 2)
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(only_01(&small), only_01(&big));
+    }
+}

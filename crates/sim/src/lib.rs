@@ -4,15 +4,19 @@
 //! simulated: algorithms and data structures run for real, while
 //! transfer-medium timing comes from these models. Provides a virtual
 //! clock ([`SimTime`]), a time-ordered [`EventQueue`], fair-share
-//! bandwidth resources ([`PsResource`]), and documented cost models for
-//! the fabric, the parallel file system, and GPU training ([`model`]).
+//! bandwidth resources ([`PsResource`]), documented cost models for
+//! the fabric, the parallel file system, and GPU training ([`model`]),
+//! and seed-reproducible fault schedules ([`FaultSchedule`]) that a
+//! chaos harness replays into the live fabric's fault plan.
 
 pub mod clock;
+pub mod fault;
 pub mod model;
 pub mod queue;
 pub mod resource;
 
 pub use clock::SimTime;
+pub use fault::{FaultEvent, FaultKind, FaultSchedule, FaultScheduleConfig};
 pub use model::{FabricModel, PfsModel, TrainModel, GB};
 pub use queue::EventQueue;
 pub use resource::{run_transfers, PsResource, TransferId};

@@ -19,7 +19,10 @@ impl ModelId {
     /// sequential NAS-assigned ids spread instead of striping.
     #[inline]
     pub fn provider_for(self, num_providers: usize) -> usize {
-        assert!(num_providers > 0, "deployment must have at least 1 provider");
+        assert!(
+            num_providers > 0,
+            "deployment must have at least 1 provider"
+        );
         // 2^64 / phi, the canonical multiplicative-hash constant.
         let mixed = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         // High bits are the well-mixed ones.

@@ -215,12 +215,9 @@ mod payload_range_tests {
 
     #[test]
     fn range_covers_exact_payload() {
-        let t = TensorData::from_bytes(
-            DType::U8,
-            vec![4],
-            bytes::Bytes::from(vec![10, 20, 30, 40]),
-        )
-        .unwrap();
+        let t =
+            TensorData::from_bytes(DType::U8, vec![4], bytes::Bytes::from(vec![10, 20, 30, 40]))
+                .unwrap();
         let rec = write_tensor(&t);
         let (range, dtype) = payload_range(&rec).unwrap();
         assert_eq!(dtype, DType::U8);

@@ -19,7 +19,6 @@ use crate::hash::{ContentHash, Fnv128};
 pub struct TensorData {
     dtype: DType,
     shape: Vec<usize>,
-    #[serde(with = "serde_bytes_shim")]
     data: Bytes,
 }
 
@@ -111,21 +110,6 @@ impl TensorData {
     /// the "modified tensors" of a derived model.
     pub fn perturbed<R: Rng + ?Sized>(&self, rng: &mut R) -> TensorData {
         TensorData::random(rng, self.dtype, self.shape.clone())
-    }
-}
-
-/// `bytes::Bytes` serde support without pulling an extra dependency.
-mod serde_bytes_shim {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
     }
 }
 

@@ -1,0 +1,164 @@
+//! Chaos walkthrough: fault injection, degraded LCP queries, retry
+//! policies, and eventually-consistent GC under provider loss.
+//!
+//! A deterministic fault schedule (seeded, from `evostore::sim`) is
+//! replayed onto the live fabric while a client keeps querying and
+//! retiring models — the run is reproducible from its seed alone.
+//!
+//! ```bash
+//! cargo run --release --example chaos_resilience
+//! ```
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use evostore::core::{random_tensors, trained_tensors, Deployment, EvoError, OwnerMap};
+use evostore::graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
+use evostore::rpc::{FaultPlan, RetryPolicy};
+use evostore::sim::{FaultKind, FaultSchedule, FaultScheduleConfig, SimTime};
+use evostore::tensor::ModelId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn seq(units: &[u32]) -> CompactGraph {
+    let mut a = Architecture::new("seq");
+    let mut prev = a.add_layer(LayerConfig::new(
+        "in",
+        LayerKind::Input {
+            shape: vec![units[0]],
+        },
+    ));
+    let mut inf = units[0];
+    for (i, &u) in units.iter().enumerate().skip(1) {
+        prev = a.chain(
+            prev,
+            LayerConfig::new(
+                format!("d{i}"),
+                LayerKind::Dense {
+                    in_features: inf,
+                    units: u,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        inf = u;
+    }
+    flatten(&a).unwrap()
+}
+
+fn main() {
+    let n = 4;
+    let dep = Deployment::in_memory(n);
+    // Quorum of 2: queries keep answering while up to 2 providers are out.
+    let client = dep
+        .client_builder()
+        .retry_policy(RetryPolicy::default().with_attempts(3))
+        .call_timeout(Duration::from_secs(2))
+        .min_quorum(2)
+        .build();
+
+    // Populate: a parent and a derived child on different providers.
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let pick = |want: usize| {
+        (1..)
+            .map(ModelId)
+            .find(|m| m.provider_for(n) == want)
+            .unwrap()
+    };
+    let (parent, child) = (pick(1), pick(2));
+    let parent_g = seq(&[8, 16, 16, 4]);
+    let child_g = seq(&[8, 16, 16, 5]);
+    let tensors = random_tensors(parent, &parent_g, &mut rng);
+    client
+        .store_model(
+            parent_g.clone(),
+            OwnerMap::fresh(parent, &parent_g),
+            None,
+            0.8,
+            &tensors,
+        )
+        .unwrap();
+    let best = client
+        .query_best_ancestor(&child_g)
+        .unwrap()
+        .into_inner()
+        .unwrap();
+    let meta = client.get_meta(parent).unwrap();
+    let map = OwnerMap::derive(child, &child_g, &best.lcp, &meta.owner_map);
+    let trained: HashMap<_, _> = trained_tensors(&child_g, &map, 42);
+    client
+        .store_model(child_g.clone(), map, Some(parent), 0.9, &trained)
+        .unwrap();
+    println!("stored {parent} (parent) and {child} (derived child) across {n} providers");
+
+    // Install a fault plan and replay a seeded down/up schedule onto it.
+    let plan = dep.fabric().install_fault_plan(FaultPlan::new(0));
+    let schedule = FaultSchedule::generate(
+        2024,
+        &FaultScheduleConfig {
+            endpoints: n,
+            mean_uptime: 30.0,
+            mean_downtime: 15.0,
+            horizon: 120.0,
+        },
+    );
+    println!(
+        "\nreplaying fault schedule (seed 2024, {} events):",
+        schedule.events().len()
+    );
+
+    let apply = |from: SimTime, to: SimTime| {
+        for e in schedule.events_between(from, to) {
+            let ep = dep.provider_ids()[e.endpoint];
+            match e.kind {
+                FaultKind::Down => plan.set_down(ep),
+                FaultKind::Up => plan.set_up(ep),
+            }
+        }
+    };
+
+    let probe = seq(&[8, 16, 16, 6]);
+    let mut t = SimTime::ZERO;
+    for step in 1..=6 {
+        let next = SimTime::from_secs(step as f64 * 20.0);
+        apply(t, next);
+        t = next;
+        let downs = schedule.active_downs(t);
+        match client.query_best_ancestor(&probe) {
+            Ok(d) if d.is_partial() => println!(
+                "  t={t}: {} down {:?} -> DEGRADED answer (best {:?}, unreachable {:?})",
+                downs.len(),
+                downs,
+                d.value.as_ref().map(|b| b.model),
+                d.unreachable
+            ),
+            Ok(d) => println!(
+                "  t={t}: all providers up -> full answer (best {:?})",
+                d.value.as_ref().map(|b| b.model)
+            ),
+            Err(EvoError::PartialFailure { failed }) => println!(
+                "  t={t}: {} down {:?} -> below quorum, typed PartialFailure ({} unreachable)",
+                downs.len(),
+                downs,
+                failed.len()
+            ),
+            Err(e) => println!("  t={t}: unexpected error: {e}"),
+        }
+    }
+
+    // Eventually-consistent GC: retire the child while the parent's host
+    // is down; the inherited decrements park, then flush on recovery.
+    let parent_host = dep.provider_ids()[parent.provider_for(n)];
+    plan.set_down(parent_host);
+    let outcome = client.retire_model(child).unwrap();
+    println!(
+        "\nretired {child} with {parent_host:?} down: {} refs dropped, {} decrements parked",
+        outcome.refs_dropped, outcome.refs_parked
+    );
+    plan.set_up(parent_host);
+    let flushed = client.flush_pending_decrements().unwrap();
+    dep.gc_audit().unwrap();
+    println!("host recovered: flushed {flushed} parked decrements, GC audit clean");
+
+    println!("\nclient telemetry:\n{}", client.telemetry().report());
+}

@@ -35,7 +35,13 @@ fn main() {
     let base = ModelId(0);
     let tensors = random_tensors(base, &graph, &mut rng);
     client
-        .store_model(graph.clone(), OwnerMap::fresh(base, &graph), None, 0.5, &tensors)
+        .store_model(
+            graph.clone(),
+            OwnerMap::fresh(base, &graph),
+            None,
+            0.5,
+            &tensors,
+        )
         .unwrap();
     pfs.write(
         "/ckpt/round-0.h5",

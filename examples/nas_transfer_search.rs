@@ -55,7 +55,10 @@ fn main() {
         println!("{:>14}:", r.approach);
         println!("   best accuracy      {:.3}", best);
         println!("   mean accuracy      {:.3}", r.mean_accuracy());
-        println!("   end-to-end         {:.0} s (virtual)", r.end_to_end_seconds);
+        println!(
+            "   end-to-end         {:.0} s (virtual)",
+            r.end_to_end_seconds
+        );
         println!(
             "   first >= 0.90      {}",
             r.time_to_accuracy(0.90)

@@ -29,15 +29,25 @@ fn main() {
         let map = OwnerMap::fresh(ModelId(id), &graph);
         let tensors = trained_tensors(&graph, &map, id);
         client
-            .store_model(graph, map, None, 0.70 + (id as f64 % 25.0) / 100.0, &tensors)
+            .store_model(
+                graph,
+                map,
+                None,
+                0.70 + (id as f64 % 25.0) / 100.0,
+                &tensors,
+            )
             .unwrap();
     }
-    println!("stored 40 models across {} providers\n", client.num_providers());
+    println!(
+        "stored 40 models across {} providers\n",
+        client.num_providers()
+    );
 
     // 1. All models with any attention layer.
     let with_attention = client
         .find_matching(&ArchPattern::any().with_layer(LayerPattern::Kind("attention".into())))
-        .unwrap();
+        .unwrap()
+        .into_inner();
     println!("models containing attention: {}", with_attention.len());
 
     // 2. Wide dense layers (512+ units).
@@ -46,7 +56,8 @@ fn main() {
             min: 512,
             max: u32::MAX,
         }))
-        .unwrap();
+        .unwrap()
+        .into_inner();
     println!("models with a dense layer of >= 512 units: {}", wide.len());
 
     // 3. The pre-norm attention motif as a structural sequence.
@@ -55,13 +66,14 @@ fn main() {
         LayerPattern::Kind("attention".into()),
         LayerPattern::Kind("add".into()),
     ]);
-    let prenorm = client.find_matching(&motif).unwrap();
+    let prenorm = client.find_matching(&motif).unwrap().into_inner();
     println!("models with a pre-norm attention block: {}", prenorm.len());
 
     // 4. Compact models only (parameter budget).
     let small = client
         .find_matching(&ArchPattern::any().with_params(0, 2_000_000))
-        .unwrap();
+        .unwrap()
+        .into_inner();
     println!("models under 2M parameters: {}\n", small.len());
 
     // Inspect the best pre-norm match.
@@ -84,7 +96,10 @@ fn main() {
         // Partial read: peek at the first 8 elements of its first tensor.
         let key = meta.owner_map.all_tensor_keys()[0];
         let peek = client.fetch_tensor_slice(key, 0, 8).unwrap();
-        println!("  first 8 elements of {key}: {} bytes fetched", peek.byte_len());
+        println!(
+            "  first 8 elements of {key}: {} bytes fetched",
+            peek.byte_len()
+        );
 
         // DOT export for visual inspection.
         let dot = to_dot(&meta.graph, None);

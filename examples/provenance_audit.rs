@@ -36,13 +36,19 @@ fn main() {
     for id in 1..=6u64 {
         let graph = flatten(&space.materialize(&genomes[&id])).unwrap();
         let model = ModelId(id);
-        match client.query_best_ancestor(&graph).unwrap() {
+        match client.query_best_ancestor(&graph).unwrap().into_inner() {
             Some(best) if id != 1 => {
                 let (meta, _) = client.fetch_prefix(&best).unwrap();
                 let map = OwnerMap::derive(model, &graph, &best.lcp, &meta.owner_map);
                 let tensors = trained_tensors(&graph, &map, id);
                 client
-                    .store_model(graph, map, Some(best.model), 0.8 + id as f64 / 100.0, &tensors)
+                    .store_model(
+                        graph,
+                        map,
+                        Some(best.model),
+                        0.8 + id as f64 / 100.0,
+                        &tensors,
+                    )
                     .unwrap();
                 println!(
                     "stored m{id} derived from {} (prefix {} vertices)",
@@ -53,7 +59,9 @@ fn main() {
             _ => {
                 let map = OwnerMap::fresh(model, &graph);
                 let tensors = trained_tensors(&graph, &map, id);
-                client.store_model(graph, map, None, 0.80, &tensors).unwrap();
+                client
+                    .store_model(graph, map, None, 0.80, &tensors)
+                    .unwrap();
                 println!("stored m{id} from scratch");
             }
         }
@@ -84,7 +92,10 @@ fn main() {
     let mrca = client
         .most_recent_common_ancestor(ModelId(4), ModelId(6))
         .unwrap();
-    println!("most recent common ancestor of m4 and m6: {:?}", mrca.map(|m| m.to_string()));
+    println!(
+        "most recent common ancestor of m4 and m6: {:?}",
+        mrca.map(|m| m.to_string())
+    );
 
     // Which ancestor "owns" a given frozen layer of m6?
     println!();

@@ -56,12 +56,19 @@ fn main() {
             &tensors,
         )
         .unwrap();
-    println!("stored base model: {} bytes, {} tensors", full.bytes_written, full.tensors_written);
+    println!(
+        "stored base model: {} bytes, {} tensors",
+        full.bytes_written, full.tensors_written
+    );
 
     // 2. A new candidate shares the first layers. Ask the repository for
     //    the best transfer ancestor (LCP broadcast + reduce).
     let child_graph = flatten(&mlp("child", &[64, 128, 128, 128, 24])).unwrap();
-    let best = client.query_best_ancestor(&child_graph).unwrap().unwrap();
+    let best = client
+        .query_best_ancestor(&child_graph)
+        .unwrap()
+        .into_inner()
+        .unwrap();
     println!(
         "best ancestor: {} (quality {:.2}), shared prefix {}/{} layers",
         best.model,
@@ -72,12 +79,21 @@ fn main() {
 
     // 3. Fetch the frozen prefix, "train" the rest, store incrementally.
     let (meta, prefix_tensors) = client.fetch_prefix(&best).unwrap();
-    println!("transferred {} tensors from the ancestor", prefix_tensors.len());
+    println!(
+        "transferred {} tensors from the ancestor",
+        prefix_tensors.len()
+    );
     let child_id = ModelId(2);
     let child_map = OwnerMap::derive(child_id, &child_graph, &best.lcp, &meta.owner_map);
     let new_tensors = trained_tensors(&child_graph, &child_map, 42);
     let inc = client
-        .store_model(child_graph.clone(), child_map, Some(best.model), 0.91, &new_tensors)
+        .store_model(
+            child_graph.clone(),
+            child_map,
+            Some(best.model),
+            0.91,
+            &new_tensors,
+        )
         .unwrap();
     println!(
         "stored derived model incrementally: {} bytes ({:.0}% of a full write)",

@@ -38,13 +38,19 @@ fn populate(models: usize, seed: u64) -> (Deployment, evostore::core::EvoStoreCl
             genome = space.mutate(&genome, &mut rng);
         }
         let graph = flatten(&space.materialize(&genome)).unwrap();
-        match client.query_best_ancestor(&graph).unwrap() {
+        match client.query_best_ancestor(&graph).unwrap().into_inner() {
             Some(best) if id > 1 => {
                 let (meta, _) = client.fetch_prefix(&best).unwrap();
                 let map = OwnerMap::derive(ModelId(id), &graph, &best.lcp, &meta.owner_map);
                 let tensors = trained_tensors(&graph, &map, id);
                 client
-                    .store_model(graph, map, Some(best.model), 0.7 + (id % 25) as f64 / 100.0, &tensors)
+                    .store_model(
+                        graph,
+                        map,
+                        Some(best.model),
+                        0.7 + (id % 25) as f64 / 100.0,
+                        &tensors,
+                    )
                     .unwrap();
             }
             _ => {
@@ -71,14 +77,19 @@ fn cmd_tour() {
     // Pattern query.
     let attn = client
         .find_matching(&ArchPattern::any().with_layer(LayerPattern::Kind("attention".into())))
-        .unwrap();
+        .unwrap()
+        .into_inner();
     println!("models with attention layers: {}", attn.len());
 
     // Provenance of the newest model.
     let lineage = client.lineage(ModelId(20)).unwrap();
     println!(
         "lineage of m20: {}",
-        lineage.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(" <- ")
+        lineage
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(" <- ")
     );
 
     // Caching client demo.

@@ -41,7 +41,7 @@
 //!     .unwrap();
 //!
 //! // Query the best transfer ancestor for a new candidate and load it.
-//! let best = client.query_best_ancestor(&graph).unwrap().unwrap();
+//! let best = client.query_best_ancestor(&graph).unwrap().into_inner().unwrap();
 //! assert_eq!(best.model, ModelId(1));
 //! let loaded = client.load_model(ModelId(1)).unwrap();
 //! assert_eq!(loaded.tensors.len(), tensors.len());

@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use evostore::baseline::{h5lite, model_to_h5, Hdf5PfsRepository, RedisServer, SimulatedPfs};
-use evostore::core::{
-    random_tensors, trained_tensors, Deployment, ModelRepository, OwnerMap,
-};
+use evostore::core::{random_tensors, trained_tensors, Deployment, ModelRepository, OwnerMap};
 use evostore::graph::{flatten, GenomeSpace};
 use evostore::nas::{run_nas, NasConfig, RepoSetup};
 use evostore::rpc::Fabric;
@@ -29,7 +27,13 @@ fn evostore_and_h5lite_agree_on_content() {
     let dep = Deployment::in_memory(2);
     let client = dep.client();
     client
-        .store_model(graph.clone(), OwnerMap::fresh(id, &graph), None, 0.5, &tensors)
+        .store_model(
+            graph.clone(),
+            OwnerMap::fresh(id, &graph),
+            None,
+            0.5,
+            &tensors,
+        )
         .unwrap();
     let loaded = client.load_model(id).unwrap();
 
@@ -158,7 +162,11 @@ fn cross_crate_transfer_preserves_bytes() {
         )
         .unwrap();
 
-    if let Some(best) = client.query_best_ancestor(&child_graph).unwrap() {
+    if let Some(best) = client
+        .query_best_ancestor(&child_graph)
+        .unwrap()
+        .into_inner()
+    {
         let (meta, fetched) = client.fetch_prefix(&best).unwrap();
         // Every fetched tensor is byte-identical to what the parent stored.
         for (key, tensor) in &fetched {

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, lints, and the full test suite.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets, deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace)"
+cargo test --workspace -q
+
+echo "== OK"

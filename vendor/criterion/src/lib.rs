@@ -1,0 +1,240 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same bench-authoring API (groups, `iter`, `iter_batched`,
+//! `criterion_group!`/`criterion_main!`), far simpler measurement: each
+//! benchmark is warmed up briefly, then timed over enough iterations to
+//! fill a short window, and the mean ns/iter is printed. No statistics,
+//! HTML reports, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (ignored: every batch is one iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small batches (treated as per-iteration).
+    SmallInput,
+    /// Large batches (treated as per-iteration).
+    LargeInput,
+}
+
+/// Identifier carrying a name and a parameter, e.g. `throughput/64`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{parameter}", name.into()))
+    }
+}
+
+/// Things accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the printed label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work (same contract as `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to the closure given to `bench_function`; runs the payload.
+pub struct Bencher<'a> {
+    label: &'a str,
+    measure_window: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: run until ~10ms or 10 iterations.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 10 && warm_start.elapsed() < Duration::from_millis(10) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let target = self.measure_window.as_nanos();
+        let iters = (target / per_iter).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        let ns = elapsed.as_nanos() / iters as u128;
+        println!(
+            "bench {:<40} {:>12} ns/iter ({} iters)",
+            self.label, ns, iters
+        );
+    }
+
+    /// Time `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        // Setup runs outside the timed section, so bound by measured time.
+        while total < self.measure_window && iters < 1_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        let ns = total.as_nanos() / iters.max(1) as u128;
+        println!(
+            "bench {:<40} {:>12} ns/iter ({} iters)",
+            self.label, ns, iters
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes sample counts; the stand-in's fixed window ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Upstream tunes measurement time; accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let mut b = Bencher {
+            label: &label,
+            measure_window: self.criterion.measure_window,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// End the group (no-op; reports print eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    measure_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure_window: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = id.into_label();
+        let mut b = Bencher {
+            label: &label,
+            measure_window: self.measure_window,
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Group benchmark functions under a name callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        // Shrink the window so the self-test stays fast.
+        c.measure_window = Duration::from_millis(2);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::new("batched", 4), |b| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

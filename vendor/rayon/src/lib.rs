@@ -1,0 +1,71 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `into_par_iter()` returns the ordinary sequential iterator, so every
+//! downstream combinator (`map`, `filter`, `max_by`, `collect`, ...) is
+//! just `std::iter::Iterator`. Results are identical to rayon's;
+//! provider-side scans simply run on one thread. When real dependencies
+//! are available this crate disappears and rayon restores the
+//! parallelism — call sites need no changes.
+
+/// Mirror of `rayon::iter::IntoParallelIterator`, degraded to sequential.
+pub trait IntoParallelIterator {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type.
+    type Item;
+    /// "Parallel" iterator — sequential in this stand-in.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The (sequential) iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type.
+    type Item;
+    /// "Parallel" iterator over references — sequential here.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// What `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let max = v.par_iter().max_by(|a, b| a.cmp(b)).copied();
+        assert_eq!(max, Some(5));
+    }
+}

@@ -1,0 +1,569 @@
+//! Offline stand-in for `serde`.
+//!
+//! Real serde streams through visitor-based `Serializer`/`Deserializer`
+//! traits; this stand-in routes everything through one concrete
+//! [`Value`] tree, which keeps the derive macro dependency-free (no
+//! `syn`/`quote`) while preserving the shape of serde's externally
+//! tagged data model. Formats (here: `serde_json`) convert `Value`
+//! to/from their wire form. The encodings are self-consistent — every
+//! value this crate writes, it reads back — which is the property the
+//! workspace relies on (all serialization is EvoStore-to-EvoStore).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// The concrete data model every type serializes into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unit / `None` / unit struct.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer up to 64 bits.
+    U64(u64),
+    /// Negative integer (always `< 0`; non-negatives normalize to `U64`).
+    I64(i64),
+    /// Unsigned integer needing more than 64 bits (content hashes).
+    U128(u128),
+    /// Floating point.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw byte string (`bytes::Bytes` fields; hex on the JSON wire).
+    Bytes(Vec<u8>),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key-value pairs (struct fields, maps, enum tagging).
+    Map(Vec<(Value, Value)>),
+}
+
+/// Serialization/deserialization failure; carries a human-readable path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl std::fmt::Display) -> Error {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Convert to the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Convert from the data model.
+    fn from_value(v: Value) -> Result<Self, Error>;
+}
+
+/// Mirror of `serde::de`, for `use serde::de::DeserializeOwned` imports.
+pub mod de {
+    /// In this stand-in every `Deserialize` is already owned.
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::U64(_) | Value::I64(_) | Value::U128(_) => "integer",
+        Value::F64(_) => "float",
+        Value::Str(_) => "string",
+        Value::Bytes(_) => "bytes",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    };
+    Err(Error(format!("expected {expected}, found {kind}")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: Value) -> Result<bool, Error> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => type_err("bool", &other),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: Value) -> Result<$t, Error> {
+                let n: u128 = match v {
+                    Value::U64(n) => n as u128,
+                    Value::U128(n) => n,
+                    // Map keys arrive as strings on the JSON wire.
+                    Value::Str(ref s) => match s.parse::<u128>() {
+                        Ok(n) => n,
+                        Err(_) => return type_err("unsigned integer", &v),
+                    },
+                    other => return type_err("unsigned integer", &other),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        if let Ok(n) = u64::try_from(*self) {
+            Value::U64(n)
+        } else {
+            Value::U128(*self)
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: Value) -> Result<u128, Error> {
+        match v {
+            Value::U64(n) => Ok(n as u128),
+            Value::U128(n) => Ok(n),
+            Value::Str(ref s) => s.parse::<u128>().or_else(|_| type_err("u128", &v)),
+            other => type_err("u128", &other),
+        }
+    }
+}
+
+macro_rules! impl_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::I64(n) } else { Value::U64(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: Value) -> Result<$t, Error> {
+                let n: i128 = match v {
+                    Value::U64(n) => n as i128,
+                    Value::I64(n) => n as i128,
+                    Value::U128(n) => n as i128,
+                    Value::Str(ref s) => match s.parse::<i128>() {
+                        Ok(n) => n,
+                        Err(_) => return type_err("integer", &v),
+                    },
+                    other => return type_err("integer", &other),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_sint!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: Value) -> Result<$t, Error> {
+                // Whole floats round-trip through JSON as integers.
+                match v {
+                    Value::F64(f) => Ok(f as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    Value::U128(n) => Ok(n as $t),
+                    other => type_err("float", &other),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s),
+            other => type_err("string", &other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: Value) -> Result<char, Error> {
+        match v {
+            Value::Str(ref s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_err("single-char string", &other),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: Value) -> Result<(), Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => type_err("null", &other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: Value) -> Result<Box<T>, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Seq(items) => items.into_iter().map(T::from_value).collect(),
+            other => type_err("sequence", &other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: Value) -> Result<[T; N], Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error(format!("expected array of {N} elements, got {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: Value) -> Result<($($t,)+), Error> {
+                let arity = [$($n),+].len();
+                match v {
+                    Value::Seq(items) if items.len() == arity => {
+                        let mut it = items.into_iter();
+                        Ok(($($t::from_value(it.next().unwrap())?,)+))
+                    }
+                    other => type_err("tuple sequence", &other),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Value::Map(entries.map(|(k, v)| (k.to_value(), v.to_value())).collect())
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: Value) -> Result<HashMap<K, V, S>, Error> {
+        match v {
+            Value::Map(pairs) => pairs
+                .into_iter()
+                .map(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?)))
+                .collect(),
+            other => type_err("map", &other),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: Value) -> Result<BTreeMap<K, V>, Error> {
+        match v {
+            Value::Map(pairs) => pairs
+                .into_iter()
+                .map(|(k, v)| Ok((K::from_value(k)?, V::from_value(v)?)))
+                .collect(),
+            other => type_err("map", &other),
+        }
+    }
+}
+
+// `bytes::Bytes` serializes natively (upstream needs a `serde_bytes`-style
+// shim; vendoring both crates lets us cut that knot here).
+impl Serialize for bytes::Bytes {
+    fn to_value(&self) -> Value {
+        Value::Bytes(self.as_ref().to_vec())
+    }
+}
+
+impl Deserialize for bytes::Bytes {
+    fn from_value(v: Value) -> Result<bytes::Bytes, Error> {
+        match v {
+            Value::Bytes(b) => Ok(bytes::Bytes::from(b)),
+            // The JSON wire carries byte strings as hex.
+            Value::Str(ref s) => {
+                let mut out = Vec::with_capacity(s.len() / 2);
+                let b = s.as_bytes();
+                if b.len() % 2 != 0 {
+                    return type_err("hex byte string", &v);
+                }
+                fn nibble(c: u8) -> Option<u8> {
+                    match c {
+                        b'0'..=b'9' => Some(c - b'0'),
+                        b'a'..=b'f' => Some(c - b'a' + 10),
+                        b'A'..=b'F' => Some(c - b'A' + 10),
+                        _ => None,
+                    }
+                }
+                for pair in b.chunks_exact(2) {
+                    match (nibble(pair[0]), nibble(pair[1])) {
+                        (Some(hi), Some(lo)) => out.push((hi << 4) | lo),
+                        _ => return type_err("hex byte string", &v),
+                    }
+                }
+                Ok(bytes::Bytes::from(out))
+            }
+            other => type_err("bytes", &other),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-macro support (not part of the public API contract)
+// ---------------------------------------------------------------------------
+
+/// Remove and decode field `key` from a struct's map entries.
+/// Used by generated `Deserialize` impls.
+#[doc(hidden)]
+pub fn __take_field<T: Deserialize>(
+    entries: &mut Vec<(Value, Value)>,
+    key: &str,
+) -> Result<T, Error> {
+    let idx = entries
+        .iter()
+        .position(|(k, _)| matches!(k, Value::Str(s) if s == key));
+    match idx {
+        Some(i) => {
+            let (_, v) = entries.swap_remove(i);
+            T::from_value(v).map_err(|e| Error(format!("field `{key}`: {e}")))
+        }
+        None => Err(Error(format!("missing field `{key}`"))),
+    }
+}
+
+/// Decode the externally tagged representation of an enum: either a bare
+/// variant-name string (unit variants) or a single-entry map
+/// `{variant: payload}`. Returns `(variant_name, payload)`.
+#[doc(hidden)]
+pub fn __enum_parts(v: Value, enum_name: &str) -> Result<(String, Value), Error> {
+    match v {
+        Value::Str(name) => Ok((name, Value::Null)),
+        Value::Map(mut m) if m.len() == 1 => {
+            let (k, payload) = m.pop().unwrap();
+            match k {
+                Value::Str(name) => Ok((name, payload)),
+                other => type_err(&format!("string variant tag for {enum_name}"), &other),
+            }
+        }
+        other => type_err(&format!("externally tagged {enum_name}"), &other),
+    }
+}
+
+/// Decode a tuple variant's payload into exactly `arity` element values.
+#[doc(hidden)]
+pub fn __tuple_payload(v: Value, arity: usize, ctx: &str) -> Result<Vec<Value>, Error> {
+    // Newtype variants carry the payload bare, not wrapped in a Seq.
+    if arity == 1 {
+        return Ok(vec![v]);
+    }
+    match v {
+        Value::Seq(items) if items.len() == arity => Ok(items),
+        other => type_err(&format!("{arity}-element sequence for {ctx}"), &other),
+    }
+}
+
+/// Decode a struct (or struct variant) payload into its field entries.
+#[doc(hidden)]
+pub fn __map_payload(v: Value, ctx: &str) -> Result<Vec<(Value, Value)>, Error> {
+    match v {
+        Value::Map(m) => Ok(m),
+        other => type_err(&format!("map for {ctx}"), &other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(42u64.to_value()), Ok(42));
+        assert_eq!(i32::from_value((-7i32).to_value()), Ok(-7));
+        assert_eq!(
+            u128::from_value((u128::MAX - 3).to_value()),
+            Ok(u128::MAX - 3)
+        );
+        assert_eq!(f64::from_value(2.5f64.to_value()), Ok(2.5));
+        // Whole float serialized as integer still decodes as float.
+        assert_eq!(f64::from_value(Value::U64(3)), Ok(3.0));
+        assert_eq!(String::from_value("hi".to_value()), Ok("hi".to_string()));
+        assert!(u8::from_value(Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 2u32), (3, 4)];
+        assert_eq!(Vec::<(u32, u32)>::from_value(v.to_value()), Ok(v));
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(o.to_value()), Ok(None));
+        let mut m = HashMap::new();
+        m.insert(9u64, "x".to_string());
+        assert_eq!(HashMap::<u64, String>::from_value(m.to_value()).unwrap(), m);
+    }
+
+    #[test]
+    fn bytes_accepts_hex_string() {
+        let b = bytes::Bytes::from(vec![0xde, 0xad, 0xBE, 0xef]);
+        assert_eq!(bytes::Bytes::from_value(b.to_value()).unwrap(), b);
+        let from_hex = bytes::Bytes::from_value(Value::Str("deadBEef".into())).unwrap();
+        assert_eq!(from_hex, b);
+        assert!(bytes::Bytes::from_value(Value::Str("xyz".into())).is_err());
+    }
+
+    #[test]
+    fn map_keys_decode_from_strings() {
+        // JSON stringifies non-string keys; integer decode accepts that.
+        let m = Value::Map(vec![(Value::Str("17".into()), Value::U64(1))]);
+        let decoded = HashMap::<u64, u8>::from_value(m).unwrap();
+        assert_eq!(decoded.get(&17), Some(&1));
+    }
+}

@@ -1,0 +1,373 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote` available
+//! offline) and emits `Serialize`/`Deserialize` impls targeting the
+//! vendored serde's `Value` data model. Supports what the workspace
+//! declares: non-generic structs (named, tuple, unit) and enums (unit,
+//! tuple, struct variants), externally tagged like upstream serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    item: Item,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = expect_ident(it.next(), "`struct` or `enum`");
+    let name = expect_ident(it.next(), "type name");
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in: generic types are not supported (type `{name}`)");
+        }
+    }
+    let item = match kw.as_str() {
+        "struct" => Item::Struct(match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => {
+                panic!("serde derive stand-in: unexpected token after `struct {name}`: {other:?}")
+            }
+        }),
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive stand-in: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde derive stand-in: expected struct or enum, got `{other}`"),
+    };
+    Input { name, item }
+}
+
+fn expect_ident(t: Option<TokenTree>, what: &str) -> String {
+    match t {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive stand-in: expected {what}, got {other:?}"),
+    }
+}
+
+fn skip_attrs_and_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // `#`
+                it.next(); // `[...]`
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // `(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip the tokens of one type, stopping after the field-separating comma
+/// (or at end of stream). Angle-bracket depth is tracked because commas
+/// inside `HashMap<u64, Genome>` are not field separators.
+fn skip_type(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle: i32 = 0;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => skip_type(&mut it),
+                    other => {
+                        panic!("serde derive stand-in: expected `:` after field, got {other:?}")
+                    }
+                }
+            }
+            other => panic!("serde derive stand-in: expected field name, got {other:?}"),
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut it);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive stand-in: expected variant name, got {other:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= 0`) and the trailing comma.
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                it.next();
+                skip_type(&mut it); // consumes through the separating comma
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                it.next();
+            }
+            _ => {}
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(warnings, clippy::all, clippy::pedantic)]\n";
+
+fn str_value(text: &str) -> String {
+    format!("::serde::Value::Str(::std::string::String::from(\"{text}\"))")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.item {
+        Item::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Item::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Item::Struct(Shape::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({}, ::serde::Serialize::to_value(&self.{f}))",
+                        str_value(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Item::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| gen_variant_ser(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n    \
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_variant_ser(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let tag = str_value(vname);
+    match &v.shape {
+        Shape::Unit => format!("{name}::{vname} => {tag},"),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+            };
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![({tag}, {payload})]),",
+                binds.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({}, ::serde::Serialize::to_value({f}))", str_value(f)))
+                .collect();
+            format!(
+                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![({tag}, \
+                 ::serde::Value::Map(::std::vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.item {
+        Item::Struct(Shape::Unit) => format!(
+            "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected null for unit struct {name}\")) }}"
+        ),
+        Item::Struct(Shape::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Item::Struct(Shape::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|_| "::serde::Deserialize::from_value(__it.next().unwrap())?".to_string())
+                .collect();
+            format!(
+                "let __items = ::serde::__tuple_payload(__v, {n}, \"struct {name}\")?;\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Item::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__take_field(&mut __m, \"{f}\")?"))
+                .collect();
+            format!(
+                "let mut __m = ::serde::__map_payload(__v, \"struct {name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Item::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| gen_variant_de(name, v)).collect();
+            format!(
+                "let (__tag, __payload) = ::serde::__enum_parts(__v, \"{name}\")?;\n\
+                 match __tag.as_str() {{\n{}\n\
+                 __other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                     \"unknown variant `{{__other}}` of enum {name}\"))), }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n    \
+             fn from_value(__v: ::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n    \
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_variant_de(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|_| "::serde::Deserialize::from_value(__it.next().unwrap())?".to_string())
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let __items = ::serde::__tuple_payload(__payload, {n}, \"{name}::{vname}\")?;\n\
+                     let mut __it = __items.into_iter();\n\
+                     ::std::result::Result::Ok({name}::{vname}({}))\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__take_field(&mut __m, \"{f}\")?"))
+                .collect();
+            format!(
+                "\"{vname}\" => {{\n\
+                     let mut __m = ::serde::__map_payload(__payload, \"{name}::{vname}\")?;\n\
+                     ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+    }
+}
