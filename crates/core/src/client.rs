@@ -411,7 +411,7 @@ impl EvoStoreClient {
         let pin_groups = self.group_by_provider(inherited.iter().copied());
         let pin_reqs: Vec<(EndpointId, RefsRequest)> = pin_groups
             .iter()
-            .map(|(&ep, keys)| (ep, RefsRequest { keys: keys.clone() }))
+            .map(|(&ep, keys)| (ep, RefsRequest::new(keys.clone())))
             .collect();
         if !pin_reqs.is_empty() {
             // Propagate the pin failure as-is: a transient error here
@@ -426,7 +426,7 @@ impl EvoStoreClient {
         if result.is_err() && !pin_groups.is_empty() {
             let unpin: Vec<(EndpointId, RefsRequest)> = pin_groups
                 .into_iter()
-                .map(|(ep, keys)| (ep, RefsRequest { keys }))
+                .map(|(ep, keys)| (ep, RefsRequest::new(keys)))
                 .collect();
             let _ = self.par_calls::<_, RefsReply>(methods::DECR_REFS, unpin);
         }
@@ -792,6 +792,12 @@ impl EvoStoreClient {
     /// retirement or an explicit
     /// [`EvoStoreClient::flush_pending_decrements`] — GC is eventually
     /// consistent under provider failures instead of leaking pins.
+    /// Retrying a timed-out leg (whose first delivery may have applied)
+    /// is safe: each decrement carries a [`RefsRequest::op_id`] the
+    /// provider deduplicates on, so no tensor is ever decremented twice
+    /// for one retirement. A *permanently* failing leg surfaces as an
+    /// error — but only after every other leg has been settled (and
+    /// parked if transient).
     pub fn retire_model(&self, model: ModelId) -> Result<RetireOutcome> {
         let _timer = OpTimer::new(&self.telemetry.retire);
         // Opportunistically drain decrements parked by earlier failures.
@@ -806,7 +812,7 @@ impl EvoStoreClient {
         let groups = self.group_by_provider(keys);
         let reqs: Vec<(EndpointId, RefsRequest)> = groups
             .into_iter()
-            .map(|(ep, keys)| (ep, RefsRequest { keys }))
+            .map(|(ep, keys)| (ep, RefsRequest::new(keys)))
             .collect();
         let results = evostore_rpc::fan_out::<RefsRequest, RefsReply>(
             &self.fabric,
@@ -817,6 +823,10 @@ impl EvoStoreClient {
         );
         let mut tensors_reclaimed = 0;
         let mut refs_parked = 0;
+        // Every leg is settled before the outcome is decided: returning
+        // early on a permanent failure would discard later transient legs
+        // without parking them, pinning those refcounts forever.
+        let mut permanent: Option<EvoError> = None;
         for ((ep, req), (_, result)) in reqs.into_iter().zip(results) {
             match result {
                 Ok(r) => tensors_reclaimed += r.reclaimed,
@@ -824,11 +834,18 @@ impl EvoStoreClient {
                     refs_parked += req.keys.len();
                     self.pending_decrements.lock().push((ep, req));
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    if permanent.is_none() {
+                        permanent = Some(e.into());
+                    }
+                }
             }
         }
         if refs_parked > 0 {
             self.telemetry.note_parked_decrements(refs_parked as u64);
+        }
+        if let Some(e) = permanent {
+            return Err(e);
         }
         Ok(RetireOutcome {
             refs_dropped,
@@ -944,12 +961,20 @@ impl EvoStoreClient {
         .map_err(EvoError::from)?;
         let mut acc = ProviderStats::default();
         let mut failed = Vec::new();
+        let mut permanent: Option<EvoError> = None;
         for (ep, reply) in legs {
             match reply {
                 Ok(s) => acc = acc.merge(s),
                 Err(e) if e.is_transient() => failed.push(ep),
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    if permanent.is_none() {
+                        permanent = Some(e.into());
+                    }
+                }
             }
+        }
+        if let Some(e) = permanent {
+            return Err(e);
         }
         if !failed.is_empty() {
             return Err(EvoError::PartialFailure { failed });

@@ -113,10 +113,34 @@ pub struct ReadRangeReply {
 }
 
 /// Adjust reference counts of tensors hosted by the target provider.
+///
+/// Refcount mutation is *not* naturally idempotent, but its failure
+/// handling retries legs whose outcome is indeterminate (a timeout or a
+/// dropped reply may hide a handler that already ran). `op_id` makes the
+/// retry safe: providers remember recently applied operation ids and
+/// answer a duplicate from cache without re-applying, so a decrement can
+/// never land twice and reclaim a tensor that live models still
+/// reference.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RefsRequest {
+    /// Unique id of this logical adjustment; identical across retries of
+    /// the same operation (including parked-decrement re-issues).
+    pub op_id: u64,
     /// Tensor keys to increment/decrement.
     pub keys: Vec<TensorKey>,
+}
+
+impl RefsRequest {
+    /// A refs adjustment over `keys` with a fresh operation id.
+    pub fn new(keys: Vec<TensorKey>) -> RefsRequest {
+        // Process-wide counter: the fabric is in-process, so this is
+        // unique across every client handle that can reach a provider.
+        static NEXT_OP_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        RefsRequest {
+            op_id: NEXT_OP_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            keys,
+        }
+    }
 }
 
 /// Reply to a refs adjustment.
@@ -293,11 +317,21 @@ mod tests {
 
     #[test]
     fn messages_roundtrip_json() {
-        let req = RefsRequest {
-            keys: vec![TensorKey::new(ModelId(3), evostore_tensor::VertexId(1), 0)],
-        };
+        let req = RefsRequest::new(vec![TensorKey::new(
+            ModelId(3),
+            evostore_tensor::VertexId(1),
+            0,
+        )]);
         let bytes = serde_json::to_vec(&req).unwrap();
         let back: RefsRequest = serde_json::from_slice(&bytes).unwrap();
         assert_eq!(back.keys, req.keys);
+        assert_eq!(back.op_id, req.op_id);
+    }
+
+    #[test]
+    fn refs_op_ids_are_unique() {
+        let a = RefsRequest::new(Vec::new());
+        let b = RefsRequest::new(Vec::new());
+        assert_ne!(a.op_id, b.op_id);
     }
 }

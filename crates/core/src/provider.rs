@@ -20,11 +20,43 @@ use evostore_graph::{lcp, CompactGraph};
 use evostore_kv::{KvBackend, RefCountedStore};
 use evostore_rpc::{typed_handler, Endpoint, EndpointId, Fabric};
 use evostore_tensor::{read_tensor, ModelId, TensorKey};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 
 use crate::messages::*;
 use crate::owner_map::OwnerMap;
+
+/// How many applied refs-operation ids a provider remembers for duplicate
+/// suppression. Must comfortably exceed (in-flight refs ops) ×
+/// (retry attempts) so a retried leg always finds its first delivery in
+/// the cache; beyond that window a duplicate would re-apply.
+const REFS_OP_MEMORY: usize = 65_536;
+
+/// Bounded memo of applied [`RefsRequest`]s: `op_id` → the reply the
+/// first delivery produced. Evicts in insertion order at
+/// [`REFS_OP_MEMORY`].
+#[derive(Default)]
+struct RefsOpCache {
+    replies: HashMap<u64, RefsReply>,
+    order: std::collections::VecDeque<u64>,
+}
+
+impl RefsOpCache {
+    fn get(&self, op_id: u64) -> Option<RefsReply> {
+        self.replies.get(&op_id).cloned()
+    }
+
+    fn record(&mut self, op_id: u64, reply: RefsReply) {
+        if self.replies.insert(op_id, reply).is_none() {
+            self.order.push_back(op_id);
+            while self.order.len() > REFS_OP_MEMORY {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.replies.remove(&evicted);
+                }
+            }
+        }
+    }
+}
 
 /// Catalog entry for one stored model.
 #[derive(Clone)]
@@ -91,6 +123,8 @@ pub struct ProviderState {
     meta_store: Box<dyn KvBackend>,
     /// Deployment-wide write-ordering clock.
     clock: Arc<AtomicU64>,
+    /// Applied refs operations, for duplicate suppression under retries.
+    refs_ops: Mutex<RefsOpCache>,
 }
 
 impl ProviderState {
@@ -320,7 +354,14 @@ impl ProviderState {
 
     /// Handle reference-count increments (pinning a new descendant's
     /// inherited tensors).
+    ///
+    /// Idempotent per [`RefsRequest::op_id`]: a retry of an operation that
+    /// already applied (its reply was lost in flight) is answered from
+    /// cache without touching the counts.
     pub fn handle_incr_refs(&self, req: RefsRequest) -> Result<RefsReply, String> {
+        if let Some(reply) = self.refs_ops.lock().get(req.op_id) {
+            return Ok(reply);
+        }
         // Check-then-apply: a missing tensor indicates the ancestor was
         // retired between query and pin; the whole request fails and the
         // client re-queries.
@@ -334,15 +375,32 @@ impl ProviderState {
                 .incr(&key.encode())
                 .map_err(|e| format!("incr {key}: {e}"))?;
         }
-        Ok(RefsReply {
+        let reply = RefsReply {
             applied: req.keys.len(),
             reclaimed: 0,
-        })
+        };
+        self.refs_ops.lock().record(req.op_id, reply.clone());
+        Ok(reply)
     }
 
     /// Handle reference-count decrements (model retirement); tensors whose
     /// count reaches zero are reclaimed.
+    ///
+    /// Idempotent per [`RefsRequest::op_id`] (see
+    /// [`ProviderState::handle_incr_refs`]) — essential here, because a
+    /// duplicated decrement would drop a shared tensor's count to zero
+    /// and delete data still referenced by live models.
     pub fn handle_decr_refs(&self, req: RefsRequest) -> Result<RefsReply, String> {
+        if let Some(reply) = self.refs_ops.lock().get(req.op_id) {
+            return Ok(reply);
+        }
+        // Check-then-apply so a malformed request fails whole: no keys
+        // decremented when any key is unknown.
+        for key in &req.keys {
+            if !self.tensors.contains(&key.encode()) {
+                return Err(format!("decr {key}: not stored"));
+            }
+        }
         let mut reclaimed = 0usize;
         for key in &req.keys {
             match self.tensors.decr(&key.encode()) {
@@ -351,10 +409,12 @@ impl ProviderState {
                 Err(e) => return Err(format!("decr {key}: {e}")),
             }
         }
-        Ok(RefsReply {
+        let reply = RefsReply {
             applied: req.keys.len(),
             reclaimed,
-        })
+        };
+        self.refs_ops.lock().record(req.op_id, reply.clone());
+        Ok(reply)
     }
 
     /// Handle a provider-side LCP scan: check all locally stored models in
@@ -671,6 +731,7 @@ impl Provider {
             catalog: RwLock::new(HashMap::new()),
             meta_store,
             clock,
+            refs_ops: Mutex::new(RefsOpCache::default()),
         });
 
         let s = Arc::clone(&state);

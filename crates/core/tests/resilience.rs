@@ -3,8 +3,10 @@
 //! fault surfaces, and eventually-consistent GC via parked decrements.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
-use evostore_core::{trained_tensors, Deployment, EvoError, OwnerMap};
+use evostore_core::messages::{methods, RefsRequest};
+use evostore_core::{trained_tensors, Deployment, EvoError, EvoStoreClient, OwnerMap};
 use evostore_graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
 use evostore_rpc::{FaultAction, FaultPlan, FaultRule, RpcError};
 use evostore_tensor::ModelId;
@@ -43,6 +45,31 @@ fn model_on(want: usize, n: usize) -> ModelId {
         .map(ModelId)
         .find(|m| m.provider_for(n) == want)
         .unwrap()
+}
+
+/// Store a parent and a child deriving its shared prefix, placed on
+/// different providers. Returns `(parent, child)`.
+fn store_parent_and_child(client: &EvoStoreClient, n: usize, seed: u64) -> (ModelId, ModelId) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let parent = model_on(1, n);
+    let child = model_on(2, n);
+    let parent_g = seq(&[8, 16, 16, 4]);
+    let child_g = seq(&[8, 16, 16, 5]);
+    client
+        .store_fresh(parent, &parent_g, 0.8, &mut rng)
+        .unwrap();
+    let best = client
+        .query_best_ancestor(&child_g)
+        .unwrap()
+        .into_inner()
+        .unwrap();
+    let parent_meta = client.get_meta(parent).unwrap();
+    let owner_map = OwnerMap::derive(child, &child_g, &best.lcp, &parent_meta.owner_map);
+    let tensors: HashMap<_, _> = trained_tensors(&child_g, &owner_map, 42);
+    client
+        .store_model(child_g, owner_map, Some(parent), 0.9, &tensors)
+        .unwrap();
+    (parent, child)
 }
 
 #[test]
@@ -261,6 +288,92 @@ fn transient_decrement_failures_park_and_flush_for_consistent_gc() {
         loaded.tensors.len(),
         parent_meta.owner_map.all_tensor_keys().len()
     );
+}
+
+#[test]
+fn retirement_decrements_apply_once_under_dropped_replies() {
+    let n = 4;
+    let dep = Deployment::in_memory(n);
+    let client = dep
+        .client_builder()
+        .call_timeout(Duration::from_millis(100))
+        .build();
+    let (parent, child) = store_parent_and_child(&client, n, 7);
+
+    // Both DECR_REFS legs of the retirement lose their first reply
+    // *after* the handler ran — the duplicated-side-effect hazard: the
+    // client cannot tell a lost reply from a lost request, so it retries.
+    dep.fabric().install_fault_plan(
+        FaultPlan::new(0).rule(
+            FaultRule::new(FaultAction::DropReply)
+                .on_method(methods::DECR_REFS)
+                .first(2),
+        ),
+    );
+
+    let outcome = client.retire_model(child).unwrap();
+    assert_eq!(
+        outcome.refs_parked, 0,
+        "retries recovered the dropped replies"
+    );
+    assert!(client.telemetry().rpc.retries() >= 1);
+    dep.fabric().clear_fault_plan();
+
+    // The duplicate deliveries were suppressed provider-side (op_id
+    // dedup): counts are exact. A double decrement would have reclaimed
+    // the shared prefix out from under the still-stored parent.
+    dep.gc_audit().unwrap();
+    client.load_model(parent).unwrap();
+}
+
+#[test]
+fn permanent_decrement_leg_does_not_discard_transient_legs() {
+    let n = 4;
+    let dep = Deployment::in_memory(n);
+    let client = dep.client();
+    let (parent, child) = store_parent_and_child(&client, n, 8);
+
+    // Sabotage the child's self-owned tensors so its own host's
+    // decrement leg fails *permanently* (keys no longer stored), while
+    // the parent's host goes down so the inherited leg fails transiently.
+    let child_meta = client.get_meta(child).unwrap();
+    let self_keys: Vec<_> = child_meta
+        .owner_map
+        .self_owned()
+        .flat_map(|v| {
+            child_meta
+                .owner_map
+                .vertex(v)
+                .tensor_keys()
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert!(!self_keys.is_empty());
+    dep.provider_states()[child.provider_for(n)]
+        .handle_decr_refs(RefsRequest::new(self_keys))
+        .unwrap();
+
+    let parent_host = dep.provider_ids()[parent.provider_for(n)];
+    let plan = dep.fabric().install_fault_plan(FaultPlan::new(0));
+    plan.set_down(parent_host);
+
+    let err = client.retire_model(child).unwrap_err();
+    assert!(
+        !err.is_transient(),
+        "self-owned leg failed permanently: {err}"
+    );
+    // The inherited leg's transient failure was still parked — not
+    // discarded by the permanent error on the sibling leg.
+    assert!(
+        client.pending_decrement_count() > 0,
+        "transient leg must be parked despite the permanent failure"
+    );
+
+    // Recovery drains the queue and unpins the parent-host refs.
+    plan.set_up(parent_host);
+    let flushed = client.flush_pending_decrements().unwrap();
+    assert!(flushed > 0);
+    assert_eq!(client.pending_decrement_count(), 0);
 }
 
 #[test]

@@ -97,14 +97,22 @@ impl std::error::Error for RpcError {}
 /// application error string) out.
 pub type Handler = Arc<dyn Fn(Bytes) -> Result<Bytes, String> + Send + Sync>;
 
+/// Reply senders whose replies a fault plan dropped. They are parked
+/// (not forgotten) so the channel stays open — a deadline-aware caller
+/// observes a timeout rather than a disconnect — without leaking: the
+/// bin is drained whenever the fault plan changes.
+type ParkedReplies = Arc<parking_lot::Mutex<Vec<Sender<Result<Bytes, RpcError>>>>>;
+
 struct Job {
     method: String,
     body: Bytes,
     reply: Sender<Result<Bytes, RpcError>>,
     /// Injected service delay (fault plan); `None` on the normal path.
     delay: Option<Duration>,
-    /// Injected reply loss (fault plan): run the handler, never answer.
-    drop_reply: bool,
+    /// Injected reply loss (fault plan): run the handler, park the reply
+    /// sender in this bin instead of answering. `None` on the normal
+    /// path.
+    drop_reply_into: Option<ParkedReplies>,
 }
 
 struct EndpointInner {
@@ -163,6 +171,8 @@ pub struct Fabric {
     /// pays nothing else (no lock, no allocation).
     faults_active: AtomicBool,
     faults: RwLock<Option<Arc<FaultPlan>>>,
+    /// Reply senders held back by [`FaultAction::DropReply`] legs.
+    dropped_replies: ParkedReplies,
 }
 
 impl Fabric {
@@ -175,6 +185,7 @@ impl Fabric {
             next_bulk: AtomicU64::new(0),
             faults_active: AtomicBool::new(false),
             faults: RwLock::new(None),
+            dropped_replies: Arc::new(parking_lot::Mutex::new(Vec::new())),
         })
     }
 
@@ -188,6 +199,7 @@ impl Fabric {
         let plan = Arc::new(plan);
         *self.faults.write() = Some(Arc::clone(&plan));
         self.faults_active.store(true, Ordering::Release);
+        self.release_dropped_replies();
         plan
     }
 
@@ -196,6 +208,20 @@ impl Fabric {
     pub fn clear_fault_plan(&self) {
         self.faults_active.store(false, Ordering::Release);
         *self.faults.write() = None;
+        self.release_dropped_replies();
+    }
+
+    /// Drop the reply senders parked by the outgoing plan's `DropReply`
+    /// legs. Callers still waiting on one observe the transient
+    /// `Disconnected`; usually their deadline fired long before.
+    fn release_dropped_replies(&self) {
+        self.dropped_replies.lock().clear();
+    }
+
+    /// Reply senders currently parked by `DropReply` injections (leak
+    /// checks in chaos/soak tests).
+    pub fn parked_reply_count(&self) -> usize {
+        self.dropped_replies.lock().len()
     }
 
     /// The currently installed plan, if any.
@@ -239,13 +265,15 @@ impl Fabric {
                                 Some(h) => h(job.body).map_err(RpcError::Handler),
                                 None => Err(RpcError::NoSuchMethod(job.method.clone())),
                             };
-                            if job.drop_reply {
+                            if let Some(bin) = &job.drop_reply_into {
                                 // Injected reply loss: the handler ran (its
                                 // side effects stand) but the caller never
-                                // hears back. Forgetting the sender keeps the
+                                // hears back. Parking the sender keeps the
                                 // channel open so a deadline-aware caller
-                                // observes a timeout, not a disconnect.
-                                std::mem::forget(job.reply);
+                                // observes a timeout, not a disconnect; the
+                                // bin is drained when the plan changes, so
+                                // nothing leaks across a long chaos run.
+                                bin.lock().push(job.reply);
                                 continue;
                             }
                             // Caller may have given up; ignore send failure.
@@ -304,12 +332,14 @@ impl Fabric {
         body: Bytes,
     ) -> Result<Receiver<Result<Bytes, RpcError>>, RpcError> {
         let mut delay = None;
-        let mut drop_reply = false;
+        let mut drop_reply_into = None;
         if self.faults_active.load(Ordering::Acquire) {
             match self.faulted_dispatch(target, method) {
                 Ok((d, dr)) => {
                     delay = d;
-                    drop_reply = dr;
+                    if dr {
+                        drop_reply_into = Some(Arc::clone(&self.dropped_replies));
+                    }
                 }
                 Err(e) => return Err(e),
             }
@@ -328,7 +358,7 @@ impl Fabric {
                 body,
                 reply: reply_tx,
                 delay,
-                drop_reply,
+                drop_reply_into,
             })
             .map_err(|_| RpcError::NoSuchEndpoint(target))?;
         Ok(reply_rx)
@@ -626,6 +656,30 @@ mod tests {
         // A *withdrawn* handle is the permanent error, fault plan or not.
         assert!(fabric.bulk_release(owned));
         assert_eq!(fabric.bulk_get(owned), Err(RpcError::NoSuchBulk(owned)));
+    }
+
+    #[test]
+    fn dropped_reply_senders_are_parked_then_released() {
+        use crate::fault::{FaultAction, FaultRule};
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        ep.register("echo", Ok);
+        fabric.install_fault_plan(
+            crate::fault::FaultPlan::new(1).rule(FaultRule::new(FaultAction::DropReply).first(1)),
+        );
+        assert_eq!(
+            fabric.call_deadline(ep.id(), "echo", Bytes::new(), Duration::from_millis(100)),
+            Err(RpcError::Timeout)
+        );
+        // The dropped leg's sender is parked on the fabric, not leaked.
+        // (The handler may still be finishing; wait briefly.)
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while fabric.parked_reply_count() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(fabric.parked_reply_count(), 1);
+        fabric.clear_fault_plan();
+        assert_eq!(fabric.parked_reply_count(), 0);
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub enum FaultAction {
     /// Deliver and execute the handler, but never send the reply —
     /// models a response lost on the wire *after* the side effect
     /// happened. Deadline-aware callers observe `Timeout`; the handler's
-    /// effect (e.g. a refcount decrement) still took place.
+    /// effect (e.g. a refcount decrement) still took place. Requires
+    /// deadline-aware callers: a plain `Fabric::call` on a dropped leg
+    /// blocks until the fault plan is cleared or replaced (the parked
+    /// reply sender is then released and the call fails `Disconnected`).
     DropReply,
 }
 

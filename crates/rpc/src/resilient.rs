@@ -477,7 +477,10 @@ mod tests {
         );
         assert!(r.is_ok(), "retry after dropped reply should succeed: {r:?}");
         assert_eq!(metrics.timeouts(), 1);
-        // The dropped attempt's handler still ran: the side effect happened twice.
+        // The dropped attempt's handler still ran: at the RPC layer the
+        // side effect happens twice. Handlers with non-idempotent effects
+        // must deduplicate at the application layer (as the provider's
+        // refs handlers do via a per-operation id).
         assert_eq!(served.load(Ordering::SeqCst), 2);
     }
 

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 gate: formatting, lints, and the full test suite.
 # Run from anywhere; operates on the workspace root.
+# See also tools/check-upstream-deps.sh — the optional (network-gated)
+# tier-2 run against real registry crates instead of the vendor/ stubs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
