@@ -135,12 +135,22 @@ fn main() {
     let args = Args::parse();
     let full = args.flag("full");
     let churn = args.flag("churn");
+    let no_index = args.flag("no-index");
+    let ab = args.flag("ab");
+    let json_path: String = args.get("json", String::new());
     let catalog_size: usize = args.get("catalog", if full { 60_000 } else { 6_000 });
     let queries: usize = args.get("queries", if full { 10_000 } else { 1_000 });
+    // The unindexed side of --ab re-scans the whole partition per query;
+    // cap its query count separately so small hosts finish (throughput is
+    // rate-based either way).
+    let raw_queries: usize = args.get("raw-queries", queries);
     // Redis is orders of magnitude slower; cap its per-point query count
     // so the harness terminates (throughput is rate-based either way).
     let redis_queries: usize = args.get("redis-queries", (queries / 20).max(20));
-    let worker_counts: Vec<usize> = if full {
+    let workers_override: usize = args.get("workers", 0);
+    let worker_counts: Vec<usize> = if workers_override > 0 {
+        vec![workers_override]
+    } else if full {
         vec![1, 8, 32, 64, 128, 256, 512]
     } else {
         vec![1, 8, 32, 64, 128, 256]
@@ -151,6 +161,11 @@ fn main() {
         "Strong scaling of LCP query processing (queries/s, real execution)",
     );
     println!("catalog = {catalog_size} architectures; {queries} queries (Redis capped at {redis_queries}/point)");
+    if ab {
+        println!("A/B mode: each point runs indexed then unindexed (--no-index) on the same catalog; Redis skipped");
+    } else if no_index {
+        println!("architecture index DISABLED (--no-index): full-catalog scan per query");
+    }
     println!(
         "note: 'measured' throughput is bound by this host's {} cores (all providers share them);\n         'projected' = workers / single-client latency, i.e. the throughput of a deployment where\n         each provider runs on its own node, as in the paper.",
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -168,6 +183,24 @@ fn main() {
             .tap_shuffle(&mut rng)
     };
 
+    if ab {
+        // Models per architecture: evolutionary searches retrain the
+        // same architecture under different seeds/hyperparameters, so a
+        // realistic catalog has several models per distinct graph — the
+        // population signature dedup collapses.
+        let dups: usize = args.get("dups", 3);
+        run_ab(
+            &catalog,
+            &probes,
+            &worker_counts,
+            queries,
+            raw_queries,
+            dups,
+            &json_path,
+        );
+        return;
+    }
+
     let mut rows = Vec::new();
     for &w in &worker_counts {
         // --- EvoStore: providers scale with workers (1 per 4 GPUs). ---
@@ -183,6 +216,7 @@ fn main() {
             let p = model.provider_for(providers);
             states[p].insert_meta_only(model, g.clone(), 0.5);
         }
+        dep.set_index_enabled(!no_index);
         let client = dep.client();
         // Single-client latency (distribution benefit: partitions shrink
         // as providers grow).
@@ -212,6 +246,11 @@ fn main() {
         let evo_churn_ops = churn_handle.map(|h| h.join().unwrap()).unwrap_or(0);
         let evo_tput = done as f64 / evo_secs;
         let evo_projected = w as f64 / lat_evo;
+        let qs = client.stats().expect("provider stats").query_stats;
+        println!(
+            "  index counters: candidates={} scanned={} memo_hits={} deduped={} pruned={}",
+            qs.candidates, qs.scanned, qs.memo_hits, qs.deduped, qs.pruned
+        );
         drop(dep);
 
         // --- Redis-Queries: one centralized server. ---
@@ -331,6 +370,148 @@ fn main() {
         ],
         &rows,
     );
+}
+
+/// A/B ablation: each worker point loads the same catalog into one
+/// deployment, then measures query throughput with the architecture
+/// index enabled and again with it disabled (full-catalog scan). Redis
+/// is skipped. Optionally writes the rows plus the index counters
+/// (scanned vs pruned, memo hits, dedup savings) to `--json PATH`.
+fn run_ab(
+    catalog: &[CompactGraph],
+    probes: &[CompactGraph],
+    worker_counts: &[usize],
+    queries: usize,
+    raw_queries: usize,
+    dups: usize,
+    json_path: &str,
+) {
+    let dups = dups.max(1);
+    println!(
+        "A/B catalog: {} architectures x {dups} models each = {} models",
+        catalog.len(),
+        catalog.len() * dups
+    );
+    // Mix exact catalog members into the probe stream: a re-query of a
+    // stored architecture yields a full-length best LCP, which is what
+    // lets the vertex-count bound prune the tail of the scan. Fresh
+    // mutations alone have short LCPs and exercise only dedup + memo.
+    let probes: Vec<CompactGraph> = {
+        let mut v = probes.to_vec();
+        v.extend(catalog.iter().step_by((catalog.len() / 64).max(1)).cloned());
+        v
+    };
+
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for &w in worker_counts {
+        let providers = (w / 4).max(1);
+        let dep = Deployment::new(evostore_core::DeploymentConfig {
+            providers,
+            service_threads: 2,
+            backend: evostore_core::BackendKind::Memory,
+        });
+        let states = dep.provider_states();
+        let mut next = 0u64;
+        for g in catalog.iter() {
+            let first = ModelId(next);
+            next += 1;
+            let placement = first.provider_for(providers);
+            states[placement].insert_meta_only(first, g.clone(), 0.5);
+            for d in 1..dups {
+                // Duplicate models of an architecture land on the same
+                // provider (a retrained model is stored near its parent),
+                // so per-provider signature dedup applies.
+                while ModelId(next).provider_for(providers) != placement {
+                    next += 1;
+                }
+                let m = ModelId(next);
+                next += 1;
+                states[placement].insert_meta_only(m, g.clone(), 0.5 + d as f64 * 0.01);
+            }
+        }
+        let client = dep.client();
+
+        // Indexed pass (the default configuration). Counters are read as
+        // a delta around the pass so only its own work is attributed.
+        dep.set_index_enabled(true);
+        let before = client.stats().expect("provider stats").query_stats;
+        let (idx_secs, idone) = run_queries(w, queries, |i| {
+            let probe = &probes[i % probes.len()];
+            let _ = client.query_best_ancestor(probe).expect("query succeeds");
+        });
+        let stats = client.stats().expect("provider stats");
+        let after = stats.query_stats;
+        let idx_qps = idone as f64 / idx_secs;
+        let (scanned, memo_hits, deduped, pruned) = (
+            after.scanned - before.scanned,
+            after.memo_hits - before.memo_hits,
+            after.deduped - before.deduped,
+            after.pruned - before.pruned,
+        );
+
+        // Unindexed pass: identical catalog and probe stream, full scan.
+        dep.set_index_enabled(false);
+        let (raw_secs, rdone) = run_queries(w, raw_queries, |i| {
+            let probe = &probes[i % probes.len()];
+            let _ = client.query_best_ancestor(probe).expect("query succeeds");
+        });
+        let raw_qps = rdone as f64 / raw_secs;
+        let speedup = idx_qps / raw_qps;
+
+        println!(
+            "  workers {w}: indexed {idx_qps:.1} q/s vs unindexed {raw_qps:.1} q/s ({speedup:.1}x); \
+             scanned={scanned} memo_hits={memo_hits} deduped={deduped} pruned={pruned}"
+        );
+        rows.push(vec![
+            w.to_string(),
+            providers.to_string(),
+            f1(idx_qps),
+            f1(raw_qps),
+            format!("{speedup:.1}x"),
+            scanned.to_string(),
+            pruned.to_string(),
+            memo_hits.to_string(),
+        ]);
+        points.push(format!(
+            "    {{\"workers\": {w}, \"providers\": {providers}, \"indexed_qps\": {idx_qps:.1}, \
+             \"unindexed_qps\": {raw_qps:.1}, \"speedup\": {speedup:.2}, \"scanned\": {scanned}, \
+             \"pruned\": {pruned}, \"memo_hits\": {memo_hits}, \"deduped\": {deduped}, \
+             \"distinct_archs\": {}}}",
+            stats.distinct_archs
+        ));
+    }
+
+    println!();
+    print_table(
+        &[
+            "workers",
+            "providers",
+            "indexed q/s",
+            "unindexed q/s",
+            "speedup",
+            "scanned",
+            "pruned",
+            "memo hits",
+        ],
+        &rows,
+    );
+
+    if !json_path.is_empty() {
+        let json = format!(
+            "{{\n  \"figure\": \"fig5_lcp_ab\",\n  \"architectures\": {},\n  \
+             \"models_per_arch\": {dups},\n  \"models\": {},\n  \"queries\": {queries},\n  \
+             \"raw_queries\": {raw_queries},\n  \"points\": [\n{}\n  ]\n}}\n",
+            catalog.len(),
+            catalog.len() * dups,
+            points.join(",\n")
+        );
+        if let Some(parent) = std::path::Path::new(json_path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(json_path, json).expect("write --json output");
+        println!("wrote {json_path}");
+    }
 }
 
 /// Tiny shuffle helper (keeps the binary dependency-light).

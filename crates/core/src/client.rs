@@ -16,6 +16,7 @@ use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy, RpcError};
 use evostore_tensor::{read_tensor, write_tensor, ModelId, TensorData, TensorKey, VertexId};
 use parking_lot::Mutex;
 use rand::Rng;
+use rayon::prelude::*;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -442,19 +443,25 @@ impl EvoStoreClient {
         new_tensors: &HashMap<TensorKey, TensorData>,
     ) -> Result<StoreOutcome> {
         let model = owner_map.model;
-        let mut buf = BytesMut::new();
-        let mut manifest = Vec::with_capacity(new_tensors.len());
         // Deterministic order for reproducible layouts.
         let mut keys: Vec<&TensorKey> = new_tensors.keys().collect();
         keys.sort();
-        for key in keys {
-            let record = write_tensor(&new_tensors[key]);
+        // Serialization + content hashing dominates the consolidation
+        // cost, so it runs across the pool; only the offset assignment
+        // and concatenation stay serial.
+        let records: Vec<bytes::Bytes> = keys
+            .par_iter()
+            .map(|key| write_tensor(&new_tensors[*key]))
+            .collect();
+        let mut buf = BytesMut::new();
+        let mut manifest = Vec::with_capacity(new_tensors.len());
+        for (key, record) in keys.into_iter().zip(&records) {
             manifest.push(ManifestEntry {
                 key: *key,
                 offset: buf.len() as u64,
                 len: record.len() as u64,
             });
-            buf.extend_from_slice(&record);
+            buf.extend_from_slice(record);
         }
         let tensors_written = manifest.len();
         let bulk = self.fabric.bulk_expose(buf.freeze());
@@ -541,6 +548,9 @@ impl EvoStoreClient {
         };
         let (replies, unreachable) =
             self.quorum_broadcast::<_, LcpQueryReply>(methods::LCP, &req)?;
+        for reply in &replies {
+            self.telemetry.note_index_stats(reply.stats);
+        }
         let best = replies
             .into_iter()
             .fold(None::<LcpCandidate>, |acc, reply| match (acc, reply.best) {
@@ -590,25 +600,34 @@ impl EvoStoreClient {
         for (_, reply) in replies {
             let handle = BulkHandle(reply.bulk);
             let region = self.fabric.bulk_get(handle)?;
-            for entry in &reply.manifest {
-                let (off, len) = (entry.offset as usize, entry.len as usize);
-                if off + len > region.len() {
-                    self.fabric.bulk_release(handle);
-                    return Err(EvoError::Protocol(format!(
-                        "read manifest entry {} out of bounds",
-                        entry.key
-                    )));
-                }
-                let tensor = read_tensor(region.slice(off..off + len)).map_err(|_| {
-                    self.fabric.bulk_release(handle);
-                    EvoError::Corrupt {
-                        key: entry.key.to_string(),
+            // Decode (and integrity-check) every manifest entry across
+            // the pool; the region is released exactly once below, on
+            // success and error alike.
+            let decoded: Vec<Result<(TensorKey, TensorData)>> = reply
+                .manifest
+                .par_iter()
+                .map(|entry| {
+                    let (off, len) = (entry.offset as usize, entry.len as usize);
+                    if off + len > region.len() {
+                        return Err(EvoError::Protocol(format!(
+                            "read manifest entry {} out of bounds",
+                            entry.key
+                        )));
                     }
-                })?;
-                out.insert(entry.key, tensor);
-            }
+                    let tensor = read_tensor(region.slice(off..off + len)).map_err(|_| {
+                        EvoError::Corrupt {
+                            key: entry.key.to_string(),
+                        }
+                    })?;
+                    Ok((entry.key, tensor))
+                })
+                .collect();
             // One-sided completion: the reader withdraws the region.
             self.fabric.bulk_release(handle);
+            for item in decoded {
+                let (key, tensor) = item?;
+                out.insert(key, tensor);
+            }
         }
         Ok(out)
     }
@@ -701,6 +720,9 @@ impl EvoStoreClient {
         };
         let (replies, unreachable) =
             self.quorum_broadcast::<_, PatternQueryReply>(methods::MATCH_PATTERN, &req)?;
+        for reply in &replies {
+            self.telemetry.note_index_stats(reply.stats);
+        }
         let mut acc: Vec<(ModelId, f64)> = replies.into_iter().flat_map(|r| r.matches).collect();
         acc.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         Ok(Degraded {

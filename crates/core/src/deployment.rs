@@ -183,6 +183,15 @@ impl Deployment {
             .collect()
     }
 
+    /// Switch every provider between indexed ancestor/pattern queries
+    /// (the default) and the unindexed full-catalog scan — the A/B lever
+    /// behind the fig5 bench's `--no-index` mode.
+    pub fn set_index_enabled(&self, enabled: bool) {
+        for p in &self.providers {
+            p.state.set_index_enabled(enabled);
+        }
+    }
+
     /// Cross-provider garbage-collection audit: the reference count of
     /// every hosted tensor must equal the number of cataloged models
     /// whose owner maps reference it, and no unreferenced tensor may

@@ -5,7 +5,7 @@
 //! manifest, and the payload moves through one consolidated one-sided
 //! transfer (the owner-based consolidation of §4.1).
 
-use evostore_graph::{CompactGraph, LcpResult};
+use evostore_graph::{CompactGraph, IndexQueryStats, LcpResult};
 use evostore_tensor::{ModelId, TensorKey};
 use serde::{Deserialize, Serialize};
 
@@ -164,8 +164,12 @@ pub struct LcpQueryRequest {
 pub struct LcpQueryReply {
     /// Best local candidate, absent when nothing matches.
     pub best: Option<LcpCandidate>,
-    /// How many stored models this provider scanned (diagnostics).
+    /// How many LCP computations this provider actually ran: distinct
+    /// non-memoized architectures on the indexed path, every stored
+    /// model on the unindexed one (diagnostics).
     pub scanned: usize,
+    /// How the index served this query (dedup/memo/pruning breakdown).
+    pub stats: IndexQueryStats,
 }
 
 /// A candidate ancestor found by a provider.
@@ -208,8 +212,11 @@ pub struct PatternQueryRequest {
 pub struct PatternQueryReply {
     /// `(model, quality)` of every local match.
     pub matches: Vec<(ModelId, f64)>,
-    /// Models scanned.
+    /// Pattern evaluations actually run (distinct architectures on the
+    /// indexed path, every stored model otherwise).
     pub scanned: usize,
+    /// How the index served this query.
+    pub stats: IndexQueryStats,
 }
 
 /// Attach optimizer state to a stored model (the paper's stated future
@@ -242,12 +249,18 @@ pub struct StatsRequest {}
 pub struct ProviderStats {
     /// Models whose metadata lives here.
     pub models: usize,
+    /// Distinct architecture signatures in the local catalog (the
+    /// ancestor-query index's dedup denominator).
+    pub distinct_archs: usize,
     /// Live tensors hosted here.
     pub tensors: usize,
     /// Bytes of live tensor payload.
     pub tensor_bytes: u64,
     /// Approximate metadata bytes (owner maps).
     pub metadata_bytes: u64,
+    /// Cumulative ancestor/pattern query counters (scanned, deduped,
+    /// pruned, memo hits) since this provider started.
+    pub query_stats: IndexQueryStats,
 }
 
 impl ProviderStats {
@@ -255,9 +268,11 @@ impl ProviderStats {
     pub fn merge(self, other: ProviderStats) -> ProviderStats {
         ProviderStats {
             models: self.models + other.models,
+            distinct_archs: self.distinct_archs + other.distinct_archs,
             tensors: self.tensors + other.tensors,
             tensor_bytes: self.tensor_bytes + other.tensor_bytes,
             metadata_bytes: self.metadata_bytes + other.metadata_bytes,
+            query_stats: self.query_stats.merge(other.query_stats),
         }
     }
 }
@@ -298,21 +313,35 @@ mod tests {
     fn stats_merge_sums() {
         let a = ProviderStats {
             models: 1,
+            distinct_archs: 1,
             tensors: 2,
             tensor_bytes: 100,
             metadata_bytes: 16,
+            query_stats: IndexQueryStats {
+                candidates: 10,
+                scanned: 2,
+                memo_hits: 3,
+                deduped: 4,
+                pruned: 1,
+            },
         };
         let b = ProviderStats {
             models: 3,
+            distinct_archs: 2,
             tensors: 4,
             tensor_bytes: 900,
             metadata_bytes: 32,
+            query_stats: IndexQueryStats::default(),
         };
         let m = a.merge(b);
         assert_eq!(m.models, 4);
+        assert_eq!(m.distinct_archs, 3);
         assert_eq!(m.tensors, 6);
         assert_eq!(m.tensor_bytes, 1000);
         assert_eq!(m.metadata_bytes, 48);
+        assert_eq!(m.query_stats.candidates, 10);
+        assert_eq!(m.query_stats.scanned, 2);
+        assert_eq!(m.query_stats.memo_hits, 3);
     }
 
     #[test]

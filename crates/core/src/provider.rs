@@ -12,11 +12,11 @@
 //!   (the map step of the broadcast/reduce metadata query).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::BytesMut;
-use evostore_graph::{lcp, CompactGraph};
+use evostore_graph::{lcp, ArchIndex, CompactGraph, IndexQueryStats};
 use evostore_kv::{KvBackend, RefCountedStore};
 use evostore_rpc::{typed_handler, Endpoint, EndpointId, Fabric};
 use evostore_tensor::{read_tensor, ModelId, TensorKey};
@@ -110,6 +110,35 @@ impl ModelRecord {
     }
 }
 
+/// The provider's model catalog: the record map plus the incrementally
+/// maintained [`ArchIndex`] over it, always mutated together under one
+/// lock so index membership exactly mirrors the records.
+struct Catalog {
+    records: HashMap<ModelId, ModelRecord>,
+    index: ArchIndex,
+}
+
+impl Catalog {
+    fn new() -> Catalog {
+        Catalog {
+            records: HashMap::new(),
+            index: ArchIndex::new(),
+        }
+    }
+
+    fn insert(&mut self, model: ModelId, rec: ModelRecord) {
+        self.index
+            .insert(model, Arc::clone(&rec.graph), rec.quality);
+        self.records.insert(model, rec);
+    }
+
+    fn remove(&mut self, model: ModelId) -> Option<ModelRecord> {
+        let rec = self.records.remove(&model)?;
+        self.index.remove(model);
+        Some(rec)
+    }
+}
+
 /// Shared state of one provider.
 pub struct ProviderState {
     fabric: Arc<Fabric>,
@@ -118,13 +147,19 @@ pub struct ProviderState {
     /// Total providers in the deployment (placement function input).
     pub num_providers: usize,
     tensors: RefCountedStore<Box<dyn KvBackend>>,
-    catalog: RwLock<HashMap<ModelId, ModelRecord>>,
+    catalog: RwLock<Catalog>,
     /// Durable catalog records (separate namespace from tensors).
     meta_store: Box<dyn KvBackend>,
     /// Deployment-wide write-ordering clock.
     clock: Arc<AtomicU64>,
     /// Applied refs operations, for duplicate suppression under retries.
     refs_ops: Mutex<RefsOpCache>,
+    /// Serve ancestor/pattern queries through the [`ArchIndex`] (the
+    /// default) or by the unindexed full-catalog scan (A/B measurement;
+    /// the index stays maintained either way).
+    index_enabled: AtomicBool,
+    /// Cumulative per-query index statistics (LCP and pattern scans).
+    query_stats: Mutex<IndexQueryStats>,
 }
 
 impl ProviderState {
@@ -213,7 +248,7 @@ impl ProviderState {
                 req.model, self.index
             ));
         }
-        if self.catalog.read().contains_key(&req.model) {
+        if self.catalog.read().records.contains_key(&req.model) {
             return Err(format!("model {} already stored", req.model));
         }
 
@@ -311,6 +346,7 @@ impl ProviderState {
     pub fn handle_get_meta(&self, req: GetMetaRequest) -> Result<ModelMetaReply, String> {
         let catalog = self.catalog.read();
         let rec = catalog
+            .records
             .get(&req.model)
             .ok_or_else(|| format!("model {} not found", req.model))?;
         Ok(ModelMetaReply {
@@ -417,19 +453,44 @@ impl ProviderState {
         Ok(reply)
     }
 
-    /// Handle a provider-side LCP scan: check all locally stored models in
-    /// parallel and return the best match (longest prefix; quality breaks
-    /// ties; lower model id breaks exact ties deterministically).
+    /// Handle a provider-side LCP scan and return the best match (longest
+    /// prefix; quality breaks ties; lower model id breaks exact ties
+    /// deterministically).
+    ///
+    /// The default path consults the [`ArchIndex`]: one `lcp()` per
+    /// distinct non-memoized architecture whose root matches the query
+    /// and whose vertex count can still beat the best length so far. The
+    /// unindexed path (A/B measurement, [`ProviderState::set_index_enabled`])
+    /// scans every stored model in parallel; both return identical
+    /// candidates.
     pub fn handle_lcp(&self, req: LcpQueryRequest) -> Result<LcpQueryReply, String> {
+        let g = &req.graph;
+        if self.index_enabled.load(Ordering::Relaxed) {
+            let (best, stats) = {
+                let catalog = self.catalog.read();
+                catalog.index.best_ancestor(g)
+            };
+            self.note_query_stats(stats);
+            return Ok(LcpQueryReply {
+                best: best.map(|c| LcpCandidate {
+                    model: c.model,
+                    quality: c.quality,
+                    lcp: (*c.lcp).clone(),
+                }),
+                scanned: stats.scanned as usize,
+                stats,
+            });
+        }
+
         let snapshot: Vec<(ModelId, Arc<CompactGraph>, f64)> = {
             let catalog = self.catalog.read();
             catalog
+                .records
                 .iter()
                 .map(|(&id, rec)| (id, Arc::clone(&rec.graph), rec.quality))
                 .collect()
         };
         let scanned = snapshot.len();
-        let g = &req.graph;
         let best = snapshot
             .into_par_iter()
             .map(|(model, graph, quality)| {
@@ -448,7 +509,17 @@ impl ProviderState {
                 quality,
                 lcp,
             });
-        Ok(LcpQueryReply { best, scanned })
+        let stats = IndexQueryStats {
+            candidates: scanned as u64,
+            scanned: scanned as u64,
+            ..IndexQueryStats::default()
+        };
+        self.note_query_stats(stats);
+        Ok(LcpQueryReply {
+            best,
+            scanned,
+            stats,
+        })
     }
 
     /// Handle metadata retirement. The caller receives the owner map and
@@ -457,7 +528,7 @@ impl ProviderState {
         let rec = self
             .catalog
             .write()
-            .remove(&req.model)
+            .remove(req.model)
             .ok_or_else(|| format!("model {} not found", req.model))?;
         self.unpersist_record(req.model);
         // Optimizer state is model-private: reclaim it with the model.
@@ -500,14 +571,31 @@ impl ProviderState {
         })
     }
 
-    /// Handle a catalog pattern scan (parallel, provider-side).
+    /// Handle a catalog pattern scan. Patterns are architecture-only
+    /// predicates, so the indexed path evaluates each *distinct*
+    /// architecture once and fans the verdict out to every model in its
+    /// bucket; the unindexed path tests every record in parallel.
     pub fn handle_match_pattern(
         &self,
         req: PatternQueryRequest,
     ) -> Result<PatternQueryReply, String> {
+        if self.index_enabled.load(Ordering::Relaxed) {
+            let (matches, stats) = {
+                let catalog = self.catalog.read();
+                catalog.index.match_pattern(&req.pattern)
+            };
+            self.note_query_stats(stats);
+            return Ok(PatternQueryReply {
+                matches,
+                scanned: stats.scanned as usize,
+                stats,
+            });
+        }
+
         let snapshot: Vec<(ModelId, Arc<CompactGraph>, f64)> = {
             let catalog = self.catalog.read();
             catalog
+                .records
                 .iter()
                 .map(|(&id, rec)| (id, Arc::clone(&rec.graph), rec.quality))
                 .collect()
@@ -519,7 +607,17 @@ impl ProviderState {
             .map(|(id, _, q)| (id, q))
             .collect();
         matches.sort_by_key(|a| a.0);
-        Ok(PatternQueryReply { matches, scanned })
+        let stats = IndexQueryStats {
+            candidates: scanned as u64,
+            scanned: scanned as u64,
+            ..IndexQueryStats::default()
+        };
+        self.note_query_stats(stats);
+        Ok(PatternQueryReply {
+            matches,
+            scanned,
+            stats,
+        })
     }
 
     /// Handle attaching optimizer state to a stored model.
@@ -534,6 +632,7 @@ impl ProviderState {
 
         let mut catalog = self.catalog.write();
         let rec = catalog
+            .records
             .get_mut(&req.model)
             .ok_or_else(|| format!("model {} not found", req.model))?;
         if !rec.optimizer_keys.is_empty() {
@@ -593,6 +692,7 @@ impl ProviderState {
         let keys = {
             let catalog = self.catalog.read();
             let rec = catalog
+                .records
                 .get(&req.model)
                 .ok_or_else(|| format!("model {} not found", req.model))?;
             rec.optimizer_keys.clone()
@@ -618,23 +718,50 @@ impl ProviderState {
         })
     }
 
+    /// Accumulate one query's index statistics into the provider-lifetime
+    /// counters surfaced by [`ProviderState::stats`].
+    fn note_query_stats(&self, stats: IndexQueryStats) {
+        let mut acc = self.query_stats.lock();
+        *acc = acc.merge(stats);
+    }
+
+    /// Switch ancestor/pattern queries between the indexed walk (default)
+    /// and the unindexed full-catalog scan. The index keeps being
+    /// maintained while disabled, so re-enabling is instant.
+    pub fn set_index_enabled(&self, enabled: bool) {
+        self.index_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether queries are currently served through the index.
+    pub fn index_enabled(&self) -> bool {
+        self.index_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Live entries in the index's LCP memo (diagnostics/tests).
+    pub fn index_memo_len(&self) -> usize {
+        self.catalog.read().index.memo_len()
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> ProviderStats {
         let catalog = self.catalog.read();
         ProviderStats {
-            models: catalog.len(),
+            models: catalog.records.len(),
+            distinct_archs: catalog.index.distinct_architectures(),
             tensors: self.tensors.len(),
             tensor_bytes: self.tensors.bytes_used() as u64,
             metadata_bytes: catalog
+                .records
                 .values()
                 .map(|r| r.owner_map.metadata_bytes() as u64)
                 .sum(),
+            query_stats: *self.query_stats.lock(),
         }
     }
 
     /// Models cataloged here (diagnostics/tests).
     pub fn cataloged_models(&self) -> Vec<ModelId> {
-        let mut v: Vec<ModelId> = self.catalog.read().keys().copied().collect();
+        let mut v: Vec<ModelId> = self.catalog.read().records.keys().copied().collect();
         v.sort();
         v
     }
@@ -648,6 +775,7 @@ impl ProviderState {
     pub fn owner_maps(&self) -> Vec<OwnerMap> {
         self.catalog
             .read()
+            .records
             .values()
             .map(|r| r.owner_map.clone())
             .collect()
@@ -686,6 +814,7 @@ impl ProviderState {
     pub fn optimizer_key_refs(&self) -> Vec<TensorKey> {
         self.catalog
             .read()
+            .records
             .values()
             .flat_map(|r| r.optimizer_keys.clone())
             .collect()
@@ -728,10 +857,12 @@ impl Provider {
             index,
             num_providers,
             tensors: RefCountedStore::new(backend),
-            catalog: RwLock::new(HashMap::new()),
+            catalog: RwLock::new(Catalog::new()),
             meta_store,
             clock,
             refs_ops: Mutex::new(RefsOpCache::default()),
+            index_enabled: AtomicBool::new(true),
+            query_stats: Mutex::new(IndexQueryStats::default()),
         });
 
         let s = Arc::clone(&state);

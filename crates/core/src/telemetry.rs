@@ -120,6 +120,12 @@ pub struct ClientTelemetry {
     pub rpc: evostore_rpc::RpcMetrics,
     degraded_queries: AtomicU64,
     parked_decrements: AtomicU64,
+    // Provider-side ancestor-query index counters, accumulated from the
+    // per-reply stats of every LCP/pattern broadcast this client ran.
+    index_scanned: AtomicU64,
+    index_memo_hits: AtomicU64,
+    index_deduped: AtomicU64,
+    index_pruned: AtomicU64,
 }
 
 impl ClientTelemetry {
@@ -158,11 +164,34 @@ impl ClientTelemetry {
         self.parked_decrements.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Accumulate one provider reply's index statistics.
+    pub fn note_index_stats(&self, stats: evostore_graph::IndexQueryStats) {
+        self.index_scanned
+            .fetch_add(stats.scanned, Ordering::Relaxed);
+        self.index_memo_hits
+            .fetch_add(stats.memo_hits, Ordering::Relaxed);
+        self.index_deduped
+            .fetch_add(stats.deduped, Ordering::Relaxed);
+        self.index_pruned.fetch_add(stats.pruned, Ordering::Relaxed);
+    }
+
+    /// Total index counters accumulated so far, as one stats value.
+    pub fn index_stats(&self) -> evostore_graph::IndexQueryStats {
+        evostore_graph::IndexQueryStats {
+            candidates: 0,
+            scanned: self.index_scanned.load(Ordering::Relaxed),
+            memo_hits: self.index_memo_hits.load(Ordering::Relaxed),
+            deduped: self.index_deduped.load(Ordering::Relaxed),
+            pruned: self.index_pruned.load(Ordering::Relaxed),
+        }
+    }
+
     /// Multi-line report over all operation classes and resilience
     /// counters.
     pub fn report(&self) -> String {
+        let ix = self.index_stats();
         format!(
-            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}",
+            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}\nindex:  scanned={} memo_hits={} deduped={} pruned={}",
             self.query.report(),
             self.fetch.report(),
             self.store.report(),
@@ -171,7 +200,11 @@ impl ClientTelemetry {
             self.rpc.timeouts(),
             self.rpc.exhausted(),
             self.degraded_queries(),
-            self.parked_decrements()
+            self.parked_decrements(),
+            ix.scanned,
+            ix.memo_hits,
+            ix.deduped,
+            ix.pruned
         )
     }
 }

@@ -1,0 +1,240 @@
+//! Provider-level tests of the ancestor-query index: the indexed walk
+//! must be observationally identical to the unindexed full-catalog scan
+//! (same winner, same tie-breaks, same pattern matches) including under
+//! store/retire churn; retiring a model must invalidate its memoized
+//! LCP entries; and the dedup/memo/pruning counters must surface through
+//! provider stats and client telemetry.
+
+use std::sync::Arc;
+
+use evostore_core::messages::RetireMetaRequest;
+use evostore_core::provider::ProviderState;
+use evostore_core::{Deployment, EvoStoreClient};
+use evostore_graph::{flatten, ArchPattern, CompactGraph, GenomeSpace, LayerPattern};
+use evostore_tensor::ModelId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Insert a metadata-only record on the provider `model` hashes to.
+fn insert(states: &[Arc<ProviderState>], model: ModelId, g: &CompactGraph, quality: f64) {
+    let p = model.provider_for(states.len());
+    states[p].insert_meta_only(model, g.clone(), quality);
+}
+
+/// Retire a metadata-only record on its hosting provider.
+fn retire(states: &[Arc<ProviderState>], model: ModelId) {
+    let p = model.provider_for(states.len());
+    states[p]
+        .handle_retire_meta(RetireMetaRequest { model })
+        .expect("retire");
+}
+
+/// A mutation-family catalog: `families` roots, `variants` derived
+/// graphs each, two models per architecture (dedup + quality ties).
+fn populate(
+    states: &[Arc<ProviderState>],
+    families: usize,
+    variants: usize,
+    seed: u64,
+) -> (Vec<ModelId>, Vec<CompactGraph>) {
+    let space = GenomeSpace::attn_like();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut models = Vec::new();
+    let mut graphs = Vec::new();
+    let mut next = 1u64;
+    for _ in 0..families {
+        let mut genome = space.sample(&mut rng);
+        for v in 0..variants {
+            let g = flatten(&space.materialize(&genome)).unwrap();
+            let first = ModelId(next);
+            next += 1;
+            insert(states, first, &g, 0.4);
+            models.push(first);
+            // The duplicate must land on the SAME provider for dedup to
+            // be observable: scan forward for an id with equal placement.
+            let placement = first.provider_for(states.len());
+            while ModelId(next).provider_for(states.len()) != placement {
+                next += 1;
+            }
+            let dup = ModelId(next);
+            next += 1;
+            insert(states, dup, &g, 0.4 + v as f64 * 0.05);
+            models.push(dup);
+            graphs.push(g);
+            genome = space.mutate(&genome, &mut rng);
+        }
+    }
+    (models, graphs)
+}
+
+/// Run the same best-ancestor query indexed and unindexed; both must
+/// return the identical candidate (model, quality, full LCP).
+fn assert_query_equivalent(dep: &Deployment, client: &EvoStoreClient, probe: &CompactGraph) {
+    dep.set_index_enabled(true);
+    let indexed = client.query_best_ancestor(probe).unwrap().into_inner();
+    dep.set_index_enabled(false);
+    let brute = client.query_best_ancestor(probe).unwrap().into_inner();
+    dep.set_index_enabled(true);
+    match (indexed, brute) {
+        (None, None) => {}
+        (Some(i), Some(b)) => {
+            assert_eq!(i.model, b.model, "winner differs");
+            assert_eq!(i.quality, b.quality, "quality differs");
+            assert_eq!(i.lcp, b.lcp, "LCP differs");
+        }
+        (i, b) => panic!(
+            "presence mismatch: indexed {:?}, brute {:?}",
+            i.map(|x| x.model),
+            b.map(|x| x.model)
+        ),
+    }
+}
+
+#[test]
+fn indexed_queries_match_unindexed_under_churn() {
+    let dep = Deployment::in_memory(3);
+    let states = dep.provider_states();
+    let client = dep.client();
+    let (models, graphs) = populate(&states, 3, 4, 7);
+
+    // Probes: existing member, fresh mutation of a member, disjoint root.
+    let space = GenomeSpace::attn_like();
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let fresh = flatten(&space.materialize(&space.sample(&mut rng))).unwrap();
+    let probes: Vec<&CompactGraph> = vec![&graphs[0], &graphs[graphs.len() - 1], &fresh];
+
+    for probe in &probes {
+        assert_query_equivalent(&dep, &client, probe);
+        // Second pass hits the memo; the answer must not change.
+        assert_query_equivalent(&dep, &client, probe);
+    }
+
+    // Retire a third of the population (including probe 0's architecture)
+    // and re-check every probe.
+    for m in models.iter().step_by(3) {
+        retire(&states, *m);
+    }
+    for probe in &probes {
+        assert_query_equivalent(&dep, &client, probe);
+    }
+
+    // Store new models after the churn and re-check.
+    let g = flatten(&space.materialize(&space.sample(&mut rng))).unwrap();
+    insert(&states, ModelId(10_001), &g, 0.9);
+    for probe in &probes {
+        assert_query_equivalent(&dep, &client, probe);
+    }
+    assert_query_equivalent(&dep, &client, &g);
+}
+
+#[test]
+fn pattern_queries_match_unindexed() {
+    let dep = Deployment::in_memory(3);
+    let states = dep.provider_states();
+    let client = dep.client();
+    populate(&states, 2, 3, 21);
+
+    let patterns = vec![
+        ArchPattern::any(),
+        ArchPattern::any().with_layer(LayerPattern::AttentionHeads { min: 1 }),
+        ArchPattern::any().with_vertices(1, 9),
+        ArchPattern::any().with_layer(LayerPattern::Kind("embedding".into())),
+    ];
+    for p in &patterns {
+        dep.set_index_enabled(true);
+        let indexed = client.find_matching(p).unwrap().into_inner();
+        dep.set_index_enabled(false);
+        let brute = client.find_matching(p).unwrap().into_inner();
+        dep.set_index_enabled(true);
+        // Same multiset in the same (quality-sorted) order modulo equal
+        // qualities: compare as sorted sets of (model, quality bits).
+        let norm = |mut v: Vec<(ModelId, f64)>| {
+            v.sort_by_key(|&(m, q)| (m, q.to_bits()));
+            v
+        };
+        assert_eq!(norm(indexed), norm(brute));
+    }
+}
+
+#[test]
+fn retire_invalidates_memoized_entries() {
+    let dep = Deployment::in_memory(1);
+    let states = dep.provider_states();
+    let client = dep.client();
+    let space = GenomeSpace::attn_like();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let parent = space.sample(&mut rng);
+    let child = space.mutate(&parent, &mut rng);
+    let pg = flatten(&space.materialize(&parent)).unwrap();
+    let cg = flatten(&space.materialize(&child)).unwrap();
+    insert(&states, ModelId(1), &pg, 0.5);
+    insert(&states, ModelId(2), &cg, 0.4);
+
+    // Self-query: model 1 must win with a full-length prefix, and the
+    // memo must now hold entries for the probed architecture.
+    let best = client
+        .query_best_ancestor(&pg)
+        .unwrap()
+        .into_inner()
+        .expect("ancestor");
+    assert_eq!(best.model, ModelId(1));
+    assert_eq!(best.lcp.len(), pg.len());
+    let memo_before = states[0].index_memo_len();
+    assert!(memo_before > 0, "memo empty after a query");
+
+    // Retiring the winner purges its memo entries; the next query must
+    // not return the stale ancestor.
+    retire(&states, ModelId(1));
+    assert!(
+        states[0].index_memo_len() < memo_before,
+        "retire did not invalidate memo entries"
+    );
+    let best = client.query_best_ancestor(&pg).unwrap().into_inner();
+    assert_ne!(
+        best.as_ref().map(|b| b.model),
+        Some(ModelId(1)),
+        "stale ancestor returned after retire"
+    );
+}
+
+#[test]
+fn stats_surface_index_counters() {
+    let dep = Deployment::in_memory(2);
+    let states = dep.provider_states();
+    let client = dep.client();
+    let (_, graphs) = populate(&states, 2, 3, 5);
+
+    // Distinct architectures must be below model count (two models per
+    // architecture were inserted).
+    let stats = client.stats().unwrap();
+    assert!(stats.models > 0);
+    assert!(
+        stats.distinct_archs * 2 <= stats.models,
+        "dedup denominator wrong: {} archs for {} models",
+        stats.distinct_archs,
+        stats.models
+    );
+
+    // First query does the scanning; the repeat is served by the memo.
+    let probe = &graphs[0];
+    client.query_best_ancestor(probe).unwrap();
+    let after_first = client.stats().unwrap().query_stats;
+    assert!(after_first.scanned > 0, "no scans counted");
+    client.query_best_ancestor(probe).unwrap();
+    let after_second = client.stats().unwrap().query_stats;
+    assert!(
+        after_second.memo_hits > after_first.memo_hits,
+        "repeat query did not hit the memo"
+    );
+    assert_eq!(
+        after_second.scanned, after_first.scanned,
+        "repeat query re-ran LCPs despite the memo"
+    );
+    assert!(after_second.deduped > 0, "dedup counter never moved");
+
+    // The same counters flow into client telemetry.
+    let t = client.telemetry().index_stats();
+    assert_eq!(t.scanned, after_second.scanned);
+    assert_eq!(t.memo_hits, after_second.memo_hits);
+    assert!(client.telemetry().report().contains("index:"));
+}

@@ -178,6 +178,112 @@ proptest! {
             .matches(&cg));
     }
 
+    /// The indexed best-ancestor scan is observationally identical to the
+    /// brute-force scan over the same catalog — same winning model, same
+    /// quality, same full `LcpResult` — including under interleaved
+    /// store/retire churn (removals mid-sequence, re-queries after each
+    /// phase).
+    #[test]
+    fn arch_index_matches_brute_force(
+        seed in any::<u64>(),
+        mseed in any::<u64>(),
+        family in 2usize..6,
+        removals in prop::collection::vec(0usize..1_000_000, 0..4),
+    ) {
+        use std::sync::Arc;
+        use evostore_graph::{ArchIndex, CompactGraph};
+        use evostore_tensor::ModelId;
+
+        // Mutation-family catalog: a few roots, each with derived
+        // variants — exactly the structural near-duplicate population
+        // the index dedups — plus duplicated architectures at distinct
+        // qualities to exercise the in-bucket tie-break.
+        let (space, parent) = genome_from_seed(seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(mseed);
+        let mut entries: Vec<(ModelId, Arc<CompactGraph>, f64)> = Vec::new();
+        let mut next_id = 0u64;
+        let mut genome = parent.clone();
+        for f in 0..family {
+            let cg = Arc::new(flatten(&space.materialize(&genome)).unwrap());
+            // Two models per architecture, same and differing quality.
+            for q in [0.5, 0.5 + (f as f64) * 0.07] {
+                entries.push((ModelId(next_id), Arc::clone(&cg), q));
+                next_id += 1;
+            }
+            genome = space.mutate(&genome, &mut rng);
+        }
+        let probe = flatten(&space.materialize(&genome)).unwrap();
+
+        let brute = |entries: &[(ModelId, Arc<CompactGraph>, f64)], g: &CompactGraph| {
+            entries
+                .iter()
+                .map(|(m, a, q)| (*m, *q, lcp(g, a)))
+                .filter(|(_, _, r)| !r.is_empty())
+                .max_by(|(ma, qa, ra), (mb, qb, rb)| {
+                    ra.len()
+                        .cmp(&rb.len())
+                        .then(qa.partial_cmp(qb).unwrap_or(std::cmp::Ordering::Equal))
+                        .then(mb.cmp(ma))
+                })
+        };
+
+        let mut ix = ArchIndex::new();
+        for (m, g, q) in &entries {
+            ix.insert(*m, Arc::clone(g), *q);
+        }
+
+        let check = |ix: &ArchIndex, entries: &[(ModelId, Arc<CompactGraph>, f64)], g: &CompactGraph| {
+            let (got, stats) = ix.best_ancestor(g);
+            let want = brute(entries, g);
+            match (got, want) {
+                (None, None) => Ok(()),
+                (Some(c), Some((m, q, r))) => {
+                    if c.model == m && c.quality == q && *c.lcp == r {
+                        // Dedup accounting: work + skips covers the catalog.
+                        let archs: std::collections::HashSet<u128> =
+                            entries.iter().map(|(_, g, _)| g.arch_signature().0).collect();
+                        if stats.scanned + stats.memo_hits + stats.pruned != archs.len() as u64 {
+                            return Err(format!(
+                                "stats don't cover the catalog: {stats:?} vs {} archs",
+                                archs.len()
+                            ));
+                        }
+                        Ok(())
+                    } else {
+                        Err(format!("winner mismatch: index ({:?}, {}), brute ({:?}, {})", c.model, c.quality, m, q))
+                    }
+                }
+                (got, want) => Err(format!(
+                    "presence mismatch: index {:?}, brute {:?}",
+                    got.map(|c| c.model),
+                    want.map(|w| w.0)
+                )),
+            }
+        };
+
+        check(&ix, &entries, &probe).map_err(TestCaseError::fail)?;
+        // Query twice: the second pass runs against a warm memo.
+        check(&ix, &entries, &probe).map_err(TestCaseError::fail)?;
+
+        // Interleave retirements with re-queries.
+        for r in &removals {
+            if entries.is_empty() {
+                break;
+            }
+            let victim = r % entries.len();
+            let (m, _, _) = entries.remove(victim);
+            prop_assert!(ix.remove(m));
+            check(&ix, &entries, &probe).map_err(TestCaseError::fail)?;
+        }
+
+        // Store a new model after the churn and re-query once more.
+        let cg = Arc::new(flatten(&space.materialize(&space.mutate(&genome, &mut rng))).unwrap());
+        entries.push((ModelId(next_id), Arc::clone(&cg), 0.9));
+        ix.insert(ModelId(next_id), cg, 0.9);
+        check(&ix, &entries, &probe).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(ix.len(), entries.len());
+    }
+
     /// Structural diff partitions G's vertices and stats are consistent.
     #[test]
     fn diff_and_stats_consistent(seed in any::<u64>(), mseed in any::<u64>()) {

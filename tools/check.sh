@@ -15,4 +15,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace)"
 cargo test --workspace -q
 
+# Optional tier-2: scaled-down fig5 indexed-vs-unindexed ablation,
+# recording queries/sec and the index counters to results/BENCH_lcp.json.
+if [[ "${RUN_BENCH_SMOKE:-0}" == "1" ]]; then
+    tools/bench-smoke.sh
+fi
+
 echo "== OK"
