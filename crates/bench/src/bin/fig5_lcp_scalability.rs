@@ -209,6 +209,7 @@ fn main() {
             providers,
             service_threads: 2,
             backend: evostore_core::BackendKind::Memory,
+            replication: evostore_core::ReplicationPolicy::default(),
         });
         let states = dep.provider_states();
         for (i, g) in catalog.iter().enumerate() {
@@ -410,6 +411,7 @@ fn run_ab(
             providers,
             service_threads: 2,
             backend: evostore_core::BackendKind::Memory,
+            replication: evostore_core::ReplicationPolicy::default(),
         });
         let states = dep.provider_states();
         let mut next = 0u64;

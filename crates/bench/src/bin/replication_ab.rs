@@ -1,0 +1,256 @@
+//! Replication A/B — availability and write cost of R-way placement.
+//!
+//! Two identical deployments run the same real workload, one at
+//! replication factor 1 (the paper's unreplicated static hashing) and
+//! one at factor 2. Phase one stores a catalog of models with every
+//! provider up and measures write throughput — factor 2 pays the mirror
+//! legs. Phase two holds one provider down and replays a read mix
+//! (`fetch_model` + LCP probes) against the survivors — factor 1 loses
+//! every model homed on the dead provider and answers probes degraded,
+//! factor 2 fails reads over along the replica chain and stays whole.
+//! The faulted provider then recovers and the replicated deployment runs
+//! an anti-entropy `repair()`; both ends with a GC audit.
+//!
+//! Everything here is REAL execution and wall-clock measurement — no
+//! cost models. `--json PATH` records the two points (throughput +
+//! availability) for EXPERIMENTS.md; tools/chaos-smoke.sh writes
+//! results/BENCH_replication.json.
+
+use std::time::Instant;
+
+use evostore_bench::{banner, f1, f2, print_table, Args};
+use evostore_core::{random_tensors, Deployment, EvoStoreClient, OwnerMap};
+use evostore_graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
+use evostore_rpc::{FaultPlan, RetryPolicy};
+use evostore_tensor::ModelId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn seq(units: &[u32]) -> CompactGraph {
+    let mut a = Architecture::new("seq");
+    let mut prev = a.add_layer(LayerConfig::new(
+        "in",
+        LayerKind::Input {
+            shape: vec![units[0]],
+        },
+    ));
+    let mut inf = units[0];
+    for (i, &u) in units.iter().enumerate().skip(1) {
+        prev = a.chain(
+            prev,
+            LayerConfig::new(
+                format!("d{i}"),
+                LayerKind::Dense {
+                    in_features: inf,
+                    units: u,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        inf = u;
+    }
+    flatten(&a).unwrap()
+}
+
+/// Catalog graph `i`: same depth, width varied so probes discriminate.
+fn catalog_graph(i: usize) -> CompactGraph {
+    let w = 32 + 16 * (i % 5) as u32;
+    seq(&[16, w, w, 8 + (i % 3) as u32])
+}
+
+struct Point {
+    factor: usize,
+    store_s: f64,
+    store_mbps: f64,
+    read_s: f64,
+    reads_per_s: f64,
+    read_ok: usize,
+    read_degraded: usize,
+    read_failed: usize,
+    read_failovers: u64,
+    repair_synced: usize,
+}
+
+/// Run the full store / fault / read / recover cycle at one factor.
+fn run_point(factor: usize, providers: usize, models: usize, reads: usize) -> Point {
+    let dep = if factor > 1 {
+        Deployment::in_memory_replicated(providers, factor)
+    } else {
+        Deployment::in_memory(providers)
+    };
+    // Quorum 1 so the unreplicated side answers probes degraded rather
+    // than failing outright — availability is then comparable per-op.
+    let client = dep
+        .client_builder()
+        .retry_policy(RetryPolicy::default().with_attempts(2))
+        .min_quorum(1)
+        .build();
+
+    // Phase 1: store the catalog with every provider up.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut bytes = 0u64;
+    let t0 = Instant::now();
+    for i in 0..models {
+        let model = ModelId(i as u64 + 1);
+        let g = catalog_graph(i);
+        let tensors = random_tensors(model, &g, &mut rng);
+        let outcome = client
+            .store_model(g.clone(), OwnerMap::fresh(model, &g), None, 0.5, &tensors)
+            .unwrap();
+        bytes += outcome.bytes_written as u64;
+    }
+    let store_s = t0.elapsed().as_secs_f64();
+
+    // Phase 2: one provider down, replay the read mix on the survivors.
+    let down = dep.provider_ids()[1];
+    let plan = dep.fabric().install_fault_plan(FaultPlan::new(0));
+    plan.set_down(down);
+    let (ok, degraded, failed, read_s) = read_mix(&client, models, reads);
+
+    // Recovery: replicated deployments run the anti-entropy pass.
+    plan.set_up(down);
+    let repair_synced = if factor > 1 {
+        let report = dep.repair().expect("repair");
+        report.models_synced
+    } else {
+        0
+    };
+    dep.gc_audit().expect("gc audit clean after recovery");
+
+    Point {
+        factor,
+        store_s,
+        store_mbps: bytes as f64 / 1e6 / store_s,
+        read_s,
+        reads_per_s: reads as f64 / read_s,
+        read_ok: ok,
+        read_degraded: degraded,
+        read_failed: failed,
+        read_failovers: client.telemetry().read_failovers(),
+        repair_synced,
+    }
+}
+
+/// `reads` operations: 3 of 4 are `load_model` over the catalog
+/// round-robin, every 4th an LCP probe. Returns (ok, degraded, failed,
+/// elapsed seconds).
+fn read_mix(client: &EvoStoreClient, models: usize, reads: usize) -> (usize, usize, usize, f64) {
+    let probe = seq(&[16, 48, 48, 9]);
+    let (mut ok, mut degraded, mut failed) = (0usize, 0usize, 0usize);
+    let t0 = Instant::now();
+    for i in 0..reads {
+        if i % 4 == 3 {
+            match client.query_best_ancestor(&probe) {
+                Ok(d) if d.is_partial() => degraded += 1,
+                Ok(_) => ok += 1,
+                Err(_) => failed += 1,
+            }
+        } else {
+            match client.load_model(ModelId((i % models) as u64 + 1)) {
+                Ok(_) => ok += 1,
+                Err(_) => failed += 1,
+            }
+        }
+    }
+    (ok, degraded, failed, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = Args::parse();
+    let providers: usize = args.get("providers", 4);
+    let models: usize = args.get("models", if args.flag("full") { 96 } else { 24 });
+    let reads: usize = args.get("reads", if args.flag("full") { 800 } else { 200 });
+    let json_path: String = args.get("json", String::new());
+
+    banner(
+        "Replication A/B",
+        "R-way placement: write cost vs availability under one provider down",
+    );
+    println!(
+        "{providers} providers, {models} models stored, {reads} reads (3:1 fetch:probe) \
+         with provider 1 held down; factor 1 vs factor 2"
+    );
+
+    let points: Vec<Point> = [1usize, 2]
+        .iter()
+        .map(|&factor| run_point(factor, providers, models, reads))
+        .collect();
+
+    println!();
+    print_table(
+        &[
+            "factor",
+            "store MB/s",
+            "reads/s",
+            "ok",
+            "degraded",
+            "failed",
+            "failovers",
+            "repaired",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.factor.to_string(),
+                    f1(p.store_mbps),
+                    f1(p.reads_per_s),
+                    p.read_ok.to_string(),
+                    p.read_degraded.to_string(),
+                    p.read_failed.to_string(),
+                    p.read_failovers.to_string(),
+                    p.repair_synced.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let (r1, r2) = (&points[0], &points[1]);
+    let avail = |p: &Point| 100.0 * p.read_ok as f64 / reads as f64;
+    println!();
+    println!(
+        "availability under fault: factor 1 = {:.1}% ({} failed, {} degraded), \
+         factor 2 = {:.1}%; write cost of mirroring: {:.2}x store time",
+        avail(r1),
+        r1.read_failed,
+        r1.read_degraded,
+        avail(r2),
+        r2.store_s / r1.store_s
+    );
+
+    if !json_path.is_empty() {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"factor\": {}, \"store_s\": {}, \"store_mbps\": {}, \
+                     \"read_s\": {}, \"reads_per_s\": {}, \"read_ok\": {}, \
+                     \"read_degraded\": {}, \"read_failed\": {}, \
+                     \"availability_pct\": {}, \"read_failovers\": {}, \
+                     \"repair_models_synced\": {}}}",
+                    p.factor,
+                    f2(p.store_s),
+                    f1(p.store_mbps),
+                    f2(p.read_s),
+                    f1(p.reads_per_s),
+                    p.read_ok,
+                    p.read_degraded,
+                    p.read_failed,
+                    f1(avail(p)),
+                    p.read_failovers,
+                    p.repair_synced
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"figure\": \"replication_ab\",\n  \"providers\": {providers},\n  \
+             \"models\": {models},\n  \"reads\": {reads},\n  \"points\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        if let Some(parent) = std::path::Path::new(&json_path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&json_path, json).expect("write --json output");
+        println!("wrote {json_path}");
+    }
+}

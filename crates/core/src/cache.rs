@@ -7,6 +7,14 @@
 //! NAS, where good models parent many children) skip the fabric
 //! entirely. Tensors are immutable once stored, so the only invalidation
 //! concern is retirement — handled by [`CachingClient::retire_model`].
+//!
+//! The cache is keyed by [`TensorKey`] alone and is therefore
+//! replica-agnostic: under a replicated deployment the inner client may
+//! satisfy a miss from any replica of the key's owner (read failover),
+//! and the cached bytes are identical regardless of which replica served
+//! them — replication never needs a cache flush. A hit also absorbs
+//! provider loss entirely: a tensor already cached is served even while
+//! every replica of its chain is down.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};

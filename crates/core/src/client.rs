@@ -22,6 +22,7 @@ use serde::Serialize;
 
 use crate::messages::*;
 use crate::owner_map::OwnerMap;
+use crate::replication::ReplicationPolicy;
 
 /// Client-facing errors, structured so callers can branch on failure
 /// class instead of parsing strings. [`EvoError::is_transient`] mirrors
@@ -184,6 +185,7 @@ pub struct EvoStoreClientBuilder {
     providers: Vec<EndpointId>,
     retry: RetryPolicy,
     min_quorum: Option<usize>,
+    replication: ReplicationPolicy,
 }
 
 impl EvoStoreClientBuilder {
@@ -220,6 +222,20 @@ impl EvoStoreClientBuilder {
         self
     }
 
+    /// Keep `factor` replicas of every model (successor-chain placement,
+    /// [`ReplicationPolicy`]). Must match the deployment's policy —
+    /// [`crate::deployment::Deployment::client_builder`] pre-wires it.
+    pub fn replication_factor(mut self, factor: usize) -> Self {
+        self.replication = ReplicationPolicy::new(factor);
+        self
+    }
+
+    /// Replace the whole replica placement policy.
+    pub fn replication(mut self, policy: ReplicationPolicy) -> Self {
+        self.replication = policy;
+        self
+    }
+
     /// Build the client. Panics when no providers were configured.
     pub fn build(self) -> EvoStoreClient {
         assert!(!self.providers.is_empty(), "deployment has no providers");
@@ -229,6 +245,7 @@ impl EvoStoreClientBuilder {
             providers: Arc::new(self.providers),
             retry: self.retry,
             min_quorum: self.min_quorum.unwrap_or(n).clamp(1, n),
+            replication: self.replication,
             telemetry: Arc::new(crate::telemetry::ClientTelemetry::new()),
             pending_decrements: Arc::new(Mutex::new(Vec::new())),
         }
@@ -242,6 +259,7 @@ pub struct EvoStoreClient {
     providers: Arc<Vec<EndpointId>>,
     retry: RetryPolicy,
     min_quorum: usize,
+    replication: ReplicationPolicy,
     telemetry: Arc<crate::telemetry::ClientTelemetry>,
     /// Refcount decrements that failed transiently, awaiting re-issue
     /// (shared across clones so any handle can flush them).
@@ -258,6 +276,7 @@ impl EvoStoreClient {
             providers: Vec::new(),
             retry: RetryPolicy::default().with_timeout(Duration::from_secs(30)),
             min_quorum: None,
+            replication: ReplicationPolicy::default(),
         }
     }
 
@@ -287,9 +306,20 @@ impl EvoStoreClient {
         self.providers.len()
     }
 
-    /// The provider hosting `model`'s metadata and self-owned tensors.
-    fn provider_of(&self, model: ModelId) -> EndpointId {
-        self.providers[model.provider_for(self.providers.len())]
+    /// The replica placement policy in effect.
+    pub fn replication(&self) -> ReplicationPolicy {
+        self.replication
+    }
+
+    /// The replica chain hosting `model`'s metadata and self-owned
+    /// tensors, primary first (successor chain over the static hash
+    /// ring).
+    fn replicas_of(&self, model: ModelId) -> Vec<EndpointId> {
+        self.replication
+            .replicas(model, self.providers.len())
+            .into_iter()
+            .map(|i| self.providers[i])
+            .collect()
     }
 
     /// Typed unary call under this client's retry policy.
@@ -310,27 +340,29 @@ impl EvoStoreClient {
         .map_err(EvoError::from)
     }
 
-    /// Issue the same method with per-target requests to many providers in
-    /// parallel (each leg retried per policy); fail if any leg fails.
-    fn par_calls<Req, Resp>(
+    /// Typed unary call that walks a replica chain until one member
+    /// answers, counting the failover in telemetry. Fails over on *any*
+    /// error — handler errors included, because a replica that missed a
+    /// write answers "not found" while its siblings hold the data.
+    fn unary_failover<Req: Serialize, Resp: DeserializeOwned>(
         &self,
+        targets: &[EndpointId],
         method: &str,
-        reqs: Vec<(EndpointId, Req)>,
-    ) -> Result<Vec<(EndpointId, Resp)>>
-    where
-        Req: Serialize + Sync,
-        Resp: DeserializeOwned + Send,
-    {
-        evostore_rpc::fan_out(
+        req: &Req,
+    ) -> Result<Resp> {
+        let (_, resp, skipped) = evostore_rpc::unary_failover(
             &self.fabric,
-            &reqs,
+            targets,
             method,
+            req,
             &self.retry,
             Some(&self.telemetry.rpc),
         )
-        .into_iter()
-        .map(|(ep, r)| r.map(|resp| (ep, resp)).map_err(EvoError::from))
-        .collect()
+        .map_err(EvoError::from)?;
+        if skipped > 0 {
+            self.telemetry.note_read_failover();
+        }
+        Ok(resp)
     }
 
     /// Broadcast `req` to every provider, apply quorum semantics:
@@ -360,7 +392,20 @@ impl EvoStoreClient {
                 Err(e) => return Err(e.into()),
             }
         }
-        if replies.len() < self.min_quorum {
+        // Replicated coverage: when every model still has at least one
+        // reachable replica, the reachable catalogs jointly cover the
+        // full deployment — the answer is complete, not degraded, and
+        // quorum does not apply.
+        if !unreachable.is_empty() {
+            let down: Vec<usize> = unreachable
+                .iter()
+                .filter_map(|ep| self.providers.iter().position(|p| p == ep))
+                .collect();
+            if self.replication.fully_covers(self.providers.len(), &down) {
+                unreachable.clear();
+            }
+        }
+        if replies.len() < self.min_quorum && !unreachable.is_empty() {
             return Err(EvoError::PartialFailure {
                 failed: unreachable,
             });
@@ -371,17 +416,18 @@ impl EvoStoreClient {
         Ok((replies, unreachable))
     }
 
-    /// Group tensor keys by the provider hosting them.
-    fn group_by_provider(
+    /// Group tensor keys by *every* replica of their owning model — the
+    /// write-side fan-out (pins, decrements go to each copy).
+    fn group_by_replicas(
         &self,
         keys: impl IntoIterator<Item = TensorKey>,
     ) -> HashMap<EndpointId, Vec<TensorKey>> {
+        let n = self.providers.len();
         let mut groups: HashMap<EndpointId, Vec<TensorKey>> = HashMap::new();
         for key in keys {
-            groups
-                .entry(self.provider_of(key.owner))
-                .or_default()
-                .push(key);
+            for idx in self.replication.replicas(key.owner, n) {
+                groups.entry(self.providers[idx]).or_default().push(key);
+            }
         }
         groups
     }
@@ -391,10 +437,11 @@ impl EvoStoreClient {
     /// Store a model given its owner map and the tensors it owns itself.
     ///
     /// Protocol (§4.1): (1) pin every inherited tensor by incrementing its
-    /// reference count on its hosting provider — in parallel; (2) push the
-    /// consolidated new tensors plus metadata to the model's own provider
-    /// in a single bulk operation. If the store fails after pinning, the
-    /// pins are rolled back.
+    /// reference count on *every replica* hosting a copy — in parallel;
+    /// (2) push the consolidated new tensors plus metadata to the model's
+    /// replica chain (primary assigns the write stamp, mirrors receive
+    /// it). If the store fails after pinning, the pins that applied are
+    /// rolled back.
     pub fn store_model(
         &self,
         graph: CompactGraph,
@@ -404,34 +451,74 @@ impl EvoStoreClient {
         new_tensors: &HashMap<TensorKey, TensorData>,
     ) -> Result<StoreOutcome> {
         let _timer = OpTimer::new(&self.telemetry.store);
-        // 1. Pin inherited tensors.
+        // 1. Pin inherited tensors on every replica. Pins are strict —
+        // all-or-fail — because a replica that misses a pin would
+        // reclaim a tensor the new model still references.
         let inherited: Vec<TensorKey> = owner_map
             .inherited()
             .flat_map(|(_, o)| o.tensor_keys().collect::<Vec<_>>())
             .collect();
-        let pin_groups = self.group_by_provider(inherited.iter().copied());
-        let pin_reqs: Vec<(EndpointId, RefsRequest)> = pin_groups
-            .iter()
-            .map(|(&ep, keys)| (ep, RefsRequest::new(keys.clone())))
+        let pin_reqs: Vec<(EndpointId, RefsRequest)> = self
+            .group_by_replicas(inherited.iter().copied())
+            .into_iter()
+            .map(|(ep, keys)| (ep, RefsRequest::new(keys)))
             .collect();
+        let mut pinned: Vec<(EndpointId, Vec<TensorKey>)> = Vec::new();
         if !pin_reqs.is_empty() {
-            // Propagate the pin failure as-is: a transient error here
-            // means the whole store is retryable by the caller.
-            let _: Vec<(EndpointId, RefsReply)> = self.par_calls(methods::INCR_REFS, pin_reqs)?;
+            let results = evostore_rpc::fan_out::<RefsRequest, RefsReply>(
+                &self.fabric,
+                &pin_reqs,
+                methods::INCR_REFS,
+                &self.retry,
+                Some(&self.telemetry.rpc),
+            );
+            let mut first_err: Option<EvoError> = None;
+            for ((ep, req), (_, result)) in pin_reqs.iter().zip(results) {
+                match result {
+                    Ok(_) => pinned.push((*ep, req.keys.clone())),
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e.into());
+                        }
+                    }
+                }
+            }
+            // Propagate the pin failure as-is (a transient error means
+            // the whole store is retryable by the caller), rolling back
+            // only the legs that actually applied.
+            if let Some(e) = first_err {
+                self.unpin(&pinned);
+                return Err(e);
+            }
         }
 
         // 2. Consolidate and push.
         let result = self.push_store(graph, owner_map, parent, quality, new_tensors);
 
         // 3. Roll back pins on failure.
-        if result.is_err() && !pin_groups.is_empty() {
-            let unpin: Vec<(EndpointId, RefsRequest)> = pin_groups
-                .into_iter()
-                .map(|(ep, keys)| (ep, RefsRequest::new(keys)))
-                .collect();
-            let _ = self.par_calls::<_, RefsReply>(methods::DECR_REFS, unpin);
+        if result.is_err() {
+            self.unpin(&pinned);
         }
         result
+    }
+
+    /// Best-effort rollback of pin legs that succeeded before a store
+    /// aborted.
+    fn unpin(&self, pinned: &[(EndpointId, Vec<TensorKey>)]) {
+        if pinned.is_empty() {
+            return;
+        }
+        let reqs: Vec<(EndpointId, RefsRequest)> = pinned
+            .iter()
+            .map(|(ep, keys)| (*ep, RefsRequest::new(keys.clone())))
+            .collect();
+        let _ = evostore_rpc::fan_out::<RefsRequest, RefsReply>(
+            &self.fabric,
+            &reqs,
+            methods::DECR_REFS,
+            &self.retry,
+            Some(&self.telemetry.rpc),
+        );
     }
 
     fn push_store(
@@ -474,16 +561,75 @@ impl EvoStoreClient {
             quality,
             manifest,
             bulk: bulk.0,
+            timestamp: None,
         };
-        let reply: Result<StoreModelReply> =
-            self.unary(self.provider_of(model), methods::STORE, &req);
+        // First leg: walk the chain until one replica accepts and
+        // assigns the write stamp. Remaining members then mirror the
+        // stamped record; a mirror leg that fails transiently leaves the
+        // model under-replicated (recorded in telemetry, healed by
+        // [`crate::deployment::Deployment::repair`]) rather than failing
+        // the store. The bulk region stays exposed until every leg has
+        // settled — mirrors read it too.
+        let chain = self.replicas_of(model);
+        let outcome = (|| -> Result<StoreOutcome> {
+            let (served_by, reply, _skipped) = evostore_rpc::unary_failover::<_, StoreModelReply>(
+                &self.fabric,
+                &chain,
+                methods::STORE,
+                &req,
+                &self.retry,
+                Some(&self.telemetry.rpc),
+            )
+            .map_err(EvoError::from)?;
+            let mirrors: Vec<(EndpointId, StoreModelRequest)> = chain
+                .iter()
+                .filter(|&&ep| ep != served_by)
+                .map(|&ep| {
+                    (
+                        ep,
+                        StoreModelRequest {
+                            timestamp: Some(reply.timestamp),
+                            ..req.clone()
+                        },
+                    )
+                })
+                .collect();
+            if !mirrors.is_empty() {
+                let results = evostore_rpc::fan_out::<StoreModelRequest, StoreModelReply>(
+                    &self.fabric,
+                    &mirrors,
+                    methods::STORE,
+                    &self.retry,
+                    Some(&self.telemetry.rpc),
+                );
+                let mut debt = 0u64;
+                let mut permanent: Option<EvoError> = None;
+                for (_, result) in results {
+                    match result {
+                        Ok(_) => {}
+                        Err(e) if e.is_transient() => debt += 1,
+                        Err(e) => {
+                            if permanent.is_none() {
+                                permanent = Some(e.into());
+                            }
+                        }
+                    }
+                }
+                if let Some(e) = permanent {
+                    return Err(e);
+                }
+                if debt > 0 {
+                    self.telemetry.note_under_replicated_stores(debt);
+                }
+            }
+            Ok(StoreOutcome {
+                bytes_written: reply.bytes_stored,
+                tensors_written,
+                timestamp: reply.timestamp,
+            })
+        })();
         self.fabric.bulk_release(bulk);
-        let reply = reply?;
-        Ok(StoreOutcome {
-            bytes_written: reply.bytes_stored,
-            tensors_written,
-            timestamp: reply.timestamp,
-        })
+        outcome
     }
 
     /// Store a from-scratch model with randomly initialized parameters.
@@ -574,10 +720,10 @@ impl EvoStoreClient {
         })
     }
 
-    /// Fetch model metadata.
+    /// Fetch model metadata, failing over along the replica chain.
     pub fn get_meta(&self, model: ModelId) -> Result<ModelMetaReply> {
-        self.unary(
-            self.provider_of(model),
+        self.unary_failover(
+            &self.replicas_of(model),
             methods::GET_META,
             &GetMetaRequest { model },
         )
@@ -585,51 +731,98 @@ impl EvoStoreClient {
 
     // ---- data plane ------------------------------------------------------
 
-    /// Fetch an arbitrary set of tensors, grouped by provider and pulled
-    /// in parallel via one-sided bulk reads.
+    /// Fetch an arbitrary set of tensors, grouped by owning chain and
+    /// pulled in parallel via one-sided bulk reads. Each group is served
+    /// by its primary, failing over to the successor replicas when the
+    /// primary is down, missed the write, or returned a corrupt payload.
     pub fn fetch_tensors(&self, keys: &[TensorKey]) -> Result<HashMap<TensorKey, TensorData>> {
         let _timer = OpTimer::new(&self.telemetry.fetch);
-        let groups = self.group_by_provider(keys.iter().copied());
-        let reqs: Vec<(EndpointId, ReadTensorsRequest)> = groups
-            .into_iter()
-            .map(|(ep, keys)| (ep, ReadTensorsRequest { keys }))
-            .collect();
-        let replies: Vec<(EndpointId, ReadTensorsReply)> = self.par_calls(methods::READ, reqs)?;
-
-        let mut out = HashMap::with_capacity(keys.len());
-        for (_, reply) in replies {
-            let handle = BulkHandle(reply.bulk);
-            let region = self.fabric.bulk_get(handle)?;
-            // Decode (and integrity-check) every manifest entry across
-            // the pool; the region is released exactly once below, on
-            // success and error alike.
-            let decoded: Vec<Result<(TensorKey, TensorData)>> = reply
-                .manifest
-                .par_iter()
-                .map(|entry| {
-                    let (off, len) = (entry.offset as usize, entry.len as usize);
-                    if off + len > region.len() {
-                        return Err(EvoError::Protocol(format!(
-                            "read manifest entry {} out of bounds",
-                            entry.key
-                        )));
-                    }
-                    let tensor = read_tensor(region.slice(off..off + len)).map_err(|_| {
-                        EvoError::Corrupt {
-                            key: entry.key.to_string(),
-                        }
-                    })?;
-                    Ok((entry.key, tensor))
-                })
+        let n = self.providers.len();
+        let mut groups: HashMap<usize, Vec<TensorKey>> = HashMap::new();
+        for key in keys {
+            groups
+                .entry(key.owner.provider_for(n))
+                .or_default()
+                .push(*key);
+        }
+        let groups: Vec<(usize, Vec<TensorKey>)> = groups.into_iter().collect();
+        let fetched: Vec<Result<Vec<(TensorKey, TensorData)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|(primary, keys)| scope.spawn(move || self.fetch_group(*primary, keys)))
                 .collect();
-            // One-sided completion: the reader withdraws the region.
-            self.fabric.bulk_release(handle);
-            for item in decoded {
-                let (key, tensor) = item?;
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fetch leg panicked"))
+                .collect()
+        });
+        let mut out = HashMap::with_capacity(keys.len());
+        for group in fetched {
+            for (key, tensor) in group? {
                 out.insert(key, tensor);
             }
         }
         Ok(out)
+    }
+
+    /// Fetch one chain's keys from the first replica that can serve them.
+    fn fetch_group(
+        &self,
+        primary: usize,
+        keys: &[TensorKey],
+    ) -> Result<Vec<(TensorKey, TensorData)>> {
+        let chain = self.replication.chain(primary, self.providers.len());
+        let req = ReadTensorsRequest {
+            keys: keys.to_vec(),
+        };
+        let mut last_err = None;
+        for (attempt, &idx) in chain.iter().enumerate() {
+            match self.fetch_from(self.providers[idx], &req) {
+                Ok(tensors) => {
+                    if attempt > 0 {
+                        self.telemetry.note_read_failover();
+                    }
+                    return Ok(tensors);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("replica chain is never empty"))
+    }
+
+    /// One READ + bulk pull + decode against a single provider.
+    fn fetch_from(
+        &self,
+        target: EndpointId,
+        req: &ReadTensorsRequest,
+    ) -> Result<Vec<(TensorKey, TensorData)>> {
+        let reply: ReadTensorsReply = self.unary(target, methods::READ, req)?;
+        let handle = BulkHandle(reply.bulk);
+        let region = self.fabric.bulk_get(handle)?;
+        // Decode (and integrity-check) every manifest entry across
+        // the pool; the region is released exactly once below, on
+        // success and error alike.
+        let decoded: Vec<Result<(TensorKey, TensorData)>> = reply
+            .manifest
+            .par_iter()
+            .map(|entry| {
+                let (off, len) = (entry.offset as usize, entry.len as usize);
+                if off + len > region.len() {
+                    return Err(EvoError::Protocol(format!(
+                        "read manifest entry {} out of bounds",
+                        entry.key
+                    )));
+                }
+                let tensor =
+                    read_tensor(region.slice(off..off + len)).map_err(|_| EvoError::Corrupt {
+                        key: entry.key.to_string(),
+                    })?;
+                Ok((entry.key, tensor))
+            })
+            .collect();
+        // One-sided completion: the reader withdraws the region.
+        self.fabric.bulk_release(handle);
+        decoded.into_iter().collect()
     }
 
     /// Fetch the tensors of an LCP prefix from the ancestor (the transfer
@@ -685,8 +878,8 @@ impl EvoStoreClient {
         elem_offset: u64,
         elem_count: u64,
     ) -> Result<TensorData> {
-        let reply: ReadRangeReply = self.unary(
-            self.provider_of(key.owner),
+        let reply: ReadRangeReply = self.unary_failover(
+            &self.replicas_of(key.owner),
             methods::READ_RANGE,
             &ReadRangeRequest {
                 key,
@@ -723,8 +916,21 @@ impl EvoStoreClient {
         for reply in &replies {
             self.telemetry.note_index_stats(reply.stats);
         }
-        let mut acc: Vec<(ModelId, f64)> = replies.into_iter().flat_map(|r| r.matches).collect();
-        acc.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Replicas answer for the same catalogs — dedup by model before
+        // ranking (keeping the best-reported quality).
+        let mut best: HashMap<ModelId, f64> = HashMap::new();
+        for (model, quality) in replies.into_iter().flat_map(|r| r.matches) {
+            let entry = best.entry(model).or_insert(quality);
+            if quality > *entry {
+                *entry = quality;
+            }
+        }
+        let mut acc: Vec<(ModelId, f64)> = best.into_iter().collect();
+        acc.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         Ok(Degraded {
             value: acc,
             unreachable,
@@ -753,15 +959,63 @@ impl EvoStoreClient {
         }
         let tensors_written = manifest.len();
         let bulk = self.fabric.bulk_expose(buf.freeze());
-        let reply: Result<StoreModelReply> = self.unary(
-            self.provider_of(model),
-            methods::STORE_OPTIMIZER,
-            &StoreOptimizerRequest {
-                model,
-                manifest,
-                bulk: bulk.0,
-            },
-        );
+        let req = StoreOptimizerRequest {
+            model,
+            manifest,
+            bulk: bulk.0,
+        };
+        // Every replica keeps its own optimizer copy. One success is
+        // required; transient mirror failures leave the attachment
+        // under-replicated (healed by repair's optimizer-aware digest
+        // comparison).
+        let chain = self.replicas_of(model);
+        let reply: Result<StoreModelReply> = {
+            let legs = evostore_rpc::fan_out::<StoreOptimizerRequest, StoreModelReply>(
+                &self.fabric,
+                &chain
+                    .iter()
+                    .map(|&ep| (ep, req.clone()))
+                    .collect::<Vec<_>>(),
+                methods::STORE_OPTIMIZER,
+                &self.retry,
+                Some(&self.telemetry.rpc),
+            );
+            let mut reply: Option<StoreModelReply> = None;
+            let mut debt = 0u64;
+            let mut first_err: Option<EvoError> = None;
+            for (_, result) in legs {
+                match result {
+                    Ok(r) => {
+                        if reply.is_none() {
+                            reply = Some(r);
+                        }
+                    }
+                    // A mirror that missed the model's store errors
+                    // permanently here ("model not found") — with a
+                    // successful sibling leg that is under-replication,
+                    // not a caller error.
+                    Err(e) if e.is_transient() => debt += 1,
+                    Err(e) => {
+                        debt += 1;
+                        if first_err.is_none() {
+                            first_err = Some(e.into());
+                        }
+                    }
+                }
+            }
+            match (reply, first_err) {
+                (Some(r), _) => {
+                    if debt > 0 {
+                        self.telemetry.note_under_replicated_stores(debt);
+                    }
+                    Ok(r)
+                }
+                (None, Some(e)) => Err(e),
+                (None, None) => Err(EvoError::PartialFailure {
+                    failed: chain.clone(),
+                }),
+            }
+        };
         self.fabric.bulk_release(bulk);
         let reply = reply?;
         Ok(StoreOutcome {
@@ -774,8 +1028,8 @@ impl EvoStoreClient {
     /// Fetch a model's optimizer state, in the order it was stored.
     /// Empty when the model has none.
     pub fn load_optimizer_state(&self, model: ModelId) -> Result<Vec<TensorData>> {
-        let reply: ReadTensorsReply = self.unary(
-            self.provider_of(model),
+        let reply: ReadTensorsReply = self.unary_failover(
+            &self.replicas_of(model),
             methods::LOAD_OPTIMIZER,
             &LoadOptimizerRequest { model },
         )?;
@@ -824,17 +1078,63 @@ impl EvoStoreClient {
         let _timer = OpTimer::new(&self.telemetry.retire);
         // Opportunistically drain decrements parked by earlier failures.
         let _ = self.flush_pending_decrements();
-        let reply: RetireMetaReply = self.unary(
-            self.provider_of(model),
+        // Drop the record on every replica. One success suffices: a
+        // replica that is down keeps a stale record, which the tombstone
+        // recorded by its reachable siblings removes during repair.
+        let chain = self.replicas_of(model);
+        let meta_legs = evostore_rpc::fan_out::<RetireMetaRequest, RetireMetaReply>(
+            &self.fabric,
+            &chain
+                .iter()
+                .map(|&ep| (ep, RetireMetaRequest { model }))
+                .collect::<Vec<_>>(),
             methods::RETIRE_META,
-            &RetireMetaRequest { model },
-        )?;
+            &self.retry,
+            Some(&self.telemetry.rpc),
+        );
+        let mut reply: Option<RetireMetaReply> = None;
+        let mut first_err: Option<EvoError> = None;
+        for (_, result) in meta_legs {
+            match result {
+                Ok(r) => {
+                    if reply.is_none() {
+                        reply = Some(r);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e.into());
+                    }
+                }
+            }
+        }
+        let Some(reply) = reply else {
+            return Err(first_err.expect("replica chain is never empty"));
+        };
         let keys = reply.owner_map.all_tensor_keys();
         let refs_dropped = keys.len();
-        let groups = self.group_by_provider(keys);
+        // Decrement on every replica of every referenced key. Each leg
+        // carries a *deterministic* op id derived from (model, record
+        // timestamp, target provider): if the leg parks and repair
+        // settles the counts first, the eventual re-issue hits the fence
+        // the repair pass seeded and no-ops instead of double-applying.
+        let groups = self.group_by_replicas(keys);
         let reqs: Vec<(EndpointId, RefsRequest)> = groups
             .into_iter()
-            .map(|(ep, keys)| (ep, RefsRequest::new(keys)))
+            .map(|(ep, keys)| {
+                let idx = self
+                    .providers
+                    .iter()
+                    .position(|&p| p == ep)
+                    .expect("grouped endpoint is a provider");
+                (
+                    ep,
+                    RefsRequest::with_op_id(
+                        RefsRequest::retirement_op_id(model, reply.timestamp, idx),
+                        keys,
+                    ),
+                )
+            })
             .collect();
         let results = evostore_rpc::fan_out::<RefsRequest, RefsReply>(
             &self.fabric,
@@ -1002,6 +1302,21 @@ impl EvoStoreClient {
             return Err(EvoError::PartialFailure { failed });
         }
         Ok(acc)
+    }
+}
+
+impl Drop for EvoStoreClient {
+    /// Last-handle cleanup: when the final clone of a client goes away
+    /// with refcount decrements still parked, flush them best-effort so
+    /// a short-lived client doesn't leak pins it could still settle.
+    /// Failures are ignored — the decrements are idempotent and repair
+    /// recomputes authoritative counts regardless.
+    fn drop(&mut self) {
+        if Arc::strong_count(&self.pending_decrements) == 1
+            && !self.pending_decrements.lock().is_empty()
+        {
+            let _ = self.flush_pending_decrements();
+        }
     }
 }
 

@@ -1,13 +1,23 @@
-//! Deployment helper: spin up a fabric of providers plus clients.
+//! Deployment helper: spin up a fabric of providers plus clients, and
+//! run deployment-wide maintenance (GC audit, anti-entropy repair).
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use std::time::Duration;
 
 use evostore_kv::{KvBackend, LogStore, MemPoolStore};
-use evostore_rpc::{EndpointId, Fabric};
+use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy};
+use evostore_tensor::{ModelId, TensorKey};
 
 use crate::client::EvoStoreClient;
+use crate::messages::{
+    methods, DigestReply, DigestRequest, GetMetaRequest, ModelMetaReply, ReadTensorsReply,
+    ReadTensorsRequest, SyncModelReply, SyncModelRequest, SyncRefsReply, SyncRefsRequest,
+    SyncRetireReply, SyncRetireRequest, Tombstone,
+};
 use crate::provider::{Provider, ProviderState};
+use crate::replication::ReplicationPolicy;
 
 /// Which KV backend providers persist tensors into.
 #[derive(Debug, Clone)]
@@ -36,6 +46,9 @@ pub struct DeploymentConfig {
     pub service_threads: usize,
     /// Tensor storage backend.
     pub backend: BackendKind,
+    /// Replica placement policy (factor 1 = the paper's unreplicated
+    /// static hashing).
+    pub replication: ReplicationPolicy,
 }
 
 impl Default for DeploymentConfig {
@@ -44,6 +57,7 @@ impl Default for DeploymentConfig {
             providers: 4,
             service_threads: 2,
             backend: BackendKind::Memory,
+            replication: ReplicationPolicy::default(),
         }
     }
 }
@@ -53,6 +67,29 @@ pub struct Deployment {
     fabric: Arc<Fabric>,
     providers: Vec<Provider>,
     provider_ids: Vec<EndpointId>,
+    replication: ReplicationPolicy,
+}
+
+/// What one [`Deployment::repair`] pass did.
+#[derive(Debug, Default, Clone)]
+pub struct RepairReport {
+    /// Providers that did not answer the digest broadcast (their
+    /// replicas could not be repaired this pass).
+    pub unreachable: Vec<EndpointId>,
+    /// Records re-replicated onto providers that missed or held stale
+    /// copies of them.
+    pub models_synced: usize,
+    /// Stale records removed because a sibling replica witnessed the
+    /// retirement.
+    pub retirements_applied: usize,
+    /// Tensor reference counts corrected to the authoritative value.
+    pub refs_adjusted: usize,
+    /// Orphaned tensor payloads reclaimed (only when every provider
+    /// contributed a digest).
+    pub orphans_removed: usize,
+    /// Referenced payloads that could not be installed because no live
+    /// replica holds them (data loss beyond the replication factor).
+    pub missing_payloads: usize,
 }
 
 impl Deployment {
@@ -93,6 +130,7 @@ impl Deployment {
                 Arc::clone(&fabric),
                 i,
                 cfg.providers,
+                cfg.replication,
                 Arc::clone(&clock),
                 backend,
                 meta,
@@ -104,6 +142,7 @@ impl Deployment {
             fabric,
             providers,
             provider_ids,
+            replication: cfg.replication,
         }
     }
 
@@ -116,24 +155,41 @@ impl Deployment {
         if matches!(cfg.backend, BackendKind::Memory) {
             return Err("reopen requires a persistent (Log) backend".into());
         }
+        let rep = cfg.replication;
         let dep = Deployment::new(cfg);
         let states = dep.provider_states();
         for s in &states {
             s.recover_catalog();
         }
-        // Replay references: every owner-map key and optimizer key, from
-        // every catalog, increments its hosting provider's count.
+        // Replay references: every owner-map key and optimizer key of
+        // every *distinct* model (replicas hold identical records after
+        // a clean shutdown, so the union catalog dedups them) increments
+        // the count on every provider of the key's replica chain.
         let n = states.len();
+        let mut union: HashMap<ModelId, (u64, Vec<TensorKey>)> = HashMap::new();
         for s in &states {
-            for map in s.owner_maps() {
-                for key in map.all_tensor_keys() {
-                    let host = key.owner.provider_for(n);
-                    states[host].replay_ref(key)?;
+            for (model, ts, map, opt) in s.catalog_entries() {
+                match union.get(&model) {
+                    Some(&(uts, _)) if uts == ts => {}
+                    Some(&(uts, _)) => {
+                        return Err(format!(
+                            "model {model}: replica timestamps diverge after reopen \
+                             ({uts} vs {ts}) — run repair()"
+                        ));
+                    }
+                    None => {
+                        let mut keys = map.all_tensor_keys();
+                        keys.extend(opt);
+                        union.insert(model, (ts, keys));
+                    }
                 }
             }
-            for key in s.optimizer_key_refs() {
-                let host = key.owner.provider_for(n);
-                states[host].replay_ref(key)?;
+        }
+        for (_, keys) in union.values() {
+            for key in keys {
+                for host in rep.replicas(key.owner, n) {
+                    states[host].replay_ref(*key)?;
+                }
             }
         }
         for s in &states {
@@ -152,6 +208,21 @@ impl Deployment {
         })
     }
 
+    /// In-memory deployment with `n` providers keeping `factor` replicas
+    /// of every model (test/example shorthand).
+    pub fn in_memory_replicated(n: usize, factor: usize) -> Deployment {
+        Deployment::new(DeploymentConfig {
+            providers: n,
+            replication: ReplicationPolicy::new(factor),
+            ..Default::default()
+        })
+    }
+
+    /// The replica placement policy in effect.
+    pub fn replication(&self) -> ReplicationPolicy {
+        self.replication
+    }
+
     /// A new client handle (cheap; one per worker thread), with the
     /// default resilience policy.
     pub fn client(&self) -> EvoStoreClient {
@@ -162,7 +233,9 @@ impl Deployment {
     /// providers — for callers that want a custom retry policy, call
     /// timeout, or quorum.
     pub fn client_builder(&self) -> crate::client::EvoStoreClientBuilder {
-        EvoStoreClient::builder(Arc::clone(&self.fabric)).providers(self.provider_ids.clone())
+        EvoStoreClient::builder(Arc::clone(&self.fabric))
+            .providers(self.provider_ids.clone())
+            .replication(self.replication)
     }
 
     /// The underlying fabric.
@@ -192,45 +265,362 @@ impl Deployment {
         }
     }
 
-    /// Cross-provider garbage-collection audit: the reference count of
-    /// every hosted tensor must equal the number of cataloged models
-    /// whose owner maps reference it, and no unreferenced tensor may
-    /// remain stored.
+    /// Cross-provider garbage-collection audit. Replication-aware: the
+    /// catalogs are deduplicated into a union (replicas of a record must
+    /// agree on its timestamp and optimizer state), every referenced
+    /// tensor must be hosted — with a reference count equal to the
+    /// number of union models referencing it — on *every* member of its
+    /// owner's replica chain, and nothing may be hosted off-chain or
+    /// unreferenced.
     pub fn gc_audit(&self) -> Result<(), String> {
-        use std::collections::HashMap;
-        let mut expected: HashMap<evostore_tensor::TensorKey, u64> = HashMap::new();
-        for p in &self.providers {
-            for map in p.state.owner_maps() {
-                for key in map.all_tensor_keys() {
-                    *expected.entry(key).or_default() += 1;
+        let n = self.providers.len();
+        let rep = self.replication;
+        // Union catalog; replicas must agree.
+        let mut union: HashMap<ModelId, (u64, Vec<TensorKey>, Vec<TensorKey>)> = HashMap::new();
+        let mut held: Vec<HashSet<ModelId>> = vec![HashSet::new(); n];
+        for (i, p) in self.providers.iter().enumerate() {
+            for (model, ts, map, opt) in p.state.catalog_entries() {
+                held[i].insert(model);
+                match union.get(&model) {
+                    Some((uts, _, uopt)) => {
+                        if *uts != ts {
+                            return Err(format!(
+                                "model {model}: replica timestamps diverge ({uts} vs {ts} on \
+                                 provider {i}) — run repair()"
+                            ));
+                        }
+                        if *uopt != opt {
+                            return Err(format!(
+                                "model {model}: replica optimizer states diverge on provider {i} \
+                                 — run repair()"
+                            ));
+                        }
+                    }
+                    None => {
+                        union.insert(model, (ts, map.all_tensor_keys(), opt));
+                    }
                 }
             }
         }
-        for p in &self.providers {
-            for key in p.state.optimizer_key_refs() {
-                *expected.entry(key).or_default() += 1;
-            }
-        }
-        let mut hosted = 0usize;
-        for p in &self.providers {
-            p.state.audit_tensors()?;
-            for key in p.state.hosted_tensor_keys() {
-                hosted += 1;
-                let refs = p.state.tensor_refs(key);
-                let want = expected.get(&key).copied().unwrap_or(0);
-                if refs != want {
+        // Every record must be present on its full chain.
+        for &model in union.keys() {
+            for idx in rep.replicas(model, n) {
+                if !held[idx].contains(&model) {
                     return Err(format!(
-                        "tensor {key}: refcount {refs}, but {want} models reference it"
+                        "model {model} missing on replica provider {idx} — run repair()"
                     ));
                 }
             }
         }
-        if hosted != expected.len() {
-            return Err(format!(
-                "{hosted} tensors hosted but {} referenced by owner maps",
-                expected.len()
-            ));
+        // Expected global count per key (same on every hosting replica).
+        let mut expected: HashMap<TensorKey, u64> = HashMap::new();
+        for (_, ref_keys, opt_keys) in union.values() {
+            for key in ref_keys.iter().chain(opt_keys) {
+                *expected.entry(*key).or_default() += 1;
+            }
+        }
+        for (i, p) in self.providers.iter().enumerate() {
+            p.state.audit_tensors()?;
+            let hosted: HashSet<TensorKey> = p.state.hosted_tensor_keys().into_iter().collect();
+            for (&key, &want) in &expected {
+                if !rep.is_replica(key.owner, n, i) {
+                    continue;
+                }
+                if !hosted.contains(&key) {
+                    return Err(format!(
+                        "tensor {key} missing on replica provider {i} — run repair()"
+                    ));
+                }
+                let refs = p.state.tensor_refs(key);
+                if refs != want {
+                    return Err(format!(
+                        "tensor {key} on provider {i}: refcount {refs}, but {want} models \
+                         reference it"
+                    ));
+                }
+            }
+            for key in hosted {
+                if !expected.contains_key(&key) {
+                    return Err(format!(
+                        "tensor {key} hosted on provider {i} but referenced by no model"
+                    ));
+                }
+                if !rep.is_replica(key.owner, n, i) {
+                    return Err(format!(
+                        "tensor {key} hosted off its replica chain on provider {i}"
+                    ));
+                }
+            }
         }
         Ok(())
+    }
+
+    // ---- anti-entropy repair ---------------------------------------------
+
+    /// One anti-entropy pass over every reachable provider: exchange
+    /// digests, converge each replica chain on the newest incarnation of
+    /// every record, propagate witnessed retirements (fencing their
+    /// parked decrements), install authoritative reference counts, and —
+    /// when every provider contributed a digest — reclaim orphaned
+    /// payloads.
+    ///
+    /// An administrative pass: run it against a quiescent deployment
+    /// (no concurrent stores/retires), typically after a failed provider
+    /// comes back. Idempotent — a second pass on a healthy deployment
+    /// reports zero work.
+    pub fn repair(&self) -> Result<RepairReport, String> {
+        let retry = RetryPolicy::default().with_timeout(Duration::from_secs(30));
+        let n = self.provider_ids.len();
+        let rep = self.replication;
+        let mut report = RepairReport::default();
+
+        // 1. Digest every provider; remember who is unreachable.
+        let legs = evostore_rpc::broadcast::<_, DigestReply>(
+            &self.fabric,
+            &self.provider_ids,
+            methods::DIGEST,
+            &DigestRequest {},
+            &retry,
+            None,
+        )
+        .map_err(|e| format!("digest broadcast: {e}"))?;
+        let mut digests: HashMap<usize, DigestReply> = HashMap::new();
+        for (ep, leg) in legs {
+            match leg {
+                Ok(d) => {
+                    digests.insert(d.provider_index, d);
+                }
+                Err(e) if e.is_transient() => report.unreachable.push(ep),
+                Err(e) => return Err(format!("digest from {ep}: {e}")),
+            }
+        }
+        if digests.is_empty() {
+            return Err("no provider answered the digest broadcast".into());
+        }
+
+        // 2. Merge retirements: newest tombstone per model wins.
+        let mut tombstones: HashMap<ModelId, Tombstone> = HashMap::new();
+        for d in digests.values() {
+            for t in &d.tombstones {
+                let e = tombstones.entry(t.model).or_insert(*t);
+                if (t.record_timestamp, t.retired_at) > (e.record_timestamp, e.retired_at) {
+                    *e = *t;
+                }
+            }
+        }
+
+        // 3. Union catalog: newest incarnation of every record wins
+        // (optimizer attachment breaks equal-timestamp ties), remembering
+        // a live replica to copy payloads from; drop retired incarnations.
+        struct UnionEntry {
+            timestamp: u64,
+            ref_keys: Vec<TensorKey>,
+            optimizer_keys: Vec<TensorKey>,
+            source: usize,
+        }
+        let mut union: HashMap<ModelId, UnionEntry> = HashMap::new();
+        for (&idx, d) in &digests {
+            for m in &d.models {
+                let better = match union.get(&m.model) {
+                    None => true,
+                    Some(u) => {
+                        m.timestamp > u.timestamp
+                            || (m.timestamp == u.timestamp
+                                && m.optimizer_keys.len() > u.optimizer_keys.len())
+                    }
+                };
+                if better {
+                    union.insert(
+                        m.model,
+                        UnionEntry {
+                            timestamp: m.timestamp,
+                            ref_keys: m.ref_keys.clone(),
+                            optimizer_keys: m.optimizer_keys.clone(),
+                            source: idx,
+                        },
+                    );
+                }
+            }
+        }
+        union.retain(|model, u| {
+            tombstones
+                .get(model)
+                .map(|t| u.timestamp > t.record_timestamp)
+                .unwrap_or(true)
+        });
+
+        // 4. Authoritative global reference counts over live records.
+        let mut expected: HashMap<TensorKey, u64> = HashMap::new();
+        for u in union.values() {
+            for key in u.ref_keys.iter().chain(&u.optimizer_keys) {
+                *expected.entry(*key).or_default() += 1;
+            }
+        }
+
+        let tomb_list: Vec<Tombstone> = tombstones.values().copied().collect();
+        // Orphan pruning is only safe with a complete digest: with a
+        // provider missing, a key could look orphaned merely because
+        // every record referencing it lives on the unreachable provider.
+        let full_coverage = report.unreachable.is_empty();
+
+        // 5. Converge each live provider.
+        let mut indices: Vec<usize> = digests.keys().copied().collect();
+        indices.sort_unstable();
+        for idx in indices {
+            let ep = self.provider_ids[idx];
+            let digest = &digests[&idx];
+
+            // 5a. Propagate retirements first (removes stale records and
+            // fences their parked decrement legs).
+            if !tomb_list.is_empty() {
+                let reply: SyncRetireReply = evostore_rpc::unary(
+                    &self.fabric,
+                    ep,
+                    methods::SYNC_RETIRE,
+                    &SyncRetireRequest {
+                        tombstones: tomb_list.clone(),
+                    },
+                    &retry,
+                    None,
+                )
+                .map_err(|e| format!("sync_retire on provider {idx}: {e}"))?;
+                report.retirements_applied += reply.removed;
+            }
+
+            // 5b. Re-replicate records this provider should hold but
+            // missed (or holds stale).
+            let local: HashMap<ModelId, (u64, usize)> = digest
+                .models
+                .iter()
+                .map(|m| (m.model, (m.timestamp, m.optimizer_keys.len())))
+                .collect();
+            let mut to_sync: Vec<&ModelId> = union.keys().collect();
+            to_sync.sort_unstable();
+            for &model in to_sync {
+                let u = &union[&model];
+                if u.source == idx || !rep.replicas(model, n).contains(&idx) {
+                    continue;
+                }
+                let stale = match local.get(&model) {
+                    None => true,
+                    Some(&(ts, opt)) => {
+                        ts < u.timestamp || (ts == u.timestamp && opt < u.optimizer_keys.len())
+                    }
+                };
+                if !stale {
+                    continue;
+                }
+                match self.sync_model_to(model, &u.optimizer_keys, u.source, idx, &retry)? {
+                    true => report.models_synced += 1,
+                    false => report.missing_payloads += 1,
+                }
+            }
+
+            // 5c. Install authoritative counts for every key placed here;
+            // reclaim orphans when the digest was complete.
+            let mut entries: Vec<(TensorKey, u64)> = expected
+                .iter()
+                .filter(|(key, _)| rep.is_replica(key.owner, n, idx))
+                .map(|(&key, &count)| (key, count))
+                .collect();
+            entries.sort_unstable_by_key(|(key, _)| *key);
+            let reply: SyncRefsReply = evostore_rpc::unary(
+                &self.fabric,
+                ep,
+                methods::SYNC_REFS,
+                &SyncRefsRequest {
+                    entries,
+                    prune_unlisted: full_coverage,
+                },
+                &retry,
+                None,
+            )
+            .map_err(|e| format!("sync_refs on provider {idx}: {e}"))?;
+            report.refs_adjusted += reply.adjusted;
+            report.orphans_removed += reply.removed;
+            report.missing_payloads += reply.missing;
+        }
+        Ok(report)
+    }
+
+    /// Copy one record (metadata + the payloads its chain hosts) from
+    /// provider `source` to provider `target`. Returns `Ok(false)` when
+    /// the source no longer serves the payloads (lost beyond the
+    /// replication factor).
+    fn sync_model_to(
+        &self,
+        model: ModelId,
+        optimizer_keys: &[TensorKey],
+        source: usize,
+        target: usize,
+        retry: &RetryPolicy,
+    ) -> Result<bool, String> {
+        let src = self.provider_ids[source];
+        let meta: ModelMetaReply = evostore_rpc::unary(
+            &self.fabric,
+            src,
+            methods::GET_META,
+            &GetMetaRequest { model },
+            retry,
+            None,
+        )
+        .map_err(|e| format!("get_meta({model}) from provider {source}: {e}"))?;
+        // Ship only what the target's replica role needs: the model's
+        // self-owned tensors plus its optimizer copy. Inherited keys
+        // belong to their owners' chains and are synced with those
+        // records.
+        let mut keys: Vec<TensorKey> = meta
+            .owner_map
+            .all_tensor_keys()
+            .into_iter()
+            .filter(|k| k.owner == model)
+            .collect();
+        keys.extend_from_slice(optimizer_keys);
+        let read: ReadTensorsReply = match evostore_rpc::unary(
+            &self.fabric,
+            src,
+            methods::READ,
+            &ReadTensorsRequest { keys },
+            retry,
+            None,
+        ) {
+            Ok(r) => r,
+            // The source catalogs the record but lost payloads (e.g. a
+            // crash between legs): report, don't fail the whole pass.
+            Err(e) if !e.is_transient() => {
+                let _ = e;
+                return Ok(false);
+            }
+            Err(e) => return Err(format!("read payloads of {model} from {source}: {e}")),
+        };
+        let handle = BulkHandle(read.bulk);
+        let region = self
+            .fabric
+            .bulk_get(handle)
+            .map_err(|e| format!("bulk pull for {model}: {e}"))?;
+        // Re-expose the same bytes for the target; the manifest offsets
+        // carry over unchanged.
+        let out = self.fabric.bulk_expose(region);
+        let result: Result<SyncModelReply, String> = evostore_rpc::unary(
+            &self.fabric,
+            self.provider_ids[target],
+            methods::SYNC_MODEL,
+            &SyncModelRequest {
+                model,
+                graph: meta.graph,
+                owner_map: meta.owner_map,
+                parent: meta.parent,
+                quality: meta.quality,
+                timestamp: meta.timestamp,
+                manifest: read.manifest,
+                bulk: out.0,
+            },
+            retry,
+            None,
+        )
+        .map_err(|e| format!("sync_model({model}) to provider {target}: {e}"));
+        self.fabric.bulk_release(out);
+        self.fabric.bulk_release(handle);
+        result.map(|_| true)
     }
 }

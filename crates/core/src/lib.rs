@@ -26,6 +26,7 @@ pub mod deployment;
 pub mod messages;
 pub mod owner_map;
 pub mod provider;
+pub mod replication;
 pub mod repository;
 pub mod telemetry;
 
@@ -38,6 +39,7 @@ pub use deployment::{BackendKind, Deployment, DeploymentConfig};
 pub use messages::ProviderStats;
 pub use owner_map::{OwnerMap, VertexOwner};
 pub use provider::{ModelRecord, Provider, ProviderState};
+pub use replication::ReplicationPolicy;
 pub use repository::{
     trained_tensors, FetchOutcome, ModelRepository, RetireOutcomeStats, StoreOutcomeStats,
     TransferSource,

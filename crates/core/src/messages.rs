@@ -40,6 +40,14 @@ pub struct StoreModelRequest {
     pub manifest: Vec<ManifestEntry>,
     /// Bulk region holding the consolidated new tensors.
     pub bulk: u64,
+    /// Write-order stamp to store under. `None` on the first (primary)
+    /// leg — the serving provider assigns one from the shared clock —
+    /// and `Some` on mirror legs, so every replica of a model records
+    /// the *same* timestamp. A request whose model already exists with
+    /// a timestamp ≥ this one is answered idempotently (a retried
+    /// mirror leg whose first delivery applied must not double-store).
+    #[serde(default)]
+    pub timestamp: Option<u64>,
 }
 
 /// Reply to a store.
@@ -141,6 +149,35 @@ impl RefsRequest {
             keys,
         }
     }
+
+    /// A refs adjustment with an explicit (deterministic) operation id.
+    pub fn with_op_id(op_id: u64, keys: Vec<TensorKey>) -> RefsRequest {
+        RefsRequest { op_id, keys }
+    }
+
+    /// The deterministic id of the decrement leg that retiring `model`
+    /// (the incarnation stored at `timestamp`) sends to provider
+    /// `provider_index`.
+    ///
+    /// Unlike the counter ids of [`RefsRequest::new`], this id is a pure
+    /// function of the retirement, so it survives the client: a parked
+    /// decrement re-issued after a fault window carries the same id as
+    /// the fence the anti-entropy repair pass seeded on the recovered
+    /// provider ([`methods::SYNC_RETIRE`]), and the two can never both
+    /// apply. The top bit is always set, keeping the hash namespace
+    /// disjoint from the counter namespace (counters start at 1 and
+    /// cannot plausibly reach 2^63).
+    pub fn retirement_op_id(model: ModelId, timestamp: u64, provider_index: usize) -> u64 {
+        // FNV-1a over the identifying triple.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [model.0, timestamp, provider_index as u64] {
+            for b in word.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h | (1 << 63)
+    }
 }
 
 /// Reply to a refs adjustment.
@@ -196,6 +233,14 @@ pub struct RetireMetaRequest {
 pub struct RetireMetaReply {
     /// The retired model's owner map (drives the decrement fan-out).
     pub owner_map: OwnerMap,
+    /// Write-order stamp of the retired record. Together with the model
+    /// id it names *which* incarnation was retired: the decrement
+    /// fan-out derives deterministic operation ids from it
+    /// ([`RefsRequest::retirement_op_id`]), and the anti-entropy
+    /// tombstone carries it so stale replicas can tell a missed
+    /// retirement from a missed (newer) store.
+    #[serde(default)]
+    pub timestamp: u64,
 }
 
 /// Scan the target provider's catalog for architectures matching a
@@ -243,6 +288,133 @@ pub struct LoadOptimizerRequest {
 /// Empty request for parameterless methods (stats).
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct StatsRequest {}
+
+// ---- anti-entropy repair -------------------------------------------------
+
+/// One model's entry in a provider digest: enough to detect a stale or
+/// missing replica (the timestamp) and to rebuild the global expected
+/// reference count of every tensor (the key lists) without fetching any
+/// catalog record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelDigest {
+    /// The cataloged model.
+    pub model: ModelId,
+    /// Its write-order stamp; identical across consistent replicas.
+    pub timestamp: u64,
+    /// Every tensor key the model's owner map references (self-owned
+    /// and inherited) — one global reference each.
+    pub ref_keys: Vec<TensorKey>,
+    /// Attached optimizer-state keys (model-private) — one reference
+    /// each.
+    pub optimizer_keys: Vec<TensorKey>,
+}
+
+/// A recorded retirement: which model, which incarnation (its record
+/// timestamp), and when. A tombstone kills any replica record with
+/// `timestamp <= record_timestamp`; a re-store under the same id gets a
+/// newer stamp and survives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tombstone {
+    /// The retired model.
+    pub model: ModelId,
+    /// Write-order stamp of the record that was retired.
+    pub record_timestamp: u64,
+    /// Write-order stamp of the retirement itself.
+    pub retired_at: u64,
+}
+
+/// Ask a provider for its catalog digest (empty request).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DigestRequest {}
+
+/// A provider's anti-entropy digest: every cataloged model plus every
+/// retirement it has witnessed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DigestReply {
+    /// The provider's index (sanity cross-check for the repair pass).
+    pub provider_index: usize,
+    /// Digest of every cataloged model.
+    pub models: Vec<ModelDigest>,
+    /// Every retirement recorded here.
+    pub tombstones: Vec<Tombstone>,
+}
+
+/// Re-replicate one model onto the target: the full catalog record plus
+/// the payloads of its self-owned (and optimizer) tensors, consolidated
+/// in a bulk region exactly like a store. Applied only when the target
+/// has no record for the model or a strictly older one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncModelRequest {
+    /// The model being re-replicated.
+    pub model: ModelId,
+    /// The flattened architecture.
+    pub graph: CompactGraph,
+    /// Ownership of every vertex.
+    pub owner_map: OwnerMap,
+    /// Direct ancestor.
+    pub parent: Option<ModelId>,
+    /// Quality metric.
+    pub quality: f64,
+    /// The authoritative write-order stamp (from the source replica).
+    pub timestamp: u64,
+    /// Self-owned + optimizer tensor payload locations in the region.
+    pub manifest: Vec<ManifestEntry>,
+    /// Bulk region holding the payloads.
+    pub bulk: u64,
+}
+
+/// Reply to a model sync.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncModelReply {
+    /// Whether the record was installed (false: target already newer).
+    pub applied: bool,
+    /// Tensor payloads written.
+    pub tensors_stored: usize,
+}
+
+/// Spread retirements to a replica: record each tombstone, drop any
+/// record it covers, and seed the deterministic decrement fence
+/// ([`RefsRequest::retirement_op_id`]) so a parked client decrement for
+/// the same retirement can never re-apply after repair has already
+/// settled the counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncRetireRequest {
+    /// The retirements to apply.
+    pub tombstones: Vec<Tombstone>,
+}
+
+/// Reply to a retirement sync.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncRetireReply {
+    /// Stale records removed by these tombstones.
+    pub removed: usize,
+}
+
+/// Set the target's hosted reference counts to the authoritative values
+/// the repair pass computed from the union catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncRefsRequest {
+    /// `(key, count)` for every tensor this provider should host.
+    pub entries: Vec<(TensorKey, u64)>,
+    /// Delete hosted tensors absent from `entries`. Only set when the
+    /// digest broadcast reached *every* provider: with a provider
+    /// unreachable, a key absent from the union may simply belong to a
+    /// model whose replicas are all down, and must not be dropped.
+    pub prune_unlisted: bool,
+}
+
+/// Reply to a refs sync.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncRefsReply {
+    /// Hosted keys whose count was changed.
+    pub adjusted: usize,
+    /// Unlisted hosted tensors deleted (`prune_unlisted`).
+    pub removed: usize,
+    /// Expected keys with no stored payload here (under-replication the
+    /// model-sync step should have fixed; non-zero means repair could
+    /// not fully converge this pass).
+    pub missing: usize,
+}
 
 /// Provider statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -303,6 +475,14 @@ pub mod methods {
     pub const LOAD_OPTIMIZER: &str = "evostore.load_optimizer";
     /// Provider statistics.
     pub const STATS: &str = "evostore.stats";
+    /// Anti-entropy catalog digest.
+    pub const DIGEST: &str = "evostore.digest";
+    /// Re-replicate one model (record + payloads) onto the target.
+    pub const SYNC_MODEL: &str = "evostore.sync_model";
+    /// Spread retirement tombstones onto the target.
+    pub const SYNC_RETIRE: &str = "evostore.sync_retire";
+    /// Set hosted reference counts to authoritative values.
+    pub const SYNC_REFS: &str = "evostore.sync_refs";
 }
 
 #[cfg(test)]
@@ -362,5 +542,34 @@ mod tests {
         let a = RefsRequest::new(Vec::new());
         let b = RefsRequest::new(Vec::new());
         assert_ne!(a.op_id, b.op_id);
+    }
+
+    #[test]
+    fn retirement_op_ids_are_deterministic_and_distinct() {
+        let a = RefsRequest::retirement_op_id(ModelId(7), 42, 1);
+        assert_eq!(a, RefsRequest::retirement_op_id(ModelId(7), 42, 1));
+        assert_ne!(a, RefsRequest::retirement_op_id(ModelId(7), 42, 2));
+        assert_ne!(a, RefsRequest::retirement_op_id(ModelId(7), 43, 1));
+        assert_ne!(a, RefsRequest::retirement_op_id(ModelId(8), 42, 1));
+    }
+
+    #[test]
+    fn retirement_op_ids_avoid_the_counter_namespace() {
+        for m in 0..50u64 {
+            for p in 0..4usize {
+                let id = RefsRequest::retirement_op_id(ModelId(m), m * 3 + 1, p);
+                assert!(id >= 1 << 63, "hash ids live above the counter range");
+            }
+        }
+    }
+
+    #[test]
+    fn store_request_timestamp_defaults_to_none() {
+        // Wire compatibility: a pre-replication store body (no timestamp
+        // field) still decodes, as a primary-leg request.
+        let json = r#"{"model":1,"graph":{"vertices":[],"edges":[]},"owner_map":{"model":1,"owners":[]},"parent":null,"quality":0.5,"manifest":[],"bulk":0}"#;
+        if let Ok(req) = serde_json::from_str::<StoreModelRequest>(json) {
+            assert_eq!(req.timestamp, None);
+        }
     }
 }

@@ -25,6 +25,7 @@ use rayon::prelude::*;
 
 use crate::messages::*;
 use crate::owner_map::OwnerMap;
+use crate::replication::ReplicationPolicy;
 
 /// How many applied refs-operation ids a provider remembers for duplicate
 /// suppression. Must comfortably exceed (in-flight refs ops) ×
@@ -146,6 +147,9 @@ pub struct ProviderState {
     pub index: usize,
     /// Total providers in the deployment (placement function input).
     pub num_providers: usize,
+    /// Replica placement rule (shared by every provider and client of
+    /// the deployment).
+    pub replication: ReplicationPolicy,
     tensors: RefCountedStore<Box<dyn KvBackend>>,
     catalog: RwLock<Catalog>,
     /// Durable catalog records (separate namespace from tensors).
@@ -154,6 +158,10 @@ pub struct ProviderState {
     clock: Arc<AtomicU64>,
     /// Applied refs operations, for duplicate suppression under retries.
     refs_ops: Mutex<RefsOpCache>,
+    /// Retirements witnessed here (anti-entropy): lets a digest exchange
+    /// distinguish "this replica missed a store" from "the others missed
+    /// a retirement" when catalogs diverge after a fault window.
+    tombstones: Mutex<HashMap<ModelId, Tombstone>>,
     /// Serve ancestor/pattern queries through the [`ArchIndex`] (the
     /// default) or by the unindexed full-catalog scan (A/B measurement;
     /// the index stays maintained either way).
@@ -163,9 +171,12 @@ pub struct ProviderState {
 }
 
 impl ProviderState {
-    /// Does `model`'s metadata belong on this provider?
+    /// Does `model`'s metadata (and its self-owned tensors) belong on
+    /// this provider? True for the primary and every ring successor in
+    /// the replica chain.
     fn places_here(&self, model: ModelId) -> bool {
-        model.provider_for(self.num_providers) == self.index
+        self.replication
+            .is_replica(model, self.num_providers, self.index)
     }
 
     fn meta_key(model: ModelId) -> Vec<u8> {
@@ -244,12 +255,27 @@ impl ProviderState {
         }
         if !self.places_here(req.model) {
             return Err(format!(
-                "model {} does not hash to provider {}",
+                "model {} does not place on provider {}",
                 req.model, self.index
             ));
         }
-        if self.catalog.read().records.contains_key(&req.model) {
-            return Err(format!("model {} already stored", req.model));
+        if let Some(existing_ts) = self
+            .catalog
+            .read()
+            .records
+            .get(&req.model)
+            .map(|r| r.timestamp)
+        {
+            return match req.timestamp {
+                // A retried mirror leg whose first delivery applied (its
+                // reply was lost): answer idempotently — re-pulling the
+                // payload would double-count the tensor references.
+                Some(ts) if existing_ts >= ts => Ok(StoreModelReply {
+                    timestamp: existing_ts,
+                    bytes_stored: 0,
+                }),
+                _ => Err(format!("model {} already stored", req.model)),
+            };
         }
 
         // The manifest must carry exactly the self-owned tensors.
@@ -325,7 +351,16 @@ impl ProviderState {
                 .map_err(|e| format!("store tensor {key}: {e}"))?;
         }
 
-        let timestamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let timestamp = match req.timestamp {
+            // Mirror leg: adopt the stamp the first replica assigned and
+            // keep the shared clock ahead of it, so every replica of the
+            // model records the same write order.
+            Some(ts) => {
+                self.clock.fetch_max(ts + 1, Ordering::Relaxed);
+                ts
+            }
+            None => self.clock.fetch_add(1, Ordering::Relaxed),
+        };
         let record = ModelRecord {
             graph: Arc::new(req.graph),
             owner_map: req.owner_map,
@@ -364,7 +399,7 @@ impl ProviderState {
         let mut buf = BytesMut::new();
         let mut manifest = Vec::with_capacity(req.keys.len());
         for key in &req.keys {
-            if key.owner.provider_for(self.num_providers) != self.index {
+            if !self.places_here(key.owner) {
                 return Err(format!(
                     "tensor {key} is not hosted by provider {}",
                     self.index
@@ -531,18 +566,38 @@ impl ProviderState {
             .remove(req.model)
             .ok_or_else(|| format!("model {} not found", req.model))?;
         self.unpersist_record(req.model);
-        // Optimizer state is model-private: reclaim it with the model.
+        // Tombstone the retirement so anti-entropy can tell a replica
+        // that missed this retirement from one that missed a newer
+        // store of the same id.
+        let retired_at = self.clock.fetch_add(1, Ordering::Relaxed);
+        self.record_tombstone(Tombstone {
+            model: req.model,
+            record_timestamp: rec.timestamp,
+            retired_at,
+        });
+        // Optimizer state is model-private and replica-local: each
+        // replica reclaims its own copy on its retire leg.
         for key in &rec.optimizer_keys {
             let _ = self.tensors.decr(&key.encode());
         }
         Ok(RetireMetaReply {
             owner_map: rec.owner_map,
+            timestamp: rec.timestamp,
         })
+    }
+
+    /// Record a retirement, keeping the newest incarnation per model.
+    fn record_tombstone(&self, t: Tombstone) {
+        let mut tombs = self.tombstones.lock();
+        let entry = tombs.entry(t.model).or_insert(t);
+        if (t.record_timestamp, t.retired_at) > (entry.record_timestamp, entry.retired_at) {
+            *entry = t;
+        }
     }
 
     /// Handle a partial (element-range) tensor read.
     pub fn handle_read_range(&self, req: ReadRangeRequest) -> Result<ReadRangeReply, String> {
-        if req.key.owner.provider_for(self.num_providers) != self.index {
+        if !self.places_here(req.key.owner) {
             return Err(format!(
                 "tensor {} is not hosted by provider {}",
                 req.key, self.index
@@ -718,6 +773,197 @@ impl ProviderState {
         })
     }
 
+    // ---- anti-entropy repair --------------------------------------------
+
+    /// Handle a digest request: summarize every cataloged model (id,
+    /// timestamp, referenced tensor keys) and every witnessed
+    /// retirement. The repair pass unions these across providers to
+    /// find stale or under-replicated replicas.
+    pub fn handle_digest(&self, _req: DigestRequest) -> Result<DigestReply, String> {
+        let models = {
+            let catalog = self.catalog.read();
+            catalog
+                .records
+                .iter()
+                .map(|(&model, rec)| ModelDigest {
+                    model,
+                    timestamp: rec.timestamp,
+                    ref_keys: rec.owner_map.all_tensor_keys(),
+                    optimizer_keys: rec.optimizer_keys.clone(),
+                })
+                .collect()
+        };
+        let tombstones = self.tombstones.lock().values().copied().collect();
+        Ok(DigestReply {
+            provider_index: self.index,
+            models,
+            tombstones,
+        })
+    }
+
+    /// Handle a model sync: install the record and its tensor payloads
+    /// unless the local copy is already at least as new. Payloads come
+    /// from a peer replica that validated them at original store time,
+    /// so only framing integrity is re-checked here.
+    pub fn handle_sync_model(&self, req: SyncModelRequest) -> Result<SyncModelReply, String> {
+        if !self.places_here(req.model) {
+            return Err(format!(
+                "model {} does not place on provider {}",
+                req.model, self.index
+            ));
+        }
+        if let Some((ts, opt_len)) = self
+            .catalog
+            .read()
+            .records
+            .get(&req.model)
+            .map(|r| (r.timestamp, r.optimizer_keys.len()))
+        {
+            // Equal-timestamp records can still differ: attaching
+            // optimizer state does not bump the write stamp, so a
+            // replica that missed only the attachment is stale despite
+            // matching timestamps.
+            let req_opt = req
+                .manifest
+                .iter()
+                .filter(|e| e.key.vertex.0 == u32::MAX)
+                .count();
+            if ts > req.timestamp || (ts == req.timestamp && opt_len >= req_opt) {
+                return Ok(SyncModelReply {
+                    applied: false,
+                    tensors_stored: 0,
+                });
+            }
+        }
+        let region = self
+            .fabric
+            .bulk_get(evostore_rpc::BulkHandle(req.bulk))
+            .map_err(|e| format!("bulk pull failed: {e}"))?;
+        let mut validated = Vec::with_capacity(req.manifest.len());
+        for entry in &req.manifest {
+            let (off, len) = (entry.offset as usize, entry.len as usize);
+            if off
+                .checked_add(len)
+                .map(|end| end > region.len())
+                .unwrap_or(true)
+            {
+                return Err(format!("sync manifest entry {} out of bounds", entry.key));
+            }
+            let record = region.slice(off..off + len);
+            read_tensor(record.clone()).map_err(|e| format!("tensor {}: {e}", entry.key))?;
+            validated.push((entry.key, record));
+        }
+        // Replace a stale record (an older incarnation under the same
+        // id); its private optimizer copies go with it.
+        if let Some(old) = self.catalog.write().remove(req.model) {
+            for key in &old.optimizer_keys {
+                let _ = self.tensors.decr(&key.encode());
+            }
+        }
+        let mut tensors_stored = 0usize;
+        for (key, record) in validated {
+            // Already-present payloads keep their count: the refs sync
+            // that follows installs the authoritative values.
+            if !self.tensors.contains(&key.encode()) {
+                self.tensors
+                    .put(&key.encode(), record, 1)
+                    .map_err(|e| format!("sync tensor {key}: {e}"))?;
+                tensors_stored += 1;
+            }
+        }
+        self.clock.fetch_max(req.timestamp + 1, Ordering::Relaxed);
+        let mut optimizer_keys: Vec<TensorKey> = req
+            .manifest
+            .iter()
+            .map(|e| e.key)
+            .filter(|k| k.vertex.0 == u32::MAX)
+            .collect();
+        optimizer_keys.sort_by_key(|k| k.slot);
+        let record = ModelRecord {
+            graph: Arc::new(req.graph),
+            owner_map: req.owner_map,
+            parent: req.parent,
+            quality: req.quality,
+            timestamp: req.timestamp,
+            optimizer_keys,
+        };
+        self.persist_record(req.model, &record);
+        self.catalog.write().insert(req.model, record);
+        Ok(SyncModelReply {
+            applied: true,
+            tensors_stored,
+        })
+    }
+
+    /// Handle a retirement sync: record each tombstone, drop any stale
+    /// record it covers, and fence the retirement's decrement leg so a
+    /// parked client decrement re-issued later deduplicates against the
+    /// absolute counts the refs sync installs.
+    pub fn handle_sync_retire(&self, req: SyncRetireRequest) -> Result<SyncRetireReply, String> {
+        let mut removed = 0usize;
+        for t in &req.tombstones {
+            self.record_tombstone(*t);
+            let covered = self
+                .catalog
+                .read()
+                .records
+                .get(&t.model)
+                .map(|r| r.timestamp <= t.record_timestamp)
+                .unwrap_or(false);
+            if covered {
+                if let Some(rec) = self.catalog.write().remove(t.model) {
+                    self.unpersist_record(t.model);
+                    for key in &rec.optimizer_keys {
+                        let _ = self.tensors.decr(&key.encode());
+                    }
+                    removed += 1;
+                }
+            }
+            let fence = RefsRequest::retirement_op_id(t.model, t.record_timestamp, self.index);
+            self.refs_ops.lock().record(
+                fence,
+                RefsReply {
+                    applied: 0,
+                    reclaimed: 0,
+                },
+            );
+        }
+        Ok(SyncRetireReply { removed })
+    }
+
+    /// Handle a refs sync: set every listed hosted key to its
+    /// authoritative count; optionally delete unlisted tensors (only
+    /// when the repair pass saw every provider's digest).
+    pub fn handle_sync_refs(&self, req: SyncRefsRequest) -> Result<SyncRefsReply, String> {
+        let mut adjusted = 0usize;
+        let mut missing = 0usize;
+        let mut listed = std::collections::HashSet::with_capacity(req.entries.len());
+        for (key, want) in &req.entries {
+            listed.insert(*key);
+            match self.tensors.set_refs(&key.encode(), *want) {
+                Ok(prev) => {
+                    if prev != *want {
+                        adjusted += 1;
+                    }
+                }
+                Err(_) => missing += 1,
+            }
+        }
+        let mut removed = 0usize;
+        if req.prune_unlisted {
+            for key in self.hosted_tensor_keys() {
+                if !listed.contains(&key) && self.tensors.set_refs(&key.encode(), 0).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        Ok(SyncRefsReply {
+            adjusted,
+            removed,
+            missing,
+        })
+    }
+
     /// Accumulate one query's index statistics into the provider-lifetime
     /// counters surfaced by [`ProviderState::stats`].
     fn note_query_stats(&self, stats: IndexQueryStats) {
@@ -769,6 +1015,30 @@ impl ProviderState {
     /// Reference count of a hosted tensor (tests/GC audits).
     pub fn tensor_refs(&self, key: TensorKey) -> u64 {
         self.tensors.refs(&key.encode())
+    }
+
+    /// Every cataloged record as `(model, timestamp, owner_map,
+    /// optimizer_keys)` — the union-catalog input of replication-aware
+    /// audits and recovery replays.
+    pub fn catalog_entries(&self) -> Vec<(ModelId, u64, OwnerMap, Vec<TensorKey>)> {
+        self.catalog
+            .read()
+            .records
+            .iter()
+            .map(|(&m, r)| {
+                (
+                    m,
+                    r.timestamp,
+                    r.owner_map.clone(),
+                    r.optimizer_keys.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Is the tensor payload stored here? (replication audits)
+    pub fn hosts_tensor(&self, key: TensorKey) -> bool {
+        self.tensors.contains(&key.encode())
     }
 
     /// Owner maps of all cataloged models (GC audits).
@@ -840,12 +1110,14 @@ pub struct Provider {
 
 impl Provider {
     /// Spawn a provider on `fabric` as provider `index` of
-    /// `num_providers`, with the given tensor backend and RPC service
-    /// thread count.
+    /// `num_providers`, with the given replica placement rule, tensor
+    /// backend and RPC service thread count.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         fabric: Arc<Fabric>,
         index: usize,
         num_providers: usize,
+        replication: ReplicationPolicy,
         clock: Arc<AtomicU64>,
         backend: Box<dyn KvBackend>,
         meta_store: Box<dyn KvBackend>,
@@ -856,11 +1128,13 @@ impl Provider {
             fabric: Arc::clone(&fabric),
             index,
             num_providers,
+            replication,
             tensors: RefCountedStore::new(backend),
             catalog: RwLock::new(Catalog::new()),
             meta_store,
             clock,
             refs_ops: Mutex::new(RefsOpCache::default()),
+            tombstones: Mutex::new(HashMap::new()),
             index_enabled: AtomicBool::new(true),
             query_stats: Mutex::new(IndexQueryStats::default()),
         });
@@ -915,6 +1189,23 @@ impl Provider {
         endpoint.register(
             methods::STATS,
             typed_handler(move |_: StatsRequest| Ok(s.stats())),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(methods::DIGEST, typed_handler(move |r| s.handle_digest(r)));
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::SYNC_MODEL,
+            typed_handler(move |r| s.handle_sync_model(r)),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::SYNC_RETIRE,
+            typed_handler(move |r| s.handle_sync_retire(r)),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::SYNC_REFS,
+            typed_handler(move |r| s.handle_sync_refs(r)),
         );
 
         Provider { state, endpoint }

@@ -120,6 +120,8 @@ pub struct ClientTelemetry {
     pub rpc: evostore_rpc::RpcMetrics,
     degraded_queries: AtomicU64,
     parked_decrements: AtomicU64,
+    read_failovers: AtomicU64,
+    under_replicated_stores: AtomicU64,
     // Provider-side ancestor-query index counters, accumulated from the
     // per-reply stats of every LCP/pattern broadcast this client ran.
     index_scanned: AtomicU64,
@@ -164,6 +166,28 @@ impl ClientTelemetry {
         self.parked_decrements.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Reads served by a later chain member after an earlier replica
+    /// failed (down, timed out, or missing the data).
+    pub fn read_failovers(&self) -> u64 {
+        self.read_failovers.load(Ordering::Relaxed)
+    }
+
+    /// Store/attach mirror legs that failed, leaving a model with fewer
+    /// than `factor` copies until the next repair pass.
+    pub fn under_replicated_stores(&self) -> u64 {
+        self.under_replicated_stores.load(Ordering::Relaxed)
+    }
+
+    /// Record one read answered by a non-primary replica.
+    pub fn note_read_failover(&self) {
+        self.read_failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` failed mirror legs (under-replication debt).
+    pub fn note_under_replicated_stores(&self, n: u64) {
+        self.under_replicated_stores.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Accumulate one provider reply's index statistics.
     pub fn note_index_stats(&self, stats: evostore_graph::IndexQueryStats) {
         self.index_scanned
@@ -191,7 +215,7 @@ impl ClientTelemetry {
     pub fn report(&self) -> String {
         let ix = self.index_stats();
         format!(
-            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}\nindex:  scanned={} memo_hits={} deduped={} pruned={}",
+            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}\nreplication: read_failovers={} under_replicated_stores={}\nindex:  scanned={} memo_hits={} deduped={} pruned={}",
             self.query.report(),
             self.fetch.report(),
             self.store.report(),
@@ -201,6 +225,8 @@ impl ClientTelemetry {
             self.rpc.exhausted(),
             self.degraded_queries(),
             self.parked_decrements(),
+            self.read_failovers(),
+            self.under_replicated_stores(),
             ix.scanned,
             ix.memo_hits,
             ix.deduped,

@@ -181,6 +181,7 @@ fn reopen_recovers_catalog_and_refcounts() {
         providers: 3,
         service_threads: 2,
         backend: evostore_core::BackendKind::Log { dir: dir.clone() },
+        replication: evostore_core::ReplicationPolicy::default(),
     };
 
     let parent_g = seq(&[8, 16, 16, 4]);
@@ -274,6 +275,7 @@ fn reopen_purges_orphaned_tensors() {
         providers: 2,
         service_threads: 1,
         backend: evostore_core::BackendKind::Log { dir: dir.clone() },
+        replication: evostore_core::ReplicationPolicy::default(),
     };
     let g = seq(&[8, 16, 4]);
     {
@@ -352,6 +354,7 @@ fn tiered_backend_deployment_roundtrip_and_reopen() {
             dir: dir.clone(),
             memory_budget: 1 << 20,
         },
+        replication: evostore_core::ReplicationPolicy::default(),
     };
     let g = seq(&[8, 16, 4]);
     let tensors;

@@ -436,6 +436,7 @@ fn log_backed_deployment_roundtrip() {
         providers: 2,
         service_threads: 2,
         backend: evostore_core::BackendKind::Log { dir: dir.clone() },
+        replication: evostore_core::ReplicationPolicy::default(),
     });
     let client = dep.client();
     let g = seq(&[8, 16, 4]);

@@ -139,6 +139,31 @@ impl<B: KvBackend> RefCountedStore<B> {
         Ok(zeroes.len())
     }
 
+    /// Force a stored key's reference count to an absolute value — the
+    /// anti-entropy repair primitive. Unlike [`RefCountedStore::incr`] /
+    /// [`RefCountedStore::decr`], which apply client-observed deltas,
+    /// this installs an authoritative count recomputed from the union of
+    /// all owner maps. `refs = 0` deletes the value.
+    ///
+    /// Returns the previous count. Errors with `NotFound` when the key
+    /// is not stored (repair must re-replicate the payload first).
+    pub fn set_refs(&self, key: &[u8], refs: u64) -> Result<u64, KvError> {
+        let mut counts = self.counts.lock();
+        match counts.get_mut(key) {
+            Some(c) => {
+                let prev = *c;
+                if refs == 0 {
+                    counts.remove(key);
+                    self.backend.delete(key)?;
+                } else {
+                    *c = refs;
+                }
+                Ok(prev)
+            }
+            None => Err(KvError::NotFound),
+        }
+    }
+
     /// Current reference count (`0` when absent).
     pub fn refs(&self, key: &[u8]) -> u64 {
         self.counts.lock().get(key).copied().unwrap_or(0)
@@ -228,6 +253,33 @@ mod tests {
     fn zero_initial_refs_rejected() {
         let s = store();
         let _ = s.put(b"t", Bytes::from_static(b"x"), 0);
+    }
+
+    #[test]
+    fn set_refs_installs_absolute_counts() {
+        let s = store();
+        s.put(b"t", Bytes::from_static(b"x"), 3).unwrap();
+        assert_eq!(s.set_refs(b"t", 1).unwrap(), 3);
+        assert_eq!(s.refs(b"t"), 1);
+        assert_eq!(s.set_refs(b"t", 5).unwrap(), 1);
+        assert_eq!(s.refs(b"t"), 5);
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn set_refs_zero_reclaims() {
+        let s = store();
+        s.put(b"t", Bytes::from_static(b"x"), 2).unwrap();
+        assert_eq!(s.set_refs(b"t", 0).unwrap(), 2);
+        assert!(!s.contains(b"t"));
+        assert_eq!(s.refs(b"t"), 0);
+        s.audit().unwrap();
+    }
+
+    #[test]
+    fn set_refs_missing_is_error() {
+        let s = store();
+        assert_eq!(s.set_refs(b"nope", 4), Err(KvError::NotFound));
     }
 
     #[test]

@@ -25,4 +25,6 @@ pub use codec::{call_typed, decode, encode, typed_handler};
 pub use collective::{broadcast_reduce, MemberReply};
 pub use fabric::{BulkHandle, Endpoint, EndpointId, Fabric, Handler, RpcError};
 pub use fault::{FaultAction, FaultPlan, FaultRule, FaultStats, FaultWindow};
-pub use resilient::{broadcast, fan_out, unary, LegResults, RetryPolicy, RpcMetrics};
+pub use resilient::{
+    broadcast, fan_out, unary, unary_failover, LegResults, RetryPolicy, RpcMetrics,
+};

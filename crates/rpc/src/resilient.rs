@@ -184,6 +184,39 @@ pub fn unary<Req: Serialize, Resp: DeserializeOwned>(
     decode(&reply)
 }
 
+/// Typed unary call with replica failover: try `targets` in order,
+/// moving to the next on failure, until one answers. Each target runs
+/// under the full retry `policy`; a down target is rejected at dispatch
+/// (cheap), a flaky one burns its retry budget first.
+///
+/// Fails over on *any* error, not just transient ones: with replicated
+/// placement a handler-level "not found" on one replica can mean the
+/// replica missed a write, and a sibling may still hold it. When every
+/// target fails, the last error is returned (for a genuinely absent
+/// value all replicas agree, so the last is as truthful as any).
+///
+/// Returns the serving endpoint, its reply, and how many targets were
+/// skipped before it (0 = the primary answered).
+pub fn unary_failover<Req: Serialize, Resp: DeserializeOwned>(
+    fabric: &Fabric,
+    targets: &[EndpointId],
+    method: &str,
+    req: &Req,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+) -> Result<(EndpointId, Resp, usize), RpcError> {
+    assert!(!targets.is_empty(), "failover needs at least one target");
+    let body = encode(req)?;
+    let mut last_err = None;
+    for (skipped, &target) in targets.iter().enumerate() {
+        match call_with_retry(fabric, target, method, body.clone(), policy, metrics) {
+            Ok(reply) => return decode(&reply).map(|resp| (target, resp, skipped)),
+            Err(err) => last_err = Some(err),
+        }
+    }
+    Err(last_err.expect("at least one target attempted"))
+}
+
 /// Per-target results of a collective: one entry per input target, in
 /// input order, each leg succeeding or failing independently.
 pub type LegResults<T> = Vec<(EndpointId, Result<T, RpcError>)>;
@@ -399,6 +432,70 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, RpcError::NoSuchMethod(_)));
         assert_eq!(metrics.retries(), 0);
+    }
+
+    #[test]
+    fn failover_skips_down_targets() {
+        let (fabric, eps) = echo_fabric(3);
+        let plan = fabric.install_fault_plan(FaultPlan::new(7));
+        plan.set_down(eps[0].id());
+        let ids: Vec<_> = eps.iter().map(|e| e.id()).collect();
+        let policy = RetryPolicy::default().with_attempts(2);
+        let (served_by, got, skipped) = unary_failover::<String, String>(
+            &fabric,
+            &ids,
+            "echo",
+            &"hi".to_string(),
+            &policy,
+            None,
+        )
+        .unwrap();
+        assert_eq!(got, "hi");
+        assert_eq!(served_by, ids[1]);
+        assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn failover_exhausts_to_last_error() {
+        let (fabric, eps) = echo_fabric(2);
+        let plan = fabric.install_fault_plan(FaultPlan::new(7));
+        plan.set_down(eps[0].id());
+        plan.set_down(eps[1].id());
+        let ids: Vec<_> = eps.iter().map(|e| e.id()).collect();
+        let err = unary_failover::<String, String>(
+            &fabric,
+            &ids,
+            "echo",
+            &"hi".to_string(),
+            &RetryPolicy::default().with_attempts(1),
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err, RpcError::Unavailable(eps[1].id()));
+    }
+
+    #[test]
+    fn failover_tries_siblings_on_handler_errors() {
+        // A replica that missed a write answers with a handler error;
+        // failover must still consult the sibling.
+        let fabric = Fabric::new();
+        let stale = fabric.create_endpoint(1);
+        stale.register("get", |_| Err("not found".to_string()));
+        let fresh = fabric.create_endpoint(1);
+        fresh.register("get", Ok);
+        let ids = vec![stale.id(), fresh.id()];
+        let (served_by, got, skipped) = unary_failover::<String, String>(
+            &fabric,
+            &ids,
+            "get",
+            &"v".to_string(),
+            &RetryPolicy::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(got, "v");
+        assert_eq!(served_by, fresh.id());
+        assert_eq!(skipped, 1);
     }
 
     #[test]

@@ -143,6 +143,19 @@ impl FaultSchedule {
         (0..self.endpoints).filter(|&ep| down[ep]).collect()
     }
 
+    /// Recovery instants — every `Up` transition as `(time, endpoint)`,
+    /// time-ordered. These are the natural trigger points for an
+    /// anti-entropy repair pass when replaying the schedule against a
+    /// replicated deployment: each one marks a provider returning with a
+    /// stale replica set.
+    pub fn recovery_points(&self) -> Vec<(SimTime, usize)> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Up))
+            .map(|e| (e.at, e.endpoint))
+            .collect()
+    }
+
     /// Fraction of the horizon each endpoint spends down (for sanity
     /// checks against `mean_downtime / (mean_uptime + mean_downtime)`).
     pub fn downtime_fraction(&self, horizon: f64) -> Vec<f64> {
@@ -230,6 +243,29 @@ mod tests {
             t = next;
             let expect: Vec<usize> = (0..s.endpoints()).filter(|&ep| down[ep]).collect();
             assert_eq!(s.active_downs(t), expect, "at {t}");
+        }
+    }
+
+    #[test]
+    fn recovery_points_are_exactly_the_up_transitions() {
+        let s = FaultSchedule::generate(21, &cfg());
+        let points = s.recovery_points();
+        let ups = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Up))
+            .count();
+        assert_eq!(points.len(), ups);
+        assert!(!points.is_empty(), "schedule has recoveries to repair at");
+        let mut last = SimTime::ZERO;
+        for &(at, ep) in &points {
+            assert!(at >= last, "recovery points time-ordered");
+            last = at;
+            // Immediately after its recovery instant the endpoint is up.
+            assert!(
+                !s.active_downs(at).contains(&ep),
+                "endpoint {ep} still down at its recovery point {at}"
+            );
         }
     }
 

@@ -1,5 +1,7 @@
 //! Chaos walkthrough: fault injection, degraded LCP queries, retry
-//! policies, and eventually-consistent GC under provider loss.
+//! policies, and eventually-consistent GC under provider loss — then the
+//! same fault schedule replayed against a replicated deployment
+//! (factor 2), where reads fail over and the answers stay complete.
 //!
 //! A deterministic fault schedule (seeded, from `evostore::sim`) is
 //! replayed onto the live fabric while a client keeps querying and
@@ -12,7 +14,9 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
-use evostore::core::{random_tensors, trained_tensors, Deployment, EvoError, OwnerMap};
+use evostore::core::{
+    random_tensors, trained_tensors, Deployment, EvoError, EvoStoreClient, OwnerMap,
+};
 use evostore::graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
 use evostore::rpc::{FaultPlan, RetryPolicy};
 use evostore::sim::{FaultKind, FaultSchedule, FaultScheduleConfig, SimTime};
@@ -46,18 +50,8 @@ fn seq(units: &[u32]) -> CompactGraph {
     flatten(&a).unwrap()
 }
 
-fn main() {
-    let n = 4;
-    let dep = Deployment::in_memory(n);
-    // Quorum of 2: queries keep answering while up to 2 providers are out.
-    let client = dep
-        .client_builder()
-        .retry_policy(RetryPolicy::default().with_attempts(3))
-        .call_timeout(Duration::from_secs(2))
-        .min_quorum(2)
-        .build();
-
-    // Populate: a parent and a derived child on different providers.
+/// Store a parent (provider 1) and a derived child (provider 2).
+fn populate(client: &EvoStoreClient, n: usize) -> (ModelId, ModelId) {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let pick = |want: usize| {
         (1..)
@@ -89,59 +83,82 @@ fn main() {
     client
         .store_model(child_g.clone(), map, Some(parent), 0.9, &trained)
         .unwrap();
-    println!("stored {parent} (parent) and {child} (derived child) across {n} providers");
+    (parent, child)
+}
 
-    // Install a fault plan and replay a seeded down/up schedule onto it.
-    let plan = dep.fabric().install_fault_plan(FaultPlan::new(0));
-    let schedule = FaultSchedule::generate(
-        2024,
-        &FaultScheduleConfig {
-            endpoints: n,
-            mean_uptime: 30.0,
-            mean_downtime: 15.0,
-            horizon: 120.0,
-        },
-    );
+/// Replay the seeded schedule against `dep`, querying at each step.
+/// When `repair_on_recovery` is set, every recovery instant in the step
+/// window triggers an anti-entropy pass (`Deployment::repair`), healing
+/// replicas that returned stale. Returns (full, degraded, failed)
+/// step counts.
+fn replay(dep: &Deployment, schedule: &FaultSchedule, repair_on_recovery: bool) -> (u32, u32, u32) {
+    let n = dep.provider_ids().len();
+    let client = dep
+        .client_builder()
+        .retry_policy(RetryPolicy::default().with_attempts(3))
+        .call_timeout(Duration::from_secs(2))
+        .min_quorum(2)
+        .build();
+    let (parent, child) = populate(&client, n);
     println!(
-        "\nreplaying fault schedule (seed 2024, {} events):",
-        schedule.events().len()
+        "  stored {parent} (parent) and {child} (derived child), replication factor {}",
+        dep.replication().factor
     );
 
-    let apply = |from: SimTime, to: SimTime| {
-        for e in schedule.events_between(from, to) {
+    let plan = dep.fabric().install_fault_plan(FaultPlan::new(0));
+    let recoveries = schedule.recovery_points();
+    let probe = seq(&[8, 16, 16, 6]);
+    let (mut full, mut degraded, mut failed) = (0u32, 0u32, 0u32);
+    let mut t = SimTime::ZERO;
+    for step in 1..=6 {
+        let next = SimTime::from_secs(step as f64 * 20.0);
+        for e in schedule.events_between(t, next) {
             let ep = dep.provider_ids()[e.endpoint];
             match e.kind {
                 FaultKind::Down => plan.set_down(ep),
                 FaultKind::Up => plan.set_up(ep),
             }
         }
-    };
-
-    let probe = seq(&[8, 16, 16, 6]);
-    let mut t = SimTime::ZERO;
-    for step in 1..=6 {
-        let next = SimTime::from_secs(step as f64 * 20.0);
-        apply(t, next);
+        if repair_on_recovery && recoveries.iter().any(|&(at, _)| at > t && at <= next) {
+            let report = dep.repair().unwrap();
+            println!(
+                "    repair after recovery: {} synced, {} refs adjusted, {} unreachable",
+                report.models_synced,
+                report.refs_adjusted,
+                report.unreachable.len()
+            );
+        }
         t = next;
         let downs = schedule.active_downs(t);
         match client.query_best_ancestor(&probe) {
-            Ok(d) if d.is_partial() => println!(
-                "  t={t}: {} down {:?} -> DEGRADED answer (best {:?}, unreachable {:?})",
-                downs.len(),
-                downs,
-                d.value.as_ref().map(|b| b.model),
-                d.unreachable
-            ),
-            Ok(d) => println!(
-                "  t={t}: all providers up -> full answer (best {:?})",
-                d.value.as_ref().map(|b| b.model)
-            ),
-            Err(EvoError::PartialFailure { failed }) => println!(
-                "  t={t}: {} down {:?} -> below quorum, typed PartialFailure ({} unreachable)",
-                downs.len(),
-                downs,
-                failed.len()
-            ),
+            Ok(d) if d.is_partial() => {
+                degraded += 1;
+                println!(
+                    "  t={t}: {} down {:?} -> DEGRADED answer (best {:?}, unreachable {:?})",
+                    downs.len(),
+                    downs,
+                    d.value.as_ref().map(|b| b.model),
+                    d.unreachable
+                );
+            }
+            Ok(d) => {
+                full += 1;
+                println!(
+                    "  t={t}: {} down {:?} -> full answer (best {:?})",
+                    downs.len(),
+                    downs,
+                    d.value.as_ref().map(|b| b.model)
+                );
+            }
+            Err(EvoError::PartialFailure { failed: f }) => {
+                failed += 1;
+                println!(
+                    "  t={t}: {} down {:?} -> below quorum, typed PartialFailure ({} unreachable)",
+                    downs.len(),
+                    downs,
+                    f.len()
+                );
+            }
             Err(e) => println!("  t={t}: unexpected error: {e}"),
         }
     }
@@ -152,13 +169,52 @@ fn main() {
     plan.set_down(parent_host);
     let outcome = client.retire_model(child).unwrap();
     println!(
-        "\nretired {child} with {parent_host:?} down: {} refs dropped, {} decrements parked",
+        "  retired {child} with {parent_host:?} down: {} refs dropped, {} decrements parked",
         outcome.refs_dropped, outcome.refs_parked
     );
     plan.set_up(parent_host);
+    if repair_on_recovery {
+        let report = dep.repair().unwrap();
+        println!(
+            "  repair on recovery: {} retirements applied, {} refs adjusted",
+            report.retirements_applied, report.refs_adjusted
+        );
+    }
     let flushed = client.flush_pending_decrements().unwrap();
     dep.gc_audit().unwrap();
-    println!("host recovered: flushed {flushed} parked decrements, GC audit clean");
+    println!("  host recovered: flushed {flushed} parked decrements, GC audit clean");
+    println!("\n  client telemetry:\n{}", client.telemetry().report());
+    (full, degraded, failed)
+}
 
-    println!("\nclient telemetry:\n{}", client.telemetry().report());
+fn main() {
+    let n = 4;
+    let schedule = FaultSchedule::generate(
+        2024,
+        &FaultScheduleConfig {
+            endpoints: n,
+            mean_uptime: 30.0,
+            mean_downtime: 15.0,
+            horizon: 120.0,
+        },
+    );
+    println!(
+        "fault schedule: seed 2024, {} events, {} recoveries\n",
+        schedule.events().len(),
+        schedule.recovery_points().len()
+    );
+
+    println!("=== phase 1: unreplicated (factor 1) ===");
+    let dep1 = Deployment::in_memory(n);
+    let (f1, d1, p1) = replay(&dep1, &schedule, false);
+
+    println!("\n=== phase 2: replicated (factor 2), same schedule ===");
+    let dep2 = Deployment::in_memory_replicated(n, 2);
+    let (f2, d2, p2) = replay(&dep2, &schedule, true);
+
+    println!("\n=== summary (same faults, both phases) ===");
+    println!("  factor 1: {f1} full answers, {d1} degraded, {p1} quorum failures");
+    println!("  factor 2: {f2} full answers, {d2} degraded, {p2} quorum failures");
+    println!("  replication turns single-provider loss into full answers: reads");
+    println!("  fail over along the replica chain and repair re-converges state.");
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-2 replication chaos smoke. Two real-execution passes:
+#
+#   1. examples/chaos_resilience — replays a seeded FaultSchedule against
+#      an unreplicated and a factor-2 deployment, runs the anti-entropy
+#      repair() at every recovery point, and panics unless the final
+#      gc_audit is clean in both phases.
+#   2. replication_ab bench — R=1 vs R=2 A/B (write throughput +
+#      availability with one provider held down, repair on recovery),
+#      recording the two points to results/BENCH_replication.json.
+#
+# Sized to finish in well under a minute. Invoked from tools/check.sh
+# when RUN_CHAOS_SMOKE=1, or standalone:
+#   tools/chaos-smoke.sh [extra replication_ab args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODELS="${CHAOS_SMOKE_MODELS:-24}"
+READS="${CHAOS_SMOKE_READS:-200}"
+OUT="${CHAOS_SMOKE_OUT:-results/BENCH_replication.json}"
+
+echo "== chaos smoke: seeded fault schedule + repair + gc_audit (example)"
+cargo run --release -q --example chaos_resilience
+
+echo "== chaos smoke: replication A/B (factor 1 vs 2, one provider down)"
+cargo run --release -q -p evostore-bench --bin replication_ab -- \
+    --models "${MODELS}" \
+    --reads "${READS}" \
+    --json "${OUT}" \
+    "$@"
+
+echo "== chaos smoke: wrote ${OUT}"

@@ -21,4 +21,11 @@ if [[ "${RUN_BENCH_SMOKE:-0}" == "1" ]]; then
     tools/bench-smoke.sh
 fi
 
+# Optional tier-2: replication chaos smoke — seeded FaultSchedule replay
+# with anti-entropy repair + gc_audit, plus the R=1 vs R=2 availability
+# A/B recorded to results/BENCH_replication.json.
+if [[ "${RUN_CHAOS_SMOKE:-0}" == "1" ]]; then
+    tools/chaos-smoke.sh
+fi
+
 echo "== OK"
