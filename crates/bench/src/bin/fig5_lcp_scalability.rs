@@ -210,6 +210,7 @@ fn main() {
             service_threads: 2,
             backend: evostore_core::BackendKind::Memory,
             replication: evostore_core::ReplicationPolicy::default(),
+            ..Default::default()
         });
         let states = dep.provider_states();
         for (i, g) in catalog.iter().enumerate() {
@@ -412,6 +413,7 @@ fn run_ab(
             service_threads: 2,
             backend: evostore_core::BackendKind::Memory,
             replication: evostore_core::ReplicationPolicy::default(),
+            ..Default::default()
         });
         let states = dep.provider_states();
         let mut next = 0u64;

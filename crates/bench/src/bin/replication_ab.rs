@@ -69,6 +69,7 @@ struct Point {
     read_failed: usize,
     read_failovers: u64,
     repair_synced: usize,
+    metrics: evostore_obs::RegistrySnapshot,
 }
 
 /// Run the full store / fault / read / recover cycle at one factor.
@@ -128,6 +129,7 @@ fn run_point(factor: usize, providers: usize, models: usize, reads: usize) -> Po
         read_failed: failed,
         read_failovers: client.telemetry().read_failovers(),
         repair_synced,
+        metrics: dep.metrics_snapshot(),
     }
 }
 
@@ -252,5 +254,26 @@ fn main() {
         }
         std::fs::write(&json_path, json).expect("write --json output");
         println!("wrote {json_path}");
+
+        // Alongside the result points: the unified registry snapshot of
+        // each run (client telemetry + provider gauges + kv counters),
+        // so a regression in any counter is visible next to the figure.
+        let metrics_path = json_path.replace(".json", "_metrics.json");
+        let runs: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"factor\": {}, \"snapshot\": {}}}",
+                    p.factor,
+                    p.metrics.to_json()
+                )
+            })
+            .collect();
+        let metrics_json = format!(
+            "{{\n  \"figure\": \"replication_ab_metrics\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+            runs.join(",\n")
+        );
+        std::fs::write(&metrics_path, metrics_json).expect("write metrics snapshot");
+        println!("wrote {metrics_path}");
     }
 }

@@ -7,12 +7,17 @@
 //! just the fabric handle plus the provider list.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::BytesMut;
 use evostore_graph::{CompactGraph, LcpResult};
-use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy, RpcError};
+use evostore_obs::{
+    current_trace, set_current_trace, FlightRecorder, MonotonicClock, ObsHub, SlowOp, SlowOpLog,
+    TimeSource, Tracer,
+};
+use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy, RpcError, TraceHandle};
 use evostore_tensor::{read_tensor, write_tensor, ModelId, TensorData, TensorKey, VertexId};
 use parking_lot::Mutex;
 use rand::Rng;
@@ -101,6 +106,20 @@ impl From<RpcError> for EvoError {
 /// Client result alias.
 pub type Result<T> = std::result::Result<T, EvoError>;
 
+/// Flight-recorder ring capacity per client (overridable via
+/// [`EvoStoreClientBuilder::flight_capacity`]).
+pub const CLIENT_FLIGHT_EVENTS: usize = 1024;
+
+/// Default slow-op retention threshold: root spans at least this long
+/// are kept verbatim with their child breakdown.
+pub const DEFAULT_SLOW_OP_THRESHOLD: Duration = Duration::from_millis(100);
+
+/// Slow-op log capacity.
+const SLOW_OP_CAPACITY: usize = 64;
+
+/// Sequence for distinct client node names (`client0`, `client1`, ...).
+static CLIENT_SEQ: AtomicUsize = AtomicUsize::new(0);
+
 /// A query answer that may rest on fewer than all providers.
 ///
 /// When a collective reaches quorum but some providers were unreachable,
@@ -186,6 +205,9 @@ pub struct EvoStoreClientBuilder {
     retry: RetryPolicy,
     min_quorum: Option<usize>,
     replication: ReplicationPolicy,
+    obs: Option<Arc<ObsHub>>,
+    slow_op_threshold: Duration,
+    flight_capacity: usize,
 }
 
 impl EvoStoreClientBuilder {
@@ -236,17 +258,64 @@ impl EvoStoreClientBuilder {
         self
     }
 
+    /// Attach the client to a deployment observability hub: its spans
+    /// stamp time from the hub clock (the virtual clock in simulated
+    /// runs), its flight recorder joins the hub's postmortem dump, and
+    /// its telemetry registers as a metrics source.
+    /// [`crate::deployment::Deployment::client_builder`] pre-wires this.
+    pub fn obs_hub(mut self, hub: Arc<ObsHub>) -> Self {
+        self.obs = Some(hub);
+        self
+    }
+
+    /// Root spans at least this long are retained verbatim in the
+    /// client's slow-op log, with their child breakdown.
+    pub fn slow_op_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_op_threshold = threshold;
+        self
+    }
+
+    /// Flight-recorder ring capacity for this client.
+    pub fn flight_capacity(mut self, cap: usize) -> Self {
+        self.flight_capacity = cap;
+        self
+    }
+
     /// Build the client. Panics when no providers were configured.
     pub fn build(self) -> EvoStoreClient {
         assert!(!self.providers.is_empty(), "deployment has no providers");
         let n = self.providers.len();
+        let node = format!("client{}", CLIENT_SEQ.fetch_add(1, Ordering::Relaxed));
+        let recorder = match &self.obs {
+            Some(hub) => hub.new_recorder(&node, self.flight_capacity),
+            None => {
+                let wall: Arc<dyn TimeSource> = Arc::new(MonotonicClock::default());
+                Arc::new(FlightRecorder::new(&node, self.flight_capacity, wall))
+            }
+        };
+        let clock: Arc<dyn TimeSource> = match &self.obs {
+            Some(hub) => Arc::clone(hub.clock()),
+            None => Arc::new(MonotonicClock::default()),
+        };
+        let slow = Arc::new(SlowOpLog::new(
+            self.slow_op_threshold.as_micros() as u64,
+            SLOW_OP_CAPACITY,
+        ));
+        let tracer = Arc::new(Tracer::new(&node, clock, recorder).with_slow_log(Arc::clone(&slow)));
+        let telemetry = Arc::new(crate::telemetry::ClientTelemetry::new());
+        if let Some(hub) = &self.obs {
+            let t = Arc::clone(&telemetry);
+            hub.registry().register(move || t.metrics(&node));
+        }
         EvoStoreClient {
             fabric: self.fabric,
             providers: Arc::new(self.providers),
             retry: self.retry,
             min_quorum: self.min_quorum.unwrap_or(n).clamp(1, n),
             replication: self.replication,
-            telemetry: Arc::new(crate::telemetry::ClientTelemetry::new()),
+            telemetry,
+            tracer,
+            slow_ops: slow,
             pending_decrements: Arc::new(Mutex::new(Vec::new())),
         }
     }
@@ -261,6 +330,12 @@ pub struct EvoStoreClient {
     min_quorum: usize,
     replication: ReplicationPolicy,
     telemetry: Arc<crate::telemetry::ClientTelemetry>,
+    /// Span factory: every top-level operation opens a root span here,
+    /// and each RPC attempt files a child under it.
+    tracer: Arc<Tracer>,
+    /// Root spans that exceeded the slow threshold, kept with their
+    /// child breakdown.
+    slow_ops: Arc<SlowOpLog>,
     /// Refcount decrements that failed transiently, awaiting re-issue
     /// (shared across clones so any handle can flush them).
     pending_decrements: Arc<Mutex<Vec<(EndpointId, RefsRequest)>>>,
@@ -277,6 +352,9 @@ impl EvoStoreClient {
             retry: RetryPolicy::default().with_timeout(Duration::from_secs(30)),
             min_quorum: None,
             replication: ReplicationPolicy::default(),
+            obs: None,
+            slow_op_threshold: DEFAULT_SLOW_OP_THRESHOLD,
+            flight_capacity: CLIENT_FLIGHT_EVENTS,
         }
     }
 
@@ -289,6 +367,22 @@ impl EvoStoreClient {
     /// Operation latency telemetry (shared across clones of this client).
     pub fn telemetry(&self) -> &crate::telemetry::ClientTelemetry {
         &self.telemetry
+    }
+
+    /// The client's span factory (shared across clones).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// The client's flight-recorder ring.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        self.tracer.recorder()
+    }
+
+    /// Root spans that exceeded the slow threshold, with their child
+    /// breakdown, oldest first.
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        self.slow_ops.entries()
     }
 
     /// The retry policy applied to every call.
@@ -322,6 +416,31 @@ impl EvoStoreClient {
             .collect()
     }
 
+    /// A trace handle for the ambiently active operation, if any — every
+    /// RPC attempt issued under it opens a child span on this client's
+    /// tracer. Top-level operations install their root span ambiently
+    /// ([`set_current_trace`]) so the helpers below pick it up without
+    /// signature changes.
+    fn trace_handle(&self) -> Option<TraceHandle<'_>> {
+        current_trace().map(|parent| TraceHandle::new(&self.tracer, parent))
+    }
+
+    /// Run `f` as a traced top-level operation: open a root span named
+    /// `op`, install it ambiently so every RPC issued inside files its
+    /// attempt spans under it, and mark the root failed when `f` errors.
+    fn with_root<T>(&self, op: &'static str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let mut root = self.tracer.start_root(op);
+        let out = {
+            let _amb = set_current_trace(Some(root.ctx()));
+            f()
+        };
+        if let Err(e) = &out {
+            root.fail(e.to_string());
+        }
+        root.finish();
+        out
+    }
+
     /// Typed unary call under this client's retry policy.
     fn unary<Req: Serialize, Resp: DeserializeOwned>(
         &self,
@@ -329,13 +448,14 @@ impl EvoStoreClient {
         method: &str,
         req: &Req,
     ) -> Result<Resp> {
-        evostore_rpc::unary(
+        evostore_rpc::unary_traced(
             &self.fabric,
             target,
             method,
             req,
             &self.retry,
             Some(&self.telemetry.rpc),
+            self.trace_handle().as_ref(),
         )
         .map_err(EvoError::from)
     }
@@ -350,17 +470,22 @@ impl EvoStoreClient {
         method: &str,
         req: &Req,
     ) -> Result<Resp> {
-        let (_, resp, skipped) = evostore_rpc::unary_failover(
+        let (served_by, resp, skipped) = evostore_rpc::unary_failover_traced(
             &self.fabric,
             targets,
             method,
             req,
             &self.retry,
             Some(&self.telemetry.rpc),
+            self.trace_handle().as_ref(),
         )
         .map_err(EvoError::from)?;
         if skipped > 0 {
             self.telemetry.note_read_failover();
+            let trace_id = current_trace().map(|c| c.trace_id).unwrap_or(0);
+            self.tracer
+                .recorder()
+                .note_failover(trace_id, targets[0].0, served_by.0, method);
         }
         Ok(resp)
     }
@@ -374,13 +499,14 @@ impl EvoStoreClient {
         method: &str,
         req: &Req,
     ) -> Result<(Vec<Resp>, Vec<EndpointId>)> {
-        let legs = evostore_rpc::broadcast(
+        let legs = evostore_rpc::broadcast_traced(
             &self.fabric,
             &self.providers,
             method,
             req,
             &self.retry,
             Some(&self.telemetry.rpc),
+            self.trace_handle().as_ref(),
         )
         .map_err(EvoError::from)?;
         let mut replies = Vec::with_capacity(legs.len());
@@ -412,6 +538,12 @@ impl EvoStoreClient {
         }
         if !unreachable.is_empty() {
             self.telemetry.note_degraded_query();
+            let trace_id = current_trace().map(|c| c.trace_id).unwrap_or(0);
+            self.tracer.recorder().note_degraded(
+                trace_id,
+                method,
+                unreachable.iter().map(|ep| ep.0).collect(),
+            );
         }
         Ok((replies, unreachable))
     }
@@ -451,6 +583,19 @@ impl EvoStoreClient {
         new_tensors: &HashMap<TensorKey, TensorData>,
     ) -> Result<StoreOutcome> {
         let _timer = OpTimer::new(&self.telemetry.store);
+        self.with_root("store_model", move || {
+            self.store_model_inner(graph, owner_map, parent, quality, new_tensors)
+        })
+    }
+
+    fn store_model_inner(
+        &self,
+        graph: CompactGraph,
+        owner_map: OwnerMap,
+        parent: Option<ModelId>,
+        quality: f64,
+        new_tensors: &HashMap<TensorKey, TensorData>,
+    ) -> Result<StoreOutcome> {
         // 1. Pin inherited tensors on every replica. Pins are strict —
         // all-or-fail — because a replica that misses a pin would
         // reclaim a tensor the new model still references.
@@ -465,12 +610,13 @@ impl EvoStoreClient {
             .collect();
         let mut pinned: Vec<(EndpointId, Vec<TensorKey>)> = Vec::new();
         if !pin_reqs.is_empty() {
-            let results = evostore_rpc::fan_out::<RefsRequest, RefsReply>(
+            let results = evostore_rpc::fan_out_traced::<RefsRequest, RefsReply>(
                 &self.fabric,
                 &pin_reqs,
                 methods::INCR_REFS,
                 &self.retry,
                 Some(&self.telemetry.rpc),
+                self.trace_handle().as_ref(),
             );
             let mut first_err: Option<EvoError> = None;
             for ((ep, req), (_, result)) in pin_reqs.iter().zip(results) {
@@ -512,12 +658,13 @@ impl EvoStoreClient {
             .iter()
             .map(|(ep, keys)| (*ep, RefsRequest::new(keys.clone())))
             .collect();
-        let _ = evostore_rpc::fan_out::<RefsRequest, RefsReply>(
+        let _ = evostore_rpc::fan_out_traced::<RefsRequest, RefsReply>(
             &self.fabric,
             &reqs,
             methods::DECR_REFS,
             &self.retry,
             Some(&self.telemetry.rpc),
+            self.trace_handle().as_ref(),
         );
     }
 
@@ -572,15 +719,26 @@ impl EvoStoreClient {
         // settled — mirrors read it too.
         let chain = self.replicas_of(model);
         let outcome = (|| -> Result<StoreOutcome> {
-            let (served_by, reply, _skipped) = evostore_rpc::unary_failover::<_, StoreModelReply>(
-                &self.fabric,
-                &chain,
-                methods::STORE,
-                &req,
-                &self.retry,
-                Some(&self.telemetry.rpc),
-            )
-            .map_err(EvoError::from)?;
+            let (served_by, reply, skipped) =
+                evostore_rpc::unary_failover_traced::<_, StoreModelReply>(
+                    &self.fabric,
+                    &chain,
+                    methods::STORE,
+                    &req,
+                    &self.retry,
+                    Some(&self.telemetry.rpc),
+                    self.trace_handle().as_ref(),
+                )
+                .map_err(EvoError::from)?;
+            if skipped > 0 {
+                let trace_id = current_trace().map(|c| c.trace_id).unwrap_or(0);
+                self.tracer.recorder().note_failover(
+                    trace_id,
+                    chain[0].0,
+                    served_by.0,
+                    methods::STORE,
+                );
+            }
             let mirrors: Vec<(EndpointId, StoreModelRequest)> = chain
                 .iter()
                 .filter(|&&ep| ep != served_by)
@@ -595,12 +753,13 @@ impl EvoStoreClient {
                 })
                 .collect();
             if !mirrors.is_empty() {
-                let results = evostore_rpc::fan_out::<StoreModelRequest, StoreModelReply>(
+                let results = evostore_rpc::fan_out_traced::<StoreModelRequest, StoreModelReply>(
                     &self.fabric,
                     &mirrors,
                     methods::STORE,
                     &self.retry,
                     Some(&self.telemetry.rpc),
+                    self.trace_handle().as_ref(),
                 );
                 let mut debt = 0u64;
                 let mut permanent: Option<EvoError> = None;
@@ -692,8 +851,9 @@ impl EvoStoreClient {
         let req = LcpQueryRequest {
             graph: graph.clone(),
         };
-        let (replies, unreachable) =
-            self.quorum_broadcast::<_, LcpQueryReply>(methods::LCP, &req)?;
+        let (replies, unreachable) = self.with_root("query_best_ancestor", || {
+            self.quorum_broadcast::<_, LcpQueryReply>(methods::LCP, &req)
+        })?;
         for reply in &replies {
             self.telemetry.note_index_stats(reply.stats);
         }
@@ -737,32 +897,42 @@ impl EvoStoreClient {
     /// primary is down, missed the write, or returned a corrupt payload.
     pub fn fetch_tensors(&self, keys: &[TensorKey]) -> Result<HashMap<TensorKey, TensorData>> {
         let _timer = OpTimer::new(&self.telemetry.fetch);
-        let n = self.providers.len();
-        let mut groups: HashMap<usize, Vec<TensorKey>> = HashMap::new();
-        for key in keys {
-            groups
-                .entry(key.owner.provider_for(n))
-                .or_default()
-                .push(*key);
-        }
-        let groups: Vec<(usize, Vec<TensorKey>)> = groups.into_iter().collect();
-        let fetched: Vec<Result<Vec<(TensorKey, TensorData)>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = groups
-                .iter()
-                .map(|(primary, keys)| scope.spawn(move || self.fetch_group(*primary, keys)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fetch leg panicked"))
-                .collect()
-        });
-        let mut out = HashMap::with_capacity(keys.len());
-        for group in fetched {
-            for (key, tensor) in group? {
-                out.insert(key, tensor);
+        self.with_root("fetch_tensors", || {
+            let n = self.providers.len();
+            let mut groups: HashMap<usize, Vec<TensorKey>> = HashMap::new();
+            for key in keys {
+                groups
+                    .entry(key.owner.provider_for(n))
+                    .or_default()
+                    .push(*key);
             }
-        }
-        Ok(out)
+            let groups: Vec<(usize, Vec<TensorKey>)> = groups.into_iter().collect();
+            // The ambient context does not cross threads: capture it
+            // here and re-install it inside each fetch leg.
+            let parent = current_trace();
+            let fetched: Vec<Result<Vec<(TensorKey, TensorData)>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .iter()
+                    .map(|(primary, keys)| {
+                        scope.spawn(move || {
+                            let _amb = set_current_trace(parent);
+                            self.fetch_group(*primary, keys)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fetch leg panicked"))
+                    .collect()
+            });
+            let mut out = HashMap::with_capacity(keys.len());
+            for group in fetched {
+                for (key, tensor) in group? {
+                    out.insert(key, tensor);
+                }
+            }
+            Ok(out)
+        })
     }
 
     /// Fetch one chain's keys from the first replica that can serve them.
@@ -781,6 +951,13 @@ impl EvoStoreClient {
                 Ok(tensors) => {
                     if attempt > 0 {
                         self.telemetry.note_read_failover();
+                        let trace_id = current_trace().map(|c| c.trace_id).unwrap_or(0);
+                        self.tracer.recorder().note_failover(
+                            trace_id,
+                            self.providers[chain[0]].0,
+                            self.providers[idx].0,
+                            methods::READ,
+                        );
                     }
                     return Ok(tensors);
                 }
@@ -911,8 +1088,9 @@ impl EvoStoreClient {
         let req = PatternQueryRequest {
             pattern: pattern.clone(),
         };
-        let (replies, unreachable) =
-            self.quorum_broadcast::<_, PatternQueryReply>(methods::MATCH_PATTERN, &req)?;
+        let (replies, unreachable) = self.with_root("find_matching", || {
+            self.quorum_broadcast::<_, PatternQueryReply>(methods::MATCH_PATTERN, &req)
+        })?;
         for reply in &replies {
             self.telemetry.note_index_stats(reply.stats);
         }
@@ -970,7 +1148,7 @@ impl EvoStoreClient {
         // comparison).
         let chain = self.replicas_of(model);
         let reply: Result<StoreModelReply> = {
-            let legs = evostore_rpc::fan_out::<StoreOptimizerRequest, StoreModelReply>(
+            let legs = evostore_rpc::fan_out_traced::<StoreOptimizerRequest, StoreModelReply>(
                 &self.fabric,
                 &chain
                     .iter()
@@ -979,6 +1157,7 @@ impl EvoStoreClient {
                 methods::STORE_OPTIMIZER,
                 &self.retry,
                 Some(&self.telemetry.rpc),
+                self.trace_handle().as_ref(),
             );
             let mut reply: Option<StoreModelReply> = None;
             let mut debt = 0u64;
@@ -1076,13 +1255,17 @@ impl EvoStoreClient {
     /// parked if transient).
     pub fn retire_model(&self, model: ModelId) -> Result<RetireOutcome> {
         let _timer = OpTimer::new(&self.telemetry.retire);
+        self.with_root("retire_model", || self.retire_model_inner(model))
+    }
+
+    fn retire_model_inner(&self, model: ModelId) -> Result<RetireOutcome> {
         // Opportunistically drain decrements parked by earlier failures.
         let _ = self.flush_pending_decrements();
         // Drop the record on every replica. One success suffices: a
         // replica that is down keeps a stale record, which the tombstone
         // recorded by its reachable siblings removes during repair.
         let chain = self.replicas_of(model);
-        let meta_legs = evostore_rpc::fan_out::<RetireMetaRequest, RetireMetaReply>(
+        let meta_legs = evostore_rpc::fan_out_traced::<RetireMetaRequest, RetireMetaReply>(
             &self.fabric,
             &chain
                 .iter()
@@ -1091,6 +1274,7 @@ impl EvoStoreClient {
             methods::RETIRE_META,
             &self.retry,
             Some(&self.telemetry.rpc),
+            self.trace_handle().as_ref(),
         );
         let mut reply: Option<RetireMetaReply> = None;
         let mut first_err: Option<EvoError> = None;
@@ -1136,12 +1320,13 @@ impl EvoStoreClient {
                 )
             })
             .collect();
-        let results = evostore_rpc::fan_out::<RefsRequest, RefsReply>(
+        let results = evostore_rpc::fan_out_traced::<RefsRequest, RefsReply>(
             &self.fabric,
             &reqs,
             methods::DECR_REFS,
             &self.retry,
             Some(&self.telemetry.rpc),
+            self.trace_handle().as_ref(),
         );
         let mut tensors_reclaimed = 0;
         let mut refs_parked = 0;
@@ -1186,12 +1371,13 @@ impl EvoStoreClient {
         if pending.is_empty() {
             return Ok(0);
         }
-        let results = evostore_rpc::fan_out::<RefsRequest, RefsReply>(
+        let results = evostore_rpc::fan_out_traced::<RefsRequest, RefsReply>(
             &self.fabric,
             &pending,
             methods::DECR_REFS,
             &self.retry,
             Some(&self.telemetry.rpc),
+            self.trace_handle().as_ref(),
         );
         let mut flushed = 0;
         let mut requeue = Vec::new();
@@ -1272,13 +1458,14 @@ impl EvoStoreClient {
     /// deployment, so any failed provider fails the call
     /// ([`EvoError::PartialFailure`] when transient).
     pub fn stats(&self) -> Result<ProviderStats> {
-        let legs = evostore_rpc::broadcast::<_, ProviderStats>(
+        let legs = evostore_rpc::broadcast_traced::<_, ProviderStats>(
             &self.fabric,
             &self.providers,
             methods::STATS,
             &StatsRequest {},
             &self.retry,
             Some(&self.telemetry.rpc),
+            self.trace_handle().as_ref(),
         )
         .map_err(EvoError::from)?;
         let mut acc = ProviderStats::default();

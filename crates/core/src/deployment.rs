@@ -7,17 +7,22 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use evostore_kv::{KvBackend, LogStore, MemPoolStore};
+use evostore_obs::{FlightEvent, MonotonicClock, ObsHub, RegistrySnapshot, TimeSource};
 use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy};
 use evostore_tensor::{ModelId, TensorKey};
 
 use crate::client::EvoStoreClient;
 use crate::messages::{
-    methods, DigestReply, DigestRequest, GetMetaRequest, ModelMetaReply, ReadTensorsReply,
-    ReadTensorsRequest, SyncModelReply, SyncModelRequest, SyncRefsReply, SyncRefsRequest,
-    SyncRetireReply, SyncRetireRequest, Tombstone,
+    methods, DigestReply, DigestRequest, GetMetaRequest, ModelMetaReply, ObsSnapshotRequest,
+    ProviderStats, ReadTensorsReply, ReadTensorsRequest, SyncModelReply, SyncModelRequest,
+    SyncRefsReply, SyncRefsRequest, SyncRetireReply, SyncRetireRequest, Tombstone,
 };
 use crate::provider::{Provider, ProviderState};
 use crate::replication::ReplicationPolicy;
+
+/// Flight-recorder capacity of the fabric's ring (faults, endpoint
+/// down/up transitions).
+pub const FABRIC_FLIGHT_EVENTS: usize = 4096;
 
 /// Which KV backend providers persist tensors into.
 #[derive(Debug, Clone)]
@@ -49,6 +54,11 @@ pub struct DeploymentConfig {
     /// Replica placement policy (factor 1 = the paper's unreplicated
     /// static hashing).
     pub replication: ReplicationPolicy,
+    /// Observability clock override: spans, flight events and slow-op
+    /// thresholds are stamped from this source. `None` uses the wall
+    /// clock; simulations pass a virtual clock (e.g.
+    /// `evostore_sim::SimClock`).
+    pub clock: Option<Arc<dyn TimeSource>>,
 }
 
 impl Default for DeploymentConfig {
@@ -58,6 +68,7 @@ impl Default for DeploymentConfig {
             service_threads: 2,
             backend: BackendKind::Memory,
             replication: ReplicationPolicy::default(),
+            clock: None,
         }
     }
 }
@@ -68,6 +79,7 @@ pub struct Deployment {
     providers: Vec<Provider>,
     provider_ids: Vec<EndpointId>,
     replication: ReplicationPolicy,
+    obs: Arc<ObsHub>,
 }
 
 /// What one [`Deployment::repair`] pass did.
@@ -97,6 +109,12 @@ impl Deployment {
     pub fn new(cfg: DeploymentConfig) -> Deployment {
         assert!(cfg.providers > 0);
         let fabric = Fabric::new();
+        let obs_clock: Arc<dyn TimeSource> = cfg
+            .clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(MonotonicClock::default()));
+        let obs = Arc::new(ObsHub::new(obs_clock));
+        fabric.set_flight_recorder(Some(obs.new_recorder("fabric", FABRIC_FLIGHT_EVENTS)));
         let clock = Arc::new(AtomicU64::new(1));
         let mut providers = Vec::with_capacity(cfg.providers);
         for i in 0..cfg.providers {
@@ -135,6 +153,7 @@ impl Deployment {
                 backend,
                 meta,
                 cfg.service_threads,
+                Some(&obs),
             ));
         }
         let provider_ids = providers.iter().map(|p| p.endpoint_id()).collect();
@@ -143,6 +162,7 @@ impl Deployment {
             providers,
             provider_ids,
             replication: cfg.replication,
+            obs,
         }
     }
 
@@ -236,6 +256,13 @@ impl Deployment {
         EvoStoreClient::builder(Arc::clone(&self.fabric))
             .providers(self.provider_ids.clone())
             .replication(self.replication)
+            .obs_hub(Arc::clone(&self.obs))
+    }
+
+    /// The deployment's observability hub (clock, unified registry,
+    /// flight recorders).
+    pub fn obs(&self) -> &Arc<ObsHub> {
+        &self.obs
     }
 
     /// The underlying fabric.
@@ -262,6 +289,157 @@ impl Deployment {
     pub fn set_index_enabled(&self, enabled: bool) {
         for p in &self.providers {
             p.state.set_index_enabled(enabled);
+        }
+    }
+
+    /// Per-provider statistics, in provider-index order — including the
+    /// KV byte counters ([`ProviderStats::tensor_kv`] /
+    /// [`ProviderStats::meta_kv`]) carried in STATS replies.
+    pub fn stats(&self) -> Vec<ProviderStats> {
+        self.providers.iter().map(|p| p.state.stats()).collect()
+    }
+
+    /// One unified metrics snapshot for the whole deployment: the hub
+    /// registry (clients built via [`Deployment::client_builder`]
+    /// register their telemetry there) merged with every provider's
+    /// registry, fanned in over the `OBS_SNAPSHOT` RPC.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        let mut snap = self.obs.registry().snapshot();
+        let retry = RetryPolicy::default().with_timeout(Duration::from_secs(30));
+        if let Ok(legs) = evostore_rpc::broadcast::<_, RegistrySnapshot>(
+            &self.fabric,
+            &self.provider_ids,
+            methods::OBS_SNAPSHOT,
+            &ObsSnapshotRequest {},
+            &retry,
+            None,
+        ) {
+            for (_, leg) in legs {
+                // An unreachable provider degrades the snapshot rather
+                // than failing it; its series are simply absent.
+                if let Ok(provider_snap) = leg {
+                    snap.merge(&provider_snap);
+                }
+            }
+        }
+        snap
+    }
+
+    /// Prometheus text exposition of [`Deployment::metrics_snapshot`] —
+    /// the one export surface for every counter in the system.
+    pub fn metrics_text(&self) -> String {
+        self.metrics_snapshot().to_prometheus_text()
+    }
+
+    /// Merge every flight recorder (fabric, providers, clients) into one
+    /// time-ordered postmortem dump. Degraded answers and failovers are
+    /// annotated with the fault window of the endpoints involved (down
+    /// since when, per the fabric's down/up transitions), so each
+    /// degraded line alone names the provider and fault responsible.
+    pub fn flight_dump(&self) -> String {
+        let mut events: Vec<(String, FlightEvent)> = Vec::new();
+        let mut out = String::new();
+        for rec in self.obs.recorders() {
+            out.push_str(&format!(
+                "# node {}: {} recorded, {} dropped\n",
+                rec.node(),
+                rec.recorded(),
+                rec.dropped()
+            ));
+            for e in rec.events() {
+                events.push((rec.node().to_string(), e));
+            }
+        }
+        events.sort_by_key(|(_, e)| e.at_us());
+        // Walk in time order tracking which endpoints are down so the
+        // degraded/failover lines can name their fault window.
+        let mut down_since: HashMap<u32, u64> = HashMap::new();
+        let since = |down: &HashMap<u32, u64>, ep: u32| match down.get(&ep) {
+            Some(at) => format!("{} (down since {at}us)", self.endpoint_name(ep)),
+            None => self.endpoint_name(ep),
+        };
+        for (node, e) in &events {
+            let at = e.at_us();
+            let line = match e {
+                FlightEvent::Span(s) => {
+                    let ep = match s.endpoint {
+                        Some(ep) => format!(" @{}", self.endpoint_name(ep)),
+                        None => String::new(),
+                    };
+                    format!(
+                        "span {}{} trace={:016x} span={:x} parent={:x} {}..{}us {}",
+                        s.name,
+                        ep,
+                        s.trace_id,
+                        s.span_id,
+                        s.parent_span_id,
+                        s.start_us,
+                        s.end_us,
+                        s.status
+                    )
+                }
+                FlightEvent::Fault {
+                    endpoint,
+                    method,
+                    action,
+                    ..
+                } => format!(
+                    "FAULT {} method={method} action={action}",
+                    self.endpoint_name(*endpoint)
+                ),
+                FlightEvent::EndpointDown { endpoint, .. } => {
+                    down_since.insert(*endpoint, at);
+                    format!("DOWN {}", self.endpoint_name(*endpoint))
+                }
+                FlightEvent::EndpointUp { endpoint, .. } => {
+                    let was = down_since.remove(endpoint);
+                    match was {
+                        Some(from) => format!(
+                            "UP {} (was down {from}us..{at}us)",
+                            self.endpoint_name(*endpoint)
+                        ),
+                        None => format!("UP {}", self.endpoint_name(*endpoint)),
+                    }
+                }
+                FlightEvent::Failover {
+                    trace_id,
+                    from,
+                    to,
+                    what,
+                    ..
+                } => format!(
+                    "FAILOVER {what} trace={trace_id:016x} {} -> {}",
+                    since(&down_since, *from),
+                    self.endpoint_name(*to)
+                ),
+                FlightEvent::Degraded {
+                    trace_id,
+                    op,
+                    unreachable,
+                    ..
+                } => {
+                    let who: Vec<String> = unreachable
+                        .iter()
+                        .map(|ep| since(&down_since, *ep))
+                        .collect();
+                    format!(
+                        "DEGRADED {op} trace={trace_id:016x} unreachable=[{}]",
+                        who.join(", ")
+                    )
+                }
+                FlightEvent::Note { text, .. } => text.clone(),
+            };
+            out.push_str(&format!("[{at:>10}us] {node:<10} {line}\n"));
+        }
+        out
+    }
+
+    /// `providerN(epM)` when the endpoint is a provider of this
+    /// deployment, `epM` otherwise (clients, external endpoints).
+    fn endpoint_name(&self, ep: u32) -> String {
+        match self.provider_ids.iter().position(|e| e.0 == ep) {
+            Some(i) => format!("provider{i}(ep{ep})"),
+            None => format!("ep{ep}"),
         }
     }
 

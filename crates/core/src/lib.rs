@@ -35,7 +35,7 @@ pub use client::{
     random_tensors, BestAncestor, Degraded, EvoError, EvoStoreClient, EvoStoreClientBuilder,
     LoadedModel, RetireOutcome, StoreOutcome,
 };
-pub use deployment::{BackendKind, Deployment, DeploymentConfig};
+pub use deployment::{BackendKind, Deployment, DeploymentConfig, FABRIC_FLIGHT_EVENTS};
 pub use messages::ProviderStats;
 pub use owner_map::{OwnerMap, VertexOwner};
 pub use provider::{ModelRecord, Provider, ProviderState};

@@ -6,6 +6,7 @@
 //! transfer (the owner-based consolidation of §4.1).
 
 use evostore_graph::{CompactGraph, IndexQueryStats, LcpResult};
+use evostore_kv::MetricsSnapshot;
 use evostore_tensor::{ModelId, TensorKey};
 use serde::{Deserialize, Serialize};
 
@@ -433,6 +434,13 @@ pub struct ProviderStats {
     /// Cumulative ancestor/pattern query counters (scanned, deduped,
     /// pruned, memo hits) since this provider started.
     pub query_stats: IndexQueryStats,
+    /// Tensor-store backend counters (ops + bytes moved). `default` so
+    /// replies from pre-observability providers still decode.
+    #[serde(default)]
+    pub tensor_kv: MetricsSnapshot,
+    /// Metadata-store backend counters.
+    #[serde(default)]
+    pub meta_kv: MetricsSnapshot,
 }
 
 impl ProviderStats {
@@ -445,9 +453,26 @@ impl ProviderStats {
             tensor_bytes: self.tensor_bytes + other.tensor_bytes,
             metadata_bytes: self.metadata_bytes + other.metadata_bytes,
             query_stats: self.query_stats.merge(other.query_stats),
+            tensor_kv: {
+                let mut kv = self.tensor_kv;
+                kv.merge(&other.tensor_kv);
+                kv
+            },
+            meta_kv: {
+                let mut kv = self.meta_kv;
+                kv.merge(&other.meta_kv);
+                kv
+            },
         }
     }
 }
+
+/// Ask a provider for its observability registry snapshot (empty
+/// request). The reply is an [`evostore_obs::RegistrySnapshot`] built on
+/// demand: provider stats gauges, kv backend counters, index query
+/// counters, and flight-recorder occupancy.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ObsSnapshotRequest {}
 
 /// RPC method names registered by every provider.
 pub mod methods {
@@ -483,6 +508,8 @@ pub mod methods {
     pub const SYNC_RETIRE: &str = "evostore.sync_retire";
     /// Set hosted reference counts to authoritative values.
     pub const SYNC_REFS: &str = "evostore.sync_refs";
+    /// Observability registry snapshot (metrics exposition fan-in).
+    pub const OBS_SNAPSHOT: &str = "evostore.obs_snapshot";
 }
 
 #[cfg(test)]
@@ -504,6 +531,12 @@ mod tests {
                 deduped: 4,
                 pruned: 1,
             },
+            tensor_kv: MetricsSnapshot {
+                puts: 2,
+                bytes_written: 100,
+                ..MetricsSnapshot::default()
+            },
+            meta_kv: MetricsSnapshot::default(),
         };
         let b = ProviderStats {
             models: 3,
@@ -512,6 +545,12 @@ mod tests {
             tensor_bytes: 900,
             metadata_bytes: 32,
             query_stats: IndexQueryStats::default(),
+            tensor_kv: MetricsSnapshot {
+                puts: 1,
+                bytes_written: 900,
+                ..MetricsSnapshot::default()
+            },
+            meta_kv: MetricsSnapshot::default(),
         };
         let m = a.merge(b);
         assert_eq!(m.models, 4);
@@ -522,6 +561,8 @@ mod tests {
         assert_eq!(m.query_stats.candidates, 10);
         assert_eq!(m.query_stats.scanned, 2);
         assert_eq!(m.query_stats.memo_hits, 3);
+        assert_eq!(m.tensor_kv.puts, 3);
+        assert_eq!(m.tensor_kv.bytes_written, 1000);
     }
 
     #[test]

@@ -18,6 +18,10 @@ use std::sync::Arc;
 use bytes::BytesMut;
 use evostore_graph::{lcp, ArchIndex, CompactGraph, IndexQueryStats};
 use evostore_kv::{KvBackend, RefCountedStore};
+use evostore_obs::{
+    current_trace, FlightRecorder, Metric, MonotonicClock, ObsHub, RegistrySnapshot, Span,
+    TimeSource, Tracer,
+};
 use evostore_rpc::{typed_handler, Endpoint, EndpointId, Fabric};
 use evostore_tensor::{read_tensor, ModelId, TensorKey};
 use parking_lot::{Mutex, RwLock};
@@ -32,6 +36,10 @@ use crate::replication::ReplicationPolicy;
 /// (retry attempts) so a retried leg always finds its first delivery in
 /// the cache; beyond that window a duplicate would re-apply.
 const REFS_OP_MEMORY: usize = 65_536;
+
+/// Flight-recorder ring capacity per provider (recent events kept for a
+/// postmortem dump; older ones are evicted and counted).
+pub const PROVIDER_FLIGHT_EVENTS: usize = 1024;
 
 /// Bounded memo of applied [`RefsRequest`]s: `op_id` → the reply the
 /// first delivery produced. Evicts in insertion order at
@@ -168,6 +176,11 @@ pub struct ProviderState {
     index_enabled: AtomicBool,
     /// Cumulative per-query index statistics (LCP and pattern scans).
     query_stats: Mutex<IndexQueryStats>,
+    /// Span factory for this provider; its flight recorder is the
+    /// provider's postmortem ring.
+    tracer: Tracer,
+    /// This provider's fabric address (stamped on handler spans).
+    endpoint_id: u32,
 }
 
 impl ProviderState {
@@ -177,6 +190,43 @@ impl ProviderState {
     fn places_here(&self, model: ModelId) -> bool {
         self.replication
             .is_replica(model, self.num_providers, self.index)
+    }
+
+    /// Run `f` under a handler span joined to the caller's trace. The
+    /// service thread installs the RPC envelope's [`TraceContext`]
+    /// ambiently before invoking the handler; when present, the handler
+    /// hop becomes a child span in the caller's trace (recorded in this
+    /// provider's flight ring) and is re-installed ambiently so kv-op
+    /// spans opened inside `f` nest under it. Untraced calls run `f`
+    /// bare.
+    ///
+    /// [`TraceContext`]: evostore_obs::TraceContext
+    fn traced<T>(
+        &self,
+        method: &'static str,
+        f: impl FnOnce() -> Result<T, String>,
+    ) -> Result<T, String> {
+        let Some(parent) = current_trace() else {
+            return f();
+        };
+        let mut span = self
+            .tracer
+            .start_child(parent, method, Some(self.endpoint_id));
+        let out = {
+            let _g = evostore_obs::set_current_trace(Some(span.ctx()));
+            f()
+        };
+        if let Err(e) = &out {
+            span.fail(e.clone());
+        }
+        span.finish();
+        out
+    }
+
+    /// A child span for a kv-store operation inside a traced handler
+    /// (`None` when the request carried no trace context).
+    fn kv_span(&self, name: &'static str) -> Option<Span<'_>> {
+        current_trace().map(|parent| self.tracer.start_child(parent, name, None))
     }
 
     fn meta_key(model: ModelId) -> Vec<u8> {
@@ -343,6 +393,7 @@ impl ProviderState {
             validated.push((entry.key, record));
         }
 
+        let kv = self.kv_span("kv.put_tensors");
         let mut bytes_stored = 0u64;
         for (key, record) in validated {
             bytes_stored += record.len() as u64;
@@ -350,6 +401,7 @@ impl ProviderState {
                 .put(&key.encode(), record, 1)
                 .map_err(|e| format!("store tensor {key}: {e}"))?;
         }
+        drop(kv);
 
         let timestamp = match req.timestamp {
             // Mirror leg: adopt the stamp the first replica assigned and
@@ -396,6 +448,7 @@ impl ProviderState {
     /// Handle a tensor read: consolidate the requested tensors into one
     /// freshly exposed bulk region.
     pub fn handle_read(&self, req: ReadTensorsRequest) -> Result<ReadTensorsReply, String> {
+        let kv = self.kv_span("kv.read_tensors");
         let mut buf = BytesMut::new();
         let mut manifest = Vec::with_capacity(req.keys.len());
         for key in &req.keys {
@@ -416,6 +469,7 @@ impl ProviderState {
             });
             buf.extend_from_slice(&record);
         }
+        drop(kv);
         let bulk = self.fabric.bulk_expose(buf.freeze());
         Ok(ReadTensorsReply {
             manifest,
@@ -1002,7 +1056,85 @@ impl ProviderState {
                 .map(|r| r.owner_map.metadata_bytes() as u64)
                 .sum(),
             query_stats: *self.query_stats.lock(),
+            tensor_kv: self
+                .tensors
+                .backend()
+                .metrics_snapshot()
+                .unwrap_or_default(),
+            meta_kv: self.meta_store.metrics_snapshot().unwrap_or_default(),
         }
+    }
+
+    /// This provider's observability registry snapshot, built on demand
+    /// (the `OBS_SNAPSHOT` reply): catalog gauges, kv backend counters
+    /// per store, index query counters, and flight-ring occupancy.
+    pub fn obs_snapshot(&self) -> RegistrySnapshot {
+        let stats = self.stats();
+        let p = self.index;
+        let mut metrics = vec![
+            Metric::gauge("evostore_provider_models", stats.models as f64)
+                .with_label("provider", p),
+            Metric::gauge(
+                "evostore_provider_distinct_archs",
+                stats.distinct_archs as f64,
+            )
+            .with_label("provider", p),
+            Metric::gauge("evostore_provider_tensors", stats.tensors as f64)
+                .with_label("provider", p),
+            Metric::gauge("evostore_provider_tensor_bytes", stats.tensor_bytes as f64)
+                .with_label("provider", p),
+            Metric::gauge(
+                "evostore_provider_metadata_bytes",
+                stats.metadata_bytes as f64,
+            )
+            .with_label("provider", p),
+            Metric::counter("evostore_index_candidates", stats.query_stats.candidates)
+                .with_label("provider", p),
+            Metric::counter("evostore_index_scanned", stats.query_stats.scanned)
+                .with_label("provider", p),
+            Metric::counter("evostore_index_memo_hits", stats.query_stats.memo_hits)
+                .with_label("provider", p),
+            Metric::counter("evostore_index_deduped", stats.query_stats.deduped)
+                .with_label("provider", p),
+            Metric::counter("evostore_index_pruned", stats.query_stats.pruned)
+                .with_label("provider", p),
+        ];
+        for (store, snap) in [("tensors", stats.tensor_kv), ("meta", stats.meta_kv)] {
+            for (name, v) in [
+                ("evostore_kv_puts", snap.puts),
+                ("evostore_kv_gets", snap.gets),
+                ("evostore_kv_misses", snap.misses),
+                ("evostore_kv_deletes", snap.deletes),
+                ("evostore_kv_bytes_written", snap.bytes_written),
+                ("evostore_kv_bytes_read", snap.bytes_read),
+            ] {
+                metrics.push(
+                    Metric::counter(name, v)
+                        .with_label("provider", p)
+                        .with_label("store", store),
+                );
+            }
+        }
+        let rec = self.tracer.recorder();
+        metrics.push(
+            Metric::counter("evostore_obs_flight_events", rec.recorded())
+                .with_label("node", rec.node()),
+        );
+        metrics.push(
+            Metric::counter("evostore_obs_flight_dropped", rec.dropped())
+                .with_label("node", rec.node()),
+        );
+        RegistrySnapshot::from_metrics(metrics)
+    }
+
+    /// The provider's span factory (tests, diagnostics).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The provider's flight-recorder ring.
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        self.tracer.recorder()
     }
 
     /// Models cataloged here (diagnostics/tests).
@@ -1111,7 +1243,11 @@ pub struct Provider {
 impl Provider {
     /// Spawn a provider on `fabric` as provider `index` of
     /// `num_providers`, with the given replica placement rule, tensor
-    /// backend and RPC service thread count.
+    /// backend and RPC service thread count. When an [`ObsHub`] is
+    /// given, the provider's flight recorder registers with it (and
+    /// stamps time from the hub clock — the simulator's virtual clock in
+    /// simulated runs); otherwise the provider keeps a private
+    /// wall-clock ring.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         fabric: Arc<Fabric>,
@@ -1122,8 +1258,26 @@ impl Provider {
         backend: Box<dyn KvBackend>,
         meta_store: Box<dyn KvBackend>,
         service_threads: usize,
+        obs: Option<&ObsHub>,
     ) -> Provider {
         let endpoint = fabric.create_endpoint(service_threads);
+        let node = format!("provider{index}");
+        let tracer = match obs {
+            Some(hub) => Tracer::new(
+                &node,
+                Arc::clone(hub.clock()),
+                hub.new_recorder(&node, PROVIDER_FLIGHT_EVENTS),
+            ),
+            None => {
+                let wall: Arc<dyn TimeSource> = Arc::new(MonotonicClock::default());
+                let ring = Arc::new(FlightRecorder::new(
+                    &node,
+                    PROVIDER_FLIGHT_EVENTS,
+                    Arc::clone(&wall),
+                ));
+                Tracer::new(&node, wall, ring)
+            }
+        };
         let state = Arc::new(ProviderState {
             fabric: Arc::clone(&fabric),
             index,
@@ -1137,75 +1291,103 @@ impl Provider {
             tombstones: Mutex::new(HashMap::new()),
             index_enabled: AtomicBool::new(true),
             query_stats: Mutex::new(IndexQueryStats::default()),
+            tracer,
+            endpoint_id: endpoint.id().0,
         });
 
+        // Every handler runs under `traced`: when the RPC envelope
+        // carried a trace context, the hop becomes a child span in the
+        // caller's trace, recorded in this provider's flight ring.
         let s = Arc::clone(&state);
-        endpoint.register(methods::STORE, typed_handler(move |r| s.handle_store(r)));
+        endpoint.register(
+            methods::STORE,
+            typed_handler(move |r| s.traced(methods::STORE, || s.handle_store(r))),
+        );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::GET_META,
-            typed_handler(move |r| s.handle_get_meta(r)),
+            typed_handler(move |r| s.traced(methods::GET_META, || s.handle_get_meta(r))),
         );
         let s = Arc::clone(&state);
-        endpoint.register(methods::READ, typed_handler(move |r| s.handle_read(r)));
+        endpoint.register(
+            methods::READ,
+            typed_handler(move |r| s.traced(methods::READ, || s.handle_read(r))),
+        );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::INCR_REFS,
-            typed_handler(move |r| s.handle_incr_refs(r)),
+            typed_handler(move |r| s.traced(methods::INCR_REFS, || s.handle_incr_refs(r))),
         );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::DECR_REFS,
-            typed_handler(move |r| s.handle_decr_refs(r)),
+            typed_handler(move |r| s.traced(methods::DECR_REFS, || s.handle_decr_refs(r))),
         );
         let s = Arc::clone(&state);
-        endpoint.register(methods::LCP, typed_handler(move |r| s.handle_lcp(r)));
+        endpoint.register(
+            methods::LCP,
+            typed_handler(move |r| s.traced(methods::LCP, || s.handle_lcp(r))),
+        );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::RETIRE_META,
-            typed_handler(move |r| s.handle_retire_meta(r)),
+            typed_handler(move |r| s.traced(methods::RETIRE_META, || s.handle_retire_meta(r))),
         );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::READ_RANGE,
-            typed_handler(move |r| s.handle_read_range(r)),
+            typed_handler(move |r| s.traced(methods::READ_RANGE, || s.handle_read_range(r))),
         );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::MATCH_PATTERN,
-            typed_handler(move |r| s.handle_match_pattern(r)),
+            typed_handler(move |r| s.traced(methods::MATCH_PATTERN, || s.handle_match_pattern(r))),
         );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::STORE_OPTIMIZER,
-            typed_handler(move |r| s.handle_store_optimizer(r)),
+            typed_handler(move |r| {
+                s.traced(methods::STORE_OPTIMIZER, || s.handle_store_optimizer(r))
+            }),
         );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::LOAD_OPTIMIZER,
-            typed_handler(move |r| s.handle_load_optimizer(r)),
+            typed_handler(move |r| {
+                s.traced(methods::LOAD_OPTIMIZER, || s.handle_load_optimizer(r))
+            }),
         );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::STATS,
-            typed_handler(move |_: StatsRequest| Ok(s.stats())),
+            typed_handler(move |_: StatsRequest| s.traced(methods::STATS, || Ok(s.stats()))),
         );
         let s = Arc::clone(&state);
-        endpoint.register(methods::DIGEST, typed_handler(move |r| s.handle_digest(r)));
+        endpoint.register(
+            methods::DIGEST,
+            typed_handler(move |r| s.traced(methods::DIGEST, || s.handle_digest(r))),
+        );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::SYNC_MODEL,
-            typed_handler(move |r| s.handle_sync_model(r)),
+            typed_handler(move |r| s.traced(methods::SYNC_MODEL, || s.handle_sync_model(r))),
         );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::SYNC_RETIRE,
-            typed_handler(move |r| s.handle_sync_retire(r)),
+            typed_handler(move |r| s.traced(methods::SYNC_RETIRE, || s.handle_sync_retire(r))),
         );
         let s = Arc::clone(&state);
         endpoint.register(
             methods::SYNC_REFS,
-            typed_handler(move |r| s.handle_sync_refs(r)),
+            typed_handler(move |r| s.traced(methods::SYNC_REFS, || s.handle_sync_refs(r))),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::OBS_SNAPSHOT,
+            typed_handler(move |_: ObsSnapshotRequest| {
+                s.traced(methods::OBS_SNAPSHOT, || Ok(s.obs_snapshot()))
+            }),
         );
 
         Provider { state, endpoint }

@@ -65,6 +65,44 @@ impl LatencyHistogram {
         self.max_us.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded latencies in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+
+    /// Samples in bucket `i` (bucket `i` covers `[2^i, 2^(i+1))`
+    /// microseconds; values below 1 are clamped into bucket 0).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Median upper bound ([`LatencyHistogram::quantile_us`] at 0.50).
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th-percentile upper bound.
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// The histogram digested for the metrics registry.
+    pub fn summary(&self) -> evostore_obs::HistogramSummary {
+        evostore_obs::HistogramSummary {
+            count: self.count(),
+            sum_us: self.total_us(),
+            p50_us: self.p50_us(),
+            p95_us: self.p95_us(),
+            p99_us: self.p99_us(),
+            max_us: self.max_us(),
+        }
+    }
+
     /// Approximate quantile (upper bound of the bucket containing it).
     pub fn quantile_us(&self, q: f64) -> u64 {
         let n = self.count();
@@ -210,16 +248,85 @@ impl ClientTelemetry {
         }
     }
 
+    /// Every counter and histogram as named registry metrics, labeled
+    /// `client="<label>"` — the client's contribution to the unified
+    /// [`MetricsRegistry`](evostore_obs::MetricsRegistry). Covers the
+    /// full `report()`: four latency summaries, the rpc counters, the
+    /// degraded/parked/replication counters, and the index counters.
+    pub fn metrics(&self, label: &str) -> Vec<evostore_obs::Metric> {
+        use evostore_obs::Metric;
+        let ix = self.index_stats();
+        let tag = |m: Metric| m.with_label("client", label);
+        vec![
+            tag(Metric::histogram(
+                "evostore_client_query_latency_us",
+                self.query.summary(),
+            )),
+            tag(Metric::histogram(
+                "evostore_client_fetch_latency_us",
+                self.fetch.summary(),
+            )),
+            tag(Metric::histogram(
+                "evostore_client_store_latency_us",
+                self.store.summary(),
+            )),
+            tag(Metric::histogram(
+                "evostore_client_retire_latency_us",
+                self.retire.summary(),
+            )),
+            tag(Metric::counter(
+                "evostore_client_rpc_calls",
+                self.rpc.calls(),
+            )),
+            tag(Metric::counter(
+                "evostore_client_rpc_retries",
+                self.rpc.retries(),
+            )),
+            tag(Metric::counter(
+                "evostore_client_rpc_timeouts",
+                self.rpc.timeouts(),
+            )),
+            tag(Metric::counter(
+                "evostore_client_rpc_exhausted",
+                self.rpc.exhausted(),
+            )),
+            tag(Metric::counter(
+                "evostore_client_degraded_queries",
+                self.degraded_queries(),
+            )),
+            tag(Metric::counter(
+                "evostore_client_parked_decrements",
+                self.parked_decrements(),
+            )),
+            tag(Metric::counter(
+                "evostore_client_read_failovers",
+                self.read_failovers(),
+            )),
+            tag(Metric::counter(
+                "evostore_client_under_replicated_stores",
+                self.under_replicated_stores(),
+            )),
+            tag(Metric::counter("evostore_client_index_scanned", ix.scanned)),
+            tag(Metric::counter(
+                "evostore_client_index_memo_hits",
+                ix.memo_hits,
+            )),
+            tag(Metric::counter("evostore_client_index_deduped", ix.deduped)),
+            tag(Metric::counter("evostore_client_index_pruned", ix.pruned)),
+        ]
+    }
+
     /// Multi-line report over all operation classes and resilience
     /// counters.
     pub fn report(&self) -> String {
         let ix = self.index_stats();
         format!(
-            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}\nreplication: read_failovers={} under_replicated_stores={}\nindex:  scanned={} memo_hits={} deduped={} pruned={}",
+            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: calls={} retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}\nreplication: read_failovers={} under_replicated_stores={}\nindex:  scanned={} memo_hits={} deduped={} pruned={}",
             self.query.report(),
             self.fetch.report(),
             self.store.report(),
             self.retire.report(),
+            self.rpc.calls(),
             self.rpc.retries(),
             self.rpc.timeouts(),
             self.rpc.exhausted(),
@@ -270,6 +377,71 @@ mod tests {
         h.record_us(0);
         assert_eq!(h.count(), 1);
         assert!(h.quantile_us(1.0) >= 1);
+    }
+
+    #[test]
+    fn bucket_zero_edge_cases_count_exactly() {
+        // Bucket 0 covers [1, 2): both a 1us sample and a clamped 0us
+        // sample land there, and nowhere else.
+        let h = LatencyHistogram::new();
+        h.record_us(1);
+        h.record_us(0);
+        assert_eq!(h.bucket_count(0), 2);
+        for i in 1..BUCKETS {
+            assert_eq!(h.bucket_count(i), 0, "bucket {i} should be empty");
+        }
+        // The next power of two starts bucket 1 exactly.
+        h.record_us(2);
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+    }
+
+    #[test]
+    fn percentile_helpers_match_quantiles() {
+        let h = LatencyHistogram::new();
+        for us in [10u64, 20, 40, 80, 160, 320, 640, 1280, 2560, 5120] {
+            h.record_us(us);
+        }
+        assert_eq!(h.p50_us(), h.quantile_us(0.50));
+        assert_eq!(h.p95_us(), h.quantile_us(0.95));
+        assert_eq!(h.p99_us(), h.quantile_us(0.99));
+        assert!(h.p50_us() <= h.p95_us() && h.p95_us() <= h.p99_us());
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum_us, h.total_us());
+        assert_eq!(s.max_us, 5120);
+    }
+
+    #[test]
+    fn metrics_cover_every_report_counter() {
+        let t = ClientTelemetry::new();
+        t.note_degraded_query();
+        t.note_parked_decrements(2);
+        let metrics = t.metrics("0");
+        for name in [
+            "evostore_client_query_latency_us",
+            "evostore_client_fetch_latency_us",
+            "evostore_client_store_latency_us",
+            "evostore_client_retire_latency_us",
+            "evostore_client_rpc_calls",
+            "evostore_client_rpc_retries",
+            "evostore_client_rpc_timeouts",
+            "evostore_client_rpc_exhausted",
+            "evostore_client_degraded_queries",
+            "evostore_client_parked_decrements",
+            "evostore_client_read_failovers",
+            "evostore_client_under_replicated_stores",
+            "evostore_client_index_scanned",
+            "evostore_client_index_memo_hits",
+            "evostore_client_index_deduped",
+            "evostore_client_index_pruned",
+        ] {
+            let m = metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("missing metric {name}"));
+            assert_eq!(m.labels, vec![("client".to_string(), "0".to_string())]);
+        }
     }
 
     #[test]

@@ -182,6 +182,7 @@ fn reopen_recovers_catalog_and_refcounts() {
         service_threads: 2,
         backend: evostore_core::BackendKind::Log { dir: dir.clone() },
         replication: evostore_core::ReplicationPolicy::default(),
+        ..Default::default()
     };
 
     let parent_g = seq(&[8, 16, 16, 4]);
@@ -276,6 +277,7 @@ fn reopen_purges_orphaned_tensors() {
         service_threads: 1,
         backend: evostore_core::BackendKind::Log { dir: dir.clone() },
         replication: evostore_core::ReplicationPolicy::default(),
+        ..Default::default()
     };
     let g = seq(&[8, 16, 4]);
     {
@@ -355,6 +357,7 @@ fn tiered_backend_deployment_roundtrip_and_reopen() {
             memory_budget: 1 << 20,
         },
         replication: evostore_core::ReplicationPolicy::default(),
+        ..Default::default()
     };
     let g = seq(&[8, 16, 4]);
     let tensors;

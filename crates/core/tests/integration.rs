@@ -437,6 +437,7 @@ fn log_backed_deployment_roundtrip() {
         service_threads: 2,
         backend: evostore_core::BackendKind::Log { dir: dir.clone() },
         replication: evostore_core::ReplicationPolicy::default(),
+        ..Default::default()
     });
     let client = dep.client();
     let g = seq(&[8, 16, 4]);

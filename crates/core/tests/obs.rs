@@ -1,0 +1,398 @@
+//! Observability integration: trace propagation across client → fabric →
+//! provider (on the live fabric and under the virtual clock), KV
+//! byte-count round trips through STATS, the unified metrics export, the
+//! slow-op log, and the flight-recorder postmortem dump.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use evostore_core::messages::methods;
+use evostore_core::{Deployment, DeploymentConfig, EvoStoreClient};
+use evostore_graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
+use evostore_obs::{FlightEvent, FlightRecorder, SpanRecord, TimeSource};
+use evostore_rpc::{FaultAction, FaultPlan, FaultRule};
+use evostore_sim::{SimClock, SimTime};
+use evostore_tensor::ModelId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn seq(units: &[u32]) -> CompactGraph {
+    let mut a = Architecture::new("seq");
+    let mut prev = a.add_layer(LayerConfig::new(
+        "in",
+        LayerKind::Input {
+            shape: vec![units[0]],
+        },
+    ));
+    let mut inf = units[0];
+    for (i, &u) in units.iter().enumerate().skip(1) {
+        prev = a.chain(
+            prev,
+            LayerConfig::new(
+                format!("d{i}"),
+                LayerKind::Dense {
+                    in_features: inf,
+                    units: u,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        inf = u;
+    }
+    flatten(&a).unwrap()
+}
+
+/// The first model id (from 1) hashing to provider index `want` of `n`.
+fn model_on(want: usize, n: usize) -> ModelId {
+    (1..)
+        .map(ModelId)
+        .find(|m| m.provider_for(n) == want)
+        .unwrap()
+}
+
+fn spans_of(rec: &FlightRecorder) -> Vec<SpanRecord> {
+    rec.events()
+        .into_iter()
+        .filter_map(|e| match e {
+            FlightEvent::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+fn all_spans(dep: &Deployment) -> Vec<SpanRecord> {
+    dep.obs()
+        .recorders()
+        .iter()
+        .flat_map(|r| spans_of(r))
+        .collect()
+}
+
+/// Store one model and fetch it back with a one-shot injected Timeout on
+/// the READ dispatch, so the fetch costs exactly two attempts. Returns
+/// the client for span assertions.
+fn fetch_with_one_timeout(dep: &Deployment, seed: u64) -> EvoStoreClient {
+    let client = dep.client();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let model = ModelId(1);
+    client
+        .store_fresh(model, &seq(&[8, 16, 4]), 0.9, &mut rng)
+        .unwrap();
+    let keys = client.get_meta(model).unwrap().owner_map.all_tensor_keys();
+    dep.fabric().install_fault_plan(
+        FaultPlan::new(0).rule(
+            FaultRule::new(FaultAction::Timeout)
+                .on_method(methods::READ)
+                .first(1),
+        ),
+    );
+    let got = client.fetch_tensors(&keys).unwrap();
+    assert_eq!(got.len(), keys.len());
+    client
+}
+
+/// Satellite: a fetch with one injected Timeout and a retry yields a span
+/// tree with two attempt spans under one trace id — the failed dispatch
+/// and the successful retry — plus the provider handler and its kv child
+/// joining the same trace.
+#[test]
+fn fetch_trace_covers_retry_attempts_and_provider_kv() {
+    let dep = Deployment::in_memory(2);
+    let client = fetch_with_one_timeout(&dep, 7);
+
+    let client_spans = spans_of(client.flight_recorder());
+    let root = client_spans
+        .iter()
+        .find(|s| s.name == "fetch_tensors")
+        .expect("client root span");
+    assert_eq!(root.parent_span_id, 0);
+    assert_eq!(root.trace_id, root.span_id);
+    assert!(root.is_ok());
+
+    let attempts: Vec<&SpanRecord> = client_spans
+        .iter()
+        .filter(|s| s.name == methods::READ && s.trace_id == root.trace_id)
+        .collect();
+    assert_eq!(attempts.len(), 2, "one timed-out attempt plus the retry");
+    assert_eq!(attempts.iter().filter(|s| !s.is_ok()).count(), 1);
+    assert_eq!(attempts.iter().filter(|s| s.is_ok()).count(), 1);
+    for a in &attempts {
+        assert_eq!(a.parent_span_id, root.span_id, "attempts hang off the root");
+        assert!(a.endpoint.is_some(), "attempt spans carry their target");
+    }
+
+    // The provider-side handler span joins the same trace (its context
+    // rode the RPC envelope), with the kv read nested under it.
+    let all = all_spans(&dep);
+    let handler = all
+        .iter()
+        .find(|s| {
+            s.name == methods::READ && s.node.starts_with("provider") && s.trace_id == root.trace_id
+        })
+        .expect("provider handler span in the client's trace");
+    assert!(handler.endpoint.is_some());
+    let ok_attempt = attempts.iter().find(|s| s.is_ok()).unwrap();
+    assert_eq!(
+        handler.parent_span_id, ok_attempt.span_id,
+        "handler span is a child of the attempt that reached it"
+    );
+    let kv = all
+        .iter()
+        .find(|s| s.name == "kv.read_tensors" && s.trace_id == root.trace_id)
+        .expect("kv span in the client's trace");
+    assert_eq!(kv.parent_span_id, handler.span_id);
+}
+
+/// Satellite: the same span tree under a virtual clock — every span on
+/// every node is stamped from the simulation's time, not the wall clock.
+#[test]
+fn spans_stamp_from_the_virtual_clock_under_simulation() {
+    let clock = Arc::new(SimClock::starting_at(SimTime::from_secs(5.0)));
+    let dep = Deployment::new(DeploymentConfig {
+        providers: 2,
+        clock: Some(clock.clone() as Arc<dyn TimeSource>),
+        ..Default::default()
+    });
+    let client = dep.client();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let model = ModelId(1);
+    client
+        .store_fresh(model, &seq(&[8, 16, 4]), 0.9, &mut rng)
+        .unwrap();
+    let keys = client.get_meta(model).unwrap().owner_map.all_tensor_keys();
+
+    let store_root = spans_of(client.flight_recorder())
+        .into_iter()
+        .find(|s| s.name == "store_model")
+        .expect("store root span");
+    assert_eq!(store_root.start_us, 5_000_000);
+    assert_eq!(store_root.end_us, 5_000_000, "virtual time did not advance");
+
+    clock.advance_to(SimTime::from_secs(6.5));
+    dep.fabric().install_fault_plan(
+        FaultPlan::new(0).rule(
+            FaultRule::new(FaultAction::Timeout)
+                .on_method(methods::READ)
+                .first(1),
+        ),
+    );
+    let got = client.fetch_tensors(&keys).unwrap();
+    assert_eq!(got.len(), keys.len());
+
+    let client_spans = spans_of(client.flight_recorder());
+    let root = client_spans
+        .iter()
+        .find(|s| s.name == "fetch_tensors")
+        .expect("fetch root span");
+    let attempts: Vec<&SpanRecord> = client_spans
+        .iter()
+        .filter(|s| s.name == methods::READ && s.trace_id == root.trace_id)
+        .collect();
+    assert_eq!(attempts.len(), 2);
+    for s in std::iter::once(&root).chain(attempts.iter()) {
+        assert_eq!(s.start_us, 6_500_000, "{} stamped off-sim", s.name);
+        assert_eq!(s.end_us, 6_500_000, "{} stamped off-sim", s.name);
+    }
+    let handler = all_spans(&dep)
+        .into_iter()
+        .find(|s| {
+            s.name == methods::READ && s.node.starts_with("provider") && s.trace_id == root.trace_id
+        })
+        .expect("provider handler span");
+    assert_eq!(handler.start_us, 6_500_000);
+    assert_eq!(handler.end_us, 6_500_000);
+}
+
+/// Satellite: the KV byte counters carried in STATS replies round-trip
+/// exactly — the bytes a store wrote land in `tensor_kv.bytes_written`
+/// across providers, visible per-provider via `Deployment::stats()` and
+/// merged via the client's STATS broadcast.
+#[test]
+fn kv_byte_counters_round_trip_through_stats() {
+    let dep = Deployment::in_memory(3);
+    let client = dep.client();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let model = ModelId(1);
+    let out = client
+        .store_fresh(model, &seq(&[8, 16, 16, 4]), 0.9, &mut rng)
+        .unwrap();
+    assert!(out.bytes_written > 0);
+
+    let per_provider = dep.stats();
+    let written: u64 = per_provider.iter().map(|s| s.tensor_kv.bytes_written).sum();
+    assert_eq!(
+        written, out.bytes_written,
+        "every byte the store reported written is accounted to a provider's tensor kv"
+    );
+    let merged = client.stats().unwrap();
+    assert_eq!(merged.tensor_kv.bytes_written, out.bytes_written);
+    assert!(
+        merged.meta_kv.bytes_written > 0,
+        "the catalog record was persisted through the meta kv"
+    );
+
+    // Reads: fetching the model back moves at least its payload bytes
+    // (records carry a small header on top of the payload).
+    let keys = client.get_meta(model).unwrap().owner_map.all_tensor_keys();
+    let got = client.fetch_tensors(&keys).unwrap();
+    let payload: u64 = got.values().map(|t| t.byte_len() as u64).sum();
+    assert!(payload > 0);
+    let read: u64 = dep.stats().iter().map(|s| s.tensor_kv.bytes_read).sum();
+    assert!(
+        read >= payload,
+        "kv reads ({read}) cover the fetched payload ({payload})"
+    );
+}
+
+/// Tentpole: one export surface. Every pre-existing telemetry island —
+/// client histograms and counters, provider catalog gauges, index query
+/// stats, kv byte counters, flight-recorder tallies — appears in the
+/// unified snapshot, and the counters match their native sources.
+#[test]
+fn metrics_snapshot_unifies_every_island() {
+    let dep = Deployment::in_memory(2);
+    let client = dep.client();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let parent = model_on(0, 2);
+    client
+        .store_fresh(parent, &seq(&[8, 16, 16, 4]), 0.8, &mut rng)
+        .unwrap();
+    client.query_best_ancestor(&seq(&[8, 16, 16, 5])).unwrap();
+    let keys = client.get_meta(parent).unwrap().owner_map.all_tensor_keys();
+    client.fetch_tensors(&keys).unwrap();
+
+    let snap = dep.metrics_snapshot();
+    for name in [
+        // Client island (ClientTelemetry::metrics).
+        "evostore_client_query_latency_us",
+        "evostore_client_fetch_latency_us",
+        "evostore_client_store_latency_us",
+        "evostore_client_retire_latency_us",
+        "evostore_client_rpc_calls",
+        "evostore_client_rpc_retries",
+        "evostore_client_rpc_timeouts",
+        "evostore_client_rpc_exhausted",
+        "evostore_client_degraded_queries",
+        "evostore_client_parked_decrements",
+        "evostore_client_read_failovers",
+        "evostore_client_under_replicated_stores",
+        "evostore_client_index_scanned",
+        "evostore_client_index_memo_hits",
+        "evostore_client_index_deduped",
+        "evostore_client_index_pruned",
+        // Provider catalog gauges.
+        "evostore_provider_models",
+        "evostore_provider_distinct_archs",
+        "evostore_provider_tensors",
+        "evostore_provider_tensor_bytes",
+        "evostore_provider_metadata_bytes",
+        // Provider-side index stats.
+        "evostore_index_candidates",
+        "evostore_index_scanned",
+        "evostore_index_memo_hits",
+        "evostore_index_deduped",
+        "evostore_index_pruned",
+        // KV counters, per store.
+        "evostore_kv_puts",
+        "evostore_kv_gets",
+        "evostore_kv_misses",
+        "evostore_kv_deletes",
+        "evostore_kv_bytes_written",
+        "evostore_kv_bytes_read",
+        // Flight recorder tallies.
+        "evostore_obs_flight_events",
+        "evostore_obs_flight_dropped",
+    ] {
+        assert!(snap.find(name).is_some(), "{name} missing from snapshot");
+    }
+
+    // Zero counters lost: the unified numbers equal the native sources.
+    assert_eq!(
+        snap.counter_total("evostore_client_rpc_calls"),
+        client.telemetry().rpc.calls()
+    );
+    let stats = dep.stats();
+    let written: u64 = stats.iter().map(|s| s.tensor_kv.bytes_written).sum();
+    let kv_written: u64 = snap
+        .find_all("evostore_kv_bytes_written")
+        .iter()
+        .filter(|m| m.labels.iter().any(|(k, v)| k == "store" && v == "tensors"))
+        .map(|m| match m.value {
+            evostore_obs::MetricValue::Counter(v) => v,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(kv_written, written);
+
+    // Both expositions carry the series.
+    let text = dep.metrics_text();
+    assert!(text.contains("# TYPE evostore_kv_bytes_written counter"));
+    assert!(text.contains("store=\"tensors\""));
+    assert!(text.contains("evostore_client_fetch_latency_us{"));
+    let json = snap.to_json();
+    assert!(json.contains("evostore_provider_models"));
+}
+
+/// Tentpole: operations that exceed the slow threshold are retained
+/// verbatim in the client's slow-op log with their child breakdown.
+#[test]
+fn slow_ops_are_retained_with_their_breakdown() {
+    let dep = Deployment::in_memory(2);
+    let client = dep
+        .client_builder()
+        .slow_op_threshold(Duration::ZERO)
+        .build();
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    client
+        .store_fresh(ModelId(1), &seq(&[8, 16, 4]), 0.9, &mut rng)
+        .unwrap();
+    let slow = client.slow_ops();
+    let store = slow
+        .iter()
+        .find(|op| op.root.name == "store_model")
+        .expect("store retained at threshold zero");
+    assert!(
+        store.children.iter().any(|c| c.name == methods::STORE),
+        "breakdown includes the store RPC attempt"
+    );
+}
+
+/// Tentpole: the merged flight dump alone names the provider and fault
+/// window behind a degraded answer.
+#[test]
+fn flight_dump_names_provider_and_fault_window_for_degraded_answers() {
+    let dep = Deployment::in_memory(4);
+    let client = dep.client_builder().min_quorum(2).build();
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let parent = model_on(1, 4);
+    client
+        .store_fresh(parent, &seq(&[8, 16, 16, 4]), 0.8, &mut rng)
+        .unwrap();
+
+    let plan = dep.fabric().install_fault_plan(FaultPlan::new(0));
+    let down = dep.provider_ids()[0];
+    plan.set_down(down);
+    let fabric_rec = dep.fabric().flight_recorder().unwrap();
+    fabric_rec.note_down(down.0);
+
+    let got = client.query_best_ancestor(&seq(&[8, 16, 16, 5])).unwrap();
+    assert!(got.is_partial());
+
+    plan.set_up(down);
+    fabric_rec.note_up(down.0);
+
+    let dump = dep.flight_dump();
+    assert!(dump.contains("DOWN provider0"), "dump:\n{dump}");
+    let degraded = dump
+        .lines()
+        .find(|l| l.contains("DEGRADED"))
+        .expect("degraded answer recorded");
+    assert!(degraded.contains("provider0"), "line: {degraded}");
+    assert!(degraded.contains("down since"), "line: {degraded}");
+    assert!(degraded.contains("trace="), "line: {degraded}");
+    assert!(
+        dump.lines()
+            .any(|l| l.contains("UP provider0") && l.contains("was down")),
+        "dump:\n{dump}"
+    );
+}

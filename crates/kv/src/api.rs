@@ -2,6 +2,8 @@
 
 use bytes::Bytes;
 
+use crate::metrics::MetricsSnapshot;
+
 /// Errors a backend can produce.
 ///
 /// In-memory backends only ever return `NotFound`; the log store adds I/O
@@ -85,6 +87,13 @@ pub trait KvBackend: Send + Sync {
 
     /// Snapshot of all live keys (diagnostics, GC audits, compaction).
     fn keys(&self) -> Vec<Vec<u8>>;
+
+    /// Operation/byte counters, for backends that keep them. `None`
+    /// means the backend doesn't track metrics; aggregators should
+    /// treat it as all-zero rather than an error.
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        None
+    }
 }
 
 impl<T: KvBackend + ?Sized> KvBackend for Box<T> {
@@ -108,6 +117,9 @@ impl<T: KvBackend + ?Sized> KvBackend for Box<T> {
     }
     fn keys(&self) -> Vec<Vec<u8>> {
         (**self).keys()
+    }
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        (**self).metrics_snapshot()
     }
 }
 

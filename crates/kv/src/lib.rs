@@ -23,6 +23,6 @@ pub mod tiered;
 pub use api::{KvBackend, KvError};
 pub use logstore::LogStore;
 pub use mempool::MemPoolStore;
-pub use metrics::StoreMetrics;
+pub use metrics::{MetricsSnapshot, StoreMetrics};
 pub use refcount::RefCountedStore;
 pub use tiered::TieredStore;

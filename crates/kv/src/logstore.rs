@@ -438,6 +438,10 @@ impl KvBackend for LogStore {
         Ok(())
     }
 
+    fn metrics_snapshot(&self) -> Option<crate::metrics::MetricsSnapshot> {
+        Some(self.metrics.snapshot())
+    }
+
     fn get(&self, key: &[u8]) -> Result<Bytes, KvError> {
         // Look up under the lock, read the file outside it.
         let (file, offset, len) = {

@@ -121,6 +121,10 @@ impl KvBackend for MemPoolStore {
         self.live_bytes.load(Ordering::Relaxed)
     }
 
+    fn metrics_snapshot(&self) -> Option<crate::metrics::MetricsSnapshot> {
+        Some(self.metrics.snapshot())
+    }
+
     fn keys(&self) -> Vec<Vec<u8>> {
         let mut out = Vec::with_capacity(self.len());
         for shard in &self.shards {

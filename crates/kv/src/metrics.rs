@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use serde::{Deserialize, Serialize};
+
 /// Lock-free operation counters.
 ///
 /// Relaxed ordering throughout: counters are monotone diagnostics, never
@@ -17,7 +19,7 @@ pub struct StoreMetrics {
 }
 
 /// A point-in-time copy of [`StoreMetrics`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Completed put operations.
     pub puts: u64,
@@ -31,6 +33,18 @@ pub struct MetricsSnapshot {
     pub bytes_written: u64,
     /// Total value bytes read.
     pub bytes_read: u64,
+}
+
+impl MetricsSnapshot {
+    /// Sum `other` in (for aggregating across tiers or providers).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.puts += other.puts;
+        self.gets += other.gets;
+        self.misses += other.misses;
+        self.deletes += other.deletes;
+        self.bytes_written += other.bytes_written;
+        self.bytes_read += other.bytes_read;
+    }
 }
 
 impl StoreMetrics {

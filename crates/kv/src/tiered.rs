@@ -120,6 +120,17 @@ impl<D: KvBackend> KvBackend for TieredStore<D> {
     fn keys(&self) -> Vec<Vec<u8>> {
         self.durable.keys()
     }
+
+    /// Writes/deletes/misses come from the durable tier (every write
+    /// lands there exactly once; a true miss is a durable miss); reads
+    /// sum both tiers so cache hits still count as bytes served.
+    fn metrics_snapshot(&self) -> Option<crate::metrics::MetricsSnapshot> {
+        let mut snap = self.durable.metrics_snapshot()?;
+        let mem = self.memory.metrics_snapshot().unwrap_or_default();
+        snap.gets += mem.gets;
+        snap.bytes_read += mem.bytes_read;
+        Some(snap)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,110 @@
+//! Time sources for span timestamps.
+//!
+//! Spans carry microsecond timestamps from a [`TimeSource`] so the same
+//! tracing machinery works on the live fabric (wall clock via
+//! [`MonotonicClock`]) and under the discrete-event simulator (a
+//! [`VirtualClock`] driven by the simulation loop — `evostore-sim`
+//! adapts its `SimTime` onto this trait).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Something that can say "now", in microseconds since an arbitrary
+/// origin. Implementations must be monotone non-decreasing.
+pub trait TimeSource: Send + Sync + std::fmt::Debug {
+    /// Microseconds since the source's origin.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall-clock time source: microseconds since construction, from
+/// [`Instant`] (monotone by definition).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// Origin = now.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl TimeSource for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A manually-driven clock: time only moves when somebody calls
+/// [`VirtualClock::set_us`] / [`VirtualClock::advance_us`]. Used by the
+/// simulator so span timestamps come from virtual time, and by tests
+/// that need exact, deterministic timestamps.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_us: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// A clock already at `us`.
+    pub fn starting_at(us: u64) -> VirtualClock {
+        let c = VirtualClock::new();
+        c.set_us(us);
+        c
+    }
+
+    /// Jump to `us`. Never moves backwards: an earlier value is ignored
+    /// (monotonicity is part of the [`TimeSource`] contract).
+    pub fn set_us(&self, us: u64) {
+        self.now_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Advance by `delta_us`, returning the new time.
+    pub fn advance_us(&self, delta_us: u64) -> u64 {
+        self.now_us.fetch_add(delta_us, Ordering::Relaxed) + delta_us
+    }
+}
+
+impl TimeSource for VirtualClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_moves_forward() {
+        let c = MonotonicClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_is_manual_and_monotone() {
+        let c = VirtualClock::starting_at(100);
+        assert_eq!(c.now_us(), 100);
+        assert_eq!(c.advance_us(50), 150);
+        assert_eq!(c.now_us(), 150);
+        c.set_us(40); // backwards jump ignored
+        assert_eq!(c.now_us(), 150);
+        c.set_us(1_000);
+        assert_eq!(c.now_us(), 1_000);
+    }
+}

@@ -1,0 +1,29 @@
+//! Observability for EvoStore: traces, metrics, and flight recorders.
+//!
+//! Three pieces, all dependency-free (vendored-offline-safe) so every
+//! other crate can use them:
+//!
+//! * **Tracing** ([`trace`]) — a [`TraceContext`] propagated through the
+//!   RPC envelope so each client operation yields a span tree covering
+//!   the client call, every resilient retry attempt, and the
+//!   provider-side handler, timestamped by a pluggable [`TimeSource`]
+//!   ([`clock`]: wall clock live, virtual clock under simulation).
+//! * **Metrics** ([`registry`]) — a [`MetricsRegistry`] unifying the
+//!   per-island counters behind one [`RegistrySnapshot`] with JSON and
+//!   Prometheus-text exposition.
+//! * **Flight recording** ([`recorder`]) — bounded per-node rings of
+//!   recent spans/faults/failovers ([`FlightRecorder`]) merged into a
+//!   causal postmortem after a chaos run, plus a [`SlowOpLog`] retaining
+//!   over-threshold operations verbatim with their child breakdown.
+
+pub mod clock;
+pub mod recorder;
+pub mod registry;
+pub mod trace;
+
+pub use clock::{MonotonicClock, TimeSource, VirtualClock};
+pub use recorder::{FlightEvent, FlightRecorder, SlowOp, SlowOpLog};
+pub use registry::{
+    HistogramSummary, Metric, MetricValue, MetricsRegistry, ObsHub, RegistrySnapshot,
+};
+pub use trace::{current_trace, set_current_trace, Span, SpanRecord, TraceContext, Tracer};

@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use evostore_obs::{set_current_trace, FlightRecorder, TraceContext};
 use parking_lot::RwLock;
 
 use crate::fault::{FaultAction, FaultPlan};
@@ -113,6 +114,10 @@ struct Job {
     /// sender in this bin instead of answering. `None` on the normal
     /// path.
     drop_reply_into: Option<ParkedReplies>,
+    /// Caller's trace context, installed as the service thread's ambient
+    /// context around the handler so provider-side spans join the
+    /// caller's trace.
+    trace: Option<TraceContext>,
 }
 
 struct EndpointInner {
@@ -173,6 +178,10 @@ pub struct Fabric {
     faults: RwLock<Option<Arc<FaultPlan>>>,
     /// Reply senders held back by [`FaultAction::DropReply`] legs.
     dropped_replies: ParkedReplies,
+    /// Optional flight recorder: injected fault decisions are noted here
+    /// so a postmortem dump shows *what* the plan did, not just that
+    /// calls failed.
+    flight: RwLock<Option<Arc<FlightRecorder>>>,
 }
 
 impl Fabric {
@@ -186,7 +195,19 @@ impl Fabric {
             faults_active: AtomicBool::new(false),
             faults: RwLock::new(None),
             dropped_replies: Arc::new(parking_lot::Mutex::new(Vec::new())),
+            flight: RwLock::new(None),
         })
+    }
+
+    /// Attach (or detach) a flight recorder; injected fault decisions
+    /// are recorded into it from then on.
+    pub fn set_flight_recorder(&self, recorder: Option<Arc<FlightRecorder>>) {
+        *self.flight.write() = recorder;
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.flight.read().clone()
     }
 
     // ---- fault injection ------------------------------------------------
@@ -262,7 +283,13 @@ impl Fabric {
                             }
                             let handler = handlers.read().get(&job.method).cloned();
                             let result = match handler {
-                                Some(h) => h(job.body).map_err(RpcError::Handler),
+                                Some(h) => {
+                                    // Make the caller's trace context
+                                    // ambient for the handler's duration;
+                                    // the guard restores the previous one.
+                                    let _trace = set_current_trace(job.trace);
+                                    h(job.body).map_err(RpcError::Handler)
+                                }
                                 None => Err(RpcError::NoSuchMethod(job.method.clone())),
                             };
                             if let Some(bin) = &job.drop_reply_into {
@@ -309,8 +336,21 @@ impl Fabric {
         body: Bytes,
         deadline: Duration,
     ) -> Result<Bytes, RpcError> {
+        self.call_deadline_ctx(target, method, body, deadline, None)
+    }
+
+    /// [`Fabric::call_deadline`] with an explicit trace context riding
+    /// the request envelope.
+    pub fn call_deadline_ctx(
+        &self,
+        target: EndpointId,
+        method: &str,
+        body: Bytes,
+        deadline: Duration,
+        trace: Option<TraceContext>,
+    ) -> Result<Bytes, RpcError> {
         match self
-            .call_async(target, method, body)?
+            .call_async_ctx(target, method, body, trace)?
             .recv_timeout(deadline)
         {
             Ok(result) => result,
@@ -330,6 +370,19 @@ impl Fabric {
         target: EndpointId,
         method: &str,
         body: Bytes,
+    ) -> Result<Receiver<Result<Bytes, RpcError>>, RpcError> {
+        self.call_async_ctx(target, method, body, None)
+    }
+
+    /// [`Fabric::call_async`] with an explicit trace context riding the
+    /// request envelope: the target's service thread installs it as the
+    /// ambient context around the handler.
+    pub fn call_async_ctx(
+        &self,
+        target: EndpointId,
+        method: &str,
+        body: Bytes,
+        trace: Option<TraceContext>,
     ) -> Result<Receiver<Result<Bytes, RpcError>>, RpcError> {
         let mut delay = None;
         let mut drop_reply_into = None;
@@ -359,6 +412,7 @@ impl Fabric {
                 reply: reply_tx,
                 delay,
                 drop_reply_into,
+                trace,
             })
             .map_err(|_| RpcError::NoSuchEndpoint(target))?;
         Ok(reply_rx)
@@ -376,7 +430,19 @@ impl Fabric {
         let Some(plan) = self.faults.read().clone() else {
             return Ok((None, false));
         };
-        match plan.decide(target, method) {
+        let decision = plan.decide(target, method);
+        if let Some(action) = &decision {
+            if let Some(rec) = self.flight.read().as_ref() {
+                let name = match action {
+                    FaultAction::Unavailable => "unavailable",
+                    FaultAction::Timeout => "timeout",
+                    FaultAction::Delay(_) => "delay",
+                    FaultAction::DropReply => "drop_reply",
+                };
+                rec.note_fault(target.0, method, name);
+            }
+        }
+        match decision {
             None => Ok((None, false)),
             Some(FaultAction::Delay(d)) => Ok((Some(d), false)),
             Some(FaultAction::DropReply) => Ok((None, true)),

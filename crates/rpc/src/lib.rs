@@ -26,5 +26,6 @@ pub use collective::{broadcast_reduce, MemberReply};
 pub use fabric::{BulkHandle, Endpoint, EndpointId, Fabric, Handler, RpcError};
 pub use fault::{FaultAction, FaultPlan, FaultRule, FaultStats, FaultWindow};
 pub use resilient::{
-    broadcast, fan_out, unary, unary_failover, LegResults, RetryPolicy, RpcMetrics,
+    broadcast, broadcast_traced, fan_out, fan_out_traced, unary, unary_failover,
+    unary_failover_traced, unary_traced, LegResults, RetryPolicy, RpcMetrics, TraceHandle,
 };

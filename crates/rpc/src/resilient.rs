@@ -20,11 +20,35 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use evostore_obs::{Span, TraceContext, Tracer};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
 use crate::codec::{decode, encode};
 use crate::fabric::{EndpointId, Fabric, RpcError};
+
+/// Where attempt spans of a traced call should hang: a tracer to open
+/// them on and the parent context (normally the client operation's root
+/// span). Every resilient shape has a `_traced` variant taking
+/// `Option<&TraceHandle>`; `None` keeps the untraced fast path.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceHandle<'a> {
+    /// Tracer the attempt spans are opened on (the caller's node).
+    pub tracer: &'a Tracer,
+    /// Parent context attempt spans are filed under.
+    pub parent: TraceContext,
+}
+
+impl<'a> TraceHandle<'a> {
+    /// Attempt spans go on `tracer`, under `parent`.
+    pub fn new(tracer: &'a Tracer, parent: TraceContext) -> TraceHandle<'a> {
+        TraceHandle { tracer, parent }
+    }
+
+    fn attempt(&self, method: &str, target: EndpointId) -> Span<'a> {
+        self.tracer.start_child(self.parent, method, Some(target.0))
+    }
+}
 
 /// Bounded-exponential-backoff retry policy with a per-attempt deadline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +118,7 @@ impl RetryPolicy {
 /// synchronization).
 #[derive(Debug, Default)]
 pub struct RpcMetrics {
+    calls: AtomicU64,
     retries: AtomicU64,
     timeouts: AtomicU64,
     exhausted: AtomicU64,
@@ -103,6 +128,11 @@ impl RpcMetrics {
     /// Fresh zeroed counters.
     pub fn new() -> RpcMetrics {
         RpcMetrics::default()
+    }
+
+    /// Total attempts issued (first tries and retries alike).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
     }
 
     /// Attempts re-issued after a transient failure.
@@ -144,12 +174,37 @@ pub fn call_with_retry(
     policy: &RetryPolicy,
     metrics: Option<&RpcMetrics>,
 ) -> Result<Bytes, RpcError> {
+    call_with_retry_traced(fabric, target, method, body, policy, metrics, None)
+}
+
+/// [`call_with_retry`] with tracing: each attempt gets its own child
+/// span (named after the method, labeled with the target endpoint,
+/// failed with the attempt's error) and its context rides the request
+/// envelope so the provider's handler span joins the same trace.
+pub fn call_with_retry_traced(
+    fabric: &Fabric,
+    target: EndpointId,
+    method: &str,
+    body: Bytes,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+    trace: Option<&TraceHandle<'_>>,
+) -> Result<Bytes, RpcError> {
     let mut attempt = 0u32;
     loop {
         attempt += 1;
-        match fabric.call_deadline(target, method, body.clone(), policy.call_timeout) {
+        note_metrics(metrics, |m| {
+            m.calls.fetch_add(1, Ordering::Relaxed);
+        });
+        let mut span = trace.map(|t| t.attempt(method, target));
+        let ctx = span.as_ref().map(|s| s.ctx());
+        match fabric.call_deadline_ctx(target, method, body.clone(), policy.call_timeout, ctx) {
             Ok(reply) => return Ok(reply),
             Err(err) => {
+                if let Some(s) = span.as_mut() {
+                    s.fail(err.to_string());
+                }
+                drop(span);
                 note_metrics(metrics, |m| m.note(&err));
                 if !err.is_transient() {
                     return Err(err);
@@ -179,8 +234,21 @@ pub fn unary<Req: Serialize, Resp: DeserializeOwned>(
     policy: &RetryPolicy,
     metrics: Option<&RpcMetrics>,
 ) -> Result<Resp, RpcError> {
+    unary_traced(fabric, target, method, req, policy, metrics, None)
+}
+
+/// [`unary`] with per-attempt tracing (see [`call_with_retry_traced`]).
+pub fn unary_traced<Req: Serialize, Resp: DeserializeOwned>(
+    fabric: &Fabric,
+    target: EndpointId,
+    method: &str,
+    req: &Req,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+    trace: Option<&TraceHandle<'_>>,
+) -> Result<Resp, RpcError> {
     let body = encode(req)?;
-    let reply = call_with_retry(fabric, target, method, body, policy, metrics)?;
+    let reply = call_with_retry_traced(fabric, target, method, body, policy, metrics, trace)?;
     decode(&reply)
 }
 
@@ -205,11 +273,28 @@ pub fn unary_failover<Req: Serialize, Resp: DeserializeOwned>(
     policy: &RetryPolicy,
     metrics: Option<&RpcMetrics>,
 ) -> Result<(EndpointId, Resp, usize), RpcError> {
+    unary_failover_traced(fabric, targets, method, req, policy, metrics, None)
+}
+
+/// [`unary_failover`] with per-attempt tracing (see
+/// [`call_with_retry_traced`]): attempts against every consulted
+/// replica appear in the span tree, so a failover is visible as a
+/// failed attempt span followed by a sibling's successful one.
+#[allow(clippy::type_complexity)]
+pub fn unary_failover_traced<Req: Serialize, Resp: DeserializeOwned>(
+    fabric: &Fabric,
+    targets: &[EndpointId],
+    method: &str,
+    req: &Req,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+    trace: Option<&TraceHandle<'_>>,
+) -> Result<(EndpointId, Resp, usize), RpcError> {
     assert!(!targets.is_empty(), "failover needs at least one target");
     let body = encode(req)?;
     let mut last_err = None;
     for (skipped, &target) in targets.iter().enumerate() {
-        match call_with_retry(fabric, target, method, body.clone(), policy, metrics) {
+        match call_with_retry_traced(fabric, target, method, body.clone(), policy, metrics, trace) {
             Ok(reply) => return decode(&reply).map(|resp| (target, resp, skipped)),
             Err(err) => last_err = Some(err),
         }
@@ -235,6 +320,23 @@ where
     Req: Serialize + Sync,
     Resp: DeserializeOwned + Send,
 {
+    fan_out_traced(fabric, legs, method, policy, metrics, None)
+}
+
+/// [`fan_out`] with per-attempt tracing: every leg's attempts become
+/// sibling spans under the same parent.
+pub fn fan_out_traced<Req, Resp>(
+    fabric: &Fabric,
+    legs: &[(EndpointId, Req)],
+    method: &str,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+    trace: Option<&TraceHandle<'_>>,
+) -> LegResults<Resp>
+where
+    Req: Serialize + Sync,
+    Resp: DeserializeOwned + Send,
+{
     std::thread::scope(|scope| {
         let handles: Vec<_> = legs
             .iter()
@@ -242,7 +344,7 @@ where
                 let target = *target;
                 scope.spawn(move || {
                     let resp = encode(req).and_then(|body| {
-                        call_with_retry(fabric, target, method, body, policy, metrics)
+                        call_with_retry_traced(fabric, target, method, body, policy, metrics, trace)
                     });
                     (target, resp.and_then(|reply| decode(&reply)))
                 })
@@ -267,20 +369,46 @@ pub fn broadcast_with_retry(
     policy: &RetryPolicy,
     metrics: Option<&RpcMetrics>,
 ) -> LegResults<Bytes> {
+    broadcast_with_retry_traced(fabric, targets, method, body, policy, metrics, None)
+}
+
+/// [`broadcast_with_retry`] with per-attempt tracing: each leg of each
+/// round gets its own attempt span, finished when the leg's reply (or
+/// its share of the round deadline) resolves.
+pub fn broadcast_with_retry_traced(
+    fabric: &Fabric,
+    targets: &[EndpointId],
+    method: &str,
+    body: Bytes,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+    trace: Option<&TraceHandle<'_>>,
+) -> LegResults<Bytes> {
     let mut results: Vec<Option<Result<Bytes, RpcError>>> = targets.iter().map(|_| None).collect();
     let mut pending: Vec<usize> = (0..targets.len()).collect();
 
     let max_attempts = policy.max_attempts.max(1);
     for attempt in 1..=max_attempts {
         // Issue every pending leg before collecting any reply.
-        let in_flight: Vec<(usize, _)> = pending
+        let in_flight: Vec<(usize, _, _)> = pending
             .iter()
-            .map(|&i| (i, fabric.call_async(targets[i], method, body.clone())))
+            .map(|&i| {
+                note_metrics(metrics, |m| {
+                    m.calls.fetch_add(1, Ordering::Relaxed);
+                });
+                let span = trace.map(|t| t.attempt(method, targets[i]));
+                let ctx = span.as_ref().map(|s| s.ctx());
+                (
+                    i,
+                    span,
+                    fabric.call_async_ctx(targets[i], method, body.clone(), ctx),
+                )
+            })
             .collect();
 
         let round_start = Instant::now();
         let mut still_pending = Vec::new();
-        for (i, dispatched) in in_flight {
+        for (i, mut span, dispatched) in in_flight {
             let outcome = match dispatched {
                 Ok(rx) => {
                     // Legs share the round's deadline: replies arrive
@@ -298,6 +426,10 @@ pub fn broadcast_with_retry(
                 }
                 Err(e) => Err(e),
             };
+            if let (Some(s), Err(err)) = (span.as_mut(), &outcome) {
+                s.fail(err.to_string());
+            }
+            drop(span);
             match outcome {
                 Ok(reply) => results[i] = Some(Ok(reply)),
                 Err(err) => {
@@ -344,9 +476,23 @@ pub fn broadcast<Req: Serialize, Resp: DeserializeOwned>(
     policy: &RetryPolicy,
     metrics: Option<&RpcMetrics>,
 ) -> Result<LegResults<Resp>, RpcError> {
+    broadcast_traced(fabric, targets, method, req, policy, metrics, None)
+}
+
+/// [`broadcast`] with per-attempt tracing (see
+/// [`broadcast_with_retry_traced`]).
+pub fn broadcast_traced<Req: Serialize, Resp: DeserializeOwned>(
+    fabric: &Fabric,
+    targets: &[EndpointId],
+    method: &str,
+    req: &Req,
+    policy: &RetryPolicy,
+    metrics: Option<&RpcMetrics>,
+    trace: Option<&TraceHandle<'_>>,
+) -> Result<LegResults<Resp>, RpcError> {
     let body = encode(req)?;
     Ok(
-        broadcast_with_retry(fabric, targets, method, body, policy, metrics)
+        broadcast_with_retry_traced(fabric, targets, method, body, policy, metrics, trace)
             .into_iter()
             .map(|(t, r)| (t, r.and_then(|reply| decode(&reply))))
             .collect(),

@@ -1,5 +1,8 @@
 //! Virtual time.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use evostore_obs::TimeSource;
 use serde::{Deserialize, Serialize};
 
 /// A point in virtual time, in seconds since simulation start.
@@ -68,6 +71,49 @@ impl std::fmt::Display for SimTime {
     }
 }
 
+/// [`SimTime`] adapted onto the observability [`TimeSource`]: a
+/// simulation loop advances it as virtual time passes, and every span
+/// recorded under it is timestamped in virtual microseconds — so trace
+/// timelines from simulated runs line up with the event queue, not the
+/// wall clock.
+///
+/// Monotone like every `TimeSource`: backwards jumps are ignored.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now_us: AtomicU64,
+}
+
+impl SimClock {
+    /// A clock at virtual t = 0.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+
+    /// A clock already at `t`.
+    pub fn starting_at(t: SimTime) -> SimClock {
+        let c = SimClock::new();
+        c.advance_to(t);
+        c
+    }
+
+    /// Advance to `t` (earlier times are ignored).
+    pub fn advance_to(&self, t: SimTime) {
+        let us = (t.as_secs() * 1e6).max(0.0) as u64;
+        self.now_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_secs(self.now_us.load(Ordering::Relaxed) as f64 / 1e6)
+    }
+}
+
+impl TimeSource for SimClock {
+    fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +132,17 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn nan_rejected() {
         let _ = SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn sim_clock_tracks_virtual_time_in_micros() {
+        let c = SimClock::starting_at(SimTime::from_secs(1.5));
+        assert_eq!(c.now_us(), 1_500_000);
+        c.advance_to(SimTime::from_secs(2.0));
+        assert_eq!(c.now_us(), 2_000_000);
+        // Backwards jumps are ignored (TimeSource is monotone).
+        c.advance_to(SimTime::from_secs(0.5));
+        assert_eq!(c.now_us(), 2_000_000);
+        assert_eq!(c.now(), SimTime::from_secs(2.0));
     }
 }

@@ -15,7 +15,7 @@ pub mod model;
 pub mod queue;
 pub mod resource;
 
-pub use clock::SimTime;
+pub use clock::{SimClock, SimTime};
 pub use fault::{FaultEvent, FaultKind, FaultSchedule, FaultScheduleConfig};
 pub use model::{FabricModel, PfsModel, TrainModel, GB};
 pub use queue::EventQueue;

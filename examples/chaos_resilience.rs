@@ -112,11 +112,22 @@ fn replay(dep: &Deployment, schedule: &FaultSchedule, repair_on_recovery: bool) 
     let mut t = SimTime::ZERO;
     for step in 1..=6 {
         let next = SimTime::from_secs(step as f64 * 20.0);
+        let fabric_rec = dep.fabric().flight_recorder();
         for e in schedule.events_between(t, next) {
             let ep = dep.provider_ids()[e.endpoint];
             match e.kind {
-                FaultKind::Down => plan.set_down(ep),
-                FaultKind::Up => plan.set_up(ep),
+                FaultKind::Down => {
+                    plan.set_down(ep);
+                    if let Some(rec) = &fabric_rec {
+                        rec.note_down(ep.0);
+                    }
+                }
+                FaultKind::Up => {
+                    plan.set_up(ep);
+                    if let Some(rec) = &fabric_rec {
+                        rec.note_up(ep.0);
+                    }
+                }
             }
         }
         if repair_on_recovery && recoveries.iter().any(|&(at, _)| at > t && at <= next) {
@@ -167,12 +178,18 @@ fn replay(dep: &Deployment, schedule: &FaultSchedule, repair_on_recovery: bool) 
     // is down; the inherited decrements park, then flush on recovery.
     let parent_host = dep.provider_ids()[parent.provider_for(n)];
     plan.set_down(parent_host);
+    if let Some(rec) = dep.fabric().flight_recorder() {
+        rec.note_down(parent_host.0);
+    }
     let outcome = client.retire_model(child).unwrap();
     println!(
         "  retired {child} with {parent_host:?} down: {} refs dropped, {} decrements parked",
         outcome.refs_dropped, outcome.refs_parked
     );
     plan.set_up(parent_host);
+    if let Some(rec) = dep.fabric().flight_recorder() {
+        rec.note_up(parent_host.0);
+    }
     if repair_on_recovery {
         let report = dep.repair().unwrap();
         println!(
@@ -184,6 +201,18 @@ fn replay(dep: &Deployment, schedule: &FaultSchedule, repair_on_recovery: bool) 
     dep.gc_audit().unwrap();
     println!("  host recovered: flushed {flushed} parked decrements, GC audit clean");
     println!("\n  client telemetry:\n{}", client.telemetry().report());
+
+    // Postmortem: the merged flight recorders alone name the provider
+    // and fault window behind every degraded answer and failover.
+    println!("\n  flight postmortem (faults, failovers, degraded answers):");
+    for line in dep.flight_dump().lines() {
+        if ["DOWN ", "UP ", "DEGRADED", "FAILOVER", "FAULT "]
+            .iter()
+            .any(|k| line.contains(k))
+        {
+            println!("  {line}");
+        }
+    }
     (full, degraded, failed)
 }
 
@@ -217,4 +246,15 @@ fn main() {
     println!("  factor 2: {f2} full answers, {d2} degraded, {p2} quorum failures");
     println!("  replication turns single-provider loss into full answers: reads");
     println!("  fail over along the replica chain and repair re-converges state.");
+
+    println!("\n=== unified metrics (prometheus text, excerpt) ===");
+    for line in dep2.metrics_text().lines().filter(|l| {
+        l.starts_with("evostore_client_rpc")
+            || l.starts_with("evostore_client_read_failovers")
+            || l.starts_with("evostore_kv_bytes")
+            || l.starts_with("evostore_provider_models")
+            || l.starts_with("evostore_obs_flight")
+    }) {
+        println!("  {line}");
+    }
 }

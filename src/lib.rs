@@ -14,6 +14,7 @@
 //! | [`tensor`] | `evostore-tensor` | dtypes, tensor buffers, hashing, identifiers |
 //! | [`graph`] | `evostore-graph` | nested architectures, flattening, compact graphs, LCP |
 //! | [`kv`] | `evostore-kv` | provider storage backends |
+//! | [`obs`] | `evostore-obs` | trace contexts/spans, metrics registry, flight recorders |
 //! | [`rpc`] | `evostore-rpc` | in-process fabric, bulk (RDMA-style) transfers, collectives |
 //! | [`sim`] | `evostore-sim` | virtual clock, event queue, bandwidth resources, cost models |
 //! | [`core`] | `evostore-core` | the repository: providers, client, owner maps, GC, provenance |
@@ -52,6 +53,7 @@ pub use evostore_core as core;
 pub use evostore_graph as graph;
 pub use evostore_kv as kv;
 pub use evostore_nas as nas;
+pub use evostore_obs as obs;
 pub use evostore_rpc as rpc;
 pub use evostore_sim as sim;
 pub use evostore_tensor as tensor;

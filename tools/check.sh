@@ -28,4 +28,11 @@ if [[ "${RUN_CHAOS_SMOKE:-0}" == "1" ]]; then
     tools/chaos-smoke.sh
 fi
 
+# Optional tier-2: observability smoke — the chaos example's flight-dump
+# postmortem must explain every degraded answer (provider + fault
+# window) and the unified metrics export must carry every island.
+if [[ "${RUN_OBS_SMOKE:-0}" == "1" ]]; then
+    tools/obs-smoke.sh
+fi
+
 echo "== OK"

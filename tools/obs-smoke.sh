@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Tier-2 observability smoke: run the chaos example with its flight
+# recorders live and assert the postmortem dump alone explains every
+# degraded answer — a causal timeline where each DEGRADED line names the
+# unreachable provider(s) and their fault window ("down since"), with
+# the endpoint DOWN/UP transitions around it.
+#
+# Also checks the unified metrics excerpt made it out (one export
+# surface: client counters + kv byte counters + flight tallies).
+#
+# Invoked from tools/check.sh when RUN_OBS_SMOKE=1, or standalone:
+#   tools/obs-smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="$(mktemp)"
+trap 'rm -f "${OUT}"' EXIT
+
+echo "== obs smoke: chaos_resilience with flight recorders"
+cargo run --release -q --example chaos_resilience | tee "${OUT}"
+
+echo
+echo "== obs smoke: verifying the degraded-query timeline in the flight dump"
+# The unreplicated phase answers some queries degraded; every one must
+# appear in the postmortem naming its provider and fault window.
+grep -q "DEGRADED evostore.lcp" "${OUT}" || {
+    echo "FAIL: no DEGRADED entries in the flight dump" >&2
+    exit 1
+}
+grep "DEGRADED evostore.lcp" "${OUT}" | grep -q "down since" || {
+    echo "FAIL: DEGRADED entries missing their fault window (down since)" >&2
+    exit 1
+}
+grep "DEGRADED evostore.lcp" "${OUT}" | grep -Eq "provider[0-9]+\(ep[0-9]+\)" || {
+    echo "FAIL: DEGRADED entries do not name a provider" >&2
+    exit 1
+}
+grep -Eq "DOWN provider[0-9]+" "${OUT}" || {
+    echo "FAIL: no endpoint DOWN transitions recorded" >&2
+    exit 1
+}
+grep -Eq "UP provider[0-9]+\(ep[0-9]+\) \(was down" "${OUT}" || {
+    echo "FAIL: no endpoint UP transitions with their window recorded" >&2
+    exit 1
+}
+
+echo "== obs smoke: verifying the unified metrics export"
+grep -q "evostore_client_rpc_calls{client=" "${OUT}" || {
+    echo "FAIL: client telemetry missing from metrics_text()" >&2
+    exit 1
+}
+grep -q 'evostore_kv_bytes_written{provider=' "${OUT}" || {
+    echo "FAIL: kv byte counters missing from metrics_text()" >&2
+    exit 1
+}
+grep -q "evostore_obs_flight_events{node=" "${OUT}" || {
+    echo "FAIL: flight recorder tallies missing from metrics_text()" >&2
+    exit 1
+}
+
+echo "== obs smoke: OK ($(grep -c 'DEGRADED evostore.lcp' "${OUT}") degraded answers, all explained)"
