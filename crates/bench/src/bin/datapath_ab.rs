@@ -1,0 +1,297 @@
+//! Data-path A/B — zero-copy scatter-gather vs forced-copy consolidation.
+//!
+//! Two identical deployments run the same real workload, one on the
+//! default zero-copy data plane and one with
+//! `DeploymentConfig::force_copy_data_plane` set — the escape hatch that
+//! restores the pre-vectored behaviour (providers consolidate reads into
+//! one contiguous buffer, clients consolidate store pushes, stores
+//! validate by full `read_tensor` materialization).
+//!
+//! Three phases per plane:
+//!
+//! 1. **store** — a catalog of models is stored; zero-copy pushes each
+//!    serialized record as its own bulk segment (no client-side memcpy)
+//!    and the provider validates the manifest as a batch over framing +
+//!    checksum without materializing tensors.
+//! 2. **raw fetch** (headline) — repeated READ RPCs pull every model's
+//!    tensors through the bulk plane *without decoding*: this isolates
+//!    the data plane itself, where the forced-copy side pays one full
+//!    consolidation memcpy per READ and the zero-copy side hands out
+//!    `Bytes` clones of the memory-resident records.
+//! 3. **load** — end-to-end `load_model` round trips (decode and
+//!    checksum included) as the user-visible sanity number.
+//!
+//! Everything here is REAL execution and wall-clock measurement — no
+//! cost models. `--json PATH` records both planes for EXPERIMENTS.md;
+//! tools/bench-datapath.sh writes results/BENCH_datapath.json.
+
+use std::time::Instant;
+
+use bytes::Bytes;
+use evostore_bench::{banner, f1, f2, print_table, Args};
+use evostore_core::messages::{methods, ReadTensorsReply, ReadTensorsRequest};
+use evostore_core::{random_tensors, Deployment, DeploymentConfig, OwnerMap};
+use evostore_graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
+use evostore_rpc::BulkHandle;
+use evostore_tensor::ModelId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn seq(units: &[u32]) -> CompactGraph {
+    let mut a = Architecture::new("seq");
+    let mut prev = a.add_layer(LayerConfig::new(
+        "in",
+        LayerKind::Input {
+            shape: vec![units[0]],
+        },
+    ));
+    let mut inf = units[0];
+    for (i, &u) in units.iter().enumerate().skip(1) {
+        prev = a.chain(
+            prev,
+            LayerConfig::new(
+                format!("d{i}"),
+                LayerKind::Dense {
+                    in_features: inf,
+                    units: u,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        inf = u;
+    }
+    flatten(&a).unwrap()
+}
+
+/// Catalog graph `i`: wide dense stacks (~2 MB of parameters) so the
+/// per-READ consolidation memcpy, not RPC framing, dominates the copy
+/// plane's cost.
+fn catalog_graph(i: usize) -> CompactGraph {
+    let w = 384 + 64 * (i % 3) as u32;
+    seq(&[256, w, w, 128, 10])
+}
+
+struct Point {
+    plane: &'static str,
+    store_s: f64,
+    store_mbps: f64,
+    raw_fetch_s: f64,
+    raw_fetch_mbps: f64,
+    raw_reads: usize,
+    load_s: f64,
+    loads_per_s: f64,
+    zero_copy_reads: u64,
+    copy_fallback_reads: u64,
+    bulk_segments_exposed: u64,
+    validate_par_batches: u64,
+    metrics: evostore_obs::RegistrySnapshot,
+}
+
+/// Run the store / raw-fetch / load cycle on one plane.
+fn run_point(force_copy: bool, providers: usize, models: usize, iters: usize) -> Point {
+    let dep = Deployment::new(DeploymentConfig {
+        providers,
+        force_copy_data_plane: force_copy,
+        ..Default::default()
+    });
+    let client = dep.client();
+
+    // Phase 1: store the catalog.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut stored_bytes = 0u64;
+    let t0 = Instant::now();
+    for i in 0..models {
+        let model = ModelId(i as u64 + 1);
+        let g = catalog_graph(i);
+        let tensors = random_tensors(model, &g, &mut rng);
+        let outcome = client
+            .store_model(g.clone(), OwnerMap::fresh(model, &g), None, 0.5, &tensors)
+            .unwrap();
+        stored_bytes += outcome.bytes_written;
+    }
+    let store_s = t0.elapsed().as_secs_f64();
+
+    // Per-model READ targets: every tensor of a model lives on the
+    // provider its owner hashes to, so one READ per model covers it.
+    let reads: Vec<(evostore_rpc::EndpointId, Bytes)> = (0..models)
+        .map(|i| {
+            let model = ModelId(i as u64 + 1);
+            let keys = client.get_meta(model).unwrap().owner_map.all_tensor_keys();
+            let ep = dep.provider_ids()[model.provider_for(providers)];
+            let body = serde_json::to_vec(&ReadTensorsRequest { keys }).unwrap();
+            (ep, Bytes::from(body))
+        })
+        .collect();
+
+    // Phase 2 (headline): raw data plane — READ RPC + bulk pull, no
+    // decode. The zero-copy plane answers with a rope of `Bytes` clones;
+    // the forced-copy plane consolidates every record into a fresh
+    // contiguous buffer first.
+    let fabric = dep.fabric();
+    let mut moved = 0u64;
+    let mut raw_reads = 0usize;
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        for (ep, body) in &reads {
+            let reply = fabric.call(*ep, methods::READ, body.clone()).unwrap();
+            let reply: ReadTensorsReply = serde_json::from_slice(&reply).unwrap();
+            let handle = BulkHandle(reply.bulk);
+            let region = fabric.bulk_get_vec(handle).unwrap();
+            moved += region.len() as u64;
+            fabric.bulk_release(handle);
+            raw_reads += 1;
+        }
+    }
+    let raw_fetch_s = t1.elapsed().as_secs_f64();
+
+    // Phase 3: end-to-end loads (decode + checksum included).
+    let t2 = Instant::now();
+    for i in 0..models {
+        let loaded = client.load_model(ModelId(i as u64 + 1)).unwrap();
+        assert!(!loaded.tensors.is_empty());
+    }
+    let load_s = t2.elapsed().as_secs_f64();
+
+    let stats = dep.stats();
+    Point {
+        plane: if force_copy {
+            "forced_copy"
+        } else {
+            "zero_copy"
+        },
+        store_s,
+        store_mbps: stored_bytes as f64 / 1e6 / store_s,
+        raw_fetch_s,
+        raw_fetch_mbps: moved as f64 / 1e6 / raw_fetch_s,
+        raw_reads,
+        load_s,
+        loads_per_s: models as f64 / load_s,
+        zero_copy_reads: stats.iter().map(|s| s.zero_copy_reads).sum(),
+        copy_fallback_reads: stats.iter().map(|s| s.copy_fallback_reads).sum(),
+        bulk_segments_exposed: stats.iter().map(|s| s.bulk_segments_exposed).sum(),
+        validate_par_batches: stats.iter().map(|s| s.validate_par_batches).sum(),
+        metrics: dep.metrics_snapshot(),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let providers: usize = args.get("providers", 4);
+    let models: usize = args.get("models", if args.flag("full") { 16 } else { 8 });
+    let iters: usize = args.get("iters", if args.flag("full") { 50 } else { 20 });
+    let json_path: String = args.get("json", String::new());
+
+    banner(
+        "Data-path A/B",
+        "zero-copy scatter-gather vs forced-copy consolidation",
+    );
+    println!(
+        "{providers} providers, {models} wide models, {iters} raw-fetch rounds; \
+         default plane vs force_copy_data_plane"
+    );
+
+    let points: Vec<Point> = [false, true]
+        .iter()
+        .map(|&force| run_point(force, providers, models, iters))
+        .collect();
+
+    println!();
+    print_table(
+        &[
+            "plane",
+            "store MB/s",
+            "raw fetch MB/s",
+            "loads/s",
+            "zero-copy",
+            "fallback",
+            "segments",
+            "val batches",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.plane.to_string(),
+                    f1(p.store_mbps),
+                    f1(p.raw_fetch_mbps),
+                    f1(p.loads_per_s),
+                    p.zero_copy_reads.to_string(),
+                    p.copy_fallback_reads.to_string(),
+                    p.bulk_segments_exposed.to_string(),
+                    p.validate_par_batches.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let (zc, fc) = (&points[0], &points[1]);
+    let fetch_x = zc.raw_fetch_mbps / fc.raw_fetch_mbps;
+    let store_x = zc.store_mbps / fc.store_mbps;
+    println!();
+    println!(
+        "raw fetch: zero-copy moves {:.1} MB/s vs {:.1} MB/s forced-copy ({:.2}x); \
+         store: {:.2}x; batch validation ran {} times on the zero-copy plane",
+        zc.raw_fetch_mbps, fc.raw_fetch_mbps, fetch_x, store_x, zc.validate_par_batches
+    );
+
+    if !json_path.is_empty() {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"plane\": \"{}\", \"store_s\": {}, \"store_mbps\": {}, \
+                     \"raw_fetch_s\": {}, \"raw_fetch_mbps\": {}, \"raw_reads\": {}, \
+                     \"load_s\": {}, \"loads_per_s\": {}, \"zero_copy_reads\": {}, \
+                     \"copy_fallback_reads\": {}, \"bulk_segments_exposed\": {}, \
+                     \"validate_par_batches\": {}}}",
+                    p.plane,
+                    f2(p.store_s),
+                    f1(p.store_mbps),
+                    f2(p.raw_fetch_s),
+                    f1(p.raw_fetch_mbps),
+                    p.raw_reads,
+                    f2(p.load_s),
+                    f1(p.loads_per_s),
+                    p.zero_copy_reads,
+                    p.copy_fallback_reads,
+                    p.bulk_segments_exposed,
+                    p.validate_par_batches
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"figure\": \"datapath_ab\",\n  \"providers\": {providers},\n  \
+             \"models\": {models},\n  \"iters\": {iters},\n  \
+             \"raw_fetch_speedup\": {},\n  \"store_speedup\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+            f2(fetch_x),
+            f2(store_x),
+            rows.join(",\n")
+        );
+        if let Some(parent) = std::path::Path::new(&json_path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&json_path, json).expect("write --json output");
+        println!("wrote {json_path}");
+
+        // Alongside the result points: the unified registry snapshot of
+        // each run, so a regression in any counter (including the new
+        // evostore_datapath_* series) is visible next to the figure.
+        let metrics_path = json_path.replace(".json", "_metrics.json");
+        let runs: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"plane\": \"{}\", \"snapshot\": {}}}",
+                    p.plane,
+                    p.metrics.to_json()
+                )
+            })
+            .collect();
+        let metrics_json = format!(
+            "{{\n  \"figure\": \"datapath_ab_metrics\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+            runs.join(",\n")
+        );
+        std::fs::write(&metrics_path, metrics_json).expect("write metrics snapshot");
+        println!("wrote {metrics_path}");
+    }
+}

@@ -82,6 +82,34 @@ impl TensorCache {
         }
     }
 
+    /// Look up many tensors under one lock acquisition, splitting them
+    /// into hits and the keys that must be fetched. Equivalent to
+    /// [`TensorCache::get`] per key (same LRU stamping and hit/miss
+    /// accounting) without re-taking the lock for every key.
+    pub fn get_batch(
+        &self,
+        keys: &[TensorKey],
+    ) -> (HashMap<TensorKey, TensorData>, Vec<TensorKey>) {
+        let mut hits = HashMap::with_capacity(keys.len());
+        let mut missing = Vec::new();
+        let mut inner = self.inner.lock();
+        for key in keys {
+            let stamp = self.stamp();
+            match inner.entries.get_mut(key) {
+                Some(e) => {
+                    e.last_used = stamp;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    hits.insert(*key, e.tensor.clone());
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    missing.push(*key);
+                }
+            }
+        }
+        (hits, missing)
+    }
+
     /// Insert a tensor, evicting least-recently-used entries if needed.
     /// Tensors larger than the whole cache are not cached.
     pub fn put(&self, key: TensorKey, tensor: TensorData) {
@@ -185,16 +213,7 @@ impl CachingClient {
     /// go through one (grouped, parallel) repository read and populate
     /// the cache.
     pub fn fetch_tensors(&self, keys: &[TensorKey]) -> Result<HashMap<TensorKey, TensorData>> {
-        let mut out = HashMap::with_capacity(keys.len());
-        let mut missing = Vec::new();
-        for key in keys {
-            match self.cache.get(key) {
-                Some(t) => {
-                    out.insert(*key, t);
-                }
-                None => missing.push(*key),
-            }
-        }
+        let (mut out, missing) = self.cache.get_batch(keys);
         if !missing.is_empty() {
             let fetched = self.client.fetch_tensors(&missing)?;
             for (key, tensor) in fetched {
@@ -291,6 +310,23 @@ mod tests {
         let _ = cache.get(&key(9, 9));
         let (h, m) = cache.stats();
         assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    fn batch_lookup_matches_per_key_gets() {
+        let cache = TensorCache::new(100);
+        cache.put(key(1, 0), tensor(40, 1));
+        cache.put(key(1, 1), tensor(40, 2));
+        let (hits, missing) = cache.get_batch(&[key(1, 0), key(9, 9)]);
+        assert_eq!(hits.len(), 1);
+        assert!(hits.contains_key(&key(1, 0)));
+        assert_eq!(missing, vec![key(9, 9)]);
+        assert_eq!(cache.stats(), (1, 1));
+        // A batch hit refreshes the LRU stamp exactly like `get`: the
+        // untouched key is the one evicted next.
+        cache.put(key(1, 2), tensor(40, 3));
+        assert!(cache.get(&key(1, 0)).is_some(), "batch-touched survives");
+        assert!(cache.get(&key(1, 1)).is_none(), "LRU evicted");
     }
 
     #[test]

@@ -208,6 +208,7 @@ pub struct EvoStoreClientBuilder {
     obs: Option<Arc<ObsHub>>,
     slow_op_threshold: Duration,
     flight_capacity: usize,
+    force_copy_data_plane: bool,
 }
 
 impl EvoStoreClientBuilder {
@@ -281,6 +282,16 @@ impl EvoStoreClientBuilder {
         self
     }
 
+    /// Consolidate store payloads into one contiguous buffer before
+    /// exposure instead of exposing the per-tensor records as a
+    /// vectored region (A/B measurement lever; matches the provider's
+    /// forced-copy setting, pre-wired by
+    /// [`crate::deployment::Deployment::client_builder`]).
+    pub fn force_copy_data_plane(mut self, force: bool) -> Self {
+        self.force_copy_data_plane = force;
+        self
+    }
+
     /// Build the client. Panics when no providers were configured.
     pub fn build(self) -> EvoStoreClient {
         assert!(!self.providers.is_empty(), "deployment has no providers");
@@ -317,6 +328,7 @@ impl EvoStoreClientBuilder {
             tracer,
             slow_ops: slow,
             pending_decrements: Arc::new(Mutex::new(Vec::new())),
+            force_copy: self.force_copy_data_plane,
         }
     }
 }
@@ -339,6 +351,9 @@ pub struct EvoStoreClient {
     /// Refcount decrements that failed transiently, awaiting re-issue
     /// (shared across clones so any handle can flush them).
     pending_decrements: Arc<Mutex<Vec<(EndpointId, RefsRequest)>>>,
+    /// Consolidate store payloads before exposure instead of exposing
+    /// them as a vectored region (forced-copy A/B lever).
+    force_copy: bool,
 }
 
 impl EvoStoreClient {
@@ -355,6 +370,7 @@ impl EvoStoreClient {
             obs: None,
             slow_op_threshold: DEFAULT_SLOW_OP_THRESHOLD,
             flight_capacity: CLIENT_FLIGHT_EVENTS,
+            force_copy_data_plane: false,
         }
     }
 
@@ -680,25 +696,38 @@ impl EvoStoreClient {
         // Deterministic order for reproducible layouts.
         let mut keys: Vec<&TensorKey> = new_tensors.keys().collect();
         keys.sort();
-        // Serialization + content hashing dominates the consolidation
-        // cost, so it runs across the pool; only the offset assignment
-        // and concatenation stay serial.
+        // Serialization + content hashing runs across the pool; only
+        // the offset assignment stays serial. The serialized records
+        // are then exposed directly as a vectored bulk region — no
+        // consolidation memcpy — with manifest offsets addressing their
+        // logical concatenation. The forced-copy lever restores the old
+        // contiguous consolidation for A/B measurement.
         let records: Vec<bytes::Bytes> = keys
             .par_iter()
             .map(|key| write_tensor(&new_tensors[*key]))
             .collect();
-        let mut buf = BytesMut::new();
         let mut manifest = Vec::with_capacity(new_tensors.len());
+        let mut offset = 0u64;
         for (key, record) in keys.into_iter().zip(&records) {
             manifest.push(ManifestEntry {
                 key: *key,
-                offset: buf.len() as u64,
+                offset,
                 len: record.len() as u64,
             });
-            buf.extend_from_slice(record);
+            offset += record.len() as u64;
         }
         let tensors_written = manifest.len();
-        let bulk = self.fabric.bulk_expose(buf.freeze());
+        let bulk = if self.force_copy {
+            let mut buf = BytesMut::with_capacity(offset as usize);
+            for record in &records {
+                buf.extend_from_slice(record);
+            }
+            self.fabric.bulk_expose(buf.freeze())
+        } else {
+            self.telemetry
+                .note_bulk_segments_exposed(records.len() as u64);
+            self.fabric.bulk_expose_vec(records)
+        };
 
         let req = StoreModelRequest {
             model,
@@ -975,7 +1004,11 @@ impl EvoStoreClient {
     ) -> Result<Vec<(TensorKey, TensorData)>> {
         let reply: ReadTensorsReply = self.unary(target, methods::READ, req)?;
         let handle = BulkHandle(reply.bulk);
-        let region = self.fabric.bulk_get(handle)?;
+        // Vectored pull: the provider exposes one segment per
+        // memory-resident record, so the "pull" is a segment-list clone
+        // with no payload copy; a contiguous (forced-copy) region
+        // arrives as a single segment and decodes identically.
+        let region = self.fabric.bulk_get_vec(handle)?;
         // Decode (and integrity-check) every manifest entry across
         // the pool; the region is released exactly once below, on
         // success and error alike.
@@ -984,16 +1017,12 @@ impl EvoStoreClient {
             .par_iter()
             .map(|entry| {
                 let (off, len) = (entry.offset as usize, entry.len as usize);
-                if off + len > region.len() {
-                    return Err(EvoError::Protocol(format!(
-                        "read manifest entry {} out of bounds",
-                        entry.key
-                    )));
-                }
-                let tensor =
-                    read_tensor(region.slice(off..off + len)).map_err(|_| EvoError::Corrupt {
-                        key: entry.key.to_string(),
-                    })?;
+                let record = region.slice(off, len).ok_or_else(|| {
+                    EvoError::Protocol(format!("read manifest entry {} out of bounds", entry.key))
+                })?;
+                let tensor = read_tensor(record).map_err(|_| EvoError::Corrupt {
+                    key: entry.key.to_string(),
+                })?;
                 Ok((entry.key, tensor))
             })
             .collect();
@@ -1213,19 +1242,19 @@ impl EvoStoreClient {
             &LoadOptimizerRequest { model },
         )?;
         let handle = BulkHandle(reply.bulk);
-        let region = self.fabric.bulk_get(handle)?;
+        let region = self.fabric.bulk_get_vec(handle)?;
         let mut entries = reply.manifest;
         entries.sort_by_key(|e| e.key.slot);
         let mut out = Vec::with_capacity(entries.len());
         for entry in entries {
             let (off, len) = (entry.offset as usize, entry.len as usize);
-            if off + len > region.len() {
+            let Some(record) = region.slice(off, len) else {
                 self.fabric.bulk_release(handle);
                 return Err(EvoError::Protocol(
                     "optimizer manifest out of bounds".into(),
                 ));
-            }
-            let tensor = read_tensor(region.slice(off..off + len))
+            };
+            let tensor = read_tensor(record)
                 .map_err(|e| EvoError::Protocol(format!("optimizer tensor: {e}")))?;
             out.push(tensor);
         }

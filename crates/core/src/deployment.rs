@@ -59,6 +59,13 @@ pub struct DeploymentConfig {
     /// clock; simulations pass a virtual clock (e.g.
     /// `evostore_sim::SimClock`).
     pub clock: Option<Arc<dyn TimeSource>>,
+    /// Run the data plane through contiguous consolidation copies
+    /// instead of the default zero-copy vectored regions: clients
+    /// memcpy store payloads into one buffer before exposure, providers
+    /// consolidate reads and validate stores by full decode. Results
+    /// are byte-identical either way — this is the A/B measurement
+    /// lever behind the datapath bench's `--force-copy` mode.
+    pub force_copy_data_plane: bool,
 }
 
 impl Default for DeploymentConfig {
@@ -69,6 +76,7 @@ impl Default for DeploymentConfig {
             backend: BackendKind::Memory,
             replication: ReplicationPolicy::default(),
             clock: None,
+            force_copy_data_plane: false,
         }
     }
 }
@@ -80,6 +88,7 @@ pub struct Deployment {
     provider_ids: Vec<EndpointId>,
     replication: ReplicationPolicy,
     obs: Arc<ObsHub>,
+    force_copy: bool,
 }
 
 /// What one [`Deployment::repair`] pass did.
@@ -156,6 +165,11 @@ impl Deployment {
                 Some(&obs),
             ));
         }
+        if cfg.force_copy_data_plane {
+            for p in &providers {
+                p.state.set_force_copy(true);
+            }
+        }
         let provider_ids = providers.iter().map(|p| p.endpoint_id()).collect();
         Deployment {
             fabric,
@@ -163,6 +177,7 @@ impl Deployment {
             provider_ids,
             replication: cfg.replication,
             obs,
+            force_copy: cfg.force_copy_data_plane,
         }
     }
 
@@ -257,6 +272,7 @@ impl Deployment {
             .providers(self.provider_ids.clone())
             .replication(self.replication)
             .obs_hub(Arc::clone(&self.obs))
+            .force_copy_data_plane(self.force_copy)
     }
 
     /// The deployment's observability hub (clock, unified registry,
@@ -289,6 +305,18 @@ impl Deployment {
     pub fn set_index_enabled(&self, enabled: bool) {
         for p in &self.providers {
             p.state.set_index_enabled(enabled);
+        }
+    }
+
+    /// Switch every provider between the zero-copy scatter-gather data
+    /// plane (the default) and forced contiguous consolidation — the
+    /// A/B lever behind the datapath bench's `--force-copy` mode.
+    /// Clients built *after* the switch pick up the matching store-side
+    /// behavior via [`Deployment::client_builder`].
+    pub fn set_force_copy(&mut self, force: bool) {
+        self.force_copy = force;
+        for p in &self.providers {
+            p.state.set_force_copy(force);
         }
     }
 

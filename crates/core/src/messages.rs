@@ -441,6 +441,21 @@ pub struct ProviderStats {
     /// Metadata-store backend counters.
     #[serde(default)]
     pub meta_kv: MetricsSnapshot,
+    /// Segments handed to vectored bulk exposure by read-side handlers
+    /// (zero-copy scatter-gather data plane).
+    #[serde(default)]
+    pub bulk_segments_exposed: u64,
+    /// Tensor reads served without copying the payload (shared-buffer
+    /// clone of a memory-resident value).
+    #[serde(default)]
+    pub zero_copy_reads: u64,
+    /// Tensor reads that fell back to a copying `get` (disk-resident
+    /// record or forced-copy lever).
+    #[serde(default)]
+    pub copy_fallback_reads: u64,
+    /// Store requests validated by the parallel decode-free path.
+    #[serde(default)]
+    pub validate_par_batches: u64,
 }
 
 impl ProviderStats {
@@ -463,6 +478,10 @@ impl ProviderStats {
                 kv.merge(&other.meta_kv);
                 kv
             },
+            bulk_segments_exposed: self.bulk_segments_exposed + other.bulk_segments_exposed,
+            zero_copy_reads: self.zero_copy_reads + other.zero_copy_reads,
+            copy_fallback_reads: self.copy_fallback_reads + other.copy_fallback_reads,
+            validate_par_batches: self.validate_par_batches + other.validate_par_batches,
         }
     }
 }
@@ -537,6 +556,10 @@ mod tests {
                 ..MetricsSnapshot::default()
             },
             meta_kv: MetricsSnapshot::default(),
+            bulk_segments_exposed: 5,
+            zero_copy_reads: 4,
+            copy_fallback_reads: 1,
+            validate_par_batches: 2,
         };
         let b = ProviderStats {
             models: 3,
@@ -551,6 +574,10 @@ mod tests {
                 ..MetricsSnapshot::default()
             },
             meta_kv: MetricsSnapshot::default(),
+            bulk_segments_exposed: 3,
+            zero_copy_reads: 1,
+            copy_fallback_reads: 2,
+            validate_par_batches: 1,
         };
         let m = a.merge(b);
         assert_eq!(m.models, 4);
@@ -563,6 +590,10 @@ mod tests {
         assert_eq!(m.query_stats.memo_hits, 3);
         assert_eq!(m.tensor_kv.puts, 3);
         assert_eq!(m.tensor_kv.bytes_written, 1000);
+        assert_eq!(m.bulk_segments_exposed, 8);
+        assert_eq!(m.zero_copy_reads, 5);
+        assert_eq!(m.copy_fallback_reads, 3);
+        assert_eq!(m.validate_par_batches, 3);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use evostore_graph::{lcp, ArchIndex, CompactGraph, IndexQueryStats};
 use evostore_kv::{KvBackend, RefCountedStore};
 use evostore_obs::{
@@ -23,7 +23,7 @@ use evostore_obs::{
     TimeSource, Tracer,
 };
 use evostore_rpc::{typed_handler, Endpoint, EndpointId, Fabric};
-use evostore_tensor::{read_tensor, ModelId, TensorKey};
+use evostore_tensor::{read_tensor, validate_record, ModelId, TensorKey};
 use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 
@@ -181,6 +181,26 @@ pub struct ProviderState {
     tracer: Tracer,
     /// This provider's fabric address (stamped on handler spans).
     endpoint_id: u32,
+    /// Serve the data plane through consolidated contiguous copies
+    /// instead of vectored zero-copy regions (A/B measurement lever;
+    /// semantics are identical either way).
+    force_copy: AtomicBool,
+    /// Segments handed to `bulk_expose_vec` by read-side handlers.
+    bulk_segments_exposed: AtomicU64,
+    /// Tensor reads served as shared-buffer clones of memory-resident
+    /// values (no payload copy on the provider).
+    zero_copy_reads: AtomicU64,
+    /// Tensor reads that fell back to a copying `get` (disk-resident
+    /// record, or the forced-copy lever is on).
+    copy_fallback_reads: AtomicU64,
+    /// Store requests whose manifest validation fanned out across the
+    /// rayon pool (decode-free `validate_record` path).
+    validate_par_batches: AtomicU64,
+    /// Encoded `GET_META` replies keyed by model, each stamped with the
+    /// record timestamp it was built from. A hit serves the cached JSON
+    /// bytes without re-cloning the compact graph; a timestamp mismatch
+    /// (model re-stored or synced) rebuilds.
+    meta_replies: Mutex<HashMap<ModelId, (u64, Bytes)>>,
 }
 
 impl ProviderState {
@@ -344,54 +364,63 @@ impl ProviderState {
             ));
         }
 
-        // One consolidated one-sided pull for the whole request.
+        // One consolidated one-sided pull for the whole request. The
+        // region may be vectored (one segment per tensor record when the
+        // client skipped consolidation); manifest offsets address the
+        // logical concatenation either way.
         let region = self
             .fabric
-            .bulk_get(evostore_rpc::BulkHandle(req.bulk))
+            .bulk_get_vec(evostore_rpc::BulkHandle(req.bulk))
             .map_err(|e| format!("bulk pull failed: {e}"))?;
 
         // Validate the ENTIRE manifest before persisting anything, so a
         // malformed request can never leave partially-stored tensors with
-        // no catalog entry referencing them.
-        let mut validated = Vec::with_capacity(req.manifest.len());
-        for entry in &req.manifest {
-            let (off, len) = (entry.offset as usize, entry.len as usize);
-            if off
-                .checked_add(len)
-                .map(|end| end > region.len())
-                .unwrap_or(true)
-            {
-                return Err(format!(
-                    "manifest entry {} out of bulk bounds ({} + {} > {})",
-                    entry.key,
-                    off,
-                    len,
-                    region.len()
-                ));
-            }
-            let record = region.slice(off..off + len);
-            // Integrity + spec check before persisting.
-            let tensor =
-                read_tensor(record.clone()).map_err(|e| format!("tensor {}: {e}", entry.key))?;
-            let specs = req
-                .graph
-                .param_specs(evostore_tensor::VertexId(entry.key.vertex.0));
-            let spec = specs
-                .iter()
-                .find(|s| s.slot == entry.key.slot)
-                .ok_or_else(|| format!("tensor {} has no spec in the graph", entry.key))?;
-            if spec.shape != tensor.shape() || spec.dtype != tensor.dtype() {
-                return Err(format!(
-                    "tensor {} does not match its layer spec ({:?} {} vs {:?} {})",
-                    entry.key,
-                    tensor.shape(),
-                    tensor.dtype(),
-                    spec.shape,
-                    spec.dtype
-                ));
-            }
-            validated.push((entry.key, record));
+        // no catalog entry referencing them. Entries are independent, so
+        // the integrity + spec checks fan out across the rayon pool; the
+        // default path verifies framing, dims and checksum via
+        // `validate_record` without materializing a `TensorData`.
+        let force_copy = self.force_copy.load(Ordering::Relaxed);
+        if !force_copy {
+            self.validate_par_batches.fetch_add(1, Ordering::Relaxed);
         }
+        let validated = req
+            .manifest
+            .par_iter()
+            .map(|entry| {
+                let (off, len) = (entry.offset as usize, entry.len as usize);
+                let record = region.slice(off, len).ok_or_else(|| {
+                    format!(
+                        "manifest entry {} out of bulk bounds ({} + {} > {})",
+                        entry.key,
+                        off,
+                        len,
+                        region.len()
+                    )
+                })?;
+                // Integrity + spec check before persisting.
+                let (shape, dtype) = if force_copy {
+                    let tensor = read_tensor(record.clone())
+                        .map_err(|e| format!("tensor {}: {e}", entry.key))?;
+                    (tensor.shape().to_vec(), tensor.dtype())
+                } else {
+                    validate_record(&record).map_err(|e| format!("tensor {}: {e}", entry.key))?
+                };
+                let specs = req
+                    .graph
+                    .param_specs(evostore_tensor::VertexId(entry.key.vertex.0));
+                let spec = specs
+                    .iter()
+                    .find(|s| s.slot == entry.key.slot)
+                    .ok_or_else(|| format!("tensor {} has no spec in the graph", entry.key))?;
+                if spec.shape != shape || spec.dtype != dtype {
+                    return Err(format!(
+                        "tensor {} does not match its layer spec ({:?} {} vs {:?} {})",
+                        entry.key, shape, dtype, spec.shape, spec.dtype
+                    ));
+                }
+                Ok((entry.key, record))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
 
         let kv = self.kv_span("kv.put_tensors");
         let mut bytes_stored = 0u64;
@@ -445,36 +474,125 @@ impl ProviderState {
         })
     }
 
-    /// Handle a tensor read: consolidate the requested tensors into one
-    /// freshly exposed bulk region.
-    pub fn handle_read(&self, req: ReadTensorsRequest) -> Result<ReadTensorsReply, String> {
-        let kv = self.kv_span("kv.read_tensors");
-        let mut buf = BytesMut::new();
-        let mut manifest = Vec::with_capacity(req.keys.len());
-        for key in &req.keys {
-            if !self.places_here(key.owner) {
-                return Err(format!(
-                    "tensor {key} is not hosted by provider {}",
-                    self.index
-                ));
+    /// The encoded-bytes fast path behind the `GET_META` handler: build
+    /// (and deep-clone the compact graph) at most once per stored record
+    /// incarnation, then serve the cached JSON encoding. The cache entry
+    /// is keyed by record timestamp, so a re-store or anti-entropy sync
+    /// that installs a newer record invalidates it implicitly.
+    fn get_meta_encoded(&self, req: GetMetaRequest) -> Result<Bytes, String> {
+        let timestamp = self
+            .catalog
+            .read()
+            .records
+            .get(&req.model)
+            .map(|r| r.timestamp)
+            .ok_or_else(|| format!("model {} not found", req.model))?;
+        if let Some((ts, blob)) = self.meta_replies.lock().get(&req.model) {
+            if *ts == timestamp {
+                return Ok(blob.clone());
             }
-            let record = self
-                .tensors
-                .get(&key.encode())
-                .map_err(|_| format!("tensor {key} not stored"))?;
-            manifest.push(ManifestEntry {
-                key: *key,
-                offset: buf.len() as u64,
-                len: record.len() as u64,
-            });
-            buf.extend_from_slice(&record);
         }
+        let model = req.model;
+        let reply = self.handle_get_meta(req)?;
+        let blob = Bytes::from(serde_json::to_vec(&reply).map_err(|e| format!("encode: {e}"))?);
+        self.meta_replies
+            .lock()
+            .insert(model, (reply.timestamp, blob.clone()));
+        Ok(blob)
+    }
+
+    /// Handle a tensor read: gather the requested tensors into one
+    /// freshly exposed bulk region. Per-key kv lookups fan out across
+    /// the rayon pool; memory-resident records are appended to the
+    /// region as shared-buffer clones (`get_ref`, zero copy), anything
+    /// else falls back to a copying `get`. The forced-copy lever
+    /// restores the old behavior: one consolidation memcpy into a
+    /// contiguous region.
+    pub fn handle_read(&self, req: ReadTensorsRequest) -> Result<ReadTensorsReply, String> {
+        let force_copy = self.force_copy.load(Ordering::Relaxed);
+        let kv = self.kv_span("kv.read_tensors");
+        let records = req
+            .keys
+            .par_iter()
+            .map(|key| {
+                if !self.places_here(key.owner) {
+                    return Err(format!(
+                        "tensor {key} is not hosted by provider {}",
+                        self.index
+                    ));
+                }
+                let enc = key.encode();
+                if !force_copy {
+                    if let Some(record) = self.tensors.get_ref(&enc) {
+                        return Ok((record, true));
+                    }
+                }
+                self.tensors
+                    .get(&enc)
+                    .map(|record| (record, false))
+                    .map_err(|_| format!("tensor {key} not stored"))
+            })
+            .collect::<Result<Vec<(Bytes, bool)>, String>>()?;
         drop(kv);
-        let bulk = self.fabric.bulk_expose(buf.freeze());
+        let manifest = self.logical_manifest(&req.keys, &records);
+        let bulk = self.expose_records(records, force_copy);
         Ok(ReadTensorsReply {
             manifest,
             bulk: bulk.0,
         })
+    }
+
+    /// Manifest over the *logical* concatenation of `records` (offsets
+    /// accumulate record lengths; no buffer is built), tallying the
+    /// zero-copy/fallback read counters as it goes.
+    fn logical_manifest(
+        &self,
+        keys: &[TensorKey],
+        records: &[(Bytes, bool)],
+    ) -> Vec<ManifestEntry> {
+        let mut manifest = Vec::with_capacity(records.len());
+        let mut offset = 0u64;
+        let (mut zero_copy, mut fallback) = (0u64, 0u64);
+        for (key, (record, shared)) in keys.iter().zip(records) {
+            manifest.push(ManifestEntry {
+                key: *key,
+                offset,
+                len: record.len() as u64,
+            });
+            offset += record.len() as u64;
+            if *shared {
+                zero_copy += 1;
+            } else {
+                fallback += 1;
+            }
+        }
+        self.zero_copy_reads.fetch_add(zero_copy, Ordering::Relaxed);
+        self.copy_fallback_reads
+            .fetch_add(fallback, Ordering::Relaxed);
+        manifest
+    }
+
+    /// Expose fetched records as a bulk region: vectored (each record
+    /// becomes a segment, no copy) by default, or consolidated into one
+    /// contiguous buffer under the forced-copy lever.
+    fn expose_records(
+        &self,
+        records: Vec<(Bytes, bool)>,
+        force_copy: bool,
+    ) -> evostore_rpc::BulkHandle {
+        if force_copy {
+            let total: usize = records.iter().map(|(r, _)| r.len()).sum();
+            let mut buf = BytesMut::with_capacity(total);
+            for (record, _) in &records {
+                buf.extend_from_slice(record);
+            }
+            self.fabric.bulk_expose(buf.freeze())
+        } else {
+            let segments: Vec<Bytes> = records.into_iter().map(|(r, _)| r).collect();
+            self.bulk_segments_exposed
+                .fetch_add(segments.len() as u64, Ordering::Relaxed);
+            self.fabric.bulk_expose_vec(segments)
+        }
     }
 
     /// Handle reference-count increments (pinning a new descendant's
@@ -620,6 +738,7 @@ impl ProviderState {
             .remove(req.model)
             .ok_or_else(|| format!("model {} not found", req.model))?;
         self.unpersist_record(req.model);
+        self.meta_replies.lock().remove(&req.model);
         // Tombstone the retirement so anti-entropy can tell a replica
         // that missed this retirement from one that missed a newer
         // store of the same id.
@@ -806,21 +925,27 @@ impl ProviderState {
                 .ok_or_else(|| format!("model {} not found", req.model))?;
             rec.optimizer_keys.clone()
         };
-        let mut buf = BytesMut::new();
-        let mut manifest = Vec::with_capacity(keys.len());
-        for key in keys {
-            let record = self
-                .tensors
-                .get(&key.encode())
-                .map_err(|_| format!("optimizer tensor {key} not stored"))?;
-            manifest.push(ManifestEntry {
-                key,
-                offset: buf.len() as u64,
-                len: record.len() as u64,
-            });
-            buf.extend_from_slice(&record);
-        }
-        let bulk = self.fabric.bulk_expose(buf.freeze());
+        // Same zero-copy gather as `handle_read`: memory-resident
+        // optimizer tensors become shared segments, disk-resident ones
+        // fall back to a copying `get`.
+        let force_copy = self.force_copy.load(Ordering::Relaxed);
+        let records = keys
+            .par_iter()
+            .map(|key| {
+                let enc = key.encode();
+                if !force_copy {
+                    if let Some(record) = self.tensors.get_ref(&enc) {
+                        return Ok((record, true));
+                    }
+                }
+                self.tensors
+                    .get(&enc)
+                    .map(|record| (record, false))
+                    .map_err(|_| format!("optimizer tensor {key} not stored"))
+            })
+            .collect::<Result<Vec<(Bytes, bool)>, String>>()?;
+        let manifest = self.logical_manifest(&keys, &records);
+        let bulk = self.expose_records(records, force_copy);
         Ok(ReadTensorsReply {
             manifest,
             bulk: bulk.0,
@@ -967,6 +1092,7 @@ impl ProviderState {
             if covered {
                 if let Some(rec) = self.catalog.write().remove(t.model) {
                     self.unpersist_record(t.model);
+                    self.meta_replies.lock().remove(&t.model);
                     for key in &rec.optimizer_keys {
                         let _ = self.tensors.decr(&key.encode());
                     }
@@ -1037,6 +1163,20 @@ impl ProviderState {
         self.index_enabled.load(Ordering::Relaxed)
     }
 
+    /// Switch the data plane between zero-copy scatter-gather (default)
+    /// and forced contiguous consolidation: reads memcpy every record
+    /// into one buffer before exposure, and store validation decodes
+    /// full `TensorData`s serially-equivalent to the pre-vectored path.
+    /// A/B measurement lever; results are byte-identical either way.
+    pub fn set_force_copy(&self, force: bool) {
+        self.force_copy.store(force, Ordering::Relaxed);
+    }
+
+    /// Whether the forced-copy data-plane lever is on.
+    pub fn force_copy(&self) -> bool {
+        self.force_copy.load(Ordering::Relaxed)
+    }
+
     /// Live entries in the index's LCP memo (diagnostics/tests).
     pub fn index_memo_len(&self) -> usize {
         self.catalog.read().index.memo_len()
@@ -1062,6 +1202,10 @@ impl ProviderState {
                 .metrics_snapshot()
                 .unwrap_or_default(),
             meta_kv: self.meta_store.metrics_snapshot().unwrap_or_default(),
+            bulk_segments_exposed: self.bulk_segments_exposed.load(Ordering::Relaxed),
+            zero_copy_reads: self.zero_copy_reads.load(Ordering::Relaxed),
+            copy_fallback_reads: self.copy_fallback_reads.load(Ordering::Relaxed),
+            validate_par_batches: self.validate_par_batches.load(Ordering::Relaxed),
         }
     }
 
@@ -1098,6 +1242,23 @@ impl ProviderState {
                 .with_label("provider", p),
             Metric::counter("evostore_index_pruned", stats.query_stats.pruned)
                 .with_label("provider", p),
+            Metric::counter(
+                "evostore_datapath_bulk_segments_exposed",
+                stats.bulk_segments_exposed,
+            )
+            .with_label("provider", p),
+            Metric::counter("evostore_datapath_zero_copy_reads", stats.zero_copy_reads)
+                .with_label("provider", p),
+            Metric::counter(
+                "evostore_datapath_copy_fallback_reads",
+                stats.copy_fallback_reads,
+            )
+            .with_label("provider", p),
+            Metric::counter(
+                "evostore_datapath_validate_par_batches",
+                stats.validate_par_batches,
+            )
+            .with_label("provider", p),
         ];
         for (store, snap) in [("tensors", stats.tensor_kv), ("meta", stats.meta_kv)] {
             for (name, v) in [
@@ -1222,14 +1383,17 @@ impl ProviderState {
             .collect()
     }
 
-    /// Keys of every tensor hosted here (GC audits).
+    /// Keys of every tensor hosted here (GC audits). Iterates the
+    /// backend in place ([`KvBackend::for_each_key`]) instead of
+    /// materializing one `Vec<u8>` per stored key.
     pub fn hosted_tensor_keys(&self) -> Vec<TensorKey> {
-        self.tensors
-            .backend()
-            .keys()
-            .iter()
-            .filter_map(|k| TensorKey::decode(k))
-            .collect()
+        let mut keys = Vec::new();
+        self.tensors.backend().for_each_key(&mut |k| {
+            if let Some(key) = TensorKey::decode(k) {
+                keys.push(key);
+            }
+        });
+        keys
     }
 }
 
@@ -1293,6 +1457,12 @@ impl Provider {
             query_stats: Mutex::new(IndexQueryStats::default()),
             tracer,
             endpoint_id: endpoint.id().0,
+            force_copy: AtomicBool::new(false),
+            bulk_segments_exposed: AtomicU64::new(0),
+            zero_copy_reads: AtomicU64::new(0),
+            copy_fallback_reads: AtomicU64::new(0),
+            validate_par_batches: AtomicU64::new(0),
+            meta_replies: Mutex::new(HashMap::new()),
         });
 
         // Every handler runs under `traced`: when the RPC envelope
@@ -1303,11 +1473,16 @@ impl Provider {
             methods::STORE,
             typed_handler(move |r| s.traced(methods::STORE, || s.handle_store(r))),
         );
+        // GET_META bypasses `typed_handler` on the reply side: the
+        // handler returns pre-encoded bytes cached per record
+        // incarnation, so a hot model's compact graph is deep-cloned and
+        // JSON-encoded once, not once per fetch.
         let s = Arc::clone(&state);
-        endpoint.register(
-            methods::GET_META,
-            typed_handler(move |r| s.traced(methods::GET_META, || s.handle_get_meta(r))),
-        );
+        endpoint.register(methods::GET_META, move |body: Bytes| {
+            let req: GetMetaRequest =
+                serde_json::from_slice(&body).map_err(|e| format!("decode: {e}"))?;
+            s.traced(methods::GET_META, || s.get_meta_encoded(req))
+        });
         let s = Arc::clone(&state);
         endpoint.register(
             methods::READ,

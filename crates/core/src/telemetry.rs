@@ -160,6 +160,9 @@ pub struct ClientTelemetry {
     parked_decrements: AtomicU64,
     read_failovers: AtomicU64,
     under_replicated_stores: AtomicU64,
+    // Segments this client handed to vectored bulk exposure (store
+    // payloads published without a consolidation copy).
+    bulk_segments_exposed: AtomicU64,
     // Provider-side ancestor-query index counters, accumulated from the
     // per-reply stats of every LCP/pattern broadcast this client ran.
     index_scanned: AtomicU64,
@@ -224,6 +227,17 @@ impl ClientTelemetry {
     /// Record `n` failed mirror legs (under-replication debt).
     pub fn note_under_replicated_stores(&self, n: u64) {
         self.under_replicated_stores.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Segments published as vectored bulk regions instead of being
+    /// consolidated into a contiguous copy.
+    pub fn bulk_segments_exposed(&self) -> u64 {
+        self.bulk_segments_exposed.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` segments exposed without a consolidation copy.
+    pub fn note_bulk_segments_exposed(&self, n: u64) {
+        self.bulk_segments_exposed.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Accumulate one provider reply's index statistics.
@@ -306,6 +320,10 @@ impl ClientTelemetry {
                 "evostore_client_under_replicated_stores",
                 self.under_replicated_stores(),
             )),
+            tag(Metric::counter(
+                "evostore_client_bulk_segments_exposed",
+                self.bulk_segments_exposed(),
+            )),
             tag(Metric::counter("evostore_client_index_scanned", ix.scanned)),
             tag(Metric::counter(
                 "evostore_client_index_memo_hits",
@@ -321,7 +339,7 @@ impl ClientTelemetry {
     pub fn report(&self) -> String {
         let ix = self.index_stats();
         format!(
-            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: calls={} retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}\nreplication: read_failovers={} under_replicated_stores={}\nindex:  scanned={} memo_hits={} deduped={} pruned={}",
+            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: calls={} retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}\nreplication: read_failovers={} under_replicated_stores={}\ndatapath: bulk_segments_exposed={}\nindex:  scanned={} memo_hits={} deduped={} pruned={}",
             self.query.report(),
             self.fetch.report(),
             self.store.report(),
@@ -334,6 +352,7 @@ impl ClientTelemetry {
             self.parked_decrements(),
             self.read_failovers(),
             self.under_replicated_stores(),
+            self.bulk_segments_exposed(),
             ix.scanned,
             ix.memo_hits,
             ix.deduped,
@@ -431,6 +450,7 @@ mod tests {
             "evostore_client_parked_decrements",
             "evostore_client_read_failovers",
             "evostore_client_under_replicated_stores",
+            "evostore_client_bulk_segments_exposed",
             "evostore_client_index_scanned",
             "evostore_client_index_memo_hits",
             "evostore_client_index_deduped",

@@ -280,6 +280,7 @@ fn metrics_snapshot_unifies_every_island() {
         "evostore_client_index_memo_hits",
         "evostore_client_index_deduped",
         "evostore_client_index_pruned",
+        "evostore_client_bulk_segments_exposed",
         // Provider catalog gauges.
         "evostore_provider_models",
         "evostore_provider_distinct_archs",
@@ -292,6 +293,11 @@ fn metrics_snapshot_unifies_every_island() {
         "evostore_index_memo_hits",
         "evostore_index_deduped",
         "evostore_index_pruned",
+        // Zero-copy data-plane counters.
+        "evostore_datapath_bulk_segments_exposed",
+        "evostore_datapath_zero_copy_reads",
+        "evostore_datapath_copy_fallback_reads",
+        "evostore_datapath_validate_par_batches",
         // KV counters, per store.
         "evostore_kv_puts",
         "evostore_kv_gets",
@@ -331,6 +337,110 @@ fn metrics_snapshot_unifies_every_island() {
     assert!(text.contains("evostore_client_fetch_latency_us{"));
     let json = snap.to_json();
     assert!(json.contains("evostore_provider_models"));
+}
+
+/// Regression (zero-copy data plane): serving memory-resident tensors as
+/// `Bytes` clones must not perturb the byte accounting that
+/// `kv_byte_counters_round_trip_through_stats` pinned in PR 4. The fetch
+/// here is explicitly verified to have taken the zero-copy path
+/// (`zero_copy_reads > 0`, vectored segments exposed) and the kv read
+/// counters still cover the fetched payload; the store-side written
+/// bytes still reconcile exactly with the client's report.
+#[test]
+fn zero_copy_reads_preserve_byte_accounting() {
+    let dep = Deployment::in_memory(3);
+    let client = dep.client();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let model = ModelId(1);
+    let out = client
+        .store_fresh(model, &seq(&[8, 16, 16, 4]), 0.9, &mut rng)
+        .unwrap();
+
+    let keys = client.get_meta(model).unwrap().owner_map.all_tensor_keys();
+    let got = client.fetch_tensors(&keys).unwrap();
+    let payload: u64 = got.values().map(|t| t.byte_len() as u64).sum();
+
+    let stats = dep.stats();
+    let zero_copy: u64 = stats.iter().map(|s| s.zero_copy_reads).sum();
+    let fallback: u64 = stats.iter().map(|s| s.copy_fallback_reads).sum();
+    assert_eq!(
+        zero_copy,
+        keys.len() as u64,
+        "every memory-resident tensor was served without a copy"
+    );
+    assert_eq!(fallback, 0, "nothing fell back on an all-memory deployment");
+    let segments: u64 = stats.iter().map(|s| s.bulk_segments_exposed).sum();
+    assert!(
+        segments >= zero_copy,
+        "reads were exposed as vectored regions ({segments} segments)"
+    );
+    let batches: u64 = stats.iter().map(|s| s.validate_par_batches).sum();
+    assert!(batches > 0, "the store manifest was batch-validated");
+    assert!(
+        client.telemetry().bulk_segments_exposed() > 0,
+        "the client's store push was vectored too"
+    );
+
+    // The PR 4 invariant, unchanged under zero-copy: store-side written
+    // bytes reconcile exactly, and kv reads still cover the payload even
+    // though no consolidation buffer was built.
+    let written: u64 = stats.iter().map(|s| s.tensor_kv.bytes_written).sum();
+    assert_eq!(written, out.bytes_written);
+    let read: u64 = stats.iter().map(|s| s.tensor_kv.bytes_read).sum();
+    assert!(
+        read >= payload,
+        "kv reads ({read}) cover the fetched payload ({payload})"
+    );
+}
+
+/// The forced-copy lever is a pure escape hatch: the same seeded model
+/// stored and fetched through a forced-copy deployment yields
+/// byte-identical tensors and identical kv byte counters — only the
+/// datapath counters reveal which plane served the reads.
+#[test]
+fn forced_copy_and_zero_copy_planes_agree() {
+    let fetch = |force: bool| {
+        let dep = Deployment::new(DeploymentConfig {
+            providers: 3,
+            force_copy_data_plane: force,
+            ..Default::default()
+        });
+        let client = dep.client();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let model = ModelId(1);
+        client
+            .store_fresh(model, &seq(&[8, 16, 16, 4]), 0.9, &mut rng)
+            .unwrap();
+        let keys = client.get_meta(model).unwrap().owner_map.all_tensor_keys();
+        let mut got: Vec<_> = client.fetch_tensors(&keys).unwrap().into_iter().collect();
+        got.sort_by_key(|(k, _)| *k);
+        let stats = dep.stats();
+        let zero_copy: u64 = stats.iter().map(|s| s.zero_copy_reads).sum();
+        let fallback: u64 = stats.iter().map(|s| s.copy_fallback_reads).sum();
+        let written: u64 = stats.iter().map(|s| s.tensor_kv.bytes_written).sum();
+        let read: u64 = stats.iter().map(|s| s.tensor_kv.bytes_read).sum();
+        (got, zero_copy, fallback, written, read)
+    };
+
+    let (zc_tensors, zc_zero, zc_fall, zc_written, zc_read) = fetch(false);
+    let (fc_tensors, fc_zero, fc_fall, fc_written, fc_read) = fetch(true);
+
+    assert_eq!(zc_tensors.len(), fc_tensors.len());
+    for ((ka, ta), (kb, tb)) in zc_tensors.iter().zip(fc_tensors.iter()) {
+        assert_eq!(ka, kb);
+        assert_eq!(ta.bytes(), tb.bytes(), "tensor {ka} differs across planes");
+        assert_eq!(ta.shape(), tb.shape());
+    }
+
+    assert!(zc_zero > 0, "default plane is zero-copy");
+    assert_eq!(zc_fall, 0);
+    assert_eq!(fc_zero, 0, "forced-copy never takes the zero-copy path");
+    assert_eq!(fc_fall, zc_zero, "forced-copy serves every read by copy");
+
+    // Byte accounting is plane-independent: both levers report the same
+    // logical traffic.
+    assert_eq!(zc_written, fc_written);
+    assert_eq!(zc_read, fc_read);
 }
 
 /// Tentpole: operations that exceed the slow threshold are retained

@@ -58,6 +58,20 @@ pub trait KvBackend: Send + Sync {
     /// backends).
     fn get(&self, key: &[u8]) -> Result<Bytes, KvError>;
 
+    /// Zero-copy fetch of a *memory-resident* value: `Some` is a cheap
+    /// clone of the backend's shared buffer (no I/O, no promotion side
+    /// effects) and records the same read metrics as a successful
+    /// [`KvBackend::get`]. `None` means the value is not memory-resident
+    /// — absent, or parked on disk — and records *nothing*: the caller
+    /// is expected to fall back to `get`, whose miss/read accounting
+    /// then keeps the counters identical to a plain single-get path.
+    ///
+    /// The default (disk-backed or non-caching stores) is `None`.
+    fn get_ref(&self, key: &[u8]) -> Option<Bytes> {
+        let _ = key;
+        None
+    }
+
     /// Remove a key. `Ok(true)` when it existed.
     fn delete(&self, key: &[u8]) -> Result<bool, KvError>;
 
@@ -88,6 +102,17 @@ pub trait KvBackend: Send + Sync {
     /// Snapshot of all live keys (diagnostics, GC audits, compaction).
     fn keys(&self) -> Vec<Vec<u8>>;
 
+    /// Visit every live key without materializing a `Vec<Vec<u8>>`
+    /// snapshot — the allocation-free form of [`KvBackend::keys`] for
+    /// digest and GC-audit passes that only need to iterate. Keys may be
+    /// visited in any order; mutations made *during* the walk (from
+    /// other threads) may or may not be observed, exactly like `keys`.
+    fn for_each_key(&self, f: &mut dyn FnMut(&[u8])) {
+        for k in self.keys() {
+            f(&k);
+        }
+    }
+
     /// Operation/byte counters, for backends that keep them. `None`
     /// means the backend doesn't track metrics; aggregators should
     /// treat it as all-zero rather than an error.
@@ -103,6 +128,9 @@ impl<T: KvBackend + ?Sized> KvBackend for Box<T> {
     fn get(&self, key: &[u8]) -> Result<Bytes, KvError> {
         (**self).get(key)
     }
+    fn get_ref(&self, key: &[u8]) -> Option<Bytes> {
+        (**self).get_ref(key)
+    }
     fn delete(&self, key: &[u8]) -> Result<bool, KvError> {
         (**self).delete(key)
     }
@@ -117,6 +145,9 @@ impl<T: KvBackend + ?Sized> KvBackend for Box<T> {
     }
     fn keys(&self) -> Vec<Vec<u8>> {
         (**self).keys()
+    }
+    fn for_each_key(&self, f: &mut dyn FnMut(&[u8])) {
+        (**self).for_each_key(f)
     }
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         (**self).metrics_snapshot()

@@ -501,6 +501,17 @@ impl KvBackend for LogStore {
     fn keys(&self) -> Vec<Vec<u8>> {
         self.inner.lock().index.keys().map(|k| k.to_vec()).collect()
     }
+
+    /// Walk the index under the lock without materializing the
+    /// `Vec<Vec<u8>>` snapshot `keys()` pays — digest and GC-audit
+    /// passes iterate every key of every provider, so the per-pass copy
+    /// of the whole index is pure overhead.
+    fn for_each_key(&self, f: &mut dyn FnMut(&[u8])) {
+        let inner = self.inner.lock();
+        for k in inner.index.keys() {
+            f(k);
+        }
+    }
 }
 
 #[cfg(test)]

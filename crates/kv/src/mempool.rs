@@ -96,6 +96,17 @@ impl KvBackend for MemPoolStore {
         }
     }
 
+    fn get_ref(&self, key: &[u8]) -> Option<Bytes> {
+        // Every value is memory-resident here. A hit records its read
+        // (same accounting as `get`); a miss records nothing — the
+        // caller's fallback `get` supplies the miss count.
+        let map = self.shard(key).read();
+        map.get(key).map(|v| {
+            self.metrics.record_get(v.len());
+            v.clone()
+        })
+    }
+
     fn delete(&self, key: &[u8]) -> Result<bool, KvError> {
         let mut map = self.shard(key).write();
         match map.remove(key) {
@@ -132,6 +143,15 @@ impl KvBackend for MemPoolStore {
             out.extend(map.keys().map(|k| k.to_vec()));
         }
         out
+    }
+
+    fn for_each_key(&self, f: &mut dyn FnMut(&[u8])) {
+        for shard in &self.shards {
+            let map = shard.read();
+            for k in map.keys() {
+                f(k);
+            }
+        }
     }
 }
 

@@ -57,6 +57,12 @@ impl<B: KvBackend> RefCountedStore<B> {
         self.backend.get(key)
     }
 
+    /// Zero-copy fetch of a memory-resident value (see
+    /// [`KvBackend::get_ref`]); refcounts do not gate reads.
+    pub fn get_ref(&self, key: &[u8]) -> Option<Bytes> {
+        self.backend.get_ref(key)
+    }
+
     /// Presence check.
     pub fn contains(&self, key: &[u8]) -> bool {
         self.backend.contains(key)

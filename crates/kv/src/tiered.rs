@@ -100,6 +100,16 @@ impl<D: KvBackend> KvBackend for TieredStore<D> {
         }
     }
 
+    fn get_ref(&self, key: &[u8]) -> Option<Bytes> {
+        // Memory-resident means hot-tier resident: a hit counts like a
+        // hot `get`; a durable-only key returns `None` without touching
+        // the miss counter — the fallback `get` misses memory, promotes,
+        // and accounts exactly as the single-get path always has.
+        let v = self.memory.get_ref(key)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(v)
+    }
+
     fn delete(&self, key: &[u8]) -> Result<bool, KvError> {
         let _ = self.memory.delete(key)?;
         self.durable.delete(key)
@@ -119,6 +129,10 @@ impl<D: KvBackend> KvBackend for TieredStore<D> {
 
     fn keys(&self) -> Vec<Vec<u8>> {
         self.durable.keys()
+    }
+
+    fn for_each_key(&self, f: &mut dyn FnMut(&[u8])) {
+        self.durable.for_each_key(f)
     }
 
     /// Writes/deletes/misses come from the durable tier (every write

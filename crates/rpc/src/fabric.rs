@@ -157,12 +157,122 @@ impl Endpoint {
     }
 }
 
-/// A registered bulk region: the shared buffer plus (optionally) the
-/// endpoint whose memory it models. Ownerless regions survive any fault;
-/// owned regions become unreadable while their owner is marked down.
+/// A registered bulk region: an ordered list of shared buffers (a rope)
+/// plus (optionally) the endpoint whose memory it models. A contiguous
+/// exposure is simply a one-segment rope. Ownerless regions survive any
+/// fault; owned regions become unreadable while their owner is marked
+/// down.
 struct BulkRegion {
-    data: Bytes,
+    segments: Vec<Bytes>,
+    total_len: usize,
     owner: Option<EndpointId>,
+}
+
+/// A fetched vectored bulk region: the ordered segment list plus the
+/// logical (concatenated) length. Segments are cheap `Bytes` clones of
+/// the exposer's buffers — pulling a rope copies nothing.
+///
+/// Logical offsets address the concatenation of all segments in order:
+/// [`SegmentedRegion::slice`] resolves a `(offset, len)` range against
+/// it, zero-copy when the range falls inside one segment and copying
+/// only when it spans a boundary.
+#[derive(Debug, Clone)]
+pub struct SegmentedRegion {
+    segments: Vec<Bytes>,
+    /// Logical start offset of each segment (prefix sums).
+    starts: Vec<usize>,
+    total_len: usize,
+}
+
+impl SegmentedRegion {
+    /// Build a region from an ordered segment list.
+    pub fn new(segments: Vec<Bytes>) -> SegmentedRegion {
+        let mut starts = Vec::with_capacity(segments.len());
+        let mut total = 0usize;
+        for s in &segments {
+            starts.push(total);
+            total += s.len();
+        }
+        SegmentedRegion {
+            segments,
+            starts,
+            total_len: total,
+        }
+    }
+
+    /// Logical length: the sum of all segment lengths.
+    pub fn len(&self) -> usize {
+        self.total_len
+    }
+
+    /// True when the region holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.total_len == 0
+    }
+
+    /// The ordered segments.
+    pub fn segments(&self) -> &[Bytes] {
+        &self.segments
+    }
+
+    /// Number of segments in the rope.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Resolve a logical `(offset, len)` range. Zero-copy (a shared
+    /// sub-slice) when the range lies within one segment; a fresh copy
+    /// when it spans a segment boundary. `None` when out of bounds.
+    pub fn slice(&self, offset: usize, len: usize) -> Option<Bytes> {
+        let end = offset.checked_add(len)?;
+        if end > self.total_len {
+            return None;
+        }
+        if len == 0 {
+            return Some(Bytes::new());
+        }
+        // Segment containing `offset`: the greatest start <= offset.
+        // (Duplicate starts from empty segments are fine — the copy loop
+        // below skips zero-length takes.)
+        let mut idx = match self.starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let seg_off = offset - self.starts[idx];
+        let seg = &self.segments[idx];
+        if seg_off + len <= seg.len() {
+            return Some(seg.slice(seg_off..seg_off + len));
+        }
+        // Boundary-spanning range: gather into one buffer.
+        let mut out = Vec::with_capacity(len);
+        let mut off = seg_off;
+        let mut remaining = len;
+        while remaining > 0 {
+            let seg = &self.segments[idx];
+            let take = remaining.min(seg.len().saturating_sub(off));
+            out.extend_from_slice(&seg[off..off + take]);
+            remaining -= take;
+            off = 0;
+            idx += 1;
+        }
+        Some(Bytes::from(out))
+    }
+
+    /// The whole region as one contiguous buffer: the single segment's
+    /// shared buffer when the rope has one segment, otherwise a copy.
+    pub fn to_bytes(&self) -> Bytes {
+        match self.segments.len() {
+            0 => Bytes::new(),
+            1 => self.segments[0].clone(),
+            _ => {
+                let mut out = Vec::with_capacity(self.total_len);
+                for s in &self.segments {
+                    out.extend_from_slice(s);
+                }
+                Bytes::from(out)
+            }
+        }
+    }
 }
 
 /// The fabric: endpoint registry + bulk-region registry.
@@ -478,7 +588,7 @@ impl Fabric {
     /// shares the caller's buffer. The region is *ownerless*: it stays
     /// readable regardless of any endpoint's fault state.
     pub fn bulk_expose(&self, data: Bytes) -> BulkHandle {
-        self.bulk_insert(data, None)
+        self.bulk_insert(vec![data], None)
     }
 
     /// Expose a memory region *owned by* `owner`. While `owner` is
@@ -486,26 +596,51 @@ impl Fabric {
     /// with [`RpcError::Unavailable`] — a crashed provider's RDMA
     /// windows go away with it.
     pub fn bulk_expose_owned(&self, data: Bytes, owner: EndpointId) -> BulkHandle {
-        self.bulk_insert(data, Some(owner))
+        self.bulk_insert(vec![data], Some(owner))
     }
 
-    fn bulk_insert(&self, data: Bytes, owner: Option<EndpointId>) -> BulkHandle {
+    /// Expose an ordered list of buffers as ONE logical region (a
+    /// scatter-gather rope). Zero-copy: every segment shares its caller's
+    /// buffer; the region's logical bytes are the in-order concatenation.
+    /// Readable via [`Fabric::bulk_get_vec`] (segment list, copy-free) or
+    /// the contiguous [`Fabric::bulk_get`] / [`Fabric::bulk_get_range`]
+    /// compatibility paths. Ownerless, like [`Fabric::bulk_expose`].
+    pub fn bulk_expose_vec(&self, segments: Vec<Bytes>) -> BulkHandle {
+        self.bulk_insert(segments, None)
+    }
+
+    /// [`Fabric::bulk_expose_vec`] with an owner: the whole rope becomes
+    /// unreadable (transient [`RpcError::Unavailable`]) while `owner` is
+    /// marked down.
+    pub fn bulk_expose_vec_owned(&self, segments: Vec<Bytes>, owner: EndpointId) -> BulkHandle {
+        self.bulk_insert(segments, Some(owner))
+    }
+
+    fn bulk_insert(&self, segments: Vec<Bytes>, owner: Option<EndpointId>) -> BulkHandle {
         let id = self.next_bulk.fetch_add(1, Ordering::Relaxed);
-        self.bulk.write().insert(id, BulkRegion { data, owner });
+        let total_len = segments.iter().map(Bytes::len).sum();
+        self.bulk.write().insert(
+            id,
+            BulkRegion {
+                segments,
+                total_len,
+                owner,
+            },
+        );
         BulkHandle(id)
     }
 
-    /// One-sided read of an exposed region. Does *not* involve any service
-    /// thread of the exposing endpoint.
-    ///
-    /// This is the second fault-injection boundary: a withdrawn handle is
-    /// the *permanent* failure [`RpcError::NoSuchBulk`]; a region whose
-    /// owner is down is the *transient* [`RpcError::Unavailable`].
-    pub fn bulk_get(&self, handle: BulkHandle) -> Result<Bytes, RpcError> {
-        let (data, owner) = {
+    /// Shared lookup + fault filter behind every one-sided read: clone
+    /// the segment list (cheap buffer shares) and apply the per-region
+    /// fault rules. A withdrawn handle is the *permanent* failure
+    /// [`RpcError::NoSuchBulk`] (checked first, fault plan or not); a
+    /// region whose owner is down is the *transient*
+    /// [`RpcError::Unavailable`].
+    fn bulk_fetch(&self, handle: BulkHandle) -> Result<(Vec<Bytes>, usize), RpcError> {
+        let (segments, total_len, owner) = {
             let map = self.bulk.read();
             let region = map.get(&handle.0).ok_or(RpcError::NoSuchBulk(handle))?;
-            (region.data.clone(), region.owner)
+            (region.segments.clone(), region.total_len, region.owner)
         };
         if self.faults_active.load(Ordering::Acquire) {
             if let (Some(owner), Some(plan)) = (owner, self.faults.read().clone()) {
@@ -514,24 +649,57 @@ impl Fabric {
                 }
             }
         }
-        Ok(data)
+        Ok((segments, total_len))
     }
 
-    /// One-sided sub-range read (partial tensor access).
+    /// One-sided read of an exposed region. Does *not* involve any service
+    /// thread of the exposing endpoint.
+    ///
+    /// This is the second fault-injection boundary (see
+    /// [`Fabric::bulk_fetch`]'s error contract). Against a vectored
+    /// region this is the backward-compatible *gathering* path: the
+    /// segments are concatenated into one buffer (zero-copy only for
+    /// single-segment regions). Prefer [`Fabric::bulk_get_vec`] to pull
+    /// a rope without copying.
+    pub fn bulk_get(&self, handle: BulkHandle) -> Result<Bytes, RpcError> {
+        let (mut segments, total_len) = self.bulk_fetch(handle)?;
+        Ok(match segments.len() {
+            0 => Bytes::new(),
+            1 => segments.pop().expect("one segment"),
+            _ => {
+                let mut out = Vec::with_capacity(total_len);
+                for s in &segments {
+                    out.extend_from_slice(s);
+                }
+                Bytes::from(out)
+            }
+        })
+    }
+
+    /// One-sided read of an exposed region as its ordered segment list —
+    /// the copy-free path. Same fault contract as [`Fabric::bulk_get`];
+    /// the segments are cheap clones of the exposer's buffers.
+    pub fn bulk_get_vec(&self, handle: BulkHandle) -> Result<SegmentedRegion, RpcError> {
+        let (segments, _) = self.bulk_fetch(handle)?;
+        Ok(SegmentedRegion::new(segments))
+    }
+
+    /// One-sided sub-range read (partial tensor access). Offsets address
+    /// the region's logical concatenation; the read is zero-copy when the
+    /// range falls inside one segment.
     pub fn bulk_get_range(
         &self,
         handle: BulkHandle,
         offset: usize,
         len: usize,
     ) -> Result<Bytes, RpcError> {
-        let region = self.bulk_get(handle)?;
-        if offset + len > region.len() {
-            return Err(RpcError::Handler(format!(
+        let region = self.bulk_get_vec(handle)?;
+        region.slice(offset, len).ok_or_else(|| {
+            RpcError::Handler(format!(
                 "bulk range {offset}+{len} out of bounds for region of {}",
                 region.len()
-            )));
-        }
-        Ok(region.slice(offset..offset + len))
+            ))
+        })
     }
 
     /// Withdraw a region.
@@ -722,6 +890,101 @@ mod tests {
         // A *withdrawn* handle is the permanent error, fault plan or not.
         assert!(fabric.bulk_release(owned));
         assert_eq!(fabric.bulk_get(owned), Err(RpcError::NoSuchBulk(owned)));
+    }
+
+    #[test]
+    fn vectored_region_concatenates_and_shares_segments() {
+        let fabric = Fabric::new();
+        let a = Bytes::from(vec![1u8; 16]);
+        let b = Bytes::from(vec![2u8; 8]);
+        let c = Bytes::from(vec![3u8; 4]);
+        let h = fabric.bulk_expose_vec(vec![a.clone(), b.clone(), c.clone()]);
+
+        // Copy-free pull: each segment shares the exposer's allocation.
+        let rope = fabric.bulk_get_vec(h).unwrap();
+        assert_eq!(rope.len(), 28);
+        assert_eq!(rope.segment_count(), 3);
+        assert_eq!(rope.segments()[0].as_ptr(), a.as_ptr());
+        assert_eq!(rope.segments()[1].as_ptr(), b.as_ptr());
+        assert_eq!(rope.segments()[2].as_ptr(), c.as_ptr());
+
+        // Backward-compatible gather: logical concatenation.
+        let flat = fabric.bulk_get(h).unwrap();
+        let mut expect = vec![1u8; 16];
+        expect.extend_from_slice(&[2u8; 8]);
+        expect.extend_from_slice(&[3u8; 4]);
+        assert_eq!(flat.as_ref(), &expect[..]);
+
+        // Logical ranges: in-segment reads are zero-copy sub-slices,
+        // boundary-spanning reads gather.
+        let within = fabric.bulk_get_range(h, 16, 8).unwrap();
+        assert_eq!(within.as_ptr(), b.as_ptr());
+        let spanning = fabric.bulk_get_range(h, 12, 8).unwrap();
+        assert_eq!(spanning.as_ref(), &[1, 1, 1, 1, 2, 2, 2, 2]);
+        let oob = fabric.bulk_get_range(h, 20, 9);
+        assert!(
+            matches!(&oob, Err(RpcError::Handler(m)) if m.contains("out of bounds")),
+            "{oob:?}"
+        );
+        assert!(fabric.bulk_release(h));
+    }
+
+    #[test]
+    fn vectored_region_fault_parity_with_contiguous() {
+        // Fault injection applies per region, identically for ropes and
+        // contiguous exposures: owner down => transient Unavailable on
+        // every read path, withdrawn handle => permanent NoSuchBulk.
+        let fabric = Fabric::new();
+        let ep = fabric.create_endpoint(1);
+        let data = Bytes::from(vec![7u8; 32]);
+        let owned = fabric.bulk_expose_vec_owned(vec![data.clone(), data.clone()], ep.id());
+        let orphan = fabric.bulk_expose_vec(vec![data.clone()]);
+
+        let plan = fabric.install_fault_plan(crate::fault::FaultPlan::new(1));
+        plan.set_down(ep.id());
+        assert_eq!(
+            fabric.bulk_get_vec(owned).err(),
+            Some(RpcError::Unavailable(ep.id()))
+        );
+        assert_eq!(fabric.bulk_get(owned), Err(RpcError::Unavailable(ep.id())));
+        assert_eq!(
+            fabric.bulk_get_range(owned, 0, 8),
+            Err(RpcError::Unavailable(ep.id()))
+        );
+        // Ownerless rope: unaffected by the fault.
+        assert_eq!(fabric.bulk_get_vec(orphan).unwrap().len(), 32);
+        plan.set_up(ep.id());
+        assert_eq!(fabric.bulk_get_vec(owned).unwrap().len(), 64);
+
+        // Withdrawn: permanent error wins regardless of the fault plan.
+        plan.set_down(ep.id());
+        assert!(fabric.bulk_release(owned));
+        assert_eq!(
+            fabric.bulk_get_vec(owned).err(),
+            Some(RpcError::NoSuchBulk(owned))
+        );
+        assert_eq!(fabric.bulk_get(owned), Err(RpcError::NoSuchBulk(owned)));
+        fabric.clear_fault_plan();
+    }
+
+    #[test]
+    fn segmented_region_slices_handle_empty_segments() {
+        let region = SegmentedRegion::new(vec![
+            Bytes::from(vec![1u8; 3]),
+            Bytes::new(),
+            Bytes::from(vec![2u8; 5]),
+        ]);
+        assert_eq!(region.len(), 8);
+        assert_eq!(
+            region.slice(0, 8).unwrap().as_ref(),
+            &[1, 1, 1, 2, 2, 2, 2, 2]
+        );
+        assert_eq!(region.slice(3, 2).unwrap().as_ref(), &[2, 2]);
+        assert_eq!(region.slice(2, 2).unwrap().as_ref(), &[1, 2]);
+        assert_eq!(region.slice(8, 0).unwrap().len(), 0);
+        assert!(region.slice(8, 1).is_none());
+        assert!(region.slice(usize::MAX, 2).is_none(), "offset overflow");
+        assert_eq!(region.to_bytes().len(), 8);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod resilient;
 
 pub use codec::{call_typed, decode, encode, typed_handler};
 pub use collective::{broadcast_reduce, MemberReply};
-pub use fabric::{BulkHandle, Endpoint, EndpointId, Fabric, Handler, RpcError};
+pub use fabric::{BulkHandle, Endpoint, EndpointId, Fabric, Handler, RpcError, SegmentedRegion};
 pub use fault::{FaultAction, FaultPlan, FaultRule, FaultStats, FaultWindow};
 pub use resilient::{
     broadcast, broadcast_traced, fan_out, fan_out_traced, unary, unary_failover,

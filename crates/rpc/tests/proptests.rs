@@ -78,6 +78,62 @@ proptest! {
         prop_assert_eq!(fabric.bulk_regions(), 0);
     }
 
+    /// A vectored region's logical bytes are identical to the equivalent
+    /// contiguous region under arbitrary segment splits: the gathering
+    /// `bulk_get`, every `bulk_get_range`, and the copy-free
+    /// `bulk_get_vec` rope all agree with the flat buffer.
+    #[test]
+    fn vectored_region_matches_contiguous(
+        data in prop::collection::vec(any::<u8>(), 1..2048),
+        splits in prop::collection::vec(any::<u16>(), 0..8),
+        cuts in prop::collection::vec((any::<u16>(), any::<u16>()), 0..8),
+    ) {
+        let fabric = Fabric::new();
+        let flat = Bytes::from(data.clone());
+
+        // Cut the buffer at arbitrary (sorted, deduplicated) positions.
+        let mut at: Vec<usize> = splits.iter().map(|&s| (s as usize) % (data.len() + 1)).collect();
+        at.sort_unstable();
+        at.dedup();
+        let mut segments = Vec::new();
+        let mut prev = 0usize;
+        for cut in at {
+            segments.push(flat.slice(prev..cut));
+            prev = cut;
+        }
+        segments.push(flat.slice(prev..));
+
+        let hv = fabric.bulk_expose_vec(segments.clone());
+        let hc = fabric.bulk_expose(flat.clone());
+
+        // Gather path ≡ contiguous.
+        let gathered = fabric.bulk_get(hv).unwrap();
+        prop_assert_eq!(gathered.as_ref(), &data[..]);
+
+        // Rope path: segment list reassembles to the same logical bytes.
+        let rope = fabric.bulk_get_vec(hv).unwrap();
+        prop_assert_eq!(rope.len(), data.len());
+        let reassembled: Vec<u8> = rope.segments().iter().flat_map(|s| s.iter().copied()).collect();
+        prop_assert_eq!(&reassembled[..], &data[..]);
+
+        // Every range agrees between the two exposures.
+        for (a, b) in cuts {
+            let off = (a as usize) % data.len();
+            let len = (b as usize) % (data.len() - off + 1);
+            let v = fabric.bulk_get_range(hv, off, len).unwrap();
+            let c = fabric.bulk_get_range(hc, off, len).unwrap();
+            prop_assert_eq!(v.as_ref(), c.as_ref());
+            prop_assert_eq!(v.as_ref(), &data[off..off + len]);
+        }
+        // Out-of-bounds fails identically on both.
+        prop_assert!(fabric.bulk_get_range(hv, data.len(), 1).is_err());
+        prop_assert!(fabric.bulk_get_range(hc, data.len(), 1).is_err());
+
+        prop_assert!(fabric.bulk_release(hv));
+        prop_assert!(fabric.bulk_release(hc));
+        prop_assert_eq!(fabric.bulk_regions(), 0);
+    }
+
     /// Handlers that error never take the endpoint down: subsequent calls
     /// still succeed.
     #[test]

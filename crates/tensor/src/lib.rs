@@ -25,5 +25,5 @@ pub mod tensor;
 pub use dtype::DType;
 pub use hash::{fnv1a128, ContentHash, Fnv128};
 pub use id::{ModelId, TensorKey, VertexId};
-pub use ser::{payload_range, read_tensor, write_tensor, SerError};
+pub use ser::{payload_range, read_tensor, validate_record, write_tensor, SerError};
 pub use tensor::TensorData;

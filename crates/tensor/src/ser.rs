@@ -209,6 +209,92 @@ pub fn payload_range(record: &[u8]) -> Result<(std::ops::Range<usize>, DType), S
     Ok((header..header + len, dtype))
 }
 
+/// Validate a record produced by [`write_tensor`] *without*
+/// materializing a [`TensorData`]: framing (via the same checks as
+/// [`payload_range`]), the payload integrity checksum, and the
+/// dims-vs-length consistency check, returning the decoded `(shape,
+/// dtype)` for spec comparison. Runs every check [`read_tensor`] runs —
+/// same errors in the same precedence — but allocates only the shape
+/// vector, so store-side manifest validation can fan out across a
+/// thread pool over borrowed record slices.
+pub fn validate_record(record: &[u8]) -> Result<(Vec<usize>, DType), SerError> {
+    let (range, dtype) = payload_range(record)?;
+    let rank = record[5] as usize;
+    let mut shape = Vec::with_capacity(rank);
+    for i in 0..rank {
+        let at = 8 + i * 8;
+        shape.push(u64::from_le_bytes(record[at..at + 8].try_into().unwrap()) as usize);
+    }
+    let payload = &record[range.clone()];
+    let check = u64::from_le_bytes(record[range.end..range.end + 8].try_into().unwrap());
+    if fnv1a128(payload) as u64 != check {
+        return Err(SerError::ChecksumMismatch);
+    }
+    let expected = shape
+        .iter()
+        .try_fold(dtype.size_of(), |acc, &d| acc.checked_mul(d))
+        .unwrap_or(usize::MAX);
+    if payload.len() != expected {
+        return Err(SerError::LengthMismatch {
+            expected,
+            actual: payload.len(),
+        });
+    }
+    Ok((shape, dtype))
+}
+
+#[cfg(test)]
+mod validate_record_tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn accepts_what_read_tensor_accepts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for shape in [vec![4, 5, 6], vec![], vec![0, 7], vec![128]] {
+            let t = TensorData::random(&mut rng, DType::F32, shape);
+            let rec = write_tensor(&t);
+            let (shape, dtype) = validate_record(&rec).unwrap();
+            assert_eq!(shape, t.shape());
+            assert_eq!(dtype, t.dtype());
+        }
+    }
+
+    #[test]
+    fn rejects_what_read_tensor_rejects() {
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let t = TensorData::random(&mut rng, DType::F32, vec![64]);
+        let good = write_tensor(&t);
+
+        let mut bad_magic = good.to_vec();
+        bad_magic[0] ^= 0xFF;
+        let mut bad_dtype = good.to_vec();
+        bad_dtype[4] = 99;
+        let mut corrupt = good.to_vec();
+        corrupt[30] ^= 0x01;
+        let mut bad_dims = good.to_vec();
+        bad_dims[8] ^= 0x01; // dim no longer matches payload length
+
+        for (rec, name) in [
+            (&bad_magic, "magic"),
+            (&bad_dtype, "dtype"),
+            (&corrupt, "checksum"),
+            (&bad_dims, "dims"),
+            (&good[..good.len() - 9].to_vec(), "truncated"),
+        ] {
+            let fast = validate_record(rec);
+            let full = read_tensor(Bytes::from(rec.clone()));
+            assert!(fast.is_err(), "{name} accepted by validate_record");
+            assert_eq!(
+                fast.unwrap_err(),
+                full.unwrap_err(),
+                "{name}: fast and full validation disagree"
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod payload_range_tests {
     use super::*;

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-2 data-path A/B smoke. One real-execution pass of the
+# datapath_ab bench: the same store / raw-fetch / load workload on the
+# default zero-copy plane and again with force_copy_data_plane set,
+# recording both points (plus per-plane registry snapshots) to
+# results/BENCH_datapath.json. Fails unless the zero-copy plane moves
+# raw fetch bytes at least 2x faster than the forced-copy plane.
+#
+# Sized to finish in well under a minute. Invoked from tools/check.sh
+# when RUN_BENCH_DATAPATH=1, or standalone:
+#   tools/bench-datapath.sh [extra datapath_ab args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODELS="${DATAPATH_SMOKE_MODELS:-8}"
+ITERS="${DATAPATH_SMOKE_ITERS:-20}"
+OUT="${DATAPATH_SMOKE_OUT:-results/BENCH_datapath.json}"
+
+echo "== datapath smoke: zero-copy vs forced-copy A/B"
+cargo run --release -q -p evostore-bench --bin datapath_ab -- \
+    --models "${MODELS}" \
+    --iters "${ITERS}" \
+    --json "${OUT}" \
+    "$@"
+
+SPEEDUP=$(sed -n 's/.*"raw_fetch_speedup": \([0-9.]*\).*/\1/p' "${OUT}")
+echo "== datapath smoke: raw fetch speedup ${SPEEDUP}x (gate: >= 2)"
+awk -v s="${SPEEDUP}" 'BEGIN { exit !(s >= 2.0) }' || {
+    echo "== datapath smoke: FAIL — zero-copy plane under 2x" >&2
+    exit 1
+}
+
+echo "== datapath smoke: wrote ${OUT}"

@@ -35,4 +35,11 @@ if [[ "${RUN_OBS_SMOKE:-0}" == "1" ]]; then
     tools/obs-smoke.sh
 fi
 
+# Optional tier-2: data-path A/B — zero-copy scatter-gather vs the
+# forced-copy escape hatch, recorded to results/BENCH_datapath.json and
+# gated on the zero-copy plane moving raw fetch bytes >= 2x faster.
+if [[ "${RUN_BENCH_DATAPATH:-0}" == "1" ]]; then
+    tools/bench-datapath.sh
+fi
+
 echo "== OK"
