@@ -30,7 +30,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use evostore_bench::{banner, f1, f2, print_table, Args};
 use evostore_core::messages::{methods, ReadTensorsReply, ReadTensorsRequest};
-use evostore_core::{random_tensors, Deployment, DeploymentConfig, OwnerMap};
+use evostore_core::{random_tensors, DataPlanePolicy, Deployment, DeploymentConfig, OwnerMap};
 use evostore_graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
 use evostore_rpc::BulkHandle;
 use evostore_tensor::ModelId;
@@ -91,7 +91,7 @@ struct Point {
 fn run_point(force_copy: bool, providers: usize, models: usize, iters: usize) -> Point {
     let dep = Deployment::new(DeploymentConfig {
         providers,
-        force_copy_data_plane: force_copy,
+        data_plane: DataPlanePolicy::from_force_copy(force_copy),
         ..Default::default()
     });
     let client = dep.client();

@@ -1,0 +1,333 @@
+//! Dedup/delta A/B — whole-tensor records vs the content-addressed
+//! chunked + delta-encoded substrate, on a derived-model churn workload.
+//!
+//! The workload models a public checkpoint being adopted independently:
+//! `users` unrelated models upload byte-identical pretrained parameters
+//! (no parent links — EvoStore's owner-map sharing cannot help), then
+//! each fine-tunes the final layer for `gens` generations, storing every
+//! generation as a derived model whose retrained tensors are sparse
+//! perturbations of the parent's.
+//!
+//! Plane A stores every record whole (`StorePolicy::whole()`, the
+//! pre-substrate layout). Plane B runs the substrate
+//! (`StorePolicy::chunked_with_delta()`): identical chunks dedup across
+//! the unrelated uploads, and fine-tuned layers store as float-aware
+//! deltas against their parent.
+//!
+//! Reported per plane, all real execution:
+//!
+//! * **physical storage bytes** (headline) — provider KV occupancy after
+//!   the full churn; the A/B quotient is `storage_ratio`.
+//! * **reconstruct latency** — `load_model` p50/p99 over the derived
+//!   generations: raw decodes on plane A vs chunk reassembly + delta
+//!   chain reconstruction on plane B (`reconstruct_p50_ratio`).
+//!
+//! `--json PATH` records both planes; tools/bench-dedup.sh writes
+//! results/BENCH_dedup.json and gates storage_ratio >= 3 and
+//! reconstruct_p50_ratio <= 2.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use evostore_bench::{banner, f1, f2, print_table, Args};
+use evostore_core::{random_tensors, Deployment, DeploymentConfig, OwnerMap, StorePolicy};
+use evostore_graph::{
+    flatten, lcp, Activation, Architecture, CompactGraph, LayerConfig, LayerKind,
+};
+use evostore_tensor::{ModelId, TensorData, TensorKey};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn seq(units: &[u32]) -> CompactGraph {
+    let mut a = Architecture::new("seq");
+    let mut prev = a.add_layer(LayerConfig::new(
+        "in",
+        LayerKind::Input {
+            shape: vec![units[0]],
+        },
+    ));
+    let mut inf = units[0];
+    for (i, &u) in units.iter().enumerate().skip(1) {
+        prev = a.chain(
+            prev,
+            LayerConfig::new(
+                format!("d{i}"),
+                LayerKind::Dense {
+                    in_features: inf,
+                    units: u,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        inf = u;
+    }
+    flatten(&a).unwrap()
+}
+
+/// The shared pretrained checkpoint: ~600 KB of dense parameters.
+fn checkpoint_graph() -> CompactGraph {
+    seq(&[64, 256, 256, 256, 10])
+}
+
+/// Owner map for `child` deriving from `parent_map` over the same graph,
+/// retraining (owning) the final vertex.
+fn suffix_map(child: ModelId, g: &CompactGraph, parent_map: &OwnerMap) -> OwnerMap {
+    let mut l = lcp(g, g);
+    let n = g.len();
+    l.prefix.retain(|v| (v.0 as usize) < n - 1);
+    l.match_in_ancestor[n - 1] = None;
+    OwnerMap::derive(child, g, &l, parent_map)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Point {
+    plane: &'static str,
+    store_s: f64,
+    logical_bytes: u64,
+    physical_bytes: u64,
+    chunks: u64,
+    chunk_dedup_hits: u64,
+    delta_stored: u64,
+    delta_reconstructs: u64,
+    derived_p50_us: f64,
+    derived_p99_us: f64,
+    loads_per_s: f64,
+    metrics: evostore_obs::RegistrySnapshot,
+}
+
+/// Run the churn + reload cycle on one plane.
+fn run_point(substrate: bool, users: usize, gens: usize, iters: usize) -> Point {
+    let policy = if substrate {
+        StorePolicy::chunked_with_delta()
+    } else {
+        StorePolicy::whole()
+    };
+    // One provider: delta bases stay co-located with their dependents
+    // for every generation, and both planes place identically.
+    let dep = Deployment::new(DeploymentConfig {
+        providers: 1,
+        store_policy: policy,
+        ..Default::default()
+    });
+    let client = dep.client();
+    let g = checkpoint_graph();
+    let last_v = g.len() - 1;
+
+    let mut logical = 0u64;
+    let mut derived_ids = Vec::new();
+    let mut base_ids = Vec::new();
+    let t0 = Instant::now();
+    for u in 0..users {
+        // Every user uploads the same public checkpoint independently.
+        let base = ModelId(u as u64 * 100 + 1);
+        let tensors = random_tensors(base, &g, &mut ChaCha8Rng::seed_from_u64(7));
+        let out = client
+            .store_model(g.clone(), OwnerMap::fresh(base, &g), None, 0.5, &tensors)
+            .unwrap();
+        logical += out.bytes_written;
+        base_ids.push(base);
+
+        // ...then fine-tunes the final layer, generation after generation.
+        let mut rng = ChaCha8Rng::seed_from_u64(1000 + u as u64);
+        let mut parent = base;
+        let mut parent_map = OwnerMap::fresh(base, &g);
+        let mut prev: HashMap<u32, TensorData> = tensors
+            .iter()
+            .filter(|(k, _)| k.vertex.0 as usize == last_v)
+            .map(|(k, t)| (k.slot, t.clone()))
+            .collect();
+        for gen in 1..=gens {
+            let child = ModelId(u as u64 * 100 + 1 + gen as u64);
+            let map = suffix_map(child, &g, &parent_map);
+            let new: HashMap<TensorKey, TensorData> = map
+                .self_owned()
+                .flat_map(|v| map.vertex(v).tensor_keys().collect::<Vec<_>>())
+                .map(|k| (k, prev[&k.slot].perturbed_sparse(&mut rng, 0.02)))
+                .collect();
+            let out = client
+                .store_model(g.clone(), map.clone(), Some(parent), 0.6, &new)
+                .unwrap();
+            logical += out.bytes_written;
+            prev = new.iter().map(|(k, t)| (k.slot, t.clone())).collect();
+            derived_ids.push(child);
+            parent = child;
+            parent_map = map;
+        }
+    }
+    let store_s = t0.elapsed().as_secs_f64();
+
+    // Reload every derived generation `iters` times: plane A decodes raw
+    // records, plane B reassembles chunks and walks delta chains.
+    let mut lat_us = Vec::with_capacity(iters * derived_ids.len());
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        for &id in &derived_ids {
+            let t = Instant::now();
+            let loaded = client.load_model(id).unwrap();
+            lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+            assert!(!loaded.tensors.is_empty());
+        }
+    }
+    let load_s = t1.elapsed().as_secs_f64();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let merged = dep
+        .stats()
+        .into_iter()
+        .fold(evostore_core::ProviderStats::default(), |acc, s| {
+            acc.merge(s)
+        });
+    Point {
+        plane: if substrate { "chunked_delta" } else { "whole" },
+        store_s,
+        logical_bytes: logical,
+        physical_bytes: merged.tensor_bytes,
+        chunks: merged.chunks,
+        chunk_dedup_hits: merged.chunk_dedup_hits,
+        delta_stored: merged.delta_stored,
+        delta_reconstructs: merged.delta_reconstructs,
+        derived_p50_us: percentile(&lat_us, 0.50),
+        derived_p99_us: percentile(&lat_us, 0.99),
+        loads_per_s: (iters * derived_ids.len()) as f64 / load_s,
+        metrics: dep.metrics_snapshot(),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let users: usize = args.get("users", if args.flag("full") { 6 } else { 4 });
+    let gens: usize = args.get("gens", if args.flag("full") { 6 } else { 4 });
+    let iters: usize = args.get("iters", if args.flag("full") { 10 } else { 5 });
+    let json_path: String = args.get("json", String::new());
+
+    banner(
+        "Dedup/delta A/B",
+        "whole records vs content-addressed chunks + parent deltas",
+    );
+    println!(
+        "{users} independent uploads of one checkpoint, {gens} fine-tune \
+         generations each, {iters} reload rounds; StorePolicy::whole() vs \
+         StorePolicy::chunked_with_delta()"
+    );
+
+    let points: Vec<Point> = [false, true]
+        .iter()
+        .map(|&substrate| run_point(substrate, users, gens, iters))
+        .collect();
+
+    println!();
+    print_table(
+        &[
+            "plane",
+            "physical MB",
+            "logical MB",
+            "chunks",
+            "dedup hits",
+            "deltas",
+            "p50 us",
+            "p99 us",
+            "loads/s",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.plane.to_string(),
+                    f2(p.physical_bytes as f64 / 1e6),
+                    f2(p.logical_bytes as f64 / 1e6),
+                    p.chunks.to_string(),
+                    p.chunk_dedup_hits.to_string(),
+                    p.delta_stored.to_string(),
+                    f1(p.derived_p50_us),
+                    f1(p.derived_p99_us),
+                    f1(p.loads_per_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let (whole, sub) = (&points[0], &points[1]);
+    let storage_ratio = whole.physical_bytes as f64 / sub.physical_bytes as f64;
+    let p50_ratio = sub.derived_p50_us / whole.derived_p50_us;
+    let p99_ratio = sub.derived_p99_us / whole.derived_p99_us;
+    println!();
+    println!(
+        "storage: {:.2} MB whole vs {:.2} MB substrate ({:.2}x less); \
+         reconstruct p50 {:.1} us vs {:.1} us raw ({:.2}x); \
+         {} chunk dedup hits, {} delta records, {} chain reconstructions",
+        whole.physical_bytes as f64 / 1e6,
+        sub.physical_bytes as f64 / 1e6,
+        storage_ratio,
+        sub.derived_p50_us,
+        whole.derived_p50_us,
+        p50_ratio,
+        sub.chunk_dedup_hits,
+        sub.delta_stored,
+        sub.delta_reconstructs,
+    );
+
+    if !json_path.is_empty() {
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"plane\": \"{}\", \"store_s\": {}, \"logical_bytes\": {}, \
+                     \"physical_bytes\": {}, \"chunks\": {}, \"chunk_dedup_hits\": {}, \
+                     \"delta_stored\": {}, \"delta_reconstructs\": {}, \
+                     \"derived_p50_us\": {}, \"derived_p99_us\": {}, \"loads_per_s\": {}}}",
+                    p.plane,
+                    f2(p.store_s),
+                    p.logical_bytes,
+                    p.physical_bytes,
+                    p.chunks,
+                    p.chunk_dedup_hits,
+                    p.delta_stored,
+                    p.delta_reconstructs,
+                    f1(p.derived_p50_us),
+                    f1(p.derived_p99_us),
+                    f1(p.loads_per_s)
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"figure\": \"dedup_ab\",\n  \"users\": {users},\n  \
+             \"gens\": {gens},\n  \"iters\": {iters},\n  \
+             \"storage_ratio\": {},\n  \"reconstruct_p50_ratio\": {},\n  \
+             \"reconstruct_p99_ratio\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+            f2(storage_ratio),
+            f2(p50_ratio),
+            f2(p99_ratio),
+            rows.join(",\n")
+        );
+        if let Some(parent) = std::path::Path::new(&json_path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&json_path, json).expect("write --json output");
+        println!("wrote {json_path}");
+
+        let metrics_path = json_path.replace(".json", "_metrics.json");
+        let runs: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"plane\": \"{}\", \"snapshot\": {}}}",
+                    p.plane,
+                    p.metrics.to_json()
+                )
+            })
+            .collect();
+        let metrics_json = format!(
+            "{{\n  \"figure\": \"dedup_ab_metrics\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+            runs.join(",\n")
+        );
+        std::fs::write(&metrics_path, metrics_json).expect("write metrics snapshot");
+        println!("wrote {metrics_path}");
+    }
+}

@@ -27,6 +27,7 @@ use serde::Serialize;
 
 use crate::messages::*;
 use crate::owner_map::OwnerMap;
+use crate::policy::DataPlanePolicy;
 use crate::replication::ReplicationPolicy;
 
 /// Client-facing errors, structured so callers can branch on failure
@@ -282,11 +283,19 @@ impl EvoStoreClientBuilder {
         self
     }
 
+    /// Bulk-transfer policy: zero-copy vectored regions (the default)
+    /// or forced contiguous consolidation (the A/B measurement lever).
+    /// Must match the provider side's policy; pre-wired by
+    /// [`crate::deployment::Deployment::client_builder`].
+    pub fn data_plane(mut self, policy: DataPlanePolicy) -> Self {
+        self.force_copy_data_plane = policy.is_forced_copy();
+        self
+    }
+
     /// Consolidate store payloads into one contiguous buffer before
     /// exposure instead of exposing the per-tensor records as a
-    /// vectored region (A/B measurement lever; matches the provider's
-    /// forced-copy setting, pre-wired by
-    /// [`crate::deployment::Deployment::client_builder`]).
+    /// vectored region.
+    #[deprecated(note = "use data_plane(DataPlanePolicy::ForcedCopy) instead")]
     pub fn force_copy_data_plane(mut self, force: bool) -> Self {
         self.force_copy_data_plane = force;
         self

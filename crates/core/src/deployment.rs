@@ -6,7 +6,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Duration;
 
-use evostore_kv::{KvBackend, LogStore, MemPoolStore};
+use evostore_kv::{ChunkStats, ChunkedStore, FannedLogStore, KvBackend, LogStore, MemPoolStore};
 use evostore_obs::{FlightEvent, MonotonicClock, ObsHub, RegistrySnapshot, TimeSource};
 use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy};
 use evostore_tensor::{ModelId, TensorKey};
@@ -17,6 +17,7 @@ use crate::messages::{
     ProviderStats, ReadTensorsReply, ReadTensorsRequest, SyncModelReply, SyncModelRequest,
     SyncRefsReply, SyncRefsRequest, SyncRetireReply, SyncRetireRequest, Tombstone,
 };
+use crate::policy::{ChunkingPolicy, DataPlanePolicy, StorePolicy};
 use crate::provider::{Provider, ProviderState};
 use crate::replication::ReplicationPolicy;
 
@@ -59,23 +60,33 @@ pub struct DeploymentConfig {
     /// clock; simulations pass a virtual clock (e.g.
     /// `evostore_sim::SimClock`).
     pub clock: Option<Arc<dyn TimeSource>>,
-    /// Run the data plane through contiguous consolidation copies
-    /// instead of the default zero-copy vectored regions: clients
-    /// memcpy store payloads into one buffer before exposure, providers
-    /// consolidate reads and validate stores by full decode. Results
-    /// are byte-identical either way — this is the A/B measurement
-    /// lever behind the datapath bench's `--force-copy` mode.
+    /// Physical tensor-storage policy: whole records vs content-addressed
+    /// chunks, and parent-delta encoding of derived models. The default
+    /// reproduces the pre-policy layout byte for byte.
+    pub store_policy: StorePolicy,
+    /// Data-plane copy discipline: zero-copy scatter-gather (default) or
+    /// forced contiguous consolidation (the A/B measurement lever behind
+    /// the datapath bench's `--force-copy` mode). Results are
+    /// byte-identical either way.
+    pub data_plane: DataPlanePolicy,
+    /// Deprecated boolean form of [`DeploymentConfig::data_plane`]; kept
+    /// for one release so existing call sites keep compiling. Either
+    /// lever forcing consolidation wins.
+    #[deprecated(note = "set data_plane: DataPlanePolicy::ForcedCopy instead")]
     pub force_copy_data_plane: bool,
 }
 
 impl Default for DeploymentConfig {
     fn default() -> Self {
+        #[allow(deprecated)]
         DeploymentConfig {
             providers: 4,
             service_threads: 2,
             backend: BackendKind::Memory,
             replication: ReplicationPolicy::default(),
             clock: None,
+            store_policy: StorePolicy::default(),
+            data_plane: DataPlanePolicy::default(),
             force_copy_data_plane: false,
         }
     }
@@ -125,33 +136,69 @@ impl Deployment {
         let obs = Arc::new(ObsHub::new(obs_clock));
         fabric.set_flight_recorder(Some(obs.new_recorder("fabric", FABRIC_FLIGHT_EVENTS)));
         let clock = Arc::new(AtomicU64::new(1));
+        // Either data-plane lever (typed policy or the deprecated
+        // boolean) forces consolidation.
+        #[allow(deprecated)]
+        let force_copy = cfg.data_plane.is_forced_copy() || cfg.force_copy_data_plane;
+        let chunking = cfg.store_policy.chunking;
+        // Under chunking, the whole-tensor layer wraps in a
+        // content-addressed chunk store; persistent tensor stores switch
+        // to the fanned two-level hash-directory layout (chunk keys are
+        // content hashes, so fan-out by leading key byte is uniform).
+        let wrap = |b: Box<dyn KvBackend>| -> Box<dyn KvBackend> {
+            match chunking {
+                ChunkingPolicy::Whole => b,
+                ChunkingPolicy::Chunked { chunk_size } => Box::new(
+                    ChunkedStore::open(b, chunk_size).expect("open content-addressed chunk layer"),
+                ),
+            }
+        };
         let mut providers = Vec::with_capacity(cfg.providers);
         for i in 0..cfg.providers {
             let (backend, meta): (Box<dyn KvBackend>, Box<dyn KvBackend>) = match &cfg.backend {
-                BackendKind::Memory => {
-                    (Box::new(MemPoolStore::new()), Box::new(MemPoolStore::new()))
+                BackendKind::Memory => (
+                    wrap(Box::new(MemPoolStore::new())),
+                    Box::new(MemPoolStore::new()),
+                ),
+                BackendKind::Log { dir } => {
+                    let tensor_dir = dir.join(format!("provider-{i}/tensors"));
+                    let tensors: Box<dyn KvBackend> = match chunking {
+                        ChunkingPolicy::Whole => Box::new(
+                            LogStore::open(tensor_dir).expect("open provider tensor store"),
+                        ),
+                        ChunkingPolicy::Chunked { .. } => Box::new(
+                            FannedLogStore::open(tensor_dir).expect("open provider tensor store"),
+                        ),
+                    };
+                    (
+                        wrap(tensors),
+                        Box::new(
+                            LogStore::open(dir.join(format!("provider-{i}/meta")))
+                                .expect("open provider meta store"),
+                        ),
+                    )
                 }
-                BackendKind::Log { dir } => (
-                    Box::new(
-                        LogStore::open(dir.join(format!("provider-{i}/tensors")))
-                            .expect("open provider tensor store"),
-                    ),
-                    Box::new(
-                        LogStore::open(dir.join(format!("provider-{i}/meta")))
-                            .expect("open provider meta store"),
-                    ),
-                ),
-                BackendKind::Tiered { dir, memory_budget } => (
-                    Box::new(evostore_kv::TieredStore::new(
-                        LogStore::open(dir.join(format!("provider-{i}/tensors")))
-                            .expect("open provider tensor store"),
-                        *memory_budget,
-                    )),
-                    Box::new(
-                        LogStore::open(dir.join(format!("provider-{i}/meta")))
-                            .expect("open provider meta store"),
-                    ),
-                ),
+                BackendKind::Tiered { dir, memory_budget } => {
+                    let tensor_dir = dir.join(format!("provider-{i}/tensors"));
+                    let durable: Box<dyn KvBackend> = match chunking {
+                        ChunkingPolicy::Whole => Box::new(
+                            LogStore::open(tensor_dir).expect("open provider tensor store"),
+                        ),
+                        ChunkingPolicy::Chunked { .. } => Box::new(
+                            FannedLogStore::open(tensor_dir).expect("open provider tensor store"),
+                        ),
+                    };
+                    (
+                        wrap(Box::new(evostore_kv::TieredStore::new(
+                            durable,
+                            *memory_budget,
+                        ))),
+                        Box::new(
+                            LogStore::open(dir.join(format!("provider-{i}/meta")))
+                                .expect("open provider meta store"),
+                        ),
+                    )
+                }
             };
             providers.push(Provider::spawn(
                 Arc::clone(&fabric),
@@ -163,9 +210,10 @@ impl Deployment {
                 meta,
                 cfg.service_threads,
                 Some(&obs),
+                cfg.store_policy.delta,
             ));
         }
-        if cfg.force_copy_data_plane {
+        if force_copy {
             for p in &providers {
                 p.state.set_force_copy(true);
             }
@@ -177,7 +225,7 @@ impl Deployment {
             provider_ids,
             replication: cfg.replication,
             obs,
-            force_copy: cfg.force_copy_data_plane,
+            force_copy,
         }
     }
 
@@ -272,7 +320,7 @@ impl Deployment {
             .providers(self.provider_ids.clone())
             .replication(self.replication)
             .obs_hub(Arc::clone(&self.obs))
-            .force_copy_data_plane(self.force_copy)
+            .data_plane(DataPlanePolicy::from_force_copy(self.force_copy))
     }
 
     /// The deployment's observability hub (clock, unified registry,
@@ -325,6 +373,28 @@ impl Deployment {
     /// [`ProviderStats::meta_kv`]) carried in STATS replies.
     pub fn stats(&self) -> Vec<ProviderStats> {
         self.providers.iter().map(|p| p.state.stats()).collect()
+    }
+
+    /// Per-provider chunk-occupancy counters, in provider-index order
+    /// (`None` on providers whose tensor store is not content-addressed).
+    pub fn chunk_stats(&self) -> Vec<Option<ChunkStats>> {
+        self.providers
+            .iter()
+            .map(|p| p.state.chunk_stats())
+            .collect()
+    }
+
+    /// Maintenance re-base pass: on every provider, rewrite delta
+    /// records whose chain depth exceeds `max_depth` back to raw bytes,
+    /// bounding reconstruction cost after deep derivation chains
+    /// accumulate. Returns how many records were rewritten. Like
+    /// [`Deployment::repair`], run it against a quiescent deployment.
+    pub fn compact_deltas(&self, max_depth: u8) -> Result<usize, String> {
+        let mut rewritten = 0;
+        for p in &self.providers {
+            rewritten += p.state.rebase_deltas(max_depth)?;
+        }
+        Ok(rewritten)
     }
 
     /// One unified metrics snapshot for the whole deployment: the hub

@@ -25,6 +25,7 @@ pub mod client;
 pub mod deployment;
 pub mod messages;
 pub mod owner_map;
+pub mod policy;
 pub mod provider;
 pub mod replication;
 pub mod repository;
@@ -38,6 +39,7 @@ pub use client::{
 pub use deployment::{BackendKind, Deployment, DeploymentConfig, FABRIC_FLIGHT_EVENTS};
 pub use messages::ProviderStats;
 pub use owner_map::{OwnerMap, VertexOwner};
+pub use policy::{ChunkingPolicy, DataPlanePolicy, DeltaPolicy, StorePolicy};
 pub use provider::{ModelRecord, Provider, ProviderState};
 pub use replication::ReplicationPolicy;
 pub use repository::{

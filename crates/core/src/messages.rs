@@ -456,6 +456,28 @@ pub struct ProviderStats {
     /// Store requests validated by the parallel decode-free path.
     #[serde(default)]
     pub validate_par_batches: u64,
+    /// Records stored as parent deltas rather than raw bytes.
+    #[serde(default)]
+    pub delta_stored: u64,
+    /// Delta decodes performed to serve reads (one per chain link).
+    #[serde(default)]
+    pub delta_reconstructs: u64,
+    /// Delta records rewritten back to raw bytes (base reclaimed, or a
+    /// maintenance re-base pass).
+    #[serde(default)]
+    pub delta_rebased: u64,
+    /// Live content-addressed chunks (zero on unchunked backends).
+    #[serde(default)]
+    pub chunks: u64,
+    /// Chunk writes absorbed by deduplication.
+    #[serde(default)]
+    pub chunk_dedup_hits: u64,
+    /// Bytes the chunked records claim to hold (pre-dedup).
+    #[serde(default)]
+    pub chunk_logical_bytes: u64,
+    /// Bytes actually occupied by deduplicated chunk payloads.
+    #[serde(default)]
+    pub chunk_physical_bytes: u64,
 }
 
 impl ProviderStats {
@@ -482,6 +504,13 @@ impl ProviderStats {
             zero_copy_reads: self.zero_copy_reads + other.zero_copy_reads,
             copy_fallback_reads: self.copy_fallback_reads + other.copy_fallback_reads,
             validate_par_batches: self.validate_par_batches + other.validate_par_batches,
+            delta_stored: self.delta_stored + other.delta_stored,
+            delta_reconstructs: self.delta_reconstructs + other.delta_reconstructs,
+            delta_rebased: self.delta_rebased + other.delta_rebased,
+            chunks: self.chunks + other.chunks,
+            chunk_dedup_hits: self.chunk_dedup_hits + other.chunk_dedup_hits,
+            chunk_logical_bytes: self.chunk_logical_bytes + other.chunk_logical_bytes,
+            chunk_physical_bytes: self.chunk_physical_bytes + other.chunk_physical_bytes,
         }
     }
 }
@@ -560,6 +589,13 @@ mod tests {
             zero_copy_reads: 4,
             copy_fallback_reads: 1,
             validate_par_batches: 2,
+            delta_stored: 3,
+            delta_reconstructs: 6,
+            delta_rebased: 1,
+            chunks: 10,
+            chunk_dedup_hits: 7,
+            chunk_logical_bytes: 2048,
+            chunk_physical_bytes: 1024,
         };
         let b = ProviderStats {
             models: 3,
@@ -578,6 +614,13 @@ mod tests {
             zero_copy_reads: 1,
             copy_fallback_reads: 2,
             validate_par_batches: 1,
+            delta_stored: 1,
+            delta_reconstructs: 2,
+            delta_rebased: 0,
+            chunks: 5,
+            chunk_dedup_hits: 3,
+            chunk_logical_bytes: 512,
+            chunk_physical_bytes: 256,
         };
         let m = a.merge(b);
         assert_eq!(m.models, 4);
@@ -594,6 +637,13 @@ mod tests {
         assert_eq!(m.zero_copy_reads, 5);
         assert_eq!(m.copy_fallback_reads, 3);
         assert_eq!(m.validate_par_batches, 3);
+        assert_eq!(m.delta_stored, 4);
+        assert_eq!(m.delta_reconstructs, 8);
+        assert_eq!(m.delta_rebased, 1);
+        assert_eq!(m.chunks, 15);
+        assert_eq!(m.chunk_dedup_hits, 10);
+        assert_eq!(m.chunk_logical_bytes, 2560);
+        assert_eq!(m.chunk_physical_bytes, 1280);
     }
 
     #[test]

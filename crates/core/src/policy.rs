@@ -1,0 +1,193 @@
+//! Typed deployment policies.
+//!
+//! [`DeploymentConfig`] used to grow one boolean per storage or
+//! data-plane lever (`force_copy_data_plane`, and the chunking/delta
+//! switches would have followed). This module replaces them with two
+//! small typed policies:
+//!
+//! * [`StorePolicy`] — how tensor payloads are physically persisted:
+//!   whole records vs content-addressed chunks
+//!   ([`evostore_kv::ChunkedStore`]), and whether derived models are
+//!   delta-encoded against their parent's tensors
+//!   ([`evostore_tensor::encode_delta`]);
+//! * [`DataPlanePolicy`] — whether bulk transfers run zero-copy
+//!   (vectored scatter-gather, the default) or through forced
+//!   contiguous consolidation (the A/B measurement lever).
+//!
+//! Both have `Default` impls that reproduce the pre-policy behavior
+//! byte for byte, so `..Default::default()` call sites are unaffected.
+//!
+//! [`DeploymentConfig`]: crate::deployment::DeploymentConfig
+
+use evostore_kv::DEFAULT_CHUNK_SIZE;
+
+/// How tensor payloads map onto the provider's KV backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkingPolicy {
+    /// One KV value per tensor record (the original layout).
+    #[default]
+    Whole,
+    /// Fixed-size chunks keyed by 128-bit content hash, deduplicated
+    /// and reference-counted across all records
+    /// ([`evostore_kv::ChunkedStore`]). Persistent backends switch to
+    /// the fanned two-level directory layout
+    /// ([`evostore_kv::FannedLogStore`]).
+    Chunked {
+        /// Chunk size in bytes (> 0).
+        chunk_size: usize,
+    },
+}
+
+impl ChunkingPolicy {
+    /// Content-addressed chunking at the default chunk size (64 KiB).
+    pub fn chunked() -> ChunkingPolicy {
+        ChunkingPolicy::Chunked {
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+}
+
+/// Whether and how deeply derived models are delta-encoded against
+/// their parent's tensors at store time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaPolicy {
+    /// Try a float-aware delta (XOR + byte-transpose + run-length)
+    /// against the parent's co-located tensor when storing a derived
+    /// model; keep it only when it actually saves space.
+    pub enabled: bool,
+    /// Longest delta chain a stored record may sit on. A store whose
+    /// base is already `max_chain_depth` deep falls back to raw bytes,
+    /// bounding reconstruction cost; maintenance re-basing
+    /// ([`crate::deployment::Deployment::compact_deltas`]) flattens
+    /// chains below any chosen bound.
+    pub max_chain_depth: u8,
+}
+
+impl Default for DeltaPolicy {
+    fn default() -> DeltaPolicy {
+        DeltaPolicy {
+            enabled: false,
+            max_chain_depth: 3,
+        }
+    }
+}
+
+impl DeltaPolicy {
+    /// Delta encoding on, with the default chain bound.
+    pub fn enabled() -> DeltaPolicy {
+        DeltaPolicy {
+            enabled: true,
+            ..DeltaPolicy::default()
+        }
+    }
+}
+
+/// Physical tensor-storage policy: chunking layout + delta encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorePolicy {
+    /// Payload layout on the KV backend.
+    pub chunking: ChunkingPolicy,
+    /// Parent-delta encoding of derived models.
+    pub delta: DeltaPolicy,
+}
+
+impl StorePolicy {
+    /// The pre-policy behavior: whole records, no deltas.
+    pub fn whole() -> StorePolicy {
+        StorePolicy::default()
+    }
+
+    /// Content-addressed chunking (default chunk size), no deltas.
+    pub fn chunked() -> StorePolicy {
+        StorePolicy {
+            chunking: ChunkingPolicy::chunked(),
+            ..StorePolicy::default()
+        }
+    }
+
+    /// The full substrate: chunking + parent-delta encoding.
+    pub fn chunked_with_delta() -> StorePolicy {
+        StorePolicy {
+            chunking: ChunkingPolicy::chunked(),
+            delta: DeltaPolicy::enabled(),
+        }
+    }
+
+    /// Override the chunk size (switches chunking on).
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> StorePolicy {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.chunking = ChunkingPolicy::Chunked { chunk_size };
+        self
+    }
+
+    /// Switch delta encoding on/off.
+    pub fn with_delta(mut self, enabled: bool) -> StorePolicy {
+        self.delta.enabled = enabled;
+        self
+    }
+
+    /// Override the delta chain bound.
+    pub fn with_max_chain_depth(mut self, depth: u8) -> StorePolicy {
+        self.delta.max_chain_depth = depth;
+        self
+    }
+}
+
+/// How bulk payloads move between clients and providers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataPlanePolicy {
+    /// Vectored zero-copy scatter-gather regions (the default).
+    #[default]
+    ZeroCopy,
+    /// Consolidate every payload into one contiguous buffer before
+    /// exposure, and validate stores by full decode — the pre-vectored
+    /// behavior, kept as an A/B measurement lever. Results are
+    /// byte-identical to [`DataPlanePolicy::ZeroCopy`].
+    ForcedCopy,
+}
+
+impl DataPlanePolicy {
+    /// Does this policy force contiguous consolidation?
+    pub fn is_forced_copy(self) -> bool {
+        matches!(self, DataPlanePolicy::ForcedCopy)
+    }
+
+    /// The policy equivalent of the old `force_copy_data_plane` flag.
+    pub fn from_force_copy(force: bool) -> DataPlanePolicy {
+        if force {
+            DataPlanePolicy::ForcedCopy
+        } else {
+            DataPlanePolicy::ZeroCopy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_reproduce_legacy_behavior() {
+        let p = StorePolicy::default();
+        assert_eq!(p.chunking, ChunkingPolicy::Whole);
+        assert!(!p.delta.enabled);
+        assert_eq!(DataPlanePolicy::default(), DataPlanePolicy::ZeroCopy);
+        assert!(!DataPlanePolicy::default().is_forced_copy());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = StorePolicy::chunked_with_delta()
+            .with_chunk_size(1024)
+            .with_max_chain_depth(5);
+        assert_eq!(p.chunking, ChunkingPolicy::Chunked { chunk_size: 1024 });
+        assert!(p.delta.enabled);
+        assert_eq!(p.delta.max_chain_depth, 5);
+        assert_eq!(
+            StorePolicy::chunked().chunking,
+            ChunkingPolicy::chunked(),
+            "named constructor matches policy shorthand"
+        );
+        assert!(DataPlanePolicy::from_force_copy(true).is_forced_copy());
+    }
+}

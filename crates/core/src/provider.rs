@@ -17,18 +17,22 @@ use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
 use evostore_graph::{lcp, ArchIndex, CompactGraph, IndexQueryStats};
-use evostore_kv::{KvBackend, RefCountedStore};
+use evostore_kv::{KvBackend, RefCountedStore, TensorStore};
 use evostore_obs::{
     current_trace, FlightRecorder, Metric, MonotonicClock, ObsHub, RegistrySnapshot, Span,
     TimeSource, Tracer,
 };
 use evostore_rpc::{typed_handler, Endpoint, EndpointId, Fabric};
-use evostore_tensor::{read_tensor, validate_record, ModelId, TensorKey};
+use evostore_tensor::{
+    decode_delta, delta_header, encode_delta, is_delta, read_tensor, validate_record, ModelId,
+    TensorKey,
+};
 use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 
 use crate::messages::*;
 use crate::owner_map::OwnerMap;
+use crate::policy::DeltaPolicy;
 use crate::replication::ReplicationPolicy;
 
 /// How many applied refs-operation ids a provider remembers for duplicate
@@ -201,6 +205,21 @@ pub struct ProviderState {
     /// bytes without re-cloning the compact graph; a timestamp mismatch
     /// (model re-stored or synced) rebuilds.
     meta_replies: Mutex<HashMap<ModelId, (u64, Bytes)>>,
+    /// Parent-delta encoding policy for derived-model stores.
+    delta: DeltaPolicy,
+    /// Delta dependency index: base record key → keys of the delta
+    /// records encoded directly against it. No reference counts are
+    /// taken on bases (that would break the exact-count GC audit);
+    /// instead, every reclaim path re-bases dependents to raw bytes
+    /// before the base dies. Rebuilt from record headers on recovery.
+    delta_deps: Mutex<HashMap<Vec<u8>, Vec<Vec<u8>>>>,
+    /// Records stored as parent deltas rather than raw bytes.
+    delta_stored: AtomicU64,
+    /// Delta decodes performed to serve reads (one per chain link).
+    delta_reconstructs: AtomicU64,
+    /// Delta records rewritten back to raw bytes (base reclaimed, or a
+    /// maintenance re-base pass).
+    delta_rebased: AtomicU64,
 }
 
 impl ProviderState {
@@ -210,6 +229,184 @@ impl ProviderState {
     fn places_here(&self, model: ModelId) -> bool {
         self.replication
             .is_replica(model, self.num_providers, self.index)
+    }
+
+    /// The logical tensor-storage facade — the only storage API request
+    /// handlers touch. Physical layering (chunking, residency tiers)
+    /// stays behind it.
+    fn store(&self) -> &dyn TensorStore {
+        &self.tensors
+    }
+
+    // ---- parent-delta encoding ------------------------------------------
+
+    /// Materialize the raw (EVST) bytes of a fetched record, decoding
+    /// the delta chain under it when the record is delta-encoded.
+    fn materialize(&self, record: Bytes) -> Result<Bytes, String> {
+        if !is_delta(&record) {
+            return Ok(record);
+        }
+        // Walk down to the raw base (chains are depth-bounded at store
+        // time; the u8 depth field caps the walk regardless).
+        let mut chain = vec![record];
+        let mut raw = loop {
+            let head = delta_header(chain.last().expect("chain non-empty"))
+                .map_err(|e| format!("delta record: {e}"))?;
+            let base = self
+                .store()
+                .get_record(&head.base_key)
+                .map_err(|_| "delta base record missing".to_string())?;
+            if chain.len() > u8::MAX as usize {
+                return Err("delta chain exceeds the depth bound".into());
+            }
+            if is_delta(&base) {
+                chain.push(base);
+            } else {
+                break base;
+            }
+        };
+        // Decode back up the chain.
+        while let Some(delta) = chain.pop() {
+            raw = decode_delta(&delta, &raw).map_err(|e| format!("delta decode: {e}"))?;
+            self.delta_reconstructs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(raw)
+    }
+
+    /// Fetch a record and materialize it to raw bytes.
+    fn resolve_record(&self, enc: &[u8]) -> Result<Bytes, String> {
+        let record = self
+            .store()
+            .get_record(enc)
+            .map_err(|_| "record not stored".to_string())?;
+        self.materialize(record)
+    }
+
+    /// Try to delta-encode a self-owned tensor of a derived model
+    /// against the parent's tensor at the same vertex/slot. Returns the
+    /// delta blob and the base's record key, or `None` when the base is
+    /// unavailable (not co-located here), the chain bound is reached, or
+    /// the delta would not actually save space.
+    fn try_delta_encode(
+        &self,
+        key: TensorKey,
+        record: &Bytes,
+        parent_map: &OwnerMap,
+    ) -> Option<(Bytes, Vec<u8>)> {
+        if (key.vertex.0 as usize) >= parent_map.vertices.len() {
+            return None;
+        }
+        let owner = parent_map.vertex(key.vertex);
+        if key.slot >= owner.slots {
+            return None;
+        }
+        let base_key = TensorKey::new(owner.owner, owner.owner_vertex, key.slot);
+        let base_enc = base_key.encode();
+        if base_enc == key.encode() {
+            return None;
+        }
+        // Delta applies only when the base is co-located: cross-provider
+        // bases would turn every read into a remote fetch.
+        let base_rec = self.store().get_record(&base_enc).ok()?;
+        let depth = if is_delta(&base_rec) {
+            delta_header(&base_rec).ok()?.depth
+        } else {
+            0
+        };
+        if depth >= self.delta.max_chain_depth {
+            return None;
+        }
+        let base_raw = self.materialize(base_rec).ok()?;
+        let blob = encode_delta(record, &base_raw, base_enc, depth + 1)?;
+        Some((blob, base_enc.to_vec()))
+    }
+
+    /// Fence a record's physical removal: rewrite every delta directly
+    /// based on it back to raw bytes (so their payloads survive the
+    /// base's death), and unlink the record itself from its base's
+    /// dependent list. Must run before any decrement/refs-install that
+    /// can drop the record.
+    fn before_reclaim(&self, enc: &[u8]) -> Result<(), String> {
+        if !self.delta.enabled {
+            return Ok(());
+        }
+        let deps = self.delta_deps.lock().remove(enc);
+        for dep in deps.into_iter().flatten() {
+            // A dependent may have been reclaimed (or already re-based)
+            // since it was registered; skip it silently.
+            let Ok(rec) = self.store().get_record(&dep) else {
+                continue;
+            };
+            if !is_delta(&rec) {
+                continue;
+            }
+            let raw = self.materialize(rec)?;
+            self.store()
+                .replace_record(&dep, raw)
+                .map_err(|e| format!("re-base dependent record: {e}"))?;
+            self.delta_rebased.fetch_add(1, Ordering::Relaxed);
+        }
+        // If the dying record is itself a delta, drop it from its base's
+        // dependent list so the base never re-bases a reclaimed key.
+        if let Ok(rec) = self.store().get_record(enc) {
+            if is_delta(&rec) {
+                if let Ok(head) = delta_header(&rec) {
+                    let mut deps = self.delta_deps.lock();
+                    if let Some(v) = deps.get_mut(head.base_key.as_slice()) {
+                        v.retain(|k| k != enc);
+                        if v.is_empty() {
+                            deps.remove(head.base_key.as_slice());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Maintenance re-base: rewrite every delta record whose chain depth
+    /// exceeds `max_depth` back to raw bytes, bounding reconstruction
+    /// cost after deep derivation chains accumulate. Returns how many
+    /// records were rewritten.
+    pub fn rebase_deltas(&self, max_depth: u8) -> Result<usize, String> {
+        let mut keys = Vec::new();
+        self.store()
+            .for_each_record_key(&mut |k| keys.push(k.to_vec()));
+        let mut rewritten = 0;
+        for enc in keys {
+            let Ok(rec) = self.store().get_record(&enc) else {
+                continue;
+            };
+            if !is_delta(&rec) {
+                continue;
+            }
+            let head = delta_header(&rec).map_err(|e| format!("delta record: {e}"))?;
+            if head.depth <= max_depth {
+                continue;
+            }
+            let base_enc = head.base_key.to_vec();
+            let raw = self.materialize(rec)?;
+            self.store()
+                .replace_record(&enc, raw)
+                .map_err(|e| format!("re-base record: {e}"))?;
+            let mut deps = self.delta_deps.lock();
+            if let Some(v) = deps.get_mut(&base_enc) {
+                v.retain(|k| k != &enc);
+                if v.is_empty() {
+                    deps.remove(&base_enc);
+                }
+            }
+            drop(deps);
+            self.delta_rebased.fetch_add(1, Ordering::Relaxed);
+            rewritten += 1;
+        }
+        Ok(rewritten)
+    }
+
+    /// Chunk-occupancy counters of the tensor store, when the physical
+    /// layer is content-addressed.
+    pub fn chunk_stats(&self) -> Option<evostore_kv::ChunkStats> {
+        self.store().record_chunk_stats()
     }
 
     /// Run `f` under a handler span joined to the caller's trace. The
@@ -289,23 +486,51 @@ impl ProviderState {
         }
         // Adopt hosted tensors with zero counts; the deployment replay
         // brings them up to their true values.
-        for key in self.tensors.backend().keys() {
-            self.tensors.adopt(&key);
+        let mut hosted = Vec::new();
+        self.store()
+            .for_each_record_key(&mut |k| hosted.push(k.to_vec()));
+        for key in &hosted {
+            self.store().adopt_record(key);
+        }
+        // Rebuild the delta dependency index from record headers, so
+        // reclaim fencing works across restarts.
+        if self.delta.enabled {
+            let mut deps: HashMap<Vec<u8>, Vec<Vec<u8>>> = HashMap::new();
+            for key in hosted {
+                let Ok(rec) = self.store().get_record(&key) else {
+                    continue;
+                };
+                if is_delta(&rec) {
+                    if let Ok(head) = delta_header(&rec) {
+                        deps.entry(head.base_key.to_vec()).or_default().push(key);
+                    }
+                }
+            }
+            *self.delta_deps.lock() = deps;
         }
         restored
     }
 
     /// Directly bump a hosted tensor's reference count (recovery replay).
     pub fn replay_ref(&self, key: TensorKey) -> Result<(), String> {
-        self.tensors
-            .incr_adopted(&key.encode())
+        self.store()
+            .incr_adopted_record(&key.encode())
             .map_err(|e| format!("replay ref {key}: {e}"))?;
         Ok(())
     }
 
-    /// Drop tensors whose replayed reference count stayed at zero.
+    /// Drop tensors whose replayed reference count stayed at zero,
+    /// re-basing any deltas that depend on them first.
     pub fn purge_orphan_tensors(&self) -> Result<usize, String> {
-        self.tensors.purge_zero_refs().map_err(|e| e.to_string())
+        let bases: Vec<Vec<u8>> = self.delta_deps.lock().keys().cloned().collect();
+        for enc in bases {
+            if self.store().record_refs(&enc) == 0 && self.store().contains_record(&enc) {
+                self.before_reclaim(&enc)?;
+            }
+        }
+        self.store()
+            .purge_zero_ref_records()
+            .map_err(|e| e.to_string())
     }
 
     /// Handle a store request.
@@ -422,13 +647,47 @@ impl ProviderState {
             })
             .collect::<Result<Vec<_>, String>>()?;
 
+        // When delta encoding is on and the parent is cataloged locally,
+        // each self-owned tensor may be stored as a delta against the
+        // parent's tensor at the same vertex/slot (only when the base is
+        // co-located and the delta actually saves space).
+        let parent_map = if self.delta.enabled {
+            req.parent.and_then(|p| {
+                self.catalog
+                    .read()
+                    .records
+                    .get(&p)
+                    .map(|r| r.owner_map.clone())
+            })
+        } else {
+            None
+        };
+
         let kv = self.kv_span("kv.put_tensors");
         let mut bytes_stored = 0u64;
         for (key, record) in validated {
             bytes_stored += record.len() as u64;
-            self.tensors
-                .put(&key.encode(), record, 1)
-                .map_err(|e| format!("store tensor {key}: {e}"))?;
+            let delta = parent_map
+                .as_ref()
+                .and_then(|map| self.try_delta_encode(key, &record, map));
+            match delta {
+                Some((blob, base_enc)) => {
+                    self.store()
+                        .put_record(&key.encode(), blob, 1)
+                        .map_err(|e| format!("store tensor {key}: {e}"))?;
+                    self.delta_deps
+                        .lock()
+                        .entry(base_enc)
+                        .or_default()
+                        .push(key.encode().to_vec());
+                    self.delta_stored.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    self.store()
+                        .put_record(&key.encode(), record, 1)
+                        .map_err(|e| format!("store tensor {key}: {e}"))?;
+                }
+            }
         }
         drop(kv);
 
@@ -523,14 +782,26 @@ impl ProviderState {
                 }
                 let enc = key.encode();
                 if !force_copy {
-                    if let Some(record) = self.tensors.get_ref(&enc) {
-                        return Ok((record, true));
+                    if let Some(record) = self.store().get_record_ref(&enc) {
+                        // A delta record must be reconstructed before it
+                        // leaves the provider; it counts as a fallback
+                        // (the reply buffer is freshly built).
+                        if !is_delta(&record) {
+                            return Ok((record, true));
+                        }
+                        return self
+                            .materialize(record)
+                            .map(|r| (r, false))
+                            .map_err(|e| format!("tensor {key}: {e}"));
                     }
                 }
-                self.tensors
-                    .get(&enc)
-                    .map(|record| (record, false))
-                    .map_err(|_| format!("tensor {key} not stored"))
+                let record = self
+                    .store()
+                    .get_record(&enc)
+                    .map_err(|_| format!("tensor {key} not stored"))?;
+                self.materialize(record)
+                    .map(|r| (r, false))
+                    .map_err(|e| format!("tensor {key}: {e}"))
             })
             .collect::<Result<Vec<(Bytes, bool)>, String>>()?;
         drop(kv);
@@ -609,13 +880,13 @@ impl ProviderState {
         // retired between query and pin; the whole request fails and the
         // client re-queries.
         for key in &req.keys {
-            if !self.tensors.contains(&key.encode()) {
+            if !self.store().contains_record(&key.encode()) {
                 return Err(format!("tensor {key} no longer stored (ancestor retired?)"));
             }
         }
         for key in &req.keys {
-            self.tensors
-                .incr(&key.encode())
+            self.store()
+                .incr_record(&key.encode())
                 .map_err(|e| format!("incr {key}: {e}"))?;
         }
         let reply = RefsReply {
@@ -640,13 +911,18 @@ impl ProviderState {
         // Check-then-apply so a malformed request fails whole: no keys
         // decremented when any key is unknown.
         for key in &req.keys {
-            if !self.tensors.contains(&key.encode()) {
+            if !self.store().contains_record(&key.encode()) {
                 return Err(format!("decr {key}: not stored"));
             }
         }
         let mut reclaimed = 0usize;
         for key in &req.keys {
-            match self.tensors.decr(&key.encode()) {
+            let enc = key.encode();
+            if self.store().record_refs(&enc) == 1 {
+                self.before_reclaim(&enc)
+                    .map_err(|e| format!("decr {key}: {e}"))?;
+            }
+            match self.store().decr_record(&enc) {
                 Ok(0) => reclaimed += 1,
                 Ok(_) => {}
                 Err(e) => return Err(format!("decr {key}: {e}")),
@@ -751,7 +1027,11 @@ impl ProviderState {
         // Optimizer state is model-private and replica-local: each
         // replica reclaims its own copy on its retire leg.
         for key in &rec.optimizer_keys {
-            let _ = self.tensors.decr(&key.encode());
+            let enc = key.encode();
+            if self.store().record_refs(&enc) == 1 {
+                let _ = self.before_reclaim(&enc);
+            }
+            let _ = self.store().decr_record(&enc);
         }
         Ok(RetireMetaReply {
             owner_map: rec.owner_map,
@@ -777,9 +1057,8 @@ impl ProviderState {
             ));
         }
         let record = self
-            .tensors
-            .get(&req.key.encode())
-            .map_err(|_| format!("tensor {} not stored", req.key))?;
+            .resolve_record(&req.key.encode())
+            .map_err(|e| format!("tensor {}: {e}", req.key))?;
         let (range, dtype) = evostore_tensor::payload_range(&record)
             .map_err(|e| format!("tensor {}: {e}", req.key))?;
         let esz = dtype.size_of() as u64;
@@ -896,8 +1175,8 @@ impl ProviderState {
         let mut keys = Vec::with_capacity(validated.len());
         for (key, record) in validated {
             bytes_stored += record.len() as u64;
-            self.tensors
-                .put(&key.encode(), record, 1)
+            self.store()
+                .put_record(&key.encode(), record, 1)
                 .map_err(|e| format!("store optimizer tensor {key}: {e}"))?;
             keys.push(key);
         }
@@ -934,12 +1213,12 @@ impl ProviderState {
             .map(|key| {
                 let enc = key.encode();
                 if !force_copy {
-                    if let Some(record) = self.tensors.get_ref(&enc) {
+                    if let Some(record) = self.store().get_record_ref(&enc) {
                         return Ok((record, true));
                     }
                 }
-                self.tensors
-                    .get(&enc)
+                self.store()
+                    .get_record(&enc)
                     .map(|record| (record, false))
                     .map_err(|_| format!("optimizer tensor {key} not stored"))
             })
@@ -1036,16 +1315,22 @@ impl ProviderState {
         // id); its private optimizer copies go with it.
         if let Some(old) = self.catalog.write().remove(req.model) {
             for key in &old.optimizer_keys {
-                let _ = self.tensors.decr(&key.encode());
+                let enc = key.encode();
+                if self.store().record_refs(&enc) == 1 {
+                    let _ = self.before_reclaim(&enc);
+                }
+                let _ = self.store().decr_record(&enc);
             }
         }
         let mut tensors_stored = 0usize;
         for (key, record) in validated {
             // Already-present payloads keep their count: the refs sync
-            // that follows installs the authoritative values.
-            if !self.tensors.contains(&key.encode()) {
-                self.tensors
-                    .put(&key.encode(), record, 1)
+            // that follows installs the authoritative values. Synced
+            // payloads arrive raw (the source's READ handler
+            // materializes deltas), so deltas never cross providers.
+            if !self.store().contains_record(&key.encode()) {
+                self.store()
+                    .put_record(&key.encode(), record, 1)
                     .map_err(|e| format!("sync tensor {key}: {e}"))?;
                 tensors_stored += 1;
             }
@@ -1094,7 +1379,11 @@ impl ProviderState {
                     self.unpersist_record(t.model);
                     self.meta_replies.lock().remove(&t.model);
                     for key in &rec.optimizer_keys {
-                        let _ = self.tensors.decr(&key.encode());
+                        let enc = key.encode();
+                        if self.store().record_refs(&enc) == 1 {
+                            let _ = self.before_reclaim(&enc);
+                        }
+                        let _ = self.store().decr_record(&enc);
                     }
                     removed += 1;
                 }
@@ -1120,7 +1409,11 @@ impl ProviderState {
         let mut listed = std::collections::HashSet::with_capacity(req.entries.len());
         for (key, want) in &req.entries {
             listed.insert(*key);
-            match self.tensors.set_refs(&key.encode(), *want) {
+            let enc = key.encode();
+            if *want == 0 {
+                let _ = self.before_reclaim(&enc);
+            }
+            match self.store().set_record_refs(&enc, *want) {
                 Ok(prev) => {
                     if prev != *want {
                         adjusted += 1;
@@ -1132,7 +1425,12 @@ impl ProviderState {
         let mut removed = 0usize;
         if req.prune_unlisted {
             for key in self.hosted_tensor_keys() {
-                if !listed.contains(&key) && self.tensors.set_refs(&key.encode(), 0).is_ok() {
+                if listed.contains(&key) {
+                    continue;
+                }
+                let enc = key.encode();
+                let _ = self.before_reclaim(&enc);
+                if self.store().set_record_refs(&enc, 0).is_ok() {
                     removed += 1;
                 }
             }
@@ -1184,28 +1482,32 @@ impl ProviderState {
 
     /// Current statistics.
     pub fn stats(&self) -> ProviderStats {
+        let chunk = self.store().record_chunk_stats().unwrap_or_default();
         let catalog = self.catalog.read();
         ProviderStats {
             models: catalog.records.len(),
             distinct_archs: catalog.index.distinct_architectures(),
-            tensors: self.tensors.len(),
-            tensor_bytes: self.tensors.bytes_used() as u64,
+            tensors: self.store().record_count(),
+            tensor_bytes: self.store().record_bytes() as u64,
             metadata_bytes: catalog
                 .records
                 .values()
                 .map(|r| r.owner_map.metadata_bytes() as u64)
                 .sum(),
             query_stats: *self.query_stats.lock(),
-            tensor_kv: self
-                .tensors
-                .backend()
-                .metrics_snapshot()
-                .unwrap_or_default(),
+            tensor_kv: self.store().record_metrics().unwrap_or_default(),
             meta_kv: self.meta_store.metrics_snapshot().unwrap_or_default(),
             bulk_segments_exposed: self.bulk_segments_exposed.load(Ordering::Relaxed),
             zero_copy_reads: self.zero_copy_reads.load(Ordering::Relaxed),
             copy_fallback_reads: self.copy_fallback_reads.load(Ordering::Relaxed),
             validate_par_batches: self.validate_par_batches.load(Ordering::Relaxed),
+            delta_stored: self.delta_stored.load(Ordering::Relaxed),
+            delta_reconstructs: self.delta_reconstructs.load(Ordering::Relaxed),
+            delta_rebased: self.delta_rebased.load(Ordering::Relaxed),
+            chunks: chunk.chunks,
+            chunk_dedup_hits: chunk.dedup_hits,
+            chunk_logical_bytes: chunk.logical_bytes,
+            chunk_physical_bytes: chunk.physical_bytes,
         }
     }
 
@@ -1259,6 +1561,24 @@ impl ProviderState {
                 stats.validate_par_batches,
             )
             .with_label("provider", p),
+            Metric::counter("evostore_delta_stored", stats.delta_stored).with_label("provider", p),
+            Metric::counter("evostore_delta_reconstructs", stats.delta_reconstructs)
+                .with_label("provider", p),
+            Metric::counter("evostore_delta_rebased", stats.delta_rebased)
+                .with_label("provider", p),
+            Metric::gauge("evostore_chunk_count", stats.chunks as f64).with_label("provider", p),
+            Metric::counter("evostore_chunk_dedup_hits", stats.chunk_dedup_hits)
+                .with_label("provider", p),
+            Metric::gauge(
+                "evostore_chunk_logical_bytes",
+                stats.chunk_logical_bytes as f64,
+            )
+            .with_label("provider", p),
+            Metric::gauge(
+                "evostore_chunk_physical_bytes",
+                stats.chunk_physical_bytes as f64,
+            )
+            .with_label("provider", p),
         ];
         for (store, snap) in [("tensors", stats.tensor_kv), ("meta", stats.meta_kv)] {
             for (name, v) in [
@@ -1307,7 +1627,7 @@ impl ProviderState {
 
     /// Reference count of a hosted tensor (tests/GC audits).
     pub fn tensor_refs(&self, key: TensorKey) -> u64 {
-        self.tensors.refs(&key.encode())
+        self.store().record_refs(&key.encode())
     }
 
     /// Every cataloged record as `(model, timestamp, owner_map,
@@ -1331,7 +1651,7 @@ impl ProviderState {
 
     /// Is the tensor payload stored here? (replication audits)
     pub fn hosts_tensor(&self, key: TensorKey) -> bool {
-        self.tensors.contains(&key.encode())
+        self.store().contains_record(&key.encode())
     }
 
     /// Owner maps of all cataloged models (GC audits).
@@ -1346,7 +1666,7 @@ impl ProviderState {
 
     /// Consistency check between the refcount wrapper and the backend.
     pub fn audit_tensors(&self) -> Result<(), String> {
-        self.tensors.audit()
+        self.store().audit_records()
     }
 
     /// Insert a metadata-only catalog entry (no tensors) — the tensor-less
@@ -1388,7 +1708,7 @@ impl ProviderState {
     /// materializing one `Vec<u8>` per stored key.
     pub fn hosted_tensor_keys(&self) -> Vec<TensorKey> {
         let mut keys = Vec::new();
-        self.tensors.backend().for_each_key(&mut |k| {
+        self.store().for_each_record_key(&mut |k| {
             if let Some(key) = TensorKey::decode(k) {
                 keys.push(key);
             }
@@ -1423,6 +1743,7 @@ impl Provider {
         meta_store: Box<dyn KvBackend>,
         service_threads: usize,
         obs: Option<&ObsHub>,
+        delta: DeltaPolicy,
     ) -> Provider {
         let endpoint = fabric.create_endpoint(service_threads);
         let node = format!("provider{index}");
@@ -1463,6 +1784,11 @@ impl Provider {
             copy_fallback_reads: AtomicU64::new(0),
             validate_par_batches: AtomicU64::new(0),
             meta_replies: Mutex::new(HashMap::new()),
+            delta,
+            delta_deps: Mutex::new(HashMap::new()),
+            delta_stored: AtomicU64::new(0),
+            delta_reconstructs: AtomicU64::new(0),
+            delta_rebased: AtomicU64::new(0),
         });
 
         // Every handler runs under `traced`: when the RPC envelope

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use evostore_core::messages::methods;
-use evostore_core::{Deployment, DeploymentConfig, EvoStoreClient};
+use evostore_core::{DataPlanePolicy, Deployment, DeploymentConfig, EvoStoreClient};
 use evostore_graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
 use evostore_obs::{FlightEvent, FlightRecorder, SpanRecord, TimeSource};
 use evostore_rpc::{FaultAction, FaultPlan, FaultRule};
@@ -402,7 +402,7 @@ fn forced_copy_and_zero_copy_planes_agree() {
     let fetch = |force: bool| {
         let dep = Deployment::new(DeploymentConfig {
             providers: 3,
-            force_copy_data_plane: force,
+            data_plane: DataPlanePolicy::from_force_copy(force),
             ..Default::default()
         });
         let client = dep.client();

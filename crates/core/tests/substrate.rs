@@ -1,0 +1,362 @@
+//! End-to-end tests of the content-addressed chunked tensor substrate:
+//! cross-model chunk dedup, parent-delta encoding of derived models,
+//! GC safety of delta bases, chain re-basing, and persistent recovery.
+
+use std::collections::HashMap;
+
+use evostore_core::{
+    random_tensors, BackendKind, Deployment, DeploymentConfig, OwnerMap, StorePolicy,
+};
+use evostore_graph::{
+    flatten, lcp, Activation, Architecture, CompactGraph, LayerConfig, LayerKind,
+};
+use evostore_tensor::{ModelId, TensorData, TensorKey};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn seq(units: &[u32]) -> CompactGraph {
+    let mut a = Architecture::new("seq");
+    let mut prev = a.add_layer(LayerConfig::new(
+        "in",
+        LayerKind::Input {
+            shape: vec![units[0]],
+        },
+    ));
+    let mut inf = units[0];
+    for (i, &u) in units.iter().enumerate().skip(1) {
+        prev = a.chain(
+            prev,
+            LayerConfig::new(
+                format!("d{i}"),
+                LayerKind::Dense {
+                    in_features: inf,
+                    units: u,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        inf = u;
+    }
+    flatten(&a).unwrap()
+}
+
+/// One-provider deployment under the given storage policy (delta bases
+/// must be co-located with their dependents, which a single provider
+/// guarantees for every placement).
+fn dep_with(policy: StorePolicy) -> Deployment {
+    Deployment::new(DeploymentConfig {
+        providers: 1,
+        store_policy: policy,
+        ..Default::default()
+    })
+}
+
+/// Owner map for `child` deriving from `parent_map` over the *same*
+/// graph, retraining (owning) the last `own_last` vertices.
+fn suffix_map(
+    child: ModelId,
+    g: &CompactGraph,
+    parent_map: &OwnerMap,
+    own_last: usize,
+) -> OwnerMap {
+    let mut l = lcp(g, g);
+    let n = g.len();
+    l.prefix.retain(|v| (v.0 as usize) < n - own_last);
+    for i in n - own_last..n {
+        l.match_in_ancestor[i] = None;
+    }
+    OwnerMap::derive(child, g, &l, parent_map)
+}
+
+/// Sparsely perturbed copies of the previous generation's tensors for
+/// every self-owned key of `map` — a stand-in for fine-tuning, so the
+/// derived payloads are byte-similar to their bases.
+fn finetuned(
+    map: &OwnerMap,
+    prev: &HashMap<u32, TensorData>,
+    rng: &mut ChaCha8Rng,
+) -> HashMap<TensorKey, TensorData> {
+    map.self_owned()
+        .flat_map(|v| map.vertex(v).tensor_keys().collect::<Vec<_>>())
+        .map(|k| (k, prev[&k.slot].perturbed_sparse(rng, 0.05)))
+        .collect()
+}
+
+#[test]
+fn unrelated_models_share_chunks_and_retire_safely() {
+    let dep = dep_with(StorePolicy::chunked());
+    let client = dep.client();
+    let g = seq(&[8, 32, 32, 8]);
+
+    // Two unrelated models (no parent link) with byte-identical
+    // parameters: same seed, fresh owner maps.
+    let t1 = random_tensors(ModelId(1), &g, &mut ChaCha8Rng::seed_from_u64(9));
+    let t2 = random_tensors(ModelId(2), &g, &mut ChaCha8Rng::seed_from_u64(9));
+    client
+        .store_model(g.clone(), OwnerMap::fresh(ModelId(1), &g), None, 0.5, &t1)
+        .unwrap();
+    client
+        .store_model(g.clone(), OwnerMap::fresh(ModelId(2), &g), None, 0.5, &t2)
+        .unwrap();
+
+    // The second model's payload bytes dedup against the first's chunks.
+    let stats = client.stats().unwrap();
+    assert!(stats.chunks > 0, "chunked policy must materialize chunks");
+    assert!(
+        stats.chunk_dedup_hits > 0,
+        "identical payloads must share chunks"
+    );
+    assert!(
+        stats.chunk_physical_bytes < stats.chunk_logical_bytes,
+        "physical {} must undercut logical {}",
+        stats.chunk_physical_bytes,
+        stats.chunk_logical_bytes
+    );
+    dep.gc_audit().unwrap();
+
+    // Retiring one sharer must not free chunks the survivor references.
+    client.retire_model(ModelId(2)).unwrap();
+    dep.gc_audit().unwrap();
+    let loaded = client.load_model(ModelId(1)).unwrap();
+    for (key, tensor) in &t1 {
+        assert_eq!(&loaded.tensors[key], tensor, "tensor {key} differs");
+    }
+    assert!(client.load_model(ModelId(2)).is_err());
+}
+
+#[test]
+fn delta_chain_roundtrips_bytewise() {
+    let dep = dep_with(StorePolicy::chunked_with_delta().with_max_chain_depth(3));
+    let client = dep.client();
+    let g = seq(&[8, 16, 16, 4]);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+
+    let base_tensors = random_tensors(ModelId(1), &g, &mut rng);
+    client
+        .store_model(
+            g.clone(),
+            OwnerMap::fresh(ModelId(1), &g),
+            None,
+            0.5,
+            &base_tensors,
+        )
+        .unwrap();
+
+    // Five generations, each fine-tuning the last layer of its parent.
+    // With max_chain_depth = 3, generation 4 falls back to raw and
+    // generation 5 starts a fresh chain on top of it.
+    let last_v = g.len() - 1;
+    let mut parent_map = OwnerMap::fresh(ModelId(1), &g);
+    let mut prev: HashMap<u32, TensorData> = base_tensors
+        .iter()
+        .filter(|(k, _)| k.vertex.0 as usize == last_v)
+        .map(|(k, t)| (k.slot, t.clone()))
+        .collect();
+    let mut expected: Vec<HashMap<TensorKey, TensorData>> = vec![base_tensors.clone()];
+    for generation in 1..=5u64 {
+        let child = ModelId(generation + 1);
+        let map = suffix_map(child, &g, &parent_map, 1);
+        let new = finetuned(&map, &prev, &mut rng);
+        client
+            .store_model(g.clone(), map.clone(), Some(ModelId(generation)), 0.6, &new)
+            .unwrap();
+        prev = new.iter().map(|(k, t)| (k.slot, t.clone())).collect();
+        let mut exp = expected[generation as usize - 1].clone();
+        exp.retain(|k, _| k.vertex.0 as usize != last_v);
+        exp.extend(new);
+        expected.push(exp);
+        parent_map = map;
+    }
+
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.delta_stored > 0,
+        "fine-tuned generations must produce delta records"
+    );
+
+    // Every generation reconstructs byte-identically through the chain.
+    for (i, exp) in expected.iter().enumerate() {
+        let loaded = client.load_model(ModelId(i as u64 + 1)).unwrap();
+        assert_eq!(loaded.tensors.len(), exp.len());
+        for (key, tensor) in exp {
+            assert_eq!(&loaded.tensors[key], tensor, "gen {i} tensor {key} differs");
+        }
+    }
+    assert!(client.stats().unwrap().delta_reconstructs > 0);
+    dep.gc_audit().unwrap();
+}
+
+#[test]
+fn retiring_a_delta_base_rebases_dependents() {
+    let dep = dep_with(StorePolicy::chunked_with_delta());
+    let client = dep.client();
+    let g = seq(&[8, 16, 16, 4]);
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+
+    let base_tensors = random_tensors(ModelId(1), &g, &mut rng);
+    client
+        .store_model(
+            g.clone(),
+            OwnerMap::fresh(ModelId(1), &g),
+            None,
+            0.5,
+            &base_tensors,
+        )
+        .unwrap();
+    let parent_map = OwnerMap::fresh(ModelId(1), &g);
+    let last_v = g.len() - 1;
+    let prev: HashMap<u32, TensorData> = base_tensors
+        .iter()
+        .filter(|(k, _)| k.vertex.0 as usize == last_v)
+        .map(|(k, t)| (k.slot, t.clone()))
+        .collect();
+    let map = suffix_map(ModelId(2), &g, &parent_map, 1);
+    let new = finetuned(&map, &prev, &mut rng);
+    client
+        .store_model(g.clone(), map, Some(ModelId(1)), 0.6, &new)
+        .unwrap();
+    assert!(client.stats().unwrap().delta_stored > 0);
+
+    // Retiring the parent physically reclaims the delta's base tensor
+    // (only the child references the frozen prefix). The reclaim fence
+    // must materialize the child's delta first.
+    client.retire_model(ModelId(1)).unwrap();
+    dep.gc_audit().unwrap();
+    assert!(
+        client.stats().unwrap().delta_rebased > 0,
+        "reclaiming a delta base must re-base its dependents"
+    );
+
+    let loaded = client.load_model(ModelId(2)).unwrap();
+    for (key, tensor) in &new {
+        assert_eq!(&loaded.tensors[key], tensor, "tensor {key} differs");
+    }
+    // Inherited prefix tensors survive the parent's retirement verbatim.
+    for (key, tensor) in &base_tensors {
+        if key.vertex.0 as usize != last_v {
+            assert_eq!(&loaded.tensors[key], tensor, "prefix {key} differs");
+        }
+    }
+}
+
+#[test]
+fn compact_deltas_bounds_reconstruction_chains() {
+    let dep = dep_with(StorePolicy::chunked_with_delta().with_max_chain_depth(7));
+    let client = dep.client();
+    let g = seq(&[8, 16, 16, 4]);
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+
+    let base_tensors = random_tensors(ModelId(1), &g, &mut rng);
+    client
+        .store_model(
+            g.clone(),
+            OwnerMap::fresh(ModelId(1), &g),
+            None,
+            0.5,
+            &base_tensors,
+        )
+        .unwrap();
+    let last_v = g.len() - 1;
+    let mut parent_map = OwnerMap::fresh(ModelId(1), &g);
+    let mut prev: HashMap<u32, TensorData> = base_tensors
+        .iter()
+        .filter(|(k, _)| k.vertex.0 as usize == last_v)
+        .map(|(k, t)| (k.slot, t.clone()))
+        .collect();
+    let mut tails: Vec<HashMap<TensorKey, TensorData>> = Vec::new();
+    for generation in 1..=4u64 {
+        let child = ModelId(generation + 1);
+        let map = suffix_map(child, &g, &parent_map, 1);
+        let new = finetuned(&map, &prev, &mut rng);
+        client
+            .store_model(g.clone(), map.clone(), Some(ModelId(generation)), 0.6, &new)
+            .unwrap();
+        prev = new.iter().map(|(k, t)| (k.slot, t.clone())).collect();
+        tails.push(new);
+        parent_map = map;
+    }
+    assert!(client.stats().unwrap().delta_stored > 0);
+
+    // Flatten every chain deeper than one hop back to raw records.
+    let rewritten = dep.compact_deltas(1).unwrap();
+    assert!(rewritten > 0, "depth-4 chains must have records to flatten");
+    assert!(client.stats().unwrap().delta_rebased > 0);
+
+    // All generations still reconstruct byte-identically, and a second
+    // pass finds nothing left to do.
+    for (i, tail) in tails.iter().enumerate() {
+        let loaded = client.load_model(ModelId(i as u64 + 2)).unwrap();
+        for (key, tensor) in tail {
+            assert_eq!(&loaded.tensors[key], tensor, "gen {} {key} differs", i + 1);
+        }
+    }
+    assert_eq!(dep.compact_deltas(1).unwrap(), 0);
+    dep.gc_audit().unwrap();
+}
+
+#[test]
+fn chunked_delta_deployment_survives_reopen() {
+    let dir = std::env::temp_dir().join(format!("evostore-substrate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = DeploymentConfig {
+        providers: 1,
+        backend: BackendKind::Log { dir: dir.clone() },
+        store_policy: StorePolicy::chunked_with_delta(),
+        ..Default::default()
+    };
+    let g = seq(&[8, 16, 16, 4]);
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let base_tensors = random_tensors(ModelId(1), &g, &mut rng);
+    let last_v = g.len() - 1;
+    let parent_map = OwnerMap::fresh(ModelId(1), &g);
+    let map = suffix_map(ModelId(2), &g, &parent_map, 1);
+    let prev: HashMap<u32, TensorData> = base_tensors
+        .iter()
+        .filter(|(k, _)| k.vertex.0 as usize == last_v)
+        .map(|(k, t)| (k.slot, t.clone()))
+        .collect();
+    let new = finetuned(&map, &prev, &mut rng);
+
+    // Session 1: a base model and a delta-encoded derived model.
+    {
+        let dep = Deployment::new(cfg.clone());
+        let client = dep.client();
+        client
+            .store_model(
+                g.clone(),
+                OwnerMap::fresh(ModelId(1), &g),
+                None,
+                0.5,
+                &base_tensors,
+            )
+            .unwrap();
+        client
+            .store_model(g.clone(), map.clone(), Some(ModelId(1)), 0.6, &new)
+            .unwrap();
+        assert!(client.stats().unwrap().delta_stored > 0);
+        dep.gc_audit().unwrap();
+    } // dropped: "process restart"
+
+    // Session 2: chunk refcounts and the delta dependency index are
+    // rebuilt from the fanned log; both models reconstruct bytewise.
+    let dep = Deployment::reopen(cfg).expect("recovery succeeds");
+    let client = dep.client();
+    let parent = client.load_model(ModelId(1)).unwrap();
+    for (key, tensor) in &base_tensors {
+        assert_eq!(&parent.tensors[key], tensor, "parent {key} differs");
+    }
+    let child = client.load_model(ModelId(2)).unwrap();
+    for (key, tensor) in &new {
+        assert_eq!(&child.tensors[key], tensor, "child {key} differs");
+    }
+    dep.gc_audit().unwrap();
+
+    // The recovered dependency index still fences base reclamation.
+    client.retire_model(ModelId(1)).unwrap();
+    dep.gc_audit().unwrap();
+    let child = client.load_model(ModelId(2)).unwrap();
+    for (key, tensor) in &new {
+        assert_eq!(&child.tensors[key], tensor, "post-retire {key} differs");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -72,6 +72,21 @@ pub trait KvBackend: Send + Sync {
         None
     }
 
+    /// Scatter-gather fetch: the value as an ordered sequence of
+    /// shared-buffer segments whose concatenation is the record, for
+    /// backends that store values in pieces (the content-addressed chunk
+    /// store). Lets a zero-copy data plane expose the pieces directly
+    /// instead of reassembling them into a contiguous buffer first.
+    ///
+    /// `None` means "no segmented representation" — the key is absent or
+    /// the backend stores values whole — and records nothing; callers
+    /// fall back to [`KvBackend::get_ref`] / [`KvBackend::get`]. `Some`
+    /// records exactly one read of the full logical length, like `get`.
+    fn get_segments(&self, key: &[u8]) -> Option<Vec<Bytes>> {
+        let _ = key;
+        None
+    }
+
     /// Remove a key. `Ok(true)` when it existed.
     fn delete(&self, key: &[u8]) -> Result<bool, KvError>;
 
@@ -119,6 +134,13 @@ pub trait KvBackend: Send + Sync {
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         None
     }
+
+    /// Chunk-occupancy counters, for content-addressed backends
+    /// ([`crate::ChunkedStore`]). `None` means the backend stores values
+    /// whole.
+    fn chunk_stats(&self) -> Option<crate::chunkstore::ChunkStats> {
+        None
+    }
 }
 
 impl<T: KvBackend + ?Sized> KvBackend for Box<T> {
@@ -130,6 +152,9 @@ impl<T: KvBackend + ?Sized> KvBackend for Box<T> {
     }
     fn get_ref(&self, key: &[u8]) -> Option<Bytes> {
         (**self).get_ref(key)
+    }
+    fn get_segments(&self, key: &[u8]) -> Option<Vec<Bytes>> {
+        (**self).get_segments(key)
     }
     fn delete(&self, key: &[u8]) -> Result<bool, KvError> {
         (**self).delete(key)
@@ -151,6 +176,9 @@ impl<T: KvBackend + ?Sized> KvBackend for Box<T> {
     }
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         (**self).metrics_snapshot()
+    }
+    fn chunk_stats(&self) -> Option<crate::chunkstore::ChunkStats> {
+        (**self).chunk_stats()
     }
 }
 

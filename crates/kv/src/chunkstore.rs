@@ -1,0 +1,592 @@
+//! Content-addressed chunked storage layer.
+//!
+//! [`ChunkedStore`] presents the ordinary [`KvBackend`] record API while
+//! physically storing every value as fixed-size *chunks* keyed by their
+//! 128-bit content hash, plus one small per-record *manifest* listing the
+//! chunk hashes. Byte-identical chunks — whether from two models sharing a
+//! frozen layer under different keys, or from entirely unrelated models
+//! that happen to contain the same bytes — are stored once and reference
+//! counted, so the physical footprint ([`KvBackend::bytes_used`]) shrinks
+//! with content redundancy while the logical API is unchanged.
+//!
+//! Namespacing inside the wrapped backend:
+//!
+//! * manifests live under `b'M' + logical_key`;
+//! * chunks live under `b'C' + ContentHash::to_bytes()` (17 bytes).
+//!
+//! [`KvBackend::keys`] / [`KvBackend::len`] expose only *logical* keys, so
+//! wrappers that mirror the key space — [`crate::RefCountedStore`]'s audit,
+//! the providers' GC sweeps — behave exactly as over a plain backend.
+//!
+//! Chunk reference counts are held in memory and rebuilt from the durable
+//! manifests on [`ChunkedStore::open`], the same recovery story as the
+//! record-level refcounts (reconstructible from owner maps).
+//!
+//! Metrics: the store keeps its own *logical* counters — one `get` per
+//! record fetch regardless of the chunk count, one `miss` per absent
+//! record, matching the [`KvBackend::get_ref`] fallback contract — rather
+//! than surfacing the wrapped backend's per-chunk traffic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::{BufMut, Bytes, BytesMut};
+use evostore_tensor::{fnv1a128, ContentHash};
+use parking_lot::Mutex;
+
+use crate::api::{KvBackend, KvError};
+use crate::metrics::StoreMetrics;
+
+/// Manifest magic ("EVCM" as LE u32).
+const MANIFEST_MAGIC: u32 = 0x4556_434D;
+const MANIFEST_VERSION: u8 = 1;
+/// magic + version + pad3 + total u64 + count u32.
+const MANIFEST_HEADER: usize = 4 + 1 + 3 + 8 + 4;
+/// Default chunk size: 64 KiB — small enough that a fine-tuned layer's
+/// untouched regions dedup, large enough that manifest overhead stays
+/// under 0.03% of the payload.
+pub const DEFAULT_CHUNK_SIZE: usize = 64 * 1024;
+
+/// Physical-occupancy counters of a [`ChunkedStore`] (see
+/// [`KvBackend::chunk_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ChunkStats {
+    /// Distinct chunks physically stored.
+    pub chunks: u64,
+    /// Logical records (manifests) stored.
+    pub manifests: u64,
+    /// Sum of logical value lengths.
+    pub logical_bytes: u64,
+    /// Bytes in the wrapped backend (deduped chunks + manifests).
+    pub physical_bytes: u64,
+    /// Chunk writes elided because an identical chunk was already stored.
+    pub dedup_hits: u64,
+}
+
+/// A [`KvBackend`] storing values as content-addressed, deduplicated,
+/// reference-counted chunks.
+pub struct ChunkedStore<B: KvBackend> {
+    backend: B,
+    chunk_size: usize,
+    /// Chunk refcounts, keyed by content hash. One mutex also serializes
+    /// manifest replacement so dedup decisions and ref accounting stay
+    /// atomic; chunk payload traffic dominates, not this map.
+    chunk_refs: Mutex<HashMap<u128, u64>>,
+    metrics: StoreMetrics,
+    dedup_hits: AtomicU64,
+    logical_bytes: AtomicU64,
+    manifest_count: AtomicU64,
+}
+
+fn chunk_key(h: ContentHash) -> [u8; 17] {
+    let mut k = [0u8; 17];
+    k[0] = b'C';
+    k[1..].copy_from_slice(&h.to_bytes());
+    k
+}
+
+fn manifest_key(key: &[u8]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(key.len() + 1);
+    k.push(b'M');
+    k.extend_from_slice(key);
+    k
+}
+
+fn encode_manifest(total: usize, hashes: &[ContentHash]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(MANIFEST_HEADER + hashes.len() * 16 + 8);
+    buf.put_u32_le(MANIFEST_MAGIC);
+    buf.put_u8(MANIFEST_VERSION);
+    buf.extend_from_slice(&[0u8; 3]);
+    buf.put_u64_le(total as u64);
+    buf.put_u32_le(hashes.len() as u32);
+    for h in hashes {
+        buf.extend_from_slice(&h.to_bytes());
+    }
+    let check = fnv1a128(&buf[4..]) as u64;
+    buf.put_u64_le(check);
+    buf.freeze()
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<(usize, Vec<ContentHash>), KvError> {
+    let corrupt = |detail: &str| KvError::Corrupt {
+        detail: format!("chunk manifest: {detail}"),
+    };
+    if bytes.len() < MANIFEST_HEADER + 8 {
+        return Err(corrupt("truncated header"));
+    }
+    if u32::from_le_bytes(bytes[0..4].try_into().unwrap()) != MANIFEST_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    if bytes[4] != MANIFEST_VERSION {
+        return Err(corrupt("unsupported version"));
+    }
+    let total = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    let body_end = MANIFEST_HEADER + count * 16;
+    if bytes.len() != body_end + 8 {
+        return Err(corrupt("length disagrees with chunk count"));
+    }
+    let check = u64::from_le_bytes(bytes[body_end..].try_into().unwrap());
+    if fnv1a128(&bytes[4..body_end]) as u64 != check {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let hashes = bytes[MANIFEST_HEADER..body_end]
+        .chunks_exact(16)
+        .map(|c| ContentHash::from_bytes(c).unwrap())
+        .collect();
+    Ok((total, hashes))
+}
+
+impl<B: KvBackend> ChunkedStore<B> {
+    /// Wrap `backend`, splitting values into `chunk_size`-byte chunks.
+    ///
+    /// Scans any manifests already present in the backend (reopen of a
+    /// durable store) to rebuild the in-memory chunk reference counts.
+    pub fn open(backend: B, chunk_size: usize) -> Result<ChunkedStore<B>, KvError> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        let store = ChunkedStore {
+            backend,
+            chunk_size,
+            chunk_refs: Mutex::new(HashMap::new()),
+            metrics: StoreMetrics::new(),
+            dedup_hits: AtomicU64::new(0),
+            logical_bytes: AtomicU64::new(0),
+            manifest_count: AtomicU64::new(0),
+        };
+        let mut manifest_keys: Vec<Vec<u8>> = Vec::new();
+        store.backend.for_each_key(&mut |k| {
+            if k.first() == Some(&b'M') {
+                manifest_keys.push(k.to_vec());
+            }
+        });
+        {
+            let mut refs = store.chunk_refs.lock();
+            for mkey in &manifest_keys {
+                let (total, hashes) = decode_manifest(&store.backend.get(mkey)?)?;
+                for h in hashes {
+                    *refs.entry(h.0).or_insert(0) += 1;
+                }
+                store
+                    .logical_bytes
+                    .fetch_add(total as u64, Ordering::Relaxed);
+                store.manifest_count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(store)
+    }
+
+    /// Wrap `backend` with the default chunk size.
+    pub fn open_default(backend: B) -> Result<ChunkedStore<B>, KvError> {
+        ChunkedStore::open(backend, DEFAULT_CHUNK_SIZE)
+    }
+
+    /// Borrow the wrapped (physical) backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Configured chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Physical-occupancy counters.
+    pub fn stats(&self) -> ChunkStats {
+        ChunkStats {
+            chunks: self.chunk_refs.lock().len() as u64,
+            manifests: self.manifest_count.load(Ordering::Relaxed),
+            logical_bytes: self.logical_bytes.load(Ordering::Relaxed),
+            physical_bytes: self.backend.bytes_used() as u64,
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero-copy chunk slices of `value`.
+    fn split(&self, value: &Bytes) -> Vec<Bytes> {
+        let mut chunks = Vec::with_capacity(value.len().div_ceil(self.chunk_size));
+        let mut at = 0;
+        while at < value.len() {
+            let end = (at + self.chunk_size).min(value.len());
+            chunks.push(value.slice(at..end));
+            at = end;
+        }
+        chunks
+    }
+
+    /// Drop one reference from each hash of a parsed manifest, deleting
+    /// chunks that reach zero. Caller holds the refs lock.
+    fn release_chunks(
+        &self,
+        refs: &mut HashMap<u128, u64>,
+        hashes: &[ContentHash],
+    ) -> Result<(), KvError> {
+        for h in hashes {
+            match refs.get_mut(&h.0) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    refs.remove(&h.0);
+                    self.backend.delete(&chunk_key(*h))?;
+                }
+                None => {
+                    return Err(KvError::Corrupt {
+                        detail: format!("chunk {h} released without a reference"),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetch one chunk, surfacing absence as corruption (a manifest names
+    /// it, so it must exist).
+    fn fetch_chunk(&self, h: ContentHash) -> Result<Bytes, KvError> {
+        self.backend.get(&chunk_key(h)).map_err(|e| match e {
+            KvError::NotFound => KvError::Corrupt {
+                detail: format!("chunk {h} missing from backend"),
+            },
+            other => other,
+        })
+    }
+}
+
+impl<B: KvBackend> KvBackend for ChunkedStore<B> {
+    fn put(&self, key: &[u8], value: Bytes) -> Result<(), KvError> {
+        self.metrics.record_put(value.len());
+        let chunks = self.split(&value);
+        let hashes: Vec<ContentHash> = chunks.iter().map(|c| ContentHash::of_bytes(c)).collect();
+        let mkey = manifest_key(key);
+        let mut refs = self.chunk_refs.lock();
+        // Overwrite: release the chunks of the previous value first.
+        match self.backend.get(&mkey) {
+            Ok(old) => {
+                let (old_total, old_hashes) = decode_manifest(&old)?;
+                self.release_chunks(&mut refs, &old_hashes)?;
+                self.logical_bytes
+                    .fetch_sub(old_total as u64, Ordering::Relaxed);
+            }
+            Err(KvError::NotFound) => {
+                self.manifest_count.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => return Err(e),
+        }
+        for (chunk, h) in chunks.iter().zip(&hashes) {
+            match refs.get_mut(&h.0) {
+                Some(c) => {
+                    *c += 1;
+                    self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    self.backend.put(&chunk_key(*h), chunk.clone())?;
+                    refs.insert(h.0, 1);
+                }
+            }
+        }
+        self.backend
+            .put(&mkey, encode_manifest(value.len(), &hashes))?;
+        self.logical_bytes
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Bytes, KvError> {
+        let manifest = match self.backend.get(&manifest_key(key)) {
+            Ok(m) => m,
+            Err(KvError::NotFound) => {
+                self.metrics.record_miss();
+                return Err(KvError::NotFound);
+            }
+            Err(e) => return Err(e),
+        };
+        let (total, hashes) = decode_manifest(&manifest)?;
+        let value = if hashes.len() == 1 {
+            self.fetch_chunk(hashes[0])?
+        } else {
+            let mut buf = BytesMut::with_capacity(total);
+            for h in &hashes {
+                buf.extend_from_slice(&self.fetch_chunk(*h)?);
+            }
+            buf.freeze()
+        };
+        if value.len() != total {
+            return Err(KvError::Corrupt {
+                detail: format!(
+                    "chunked value reassembled to {} bytes, manifest says {total}",
+                    value.len()
+                ),
+            });
+        }
+        self.metrics.record_get(total);
+        Ok(value)
+    }
+
+    fn get_ref(&self, key: &[u8]) -> Option<Bytes> {
+        // Honors the get_ref contract at the *logical* level: Some only
+        // when both manifest and payload are memory-resident (and the
+        // value is a single chunk, so no concatenation copy is needed),
+        // recording exactly one logical read. Everything else returns
+        // None with no accounting; the caller's fallback `get` then
+        // counts one read or one miss.
+        let manifest = self.backend.get_ref(&manifest_key(key))?;
+        let (total, hashes) = decode_manifest(&manifest).ok()?;
+        if hashes.len() != 1 {
+            return if total == 0 {
+                self.metrics.record_get(0);
+                Some(Bytes::new())
+            } else {
+                None
+            };
+        }
+        let chunk = self.backend.get_ref(&chunk_key(hashes[0]))?;
+        if chunk.len() != total {
+            return None;
+        }
+        self.metrics.record_get(total);
+        Some(chunk)
+    }
+
+    fn get_segments(&self, key: &[u8]) -> Option<Vec<Bytes>> {
+        let manifest = self.backend.get(&manifest_key(key)).ok()?;
+        let (total, hashes) = decode_manifest(&manifest).ok()?;
+        let mut segments = Vec::with_capacity(hashes.len());
+        let mut got = 0usize;
+        for h in &hashes {
+            let chunk = self.fetch_chunk(*h).ok()?;
+            got += chunk.len();
+            segments.push(chunk);
+        }
+        if got != total {
+            return None;
+        }
+        self.metrics.record_get(total);
+        Some(segments)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<bool, KvError> {
+        let mkey = manifest_key(key);
+        let mut refs = self.chunk_refs.lock();
+        let manifest = match self.backend.get(&mkey) {
+            Ok(m) => m,
+            Err(KvError::NotFound) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let (total, hashes) = decode_manifest(&manifest)?;
+        self.release_chunks(&mut refs, &hashes)?;
+        self.backend.delete(&mkey)?;
+        self.logical_bytes
+            .fetch_sub(total as u64, Ordering::Relaxed);
+        self.manifest_count.fetch_sub(1, Ordering::Relaxed);
+        self.metrics.record_delete();
+        Ok(true)
+    }
+
+    fn contains(&self, key: &[u8]) -> bool {
+        self.backend.contains(&manifest_key(key))
+    }
+
+    fn len(&self) -> usize {
+        self.manifest_count.load(Ordering::Relaxed) as usize
+    }
+
+    /// *Physical* bytes in the wrapped backend (deduped chunks plus
+    /// manifests) — the capacity metric chunking exists to shrink. The
+    /// logical sum is available via [`ChunkedStore::stats`].
+    fn bytes_used(&self) -> usize {
+        self.backend.bytes_used()
+    }
+
+    fn keys(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.len());
+        self.backend.for_each_key(&mut |k| {
+            if k.first() == Some(&b'M') {
+                out.push(k[1..].to_vec());
+            }
+        });
+        out
+    }
+
+    fn for_each_key(&self, f: &mut dyn FnMut(&[u8])) {
+        self.backend.for_each_key(&mut |k| {
+            if k.first() == Some(&b'M') {
+                f(&k[1..]);
+            }
+        });
+    }
+
+    fn metrics_snapshot(&self) -> Option<crate::metrics::MetricsSnapshot> {
+        Some(self.metrics.snapshot())
+    }
+
+    fn chunk_stats(&self) -> Option<ChunkStats> {
+        Some(self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mempool::MemPoolStore;
+    use crate::refcount::RefCountedStore;
+
+    fn store(chunk: usize) -> ChunkedStore<MemPoolStore> {
+        ChunkedStore::open(MemPoolStore::new(), chunk).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        let s = store(8);
+        for (key, len) in [(b"a" as &[u8], 0usize), (b"b", 1), (b"c", 8), (b"d", 100)] {
+            let value = Bytes::from((0..len).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+            s.put(key, value.clone()).unwrap();
+            assert_eq!(s.get(key).unwrap(), value);
+            assert!(s.contains(key));
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get(b"nope"), Err(KvError::NotFound));
+    }
+
+    #[test]
+    fn identical_values_share_chunks() {
+        let s = store(16);
+        let value = Bytes::from(vec![42u8; 64]);
+        s.put(b"model-a", value.clone()).unwrap();
+        let solo = s.bytes_used();
+        s.put(b"model-b", value.clone()).unwrap();
+        let both = s.bytes_used();
+        // Second copy costs only its manifest (20-byte header + 4 hashes
+        // + check = 92 bytes), never a second set of chunk payloads.
+        assert!(both - solo < 100, "dedup failed: {solo} -> {both}");
+        let st = s.stats();
+        // 64 bytes of the value are 4 chunks of 16 identical bytes: one
+        // distinct chunk, 3 intra-value + 4 cross-value dedup hits.
+        assert_eq!(st.chunks, 1);
+        assert_eq!(st.manifests, 2);
+        assert_eq!(st.dedup_hits, 7);
+        assert_eq!(st.logical_bytes, 128);
+
+        // Deleting one record keeps the shared chunk alive for the other.
+        assert!(s.delete(b"model-a").unwrap());
+        assert_eq!(s.get(b"model-b").unwrap(), value);
+        assert!(s.delete(b"model-b").unwrap());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.bytes_used(), 0);
+        assert_eq!(s.stats().chunks, 0);
+    }
+
+    #[test]
+    fn overwrite_releases_old_chunks() {
+        let s = store(8);
+        s.put(b"k", Bytes::from(vec![1u8; 64])).unwrap();
+        s.put(b"k", Bytes::from(vec![2u8; 24])).unwrap();
+        assert_eq!(s.get(b"k").unwrap(), Bytes::from(vec![2u8; 24]));
+        assert_eq!(s.len(), 1);
+        let st = s.stats();
+        assert_eq!(st.chunks, 1, "old chunks must be released");
+        assert_eq!(st.logical_bytes, 24);
+    }
+
+    #[test]
+    fn keys_expose_only_logical_names() {
+        let s = store(4);
+        s.put(b"alpha", Bytes::from(vec![9u8; 20])).unwrap();
+        s.put(b"beta", Bytes::from(vec![8u8; 20])).unwrap();
+        let mut keys = s.keys();
+        keys.sort();
+        assert_eq!(keys, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        let mut walked = Vec::new();
+        s.for_each_key(&mut |k| walked.push(k.to_vec()));
+        walked.sort();
+        assert_eq!(walked, keys);
+    }
+
+    #[test]
+    fn refcounted_audit_sees_logical_keys() {
+        let s = RefCountedStore::new(store(8));
+        s.put(b"t1", Bytes::from(vec![5u8; 40]), 1).unwrap();
+        s.put(b"t2", Bytes::from(vec![5u8; 40]), 2).unwrap();
+        s.audit().unwrap();
+        assert_eq!(s.decr(b"t1").unwrap(), 0);
+        s.audit().unwrap();
+        assert_eq!(s.get(b"t2").unwrap(), Bytes::from(vec![5u8; 40]));
+    }
+
+    #[test]
+    fn get_ref_serves_single_chunk_and_declines_multi() {
+        let s = store(32);
+        s.put(b"small", Bytes::from(vec![1u8; 16])).unwrap();
+        s.put(b"large", Bytes::from(vec![2u8; 100])).unwrap();
+        assert_eq!(s.get_ref(b"small").unwrap().len(), 16);
+        assert_eq!(s.get_ref(b"large"), None);
+        assert_eq!(s.get_ref(b"absent"), None);
+    }
+
+    #[test]
+    fn logical_metrics_count_one_read_per_fetch() {
+        let s = store(8);
+        s.put(b"multi", Bytes::from(vec![7u8; 64])).unwrap();
+        // get_ref declines (8 chunks), fallback get: exactly one logical
+        // read for the whole chain.
+        assert_eq!(s.get_ref(b"multi"), None);
+        let _ = s.get(b"multi").unwrap();
+        let m = s.metrics_snapshot().unwrap();
+        assert_eq!(m.gets, 1);
+        assert_eq!(m.bytes_read, 64);
+        assert_eq!(m.misses, 0);
+        // Miss path: one miss, no read.
+        assert_eq!(s.get_ref(b"gone"), None);
+        let _ = s.get(b"gone");
+        let m = s.metrics_snapshot().unwrap();
+        assert_eq!(m.gets, 1);
+        assert_eq!(m.misses, 1);
+    }
+
+    #[test]
+    fn segments_cover_value_in_order() {
+        let s = store(8);
+        let value = Bytes::from((0..50u8).collect::<Vec<u8>>());
+        s.put(b"k", value.clone()).unwrap();
+        let segs = s.get_segments(b"k").unwrap();
+        assert_eq!(segs.len(), 7);
+        let flat: Vec<u8> = segs.iter().flat_map(|s| s.to_vec()).collect();
+        assert_eq!(flat, value.to_vec());
+        assert_eq!(s.get_segments(b"absent"), None);
+    }
+
+    #[test]
+    fn reopen_rebuilds_chunk_refs() {
+        let dir =
+            std::env::temp_dir().join(format!("evostore-chunk-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let value = Bytes::from(vec![3u8; 48]);
+        {
+            let s = ChunkedStore::open(crate::LogStore::open(&dir).unwrap(), 16).unwrap();
+            s.put(b"a", value.clone()).unwrap();
+            s.put(b"b", value.clone()).unwrap();
+        }
+        let s = ChunkedStore::open(crate::LogStore::open(&dir).unwrap(), 16).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(b"a").unwrap(), value);
+        let st = s.stats();
+        assert_eq!(st.chunks, 1);
+        assert_eq!(st.logical_bytes, 96);
+        // The rebuilt refcounts must keep the shared chunk alive across
+        // one delete and release it on the second.
+        assert!(s.delete(b"a").unwrap());
+        assert_eq!(s.get(b"b").unwrap(), value);
+        assert!(s.delete(b"b").unwrap());
+        assert_eq!(s.stats().chunks, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_surfaces() {
+        let s = store(8);
+        s.put(b"k", Bytes::from(vec![1u8; 10])).unwrap();
+        // Tamper with the manifest bytes under the hood.
+        let mkey = manifest_key(b"k");
+        let mut m = s.backend().get(&mkey).unwrap().to_vec();
+        let at = m.len() / 2;
+        m[at] ^= 0xFF;
+        s.backend().put(&mkey, Bytes::from(m)).unwrap();
+        assert!(matches!(s.get(b"k"), Err(KvError::Corrupt { .. })));
+    }
+}

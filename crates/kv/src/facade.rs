@@ -1,0 +1,242 @@
+//! The record-keyed logical storage facade.
+//!
+//! Provider handlers used to reach through [`RefCountedStore`] straight
+//! at [`crate::KvBackend`] methods, which tied them to one concrete
+//! layering and let physical concerns (chunking, residency, metrics
+//! plumbing) leak into request handling. [`TensorStore`] is the logical
+//! contract a provider actually needs: reference-counted records
+//! addressed by opaque keys, with zero-copy and scatter-gather read
+//! forms, auditing, and storage counters. The physical side — whether a
+//! record is one buffer in a memory pool, an appended log entry, or a
+//! manifest over deduplicated content-addressed chunks — stays below the
+//! facade.
+//!
+//! [`RefCountedStore`] over any backend implements it, so providers keep
+//! their existing layering but call only these methods.
+
+use bytes::Bytes;
+
+use crate::api::{KvBackend, KvError};
+use crate::chunkstore::ChunkStats;
+use crate::metrics::MetricsSnapshot;
+use crate::refcount::RefCountedStore;
+
+/// Reference-counted, record-keyed tensor storage — the only storage API
+/// provider request handlers are supposed to touch.
+pub trait TensorStore: Send + Sync {
+    /// Store a record with an initial reference count (> 0). Re-storing
+    /// an existing key overwrites the payload and *adds* the references.
+    fn put_record(&self, key: &[u8], value: Bytes, initial_refs: u64) -> Result<(), KvError>;
+
+    /// Fetch a record's bytes.
+    fn get_record(&self, key: &[u8]) -> Result<Bytes, KvError>;
+
+    /// Zero-copy fetch of a memory-resident record (see
+    /// [`KvBackend::get_ref`] for the accounting contract).
+    fn get_record_ref(&self, key: &[u8]) -> Option<Bytes>;
+
+    /// Scatter-gather fetch: the record as shared-buffer segments (see
+    /// [`KvBackend::get_segments`]).
+    fn record_segments(&self, key: &[u8]) -> Option<Vec<Bytes>>;
+
+    /// Rewrite an existing record's payload without touching its
+    /// reference count (delta re-basing).
+    fn replace_record(&self, key: &[u8], value: Bytes) -> Result<(), KvError>;
+
+    /// Presence check.
+    fn contains_record(&self, key: &[u8]) -> bool;
+
+    /// Add one reference to a stored record.
+    fn incr_record(&self, key: &[u8]) -> Result<u64, KvError>;
+
+    /// Drop one reference; the record is reclaimed at zero. Returns the
+    /// remaining count.
+    fn decr_record(&self, key: &[u8]) -> Result<u64, KvError>;
+
+    /// Register an already-present record at zero references
+    /// (crash-recovery adoption).
+    fn adopt_record(&self, key: &[u8]);
+
+    /// Add one reference, permitting adopted zero-count records.
+    fn incr_adopted_record(&self, key: &[u8]) -> Result<u64, KvError>;
+
+    /// Drop every record whose replayed count stayed at zero. Returns
+    /// how many were reclaimed.
+    fn purge_zero_ref_records(&self) -> Result<usize, KvError>;
+
+    /// Install an authoritative reference count (anti-entropy repair);
+    /// `0` reclaims the record. Returns the previous count.
+    fn set_record_refs(&self, key: &[u8], refs: u64) -> Result<u64, KvError>;
+
+    /// Current reference count (`0` when absent).
+    fn record_refs(&self, key: &[u8]) -> u64;
+
+    /// Number of live records.
+    fn record_count(&self) -> usize;
+
+    /// Bytes occupied by live records. For a chunked physical layer this
+    /// is *physical* (deduplicated) bytes — the capacity actually used.
+    fn record_bytes(&self) -> usize;
+
+    /// Visit every live record key.
+    fn for_each_record_key(&self, f: &mut dyn FnMut(&[u8]));
+
+    /// Check the storage/refcount invariants.
+    fn audit_records(&self) -> Result<(), String>;
+
+    /// Operation counters of the storage layer, when tracked.
+    fn record_metrics(&self) -> Option<MetricsSnapshot>;
+
+    /// Chunk-occupancy counters, when the physical layer is
+    /// content-addressed.
+    fn record_chunk_stats(&self) -> Option<ChunkStats>;
+}
+
+impl<B: KvBackend> TensorStore for RefCountedStore<B> {
+    fn put_record(&self, key: &[u8], value: Bytes, initial_refs: u64) -> Result<(), KvError> {
+        self.put(key, value, initial_refs)
+    }
+
+    fn get_record(&self, key: &[u8]) -> Result<Bytes, KvError> {
+        self.get(key)
+    }
+
+    fn get_record_ref(&self, key: &[u8]) -> Option<Bytes> {
+        self.get_ref(key)
+    }
+
+    fn record_segments(&self, key: &[u8]) -> Option<Vec<Bytes>> {
+        self.get_segments(key)
+    }
+
+    fn replace_record(&self, key: &[u8], value: Bytes) -> Result<(), KvError> {
+        self.replace(key, value)
+    }
+
+    fn contains_record(&self, key: &[u8]) -> bool {
+        self.contains(key)
+    }
+
+    fn incr_record(&self, key: &[u8]) -> Result<u64, KvError> {
+        self.incr(key)
+    }
+
+    fn decr_record(&self, key: &[u8]) -> Result<u64, KvError> {
+        self.decr(key)
+    }
+
+    fn adopt_record(&self, key: &[u8]) {
+        self.adopt(key)
+    }
+
+    fn incr_adopted_record(&self, key: &[u8]) -> Result<u64, KvError> {
+        self.incr_adopted(key)
+    }
+
+    fn purge_zero_ref_records(&self) -> Result<usize, KvError> {
+        self.purge_zero_refs()
+    }
+
+    fn set_record_refs(&self, key: &[u8], refs: u64) -> Result<u64, KvError> {
+        self.set_refs(key, refs)
+    }
+
+    fn record_refs(&self, key: &[u8]) -> u64 {
+        self.refs(key)
+    }
+
+    fn record_count(&self) -> usize {
+        self.len()
+    }
+
+    fn record_bytes(&self) -> usize {
+        self.bytes_used()
+    }
+
+    fn for_each_record_key(&self, f: &mut dyn FnMut(&[u8])) {
+        self.backend().for_each_key(f)
+    }
+
+    fn audit_records(&self) -> Result<(), String> {
+        self.audit()
+    }
+
+    fn record_metrics(&self) -> Option<MetricsSnapshot> {
+        self.backend().metrics_snapshot()
+    }
+
+    fn record_chunk_stats(&self) -> Option<ChunkStats> {
+        self.backend().chunk_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunkstore::ChunkedStore;
+    use crate::mempool::MemPoolStore;
+
+    /// The facade must behave identically over a plain and a chunked
+    /// physical layer.
+    fn exercise(store: &dyn TensorStore) {
+        store
+            .put_record(b"k1", Bytes::from(vec![1u8; 100]), 1)
+            .unwrap();
+        store
+            .put_record(b"k2", Bytes::from(vec![1u8; 100]), 2)
+            .unwrap();
+        assert_eq!(store.get_record(b"k1").unwrap().len(), 100);
+        assert!(store.contains_record(b"k2"));
+        assert_eq!(store.record_count(), 2);
+        assert_eq!(store.incr_record(b"k1").unwrap(), 2);
+        assert_eq!(store.decr_record(b"k1").unwrap(), 1);
+        assert_eq!(store.record_refs(b"k1"), 1);
+        store.audit_records().unwrap();
+
+        // Segments (or the get fallback) must reproduce the record.
+        let flat: Vec<u8> = match store.record_segments(b"k1") {
+            Some(segs) => segs.iter().flat_map(|s| s.to_vec()).collect(),
+            None => store.get_record(b"k1").unwrap().to_vec(),
+        };
+        assert_eq!(flat, vec![1u8; 100]);
+
+        store
+            .replace_record(b"k1", Bytes::from(vec![9u8; 40]))
+            .unwrap();
+        assert_eq!(store.record_refs(b"k1"), 1);
+        assert_eq!(store.get_record(b"k1").unwrap(), Bytes::from(vec![9u8; 40]));
+
+        assert_eq!(store.decr_record(b"k1").unwrap(), 0);
+        assert!(!store.contains_record(b"k1"));
+        let mut seen = Vec::new();
+        store.for_each_record_key(&mut |k| seen.push(k.to_vec()));
+        assert_eq!(seen, vec![b"k2".to_vec()]);
+        store.audit_records().unwrap();
+    }
+
+    #[test]
+    fn facade_over_plain_backend() {
+        let s = RefCountedStore::new(MemPoolStore::new());
+        exercise(&s);
+        assert!(s.record_chunk_stats().is_none());
+        assert!(s.record_metrics().is_some());
+    }
+
+    #[test]
+    fn facade_over_chunked_backend() {
+        let s = RefCountedStore::new(ChunkedStore::open(MemPoolStore::new(), 32).unwrap());
+        exercise(&s);
+        let stats = s.record_chunk_stats().unwrap();
+        assert_eq!(stats.manifests, 1);
+        assert!(stats.dedup_hits > 0, "identical values must dedup");
+    }
+
+    #[test]
+    fn facade_over_boxed_backend() {
+        let backend: Box<dyn crate::KvBackend> =
+            Box::new(ChunkedStore::open(MemPoolStore::new(), 32).unwrap());
+        let s = RefCountedStore::new(backend);
+        exercise(&s);
+        assert!(s.record_chunk_stats().is_some());
+    }
+}

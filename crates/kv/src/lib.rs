@@ -11,9 +11,19 @@
 //!   store standing in for RocksDB;
 //! * [`RefCountedStore`] — the reference-counting wrapper providers use
 //!   for distributed garbage collection (§4.1): values survive exactly as
-//!   long as some stored model still references them.
+//!   long as some stored model still references them;
+//! * [`ChunkedStore`] — the content-addressed chunking layer: values
+//!   split into fixed-size chunks keyed by 128-bit content hash, so
+//!   byte-identical chunks are stored once and reference counted;
+//! * [`FannedLogStore`] — a [`LogStore`] fanned into a 16 x 16 hash
+//!   directory tree, the on-disk layout for chunk-addressed data;
+//! * [`TensorStore`] — the record-keyed logical facade provider handlers
+//!   call instead of reaching at [`KvBackend`] directly.
 
 pub mod api;
+pub mod chunkstore;
+pub mod facade;
+pub mod fanned;
 pub mod logstore;
 pub mod mempool;
 pub mod metrics;
@@ -21,6 +31,9 @@ pub mod refcount;
 pub mod tiered;
 
 pub use api::{KvBackend, KvError};
+pub use chunkstore::{ChunkStats, ChunkedStore, DEFAULT_CHUNK_SIZE};
+pub use facade::TensorStore;
+pub use fanned::FannedLogStore;
 pub use logstore::LogStore;
 pub use mempool::MemPoolStore;
 pub use metrics::{MetricsSnapshot, StoreMetrics};

@@ -63,6 +63,26 @@ impl<B: KvBackend> RefCountedStore<B> {
         self.backend.get_ref(key)
     }
 
+    /// Scatter-gather fetch (see [`KvBackend::get_segments`]); refcounts
+    /// do not gate reads.
+    pub fn get_segments(&self, key: &[u8]) -> Option<Vec<Bytes>> {
+        self.backend.get_segments(key)
+    }
+
+    /// Rewrite the payload of an existing key *without* touching its
+    /// reference count — the primitive behind delta re-basing, where a
+    /// record's physical encoding changes while its logical identity and
+    /// every reference to it stay put. Errors with `NotFound` when the
+    /// key is not currently counted (replacing an untracked key would
+    /// desynchronize counts and storage).
+    pub fn replace(&self, key: &[u8], value: Bytes) -> Result<(), KvError> {
+        let counts = self.counts.lock();
+        if !counts.contains_key(key) {
+            return Err(KvError::NotFound);
+        }
+        self.backend.put(key, value)
+    }
+
     /// Presence check.
     pub fn contains(&self, key: &[u8]) -> bool {
         self.backend.contains(key)
@@ -242,6 +262,20 @@ mod tests {
         let s = store();
         assert_eq!(s.incr(b"nope"), Err(KvError::NotFound));
         assert_eq!(s.decr(b"nope"), Err(KvError::NotFound));
+    }
+
+    #[test]
+    fn replace_keeps_refcount() {
+        let s = store();
+        s.put(b"t", Bytes::from_static(b"old"), 2).unwrap();
+        s.replace(b"t", Bytes::from_static(b"newer")).unwrap();
+        assert_eq!(s.refs(b"t"), 2);
+        assert_eq!(s.get(b"t").unwrap(), Bytes::from_static(b"newer"));
+        s.audit().unwrap();
+        assert_eq!(
+            s.replace(b"missing", Bytes::from_static(b"x")),
+            Err(KvError::NotFound)
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! store must additionally survive reopen at any point.
 
 use bytes::Bytes;
-use evostore_kv::{KvBackend, LogStore, MemPoolStore, RefCountedStore};
+use evostore_kv::{ChunkedStore, KvBackend, LogStore, MemPoolStore, RefCountedStore};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -123,6 +123,109 @@ proptest! {
         for (k, v) in &reference {
             prop_assert_eq!(s.get(&[*k]).unwrap().to_vec(), v.clone());
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The content-addressed store behaves exactly like a reference map
+    /// at every chunk size, including sizes far below a payload (many
+    /// chunks per value) and far above (single-chunk fast path). Physical
+    /// occupancy can only shrink relative to logical bytes (dedup) plus
+    /// bounded per-value manifest overhead.
+    #[test]
+    fn chunked_matches_reference(
+        ops in prop::collection::vec(arb_op(), 0..100),
+        chunk_size in 1usize..96,
+    ) {
+        let store = ChunkedStore::open(MemPoolStore::new(), chunk_size).unwrap();
+        let mut reference: HashMap<u8, Vec<u8>> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    store.put(&[*k], Bytes::from(v.clone())).unwrap();
+                    reference.insert(*k, v.clone());
+                }
+                Op::Delete(k) => {
+                    let existed = store.delete(&[*k]).unwrap();
+                    prop_assert_eq!(existed, reference.remove(k).is_some());
+                }
+                Op::Get(k) => {
+                    let got = store.get(&[*k]).ok().map(|b| b.to_vec());
+                    prop_assert_eq!(got, reference.get(k).cloned());
+                }
+            }
+            prop_assert_eq!(store.len(), reference.len());
+        }
+        let stats = store.stats();
+        let logical: usize = reference.values().map(Vec::len).sum();
+        prop_assert_eq!(stats.logical_bytes as usize, logical);
+        prop_assert_eq!(stats.manifests as usize, reference.len());
+        // Every surviving value roundtrips bytewise through both read
+        // paths: contiguous get and the zero-copy segment plane.
+        for (k, v) in &reference {
+            prop_assert_eq!(store.get(&[*k]).unwrap().to_vec(), v.clone());
+            let segs = store.get_segments(&[*k]).unwrap();
+            let total: usize = segs.iter().map(Bytes::len).sum();
+            prop_assert_eq!(total, v.len());
+            let mut joined = Vec::with_capacity(total);
+            for s in &segs {
+                joined.extend_from_slice(s);
+            }
+            prop_assert_eq!(&joined, v);
+            if !v.is_empty() {
+                prop_assert!(segs.iter().all(|s| s.len() <= chunk_size));
+            }
+        }
+        // Dedup invariant: chunks are unique, so physical payload bytes
+        // never exceed logical bytes + per-value manifest overhead.
+        let manifest_overhead = reference.len() * (16 + logical.div_ceil(chunk_size.max(1)) * 16 + 32);
+        prop_assert!(
+            (stats.physical_bytes as usize) <= logical + manifest_overhead,
+            "physical {} exceeds logical {} + manifest bound {}",
+            stats.physical_bytes, logical, manifest_overhead
+        );
+    }
+
+    /// Reopening a chunked log store at an arbitrary point preserves every
+    /// value and rebuilds chunk refcounts so later deletes still reclaim.
+    #[test]
+    fn chunked_logstore_reopen_preserves_state(
+        puts in prop::collection::vec((any::<u8>(), prop::collection::vec(any::<u8>(), 0..64)), 1..24),
+        chunk_size in 1usize..48,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "evostore-chunk-reopen-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let split = ((puts.len() as f64) * split_frac) as usize;
+        let mut reference: HashMap<u8, Vec<u8>> = HashMap::new();
+        {
+            let s = ChunkedStore::open(LogStore::open(&dir).unwrap(), chunk_size).unwrap();
+            for (k, v) in &puts[..split] {
+                s.put(&[*k], Bytes::from(v.clone())).unwrap();
+                reference.insert(*k, v.clone());
+            }
+        } // dropped: close
+        let s = ChunkedStore::open(LogStore::open(&dir).unwrap(), chunk_size).unwrap();
+        for (k, v) in &puts[split..] {
+            s.put(&[*k], Bytes::from(v.clone())).unwrap();
+            reference.insert(*k, v.clone());
+        }
+        prop_assert_eq!(s.len(), reference.len());
+        for (k, v) in &reference {
+            prop_assert_eq!(s.get(&[*k]).unwrap().to_vec(), v.clone());
+        }
+        // Refcounts were rebuilt on reopen: deleting everything leaves no
+        // chunks or manifests behind.
+        for k in reference.keys() {
+            prop_assert!(s.delete(&[*k]).unwrap());
+        }
+        let stats = s.stats();
+        prop_assert_eq!(stats.chunks, 0);
+        prop_assert_eq!(stats.manifests, 0);
+        prop_assert!(s.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

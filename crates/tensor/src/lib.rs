@@ -16,12 +16,16 @@
 //!   (`128` bits per leaf layer, as in the paper);
 //! * wire (de)serialization with integrity checks ([`ser`]).
 
+pub mod delta;
 pub mod dtype;
 pub mod hash;
 pub mod id;
 pub mod ser;
 pub mod tensor;
 
+pub use delta::{
+    decode_delta, delta_header, encode_delta, is_delta, DeltaError, DeltaHeader, DELTA_MAGIC,
+};
 pub use dtype::DType;
 pub use hash::{fnv1a128, ContentHash, Fnv128};
 pub use id::{ModelId, TensorKey, VertexId};

@@ -111,6 +111,32 @@ impl TensorData {
     pub fn perturbed<R: Rng + ?Sized>(&self, rng: &mut R) -> TensorData {
         TensorData::random(rng, self.dtype, self.shape.clone())
     }
+
+    /// Simulate one *fine-tuning* update: returns a new tensor of
+    /// identical dtype/shape in which roughly `fraction` of the elements
+    /// had their least-significant byte flipped and the rest are
+    /// byte-identical to `self`. This is the byte-level signature of a
+    /// small gradient step (low mantissa bits churn, sign/exponent bytes
+    /// hold still), which is what the delta codec ([`crate::delta`])
+    /// exploits.
+    pub fn perturbed_sparse<R: Rng + ?Sized>(&self, rng: &mut R, fraction: f64) -> TensorData {
+        let elem = self.dtype.size_of();
+        let n = self.data.len().checked_div(elem).unwrap_or(0);
+        if n == 0 {
+            return self.clone();
+        }
+        let mut buf = self.data.to_vec();
+        let changes = ((n as f64) * fraction.clamp(0.0, 1.0)).ceil().max(1.0) as usize;
+        for _ in 0..changes {
+            let e = rng.random_range(0..n);
+            buf[e * elem] ^= rng.random_range(1..=255u8);
+        }
+        TensorData {
+            dtype: self.dtype,
+            shape: self.shape.clone(),
+            data: Bytes::from(buf),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +185,28 @@ mod tests {
         let c = TensorData::zeros(DType::F32, vec![2, 4]);
         assert_ne!(a.content_hash(), b.content_hash());
         assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn perturbed_sparse_changes_few_bytes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let t = TensorData::random(&mut rng, DType::F32, vec![64, 64]);
+        let p = t.perturbed_sparse(&mut rng, 0.05);
+        assert_eq!(t.shape(), p.shape());
+        assert_eq!(t.dtype(), p.dtype());
+        assert_ne!(t.content_hash(), p.content_hash());
+        let changed = t
+            .bytes()
+            .iter()
+            .zip(p.bytes().iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 0);
+        // At most ~5% of elements touched, one byte each.
+        assert!(changed <= t.num_elements() / 10, "changed {changed} bytes");
+        // Scalars and empties survive.
+        let s = TensorData::zeros(DType::F32, vec![0]);
+        assert_eq!(s.perturbed_sparse(&mut rng, 0.5), s);
     }
 
     #[test]

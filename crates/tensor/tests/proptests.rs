@@ -1,7 +1,10 @@
 //! Property-based tests for the tensor substrate.
 
 use bytes::Bytes;
-use evostore_tensor::{read_tensor, write_tensor, DType, SerError, TensorData, TensorKey};
+use evostore_tensor::{
+    decode_delta, delta_header, encode_delta, is_delta, read_tensor, write_tensor, DType, SerError,
+    TensorData, TensorKey,
+};
 use evostore_tensor::{ModelId, VertexId};
 use proptest::prelude::*;
 
@@ -89,6 +92,71 @@ proptest! {
     #[test]
     fn placement_in_range(id in any::<u64>(), n in 1usize..1024) {
         prop_assert!(ModelId(id).provider_for(n) < n);
+    }
+
+    /// Delta encode → decode is byte-identical for arbitrary
+    /// tensor/ancestor pairs, across the whole derivation spectrum:
+    /// identical payloads, sparse perturbations of the ancestor, and
+    /// completely unrelated random tensors. Whenever the codec accepts a
+    /// pair, decoding against the same base must reproduce the derived
+    /// record exactly.
+    #[test]
+    fn delta_roundtrip_arbitrary_pairs(
+        dt in arb_dtype(),
+        shape in prop::collection::vec(1usize..12, 1..4),
+        base_seed in any::<u64>(),
+        kind in 0u8..3,
+        fraction in 0.0f64..1.0,
+        depth in 0u8..8,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(base_seed);
+        let base = TensorData::random(&mut rng, dt, shape.clone());
+        let derived = match kind {
+            0 => base.clone(),                                // untouched layer
+            1 => base.perturbed_sparse(&mut rng, fraction),   // fine-tuned layer
+            _ => TensorData::random(&mut rng, dt, shape),     // retrained layer
+        };
+        let raw = write_tensor(&derived);
+        let base_raw = write_tensor(&base);
+        let key = TensorKey::new(ModelId(7), VertexId(3), 0).encode();
+        if let Some(delta) = encode_delta(&raw, &base_raw, key, depth) {
+            prop_assert!(is_delta(&delta));
+            prop_assert!(delta.len() < raw.len(), "kept delta must save space");
+            let header = delta_header(&delta).unwrap();
+            prop_assert_eq!(header.base_key, key);
+            prop_assert_eq!(header.depth, depth);
+            prop_assert_eq!(header.raw_len, raw.len());
+            let back = decode_delta(&delta, &base_raw).unwrap();
+            prop_assert_eq!(back.as_ref(), raw.as_ref());
+            // The reconstructed record still decodes to the derived tensor.
+            prop_assert_eq!(read_tensor(back).unwrap(), derived);
+        }
+    }
+
+    /// A raw tensor record is never mistaken for a delta record, so the
+    /// read path's `is_delta` dispatch cannot misfire on whole payloads.
+    #[test]
+    fn raw_records_never_look_like_deltas(t in arb_tensor()) {
+        prop_assert!(!is_delta(&write_tensor(&t)));
+    }
+
+    /// Decoding against the wrong-sized base fails loudly instead of
+    /// producing bytes.
+    #[test]
+    fn delta_wrong_base_rejected(seed in any::<u64>(), grow in 1usize..64) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let base = TensorData::random(&mut rng, DType::F32, vec![16]);
+        let derived = base.perturbed_sparse(&mut rng, 0.1);
+        let raw = write_tensor(&derived);
+        let base_raw = write_tensor(&base);
+        let key = TensorKey::new(ModelId(1), VertexId(0), 0).encode();
+        if let Some(delta) = encode_delta(&raw, &base_raw, key, 1) {
+            let mut wrong = base_raw.to_vec();
+            wrong.extend(vec![0u8; grow]);
+            prop_assert!(decode_delta(&delta, &wrong).is_err());
+        }
     }
 
     /// A record decodes with a LengthMismatch if we lie about the dtype in a

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-2 dedup/delta smoke. One real-execution pass of the dedup_ab
+# bench: a derived-model churn workload (independent uploads of one
+# checkpoint + per-user fine-tune chains) stored once with whole-tensor
+# records and once on the content-addressed chunked + delta substrate,
+# recording both points (plus per-plane registry snapshots) to
+# results/BENCH_dedup.json. Fails unless the substrate stores the churn
+# in at least 3x fewer physical bytes AND reconstructs derived models
+# within 2x of the raw-record read latency.
+#
+# Sized to finish in well under a minute. Invoked from tools/check.sh
+# when RUN_BENCH_DEDUP=1, or standalone:
+#   tools/bench-dedup.sh [extra dedup_ab args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+USERS="${DEDUP_SMOKE_USERS:-4}"
+GENS="${DEDUP_SMOKE_GENS:-4}"
+ITERS="${DEDUP_SMOKE_ITERS:-5}"
+OUT="${DEDUP_SMOKE_OUT:-results/BENCH_dedup.json}"
+
+echo "== dedup smoke: whole records vs chunked+delta substrate A/B"
+cargo run --release -q -p evostore-bench --bin dedup_ab -- \
+    --users "${USERS}" \
+    --gens "${GENS}" \
+    --iters "${ITERS}" \
+    --json "${OUT}" \
+    "$@"
+
+RATIO=$(sed -n 's/.*"storage_ratio": \([0-9.]*\).*/\1/p' "${OUT}")
+P50X=$(sed -n 's/.*"reconstruct_p50_ratio": \([0-9.]*\).*/\1/p' "${OUT}")
+echo "== dedup smoke: storage ratio ${RATIO}x (gate: >= 3), reconstruct p50 ${P50X}x raw (gate: <= 2)"
+awk -v r="${RATIO}" 'BEGIN { exit !(r >= 3.0) }' || {
+    echo "== dedup smoke: FAIL — substrate saves under 3x" >&2
+    exit 1
+}
+awk -v x="${P50X}" 'BEGIN { exit !(x <= 2.0) }' || {
+    echo "== dedup smoke: FAIL — delta reconstruction over 2x raw reads" >&2
+    exit 1
+}
+
+echo "== dedup smoke: wrote ${OUT}"

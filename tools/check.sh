@@ -42,4 +42,12 @@ if [[ "${RUN_BENCH_DATAPATH:-0}" == "1" ]]; then
     tools/bench-datapath.sh
 fi
 
+# Optional tier-2: dedup/delta A/B — whole-tensor records vs the
+# content-addressed chunked + delta substrate on derived-model churn,
+# recorded to results/BENCH_dedup.json and gated on >= 3x physical
+# storage savings with delta reconstruction <= 2x raw read latency.
+if [[ "${RUN_BENCH_DEDUP:-0}" == "1" ]]; then
+    tools/bench-dedup.sh
+fi
+
 echo "== OK"
