@@ -107,6 +107,10 @@ impl From<RpcError> for EvoError {
 /// Client result alias.
 pub type Result<T> = std::result::Result<T, EvoError>;
 
+/// One ranked pattern-match answer list: `(model, quality)` pairs,
+/// best first (see [`EvoStoreClient::find_matching`]).
+pub type RankedMatches = Vec<(ModelId, f64)>;
+
 /// Flight-recorder ring capacity per client (overridable via
 /// [`EvoStoreClientBuilder::flight_capacity`]).
 pub const CLIENT_FLIGHT_EVENTS: usize = 1024;
@@ -895,19 +899,13 @@ impl EvoStoreClient {
         for reply in &replies {
             self.telemetry.note_index_stats(reply.stats);
         }
-        let best = replies
-            .into_iter()
-            .fold(None::<LcpCandidate>, |acc, reply| match (acc, reply.best) {
-                (None, b) => b,
-                (Some(a), None) => Some(a),
-                (Some(a), Some(b)) => {
-                    let better = b.lcp.len() > a.lcp.len()
-                        || (b.lcp.len() == a.lcp.len()
-                            && (b.quality > a.quality
-                                || (b.quality == a.quality && b.model < a.model)));
-                    Some(if better { b } else { a })
-                }
-            });
+        let best = replies.into_iter().filter_map(|reply| reply.best).fold(
+            None::<LcpCandidate>,
+            |acc, b| match acc {
+                None => Some(b),
+                Some(a) => Some(better_candidate(a, b)),
+            },
+        );
         Ok(Degraded {
             value: best.map(|c| BestAncestor {
                 model: c.model,
@@ -916,6 +914,66 @@ impl EvoStoreClient {
             }),
             unreachable,
         })
+    }
+
+    /// Batched [`EvoStoreClient::query_best_ancestor`]: pack every graph
+    /// into one `LCP_BATCH` envelope per provider — each provider answers
+    /// the whole batch against a single pinned catalog snapshot — and
+    /// reduce per query across the provider replies. Returns one answer
+    /// per input graph, index-aligned, with the same candidate ordering
+    /// (longest prefix; quality, then lower model id, break ties) and the
+    /// same degraded-mode quorum semantics as the single-query path.
+    ///
+    /// Dispatch, tracing, and snapshot acquisition are paid once per
+    /// envelope instead of once per query — the raw-throughput path for
+    /// NAS-style bursts of candidate evaluations.
+    pub fn query_best_ancestors(
+        &self,
+        graphs: &[CompactGraph],
+    ) -> Result<Degraded<Vec<Option<BestAncestor>>>> {
+        if graphs.is_empty() {
+            return Ok(Degraded {
+                value: Vec::new(),
+                unreachable: Vec::new(),
+            });
+        }
+        let _timer = OpTimer::new(&self.telemetry.query);
+        let req = LcpBatchRequest {
+            graphs: graphs.to_vec(),
+        };
+        let (replies, unreachable) = self.with_root("query_best_ancestors", || {
+            self.quorum_broadcast::<_, LcpBatchReply>(methods::LCP_BATCH, &req)
+        })?;
+        self.telemetry.note_batch(graphs.len() as u64);
+        for leg in &replies {
+            if leg.replies.len() != graphs.len() {
+                return Err(EvoError::Protocol(format!(
+                    "batched LCP reply carries {} answers for {} queries",
+                    leg.replies.len(),
+                    graphs.len()
+                )));
+            }
+            for r in &leg.replies {
+                self.telemetry.note_index_stats(r.stats);
+            }
+        }
+        let value = (0..graphs.len())
+            .map(|i| {
+                replies
+                    .iter()
+                    .filter_map(|leg| leg.replies[i].best.clone())
+                    .fold(None::<LcpCandidate>, |acc, b| match acc {
+                        None => Some(b),
+                        Some(a) => Some(better_candidate(a, b)),
+                    })
+                    .map(|c| BestAncestor {
+                        model: c.model,
+                        quality: c.quality,
+                        lcp: c.lcp,
+                    })
+            })
+            .collect();
+        Ok(Degraded { value, unreachable })
     }
 
     /// Fetch model metadata, failing over along the replica chain.
@@ -1122,7 +1180,7 @@ impl EvoStoreClient {
     pub fn find_matching(
         &self,
         pattern: &evostore_graph::ArchPattern,
-    ) -> Result<Degraded<Vec<(ModelId, f64)>>> {
+    ) -> Result<Degraded<RankedMatches>> {
         let req = PatternQueryRequest {
             pattern: pattern.clone(),
         };
@@ -1134,23 +1192,54 @@ impl EvoStoreClient {
         }
         // Replicas answer for the same catalogs — dedup by model before
         // ranking (keeping the best-reported quality).
-        let mut best: HashMap<ModelId, f64> = HashMap::new();
-        for (model, quality) in replies.into_iter().flat_map(|r| r.matches) {
-            let entry = best.entry(model).or_insert(quality);
-            if quality > *entry {
-                *entry = quality;
+        let value = rank_matches(replies.into_iter().flat_map(|r| r.matches));
+        Ok(Degraded { value, unreachable })
+    }
+
+    /// Batched [`EvoStoreClient::find_matching`]: every pattern in one
+    /// `MATCH_PATTERN_BATCH` envelope per provider, answered against a
+    /// single pinned snapshot. Returns one ranked match list per input
+    /// pattern, index-aligned, with the same dedup/ranking semantics as
+    /// the single-pattern path.
+    pub fn find_matching_batch(
+        &self,
+        patterns: &[evostore_graph::ArchPattern],
+    ) -> Result<Degraded<Vec<RankedMatches>>> {
+        if patterns.is_empty() {
+            return Ok(Degraded {
+                value: Vec::new(),
+                unreachable: Vec::new(),
+            });
+        }
+        let req = PatternBatchRequest {
+            patterns: patterns.to_vec(),
+        };
+        let (replies, unreachable) = self.with_root("find_matching_batch", || {
+            self.quorum_broadcast::<_, PatternBatchReply>(methods::MATCH_PATTERN_BATCH, &req)
+        })?;
+        self.telemetry.note_batch(patterns.len() as u64);
+        for leg in &replies {
+            if leg.replies.len() != patterns.len() {
+                return Err(EvoError::Protocol(format!(
+                    "batched pattern reply carries {} answers for {} queries",
+                    leg.replies.len(),
+                    patterns.len()
+                )));
+            }
+            for r in &leg.replies {
+                self.telemetry.note_index_stats(r.stats);
             }
         }
-        let mut acc: Vec<(ModelId, f64)> = best.into_iter().collect();
-        acc.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        Ok(Degraded {
-            value: acc,
-            unreachable,
-        })
+        let value = (0..patterns.len())
+            .map(|i| {
+                rank_matches(
+                    replies
+                        .iter()
+                        .flat_map(|leg| leg.replies[i].matches.iter().copied()),
+                )
+            })
+            .collect();
+        Ok(Degraded { value, unreachable })
     }
 
     /// Attach optimizer state to an already-stored model (supports
@@ -1543,6 +1632,40 @@ impl Drop for EvoStoreClient {
             let _ = self.flush_pending_decrements();
         }
     }
+}
+
+/// The better of two provider-reported LCP candidates: longest prefix;
+/// higher quality, then lower model id, break ties — the one global
+/// ordering shared by the single-query and batched reduce steps.
+fn better_candidate(a: LcpCandidate, b: LcpCandidate) -> LcpCandidate {
+    let better = b.lcp.len() > a.lcp.len()
+        || (b.lcp.len() == a.lcp.len()
+            && (b.quality > a.quality || (b.quality == a.quality && b.model < a.model)));
+    if better {
+        b
+    } else {
+        a
+    }
+}
+
+/// Dedup pattern matches by model (replicas answer for the same
+/// catalogs, keeping the best-reported quality) and rank by descending
+/// quality, ascending model id.
+fn rank_matches(matches: impl IntoIterator<Item = (ModelId, f64)>) -> Vec<(ModelId, f64)> {
+    let mut best: HashMap<ModelId, f64> = HashMap::new();
+    for (model, quality) in matches {
+        let entry = best.entry(model).or_insert(quality);
+        if quality > *entry {
+            *entry = quality;
+        }
+    }
+    let mut acc: Vec<(ModelId, f64)> = best.into_iter().collect();
+    acc.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    acc
 }
 
 /// Materialize random parameters for every vertex of `graph`, keyed as a

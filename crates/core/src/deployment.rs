@@ -356,6 +356,16 @@ impl Deployment {
         }
     }
 
+    /// Switch every provider's indexed query path between prefiltered
+    /// bucket walks (bitset/bloom rejection, the default) and plain
+    /// walks — the A/B lever behind the catalog bench's
+    /// `--no-prefilter` mode. Results are identical either way.
+    pub fn set_prefilter_enabled(&self, enabled: bool) {
+        for p in &self.providers {
+            p.state.set_prefilter_enabled(enabled);
+        }
+    }
+
     /// Switch every provider between the zero-copy scatter-gather data
     /// plane (the default) and forced contiguous consolidation — the
     /// A/B lever behind the datapath bench's `--force-copy` mode.

@@ -40,7 +40,7 @@ pub use deployment::{BackendKind, Deployment, DeploymentConfig, FABRIC_FLIGHT_EV
 pub use messages::ProviderStats;
 pub use owner_map::{OwnerMap, VertexOwner};
 pub use policy::{ChunkingPolicy, DataPlanePolicy, DeltaPolicy, StorePolicy};
-pub use provider::{ModelRecord, Provider, ProviderState};
+pub use provider::{CatalogSnapshot, ModelRecord, Provider, ProviderState};
 pub use replication::ReplicationPolicy;
 pub use repository::{
     trained_tensors, FetchOutcome, ModelRepository, RetireOutcomeStats, StoreOutcomeStats,

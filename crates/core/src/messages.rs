@@ -221,6 +221,37 @@ pub struct LcpCandidate {
     pub lcp: LcpResult,
 }
 
+/// Batched LCP queries: N candidate graphs in one envelope. The provider
+/// answers every query against *one* pinned catalog snapshot, amortizing
+/// dispatch, tracing, and snapshot acquisition across the batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LcpBatchRequest {
+    /// The candidate architectures, answered in order.
+    pub graphs: Vec<CompactGraph>,
+}
+
+/// Per-query replies, index-aligned with [`LcpBatchRequest::graphs`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LcpBatchReply {
+    /// `replies[i]` answers `graphs[i]`.
+    pub replies: Vec<LcpQueryReply>,
+}
+
+/// Batched pattern queries: N patterns in one envelope, answered against
+/// one pinned catalog snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatternBatchRequest {
+    /// The patterns, answered in order.
+    pub patterns: Vec<evostore_graph::ArchPattern>,
+}
+
+/// Per-query replies, index-aligned with [`PatternBatchRequest::patterns`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PatternBatchReply {
+    /// `replies[i]` answers `patterns[i]`.
+    pub replies: Vec<PatternQueryReply>,
+}
+
 /// Remove a model's metadata; the reply carries the owner map so the
 /// client can decrement tensor references across providers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -478,6 +509,22 @@ pub struct ProviderStats {
     /// Bytes actually occupied by deduplicated chunk payloads.
     #[serde(default)]
     pub chunk_physical_bytes: u64,
+    /// Catalog snapshots published (one per store/retire/sync mutation).
+    #[serde(default)]
+    pub snapshot_publications: u64,
+    /// Lock-free snapshot pins taken by read handlers.
+    #[serde(default)]
+    pub snapshot_reads: u64,
+    /// Snapshots swapped out but not yet reclaimed (still pinned by a
+    /// reader at the last publication) — a gauge, near-zero at rest.
+    #[serde(default)]
+    pub snapshot_retired: u64,
+    /// Batched query envelopes served (`LCP_BATCH` + `MATCH_PATTERN_BATCH`).
+    #[serde(default)]
+    pub batch_envelopes: u64,
+    /// Individual queries delivered inside batched envelopes.
+    #[serde(default)]
+    pub batch_queries: u64,
 }
 
 impl ProviderStats {
@@ -511,6 +558,11 @@ impl ProviderStats {
             chunk_dedup_hits: self.chunk_dedup_hits + other.chunk_dedup_hits,
             chunk_logical_bytes: self.chunk_logical_bytes + other.chunk_logical_bytes,
             chunk_physical_bytes: self.chunk_physical_bytes + other.chunk_physical_bytes,
+            snapshot_publications: self.snapshot_publications + other.snapshot_publications,
+            snapshot_reads: self.snapshot_reads + other.snapshot_reads,
+            snapshot_retired: self.snapshot_retired + other.snapshot_retired,
+            batch_envelopes: self.batch_envelopes + other.batch_envelopes,
+            batch_queries: self.batch_queries + other.batch_queries,
         }
     }
 }
@@ -536,6 +588,10 @@ pub mod methods {
     pub const DECR_REFS: &str = "evostore.decr_refs";
     /// Provider-side LCP scan.
     pub const LCP: &str = "evostore.lcp";
+    /// Batched LCP scan: N graphs, one envelope, one pinned snapshot.
+    pub const LCP_BATCH: &str = "evostore.lcp_batch";
+    /// Batched pattern scan.
+    pub const MATCH_PATTERN_BATCH: &str = "evostore.match_pattern_batch";
     /// Partial (element-range) tensor read.
     pub const READ_RANGE: &str = "evostore.read_range";
     /// Retire model metadata.
@@ -578,6 +634,8 @@ mod tests {
                 memo_hits: 3,
                 deduped: 4,
                 pruned: 1,
+                prefiltered: 1,
+                answered: 2,
             },
             tensor_kv: MetricsSnapshot {
                 puts: 2,
@@ -596,6 +654,11 @@ mod tests {
             chunk_dedup_hits: 7,
             chunk_logical_bytes: 2048,
             chunk_physical_bytes: 1024,
+            snapshot_publications: 4,
+            snapshot_reads: 20,
+            snapshot_retired: 1,
+            batch_envelopes: 2,
+            batch_queries: 9,
         };
         let b = ProviderStats {
             models: 3,
@@ -621,6 +684,11 @@ mod tests {
             chunk_dedup_hits: 3,
             chunk_logical_bytes: 512,
             chunk_physical_bytes: 256,
+            snapshot_publications: 1,
+            snapshot_reads: 5,
+            snapshot_retired: 0,
+            batch_envelopes: 1,
+            batch_queries: 3,
         };
         let m = a.merge(b);
         assert_eq!(m.models, 4);
@@ -644,6 +712,13 @@ mod tests {
         assert_eq!(m.chunk_dedup_hits, 10);
         assert_eq!(m.chunk_logical_bytes, 2560);
         assert_eq!(m.chunk_physical_bytes, 1280);
+        assert_eq!(m.query_stats.prefiltered, 1);
+        assert_eq!(m.query_stats.answered, 2);
+        assert_eq!(m.snapshot_publications, 5);
+        assert_eq!(m.snapshot_reads, 25);
+        assert_eq!(m.snapshot_retired, 1);
+        assert_eq!(m.batch_envelopes, 3);
+        assert_eq!(m.batch_queries, 12);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
-use evostore_graph::{lcp, ArchIndex, CompactGraph, IndexQueryStats};
+use evostore_graph::{lcp, ArchIndex, ArchPattern, CompactGraph, IndexQueryStats, SnapshotCell};
 use evostore_kv::{KvBackend, RefCountedStore, TensorStore};
 use evostore_obs::{
     current_trace, FlightRecorder, Metric, MonotonicClock, ObsHub, RegistrySnapshot, Span,
@@ -126,9 +126,17 @@ impl ModelRecord {
 /// The provider's model catalog: the record map plus the incrementally
 /// maintained [`ArchIndex`] over it, always mutated together under one
 /// lock so index membership exactly mirrors the records.
+///
+/// This is the *writer-side* authoritative state. Read handlers never
+/// touch it: every mutation ends by publishing an immutable
+/// [`CatalogSnapshot`] ([`ProviderState::mutate_catalog`]), and the read
+/// path pins that snapshot with zero locks.
 struct Catalog {
-    records: HashMap<ModelId, ModelRecord>,
+    records: HashMap<ModelId, Arc<ModelRecord>>,
     index: ArchIndex,
+    /// Publication counter: bumped once per mutation, stamped on the
+    /// snapshot it produces (strictly monotone across publications).
+    version: u64,
 }
 
 impl Catalog {
@@ -136,19 +144,196 @@ impl Catalog {
         Catalog {
             records: HashMap::new(),
             index: ArchIndex::new(),
+            version: 0,
         }
     }
 
     fn insert(&mut self, model: ModelId, rec: ModelRecord) {
         self.index
             .insert(model, Arc::clone(&rec.graph), rec.quality);
-        self.records.insert(model, rec);
+        self.records.insert(model, Arc::new(rec));
     }
 
-    fn remove(&mut self, model: ModelId) -> Option<ModelRecord> {
+    fn remove(&mut self, model: ModelId) -> Option<Arc<ModelRecord>> {
         let rec = self.records.remove(&model)?;
         self.index.remove(model);
         Some(rec)
+    }
+
+    /// Freeze the current state into an immutable snapshot. Cheap:
+    /// records are shared `Arc`s and [`ArchIndex::clone`] is
+    /// copy-on-write (per-bucket pointer bumps, shared memo).
+    fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        Arc::new(CatalogSnapshot {
+            records: self.records.clone(),
+            index: self.index.clone(),
+            version: self.version,
+        })
+    }
+}
+
+/// An immutable view of one provider's catalog, published atomically
+/// after every mutation and pinned lock-free by every read handler. A
+/// reader always observes records and index from the *same* publication
+/// — never a half-applied store or retire.
+pub struct CatalogSnapshot {
+    records: HashMap<ModelId, Arc<ModelRecord>>,
+    index: ArchIndex,
+    version: u64,
+}
+
+impl CatalogSnapshot {
+    fn empty() -> CatalogSnapshot {
+        CatalogSnapshot {
+            records: HashMap::new(),
+            index: ArchIndex::new(),
+            version: 0,
+        }
+    }
+
+    /// Publication counter of the mutation that produced this snapshot.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Cataloged models in this snapshot.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the snapshot holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// One model's record.
+    pub fn get(&self, model: ModelId) -> Option<&Arc<ModelRecord>> {
+        self.records.get(&model)
+    }
+
+    /// Every `(model, record)` in the snapshot.
+    pub fn records(&self) -> impl Iterator<Item = (ModelId, &Arc<ModelRecord>)> {
+        self.records.iter().map(|(&m, r)| (m, r))
+    }
+
+    /// The architecture index frozen with the records.
+    pub fn index(&self) -> &ArchIndex {
+        &self.index
+    }
+
+    /// Assert the snapshot is internally coherent: index membership
+    /// mirrors the record map exactly. A violation means a reader
+    /// observed a half-applied mutation — exactly what the atomic
+    /// publication protocol forbids.
+    pub fn verify_coherent(&self) -> Result<(), String> {
+        if self.records.len() != self.index.len() {
+            return Err(format!(
+                "snapshot v{}: {} records but {} indexed models",
+                self.version,
+                self.records.len(),
+                self.index.len()
+            ));
+        }
+        for &model in self.records.keys() {
+            if !self.index.contains(model) {
+                return Err(format!(
+                    "snapshot v{}: record {model} missing from the index",
+                    self.version
+                ));
+            }
+        }
+        let distinct: std::collections::HashSet<_> = self
+            .records
+            .values()
+            .map(|r| r.graph.arch_signature())
+            .collect();
+        if distinct.len() != self.index.distinct_architectures() {
+            return Err(format!(
+                "snapshot v{}: {} distinct archs in records, {} in index",
+                self.version,
+                distinct.len(),
+                self.index.distinct_architectures()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Lock-free cumulative index-query counters (one field per
+/// [`IndexQueryStats`] member): handlers bump plain atomics instead of
+/// taking a mutex just to add statistics.
+#[derive(Default)]
+struct AtomicQueryStats {
+    candidates: AtomicU64,
+    scanned: AtomicU64,
+    memo_hits: AtomicU64,
+    deduped: AtomicU64,
+    pruned: AtomicU64,
+    prefiltered: AtomicU64,
+    answered: AtomicU64,
+}
+
+impl AtomicQueryStats {
+    fn note(&self, s: IndexQueryStats) {
+        self.candidates.fetch_add(s.candidates, Ordering::Relaxed);
+        self.scanned.fetch_add(s.scanned, Ordering::Relaxed);
+        self.memo_hits.fetch_add(s.memo_hits, Ordering::Relaxed);
+        self.deduped.fetch_add(s.deduped, Ordering::Relaxed);
+        self.pruned.fetch_add(s.pruned, Ordering::Relaxed);
+        self.prefiltered.fetch_add(s.prefiltered, Ordering::Relaxed);
+        self.answered.fetch_add(s.answered, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> IndexQueryStats {
+        IndexQueryStats {
+            candidates: self.candidates.load(Ordering::Relaxed),
+            scanned: self.scanned.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            prefiltered: self.prefiltered.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shards of the encoded `GET_META` reply cache. Hot fetches of
+/// *different* models no longer serialize on one global mutex; the
+/// model id picks the shard.
+const META_REPLY_SHARDS: usize = 16;
+
+/// Sharded cache of encoded `GET_META` replies, each entry stamped with
+/// the record timestamp it was built from (a re-store or sync installs
+/// a newer stamp and invalidates implicitly).
+struct MetaReplyCache {
+    shards: [Mutex<HashMap<ModelId, (u64, Bytes)>>; META_REPLY_SHARDS],
+}
+
+impl MetaReplyCache {
+    fn new() -> MetaReplyCache {
+        MetaReplyCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, model: ModelId) -> &Mutex<HashMap<ModelId, (u64, Bytes)>> {
+        &self.shards[(model.0 as usize) % META_REPLY_SHARDS]
+    }
+
+    fn get(&self, model: ModelId, timestamp: u64) -> Option<Bytes> {
+        let shard = self.shard(model).lock();
+        match shard.get(&model) {
+            Some((ts, blob)) if *ts == timestamp => Some(blob.clone()),
+            _ => None,
+        }
+    }
+
+    fn insert(&self, model: ModelId, timestamp: u64, blob: Bytes) {
+        self.shard(model).lock().insert(model, (timestamp, blob));
+    }
+
+    fn remove(&self, model: ModelId) {
+        self.shard(model).lock().remove(&model);
     }
 }
 
@@ -164,6 +349,11 @@ pub struct ProviderState {
     pub replication: ReplicationPolicy,
     tensors: RefCountedStore<Box<dyn KvBackend>>,
     catalog: RwLock<Catalog>,
+    /// The published immutable catalog view. Writers rebuild and swap it
+    /// (one atomic pointer store) while still holding the catalog write
+    /// lock, so publication order equals mutation order; read handlers
+    /// pin it with zero locks.
+    snapshot: SnapshotCell<CatalogSnapshot>,
     /// Durable catalog records (separate namespace from tensors).
     meta_store: Box<dyn KvBackend>,
     /// Deployment-wide write-ordering clock.
@@ -178,8 +368,18 @@ pub struct ProviderState {
     /// default) or by the unindexed full-catalog scan (A/B measurement;
     /// the index stays maintained either way).
     index_enabled: AtomicBool,
-    /// Cumulative per-query index statistics (LCP and pattern scans).
-    query_stats: Mutex<IndexQueryStats>,
+    /// Serve indexed queries through the bitset/bloom prefilters (the
+    /// default) or with plain bucket walks (A/B measurement lever;
+    /// results are identical either way).
+    prefilter_enabled: AtomicBool,
+    /// Cumulative per-query index statistics (LCP and pattern scans),
+    /// bumped lock-free by every query handler.
+    query_stats: AtomicQueryStats,
+    /// Lock-free snapshot pins taken by read handlers.
+    snapshot_reads: AtomicU64,
+    /// Batched query envelopes served, and queries delivered in them.
+    batch_envelopes: AtomicU64,
+    batch_queries: AtomicU64,
     /// Span factory for this provider; its flight recorder is the
     /// provider's postmortem ring.
     tracer: Tracer,
@@ -203,8 +403,9 @@ pub struct ProviderState {
     /// Encoded `GET_META` replies keyed by model, each stamped with the
     /// record timestamp it was built from. A hit serves the cached JSON
     /// bytes without re-cloning the compact graph; a timestamp mismatch
-    /// (model re-stored or synced) rebuilds.
-    meta_replies: Mutex<HashMap<ModelId, (u64, Bytes)>>,
+    /// (model re-stored or synced) rebuilds. Sharded by model id so hot
+    /// fetches of different models never serialize.
+    meta_replies: MetaReplyCache,
     /// Parent-delta encoding policy for derived-model stores.
     delta: DeltaPolicy,
     /// Delta dependency index: base record key → keys of the delta
@@ -236,6 +437,27 @@ impl ProviderState {
     /// stays behind it.
     fn store(&self) -> &dyn TensorStore {
         &self.tensors
+    }
+
+    // ---- snapshot publication -------------------------------------------
+
+    /// Run a catalog mutation and publish the resulting snapshot. The
+    /// swap happens while the write lock is still held, so the
+    /// publication order of snapshots is exactly the mutation order —
+    /// two racing writers can never publish out of order.
+    fn mutate_catalog<T>(&self, f: impl FnOnce(&mut Catalog) -> T) -> T {
+        let mut catalog = self.catalog.write();
+        let out = f(&mut catalog);
+        catalog.version += 1;
+        self.snapshot.store(catalog.snapshot());
+        out
+    }
+
+    /// Pin the current published catalog snapshot (lock-free; what every
+    /// read handler serves from).
+    pub fn catalog_snapshot(&self) -> Arc<CatalogSnapshot> {
+        self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        self.snapshot.load()
     }
 
     // ---- parent-delta encoding ------------------------------------------
@@ -469,7 +691,7 @@ impl ProviderState {
     /// ([`crate::deployment::Deployment::reopen`]); counts are correct
     /// only after that pass completes.
     pub fn recover_catalog(&self) -> usize {
-        let mut restored = 0;
+        let mut recovered = Vec::new();
         for key in self.meta_store.keys() {
             let Ok(blob) = self.meta_store.get(&key) else {
                 continue;
@@ -479,11 +701,16 @@ impl ProviderState {
             };
             let model = p.owner_map.model;
             self.clock.fetch_max(p.timestamp + 1, Ordering::Relaxed);
-            self.catalog
-                .write()
-                .insert(model, ModelRecord::from_persisted(p));
-            restored += 1;
+            recovered.push((model, ModelRecord::from_persisted(p)));
         }
+        let restored = recovered.len();
+        // One batched mutation: the whole recovered catalog becomes one
+        // snapshot publication instead of one per record.
+        self.mutate_catalog(|catalog| {
+            for (model, rec) in recovered {
+                catalog.insert(model, rec);
+            }
+        });
         // Adopt hosted tensors with zero counts; the deployment replay
         // brings them up to their true values.
         let mut hosted = Vec::new();
@@ -710,19 +937,19 @@ impl ProviderState {
             optimizer_keys: Vec::new(),
         };
         self.persist_record(req.model, &record);
-        self.catalog.write().insert(req.model, record);
+        self.mutate_catalog(|c| c.insert(req.model, record));
         Ok(StoreModelReply {
             timestamp,
             bytes_stored,
         })
     }
 
-    /// Handle a metadata fetch.
+    /// Handle a metadata fetch — lock-free: served from the published
+    /// catalog snapshot.
     pub fn handle_get_meta(&self, req: GetMetaRequest) -> Result<ModelMetaReply, String> {
-        let catalog = self.catalog.read();
-        let rec = catalog
-            .records
-            .get(&req.model)
+        let snap = self.catalog_snapshot();
+        let rec = snap
+            .get(req.model)
             .ok_or_else(|| format!("model {} not found", req.model))?;
         Ok(ModelMetaReply {
             graph: (*rec.graph).clone(),
@@ -739,24 +966,23 @@ impl ProviderState {
     /// is keyed by record timestamp, so a re-store or anti-entropy sync
     /// that installs a newer record invalidates it implicitly.
     fn get_meta_encoded(&self, req: GetMetaRequest) -> Result<Bytes, String> {
-        let timestamp = self
-            .catalog
-            .read()
-            .records
-            .get(&req.model)
-            .map(|r| r.timestamp)
+        let snap = self.catalog_snapshot();
+        let rec = snap
+            .get(req.model)
             .ok_or_else(|| format!("model {} not found", req.model))?;
-        if let Some((ts, blob)) = self.meta_replies.lock().get(&req.model) {
-            if *ts == timestamp {
-                return Ok(blob.clone());
-            }
+        if let Some(blob) = self.meta_replies.get(req.model, rec.timestamp) {
+            return Ok(blob);
         }
-        let model = req.model;
-        let reply = self.handle_get_meta(req)?;
+        let reply = ModelMetaReply {
+            graph: (*rec.graph).clone(),
+            owner_map: rec.owner_map.clone(),
+            parent: rec.parent,
+            quality: rec.quality,
+            timestamp: rec.timestamp,
+        };
         let blob = Bytes::from(serde_json::to_vec(&reply).map_err(|e| format!("encode: {e}"))?);
         self.meta_replies
-            .lock()
-            .insert(model, (reply.timestamp, blob.clone()));
+            .insert(req.model, reply.timestamp, blob.clone());
         Ok(blob)
     }
 
@@ -947,14 +1173,19 @@ impl ProviderState {
     /// scans every stored model in parallel; both return identical
     /// candidates.
     pub fn handle_lcp(&self, req: LcpQueryRequest) -> Result<LcpQueryReply, String> {
-        let g = &req.graph;
+        let snap = self.catalog_snapshot();
+        let reply = self.lcp_reply_on(&snap, &req.graph);
+        self.query_stats.note(reply.stats);
+        Ok(reply)
+    }
+
+    /// Answer one LCP query against a pinned snapshot (shared by the
+    /// single-query and batched handlers; the caller accumulates stats).
+    fn lcp_reply_on(&self, snap: &CatalogSnapshot, g: &CompactGraph) -> LcpQueryReply {
         if self.index_enabled.load(Ordering::Relaxed) {
-            let (best, stats) = {
-                let catalog = self.catalog.read();
-                catalog.index.best_ancestor(g)
-            };
-            self.note_query_stats(stats);
-            return Ok(LcpQueryReply {
+            let use_prefilter = self.prefilter_enabled.load(Ordering::Relaxed);
+            let (best, stats) = snap.index.best_ancestor_with(g, use_prefilter);
+            return LcpQueryReply {
                 best: best.map(|c| LcpCandidate {
                     model: c.model,
                     quality: c.quality,
@@ -962,19 +1193,15 @@ impl ProviderState {
                 }),
                 scanned: stats.scanned as usize,
                 stats,
-            });
+            };
         }
 
-        let snapshot: Vec<(ModelId, Arc<CompactGraph>, f64)> = {
-            let catalog = self.catalog.read();
-            catalog
-                .records
-                .iter()
-                .map(|(&id, rec)| (id, Arc::clone(&rec.graph), rec.quality))
-                .collect()
-        };
-        let scanned = snapshot.len();
-        let best = snapshot
+        let candidates: Vec<(ModelId, Arc<CompactGraph>, f64)> = snap
+            .records()
+            .map(|(id, rec)| (id, Arc::clone(&rec.graph), rec.quality))
+            .collect();
+        let scanned = candidates.len();
+        let best = candidates
             .into_par_iter()
             .map(|(model, graph, quality)| {
                 let r = lcp(g, &graph);
@@ -997,24 +1224,42 @@ impl ProviderState {
             scanned: scanned as u64,
             ..IndexQueryStats::default()
         };
-        self.note_query_stats(stats);
-        Ok(LcpQueryReply {
+        LcpQueryReply {
             best,
             scanned,
             stats,
-        })
+        }
+    }
+
+    /// Handle a batched LCP scan: every query in the envelope is answered
+    /// against *one* pinned snapshot (coherent across the batch), fanned
+    /// across the rayon pool. Dispatch, tracing, and snapshot acquisition
+    /// are paid once per envelope instead of once per query.
+    pub fn handle_lcp_batch(&self, req: LcpBatchRequest) -> Result<LcpBatchReply, String> {
+        let snap = self.catalog_snapshot();
+        let replies: Vec<LcpQueryReply> = req
+            .graphs
+            .par_iter()
+            .map(|g| self.lcp_reply_on(&snap, g))
+            .collect();
+        let agg = replies
+            .iter()
+            .fold(IndexQueryStats::default(), |acc, r| acc.merge(r.stats));
+        self.query_stats.note(agg);
+        self.batch_envelopes.fetch_add(1, Ordering::Relaxed);
+        self.batch_queries
+            .fetch_add(req.graphs.len() as u64, Ordering::Relaxed);
+        Ok(LcpBatchReply { replies })
     }
 
     /// Handle metadata retirement. The caller receives the owner map and
     /// is responsible for the decrement fan-out.
     pub fn handle_retire_meta(&self, req: RetireMetaRequest) -> Result<RetireMetaReply, String> {
         let rec = self
-            .catalog
-            .write()
-            .remove(req.model)
+            .mutate_catalog(|c| c.remove(req.model))
             .ok_or_else(|| format!("model {} not found", req.model))?;
         self.unpersist_record(req.model);
-        self.meta_replies.lock().remove(&req.model);
+        self.meta_replies.remove(req.model);
         // Tombstone the retirement so anti-entropy can tell a replica
         // that missed this retirement from one that missed a newer
         // store of the same id.
@@ -1034,7 +1279,7 @@ impl ProviderState {
             let _ = self.store().decr_record(&enc);
         }
         Ok(RetireMetaReply {
-            owner_map: rec.owner_map,
+            owner_map: rec.owner_map.clone(),
             timestamp: rec.timestamp,
         })
     }
@@ -1086,31 +1331,33 @@ impl ProviderState {
         &self,
         req: PatternQueryRequest,
     ) -> Result<PatternQueryReply, String> {
+        let snap = self.catalog_snapshot();
+        let reply = self.pattern_reply_on(&snap, &req.pattern);
+        self.query_stats.note(reply.stats);
+        Ok(reply)
+    }
+
+    /// Answer one pattern query against a pinned snapshot (shared by the
+    /// single-query and batched handlers; the caller accumulates stats).
+    fn pattern_reply_on(&self, snap: &CatalogSnapshot, pattern: &ArchPattern) -> PatternQueryReply {
         if self.index_enabled.load(Ordering::Relaxed) {
-            let (matches, stats) = {
-                let catalog = self.catalog.read();
-                catalog.index.match_pattern(&req.pattern)
-            };
-            self.note_query_stats(stats);
-            return Ok(PatternQueryReply {
+            let use_prefilter = self.prefilter_enabled.load(Ordering::Relaxed);
+            let (matches, stats) = snap.index.match_pattern_with(pattern, use_prefilter);
+            return PatternQueryReply {
                 matches,
                 scanned: stats.scanned as usize,
                 stats,
-            });
+            };
         }
 
-        let snapshot: Vec<(ModelId, Arc<CompactGraph>, f64)> = {
-            let catalog = self.catalog.read();
-            catalog
-                .records
-                .iter()
-                .map(|(&id, rec)| (id, Arc::clone(&rec.graph), rec.quality))
-                .collect()
-        };
-        let scanned = snapshot.len();
-        let mut matches: Vec<(ModelId, f64)> = snapshot
+        let candidates: Vec<(ModelId, Arc<CompactGraph>, f64)> = snap
+            .records()
+            .map(|(id, rec)| (id, Arc::clone(&rec.graph), rec.quality))
+            .collect();
+        let scanned = candidates.len();
+        let mut matches: Vec<(ModelId, f64)> = candidates
             .into_par_iter()
-            .filter(|(_, g, _)| req.pattern.matches(g))
+            .filter(|(_, g, _)| pattern.matches(g))
             .map(|(id, _, q)| (id, q))
             .collect();
         matches.sort_by_key(|a| a.0);
@@ -1119,12 +1366,33 @@ impl ProviderState {
             scanned: scanned as u64,
             ..IndexQueryStats::default()
         };
-        self.note_query_stats(stats);
-        Ok(PatternQueryReply {
+        PatternQueryReply {
             matches,
             scanned,
             stats,
-        })
+        }
+    }
+
+    /// Handle a batched pattern scan against one pinned snapshot (see
+    /// [`ProviderState::handle_lcp_batch`]).
+    pub fn handle_match_pattern_batch(
+        &self,
+        req: PatternBatchRequest,
+    ) -> Result<PatternBatchReply, String> {
+        let snap = self.catalog_snapshot();
+        let replies: Vec<PatternQueryReply> = req
+            .patterns
+            .par_iter()
+            .map(|p| self.pattern_reply_on(&snap, p))
+            .collect();
+        let agg = replies
+            .iter()
+            .fold(IndexQueryStats::default(), |acc, r| acc.merge(r.stats));
+        self.query_stats.note(agg);
+        self.batch_envelopes.fetch_add(1, Ordering::Relaxed);
+        self.batch_queries
+            .fetch_add(req.patterns.len() as u64, Ordering::Relaxed);
+        Ok(PatternBatchReply { replies })
     }
 
     /// Handle attaching optimizer state to a stored model.
@@ -1137,14 +1405,6 @@ impl ProviderState {
             .bulk_get(evostore_rpc::BulkHandle(req.bulk))
             .map_err(|e| format!("bulk pull failed: {e}"))?;
 
-        let mut catalog = self.catalog.write();
-        let rec = catalog
-            .records
-            .get_mut(&req.model)
-            .ok_or_else(|| format!("model {} not found", req.model))?;
-        if !rec.optimizer_keys.is_empty() {
-            return Err(format!("model {} already has optimizer state", req.model));
-        }
         // Validate everything first (see handle_store): no partial state
         // on malformed requests.
         let mut validated = Vec::with_capacity(req.manifest.len());
@@ -1171,19 +1431,31 @@ impl ProviderState {
                 .map_err(|e| format!("optimizer tensor {}: {e}", entry.key))?;
             validated.push((entry.key, record));
         }
-        let mut bytes_stored = 0u64;
-        let mut keys = Vec::with_capacity(validated.len());
-        for (key, record) in validated {
-            bytes_stored += record.len() as u64;
-            self.store()
-                .put_record(&key.encode(), record, 1)
-                .map_err(|e| format!("store optimizer tensor {key}: {e}"))?;
-            keys.push(key);
-        }
-        rec.optimizer_keys = keys;
-        let rec_clone = rec.clone();
-        let timestamp = rec.timestamp;
-        drop(catalog);
+        // Attach under the write lock (check-then-act vs concurrent
+        // attaches stays atomic); the records are shared `Arc`s, so the
+        // mutation copies-on-write and the published snapshot picks up
+        // the new incarnation without disturbing pinned readers.
+        let (rec_clone, timestamp, bytes_stored) = self.mutate_catalog(|catalog| {
+            let rec = catalog
+                .records
+                .get_mut(&req.model)
+                .ok_or_else(|| format!("model {} not found", req.model))?;
+            if !rec.optimizer_keys.is_empty() {
+                return Err(format!("model {} already has optimizer state", req.model));
+            }
+            let mut bytes_stored = 0u64;
+            let mut keys = Vec::with_capacity(validated.len());
+            for (key, record) in validated {
+                bytes_stored += record.len() as u64;
+                self.store()
+                    .put_record(&key.encode(), record, 1)
+                    .map_err(|e| format!("store optimizer tensor {key}: {e}"))?;
+                keys.push(key);
+            }
+            let rec = Arc::make_mut(rec);
+            rec.optimizer_keys = keys;
+            Ok::<_, String>((rec.clone(), rec.timestamp, bytes_stored))
+        })?;
         self.persist_record(req.model, &rec_clone);
         Ok(StoreModelReply {
             timestamp,
@@ -1197,10 +1469,9 @@ impl ProviderState {
         req: LoadOptimizerRequest,
     ) -> Result<ReadTensorsReply, String> {
         let keys = {
-            let catalog = self.catalog.read();
-            let rec = catalog
-                .records
-                .get(&req.model)
+            let snap = self.catalog_snapshot();
+            let rec = snap
+                .get(req.model)
                 .ok_or_else(|| format!("model {} not found", req.model))?;
             rec.optimizer_keys.clone()
         };
@@ -1239,11 +1510,9 @@ impl ProviderState {
     /// find stale or under-replicated replicas.
     pub fn handle_digest(&self, _req: DigestRequest) -> Result<DigestReply, String> {
         let models = {
-            let catalog = self.catalog.read();
-            catalog
-                .records
-                .iter()
-                .map(|(&model, rec)| ModelDigest {
+            let snap = self.catalog_snapshot();
+            snap.records()
+                .map(|(model, rec)| ModelDigest {
                     model,
                     timestamp: rec.timestamp,
                     ref_keys: rec.owner_map.all_tensor_keys(),
@@ -1313,7 +1582,7 @@ impl ProviderState {
         }
         // Replace a stale record (an older incarnation under the same
         // id); its private optimizer copies go with it.
-        if let Some(old) = self.catalog.write().remove(req.model) {
+        if let Some(old) = self.mutate_catalog(|c| c.remove(req.model)) {
             for key in &old.optimizer_keys {
                 let enc = key.encode();
                 if self.store().record_refs(&enc) == 1 {
@@ -1352,7 +1621,7 @@ impl ProviderState {
             optimizer_keys,
         };
         self.persist_record(req.model, &record);
-        self.catalog.write().insert(req.model, record);
+        self.mutate_catalog(|c| c.insert(req.model, record));
         Ok(SyncModelReply {
             applied: true,
             tensors_stored,
@@ -1375,9 +1644,9 @@ impl ProviderState {
                 .map(|r| r.timestamp <= t.record_timestamp)
                 .unwrap_or(false);
             if covered {
-                if let Some(rec) = self.catalog.write().remove(t.model) {
+                if let Some(rec) = self.mutate_catalog(|c| c.remove(t.model)) {
                     self.unpersist_record(t.model);
-                    self.meta_replies.lock().remove(&t.model);
+                    self.meta_replies.remove(t.model);
                     for key in &rec.optimizer_keys {
                         let enc = key.encode();
                         if self.store().record_refs(&enc) == 1 {
@@ -1442,13 +1711,6 @@ impl ProviderState {
         })
     }
 
-    /// Accumulate one query's index statistics into the provider-lifetime
-    /// counters surfaced by [`ProviderState::stats`].
-    fn note_query_stats(&self, stats: IndexQueryStats) {
-        let mut acc = self.query_stats.lock();
-        *acc = acc.merge(stats);
-    }
-
     /// Switch ancestor/pattern queries between the indexed walk (default)
     /// and the unindexed full-catalog scan. The index keeps being
     /// maintained while disabled, so re-enabling is instant.
@@ -1459,6 +1721,18 @@ impl ProviderState {
     /// Whether queries are currently served through the index.
     pub fn index_enabled(&self) -> bool {
         self.index_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Switch the indexed query path between prefiltered bucket walks
+    /// (bitset/bloom rejection, the default) and plain walks. Results
+    /// are identical either way; this is the A/B measurement lever.
+    pub fn set_prefilter_enabled(&self, enabled: bool) {
+        self.prefilter_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the bitset/bloom prefilters are active.
+    pub fn prefilter_enabled(&self) -> bool {
+        self.prefilter_enabled.load(Ordering::Relaxed)
     }
 
     /// Switch the data plane between zero-copy scatter-gather (default)
@@ -1475,26 +1749,27 @@ impl ProviderState {
         self.force_copy.load(Ordering::Relaxed)
     }
 
-    /// Live entries in the index's LCP memo (diagnostics/tests).
+    /// Live entries in the index's LCP memo (diagnostics/tests). The
+    /// memo is shared copy-on-write across snapshots, so the published
+    /// snapshot's count is the authoritative one.
     pub fn index_memo_len(&self) -> usize {
-        self.catalog.read().index.memo_len()
+        self.snapshot.load().index.memo_len()
     }
 
     /// Current statistics.
     pub fn stats(&self) -> ProviderStats {
         let chunk = self.store().record_chunk_stats().unwrap_or_default();
-        let catalog = self.catalog.read();
+        let snap = self.catalog_snapshot();
         ProviderStats {
-            models: catalog.records.len(),
-            distinct_archs: catalog.index.distinct_architectures(),
+            models: snap.len(),
+            distinct_archs: snap.index.distinct_architectures(),
             tensors: self.store().record_count(),
             tensor_bytes: self.store().record_bytes() as u64,
-            metadata_bytes: catalog
-                .records
-                .values()
-                .map(|r| r.owner_map.metadata_bytes() as u64)
+            metadata_bytes: snap
+                .records()
+                .map(|(_, r)| r.owner_map.metadata_bytes() as u64)
                 .sum(),
-            query_stats: *self.query_stats.lock(),
+            query_stats: self.query_stats.load(),
             tensor_kv: self.store().record_metrics().unwrap_or_default(),
             meta_kv: self.meta_store.metrics_snapshot().unwrap_or_default(),
             bulk_segments_exposed: self.bulk_segments_exposed.load(Ordering::Relaxed),
@@ -1508,6 +1783,11 @@ impl ProviderState {
             chunk_dedup_hits: chunk.dedup_hits,
             chunk_logical_bytes: chunk.logical_bytes,
             chunk_physical_bytes: chunk.physical_bytes,
+            snapshot_publications: self.snapshot.swaps(),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            snapshot_retired: self.snapshot.retired_len() as u64,
+            batch_envelopes: self.batch_envelopes.load(Ordering::Relaxed),
+            batch_queries: self.batch_queries.load(Ordering::Relaxed),
         }
     }
 
@@ -1543,6 +1823,29 @@ impl ProviderState {
             Metric::counter("evostore_index_deduped", stats.query_stats.deduped)
                 .with_label("provider", p),
             Metric::counter("evostore_index_pruned", stats.query_stats.pruned)
+                .with_label("provider", p),
+            Metric::counter(
+                "evostore_index_prefilter_rejected",
+                stats.query_stats.prefiltered,
+            )
+            .with_label("provider", p),
+            Metric::counter("evostore_index_answered", stats.query_stats.answered)
+                .with_label("provider", p),
+            Metric::counter(
+                "evostore_index_snapshot_publications",
+                stats.snapshot_publications,
+            )
+            .with_label("provider", p),
+            Metric::counter("evostore_index_snapshot_reads", stats.snapshot_reads)
+                .with_label("provider", p),
+            Metric::gauge(
+                "evostore_index_snapshot_retired",
+                stats.snapshot_retired as f64,
+            )
+            .with_label("provider", p),
+            Metric::counter("evostore_index_batch_envelopes", stats.batch_envelopes)
+                .with_label("provider", p),
+            Metric::counter("evostore_index_batch_queries", stats.batch_queries)
                 .with_label("provider", p),
             Metric::counter(
                 "evostore_datapath_bulk_segments_exposed",
@@ -1620,7 +1923,7 @@ impl ProviderState {
 
     /// Models cataloged here (diagnostics/tests).
     pub fn cataloged_models(&self) -> Vec<ModelId> {
-        let mut v: Vec<ModelId> = self.catalog.read().records.keys().copied().collect();
+        let mut v: Vec<ModelId> = self.catalog_snapshot().records().map(|(m, _)| m).collect();
         v.sort();
         v
     }
@@ -1634,11 +1937,9 @@ impl ProviderState {
     /// optimizer_keys)` — the union-catalog input of replication-aware
     /// audits and recovery replays.
     pub fn catalog_entries(&self) -> Vec<(ModelId, u64, OwnerMap, Vec<TensorKey>)> {
-        self.catalog
-            .read()
-            .records
-            .iter()
-            .map(|(&m, r)| {
+        self.catalog_snapshot()
+            .records()
+            .map(|(m, r)| {
                 (
                     m,
                     r.timestamp,
@@ -1656,11 +1957,9 @@ impl ProviderState {
 
     /// Owner maps of all cataloged models (GC audits).
     pub fn owner_maps(&self) -> Vec<OwnerMap> {
-        self.catalog
-            .read()
-            .records
-            .values()
-            .map(|r| r.owner_map.clone())
+        self.catalog_snapshot()
+            .records()
+            .map(|(_, r)| r.owner_map.clone())
             .collect()
     }
 
@@ -1680,26 +1979,26 @@ impl ProviderState {
         );
         let owner_map = OwnerMap::fresh(model, &graph);
         let timestamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        self.catalog.write().insert(
-            model,
-            ModelRecord {
-                graph: Arc::new(graph),
-                owner_map,
-                parent: None,
-                quality,
-                timestamp,
-                optimizer_keys: Vec::new(),
-            },
-        );
+        self.mutate_catalog(|c| {
+            c.insert(
+                model,
+                ModelRecord {
+                    graph: Arc::new(graph),
+                    owner_map,
+                    parent: None,
+                    quality,
+                    timestamp,
+                    optimizer_keys: Vec::new(),
+                },
+            )
+        });
     }
 
     /// Optimizer keys referenced by local catalog records (GC audits).
     pub fn optimizer_key_refs(&self) -> Vec<TensorKey> {
-        self.catalog
-            .read()
-            .records
-            .values()
-            .flat_map(|r| r.optimizer_keys.clone())
+        self.catalog_snapshot()
+            .records()
+            .flat_map(|(_, r)| r.optimizer_keys.clone())
             .collect()
     }
 
@@ -1770,12 +2069,17 @@ impl Provider {
             replication,
             tensors: RefCountedStore::new(backend),
             catalog: RwLock::new(Catalog::new()),
+            snapshot: SnapshotCell::new(Arc::new(CatalogSnapshot::empty())),
             meta_store,
             clock,
             refs_ops: Mutex::new(RefsOpCache::default()),
             tombstones: Mutex::new(HashMap::new()),
             index_enabled: AtomicBool::new(true),
-            query_stats: Mutex::new(IndexQueryStats::default()),
+            prefilter_enabled: AtomicBool::new(true),
+            query_stats: AtomicQueryStats::default(),
+            snapshot_reads: AtomicU64::new(0),
+            batch_envelopes: AtomicU64::new(0),
+            batch_queries: AtomicU64::new(0),
             tracer,
             endpoint_id: endpoint.id().0,
             force_copy: AtomicBool::new(false),
@@ -1783,7 +2087,7 @@ impl Provider {
             zero_copy_reads: AtomicU64::new(0),
             copy_fallback_reads: AtomicU64::new(0),
             validate_par_batches: AtomicU64::new(0),
-            meta_replies: Mutex::new(HashMap::new()),
+            meta_replies: MetaReplyCache::new(),
             delta,
             delta_deps: Mutex::new(HashMap::new()),
             delta_stored: AtomicU64::new(0),
@@ -1828,6 +2132,20 @@ impl Provider {
         endpoint.register(
             methods::LCP,
             typed_handler(move |r| s.traced(methods::LCP, || s.handle_lcp(r))),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::LCP_BATCH,
+            typed_handler(move |r| s.traced(methods::LCP_BATCH, || s.handle_lcp_batch(r))),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            methods::MATCH_PATTERN_BATCH,
+            typed_handler(move |r| {
+                s.traced(methods::MATCH_PATTERN_BATCH, || {
+                    s.handle_match_pattern_batch(r)
+                })
+            }),
         );
         let s = Arc::clone(&state);
         endpoint.register(

@@ -169,6 +169,12 @@ pub struct ClientTelemetry {
     index_memo_hits: AtomicU64,
     index_deduped: AtomicU64,
     index_pruned: AtomicU64,
+    index_prefiltered: AtomicU64,
+    index_answered: AtomicU64,
+    // Batched-query counters: envelopes issued and individual queries
+    // packed inside them.
+    batch_envelopes: AtomicU64,
+    batch_queries: AtomicU64,
 }
 
 impl ClientTelemetry {
@@ -249,6 +255,26 @@ impl ClientTelemetry {
         self.index_deduped
             .fetch_add(stats.deduped, Ordering::Relaxed);
         self.index_pruned.fetch_add(stats.pruned, Ordering::Relaxed);
+        self.index_prefiltered
+            .fetch_add(stats.prefiltered, Ordering::Relaxed);
+        self.index_answered
+            .fetch_add(stats.answered, Ordering::Relaxed);
+    }
+
+    /// Record one batched-query envelope carrying `queries` queries.
+    pub fn note_batch(&self, queries: u64) {
+        self.batch_envelopes.fetch_add(1, Ordering::Relaxed);
+        self.batch_queries.fetch_add(queries, Ordering::Relaxed);
+    }
+
+    /// Batched envelopes issued so far.
+    pub fn batch_envelopes(&self) -> u64 {
+        self.batch_envelopes.load(Ordering::Relaxed)
+    }
+
+    /// Individual queries shipped inside batched envelopes.
+    pub fn batch_queries(&self) -> u64 {
+        self.batch_queries.load(Ordering::Relaxed)
     }
 
     /// Total index counters accumulated so far, as one stats value.
@@ -259,6 +285,8 @@ impl ClientTelemetry {
             memo_hits: self.index_memo_hits.load(Ordering::Relaxed),
             deduped: self.index_deduped.load(Ordering::Relaxed),
             pruned: self.index_pruned.load(Ordering::Relaxed),
+            prefiltered: self.index_prefiltered.load(Ordering::Relaxed),
+            answered: self.index_answered.load(Ordering::Relaxed),
         }
     }
 
@@ -331,6 +359,22 @@ impl ClientTelemetry {
             )),
             tag(Metric::counter("evostore_client_index_deduped", ix.deduped)),
             tag(Metric::counter("evostore_client_index_pruned", ix.pruned)),
+            tag(Metric::counter(
+                "evostore_client_index_prefiltered",
+                ix.prefiltered,
+            )),
+            tag(Metric::counter(
+                "evostore_client_index_answered",
+                ix.answered,
+            )),
+            tag(Metric::counter(
+                "evostore_client_batch_envelopes",
+                self.batch_envelopes(),
+            )),
+            tag(Metric::counter(
+                "evostore_client_batch_queries",
+                self.batch_queries(),
+            )),
         ]
     }
 
@@ -339,7 +383,7 @@ impl ClientTelemetry {
     pub fn report(&self) -> String {
         let ix = self.index_stats();
         format!(
-            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: calls={} retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}\nreplication: read_failovers={} under_replicated_stores={}\ndatapath: bulk_segments_exposed={}\nindex:  scanned={} memo_hits={} deduped={} pruned={}",
+            "query:  {}\nfetch:  {}\nstore:  {}\nretire: {}\nfaults: calls={} retries={} timeouts={} exhausted={} degraded_queries={} parked_decrements={}\nreplication: read_failovers={} under_replicated_stores={}\ndatapath: bulk_segments_exposed={}\nindex:  scanned={} memo_hits={} deduped={} pruned={} prefiltered={} answered={}\nbatch:  envelopes={} queries={}",
             self.query.report(),
             self.fetch.report(),
             self.store.report(),
@@ -356,7 +400,11 @@ impl ClientTelemetry {
             ix.scanned,
             ix.memo_hits,
             ix.deduped,
-            ix.pruned
+            ix.pruned,
+            ix.prefiltered,
+            ix.answered,
+            self.batch_envelopes(),
+            self.batch_queries()
         )
     }
 }
@@ -455,6 +503,10 @@ mod tests {
             "evostore_client_index_memo_hits",
             "evostore_client_index_deduped",
             "evostore_client_index_pruned",
+            "evostore_client_index_prefiltered",
+            "evostore_client_index_answered",
+            "evostore_client_batch_envelopes",
+            "evostore_client_batch_queries",
         ] {
             let m = metrics
                 .iter()

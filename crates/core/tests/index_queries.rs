@@ -222,13 +222,16 @@ fn stats_surface_index_counters() {
     assert!(after_first.scanned > 0, "no scans counted");
     client.query_best_ancestor(probe).unwrap();
     let after_second = client.stats().unwrap().query_stats;
+    // The repeat is served by a cache layer: the per-snapshot answer
+    // cache if the catalog is unchanged, the pairwise LCP memo otherwise.
     assert!(
-        after_second.memo_hits > after_first.memo_hits,
-        "repeat query did not hit the memo"
+        after_second.answered > after_first.answered
+            || after_second.memo_hits > after_first.memo_hits,
+        "repeat query hit neither the answer cache nor the memo"
     );
     assert_eq!(
         after_second.scanned, after_first.scanned,
-        "repeat query re-ran LCPs despite the memo"
+        "repeat query re-ran LCPs despite the caches"
     );
     assert!(after_second.deduped > 0, "dedup counter never moved");
 

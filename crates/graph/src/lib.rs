@@ -10,7 +10,10 @@
 //! * the longest-common-prefix query ([`lcp::lcp`], the paper's
 //!   Algorithm 1) and the best-ancestor scan built on it;
 //! * architecture generators for micro-benchmarks and NAS search spaces
-//!   ([`generator`]).
+//!   ([`generator`]);
+//! * the concurrency primitives behind the provider's lock-free catalog:
+//!   bitset signature prefilters ([`prefilter`]) and atomically published
+//!   immutable snapshots ([`snapshot`]).
 
 pub mod analysis;
 pub mod arch;
@@ -21,6 +24,8 @@ pub mod index;
 pub mod layer;
 pub mod lcp;
 pub mod pattern;
+pub mod prefilter;
+pub mod snapshot;
 
 pub use analysis::{arch_stats, to_dot, ArchStats, GraphDiff};
 pub use arch::{ArchError, ArchNode, Architecture, NodeRef};
@@ -31,3 +36,5 @@ pub use index::{ArchIndex, IndexCandidate, IndexQueryStats};
 pub use layer::{Activation, LayerConfig, LayerKind, TensorSpec};
 pub use lcp::{best_ancestor, lcp, lcp_fixpoint, AsGraph, BestMatch, LcpResult};
 pub use pattern::{ArchPattern, LayerPattern};
+pub use prefilter::{PatternFilter, QueryFilter};
+pub use snapshot::SnapshotCell;

@@ -1,0 +1,357 @@
+//! Bitset signature prefilters for the arch index.
+//!
+//! Two 64-bit summaries are precomputed per indexed architecture and let
+//! queries reject whole buckets with one `AND` + compare, before touching
+//! the LCP memo or the graph itself:
+//!
+//! - **Signature bloom** ([`sig_bloom`]): one bit per *non-root* vertex
+//!   signature (`low64() & 63`). The LCP matcher binds every non-root
+//!   prefix vertex of the query injectively to a distinct non-root
+//!   ancestor vertex with an *equal* signature (the root always binds the
+//!   root), so `lcp_len <= 1 + Σ_b count_q(b)` over bits `b` set in both
+//!   blooms, where `count_q(b)` is the number of non-root query vertices
+//!   hashing to bit `b`. Hash collisions only *inflate* the bound, so
+//!   pruning a bucket whose bound is strictly below the best length so
+//!   far can never change the query answer ([`QueryFilter::lcp_bound`]).
+//!
+//! - **Layer-kind bitset** ([`kind_bits`]): one bit per [`LayerKind`]
+//!   tag present anywhere in the graph. [`PatternFilter`] derives, per
+//!   layer pattern of an [`ArchPattern`], a conservative mask of kinds a
+//!   matching vertex *could* have; a bucket whose kind bitset misses a
+//!   required mask entirely cannot match the pattern and is skipped
+//!   without evaluating it.
+
+use crate::compact::CompactGraph;
+use crate::pattern::{ArchPattern, LayerPattern};
+
+/// Bit for one vertex signature (low 6 bits of the 128-bit content hash).
+#[inline]
+fn sig_bit(low64: u64) -> u64 {
+    1u64 << (low64 & 63)
+}
+
+/// Bloom over the *non-root* vertex signatures of `g`.
+///
+/// The root is excluded on purpose: every bucket under one root group
+/// shares the root signature, so including it would make every
+/// query/bucket intersection trivially non-empty.
+pub fn sig_bloom(g: &CompactGraph) -> u64 {
+    let mut bloom = 0u64;
+    for v in g.vertex_ids() {
+        if v == g.root() {
+            continue;
+        }
+        bloom |= sig_bit(g.sig(v).low64());
+    }
+    bloom
+}
+
+/// Bitset of [`LayerKind::tag`] values present anywhere in `g`.
+pub fn kind_bits(g: &CompactGraph) -> u64 {
+    let mut bits = 0u64;
+    for v in g.vertex_ids() {
+        bits |= 1u64 << g.vertex(v).config.kind.tag();
+    }
+    bits
+}
+
+/// Query-side companion of [`sig_bloom`]: the bloom plus per-bit vertex
+/// counts, so a bucket bloom yields a sound LCP upper bound.
+#[derive(Debug, Clone)]
+pub struct QueryFilter {
+    /// Bloom over the query's non-root vertex signatures.
+    pub sig_bloom: u64,
+    /// Non-root query vertices hashing to each bloom bit.
+    counts: [u32; 64],
+}
+
+impl QueryFilter {
+    /// Build the filter for query graph `g`.
+    pub fn new(g: &CompactGraph) -> QueryFilter {
+        let mut counts = [0u32; 64];
+        let mut bloom = 0u64;
+        for v in g.vertex_ids() {
+            if v == g.root() {
+                continue;
+            }
+            let bit = g.sig(v).low64() & 63;
+            counts[bit as usize] += 1;
+            bloom |= 1u64 << bit;
+        }
+        QueryFilter {
+            sig_bloom: bloom,
+            counts,
+        }
+    }
+
+    /// Upper bound on the LCP length against any graph whose non-root
+    /// signature bloom is `bucket_bloom`. Never below 1 (the root match
+    /// is unconditional within a root group).
+    pub fn lcp_bound(&self, bucket_bloom: u64) -> usize {
+        let mut shared = self.sig_bloom & bucket_bloom;
+        let mut bound = 1usize;
+        while shared != 0 {
+            bound += self.counts[shared.trailing_zeros() as usize] as usize;
+            shared &= shared - 1;
+        }
+        bound
+    }
+}
+
+/// Mask of kind-tag bits a vertex matching `p` could carry.
+///
+/// `u64::MAX` means "unconstrained" (any kind could match); `0` means
+/// "no kind can match" (e.g. an unknown kind name), which correctly
+/// rejects every bucket.
+fn kind_mask(p: &LayerPattern) -> u64 {
+    match p {
+        LayerPattern::Any => u64::MAX,
+        LayerPattern::Kind(name) => match tag_of_name(name) {
+            Some(tag) => 1u64 << tag,
+            None => 0,
+        },
+        LayerPattern::DenseUnits { .. } => 1u64 << 1, // Dense
+        LayerPattern::AttentionHeads { .. } => 1u64 << 6, // Attention
+        LayerPattern::Uses(_) => (1u64 << 1) | (1u64 << 7), // Dense | Act
+        LayerPattern::AnyOf(ps) => ps.iter().fold(0, |m, p| m | kind_mask(p)),
+        LayerPattern::AllOf(ps) => ps.iter().fold(u64::MAX, |m, p| m & kind_mask(p)),
+    }
+}
+
+/// Inverse of [`LayerKind::name`] at the tag level.
+fn tag_of_name(name: &str) -> Option<u8> {
+    Some(match name {
+        "input" => 0,
+        "dense" => 1,
+        "conv2d" => 2,
+        "batch_norm" => 3,
+        "layer_norm" => 4,
+        "embedding" => 5,
+        "attention" => 6,
+        "activation" => 7,
+        "dropout" => 8,
+        "max_pool2d" => 9,
+        "avg_pool2d" => 10,
+        "flatten" => 11,
+        "add" => 12,
+        "concat" => 13,
+        _ => return None,
+    })
+}
+
+/// Conservative per-pattern kind requirements: a graph matching the
+/// pattern must intersect every mask in `groups`.
+#[derive(Debug, Clone)]
+pub struct PatternFilter {
+    groups: Vec<u64>,
+}
+
+impl PatternFilter {
+    /// Derive the requirement masks of `p`. Unconstrained layer patterns
+    /// (mask = all ones) contribute nothing.
+    pub fn new(p: &ArchPattern) -> PatternFilter {
+        let groups = p
+            .require_layers
+            .iter()
+            .chain(p.sequence.iter())
+            .map(kind_mask)
+            .filter(|&m| m != u64::MAX)
+            .collect();
+        PatternFilter { groups }
+    }
+
+    /// Could a graph with this kind bitset match the pattern? `false`
+    /// is definitive (the pattern cannot match); `true` is a maybe.
+    pub fn admits(&self, kind_bits: u64) -> bool {
+        self.groups.iter().all(|&m| kind_bits & m != 0)
+    }
+
+    /// Number of non-trivial requirement masks (for tests/stats).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when the filter imposes no constraint.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Architecture;
+    use crate::flatten::flatten;
+    use crate::generator::GenomeSpace;
+    use crate::layer::{Activation, LayerConfig, LayerKind};
+    use crate::lcp::lcp;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn chain_model(kinds: &[LayerKind]) -> CompactGraph {
+        let mut m = Architecture::new("m");
+        let mut prev = m.add_layer(LayerConfig::new("l0", kinds[0].clone()));
+        for (i, k) in kinds.iter().enumerate().skip(1) {
+            prev = m.chain(prev, LayerConfig::new(format!("l{i}"), k.clone()));
+        }
+        flatten(&m).unwrap()
+    }
+
+    fn dense(units: u32) -> LayerKind {
+        LayerKind::Dense {
+            in_features: units,
+            units,
+            activation: Activation::ReLU,
+        }
+    }
+
+    #[test]
+    fn tag_of_name_inverts_every_kind_name() {
+        let kinds = [
+            LayerKind::Input { shape: vec![4] },
+            dense(4),
+            LayerKind::Conv2d {
+                in_channels: 1,
+                out_channels: 1,
+                kernel: 3,
+                stride: 1,
+            },
+            LayerKind::BatchNorm { features: 4 },
+            LayerKind::LayerNorm { features: 4 },
+            LayerKind::Embedding { vocab: 8, dim: 4 },
+            LayerKind::Attention {
+                embed_dim: 8,
+                heads: 2,
+            },
+            LayerKind::Act {
+                activation: Activation::ReLU,
+            },
+            LayerKind::Dropout { rate_milli: 100 },
+            LayerKind::MaxPool2d {
+                kernel: 2,
+                stride: 2,
+            },
+            LayerKind::AvgPool2d {
+                kernel: 2,
+                stride: 2,
+            },
+            LayerKind::Flatten,
+            LayerKind::Add,
+            LayerKind::Concat { axis: 1 },
+        ];
+        for k in &kinds {
+            assert_eq!(tag_of_name(k.name()), Some(k.tag()), "kind {:?}", k.name());
+        }
+        assert_eq!(tag_of_name("warp_drive"), None);
+    }
+
+    #[test]
+    fn sig_bloom_excludes_root() {
+        let g = chain_model(&[LayerKind::Input { shape: vec![4] }]);
+        assert_eq!(sig_bloom(&g), 0, "single-vertex graph has an empty bloom");
+        let g2 = chain_model(&[LayerKind::Input { shape: vec![4] }, dense(4)]);
+        assert_eq!(sig_bloom(&g2).count_ones(), 1);
+    }
+
+    #[test]
+    fn lcp_bound_is_sound_on_random_pairs() {
+        // Differential check: the bloom bound never undercuts the real LCP.
+        let space = GenomeSpace::attn_like();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut checked = 0usize;
+        for _ in 0..40 {
+            let a = space.materialize(&space.sample(&mut rng));
+            let base = space.sample(&mut rng);
+            let b = space.materialize(&space.mutate(&base, &mut rng));
+            let (ga, gb) = (flatten(&a).unwrap(), flatten(&b).unwrap());
+            if ga.sig(ga.root()) != gb.sig(gb.root()) {
+                continue; // bound only claimed within a root group
+            }
+            let qf = QueryFilter::new(&ga);
+            let bound = qf.lcp_bound(sig_bloom(&gb));
+            let real = lcp(&ga, &gb).len();
+            assert!(
+                bound >= real,
+                "bound {bound} undercuts real LCP {real} ({} vs {} vertices)",
+                ga.len(),
+                gb.len()
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "no root-compatible pairs sampled");
+    }
+
+    #[test]
+    fn lcp_bound_identity_is_tight_enough() {
+        let g = chain_model(&[
+            LayerKind::Input { shape: vec![4] },
+            dense(4),
+            dense(8),
+            LayerKind::Flatten,
+        ]);
+        let qf = QueryFilter::new(&g);
+        // Against itself the bound must admit the full graph...
+        assert!(qf.lcp_bound(sig_bloom(&g)) >= g.len());
+        // ...and against a disjoint bloom it collapses to the root.
+        assert_eq!(qf.lcp_bound(0), 1);
+    }
+
+    #[test]
+    fn pattern_filter_is_conservative() {
+        // Whenever the pattern matches the graph, the filter must admit
+        // the graph's kind bitset (no false rejections).
+        let g = chain_model(&[
+            LayerKind::Input { shape: vec![16] },
+            dense(16),
+            LayerKind::LayerNorm { features: 16 },
+            LayerKind::Attention {
+                embed_dim: 16,
+                heads: 4,
+            },
+            LayerKind::Add,
+        ]);
+        let bits = kind_bits(&g);
+        let patterns = [
+            ArchPattern::any(),
+            ArchPattern::any().with_layer(LayerPattern::Kind("attention".into())),
+            ArchPattern::any().with_layer(LayerPattern::DenseUnits { min: 1, max: 999 }),
+            ArchPattern::any().with_layer(LayerPattern::Uses(Activation::ReLU)),
+            ArchPattern::any().with_layer(LayerPattern::AnyOf(vec![
+                LayerPattern::Kind("embedding".into()),
+                LayerPattern::Kind("attention".into()),
+            ])),
+            ArchPattern::any().with_layer(LayerPattern::AllOf(vec![
+                LayerPattern::Kind("dense".into()),
+                LayerPattern::Uses(Activation::ReLU),
+            ])),
+            ArchPattern::any().with_sequence(vec![
+                LayerPattern::Kind("layer_norm".into()),
+                LayerPattern::Kind("attention".into()),
+                LayerPattern::Kind("add".into()),
+            ]),
+        ];
+        for p in &patterns {
+            assert!(p.matches(&g), "pattern should match: {p:?}");
+            assert!(
+                PatternFilter::new(p).admits(bits),
+                "filter must admit a matching graph: {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_filter_rejects_missing_kinds() {
+        let g = chain_model(&[LayerKind::Input { shape: vec![16] }, dense(16)]);
+        let bits = kind_bits(&g);
+        let p = ArchPattern::any().with_layer(LayerPattern::Kind("attention".into()));
+        assert!(!p.matches(&g));
+        assert!(!PatternFilter::new(&p).admits(bits));
+        // Unknown kind names can never match: reject everything.
+        let q = ArchPattern::any().with_layer(LayerPattern::Kind("warp_drive".into()));
+        assert!(!PatternFilter::new(&q).admits(bits));
+        // Any alone imposes no constraint.
+        let r = ArchPattern::any().with_layer(LayerPattern::Any);
+        let f = PatternFilter::new(&r);
+        assert!(f.is_empty() && f.admits(0));
+    }
+}

@@ -50,4 +50,13 @@ if [[ "${RUN_BENCH_DEDUP:-0}" == "1" ]]; then
     tools/bench-dedup.sh
 fi
 
+# Optional tier-2: concurrent catalog A/B — snapshot-isolated reads with
+# batched query envelopes vs the per-query baseline, plus reader scaling
+# under a mutating writer, recorded to results/BENCH_catalog.json and
+# gated on >= 10x the BENCH_lcp indexed throughput (with an adaptive
+# scaling gate for single-core hosts).
+if [[ "${RUN_BENCH_CATALOG:-0}" == "1" ]]; then
+    tools/bench-catalog.sh
+fi
+
 echo "== OK"

@@ -311,13 +311,43 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character (multi-byte safe).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|e| Error(format!("invalid UTF-8 in string: {e}")))?;
-                    let c = rest.chars().next().unwrap();
+                Some(b) if b < 0x80 => {
+                    // Bulk-copy a run of plain ASCII (the common case:
+                    // field names, layer kinds, hex digests). Validating
+                    // from `self.pos..` per character would re-scan the
+                    // whole remaining buffer each time — quadratic in
+                    // message size, which large batched envelopes hit.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b >= 0x80 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    // ASCII bytes are always valid UTF-8.
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("ASCII run is valid UTF-8"),
+                    );
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 character: width from
+                    // the leading byte, validate just that slice.
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(Error("invalid UTF-8 in string".to_string())),
+                    };
+                    let end = self.pos + width;
+                    let c = self
+                        .bytes
+                        .get(self.pos..end)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| Error("invalid UTF-8 in string".to_string()))?;
                     out.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos = end;
                 }
             }
         }
