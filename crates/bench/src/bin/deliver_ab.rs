@@ -1,0 +1,409 @@
+//! Delivery-plane fan-out A/B — broadcast trees vs unicast.
+//!
+//! Two sections:
+//!
+//! 1. **Live** — a real deployment with W `ModelWatcher`s subscribed by
+//!    architecture prefix; one release is stored and every watcher
+//!    prefetches the weights. Run twice: *unicast* (fetch chains and
+//!    peer serving disabled — every watcher pulls from the provider)
+//!    and *tree* (fanout-F broadcast tree with peer-assisted segment
+//!    exchange). Provider egress bytes, peer bytes, and per-watcher
+//!    time-to-weights are real counters from `WatchStats`.
+//!
+//! 2. **Simulated** — the same release replayed over `evostore_sim`
+//!    processor-sharing links for N = 1k and 10k subscribers, using the
+//!    *actual* `BroadcastTree::plan` layout and the payload size
+//!    measured in the live section. Unicast pushes N copies through the
+//!    provider uplink; the tree starts each subscriber when its parent
+//!    holds the weights, sharing each parent's uplink among its
+//!    children. A fault variant kills a fraction of interior peers and
+//!    fails their children one hop up the fetch chain.
+//!
+//! Gate inputs (see tools/bench-deliver.sh): at 1k subscribers the tree
+//! must cut provider egress >= 4x vs unicast while keeping p99
+//! time-to-weights <= 2x unicast.
+
+use std::time::Duration;
+
+use evostore_bench::{banner, f1, print_table, Args};
+use evostore_core::{
+    random_tensors, CachingClient, Deployment, DeploymentConfig, ModelWatcher, OwnerMap,
+    WatchConfig,
+};
+use evostore_deliver::{BroadcastTree, SubscriptionFilter};
+use evostore_graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
+use evostore_sim::{run_transfers, PsResource, SimTime};
+use evostore_tensor::ModelId;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const WAIT: Duration = Duration::from_secs(30);
+
+fn seq(units: &[u32]) -> CompactGraph {
+    let mut a = Architecture::new("seq");
+    let mut prev = a.add_layer(LayerConfig::new(
+        "in",
+        LayerKind::Input {
+            shape: vec![units[0]],
+        },
+    ));
+    let mut inf = units[0];
+    for (i, &u) in units.iter().enumerate().skip(1) {
+        prev = a.chain(
+            prev,
+            LayerConfig::new(
+                format!("d{i}"),
+                LayerKind::Dense {
+                    in_features: inf,
+                    units: u,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        inf = u;
+    }
+    flatten(&a).unwrap()
+}
+
+/// The released architecture (~200 KB of fp32 weights) and the prefix
+/// filter every watcher subscribes with.
+fn release_graph() -> CompactGraph {
+    seq(&[64, 128, 128, 128, 64, 10])
+}
+
+fn release_filter() -> SubscriptionFilter {
+    SubscriptionFilter::ArchPrefix(seq(&[64, 128]))
+}
+
+struct LiveResult {
+    provider_bytes: u64,
+    peer_bytes: u64,
+    peer_fetches: u64,
+    provider_fetches: u64,
+    cache_hits: u64,
+    p99_us: u64,
+    mean_us: u64,
+}
+
+/// One live release into `watchers` real subscribers; `tree` selects
+/// fetch-chain + peer-serving vs provider-only unicast.
+fn run_live(watchers: usize, fanout: usize, tree: bool, model: ModelId) -> LiveResult {
+    let dep = Deployment::new(DeploymentConfig {
+        providers: 1,
+        deliver_fanout: fanout,
+        ..Default::default()
+    });
+    let cfg = WatchConfig {
+        use_fetch_chain: tree,
+        serve_peers: tree,
+        ..Default::default()
+    };
+    let ws: Vec<ModelWatcher> = (0..watchers)
+        .map(|_| {
+            ModelWatcher::attach(
+                CachingClient::new(dep.client(), 64 << 20),
+                release_filter(),
+                cfg.clone(),
+                None,
+            )
+            .expect("watcher attaches")
+        })
+        .collect();
+
+    let g = release_graph();
+    let mut rng = ChaCha8Rng::seed_from_u64(model.0);
+    let tensors = random_tensors(model, &g, &mut rng);
+    dep.client()
+        .store_model(g.clone(), OwnerMap::fresh(model, &g), None, 0.9, &tensors)
+        .expect("release stores");
+
+    for w in &ws {
+        assert!(
+            w.wait_until(WAIT, || w.stats().time_to_weights.count >= 1),
+            "watcher fetched the release within {WAIT:?}"
+        );
+    }
+
+    let mut out = LiveResult {
+        provider_bytes: 0,
+        peer_bytes: 0,
+        peer_fetches: 0,
+        provider_fetches: 0,
+        cache_hits: 0,
+        p99_us: 0,
+        mean_us: 0,
+    };
+    let mut ttw: Vec<u64> = Vec::with_capacity(watchers);
+    for w in &ws {
+        let s = w.stats();
+        out.provider_bytes += s.provider_bytes_fetched;
+        out.peer_bytes += s.peer_bytes_fetched;
+        out.peer_fetches += s.peer_fetches;
+        out.provider_fetches += s.provider_fetches;
+        out.cache_hits += s.cache_hits_on_fetch;
+        // One release per watcher: the histogram holds one sample, so
+        // the sum *is* the sample; rank across the population below.
+        ttw.push(s.time_to_weights.sum_us);
+    }
+    ttw.sort_unstable();
+    out.p99_us = ttw[p_rank(ttw.len(), 0.99)];
+    out.mean_us = ttw.iter().sum::<u64>() / ttw.len().max(1) as u64;
+    out
+}
+
+/// Index of the q-quantile in a sorted population of `n`.
+fn p_rank(n: usize, q: f64) -> usize {
+    (((n as f64) * q).ceil() as usize).clamp(1, n) - 1
+}
+
+struct SimResult {
+    egress_bytes: f64,
+    p99_s: f64,
+    max_s: f64,
+    served_by_provider: usize,
+}
+
+/// Unicast baseline: all N subscribers pull `bytes` through the shared
+/// provider uplink at t=0.
+fn sim_unicast(n: usize, bytes: f64, provider_bps: f64) -> SimResult {
+    let mut uplink = PsResource::new(provider_bps);
+    let jobs = vec![(SimTime::ZERO, bytes); n];
+    let finish = run_transfers(&mut uplink, &jobs);
+    let mut secs: Vec<f64> = finish.iter().map(|t| t.as_secs()).collect();
+    secs.sort_by(f64::total_cmp);
+    SimResult {
+        egress_bytes: n as f64 * bytes,
+        p99_s: secs[p_rank(n, 0.99)],
+        max_s: secs[n - 1],
+        served_by_provider: n,
+    }
+}
+
+/// Broadcast tree over the real planner: each subscriber starts
+/// fetching when its first *live* upstream (per the fetch chain) holds
+/// the weights, children sharing that upstream's uplink. `dead`
+/// positions are interior peers that never come up — their children
+/// fail over one hop up the chain exactly as the watcher does.
+fn sim_tree(
+    n: usize,
+    bytes: f64,
+    fanout: usize,
+    provider_bps: f64,
+    peer_bps: f64,
+    dead: &[usize],
+    model: u64,
+) -> SimResult {
+    const PROVIDER: u32 = u32::MAX;
+    let eps: Vec<u32> = (0..n as u32).collect();
+    let tree = BroadcastTree::plan(&eps, fanout, model);
+    let is_dead = |pos: usize| dead.contains(&pos);
+
+    // Upstream of each live position: first live hop of its fetch chain
+    // (the chain always ends at the provider, so this never fails).
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n]; // by upstream position
+    let mut provider_children: Vec<usize> = Vec::new();
+    for pos in 0..tree.len() {
+        if is_dead(pos) {
+            continue;
+        }
+        let chain = tree.fetch_chain(pos, PROVIDER);
+        let upstream = chain
+            .iter()
+            .map(|&ep| {
+                if ep == PROVIDER {
+                    None
+                } else {
+                    tree.position(ep)
+                }
+            })
+            .find(|hop| hop.is_none_or(|p| !is_dead(p)))
+            .expect("chain ends at provider");
+        match upstream {
+            Some(p) => children[p].push(pos),
+            None => provider_children.push(pos),
+        }
+    }
+
+    // Positions are topologically ordered (parents precede children),
+    // so one forward sweep resolves every start time: provider-rooted
+    // transfers first, then each position's children as its finish time
+    // becomes known.
+    let mut finish: Vec<Option<SimTime>> = vec![None; n];
+    let mut uplink = PsResource::new(provider_bps);
+    let jobs = vec![(SimTime::ZERO, bytes); provider_children.len()];
+    for (i, t) in run_transfers(&mut uplink, &jobs).into_iter().enumerate() {
+        finish[provider_children[i]] = Some(t);
+    }
+    for pos in 0..n {
+        if children[pos].is_empty() {
+            continue;
+        }
+        let ready = finish[pos].expect("parent resolved before children");
+        let mut peer = PsResource::new(peer_bps);
+        let jobs = vec![(ready, bytes); children[pos].len()];
+        for (i, t) in run_transfers(&mut peer, &jobs).into_iter().enumerate() {
+            finish[children[pos][i]] = Some(t);
+        }
+    }
+
+    let mut secs: Vec<f64> = finish.iter().flatten().map(|t| t.as_secs()).collect();
+    secs.sort_by(f64::total_cmp);
+    SimResult {
+        egress_bytes: provider_children.len() as f64 * bytes,
+        p99_s: secs[p_rank(secs.len(), 0.99)],
+        max_s: secs[secs.len() - 1],
+        served_by_provider: provider_children.len(),
+    }
+}
+
+/// Every `stride`-th interior position of the tree: has a tree parent
+/// (position >= fanout) and at least one child (children of `p` sit at
+/// positions `[(p+1)*fanout, (p+2)*fanout)`).
+fn interior_sample(n: usize, fanout: usize, stride: usize) -> Vec<usize> {
+    (fanout..n)
+        .filter(|&p| (p + 1) * fanout < n)
+        .step_by(stride.max(1))
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let watchers: usize = args.get("watchers", 24);
+    let fanout: usize = args.get("fanout", 4);
+    let subs_lo: usize = args.get("subs", 1000);
+    let subs_hi: usize = args.get("subs-hi", 10_000);
+    let provider_gbps: f64 = args.get("provider-gbps", 1.0);
+    let peer_gbps: f64 = args.get("peer-gbps", 1.0);
+    let dead_stride: usize = args.get("dead-stride", 100);
+    let json_path: String = args.get("json", String::new());
+
+    banner(
+        "Delivery A/B",
+        "one release, high fan-out: broadcast tree + peer exchange vs provider unicast",
+    );
+    println!(
+        "live: {watchers} watchers, fanout {fanout}; sim: {subs_lo} and {subs_hi} subscribers"
+    );
+
+    // --- Live section: real watchers, real bytes. ---
+    let uni = run_live(watchers, fanout, false, ModelId(101));
+    let tre = run_live(watchers, fanout, true, ModelId(102));
+    let payload = uni.provider_bytes as f64 / watchers as f64;
+    let live_reduction = uni.provider_bytes as f64 / tre.provider_bytes.max(1) as f64;
+    let peer_hit_rate =
+        tre.peer_fetches as f64 / (tre.peer_fetches + tre.provider_fetches).max(1) as f64;
+    println!(
+        "  unicast: provider egress {} B ({} fetches), p99 ttw {} us",
+        uni.provider_bytes, uni.provider_fetches, uni.p99_us
+    );
+    println!(
+        "  tree:    provider egress {} B ({} fetches), peer bytes {} ({} fetches, hit rate {:.2}), p99 ttw {} us",
+        tre.provider_bytes, tre.provider_fetches, tre.peer_bytes, tre.peer_fetches,
+        peer_hit_rate, tre.p99_us
+    );
+    println!(
+        "  live egress reduction: {live_reduction:.1}x (payload ~{:.0} KB/subscriber)",
+        payload / 1e3
+    );
+
+    // --- Simulated section: same payload, 1k-10k subscribers. ---
+    let provider_bps = provider_gbps * 1e9;
+    let peer_bps = peer_gbps * 1e9;
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut gate_reduction = 0.0;
+    let mut gate_p99_ratio = f64::INFINITY;
+    for &n in &[subs_lo, subs_hi] {
+        let u = sim_unicast(n, payload, provider_bps);
+        let t = sim_tree(n, payload, fanout, provider_bps, peer_bps, &[], 102);
+        let dead = interior_sample(n, fanout, dead_stride);
+        let f = sim_tree(n, payload, fanout, provider_bps, peer_bps, &dead, 102);
+        let reduction = u.egress_bytes / t.egress_bytes.max(1.0);
+        let p99_ratio = t.p99_s / u.p99_s.max(1e-12);
+        if n == subs_lo {
+            gate_reduction = reduction;
+            gate_p99_ratio = p99_ratio;
+        }
+        println!(
+            "  sim n={n}: unicast p99 {:.3}s egress {:.1} MB | tree p99 {:.3}s egress {:.1} MB \
+             ({reduction:.0}x less, p99 ratio {p99_ratio:.3}) | {} dead peers -> p99 {:.3}s, provider serves {}",
+            u.p99_s,
+            u.egress_bytes / 1e6,
+            t.p99_s,
+            t.egress_bytes / 1e6,
+            dead.len(),
+            f.p99_s,
+            f.served_by_provider
+        );
+        rows.push(vec![
+            n.to_string(),
+            f1(u.p99_s * 1e3),
+            f1(t.p99_s * 1e3),
+            f1(f.p99_s * 1e3),
+            format!("{reduction:.0}x"),
+        ]);
+        points.push(format!(
+            "    {{\"subscribers\": {n}, \"unicast_p99_s\": {:.6}, \"tree_p99_s\": {:.6}, \
+             \"fault_p99_s\": {:.6}, \"unicast_max_s\": {:.6}, \"tree_max_s\": {:.6}, \
+             \"unicast_egress_bytes\": {:.0}, \"tree_egress_bytes\": {:.0}, \
+             \"fault_egress_bytes\": {:.0}, \"dead_peers\": {}, \
+             \"fault_provider_served\": {}, \"egress_reduction\": {reduction:.2}, \
+             \"p99_ratio\": {p99_ratio:.4}}}",
+            u.p99_s,
+            t.p99_s,
+            f.p99_s,
+            u.max_s,
+            t.max_s,
+            u.egress_bytes,
+            t.egress_bytes,
+            f.egress_bytes,
+            dead.len(),
+            f.served_by_provider
+        ));
+    }
+
+    println!();
+    print_table(
+        &[
+            "subscribers",
+            "unicast p99 (ms)",
+            "tree p99 (ms)",
+            "fault p99 (ms)",
+            "egress cut",
+        ],
+        &rows,
+    );
+    println!(
+        "gate @ {subs_lo}: egress reduction {gate_reduction:.0}x (need >= 4), \
+         p99 ratio {gate_p99_ratio:.3} (need <= 2)"
+    );
+
+    if !json_path.is_empty() {
+        let json = format!(
+            "{{\n  \"bench\": \"deliver_ab\",\n  \"watchers\": {watchers},\n  \"fanout\": {fanout},\n  \
+             \"payload_bytes\": {payload:.0},\n  \"provider_gbps\": {provider_gbps},\n  \
+             \"peer_gbps\": {peer_gbps},\n  \"live\": {{\n    \
+             \"unicast_provider_egress_bytes\": {},\n    \"tree_provider_egress_bytes\": {},\n    \
+             \"tree_peer_bytes\": {},\n    \"peer_hit_rate\": {peer_hit_rate:.4},\n    \
+             \"cache_hits\": {},\n    \"unicast_p99_us\": {},\n    \"tree_p99_us\": {},\n    \
+             \"unicast_mean_us\": {},\n    \"tree_mean_us\": {},\n    \
+             \"egress_reduction\": {live_reduction:.2}\n  }},\n  \
+             \"egress_reduction_1k\": {gate_reduction:.2},\n  \"p99_ratio_1k\": {gate_p99_ratio:.4},\n  \
+             \"sim_points\": [\n{}\n  ]\n}}\n",
+            uni.provider_bytes,
+            tre.provider_bytes,
+            tre.peer_bytes,
+            tre.cache_hits,
+            uni.p99_us,
+            tre.p99_us,
+            uni.mean_us,
+            tre.mean_us,
+            points.join(",\n")
+        );
+        if let Some(parent) = std::path::Path::new(&json_path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&json_path, json).expect("write --json output");
+        println!("wrote {json_path}");
+    }
+}

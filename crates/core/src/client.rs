@@ -58,6 +58,13 @@ pub enum EvoError {
         /// Providers that failed their leg of the collective.
         failed: Vec<EndpointId>,
     },
+    /// A delivery subscription lost events (queue overflow provider-side
+    /// or a sequence gap subscriber-side) starting at this sequence
+    /// number. Recover by resubscribing with replay.
+    EventsLost {
+        /// First sequence number known to be lost.
+        from_seq: u64,
+    },
 }
 
 impl EvoError {
@@ -68,7 +75,9 @@ impl EvoError {
                 true
             }
             EvoError::Transport(e) => e.is_transient(),
-            EvoError::Protocol(_) | EvoError::Corrupt { .. } => false,
+            // Lost events never come back on retry — only a replaying
+            // resubscribe recovers them.
+            EvoError::Protocol(_) | EvoError::Corrupt { .. } | EvoError::EventsLost { .. } => false,
         }
     }
 }
@@ -87,6 +96,9 @@ impl std::fmt::Display for EvoError {
                     "quorum not met: {} providers failed: {failed:?}",
                     failed.len()
                 )
+            }
+            EvoError::EventsLost { from_seq } => {
+                write!(f, "subscription events lost from seq {from_seq}")
             }
         }
     }
@@ -417,6 +429,17 @@ impl EvoStoreClient {
     /// The retry policy applied to every call.
     pub fn retry_policy(&self) -> &RetryPolicy {
         &self.retry
+    }
+
+    /// The fabric this client runs on (watchers attach their own
+    /// endpoints here).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// The deployment's provider endpoints, in provider-index order.
+    pub fn provider_endpoints(&self) -> &[EndpointId] {
+        &self.providers
     }
 
     /// Providers that must answer for a collective to succeed.

@@ -74,6 +74,10 @@ pub struct DeploymentConfig {
     /// lever forcing consolidation wins.
     #[deprecated(note = "set data_plane: DataPlanePolicy::ForcedCopy instead")]
     pub force_copy_data_plane: bool,
+    /// Broadcast-tree fanout of the delivery plane: how many subscribers
+    /// fetch a released model directly from the provider; the rest fetch
+    /// from an earlier subscriber along the planned tree.
+    pub deliver_fanout: usize,
 }
 
 impl Default for DeploymentConfig {
@@ -88,6 +92,7 @@ impl Default for DeploymentConfig {
             store_policy: StorePolicy::default(),
             data_plane: DataPlanePolicy::default(),
             force_copy_data_plane: false,
+            deliver_fanout: 4,
         }
     }
 }
@@ -211,6 +216,7 @@ impl Deployment {
                 cfg.service_threads,
                 Some(&obs),
                 cfg.store_policy.delta,
+                cfg.deliver_fanout,
             ));
         }
         if force_copy {

@@ -22,6 +22,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod delivery;
 pub mod deployment;
 pub mod messages;
 pub mod owner_map;
@@ -30,12 +31,14 @@ pub mod provider;
 pub mod replication;
 pub mod repository;
 pub mod telemetry;
+pub mod watch;
 
 pub use cache::{CachingClient, TensorCache};
 pub use client::{
     random_tensors, BestAncestor, Degraded, EvoError, EvoStoreClient, EvoStoreClientBuilder,
     LoadedModel, RetireOutcome, StoreOutcome,
 };
+pub use delivery::{CatalogChange, DeliveryHub};
 pub use deployment::{BackendKind, Deployment, DeploymentConfig, FABRIC_FLIGHT_EVENTS};
 pub use messages::ProviderStats;
 pub use owner_map::{OwnerMap, VertexOwner};
@@ -47,3 +50,4 @@ pub use repository::{
     TransferSource,
 };
 pub use telemetry::{ClientTelemetry, LatencyHistogram};
+pub use watch::{AppliedEvent, ModelWatcher, WatchConfig, WatchStats};

@@ -525,6 +525,10 @@ pub struct ProviderStats {
     /// Individual queries delivered inside batched envelopes.
     #[serde(default)]
     pub batch_queries: u64,
+    /// Delivery-plane counters (subscriptions, event pushes, broadcast
+    /// trees).
+    #[serde(default)]
+    pub deliver: evostore_deliver::DeliverStats,
 }
 
 impl ProviderStats {
@@ -563,6 +567,7 @@ impl ProviderStats {
             snapshot_retired: self.snapshot_retired + other.snapshot_retired,
             batch_envelopes: self.batch_envelopes + other.batch_envelopes,
             batch_queries: self.batch_queries + other.batch_queries,
+            deliver: self.deliver.merge(other.deliver),
         }
     }
 }
@@ -659,6 +664,11 @@ mod tests {
             snapshot_retired: 1,
             batch_envelopes: 2,
             batch_queries: 9,
+            deliver: evostore_deliver::DeliverStats {
+                events_published: 5,
+                tree_depth: 2,
+                ..Default::default()
+            },
         };
         let b = ProviderStats {
             models: 3,
@@ -689,6 +699,11 @@ mod tests {
             snapshot_retired: 0,
             batch_envelopes: 1,
             batch_queries: 3,
+            deliver: evostore_deliver::DeliverStats {
+                events_published: 2,
+                tree_depth: 3,
+                ..Default::default()
+            },
         };
         let m = a.merge(b);
         assert_eq!(m.models, 4);
@@ -719,6 +734,8 @@ mod tests {
         assert_eq!(m.snapshot_retired, 1);
         assert_eq!(m.batch_envelopes, 3);
         assert_eq!(m.batch_queries, 12);
+        assert_eq!(m.deliver.events_published, 7);
+        assert_eq!(m.deliver.tree_depth, 3, "gauges merge by max");
     }
 
     #[test]

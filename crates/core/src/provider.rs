@@ -30,6 +30,10 @@ use evostore_tensor::{
 use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 
+use evostore_deliver::wire::methods as deliver_methods;
+use evostore_deliver::{SubscribeReply, SubscribeRequest, UnsubscribeReply, UnsubscribeRequest};
+
+use crate::delivery::{CatalogChange, DeliveryHub};
 use crate::messages::*;
 use crate::owner_map::OwnerMap;
 use crate::policy::DeltaPolicy;
@@ -137,6 +141,9 @@ struct Catalog {
     /// Publication counter: bumped once per mutation, stamped on the
     /// snapshot it produces (strictly monotone across publications).
     version: u64,
+    /// Change log of the in-progress mutation, drained at publication
+    /// and handed to the delivery hub for subscription matching.
+    changes: Vec<CatalogChange>,
 }
 
 impl Catalog {
@@ -145,6 +152,7 @@ impl Catalog {
             records: HashMap::new(),
             index: ArchIndex::new(),
             version: 0,
+            changes: Vec::new(),
         }
     }
 
@@ -152,11 +160,19 @@ impl Catalog {
         self.index
             .insert(model, Arc::clone(&rec.graph), rec.quality);
         self.records.insert(model, Arc::new(rec));
+        self.changes.push(CatalogChange::Stored { model });
     }
 
     fn remove(&mut self, model: ModelId) -> Option<Arc<ModelRecord>> {
         let rec = self.records.remove(&model)?;
         self.index.remove(model);
+        self.changes.push(CatalogChange::Retired {
+            model,
+            parent: rec.parent,
+            graph: Arc::clone(&rec.graph),
+            quality: rec.quality,
+            timestamp: rec.timestamp,
+        });
         Some(rec)
     }
 
@@ -421,6 +437,9 @@ pub struct ProviderState {
     /// Delta records rewritten back to raw bytes (base reclaimed, or a
     /// maintenance re-base pass).
     delta_rebased: AtomicU64,
+    /// Subscription matching and event delivery for this provider's
+    /// catalog publications (the delivery plane).
+    delivery: Arc<DeliveryHub>,
 }
 
 impl ProviderState {
@@ -449,7 +468,16 @@ impl ProviderState {
         let mut catalog = self.catalog.write();
         let out = f(&mut catalog);
         catalog.version += 1;
-        self.snapshot.store(catalog.snapshot());
+        let snap = catalog.snapshot();
+        self.snapshot.store(Arc::clone(&snap));
+        // Hand the mutation's change log to the delivery hub while the
+        // write lock is still held: subscribers observe events in
+        // exactly the publication order. With no subscribers this is
+        // one atomic load.
+        let changes = std::mem::take(&mut catalog.changes);
+        if !changes.is_empty() {
+            self.delivery.on_publication(&snap, &changes);
+        }
         out
     }
 
@@ -1788,6 +1816,7 @@ impl ProviderState {
             snapshot_retired: self.snapshot.retired_len() as u64,
             batch_envelopes: self.batch_envelopes.load(Ordering::Relaxed),
             batch_queries: self.batch_queries.load(Ordering::Relaxed),
+            deliver: self.delivery.stats(),
         }
     }
 
@@ -1899,6 +1928,7 @@ impl ProviderState {
                 );
             }
         }
+        metrics.extend(stats.deliver.metrics(p));
         let rec = self.tracer.recorder();
         metrics.push(
             Metric::counter("evostore_obs_flight_events", rec.recorded())
@@ -2014,6 +2044,28 @@ impl ProviderState {
         });
         keys
     }
+
+    // ---- delivery plane --------------------------------------------------
+
+    /// This provider's delivery hub (tests, diagnostics).
+    pub fn delivery(&self) -> &Arc<DeliveryHub> {
+        &self.delivery
+    }
+
+    fn handle_subscribe(&self, req: SubscribeRequest) -> Result<SubscribeReply, String> {
+        // Hold the catalog read lock across the replay scan and the
+        // registration: publications run `on_publication` under the
+        // write lock, so no store can slip between the snapshot this
+        // replay sees and the moment the subscription starts matching
+        // (such a store would otherwise be neither replayed nor pushed).
+        let _catalog = self.catalog.read();
+        let snap = self.snapshot.load();
+        Ok(self.delivery.subscribe(req, &snap))
+    }
+
+    fn handle_unsubscribe(&self, req: UnsubscribeRequest) -> Result<UnsubscribeReply, String> {
+        Ok(self.delivery.unsubscribe(req))
+    }
 }
 
 /// A running provider: shared state + its fabric endpoint.
@@ -2021,6 +2073,15 @@ pub struct Provider {
     /// Shared state (handlers hold clones of this Arc).
     pub state: Arc<ProviderState>,
     endpoint: Endpoint,
+}
+
+impl Drop for Provider {
+    fn drop(&mut self) {
+        // Stop the delivery pump before the endpoint goes away; a pump
+        // push racing teardown would otherwise spin on dead endpoints
+        // until its subscriber reap kicks in.
+        self.state.delivery.shutdown();
+    }
 }
 
 impl Provider {
@@ -2043,6 +2104,7 @@ impl Provider {
         service_threads: usize,
         obs: Option<&ObsHub>,
         delta: DeltaPolicy,
+        deliver_fanout: usize,
     ) -> Provider {
         let endpoint = fabric.create_endpoint(service_threads);
         let node = format!("provider{index}");
@@ -2062,6 +2124,23 @@ impl Provider {
                 Tracer::new(&node, wall, ring)
             }
         };
+        // The pump pushes from its own thread, outside any handler
+        // span, so it gets its own span factory (`deliver.push` roots
+        // land in a dedicated flight ring under observation).
+        let deliver_tracer = obs.map(|hub| {
+            let dnode = format!("deliver{index}");
+            Tracer::new(
+                &dnode,
+                Arc::clone(hub.clock()),
+                hub.new_recorder(&dnode, PROVIDER_FLIGHT_EVENTS),
+            )
+        });
+        let delivery = Arc::new(DeliveryHub::new(
+            Arc::clone(&fabric),
+            endpoint.id().0,
+            deliver_fanout,
+            deliver_tracer,
+        ));
         let state = Arc::new(ProviderState {
             fabric: Arc::clone(&fabric),
             index,
@@ -2093,6 +2172,7 @@ impl Provider {
             delta_stored: AtomicU64::new(0),
             delta_reconstructs: AtomicU64::new(0),
             delta_rebased: AtomicU64::new(0),
+            delivery,
         });
 
         // Every handler runs under `traced`: when the RPC envelope
@@ -2206,6 +2286,18 @@ impl Provider {
             methods::OBS_SNAPSHOT,
             typed_handler(move |_: ObsSnapshotRequest| {
                 s.traced(methods::OBS_SNAPSHOT, || Ok(s.obs_snapshot()))
+            }),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            deliver_methods::SUBSCRIBE,
+            typed_handler(move |r| s.traced(deliver_methods::SUBSCRIBE, || s.handle_subscribe(r))),
+        );
+        let s = Arc::clone(&state);
+        endpoint.register(
+            deliver_methods::UNSUBSCRIBE,
+            typed_handler(move |r| {
+                s.traced(deliver_methods::UNSUBSCRIBE, || s.handle_unsubscribe(r))
             }),
         );
 

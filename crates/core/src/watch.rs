@@ -1,0 +1,777 @@
+//! Client-side delivery plane: the [`ModelWatcher`].
+//!
+//! A watcher attaches to a [`CachingClient`], registers its own fabric
+//! endpoint, and subscribes to every provider with one
+//! [`SubscriptionFilter`]. Providers push sequence-numbered
+//! [`ModelEvent`]s; the watcher
+//!
+//! * applies them **exactly once** per `(provider, seq)` — duplicates
+//!   (retried pushes) are acknowledged without re-applying, and gaps
+//!   surface as typed [`EvoError::EventsLost`] plus an automatic
+//!   replaying resubscribe keyed on the durable record timestamp;
+//! * keeps the tensor cache honest — a `Stored` or `Retired` event for
+//!   a model immediately invalidates every cached tensor owned by the
+//!   superseded version;
+//! * prefetches released weights along the event's *fetch chain* — the
+//!   provider-rooted broadcast tree position assigned to this
+//!   subscriber. The watcher tries its tree parent (a peer subscriber)
+//!   first and walks up the chain on failure; the chain always ends at
+//!   the provider, so a release lands even if every peer is down;
+//! * serves the fetched weights onward to its own tree children over
+//!   the one-sided bulk plane (`deliver.fetch`), so one release costs
+//!   the provider ~fanout payloads instead of one per subscriber.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use evostore_deliver::wire::methods as deliver_methods;
+use evostore_deliver::{
+    EventAck, EventKind, EventPush, ModelEvent, PeerFetchReply, PeerFetchRequest, SegmentEntry,
+    SubscribeReply, SubscribeRequest, SubscriptionFilter, UnsubscribeReply, UnsubscribeRequest,
+};
+use evostore_obs::{current_trace, HistogramSummary, Metric, ObsHub, Tracer};
+use evostore_rpc::{typed_handler, unary, BulkHandle, Endpoint, EndpointId, Fabric, RetryPolicy};
+use evostore_tensor::{read_tensor, write_tensor, ModelId, TensorData, TensorKey};
+use parking_lot::Mutex;
+
+use crate::cache::CachingClient;
+use crate::client::{EvoError, Result};
+use crate::telemetry::LatencyHistogram;
+
+/// Watcher tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Provider-side bound on undelivered events for this subscriber.
+    pub queue_capacity: usize,
+    /// Fetch released weights into the cache on `Stored` events.
+    pub prefetch: bool,
+    /// Expose fetched weights to tree children over `deliver.fetch`.
+    pub serve_peers: bool,
+    /// Follow the event's broadcast-tree fetch chain (peers first);
+    /// `false` fetches every release straight from the provider — the
+    /// unicast baseline the `deliver_ab` bench compares against.
+    pub use_fetch_chain: bool,
+    /// Resubscribe with replay automatically when a sequence gap or an
+    /// `EventsLost` marker is detected.
+    pub auto_resubscribe: bool,
+    /// Initial replay point: `Some(ts)` replays every cataloged record
+    /// newer than `ts` on subscribe (use `Some(0)` for "everything").
+    pub replay_after: Option<u64>,
+    /// Service threads of the watcher's endpoint (one applies event
+    /// pushes while another serves peer fetches).
+    pub service_threads: usize,
+    /// Poll interval while a tree parent is still fetching upstream.
+    pub peer_poll: Duration,
+    /// Polls before giving up on a parent and walking up the chain.
+    pub peer_poll_attempts: usize,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            queue_capacity: 256,
+            prefetch: true,
+            serve_peers: true,
+            use_fetch_chain: true,
+            auto_resubscribe: true,
+            replay_after: None,
+            service_threads: 2,
+            peer_poll: Duration::from_millis(2),
+            peer_poll_attempts: 500,
+        }
+    }
+}
+
+/// One event the watcher has applied (test/diagnostic log).
+#[derive(Debug, Clone)]
+pub struct AppliedEvent {
+    /// The model the event names.
+    pub model: ModelId,
+    /// Stored or retired.
+    pub kind: EventKind,
+    /// Sequence number within the subscription.
+    pub seq: u64,
+    /// The provider endpoint that pushed it.
+    pub provider: u32,
+    /// Where the weights came from (`None`: no prefetch ran).
+    pub source: Option<FetchSource>,
+}
+
+/// Where a prefetch got its bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchSource {
+    /// Every tensor was already cached.
+    Cache,
+    /// Fetched from a peer subscriber (the tree parent at this endpoint).
+    Peer(u32),
+    /// Fetched from the provider.
+    Provider,
+}
+
+/// Watcher counters snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct WatchStats {
+    /// Events applied (stores + retires), exactly once each.
+    pub events_applied: u64,
+    /// Duplicate events skipped (already below the cursor).
+    pub events_duplicate: u64,
+    /// Sequence gaps / loss markers observed.
+    pub gaps: u64,
+    /// Retire events among the applied.
+    pub retires_applied: u64,
+    /// Prefetches satisfied by a peer subscriber.
+    pub peer_fetches: u64,
+    /// Prefetches satisfied by the provider.
+    pub provider_fetches: u64,
+    /// Payload bytes pulled from peers.
+    pub peer_bytes_fetched: u64,
+    /// Payload bytes pulled from providers — the provider egress this
+    /// watcher is responsible for.
+    pub provider_bytes_fetched: u64,
+    /// Payload bytes this watcher served onward to its tree children.
+    pub peer_bytes_served: u64,
+    /// Tensors a prefetch found already cached.
+    pub cache_hits_on_fetch: u64,
+    /// Event receipt → weights cached, per prefetched release.
+    pub time_to_weights: HistogramSummary,
+}
+
+#[derive(Default)]
+struct WatchTelemetry {
+    events_applied: AtomicU64,
+    events_duplicate: AtomicU64,
+    gaps: AtomicU64,
+    retires_applied: AtomicU64,
+    peer_fetches: AtomicU64,
+    provider_fetches: AtomicU64,
+    peer_bytes_fetched: AtomicU64,
+    provider_bytes_fetched: AtomicU64,
+    peer_bytes_served: AtomicU64,
+    cache_hits_on_fetch: AtomicU64,
+    time_to_weights: LatencyHistogram,
+}
+
+impl WatchTelemetry {
+    fn stats(&self) -> WatchStats {
+        WatchStats {
+            events_applied: self.events_applied.load(Ordering::Relaxed),
+            events_duplicate: self.events_duplicate.load(Ordering::Relaxed),
+            gaps: self.gaps.load(Ordering::Relaxed),
+            retires_applied: self.retires_applied.load(Ordering::Relaxed),
+            peer_fetches: self.peer_fetches.load(Ordering::Relaxed),
+            provider_fetches: self.provider_fetches.load(Ordering::Relaxed),
+            peer_bytes_fetched: self.peer_bytes_fetched.load(Ordering::Relaxed),
+            provider_bytes_fetched: self.provider_bytes_fetched.load(Ordering::Relaxed),
+            peer_bytes_served: self.peer_bytes_served.load(Ordering::Relaxed),
+            cache_hits_on_fetch: self.cache_hits_on_fetch.load(Ordering::Relaxed),
+            time_to_weights: self.time_to_weights.summary(),
+        }
+    }
+
+    /// The `evostore_deliver_*` rows of one watcher, labeled by node.
+    fn metrics(&self, node: &str) -> Vec<Metric> {
+        let s = self.stats();
+        vec![
+            Metric::counter("evostore_deliver_events_applied", s.events_applied)
+                .with_label("client", node),
+            Metric::counter("evostore_deliver_events_duplicate", s.events_duplicate)
+                .with_label("client", node),
+            Metric::counter("evostore_deliver_gaps", s.gaps).with_label("client", node),
+            Metric::counter("evostore_deliver_peer_fetches", s.peer_fetches)
+                .with_label("client", node),
+            Metric::counter("evostore_deliver_provider_fetches", s.provider_fetches)
+                .with_label("client", node),
+            Metric::counter("evostore_deliver_peer_bytes_fetched", s.peer_bytes_fetched)
+                .with_label("client", node),
+            Metric::counter(
+                "evostore_deliver_provider_egress_bytes",
+                s.provider_bytes_fetched,
+            )
+            .with_label("client", node),
+            Metric::counter("evostore_deliver_peer_bytes_served", s.peer_bytes_served)
+                .with_label("client", node),
+            Metric::histogram("evostore_deliver_time_to_weights_us", s.time_to_weights)
+                .with_label("client", node),
+        ]
+    }
+}
+
+/// Cursor into one provider's event stream.
+struct SubCursor {
+    sub_id: u64,
+    /// Next sequence number this watcher will apply; everything below
+    /// is processed (the cumulative ack).
+    next_expected: u64,
+    /// Highest record timestamp applied — the durable replay key a
+    /// resubscribe hands back to the provider.
+    last_ts: u64,
+}
+
+/// A model this watcher holds serialized and exposed for its children.
+struct ServedModel {
+    manifest: Vec<SegmentEntry>,
+    bulk: u64,
+    bytes: u64,
+}
+
+#[derive(Default)]
+struct WatchLog {
+    applied: Vec<AppliedEvent>,
+    errors: Vec<EvoError>,
+}
+
+struct WatcherInner {
+    client: CachingClient,
+    fabric: Arc<Fabric>,
+    self_ep: u32,
+    cfg: WatchConfig,
+    filter: SubscriptionFilter,
+    /// Fail-fast policy for peer polls (chain failover is the retry).
+    peer_retry: RetryPolicy,
+    /// Client retry policy for control-plane calls (subscribe).
+    retry: RetryPolicy,
+    subs: Mutex<HashMap<u32, SubCursor>>,
+    log: Mutex<WatchLog>,
+    served: Mutex<HashMap<ModelId, ServedModel>>,
+    telemetry: WatchTelemetry,
+    tracer: Arc<Tracer>,
+}
+
+/// A live subscription endpoint: see the module docs.
+pub struct ModelWatcher {
+    inner: Arc<WatcherInner>,
+    endpoint: Endpoint,
+}
+
+impl ModelWatcher {
+    /// Attach a watcher to `client`'s deployment: create an endpoint on
+    /// the client's fabric, register the `deliver.event` /
+    /// `deliver.fetch` handlers, and subscribe to every provider with
+    /// `filter`. When an [`ObsHub`] is passed, the watcher's
+    /// `evostore_deliver_*` counters register with it under node
+    /// `watcher{endpoint}`.
+    pub fn attach(
+        client: CachingClient,
+        filter: SubscriptionFilter,
+        cfg: WatchConfig,
+        obs: Option<&ObsHub>,
+    ) -> Result<ModelWatcher> {
+        let fabric = Arc::clone(client.inner().fabric());
+        let endpoint = fabric.create_endpoint(cfg.service_threads.max(1));
+        let self_ep = endpoint.id().0;
+        let retry = client.inner().retry_policy().clone();
+        let tracer = Arc::clone(client.inner().tracer());
+        let inner = Arc::new(WatcherInner {
+            client,
+            fabric,
+            self_ep,
+            cfg,
+            filter,
+            peer_retry: RetryPolicy::no_retry().with_timeout(Duration::from_secs(1)),
+            retry,
+            subs: Mutex::new(HashMap::new()),
+            log: Mutex::new(WatchLog::default()),
+            served: Mutex::new(HashMap::new()),
+            telemetry: WatchTelemetry::default(),
+            tracer,
+        });
+
+        let w = Arc::clone(&inner);
+        endpoint.register(
+            deliver_methods::EVENT,
+            typed_handler(move |push: EventPush| {
+                w.traced("deliver.apply", |w| w.handle_event(push))
+            }),
+        );
+        let w = Arc::clone(&inner);
+        endpoint.register(
+            deliver_methods::FETCH,
+            typed_handler(move |req: PeerFetchRequest| {
+                w.traced("deliver.fetch", |w| Ok(w.handle_peer_fetch(req)))
+            }),
+        );
+
+        if let Some(hub) = obs {
+            let node = format!("watcher{self_ep}");
+            let w = Arc::clone(&inner);
+            hub.registry().register(move || w.telemetry.metrics(&node));
+        }
+
+        let watcher = ModelWatcher { inner, endpoint };
+        watcher.inner.subscribe_all()?;
+        Ok(watcher)
+    }
+
+    /// The watcher's fabric endpoint id (its address in fetch chains).
+    pub fn endpoint_id(&self) -> EndpointId {
+        self.endpoint.id()
+    }
+
+    /// The caching client the watcher feeds.
+    pub fn client(&self) -> &CachingClient {
+        &self.inner.client
+    }
+
+    /// Events applied so far, in application order.
+    pub fn applied(&self) -> Vec<AppliedEvent> {
+        self.inner.log.lock().applied.clone()
+    }
+
+    /// Drain the error log (typed `EventsLost`, failed prefetches).
+    pub fn take_errors(&self) -> Vec<EvoError> {
+        std::mem::take(&mut self.inner.log.lock().errors)
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> WatchStats {
+        self.inner.telemetry.stats()
+    }
+
+    /// Poll until `pred` holds or `timeout` elapses; returns whether the
+    /// predicate was met.
+    pub fn wait_until(&self, timeout: Duration, pred: impl Fn() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if pred() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for ModelWatcher {
+    fn drop(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+impl WatcherInner {
+    /// Run `f` under a span joined to the pusher's trace when the RPC
+    /// envelope carried one (mirrors the provider-side handler pattern).
+    fn traced<T>(
+        self: &Arc<Self>,
+        name: &'static str,
+        f: impl FnOnce(&Arc<Self>) -> std::result::Result<T, String>,
+    ) -> std::result::Result<T, String> {
+        let Some(parent) = current_trace() else {
+            return f(self);
+        };
+        let mut span = self.tracer.start_child(parent, name, Some(self.self_ep));
+        let out = {
+            let _g = evostore_obs::set_current_trace(Some(span.ctx()));
+            f(self)
+        };
+        if let Err(e) = &out {
+            span.fail(e.clone());
+        }
+        span.finish();
+        out
+    }
+
+    // ---- subscription lifecycle -----------------------------------------
+
+    fn subscribe_all(self: &Arc<Self>) -> Result<()> {
+        for &provider in self.client.inner().provider_endpoints() {
+            self.subscribe_to(provider, self.cfg.replay_after)?;
+        }
+        Ok(())
+    }
+
+    fn subscribe_to(&self, provider: EndpointId, replay_after: Option<u64>) -> Result<()> {
+        let req = SubscribeRequest {
+            filter: self.filter.clone(),
+            subscriber: self.self_ep,
+            queue_capacity: self.cfg.queue_capacity,
+            replay_after,
+        };
+        let reply: SubscribeReply = unary(
+            &self.fabric,
+            provider,
+            deliver_methods::SUBSCRIBE,
+            &req,
+            &self.retry,
+            None,
+        )?;
+        self.subs.lock().insert(
+            provider.0,
+            SubCursor {
+                sub_id: reply.sub_id,
+                next_expected: 0,
+                last_ts: replay_after.unwrap_or(0),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drop and re-create the subscription on one provider, replaying
+    /// every record newer than `replay_from` — the gap recovery path.
+    /// Callers pass the last timestamp applied *before* the gap, so the
+    /// lost window is inside the replay even when later events already
+    /// advanced the cursor past it.
+    fn resubscribe(&self, provider: u32, replay_from: u64) {
+        let old = self.subs.lock().remove(&provider);
+        if let Some(c) = old {
+            let _ = unary::<_, UnsubscribeReply>(
+                &self.fabric,
+                EndpointId(provider),
+                deliver_methods::UNSUBSCRIBE,
+                &UnsubscribeRequest { sub_id: c.sub_id },
+                &self.peer_retry,
+                None,
+            );
+        }
+        if let Err(e) = self.subscribe_to(EndpointId(provider), Some(replay_from)) {
+            self.log.lock().errors.push(e);
+        }
+    }
+
+    fn shutdown(&self) {
+        let subs: Vec<(u32, u64)> = self
+            .subs
+            .lock()
+            .iter()
+            .map(|(&p, c)| (p, c.sub_id))
+            .collect();
+        for (provider, sub_id) in subs {
+            let _ = unary::<_, UnsubscribeReply>(
+                &self.fabric,
+                EndpointId(provider),
+                deliver_methods::UNSUBSCRIBE,
+                &UnsubscribeRequest { sub_id },
+                &self.peer_retry,
+                None,
+            );
+        }
+        let served: Vec<ServedModel> = self.served.lock().drain().map(|(_, s)| s).collect();
+        for s in served {
+            self.fabric.bulk_release(BulkHandle(s.bulk));
+        }
+    }
+
+    // ---- event application ----------------------------------------------
+
+    /// Apply one push: advance the cursor exactly once per sequence
+    /// number, surface gaps as typed errors, and prefetch outside the
+    /// cursor lock.
+    fn handle_event(self: &Arc<Self>, push: EventPush) -> std::result::Result<EventAck, String> {
+        let mut to_apply: Vec<ModelEvent> = Vec::new();
+        let mut need_resub = false;
+        let resub_from;
+        let ack = {
+            let mut subs = self.subs.lock();
+            let Some(cursor) = subs.get_mut(&push.provider) else {
+                // The subscribe reply hasn't landed the cursor yet (a
+                // replay push can race it) or the watcher is shutting
+                // down. Refuse the push: the pump re-delivers with
+                // backoff; acking here would drain events unseen.
+                return Err("subscription not registered yet".into());
+            };
+            if cursor.sub_id != push.sub_id {
+                return Err("subscription superseded".into());
+            }
+            // The replay point a gap recovery must use: everything
+            // applied *before* this push is safe, nothing in it is.
+            resub_from = cursor.last_ts;
+            if let Some(from) = push.lost_from {
+                if from >= cursor.next_expected {
+                    self.telemetry.gaps.fetch_add(1, Ordering::Relaxed);
+                    self.log
+                        .lock()
+                        .errors
+                        .push(EvoError::EventsLost { from_seq: from });
+                    need_resub = true;
+                }
+            }
+            for ev in push.events {
+                if ev.seq < cursor.next_expected {
+                    // Duplicate (a retried push): acknowledged, never
+                    // re-applied.
+                    self.telemetry
+                        .events_duplicate
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if ev.seq > cursor.next_expected {
+                    self.telemetry.gaps.fetch_add(1, Ordering::Relaxed);
+                    self.log.lock().errors.push(EvoError::EventsLost {
+                        from_seq: cursor.next_expected,
+                    });
+                    need_resub = true;
+                }
+                cursor.next_expected = ev.seq + 1;
+                cursor.last_ts = cursor.last_ts.max(ev.timestamp);
+                to_apply.push(ev);
+            }
+            cursor.next_expected
+        };
+        for ev in to_apply {
+            self.apply(ev, push.provider);
+        }
+        if need_resub && self.cfg.auto_resubscribe {
+            self.resubscribe(push.provider, resub_from);
+        }
+        Ok(EventAck { next_expected: ack })
+    }
+
+    /// Apply one event: invalidate superseded cache state, then (for
+    /// stores, when prefetching) pull the weights along the fetch chain.
+    fn apply(self: &Arc<Self>, ev: ModelEvent, provider: u32) {
+        let started = Instant::now();
+        // A new version or a retirement supersedes whatever this model
+        // had cached; drop it before anything can read it stale. Serving
+        // state for the model is superseded with it.
+        self.client.cache().invalidate_owner(ev.model);
+        self.drop_served(ev.model);
+        let mut source = None;
+        match ev.kind {
+            EventKind::Retired => {
+                self.telemetry
+                    .retires_applied
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Stored => {
+                if self.cfg.prefetch {
+                    match self.fetch_weights(&ev, provider) {
+                        Ok(s) => {
+                            source = Some(s);
+                            self.telemetry.time_to_weights.record(started.elapsed());
+                        }
+                        Err(e) => self.log.lock().errors.push(e),
+                    }
+                }
+            }
+        }
+        self.telemetry
+            .events_applied
+            .fetch_add(1, Ordering::Relaxed);
+        self.log.lock().applied.push(AppliedEvent {
+            model: ev.model,
+            kind: ev.kind,
+            seq: ev.seq,
+            provider,
+            source,
+        });
+    }
+
+    // ---- weight fetching (peer-assisted) --------------------------------
+
+    /// Pull a released model's tensors into the cache, trying each hop
+    /// of the event's fetch chain in order (tree parent first, provider
+    /// last), then expose the serialized bytes for this watcher's own
+    /// tree children.
+    fn fetch_weights(self: &Arc<Self>, ev: &ModelEvent, provider: u32) -> Result<FetchSource> {
+        let meta = self.client.inner().get_meta(ev.model)?;
+        let keys = meta.owner_map.all_tensor_keys();
+        let (mut have, missing) = self.client.cache().get_batch(&keys);
+        self.telemetry
+            .cache_hits_on_fetch
+            .fetch_add(have.len() as u64, Ordering::Relaxed);
+        let mut source = FetchSource::Cache;
+        let mut raw_segments: HashMap<TensorKey, Bytes> = HashMap::new();
+        if !missing.is_empty() {
+            let chain: Vec<u32> = if self.cfg.use_fetch_chain && !ev.fetch_chain.is_empty() {
+                ev.fetch_chain.clone()
+            } else {
+                vec![provider]
+            };
+            let last = chain.len() - 1;
+            let mut fetched = false;
+            let mut chain_err = None;
+            for (i, &hop) in chain.iter().enumerate() {
+                let from_provider = i == last;
+                let outcome = if from_provider {
+                    self.fetch_from_provider(&missing, &mut have)
+                        .map(|()| FetchSource::Provider)
+                } else {
+                    self.fetch_from_peer(hop, ev.model, &missing, &mut have, &mut raw_segments)
+                        .map(|()| FetchSource::Peer(hop))
+                };
+                match outcome {
+                    Ok(s) => {
+                        source = s;
+                        fetched = true;
+                        break;
+                    }
+                    // Dead or still-empty hop: fail over one level up
+                    // the chain — this is how the tree re-forms around
+                    // a downed interior peer without re-planning.
+                    Err(e) => chain_err = Some(e),
+                }
+            }
+            if !fetched {
+                return Err(
+                    chain_err.unwrap_or_else(|| EvoError::Protocol("empty fetch chain".into()))
+                );
+            }
+        }
+        if self.cfg.serve_peers {
+            self.expose(ev.model, &keys, &have, &raw_segments);
+        }
+        Ok(source)
+    }
+
+    /// Fetch `missing` straight from the deployment (placement-routed
+    /// reads); counts toward provider egress.
+    fn fetch_from_provider(
+        &self,
+        missing: &[TensorKey],
+        have: &mut HashMap<TensorKey, TensorData>,
+    ) -> Result<()> {
+        let fetched = self.client.inner().fetch_tensors(missing)?;
+        let bytes: u64 = fetched.values().map(|t| t.byte_len() as u64).sum();
+        self.telemetry
+            .provider_fetches
+            .fetch_add(1, Ordering::Relaxed);
+        self.telemetry
+            .provider_bytes_fetched
+            .fetch_add(bytes, Ordering::Relaxed);
+        for (k, t) in fetched {
+            self.client.cache().put(k, t.clone());
+            have.insert(k, t);
+        }
+        Ok(())
+    }
+
+    /// Fetch `missing` from a peer subscriber: poll `deliver.fetch`
+    /// until the peer holds the model (it may still be fetching
+    /// upstream itself), then read its exposed bulk region one-sidedly.
+    fn fetch_from_peer(
+        &self,
+        peer: u32,
+        model: ModelId,
+        missing: &[TensorKey],
+        have: &mut HashMap<TensorKey, TensorData>,
+        raw_segments: &mut HashMap<TensorKey, Bytes>,
+    ) -> Result<()> {
+        let req = PeerFetchRequest { model };
+        let mut reply: Option<PeerFetchReply> = None;
+        for _ in 0..self.cfg.peer_poll_attempts.max(1) {
+            let r: PeerFetchReply = unary(
+                &self.fabric,
+                EndpointId(peer),
+                deliver_methods::FETCH,
+                &req,
+                &self.peer_retry,
+                None,
+            )?;
+            if r.ready {
+                reply = Some(r);
+                break;
+            }
+            std::thread::sleep(self.cfg.peer_poll);
+        }
+        let reply = reply.ok_or(EvoError::Unavailable {
+            endpoint: EndpointId(peer),
+        })?;
+        let region = self.fabric.bulk_get_vec(BulkHandle(reply.bulk))?;
+        let wanted: std::collections::HashSet<TensorKey> = missing.iter().copied().collect();
+        let mut bytes = 0u64;
+        for entry in &reply.manifest {
+            if !wanted.contains(&entry.key) {
+                continue;
+            }
+            let raw = region
+                .slice(entry.offset as usize, entry.len as usize)
+                .ok_or_else(|| EvoError::Protocol("peer manifest out of range".into()))?;
+            // Full deserialization validates the record (checksums);
+            // a corrupt peer copy surfaces instead of propagating.
+            let tensor = read_tensor(raw.clone()).map_err(|e| EvoError::Corrupt {
+                key: format!("{}: {e}", entry.key),
+            })?;
+            bytes += entry.len;
+            self.client.cache().put(entry.key, tensor.clone());
+            have.insert(entry.key, tensor);
+            raw_segments.insert(entry.key, raw);
+        }
+        if missing.iter().any(|k| !have.contains_key(k)) {
+            return Err(EvoError::Protocol(format!(
+                "peer {peer} manifest missing tensors of {model}"
+            )));
+        }
+        self.telemetry.peer_fetches.fetch_add(1, Ordering::Relaxed);
+        self.telemetry
+            .peer_bytes_fetched
+            .fetch_add(bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Expose a model's serialized tensors for this watcher's tree
+    /// children. Segments fetched from a peer are re-exposed as the
+    /// same bytes; cache/provider tensors are serialized here once.
+    fn expose(
+        &self,
+        model: ModelId,
+        keys: &[TensorKey],
+        have: &HashMap<TensorKey, TensorData>,
+        raw_segments: &HashMap<TensorKey, Bytes>,
+    ) {
+        let mut segments = Vec::with_capacity(keys.len());
+        let mut manifest = Vec::with_capacity(keys.len());
+        let mut offset = 0u64;
+        for &key in keys {
+            let raw = match raw_segments.get(&key) {
+                Some(raw) => raw.clone(),
+                None => match have.get(&key) {
+                    Some(t) => write_tensor(t),
+                    None => return, // incomplete set: don't serve it
+                },
+            };
+            let len = raw.len() as u64;
+            manifest.push(SegmentEntry { key, offset, len });
+            offset += len;
+            segments.push(raw);
+        }
+        // Owned by this watcher's endpoint: if the watcher dies, the
+        // region reports Unavailable and children fail over up-chain.
+        let handle = self
+            .fabric
+            .bulk_expose_vec_owned(segments, EndpointId(self.self_ep));
+        let prev = self.served.lock().insert(
+            model,
+            ServedModel {
+                manifest,
+                bulk: handle.0,
+                bytes: offset,
+            },
+        );
+        if let Some(old) = prev {
+            self.fabric.bulk_release(BulkHandle(old.bulk));
+        }
+    }
+
+    fn drop_served(&self, model: ModelId) {
+        if let Some(old) = self.served.lock().remove(&model) {
+            self.fabric.bulk_release(BulkHandle(old.bulk));
+        }
+    }
+
+    /// Serve a child's `deliver.fetch`: point it at the exposed region,
+    /// or tell it to poll again (`ready: false`) while this watcher is
+    /// still fetching upstream itself.
+    fn handle_peer_fetch(&self, req: PeerFetchRequest) -> PeerFetchReply {
+        match self.served.lock().get(&req.model) {
+            Some(s) => {
+                self.telemetry
+                    .peer_bytes_served
+                    .fetch_add(s.bytes, Ordering::Relaxed);
+                PeerFetchReply {
+                    ready: true,
+                    manifest: s.manifest.clone(),
+                    bulk: s.bulk,
+                }
+            }
+            None => PeerFetchReply {
+                ready: false,
+                manifest: Vec::new(),
+                bulk: 0,
+            },
+        }
+    }
+}

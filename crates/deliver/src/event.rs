@@ -1,0 +1,213 @@
+//! Sequence-numbered catalog events and the bounded per-subscriber
+//! queue that holds them between publication and acknowledged delivery.
+
+use std::collections::VecDeque;
+
+use evostore_tensor::ModelId;
+use serde::{Deserialize, Serialize};
+
+/// What happened to the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The model was stored (or re-stored / recovered) into the catalog.
+    Stored,
+    /// The model was retired from the catalog.
+    Retired,
+}
+
+/// One catalog change as seen by one subscription.
+///
+/// `seq` numbers are per *subscription incarnation*: the provider
+/// assigns 0, 1, 2, ... in enqueue order, and the subscriber detects
+/// duplicates (`seq` below its cursor — redelivery after a lost ack)
+/// and gaps (`seq` above its cursor — events dropped by queue overflow
+/// or a provider restart) purely from the sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelEvent {
+    /// Delivery sequence number within the subscription.
+    pub seq: u64,
+    /// Store or retire.
+    pub kind: EventKind,
+    /// The model the change is about.
+    pub model: ModelId,
+    /// Its recorded parent, when known.
+    pub parent: Option<ModelId>,
+    /// Record quality at publication time.
+    pub quality: f64,
+    /// Deployment write-clock timestamp of the record. Replay after a
+    /// provider restart is keyed on this (sequence numbers reset with
+    /// the subscription; timestamps are durable with the record).
+    pub timestamp: u64,
+    /// Upstream sources for this subscriber to fetch the weights from,
+    /// nearest first: tree parent, grandparent, ..., ending with the
+    /// provider endpoint. Empty for events that carry no payload to
+    /// fetch (retirements, replays fall back to the provider).
+    pub fetch_chain: Vec<u32>,
+}
+
+/// Bounded in-order event queue for one subscription.
+///
+/// Events wait here from publication until the subscriber acknowledges
+/// them; redelivery after a failed push is simply "the front of the
+/// queue is pushed again". When the queue is full the *oldest* pending
+/// event is dropped and remembered in `lost_from`, so the loss is
+/// reported to the subscriber as an explicit marker instead of a
+/// silent hole in the sequence.
+#[derive(Debug)]
+pub struct SubscriberQueue {
+    cap: usize,
+    next_seq: u64,
+    pending: VecDeque<ModelEvent>,
+    lost_from: Option<u64>,
+    dropped: u64,
+}
+
+impl SubscriberQueue {
+    /// A queue holding at most `cap` undelivered events (`cap` is
+    /// clamped to at least 1).
+    pub fn new(cap: usize) -> SubscriberQueue {
+        SubscriberQueue {
+            cap: cap.max(1),
+            next_seq: 0,
+            pending: VecDeque::new(),
+            lost_from: None,
+            dropped: 0,
+        }
+    }
+
+    /// Stamp the next sequence number on `ev` and enqueue it, evicting
+    /// the oldest pending event on overflow. Returns the number of
+    /// events dropped by this enqueue (0 or 1).
+    pub fn enqueue(&mut self, mut ev: ModelEvent) -> u64 {
+        ev.seq = self.next_seq;
+        self.next_seq += 1;
+        let mut lost = 0;
+        if self.pending.len() == self.cap {
+            let victim = self.pending.pop_front().expect("cap >= 1");
+            self.lost_from = Some(self.lost_from.map_or(victim.seq, |l| l.min(victim.seq)));
+            self.dropped += 1;
+            lost = 1;
+        }
+        self.pending.push_back(ev);
+        lost
+    }
+
+    /// The sequence number the next enqueued event will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Undelivered events currently queued.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The overflow bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Room left before an enqueue would overflow.
+    pub fn free(&self) -> usize {
+        self.cap - self.pending.len()
+    }
+
+    /// Events dropped by overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Snapshot up to `max` pending events (front first) plus the
+    /// overflow marker, for one delivery push. The queue is unchanged;
+    /// [`SubscriberQueue::ack`] removes what the subscriber confirms.
+    pub fn batch(&self, max: usize) -> (Option<u64>, Vec<ModelEvent>) {
+        (
+            self.lost_from,
+            self.pending.iter().take(max).cloned().collect(),
+        )
+    }
+
+    /// Acknowledge everything below `next_expected`: drop confirmed
+    /// events and clear the overflow marker once the subscriber has
+    /// seen it (the marker only covers sequences below the ack point).
+    /// Returns how many pending events the ack retired.
+    pub fn ack(&mut self, next_expected: u64) -> u64 {
+        let mut acked = 0;
+        while self
+            .pending
+            .front()
+            .is_some_and(|ev| ev.seq < next_expected)
+        {
+            self.pending.pop_front();
+            acked += 1;
+        }
+        if self.lost_from.is_some_and(|from| from < next_expected) {
+            self.lost_from = None;
+        }
+        acked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev() -> ModelEvent {
+        ModelEvent {
+            seq: 0,
+            kind: EventKind::Stored,
+            model: ModelId(1),
+            parent: None,
+            quality: 0.5,
+            timestamp: 1,
+            fetch_chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sequences_are_dense_and_ordered() {
+        let mut q = SubscriberQueue::new(8);
+        for _ in 0..3 {
+            q.enqueue(ev());
+        }
+        let (lost, batch) = q.batch(16);
+        assert_eq!(lost, None);
+        assert_eq!(
+            batch.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_marks_loss() {
+        let mut q = SubscriberQueue::new(2);
+        assert_eq!(q.enqueue(ev()) + q.enqueue(ev()), 0);
+        assert_eq!(q.enqueue(ev()), 1, "third enqueue evicts seq 0");
+        let (lost, batch) = q.batch(16);
+        assert_eq!(lost, Some(0));
+        assert_eq!(batch.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn ack_retires_prefix_and_clears_reported_loss() {
+        let mut q = SubscriberQueue::new(2);
+        q.enqueue(ev());
+        q.enqueue(ev());
+        q.enqueue(ev()); // drops seq 0
+        assert_eq!(q.ack(2), 1, "seq 1 confirmed, seq 2 still pending");
+        assert_eq!(q.pending_len(), 1);
+        let (lost, _) = q.batch(16);
+        assert_eq!(lost, None, "loss marker cleared once acked past it");
+    }
+
+    #[test]
+    fn redelivery_batches_are_stable_until_acked() {
+        let mut q = SubscriberQueue::new(4);
+        q.enqueue(ev());
+        let (_, a) = q.batch(16);
+        let (_, b) = q.batch(16);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].seq, b[0].seq, "unacked events re-push identically");
+    }
+}

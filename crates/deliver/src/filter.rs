@@ -1,0 +1,93 @@
+//! Subscription filters: what catalog changes a subscriber cares about.
+
+use evostore_graph::{lcp, CompactGraph};
+use evostore_tensor::ModelId;
+use serde::{Deserialize, Serialize};
+
+/// Interest declaration carried by a `deliver.subscribe` request and
+/// evaluated provider-side against every catalog publication.
+///
+/// Matching is evaluated against the *local* catalog snapshot of the
+/// provider holding the subscription: ancestor chains are walked through
+/// records the provider can see, so lineage that crosses provider
+/// boundaries is matched as far as the local catalog reaches.
+/// Subscribers that need deployment-wide coverage subscribe to every
+/// provider (which is what `ModelWatcher` does).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SubscriptionFilter {
+    /// A new version of one model: the event's model is `X` itself
+    /// (a re-store under the same id) or a *direct* child of `X`.
+    NewVersionOf(ModelId),
+    /// `X` or any transitive descendant of `X` (parent-chain walk).
+    DescendantOf(ModelId),
+    /// Any model whose architecture fully extends this prefix graph:
+    /// the longest common prefix of the pattern and the candidate
+    /// covers every pattern vertex.
+    ArchPrefix(CompactGraph),
+}
+
+impl SubscriptionFilter {
+    /// Does a catalog change for `model` (with ancestor chain
+    /// `ancestors`, nearest parent first, and architecture `graph`)
+    /// match this filter?
+    pub fn matches(&self, model: ModelId, ancestors: &[ModelId], graph: &CompactGraph) -> bool {
+        match self {
+            SubscriptionFilter::NewVersionOf(x) => model == *x || ancestors.first() == Some(x),
+            SubscriptionFilter::DescendantOf(x) => model == *x || ancestors.contains(x),
+            SubscriptionFilter::ArchPrefix(p) => {
+                !p.is_empty() && lcp(p, graph).prefix.len() == p.len()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evostore_graph::{flatten, GenomeSpace};
+    use rand::SeedableRng as _;
+
+    fn graphs() -> (CompactGraph, CompactGraph) {
+        let space = GenomeSpace::attn_like();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let g = space.sample(&mut rng);
+        let child = space.mutate(&g, &mut rng);
+        (
+            flatten(&space.materialize(&g)).unwrap(),
+            flatten(&space.materialize(&child)).unwrap(),
+        )
+    }
+
+    #[test]
+    fn new_version_matches_self_and_direct_child_only() {
+        let f = SubscriptionFilter::NewVersionOf(ModelId(1));
+        let (g, _) = graphs();
+        assert!(f.matches(ModelId(1), &[], &g));
+        assert!(f.matches(ModelId(2), &[ModelId(1)], &g));
+        assert!(
+            !f.matches(ModelId(3), &[ModelId(2), ModelId(1)], &g),
+            "grandchild is not a new version"
+        );
+    }
+
+    #[test]
+    fn descendant_matches_whole_chain() {
+        let f = SubscriptionFilter::DescendantOf(ModelId(1));
+        let (g, _) = graphs();
+        assert!(f.matches(ModelId(1), &[], &g));
+        assert!(f.matches(ModelId(3), &[ModelId(2), ModelId(1)], &g));
+        assert!(!f.matches(ModelId(3), &[ModelId(2)], &g));
+    }
+
+    #[test]
+    fn arch_prefix_requires_full_pattern_coverage() {
+        let (g, child) = graphs();
+        let own = SubscriptionFilter::ArchPrefix(g.clone());
+        // A graph is trivially a full prefix of itself.
+        assert!(own.matches(ModelId(9), &[], &g));
+        // The mutated child either extends the prefix fully or diverges;
+        // the filter must agree with lcp coverage either way.
+        let covered = lcp(&g, &child).prefix.len() == g.len();
+        assert_eq!(own.matches(ModelId(9), &[], &child), covered);
+    }
+}

@@ -1,0 +1,159 @@
+//! Deterministic provider-rooted broadcast trees.
+//!
+//! For one release with K matched subscribers the provider lays the
+//! subscriber endpoints out as a fanout-F forest: the first F
+//! subscribers fetch from the provider, each later subscriber from an
+//! earlier one. Every subscriber receives its full upstream *fetch
+//! chain* (parent, grandparent, ..., provider) in the event itself, so
+//! a dead interior peer needs no re-planning round-trip — the child
+//! fails over one hop up the chain, and the chain always ends at the
+//! provider. Provider egress per release is therefore ~F payloads in
+//! the healthy case and degrades toward unicast only as peers die.
+//!
+//! The layout is deterministic: endpoints are sorted, then rotated by
+//! the release's model id, so concurrent releases spread interior
+//! (high-uplink) duty across the subscriber population instead of
+//! always burdening the same low-numbered endpoints.
+
+/// A planned broadcast tree over the subscribers of one release.
+#[derive(Debug, Clone)]
+pub struct BroadcastTree {
+    fanout: usize,
+    order: Vec<u32>,
+}
+
+impl BroadcastTree {
+    /// Plan the tree for `subscribers` (endpoint ids, duplicates
+    /// ignored) with the given fanout (clamped to at least 1),
+    /// rotating the sorted order by `rotation` (callers pass the
+    /// released model's id).
+    pub fn plan(subscribers: &[u32], fanout: usize, rotation: u64) -> BroadcastTree {
+        let mut order: Vec<u32> = subscribers.to_vec();
+        order.sort_unstable();
+        order.dedup();
+        if !order.is_empty() {
+            let shift = (rotation % order.len() as u64) as usize;
+            order.rotate_left(shift);
+        }
+        BroadcastTree {
+            fanout: fanout.max(1),
+            order,
+        }
+    }
+
+    /// Subscribers in the tree.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the tree has no subscribers.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The planned fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Tree position of one subscriber endpoint.
+    pub fn position(&self, endpoint: u32) -> Option<usize> {
+        self.order.iter().position(|&e| e == endpoint)
+    }
+
+    /// The endpoint at one tree position.
+    pub fn endpoint_at(&self, pos: usize) -> u32 {
+        self.order[pos]
+    }
+
+    /// Position of the tree parent of position `pos` (`None` for the
+    /// first `fanout` positions, which fetch from the provider).
+    pub fn parent(&self, pos: usize) -> Option<usize> {
+        (pos >= self.fanout).then(|| pos / self.fanout - 1)
+    }
+
+    /// The upstream fetch chain for the subscriber at `pos`: tree
+    /// parent, grandparent, ..., ending with `provider`.
+    pub fn fetch_chain(&self, pos: usize, provider: u32) -> Vec<u32> {
+        let mut chain = Vec::new();
+        let mut at = pos;
+        while let Some(p) = self.parent(at) {
+            chain.push(self.order[p]);
+            at = p;
+        }
+        chain.push(provider);
+        chain
+    }
+
+    /// Hops from position `pos` to the provider (roots are depth 1).
+    pub fn depth_of(&self, pos: usize) -> usize {
+        let mut d = 1;
+        let mut at = pos;
+        while let Some(p) = self.parent(at) {
+            d += 1;
+            at = p;
+        }
+        d
+    }
+
+    /// Maximum hops-to-provider over all subscribers — the latency
+    /// depth of the release, ~`log_F(len)`.
+    pub fn depth(&self) -> usize {
+        if self.order.is_empty() {
+            return 0;
+        }
+        self.depth_of(self.order.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_links_form_a_fanout_bounded_forest() {
+        let eps: Vec<u32> = (0..100).collect();
+        let tree = BroadcastTree::plan(&eps, 3, 0);
+        let mut children = vec![0usize; 100];
+        for pos in 0..tree.len() {
+            match tree.parent(pos) {
+                None => assert!(pos < 3, "only the first F positions are roots"),
+                Some(p) => {
+                    assert!(p < pos, "parents precede children");
+                    children[p] += 1;
+                }
+            }
+        }
+        assert!(children.iter().all(|&c| c <= 3), "fanout bound respected");
+    }
+
+    #[test]
+    fn chains_end_at_provider_and_match_depth() {
+        let eps: Vec<u32> = (10..74).collect();
+        let tree = BroadcastTree::plan(&eps, 2, 5);
+        for pos in 0..tree.len() {
+            let chain = tree.fetch_chain(pos, 999);
+            assert_eq!(chain.last(), Some(&999));
+            assert_eq!(chain.len(), tree.depth_of(pos));
+        }
+        // 64 nodes at fanout 2: depth grows logarithmically, not linearly.
+        assert!(tree.depth() <= 6, "depth {} too deep", tree.depth());
+    }
+
+    #[test]
+    fn rotation_changes_roots_deterministically() {
+        let eps: Vec<u32> = (0..8).collect();
+        let a = BroadcastTree::plan(&eps, 2, 0);
+        let b = BroadcastTree::plan(&eps, 2, 3);
+        let c = BroadcastTree::plan(&eps, 2, 3);
+        assert_eq!(a.endpoint_at(0), 0);
+        assert_eq!(b.endpoint_at(0), 3, "rotation shifts the root set");
+        assert_eq!(b.endpoint_at(1), c.endpoint_at(1), "same inputs, same plan");
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let tree = BroadcastTree::plan(&[5, 5, 5, 2], 2, 0);
+        assert_eq!(tree.len(), 2);
+    }
+}

@@ -50,6 +50,7 @@
 
 pub use evostore_baseline as baseline;
 pub use evostore_core as core;
+pub use evostore_deliver as deliver;
 pub use evostore_graph as graph;
 pub use evostore_kv as kv;
 pub use evostore_nas as nas;

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-2 delivery-plane smoke. One pass of the deliver_ab bench: a real
+# release into a population of ModelWatchers (unicast vs broadcast-tree
+# fetch chains with peer-assisted segment exchange), then the same
+# release replayed over simulated processor-sharing links for 1k and
+# 10k subscribers using the actual BroadcastTree layout and the
+# live-measured payload size. Results land in results/BENCH_deliver.json.
+#
+# Gates (at 1k simulated subscribers):
+#   * provider egress reduced >= 4x vs unicast (the tree serves only
+#     its fanout-F roots from the provider — default F=4 gives ~250x);
+#   * p99 time-to-weights <= 2x unicast (pipelined tree levels beat one
+#     shared uplink long before 1k subscribers).
+#
+# Sized to finish in well under a minute. Invoked from tools/check.sh
+# when RUN_BENCH_DELIVER=1, or standalone:
+#   tools/bench-deliver.sh [extra deliver_ab args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WATCHERS="${DELIVER_SMOKE_WATCHERS:-24}"
+FANOUT="${DELIVER_SMOKE_FANOUT:-4}"
+SUBS="${DELIVER_SMOKE_SUBS:-1000}"
+OUT="${DELIVER_SMOKE_OUT:-results/BENCH_deliver.json}"
+
+echo "== deliver smoke: broadcast-tree fan-out vs provider unicast"
+cargo run --release -q -p evostore-bench --bin deliver_ab -- \
+    --watchers "${WATCHERS}" \
+    --fanout "${FANOUT}" \
+    --subs "${SUBS}" \
+    --json "${OUT}" \
+    "$@"
+
+REDUCTION=$(sed -n 's/.*"egress_reduction_1k": \([0-9.]*\).*/\1/p' "${OUT}")
+P99_RATIO=$(sed -n 's/.*"p99_ratio_1k": \([0-9.]*\).*/\1/p' "${OUT}")
+
+echo "== deliver smoke: provider egress reduction ${REDUCTION}x at ${SUBS} subscribers (gate: >= 4)"
+awk -v x="${REDUCTION}" 'BEGIN { exit !(x >= 4.0) }' || {
+    echo "== deliver smoke: FAIL — tree does not cut provider egress >= 4x vs unicast" >&2
+    exit 1
+}
+
+echo "== deliver smoke: p99 time-to-weights ratio ${P99_RATIO} vs unicast (gate: <= 2)"
+awk -v x="${P99_RATIO}" 'BEGIN { exit !(x <= 2.0) }' || {
+    echo "== deliver smoke: FAIL — tree p99 time-to-weights exceeds 2x unicast" >&2
+    exit 1
+}
+echo "== deliver smoke: OK (${OUT})"

@@ -59,4 +59,13 @@ if [[ "${RUN_BENCH_CATALOG:-0}" == "1" ]]; then
     tools/bench-catalog.sh
 fi
 
+# Optional tier-2: delivery-plane A/B — one release fanned out over
+# broadcast-tree fetch chains with peer-assisted segment exchange vs
+# provider unicast, live and simulated to 10k subscribers, recorded to
+# results/BENCH_deliver.json and gated on >= 4x provider egress
+# reduction with p99 time-to-weights <= 2x unicast at 1k subscribers.
+if [[ "${RUN_BENCH_DELIVER:-0}" == "1" ]]; then
+    tools/bench-deliver.sh
+fi
+
 echo "== OK"
