@@ -13,9 +13,10 @@ use std::time::Duration;
 
 use bytes::BytesMut;
 use evostore_graph::{CompactGraph, LcpResult};
+use evostore_obs::ledger::{current_costs, install_costs};
 use evostore_obs::{
-    current_trace, set_current_trace, FlightRecorder, MonotonicClock, ObsHub, SlowOp, SlowOpLog,
-    TimeSource, Tracer,
+    current_trace, set_current_trace, FlightRecorder, MonotonicClock, ObsHub, OpCosts, OpLedger,
+    SloEngine, SlowOp, SlowOpLog, TimeSource, Tracer,
 };
 use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy, RpcError, TraceHandle};
 use evostore_tensor::{read_tensor, write_tensor, ModelId, TensorData, TensorKey, VertexId};
@@ -137,6 +138,21 @@ const SLOW_OP_CAPACITY: usize = 64;
 /// Sequence for distinct client node names (`client0`, `client1`, ...).
 static CLIENT_SEQ: AtomicUsize = AtomicUsize::new(0);
 
+/// How much telemetry a client produces per operation.
+///
+/// `Full` (the default) opens a root span per op, records exemplars,
+/// feeds the SLO engine, and accumulates the per-op resource ledger.
+/// `Minimal` times operations into the latency histograms and nothing
+/// else — the obs-off side of the telemetry-overhead A/B bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryLevel {
+    /// Spans + exemplars + SLO + ledger (default).
+    #[default]
+    Full,
+    /// Latency histograms only.
+    Minimal,
+}
+
 /// A query answer that may rest on fewer than all providers.
 ///
 /// When a collective reaches quorum but some providers were unreachable,
@@ -226,6 +242,7 @@ pub struct EvoStoreClientBuilder {
     slow_op_threshold: Duration,
     flight_capacity: usize,
     force_copy_data_plane: bool,
+    telemetry_level: TelemetryLevel,
 }
 
 impl EvoStoreClientBuilder {
@@ -299,6 +316,15 @@ impl EvoStoreClientBuilder {
         self
     }
 
+    /// How much per-op telemetry to produce ([`TelemetryLevel::Full`]
+    /// by default). [`TelemetryLevel::Minimal`] skips spans, exemplars,
+    /// SLO accounting, and the resource ledger — the measurement lever
+    /// for the telemetry-overhead A/B bench.
+    pub fn telemetry_level(mut self, level: TelemetryLevel) -> Self {
+        self.telemetry_level = level;
+        self
+    }
+
     /// Bulk-transfer policy: zero-copy vectored regions (the default)
     /// or forced contiguous consolidation (the A/B measurement lever).
     /// Must match the provider side's policy; pre-wired by
@@ -339,9 +365,18 @@ impl EvoStoreClientBuilder {
         ));
         let tracer = Arc::new(Tracer::new(&node, clock, recorder).with_slow_log(Arc::clone(&slow)));
         let telemetry = Arc::new(crate::telemetry::ClientTelemetry::new());
+        let ledger = Arc::new(OpLedger::new());
+        let slo = self.obs.as_ref().map(|hub| Arc::clone(hub.slo()));
         if let Some(hub) = &self.obs {
+            hub.attach_slow_log(&node, Arc::clone(&slow));
             let t = Arc::clone(&telemetry);
-            hub.registry().register(move || t.metrics(&node));
+            let l = Arc::clone(&ledger);
+            let metric_node = node.clone();
+            hub.registry().register(move || {
+                let mut out = t.metrics(&metric_node);
+                out.extend(l.metrics(&metric_node));
+                out
+            });
         }
         EvoStoreClient {
             fabric: self.fabric,
@@ -352,6 +387,9 @@ impl EvoStoreClientBuilder {
             telemetry,
             tracer,
             slow_ops: slow,
+            ledger,
+            slo,
+            telemetry_level: self.telemetry_level,
             pending_decrements: Arc::new(Mutex::new(Vec::new())),
             force_copy: self.force_copy_data_plane,
         }
@@ -373,6 +411,13 @@ pub struct EvoStoreClient {
     /// Root spans that exceeded the slow threshold, kept with their
     /// child breakdown.
     slow_ops: Arc<SlowOpLog>,
+    /// Per-op-class resource attribution (bytes, chunks, retries,
+    /// failovers, queue wait), folded at the end of every op.
+    ledger: Arc<OpLedger>,
+    /// The deployment's SLO engine, when attached to a hub.
+    slo: Option<Arc<SloEngine>>,
+    /// How much telemetry each op produces.
+    telemetry_level: TelemetryLevel,
     /// Refcount decrements that failed transiently, awaiting re-issue
     /// (shared across clones so any handle can flush them).
     pending_decrements: Arc<Mutex<Vec<(EndpointId, RefsRequest)>>>,
@@ -396,6 +441,7 @@ impl EvoStoreClient {
             slow_op_threshold: DEFAULT_SLOW_OP_THRESHOLD,
             flight_capacity: CLIENT_FLIGHT_EVENTS,
             force_copy_data_plane: false,
+            telemetry_level: TelemetryLevel::Full,
         }
     }
 
@@ -408,6 +454,17 @@ impl EvoStoreClient {
     /// Operation latency telemetry (shared across clones of this client).
     pub fn telemetry(&self) -> &crate::telemetry::ClientTelemetry {
         &self.telemetry
+    }
+
+    /// Per-op-class resource attribution rolled up from finished ops.
+    pub fn ledger(&self) -> &Arc<OpLedger> {
+        &self.ledger
+    }
+
+    /// The SLO engine this client reports into (present when built
+    /// against an [`ObsHub`]).
+    pub fn slo(&self) -> Option<&Arc<SloEngine>> {
+        self.slo.as_ref()
     }
 
     /// The client's span factory (shared across clones).
@@ -477,15 +534,46 @@ impl EvoStoreClient {
         current_trace().map(|parent| TraceHandle::new(&self.tracer, parent))
     }
 
-    /// Run `f` as a traced top-level operation: open a root span named
-    /// `op`, install it ambiently so every RPC issued inside files its
-    /// attempt spans under it, and mark the root failed when `f` errors.
-    fn with_root<T>(&self, op: &'static str, f: impl FnOnce() -> Result<T>) -> Result<T> {
+    /// Run `f` as a fully accounted top-level operation of `class`: open
+    /// a root span named `op` and install it ambiently so every RPC
+    /// issued inside files its attempt spans under it, time the op from
+    /// the tracer's clock into `hist` (with the root context ambient, so
+    /// the histogram bucket retains a joinable exemplar), record an SLO
+    /// sample for the class, and fold a fresh cost cell into the op
+    /// ledger. Under [`TelemetryLevel::Minimal`] all of that collapses
+    /// to a bare histogram timing.
+    fn with_root_op<T>(
+        &self,
+        class: &'static str,
+        op: &'static str,
+        hist: &crate::telemetry::LatencyHistogram,
+        f: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        if self.telemetry_level == TelemetryLevel::Minimal {
+            let t0 = std::time::Instant::now();
+            let out = f();
+            hist.record(t0.elapsed());
+            return out;
+        }
+        let costs = OpCosts::new();
         let mut root = self.tracer.start_root(op);
+        let start_us = self.tracer.now_us();
         let out = {
             let _amb = set_current_trace(Some(root.ctx()));
+            let _costs = install_costs(Some(Arc::clone(&costs)));
             f()
         };
+        let latency_us = self.tracer.now_us().saturating_sub(start_us);
+        {
+            // Re-install the root context just for the histogram record,
+            // so the bucket's exemplar points at this op's span tree.
+            let _amb = set_current_trace(Some(root.ctx()));
+            hist.record_us(latency_us);
+        }
+        if let Some(slo) = &self.slo {
+            slo.record(class, latency_us, out.is_ok());
+        }
+        self.ledger.finish_op(class, out.is_ok(), &costs);
         if let Err(e) = &out {
             root.fail(e.to_string());
         }
@@ -590,6 +678,7 @@ impl EvoStoreClient {
         }
         if !unreachable.is_empty() {
             self.telemetry.note_degraded_query();
+            evostore_obs::ledger::add_degraded_legs(unreachable.len() as u64);
             let trace_id = current_trace().map(|c| c.trace_id).unwrap_or(0);
             self.tracer.recorder().note_degraded(
                 trace_id,
@@ -634,8 +723,7 @@ impl EvoStoreClient {
         quality: f64,
         new_tensors: &HashMap<TensorKey, TensorData>,
     ) -> Result<StoreOutcome> {
-        let _timer = OpTimer::new(&self.telemetry.store);
-        self.with_root("store_model", move || {
+        self.with_root_op("store", "store_model", &self.telemetry.store, move || {
             self.store_model_inner(graph, owner_map, parent, quality, new_tensors)
         })
     }
@@ -753,6 +841,8 @@ impl EvoStoreClient {
             offset += record.len() as u64;
         }
         let tensors_written = manifest.len();
+        evostore_obs::ledger::add_chunks_touched(tensors_written as u64);
+        evostore_obs::ledger::add_bytes_out(offset);
         let bulk = if self.force_copy {
             let mut buf = BytesMut::with_capacity(offset as usize);
             for record in &records {
@@ -912,31 +1002,36 @@ impl EvoStoreClient {
         &self,
         graph: &CompactGraph,
     ) -> Result<Degraded<Option<BestAncestor>>> {
-        let _timer = OpTimer::new(&self.telemetry.query);
         let req = LcpQueryRequest {
             graph: graph.clone(),
         };
-        let (replies, unreachable) = self.with_root("query_best_ancestor", || {
-            self.quorum_broadcast::<_, LcpQueryReply>(methods::LCP, &req)
-        })?;
-        for reply in &replies {
-            self.telemetry.note_index_stats(reply.stats);
-        }
-        let best = replies.into_iter().filter_map(|reply| reply.best).fold(
-            None::<LcpCandidate>,
-            |acc, b| match acc {
-                None => Some(b),
-                Some(a) => Some(better_candidate(a, b)),
+        self.with_root_op(
+            "query",
+            "query_best_ancestor",
+            &self.telemetry.query,
+            || {
+                let (replies, unreachable) =
+                    self.quorum_broadcast::<_, LcpQueryReply>(methods::LCP, &req)?;
+                for reply in &replies {
+                    self.telemetry.note_index_stats(reply.stats);
+                }
+                let best = replies.into_iter().filter_map(|reply| reply.best).fold(
+                    None::<LcpCandidate>,
+                    |acc, b| match acc {
+                        None => Some(b),
+                        Some(a) => Some(better_candidate(a, b)),
+                    },
+                );
+                Ok(Degraded {
+                    value: best.map(|c| BestAncestor {
+                        model: c.model,
+                        quality: c.quality,
+                        lcp: c.lcp,
+                    }),
+                    unreachable,
+                })
             },
-        );
-        Ok(Degraded {
-            value: best.map(|c| BestAncestor {
-                model: c.model,
-                quality: c.quality,
-                lcp: c.lcp,
-            }),
-            unreachable,
-        })
+        )
     }
 
     /// Batched [`EvoStoreClient::query_best_ancestor`]: pack every graph
@@ -960,43 +1055,48 @@ impl EvoStoreClient {
                 unreachable: Vec::new(),
             });
         }
-        let _timer = OpTimer::new(&self.telemetry.query);
         let req = LcpBatchRequest {
             graphs: graphs.to_vec(),
         };
-        let (replies, unreachable) = self.with_root("query_best_ancestors", || {
-            self.quorum_broadcast::<_, LcpBatchReply>(methods::LCP_BATCH, &req)
-        })?;
-        self.telemetry.note_batch(graphs.len() as u64);
-        for leg in &replies {
-            if leg.replies.len() != graphs.len() {
-                return Err(EvoError::Protocol(format!(
-                    "batched LCP reply carries {} answers for {} queries",
-                    leg.replies.len(),
-                    graphs.len()
-                )));
-            }
-            for r in &leg.replies {
-                self.telemetry.note_index_stats(r.stats);
-            }
-        }
-        let value = (0..graphs.len())
-            .map(|i| {
-                replies
-                    .iter()
-                    .filter_map(|leg| leg.replies[i].best.clone())
-                    .fold(None::<LcpCandidate>, |acc, b| match acc {
-                        None => Some(b),
-                        Some(a) => Some(better_candidate(a, b)),
+        self.with_root_op(
+            "query",
+            "query_best_ancestors",
+            &self.telemetry.query,
+            || {
+                let (replies, unreachable) =
+                    self.quorum_broadcast::<_, LcpBatchReply>(methods::LCP_BATCH, &req)?;
+                self.telemetry.note_batch(graphs.len() as u64);
+                for leg in &replies {
+                    if leg.replies.len() != graphs.len() {
+                        return Err(EvoError::Protocol(format!(
+                            "batched LCP reply carries {} answers for {} queries",
+                            leg.replies.len(),
+                            graphs.len()
+                        )));
+                    }
+                    for r in &leg.replies {
+                        self.telemetry.note_index_stats(r.stats);
+                    }
+                }
+                let value = (0..graphs.len())
+                    .map(|i| {
+                        replies
+                            .iter()
+                            .filter_map(|leg| leg.replies[i].best.clone())
+                            .fold(None::<LcpCandidate>, |acc, b| match acc {
+                                None => Some(b),
+                                Some(a) => Some(better_candidate(a, b)),
+                            })
+                            .map(|c| BestAncestor {
+                                model: c.model,
+                                quality: c.quality,
+                                lcp: c.lcp,
+                            })
                     })
-                    .map(|c| BestAncestor {
-                        model: c.model,
-                        quality: c.quality,
-                        lcp: c.lcp,
-                    })
-            })
-            .collect();
-        Ok(Degraded { value, unreachable })
+                    .collect();
+                Ok(Degraded { value, unreachable })
+            },
+        )
     }
 
     /// Fetch model metadata, failing over along the replica chain.
@@ -1015,8 +1115,7 @@ impl EvoStoreClient {
     /// by its primary, failing over to the successor replicas when the
     /// primary is down, missed the write, or returned a corrupt payload.
     pub fn fetch_tensors(&self, keys: &[TensorKey]) -> Result<HashMap<TensorKey, TensorData>> {
-        let _timer = OpTimer::new(&self.telemetry.fetch);
-        self.with_root("fetch_tensors", || {
+        self.with_root_op("fetch", "fetch_tensors", &self.telemetry.fetch, || {
             let n = self.providers.len();
             let mut groups: HashMap<usize, Vec<TensorKey>> = HashMap::new();
             for key in keys {
@@ -1026,15 +1125,19 @@ impl EvoStoreClient {
                     .push(*key);
             }
             let groups: Vec<(usize, Vec<TensorKey>)> = groups.into_iter().collect();
-            // The ambient context does not cross threads: capture it
-            // here and re-install it inside each fetch leg.
+            // Neither the ambient context nor the ambient cost cell
+            // crosses threads: capture both here and re-install them
+            // inside each fetch leg.
             let parent = current_trace();
+            let costs = current_costs();
             let fetched: Vec<Result<Vec<(TensorKey, TensorData)>>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = groups
                     .iter()
                     .map(|(primary, keys)| {
+                        let costs = costs.clone();
                         scope.spawn(move || {
                             let _amb = set_current_trace(parent);
+                            let _costs = install_costs(costs);
                             self.fetch_group(*primary, keys)
                         })
                     })
@@ -1093,6 +1196,8 @@ impl EvoStoreClient {
         req: &ReadTensorsRequest,
     ) -> Result<Vec<(TensorKey, TensorData)>> {
         let reply: ReadTensorsReply = self.unary(target, methods::READ, req)?;
+        evostore_obs::ledger::add_chunks_touched(reply.manifest.len() as u64);
+        evostore_obs::ledger::add_bytes_in(reply.manifest.iter().map(|e| e.len).sum());
         let handle = BulkHandle(reply.bulk);
         // Vectored pull: the provider exposes one segment per
         // memory-resident record, so the "pull" is a segment-list clone
@@ -1207,16 +1312,17 @@ impl EvoStoreClient {
         let req = PatternQueryRequest {
             pattern: pattern.clone(),
         };
-        let (replies, unreachable) = self.with_root("find_matching", || {
-            self.quorum_broadcast::<_, PatternQueryReply>(methods::MATCH_PATTERN, &req)
-        })?;
-        for reply in &replies {
-            self.telemetry.note_index_stats(reply.stats);
-        }
-        // Replicas answer for the same catalogs — dedup by model before
-        // ranking (keeping the best-reported quality).
-        let value = rank_matches(replies.into_iter().flat_map(|r| r.matches));
-        Ok(Degraded { value, unreachable })
+        self.with_root_op("query", "find_matching", &self.telemetry.query, || {
+            let (replies, unreachable) =
+                self.quorum_broadcast::<_, PatternQueryReply>(methods::MATCH_PATTERN, &req)?;
+            for reply in &replies {
+                self.telemetry.note_index_stats(reply.stats);
+            }
+            // Replicas answer for the same catalogs — dedup by model
+            // before ranking (keeping the best-reported quality).
+            let value = rank_matches(replies.into_iter().flat_map(|r| r.matches));
+            Ok(Degraded { value, unreachable })
+        })
     }
 
     /// Batched [`EvoStoreClient::find_matching`]: every pattern in one
@@ -1237,32 +1343,38 @@ impl EvoStoreClient {
         let req = PatternBatchRequest {
             patterns: patterns.to_vec(),
         };
-        let (replies, unreachable) = self.with_root("find_matching_batch", || {
-            self.quorum_broadcast::<_, PatternBatchReply>(methods::MATCH_PATTERN_BATCH, &req)
-        })?;
-        self.telemetry.note_batch(patterns.len() as u64);
-        for leg in &replies {
-            if leg.replies.len() != patterns.len() {
-                return Err(EvoError::Protocol(format!(
-                    "batched pattern reply carries {} answers for {} queries",
-                    leg.replies.len(),
-                    patterns.len()
-                )));
-            }
-            for r in &leg.replies {
-                self.telemetry.note_index_stats(r.stats);
-            }
-        }
-        let value = (0..patterns.len())
-            .map(|i| {
-                rank_matches(
-                    replies
-                        .iter()
-                        .flat_map(|leg| leg.replies[i].matches.iter().copied()),
-                )
-            })
-            .collect();
-        Ok(Degraded { value, unreachable })
+        self.with_root_op(
+            "query",
+            "find_matching_batch",
+            &self.telemetry.query,
+            || {
+                let (replies, unreachable) = self
+                    .quorum_broadcast::<_, PatternBatchReply>(methods::MATCH_PATTERN_BATCH, &req)?;
+                self.telemetry.note_batch(patterns.len() as u64);
+                for leg in &replies {
+                    if leg.replies.len() != patterns.len() {
+                        return Err(EvoError::Protocol(format!(
+                            "batched pattern reply carries {} answers for {} queries",
+                            leg.replies.len(),
+                            patterns.len()
+                        )));
+                    }
+                    for r in &leg.replies {
+                        self.telemetry.note_index_stats(r.stats);
+                    }
+                }
+                let value = (0..patterns.len())
+                    .map(|i| {
+                        rank_matches(
+                            replies
+                                .iter()
+                                .flat_map(|leg| leg.replies[i].matches.iter().copied()),
+                        )
+                    })
+                    .collect();
+                Ok(Degraded { value, unreachable })
+            },
+        )
     }
 
     /// Attach optimizer state to an already-stored model (supports
@@ -1404,8 +1516,9 @@ impl EvoStoreClient {
     /// error — but only after every other leg has been settled (and
     /// parked if transient).
     pub fn retire_model(&self, model: ModelId) -> Result<RetireOutcome> {
-        let _timer = OpTimer::new(&self.telemetry.retire);
-        self.with_root("retire_model", || self.retire_model_inner(model))
+        self.with_root_op("retire", "retire_model", &self.telemetry.retire, || {
+            self.retire_model_inner(model)
+        })
     }
 
     fn retire_model_inner(&self, model: ModelId) -> Result<RetireOutcome> {
@@ -1708,25 +1821,4 @@ pub fn random_tensors<R: Rng + ?Sized>(
         }
     }
     out
-}
-
-/// RAII latency recorder for one client operation.
-struct OpTimer<'a> {
-    hist: &'a crate::telemetry::LatencyHistogram,
-    start: std::time::Instant,
-}
-
-impl<'a> OpTimer<'a> {
-    fn new(hist: &'a crate::telemetry::LatencyHistogram) -> OpTimer<'a> {
-        OpTimer {
-            hist,
-            start: std::time::Instant::now(),
-        }
-    }
-}
-
-impl Drop for OpTimer<'_> {
-    fn drop(&mut self) {
-        self.hist.record(self.start.elapsed());
-    }
 }

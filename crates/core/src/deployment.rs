@@ -7,7 +7,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use evostore_kv::{ChunkStats, ChunkedStore, FannedLogStore, KvBackend, LogStore, MemPoolStore};
-use evostore_obs::{FlightEvent, MonotonicClock, ObsHub, RegistrySnapshot, TimeSource};
+use evostore_obs::{
+    FlightEvent, MonotonicClock, ObsHub, ObsServer, RegistrySnapshot, SloSpec, TimeSource,
+};
 use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy};
 use evostore_tensor::{ModelId, TensorKey};
 
@@ -78,6 +80,11 @@ pub struct DeploymentConfig {
     /// fetch a released model directly from the provider; the rest fetch
     /// from an earlier subscriber along the planned tree.
     pub deliver_fanout: usize,
+    /// Bind address (e.g. `"127.0.0.1:9464"`, port 0 for ephemeral) of
+    /// the live exposition server serving `/metrics`, `/metrics.json`,
+    /// `/slo`, `/traces/recent` and `/flight` over HTTP. `None` (the
+    /// default) serves nothing.
+    pub obs_listen: Option<String>,
 }
 
 impl Default for DeploymentConfig {
@@ -93,6 +100,7 @@ impl Default for DeploymentConfig {
             data_plane: DataPlanePolicy::default(),
             force_copy_data_plane: false,
             deliver_fanout: 4,
+            obs_listen: None,
         }
     }
 }
@@ -105,6 +113,7 @@ pub struct Deployment {
     replication: ReplicationPolicy,
     obs: Arc<ObsHub>,
     force_copy: bool,
+    obs_server: Option<ObsServer>,
 }
 
 /// What one [`Deployment::repair`] pass did.
@@ -139,6 +148,18 @@ impl Deployment {
             .clone()
             .unwrap_or_else(|| Arc::new(MonotonicClock::default()));
         let obs = Arc::new(ObsHub::new(obs_clock));
+        // Default latency objectives per op class; callers re-register
+        // via `deployment.obs().slo()` to tighten or loosen them.
+        for spec in [
+            SloSpec::new("store", 250_000, 0.99),
+            SloSpec::new("fetch", 250_000, 0.99),
+            SloSpec::new("query", 50_000, 0.99),
+            SloSpec::new("retire", 250_000, 0.99),
+            SloSpec::new("repair", 5_000_000, 0.99),
+            SloSpec::new("deliver", 500_000, 0.99),
+        ] {
+            obs.slo().register(spec);
+        }
         fabric.set_flight_recorder(Some(obs.new_recorder("fabric", FABRIC_FLIGHT_EVENTS)));
         let clock = Arc::new(AtomicU64::new(1));
         // Either data-plane lever (typed policy or the deprecated
@@ -224,7 +245,11 @@ impl Deployment {
                 p.state.set_force_copy(true);
             }
         }
-        let provider_ids = providers.iter().map(|p| p.endpoint_id()).collect();
+        let provider_ids: Vec<EndpointId> = providers.iter().map(|p| p.endpoint_id()).collect();
+        let obs_server = cfg.obs_listen.as_deref().map(|addr| {
+            Self::start_obs_server(addr, Arc::clone(&fabric), provider_ids.clone(), &obs)
+                .unwrap_or_else(|e| panic!("obs exposition server on {addr}: {e}"))
+        });
         Deployment {
             fabric,
             providers,
@@ -232,7 +257,54 @@ impl Deployment {
             replication: cfg.replication,
             obs,
             force_copy,
+            obs_server,
         }
+    }
+
+    /// Spin up the live exposition server: every route re-renders from
+    /// the deployment's current state per request.
+    fn start_obs_server(
+        addr: &str,
+        fabric: Arc<Fabric>,
+        provider_ids: Vec<EndpointId>,
+        obs: &Arc<ObsHub>,
+    ) -> std::io::Result<ObsServer> {
+        let snap = {
+            let (fabric, ids, obs) = (Arc::clone(&fabric), provider_ids.clone(), Arc::clone(obs));
+            move || merged_snapshot(&fabric, &ids, &obs)
+        };
+        let metrics = snap.clone();
+        let metrics_json = snap;
+        let slo = Arc::clone(obs);
+        let traces = Arc::clone(obs);
+        let flight = {
+            let (ids, obs) = (provider_ids, Arc::clone(obs));
+            move || render_flight_dump(&obs, &ids)
+        };
+        ObsServer::builder()
+            .route("/metrics", move || {
+                (
+                    "text/plain; version=0.0.4".into(),
+                    metrics().to_prometheus_text(),
+                )
+            })
+            .route("/metrics.json", move || {
+                ("application/json".into(), metrics_json().to_json())
+            })
+            .route("/slo", move || {
+                ("application/json".into(), slo.slo().to_json())
+            })
+            .route("/traces/recent", move || {
+                ("text/plain".into(), traces.recent_traces(16))
+            })
+            .route("/flight", move || ("text/plain".into(), flight()))
+            .start(addr)
+    }
+
+    /// Address of the live exposition server, when one was configured
+    /// (its port is concrete even when the config bound port 0).
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs_server.as_ref().map(|s| s.addr())
     }
 
     /// Reopen a log-backed deployment after a restart: restore every
@@ -418,25 +490,7 @@ impl Deployment {
     /// register their telemetry there) merged with every provider's
     /// registry, fanned in over the `OBS_SNAPSHOT` RPC.
     pub fn metrics_snapshot(&self) -> RegistrySnapshot {
-        let mut snap = self.obs.registry().snapshot();
-        let retry = RetryPolicy::default().with_timeout(Duration::from_secs(30));
-        if let Ok(legs) = evostore_rpc::broadcast::<_, RegistrySnapshot>(
-            &self.fabric,
-            &self.provider_ids,
-            methods::OBS_SNAPSHOT,
-            &ObsSnapshotRequest {},
-            &retry,
-            None,
-        ) {
-            for (_, leg) in legs {
-                // An unreachable provider degrades the snapshot rather
-                // than failing it; its series are simply absent.
-                if let Ok(provider_snap) = leg {
-                    snap.merge(&provider_snap);
-                }
-            }
-        }
-        snap
+        merged_snapshot(&self.fabric, &self.provider_ids, &self.obs)
     }
 
     /// Prometheus text exposition of [`Deployment::metrics_snapshot`] —
@@ -451,110 +505,7 @@ impl Deployment {
     /// since when, per the fabric's down/up transitions), so each
     /// degraded line alone names the provider and fault responsible.
     pub fn flight_dump(&self) -> String {
-        let mut events: Vec<(String, FlightEvent)> = Vec::new();
-        let mut out = String::new();
-        for rec in self.obs.recorders() {
-            out.push_str(&format!(
-                "# node {}: {} recorded, {} dropped\n",
-                rec.node(),
-                rec.recorded(),
-                rec.dropped()
-            ));
-            for e in rec.events() {
-                events.push((rec.node().to_string(), e));
-            }
-        }
-        events.sort_by_key(|(_, e)| e.at_us());
-        // Walk in time order tracking which endpoints are down so the
-        // degraded/failover lines can name their fault window.
-        let mut down_since: HashMap<u32, u64> = HashMap::new();
-        let since = |down: &HashMap<u32, u64>, ep: u32| match down.get(&ep) {
-            Some(at) => format!("{} (down since {at}us)", self.endpoint_name(ep)),
-            None => self.endpoint_name(ep),
-        };
-        for (node, e) in &events {
-            let at = e.at_us();
-            let line = match e {
-                FlightEvent::Span(s) => {
-                    let ep = match s.endpoint {
-                        Some(ep) => format!(" @{}", self.endpoint_name(ep)),
-                        None => String::new(),
-                    };
-                    format!(
-                        "span {}{} trace={:016x} span={:x} parent={:x} {}..{}us {}",
-                        s.name,
-                        ep,
-                        s.trace_id,
-                        s.span_id,
-                        s.parent_span_id,
-                        s.start_us,
-                        s.end_us,
-                        s.status
-                    )
-                }
-                FlightEvent::Fault {
-                    endpoint,
-                    method,
-                    action,
-                    ..
-                } => format!(
-                    "FAULT {} method={method} action={action}",
-                    self.endpoint_name(*endpoint)
-                ),
-                FlightEvent::EndpointDown { endpoint, .. } => {
-                    down_since.insert(*endpoint, at);
-                    format!("DOWN {}", self.endpoint_name(*endpoint))
-                }
-                FlightEvent::EndpointUp { endpoint, .. } => {
-                    let was = down_since.remove(endpoint);
-                    match was {
-                        Some(from) => format!(
-                            "UP {} (was down {from}us..{at}us)",
-                            self.endpoint_name(*endpoint)
-                        ),
-                        None => format!("UP {}", self.endpoint_name(*endpoint)),
-                    }
-                }
-                FlightEvent::Failover {
-                    trace_id,
-                    from,
-                    to,
-                    what,
-                    ..
-                } => format!(
-                    "FAILOVER {what} trace={trace_id:016x} {} -> {}",
-                    since(&down_since, *from),
-                    self.endpoint_name(*to)
-                ),
-                FlightEvent::Degraded {
-                    trace_id,
-                    op,
-                    unreachable,
-                    ..
-                } => {
-                    let who: Vec<String> = unreachable
-                        .iter()
-                        .map(|ep| since(&down_since, *ep))
-                        .collect();
-                    format!(
-                        "DEGRADED {op} trace={trace_id:016x} unreachable=[{}]",
-                        who.join(", ")
-                    )
-                }
-                FlightEvent::Note { text, .. } => text.clone(),
-            };
-            out.push_str(&format!("[{at:>10}us] {node:<10} {line}\n"));
-        }
-        out
-    }
-
-    /// `providerN(epM)` when the endpoint is a provider of this
-    /// deployment, `epM` otherwise (clients, external endpoints).
-    fn endpoint_name(&self, ep: u32) -> String {
-        match self.provider_ids.iter().position(|e| e.0 == ep) {
-            Some(i) => format!("provider{i}(ep{ep})"),
-            None => format!("ep{ep}"),
-        }
+        render_flight_dump(&self.obs, &self.provider_ids)
     }
 
     /// Cross-provider garbage-collection audit. Replication-aware: the
@@ -661,6 +612,14 @@ impl Deployment {
     /// comes back. Idempotent — a second pass on a healthy deployment
     /// reports zero work.
     pub fn repair(&self) -> Result<RepairReport, String> {
+        let start_us = self.obs.clock().now_us();
+        let out = self.repair_inner();
+        let latency_us = self.obs.clock().now_us().saturating_sub(start_us);
+        self.obs.slo().record("repair", latency_us, out.is_ok());
+        out
+    }
+
+    fn repair_inner(&self) -> Result<RepairReport, String> {
         let retry = RetryPolicy::default().with_timeout(Duration::from_secs(30));
         let n = self.provider_ids.len();
         let rep = self.replication;
@@ -915,4 +874,141 @@ impl Deployment {
         self.fabric.bulk_release(handle);
         result.map(|_| true)
     }
+}
+
+/// One unified metrics snapshot: the hub registry merged with every
+/// reachable provider's registry, fanned in over the `OBS_SNAPSHOT`
+/// RPC. Free-standing so the exposition server's route closures can
+/// re-render it per request without holding a `Deployment` borrow.
+fn merged_snapshot(fabric: &Fabric, provider_ids: &[EndpointId], obs: &ObsHub) -> RegistrySnapshot {
+    let mut snap = obs.registry().snapshot();
+    let retry = RetryPolicy::default().with_timeout(Duration::from_secs(30));
+    if let Ok(legs) = evostore_rpc::broadcast::<_, RegistrySnapshot>(
+        fabric,
+        provider_ids,
+        methods::OBS_SNAPSHOT,
+        &ObsSnapshotRequest {},
+        &retry,
+        None,
+    ) {
+        for (_, leg) in legs {
+            // An unreachable provider degrades the snapshot rather
+            // than failing it; its series are simply absent.
+            if let Ok(provider_snap) = leg {
+                snap.merge(&provider_snap);
+            }
+        }
+    }
+    snap
+}
+
+/// Merge every flight recorder (fabric, providers, clients) into one
+/// time-ordered postmortem dump. Degraded answers and failovers are
+/// annotated with the fault window of the endpoints involved (down
+/// since when, per the fabric's down/up transitions), so each degraded
+/// line alone names the provider and fault responsible.
+fn render_flight_dump(obs: &ObsHub, provider_ids: &[EndpointId]) -> String {
+    // `providerN(epM)` when the endpoint is a provider of this
+    // deployment, `epM` otherwise (clients, external endpoints).
+    let endpoint_name = |ep: u32| match provider_ids.iter().position(|e| e.0 == ep) {
+        Some(i) => format!("provider{i}(ep{ep})"),
+        None => format!("ep{ep}"),
+    };
+    let mut events: Vec<(String, FlightEvent)> = Vec::new();
+    let mut out = String::new();
+    for rec in obs.recorders() {
+        out.push_str(&format!(
+            "# node {}: {} recorded, {} dropped\n",
+            rec.node(),
+            rec.recorded(),
+            rec.dropped()
+        ));
+        for e in rec.events() {
+            events.push((rec.node().to_string(), e));
+        }
+    }
+    events.sort_by_key(|(_, e)| e.at_us());
+    // Walk in time order tracking which endpoints are down so the
+    // degraded/failover lines can name their fault window.
+    let mut down_since: HashMap<u32, u64> = HashMap::new();
+    let since = |down: &HashMap<u32, u64>, ep: u32| match down.get(&ep) {
+        Some(at) => format!("{} (down since {at}us)", endpoint_name(ep)),
+        None => endpoint_name(ep),
+    };
+    for (node, e) in &events {
+        let at = e.at_us();
+        let line = match e {
+            FlightEvent::Span(s) => {
+                let ep = match s.endpoint {
+                    Some(ep) => format!(" @{}", endpoint_name(ep)),
+                    None => String::new(),
+                };
+                format!(
+                    "span {}{} trace={:016x} span={:x} parent={:x} {}..{}us {}",
+                    s.name,
+                    ep,
+                    s.trace_id,
+                    s.span_id,
+                    s.parent_span_id,
+                    s.start_us,
+                    s.end_us,
+                    s.status
+                )
+            }
+            FlightEvent::Fault {
+                endpoint,
+                method,
+                action,
+                ..
+            } => format!(
+                "FAULT {} method={method} action={action}",
+                endpoint_name(*endpoint)
+            ),
+            FlightEvent::EndpointDown { endpoint, .. } => {
+                down_since.insert(*endpoint, at);
+                format!("DOWN {}", endpoint_name(*endpoint))
+            }
+            FlightEvent::EndpointUp { endpoint, .. } => {
+                let was = down_since.remove(endpoint);
+                match was {
+                    Some(from) => {
+                        format!(
+                            "UP {} (was down {from}us..{at}us)",
+                            endpoint_name(*endpoint)
+                        )
+                    }
+                    None => format!("UP {}", endpoint_name(*endpoint)),
+                }
+            }
+            FlightEvent::Failover {
+                trace_id,
+                from,
+                to,
+                what,
+                ..
+            } => format!(
+                "FAILOVER {what} trace={trace_id:016x} {} -> {}",
+                since(&down_since, *from),
+                endpoint_name(*to)
+            ),
+            FlightEvent::Degraded {
+                trace_id,
+                op,
+                unreachable,
+                ..
+            } => {
+                let who: Vec<String> = unreachable
+                    .iter()
+                    .map(|ep| since(&down_since, *ep))
+                    .collect();
+                format!(
+                    "DEGRADED {op} trace={trace_id:016x} unreachable=[{}]",
+                    who.join(", ")
+                )
+            }
+            FlightEvent::Note { text, .. } => text.clone(),
+        };
+        out.push_str(&format!("[{at:>10}us] {node:<10} {line}\n"));
+    }
+    out
 }

@@ -18,9 +18,10 @@ use std::sync::Arc;
 use bytes::{Bytes, BytesMut};
 use evostore_graph::{lcp, ArchIndex, ArchPattern, CompactGraph, IndexQueryStats, SnapshotCell};
 use evostore_kv::{KvBackend, RefCountedStore, TensorStore};
+use evostore_obs::ledger::install_costs;
 use evostore_obs::{
-    current_trace, FlightRecorder, Metric, MonotonicClock, ObsHub, RegistrySnapshot, Span,
-    TimeSource, Tracer,
+    current_trace, FlightRecorder, Metric, MonotonicClock, ObsHub, OpCosts, OpLedger,
+    RegistrySnapshot, Span, TimeSource, Tracer,
 };
 use evostore_rpc::{typed_handler, Endpoint, EndpointId, Fabric};
 use evostore_tensor::{
@@ -440,6 +441,12 @@ pub struct ProviderState {
     /// Subscription matching and event delivery for this provider's
     /// catalog publications (the delivery plane).
     delivery: Arc<DeliveryHub>,
+    /// Per-method resource attribution for traced handler invocations.
+    ledger: Arc<OpLedger>,
+    /// Spawned under an [`ObsHub`]: the hub emits this provider's
+    /// flight-ring metrics, so [`ProviderState::obs_snapshot`] must not
+    /// emit them a second time.
+    hub_attached: bool,
 }
 
 impl ProviderState {
@@ -515,6 +522,7 @@ impl ProviderState {
                 break base;
             }
         };
+        evostore_obs::ledger::note_delta_chain_depth(chain.len() as u64);
         // Decode back up the chain.
         while let Some(delta) = chain.pop() {
             raw = decode_delta(&delta, &raw).map_err(|e| format!("delta decode: {e}"))?;
@@ -679,15 +687,26 @@ impl ProviderState {
         let mut span = self
             .tracer
             .start_child(parent, method, Some(self.endpoint_id));
+        // Handlers run on provider service threads, so a fresh ambient
+        // cost cell never shadows a client op's; charges land in this
+        // provider's per-method ledger.
+        let costs = OpCosts::new();
         let out = {
             let _g = evostore_obs::set_current_trace(Some(span.ctx()));
+            let _c = install_costs(Some(Arc::clone(&costs)));
             f()
         };
+        self.ledger.finish_op(method, out.is_ok(), &costs);
         if let Err(e) = &out {
             span.fail(e.clone());
         }
         span.finish();
         out
+    }
+
+    /// Per-method handler resource attribution (tests, diagnostics).
+    pub fn ledger(&self) -> &Arc<OpLedger> {
+        &self.ledger
     }
 
     /// A child span for a kv-store operation inside a traced handler
@@ -852,6 +871,8 @@ impl ProviderState {
             .fabric
             .bulk_get_vec(evostore_rpc::BulkHandle(req.bulk))
             .map_err(|e| format!("bulk pull failed: {e}"))?;
+        evostore_obs::ledger::add_chunks_touched(req.manifest.len() as u64);
+        evostore_obs::ledger::add_bytes_in(region.len() as u64);
 
         // Validate the ENTIRE manifest before persisting anything, so a
         // malformed request can never leave partially-stored tensors with
@@ -1060,6 +1081,8 @@ impl ProviderState {
             .collect::<Result<Vec<(Bytes, bool)>, String>>()?;
         drop(kv);
         let manifest = self.logical_manifest(&req.keys, &records);
+        evostore_obs::ledger::add_chunks_touched(manifest.len() as u64);
+        evostore_obs::ledger::add_bytes_out(manifest.iter().map(|e| e.len).sum());
         let bulk = self.expose_records(records, force_copy);
         Ok(ReadTensorsReply {
             manifest,
@@ -1929,15 +1952,21 @@ impl ProviderState {
             }
         }
         metrics.extend(stats.deliver.metrics(p));
-        let rec = self.tracer.recorder();
-        metrics.push(
-            Metric::counter("evostore_obs_flight_events", rec.recorded())
-                .with_label("node", rec.node()),
-        );
-        metrics.push(
-            Metric::counter("evostore_obs_flight_dropped", rec.dropped())
-                .with_label("node", rec.node()),
-        );
+        metrics.extend(self.ledger.metrics(&format!("provider{p}")));
+        // Under an ObsHub the hub's own source emits this ring's
+        // counters; emitting them here too would double-count in the
+        // merged snapshot.
+        if !self.hub_attached {
+            let rec = self.tracer.recorder();
+            metrics.push(
+                Metric::counter("evostore_obs_flight_events", rec.recorded())
+                    .with_label("node", rec.node()),
+            );
+            metrics.push(
+                Metric::counter("evostore_obs_flight_dropped", rec.dropped())
+                    .with_label("node", rec.node()),
+            );
+        }
         RegistrySnapshot::from_metrics(metrics)
     }
 
@@ -2173,6 +2202,8 @@ impl Provider {
             delta_reconstructs: AtomicU64::new(0),
             delta_rebased: AtomicU64::new(0),
             delivery,
+            ledger: Arc::new(OpLedger::new()),
+            hub_attached: obs.is_some(),
         });
 
         // Every handler runs under `traced`: when the RPC envelope

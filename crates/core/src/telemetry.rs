@@ -7,14 +7,24 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use evostore_obs::Exemplar;
+use parking_lot::Mutex;
+
 /// Number of log2 buckets: bucket `i` covers `[2^i, 2^(i+1))` microseconds,
 /// with the last bucket catching everything slower (~2.3 hours).
 const BUCKETS: usize = 43;
 
-/// A log2-scaled latency histogram over microseconds.
+/// Exemplars retained per bucket (last-N wins).
+const EXEMPLARS_PER_BUCKET: usize = 4;
+
+/// A log2-scaled latency histogram over microseconds. When a sample is
+/// recorded under an ambient trace context, the bucket keeps the last
+/// few `(trace_id, span_id)` exemplars so a slow percentile joins
+/// straight back to its span tree in the flight recorder.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
+    exemplars: [Mutex<Vec<Exemplar>>; BUCKETS],
     count: AtomicU64,
     total_us: AtomicU64,
     max_us: AtomicU64,
@@ -25,19 +35,38 @@ impl LatencyHistogram {
     pub fn new() -> LatencyHistogram {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| Mutex::new(Vec::new())),
             count: AtomicU64::new(0),
             total_us: AtomicU64::new(0),
             max_us: AtomicU64::new(0),
         }
     }
 
-    /// Record one latency in microseconds.
+    fn bucket_index(us: u64) -> usize {
+        (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1)
+    }
+
+    /// Record one latency in microseconds. If a trace context is
+    /// ambiently installed, it is kept as the bucket's exemplar.
     pub fn record_us(&self, us: u64) {
-        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        let idx = Self::bucket_index(us);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_us.fetch_add(us, Ordering::Relaxed);
         self.max_us.fetch_max(us, Ordering::Relaxed);
+        // The thread-local probe is cheap; the lock is only taken when
+        // an op is actually traced.
+        if let Some(ctx) = evostore_obs::current_trace() {
+            let mut ring = self.exemplars[idx].lock();
+            if ring.len() == EXEMPLARS_PER_BUCKET {
+                ring.remove(0);
+            }
+            ring.push(Exemplar {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                value_us: us,
+            });
+        }
     }
 
     /// Record a duration.
@@ -91,8 +120,21 @@ impl LatencyHistogram {
         self.quantile_us(0.99)
     }
 
-    /// The histogram digested for the metrics registry.
+    /// The histogram digested for the metrics registry, carrying the
+    /// exemplars of the slowest populated buckets.
     pub fn summary(&self) -> evostore_obs::HistogramSummary {
+        let mut exemplars = Vec::new();
+        for ring in self.exemplars.iter().rev() {
+            let ring = ring.lock();
+            for ex in ring.iter().rev() {
+                if exemplars.len() < evostore_obs::registry::MAX_SUMMARY_EXEMPLARS {
+                    exemplars.push(*ex);
+                }
+            }
+            if exemplars.len() >= evostore_obs::registry::MAX_SUMMARY_EXEMPLARS {
+                break;
+            }
+        }
         evostore_obs::HistogramSummary {
             count: self.count(),
             sum_us: self.total_us(),
@@ -100,24 +142,52 @@ impl LatencyHistogram {
             p95_us: self.p95_us(),
             p99_us: self.p99_us(),
             max_us: self.max_us(),
+            exemplars,
         }
     }
 
-    /// Approximate quantile (upper bound of the bucket containing it).
-    pub fn quantile_us(&self, q: f64) -> u64 {
+    /// Index of the bucket holding the `q` quantile, with the rank it
+    /// lands at inside that bucket and the bucket's population.
+    fn quantile_bucket(&self, q: f64) -> Option<(usize, u64, u64)> {
         let n = self.count();
         if n == 0 {
-            return 0;
+            return None;
         }
-        let target = ((n as f64) * q).ceil() as u64;
+        let target = (((n as f64) * q).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return 1u64 << (i + 1); // bucket upper bound
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 && seen + c >= target {
+                return Some((i, target - seen, c));
             }
+            seen += c;
         }
-        self.max_us()
+        None
+    }
+
+    /// Approximate quantile: rank-interpolated within the log2 bucket
+    /// containing it (bucket `i` spans `[2^i, 2^(i+1))`), clamped to
+    /// the largest recorded sample so a sparse top bucket cannot report
+    /// a latency nothing ever reached.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let Some((i, rank, c)) = self.quantile_bucket(q) else {
+            return if self.count() == 0 { 0 } else { self.max_us() };
+        };
+        let lo = 1u64 << i;
+        let width = 1u64 << i; // hi - lo for a log2 bucket
+        let est = lo + (width as f64 * (rank as f64 / c as f64)).round() as u64;
+        est.min(self.max_us().max(lo))
+    }
+
+    /// The exemplars retained in the bucket holding the `q` quantile —
+    /// the "show me a trace of a p99 fetch" join. Empty when the
+    /// quantile bucket's samples were recorded without an ambient
+    /// trace.
+    pub fn exemplars_for_quantile(&self, q: f64) -> Vec<Exemplar> {
+        match self.quantile_bucket(q) {
+            Some((i, _, _)) => self.exemplars[i].lock().clone(),
+            None => Vec::new(),
+        }
     }
 
     /// One-line report: `n=..., mean=..us, p50<=..us, p95<=..us, max=..us`.
@@ -436,6 +506,63 @@ mod tests {
         assert!(p50 <= p95);
         assert!(p50 >= 160, "p50 bound {p50} too low");
         assert!(p95 >= 5120, "p95 bound {p95} too low");
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_the_bucket_with_exact_counts() {
+        // Four samples of 100us all land in bucket 6 ([64, 128)).
+        let h = LatencyHistogram::new();
+        for _ in 0..4 {
+            h.record_us(100);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.total_us(), 400);
+        assert_eq!(h.mean_us(), 100.0, "mean is exact from sum/count");
+        // p50 = rank 2 of 4 in [64, 128): 64 + 64 * 2/4 = 96.
+        assert_eq!(h.quantile_us(0.50), 96);
+        // p99 = rank 4 of 4: interpolates to the bucket top (128) but is
+        // clamped to the observed max.
+        assert_eq!(h.quantile_us(0.99), 100);
+
+        // Mixed buckets: 3 fast (bucket 3) + 1 slow (bucket 10).
+        let h = LatencyHistogram::new();
+        for us in [10u64, 10, 10, 2000] {
+            h.record_us(us);
+        }
+        // p50 = rank 2 of 3 in [8, 16): 8 + 8 * 2/3 ~ 13.
+        assert_eq!(h.quantile_us(0.50), 13);
+        // p99 lands on the slow sample's bucket [1024, 2048), rank 1 of
+        // 1 interpolates to 2048, clamped to the 2000us max.
+        assert_eq!(h.quantile_us(0.99), 2000);
+    }
+
+    #[test]
+    fn exemplars_join_the_quantile_bucket_to_its_trace() {
+        let h = LatencyHistogram::new();
+        // Without an ambient trace: no exemplar retained.
+        h.record_us(10);
+        assert!(h.exemplars_for_quantile(0.5).is_empty());
+
+        let ctx = evostore_obs::TraceContext::root();
+        {
+            let _g = evostore_obs::set_current_trace(Some(ctx));
+            h.record_us(5_000); // the slow outlier, traced
+        }
+        let p99 = h.exemplars_for_quantile(0.99);
+        assert_eq!(p99.len(), 1);
+        assert_eq!(p99[0].trace_id, ctx.trace_id);
+        assert_eq!(p99[0].span_id, ctx.span_id);
+        assert_eq!(p99[0].value_us, 5_000);
+        // The summary carries the slowest buckets' exemplars outward.
+        assert!(h.summary().exemplars.contains(&p99[0]));
+        // The ring keeps only the last N per bucket.
+        {
+            let _g = evostore_obs::set_current_trace(Some(ctx));
+            for _ in 0..10 {
+                h.record_us(5_000);
+            }
+        }
+        assert_eq!(h.exemplars_for_quantile(0.99).len(), EXEMPLARS_PER_BUCKET);
     }
 
     #[test]

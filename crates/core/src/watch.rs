@@ -32,7 +32,7 @@ use evostore_deliver::{
     EventAck, EventKind, EventPush, ModelEvent, PeerFetchReply, PeerFetchRequest, SegmentEntry,
     SubscribeReply, SubscribeRequest, SubscriptionFilter, UnsubscribeReply, UnsubscribeRequest,
 };
-use evostore_obs::{current_trace, HistogramSummary, Metric, ObsHub, Tracer};
+use evostore_obs::{current_trace, HistogramSummary, Metric, ObsHub, SloEngine, Tracer};
 use evostore_rpc::{typed_handler, unary, BulkHandle, Endpoint, EndpointId, Fabric, RetryPolicy};
 use evostore_tensor::{read_tensor, write_tensor, ModelId, TensorData, TensorKey};
 use parking_lot::Mutex;
@@ -238,6 +238,9 @@ struct WatcherInner {
     served: Mutex<HashMap<ModelId, ServedModel>>,
     telemetry: WatchTelemetry,
     tracer: Arc<Tracer>,
+    /// SLO engine fed with per-event time-to-weights (op class
+    /// `deliver`); present when the watcher attached under an [`ObsHub`].
+    slo: Option<Arc<SloEngine>>,
 }
 
 /// A live subscription endpoint: see the module docs.
@@ -277,6 +280,7 @@ impl ModelWatcher {
             served: Mutex::new(HashMap::new()),
             telemetry: WatchTelemetry::default(),
             tracer,
+            slo: obs.map(|hub| Arc::clone(hub.slo())),
         });
 
         let w = Arc::clone(&inner);
@@ -538,7 +542,15 @@ impl WatcherInner {
             }
             EventKind::Stored => {
                 if self.cfg.prefetch {
-                    match self.fetch_weights(&ev, provider) {
+                    let outcome = self.fetch_weights(&ev, provider);
+                    if let Some(slo) = &self.slo {
+                        slo.record(
+                            "deliver",
+                            started.elapsed().as_micros() as u64,
+                            outcome.is_ok(),
+                        );
+                    }
+                    match outcome {
                         Ok(s) => {
                             source = Some(s);
                             self.telemetry.time_to_weights.record(started.elapsed());

@@ -506,3 +506,208 @@ fn flight_dump_names_provider_and_fault_window_for_degraded_answers() {
         "dump:\n{dump}"
     );
 }
+
+/// Tentpole (telemetry v2): the p99 exemplar of the client's fetch
+/// histogram joins — in one lookup — to the complete four-level span
+/// tree of the op it was sampled from: client root → RPC attempt →
+/// provider handler → kv op.
+#[test]
+fn p99_exemplar_joins_to_the_complete_span_tree() {
+    let dep = Deployment::in_memory(2);
+    let client = dep.client();
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let model = ModelId(1);
+    client
+        .store_fresh(model, &seq(&[8, 16, 4]), 0.9, &mut rng)
+        .unwrap();
+    let keys = client.get_meta(model).unwrap().owner_map.all_tensor_keys();
+    client.fetch_tensors(&keys).unwrap();
+
+    let exemplars = client.telemetry().fetch.exemplars_for_quantile(0.99);
+    let ex = exemplars.last().expect("p99 bucket retains an exemplar");
+
+    // One lookup: the exemplar's trace id resolves to every span of the
+    // op across all the deployment's recorders.
+    let spans = dep.obs().trace_spans(ex.trace_id);
+    let root = spans
+        .iter()
+        .find(|s| s.span_id == ex.span_id)
+        .expect("exemplar's span id resolves to the recorded root");
+    assert_eq!(root.name, "fetch_tensors");
+    assert_eq!(root.parent_span_id, 0);
+    assert_eq!(evostore_obs::span_depth(&spans, root.span_id), 1);
+
+    let attempt = spans
+        .iter()
+        .find(|s| s.name == methods::READ && s.parent_span_id == root.span_id)
+        .expect("attempt span under the root");
+    let handler = spans
+        .iter()
+        .find(|s| s.name == methods::READ && s.parent_span_id == attempt.span_id)
+        .expect("provider handler span under the attempt");
+    let kv = spans
+        .iter()
+        .find(|s| s.name == "kv.read_tensors" && s.parent_span_id == handler.span_id)
+        .expect("kv span under the handler");
+    assert_eq!(
+        evostore_obs::span_depth(&spans, kv.span_id),
+        4,
+        "the joined tree is four levels deep"
+    );
+
+    // The rendered tree shows the same nesting, and the exemplar rides
+    // the Prometheus exposition next to its histogram.
+    let tree = dep.obs().trace_tree(ex.trace_id);
+    assert!(tree.contains("fetch_tensors"), "tree:\n{tree}");
+    assert!(tree.contains("kv.read_tensors"), "tree:\n{tree}");
+    let text = dep.metrics_text();
+    assert!(
+        text.contains(&format!("span_id={:x}", ex.span_id)),
+        "exemplar line missing from the text exposition"
+    );
+}
+
+/// Tentpole (telemetry v2): client ops feed the SLO engine through the
+/// deployment's default objectives, and the per-op resource ledger
+/// attributes bytes, chunks and retries on both sides of the wire.
+#[test]
+fn client_ops_feed_the_slo_engine_and_ledger() {
+    let dep = Deployment::in_memory(2);
+    let client = fetch_with_one_timeout(&dep, 23);
+    client.query_best_ancestor(&seq(&[8, 16, 5])).unwrap();
+
+    // SLO engine: every default op class is registered; the exercised
+    // ones saw samples classified against their objectives.
+    let slo = dep.obs().slo();
+    let mut classes = slo.op_classes();
+    classes.sort();
+    assert_eq!(
+        classes,
+        ["deliver", "fetch", "query", "repair", "retire", "store"]
+    );
+    for class in ["store", "fetch", "query"] {
+        let st = slo.status(class).unwrap();
+        assert!(
+            st.good_total + st.bad_total >= 1,
+            "{class} recorded no samples"
+        );
+        assert!(!st.tripped, "{class} tripped on a healthy deployment");
+    }
+    assert!(slo.to_json().contains("\"op_class\":\"fetch\""));
+
+    // Client-side ledger: the fetch moved bytes in, touched the
+    // manifest's chunks, and the injected Timeout charged one retry
+    // (through the resilient RPC layer's hook).
+    let fetch = client.ledger().entry("fetch").expect("fetch ledger entry");
+    assert_eq!(fetch.ops, 1);
+    assert_eq!(fetch.errors, 0);
+    assert!(fetch.bytes_in > 0, "fetched bytes attributed");
+    assert!(fetch.chunks_touched > 0, "manifest entries attributed");
+    assert!(fetch.retries >= 1, "the injected timeout charged a retry");
+    let store = client.ledger().entry("store").expect("store ledger entry");
+    assert!(store.bytes_out > 0, "stored bytes attributed");
+
+    // Provider-side ledger: the READ handler attributed its egress.
+    let read = dep
+        .provider_states()
+        .iter()
+        .filter_map(|s| s.ledger().entry(methods::READ))
+        .max_by_key(|e| e.bytes_out)
+        .expect("a provider served the READ");
+    assert!(read.ops >= 1);
+    assert!(read.bytes_out > 0, "provider egress attributed");
+
+    // The merged snapshot carries both ledgers' series.
+    let snap = dep.metrics_snapshot();
+    for name in [
+        "evostore_ledger_ops_total",
+        "evostore_ledger_bytes_in_total",
+        "evostore_ledger_retries_total",
+        "evostore_slo_objective_us",
+        "evostore_slo_good_total",
+        "evostore_slo_tripped",
+    ] {
+        assert!(snap.find(name).is_some(), "{name} missing from snapshot");
+    }
+}
+
+/// Tentpole (telemetry v2): a deployment with `obs_listen` serves all
+/// five live endpoints over plain HTTP, re-rendered per request.
+#[test]
+fn exposition_server_serves_all_five_endpoints() {
+    let dep = Deployment::new(DeploymentConfig {
+        providers: 2,
+        obs_listen: Some("127.0.0.1:0".into()),
+        ..Default::default()
+    });
+    let addr = dep.obs_addr().expect("server bound an ephemeral port");
+    let client = dep.client();
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    let model = ModelId(1);
+    client
+        .store_fresh(model, &seq(&[8, 16, 4]), 0.9, &mut rng)
+        .unwrap();
+    let keys = client.get_meta(model).unwrap().owner_map.all_tensor_keys();
+    client.fetch_tensors(&keys).unwrap();
+
+    let get = |path: &str| evostore_obs::serve::http_get(addr, path).unwrap();
+
+    let metrics = get("/metrics");
+    assert!(metrics.contains("# TYPE evostore_slo_objective_us gauge"));
+    assert!(metrics.contains("evostore_client_fetch_latency_us{"));
+    assert!(metrics.contains("evostore_provider_models"));
+
+    let json = get("/metrics.json");
+    assert!(json.contains("evostore_kv_bytes_written"));
+
+    let slo = get("/slo");
+    assert!(slo.contains("\"op_class\":\"store\""));
+    assert!(slo.contains("\"burn_rate\""));
+
+    let traces = get("/traces/recent");
+    assert!(traces.contains("trace "), "traces:\n{traces}");
+    assert!(traces.contains("fetch_tensors"), "traces:\n{traces}");
+
+    let flight = get("/flight");
+    assert!(flight.contains("# node"), "flight:\n{flight}");
+    assert!(flight.contains("span store_model"), "flight:\n{flight}");
+
+    // Unknown paths 404 with the route list; the server is live (every
+    // hit above re-rendered fresh state).
+    let missing = get("/nope");
+    assert!(missing.contains("/metrics"));
+}
+
+/// Satellite: a client built at `TelemetryLevel::Minimal` still times
+/// its op histograms but opens no spans, records no exemplars, and
+/// leaves the ledger empty — the obs-off side of the overhead A/B.
+#[test]
+fn minimal_telemetry_skips_spans_exemplars_and_ledger() {
+    let dep = Deployment::in_memory(2);
+    let client = dep
+        .client_builder()
+        .telemetry_level(evostore_core::TelemetryLevel::Minimal)
+        .build();
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let model = ModelId(1);
+    client
+        .store_fresh(model, &seq(&[8, 16, 4]), 0.9, &mut rng)
+        .unwrap();
+    let keys = client.get_meta(model).unwrap().owner_map.all_tensor_keys();
+    client.fetch_tensors(&keys).unwrap();
+
+    let t = client.telemetry();
+    assert_eq!(t.store.summary().count, 1, "histograms still time ops");
+    assert_eq!(t.fetch.summary().count, 1);
+    assert!(
+        t.fetch.exemplars_for_quantile(0.99).is_empty(),
+        "no exemplars without an ambient trace"
+    );
+    assert!(
+        spans_of(client.flight_recorder())
+            .iter()
+            .all(|s| s.name != "fetch_tensors" && s.name != "store_model"),
+        "no root spans at Minimal"
+    );
+    assert!(client.ledger().entries().is_empty(), "ledger stays empty");
+}

@@ -16,14 +16,33 @@
 //!   causal postmortem after a chaos run, plus a [`SlowOpLog`] retaining
 //!   over-threshold operations verbatim with their child breakdown.
 
+//!
+//! PR 9 turned the passive counters into an active telemetry pipeline:
+//!
+//! * **SLO engine** ([`slo`]) — per-op-class latency objectives with
+//!   deterministic multi-window burn-rate evaluation.
+//! * **Resource ledger** ([`ledger`]) — ambient per-op cost cells
+//!   folded into per-class [`OpLedger`] aggregates.
+//! * **Exposition server** ([`serve`]) — a dependency-free HTTP
+//!   responder for `/metrics`, `/slo`, `/traces/recent`, `/flight`.
+
 pub mod clock;
+pub mod ledger;
 pub mod recorder;
 pub mod registry;
+pub mod serve;
+pub mod slo;
 pub mod trace;
 
 pub use clock::{MonotonicClock, TimeSource, VirtualClock};
+pub use ledger::{CostsSnapshot, LedgerEntry, OpCosts, OpLedger};
 pub use recorder::{FlightEvent, FlightRecorder, SlowOp, SlowOpLog};
 pub use registry::{
-    HistogramSummary, Metric, MetricValue, MetricsRegistry, ObsHub, RegistrySnapshot,
+    Exemplar, HistogramSummary, Metric, MetricValue, MetricsRegistry, ObsHub, RegistrySnapshot,
 };
-pub use trace::{current_trace, set_current_trace, Span, SpanRecord, TraceContext, Tracer};
+pub use serve::{ObsServer, ObsServerBuilder};
+pub use slo::{SloEngine, SloSpec, SloStatus, WindowStatus};
+pub use trace::{
+    current_trace, render_span_tree, set_current_trace, span_depth, Span, SpanRecord, TraceContext,
+    Tracer,
+};

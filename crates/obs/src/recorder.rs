@@ -239,6 +239,19 @@ impl FlightRecorder {
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// All span events in the ring belonging to `trace_id`, oldest
+    /// first. The exemplar→trace join starts here.
+    pub fn spans_for_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .iter()
+            .filter_map(|e| match e {
+                FlightEvent::Span(s) if s.trace_id == trace_id => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
 }
 
 /// A root span that exceeded the slow threshold, kept verbatim with its
@@ -259,6 +272,8 @@ pub struct SlowOpLog {
     threshold_us: u64,
     cap: usize,
     entries: Mutex<VecDeque<SlowOp>>,
+    recorded: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl SlowOpLog {
@@ -269,6 +284,8 @@ impl SlowOpLog {
             threshold_us,
             cap: cap.max(1),
             entries: Mutex::new(VecDeque::new()),
+            recorded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         }
     }
 
@@ -279,11 +296,23 @@ impl SlowOpLog {
 
     /// Append an entry, evicting the oldest when full.
     pub fn push(&self, op: SlowOp) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock();
         if entries.len() == self.cap {
             entries.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
         }
         entries.push_back(op);
+    }
+
+    /// Total slow ops ever recorded.
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Slow ops evicted because the log was full.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 
     /// Oldest-to-newest copy of the log.
@@ -366,5 +395,31 @@ mod tests {
         }
         let names: Vec<String> = log.entries().into_iter().map(|s| s.root.name).collect();
         assert_eq!(names, ["b", "c"]);
+        assert_eq!(log.recorded(), 3);
+        assert_eq!(log.evicted(), 1);
+    }
+
+    #[test]
+    fn spans_for_trace_filters_by_trace_id() {
+        let clock = Arc::new(VirtualClock::new());
+        let rec = FlightRecorder::new("n", 8, clock);
+        let span = |trace: u64, id: u64| SpanRecord {
+            trace_id: trace,
+            span_id: id,
+            parent_span_id: 0,
+            name: "op".to_string(),
+            node: "n".to_string(),
+            endpoint: None,
+            start_us: 0,
+            end_us: 1,
+            status: "ok".to_string(),
+        };
+        rec.push(FlightEvent::Span(span(7, 1)));
+        rec.push(FlightEvent::Span(span(8, 2)));
+        rec.push(FlightEvent::Span(span(7, 3)));
+        rec.note("unrelated");
+        let got = rec.spans_for_trace(7);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|s| s.trace_id == 7));
     }
 }

@@ -17,27 +17,52 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use crate::clock::TimeSource;
-use crate::recorder::FlightRecorder;
+use crate::recorder::{FlightRecorder, SlowOpLog};
+use crate::slo::SloEngine;
+use crate::trace::{render_span_tree, SpanRecord};
+
+/// Most exemplars a merged histogram summary retains.
+pub const MAX_SUMMARY_EXEMPLARS: usize = 8;
+
+/// A sampled observation linked back to the trace that produced it:
+/// the join key from a histogram bucket into the flight recorder /
+/// slow-op log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Trace the sample was recorded under.
+    pub trace_id: u64,
+    /// Root span of that trace.
+    pub span_id: u64,
+    /// The sampled latency, microseconds.
+    pub value_us: u64,
+}
 
 /// Percentile digest of a latency histogram.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSummary {
     /// Samples recorded.
     pub count: u64,
     /// Sum of all samples, microseconds.
     pub sum_us: u64,
-    /// 50th percentile (bucket upper bound), microseconds.
+    /// 50th percentile (rank-interpolated within its bucket),
+    /// microseconds.
     pub p50_us: u64,
-    /// 95th percentile (bucket upper bound), microseconds.
+    /// 95th percentile (rank-interpolated within its bucket),
+    /// microseconds.
     pub p95_us: u64,
-    /// 99th percentile (bucket upper bound), microseconds.
+    /// 99th percentile (rank-interpolated within its bucket),
+    /// microseconds.
     pub p99_us: u64,
     /// Largest sample, microseconds.
     pub max_us: u64,
+    /// Recent high-bucket exemplars (absent on the wire from older
+    /// nodes, hence the default).
+    #[serde(default)]
+    pub exemplars: Vec<Exemplar>,
 }
 
 /// A metric's value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MetricValue {
     /// Monotone count.
     Counter(u64),
@@ -152,6 +177,13 @@ impl RegistrySnapshot {
                         a.p95_us = a.p95_us.max(b.p95_us);
                         a.p99_us = a.p99_us.max(b.p99_us);
                         a.max_us = a.max_us.max(b.max_us);
+                        a.exemplars.extend(b.exemplars.iter().copied());
+                        // Keep the slowest exemplars when over budget —
+                        // they are the ones worth joining to traces.
+                        if a.exemplars.len() > MAX_SUMMARY_EXEMPLARS {
+                            a.exemplars.sort_by_key(|e| std::cmp::Reverse(e.value_us));
+                            a.exemplars.truncate(MAX_SUMMARY_EXEMPLARS);
+                        }
                     }
                     // Type mismatch across nodes is a bug; keep ours.
                     _ => {}
@@ -178,8 +210,8 @@ impl RegistrySnapshot {
         self.metrics
             .iter()
             .filter(|m| m.name == name)
-            .map(|m| match m.value {
-                MetricValue::Counter(v) => v,
+            .map(|m| match &m.value {
+                MetricValue::Counter(v) => *v,
                 _ => 0,
             })
             .sum()
@@ -226,6 +258,16 @@ impl RegistrySnapshot {
                     out.push_str(&format!("{}_sum{} {}\n", m.name, m.label_text(), h.sum_us));
                     out.push_str(&format!("{}_count{} {}\n", m.name, m.label_text(), h.count));
                     out.push_str(&format!("{}_max{} {}\n", m.name, m.label_text(), h.max_us));
+                    for ex in &h.exemplars {
+                        out.push_str(&format!(
+                            "# exemplar {}{} trace_id={:016x} span_id={:x} value_us={}\n",
+                            m.name,
+                            m.label_text(),
+                            ex.trace_id,
+                            ex.span_id,
+                            ex.value_us
+                        ));
+                    }
                 }
             }
         }
@@ -287,22 +329,68 @@ impl Default for MetricsRegistry {
 }
 
 /// The per-deployment observability hub: the shared clock all tracers
-/// stamp from, the unified registry, and the list of flight recorders a
-/// postmortem dump collects.
+/// stamp from, the unified registry, the list of flight recorders a
+/// postmortem dump collects, the slow-op logs, and the SLO burn-rate
+/// engine. The hub registers its own registry source exposing ring
+/// health (`evostore_obs_flight_*`, `evostore_obs_slowop_*`) and the
+/// `evostore_slo_*` series for every recorder/log/spec attached to it.
 #[derive(Debug)]
 pub struct ObsHub {
     clock: Arc<dyn TimeSource>,
     registry: Arc<MetricsRegistry>,
-    recorders: Mutex<Vec<Arc<FlightRecorder>>>,
+    recorders: Arc<Mutex<Vec<Arc<FlightRecorder>>>>,
+    slow_logs: SharedSlowOpLogs,
+    slo: Arc<SloEngine>,
 }
+
+/// Named slow-op logs shared between the hub and its registry source.
+type SharedSlowOpLogs = Arc<Mutex<Vec<(String, Arc<SlowOpLog>)>>>;
 
 impl ObsHub {
     /// A hub stamping time from `clock`.
     pub fn new(clock: Arc<dyn TimeSource>) -> ObsHub {
+        let registry = Arc::new(MetricsRegistry::new());
+        let recorders: Arc<Mutex<Vec<Arc<FlightRecorder>>>> = Arc::new(Mutex::new(Vec::new()));
+        let slow_logs: SharedSlowOpLogs = Arc::new(Mutex::new(Vec::new()));
+        let slo = Arc::new(SloEngine::new(clock.clone()));
+        {
+            let recorders = recorders.clone();
+            let slow_logs = slow_logs.clone();
+            registry.register(move || {
+                let mut out = Vec::new();
+                for r in recorders.lock().iter() {
+                    out.push(
+                        Metric::counter("evostore_obs_flight_events", r.recorded())
+                            .with_label("node", r.node()),
+                    );
+                    out.push(
+                        Metric::counter("evostore_obs_flight_dropped", r.dropped())
+                            .with_label("node", r.node()),
+                    );
+                }
+                for (node, log) in slow_logs.lock().iter() {
+                    out.push(
+                        Metric::counter("evostore_obs_slowop_recorded", log.recorded())
+                            .with_label("node", node),
+                    );
+                    out.push(
+                        Metric::counter("evostore_obs_slowop_evicted", log.evicted())
+                            .with_label("node", node),
+                    );
+                }
+                out
+            });
+        }
+        {
+            let slo = slo.clone();
+            registry.register(move || slo.metrics());
+        }
         ObsHub {
             clock,
-            registry: Arc::new(MetricsRegistry::new()),
-            recorders: Mutex::new(Vec::new()),
+            registry,
+            recorders,
+            slow_logs,
+            slo,
         }
     }
 
@@ -314,6 +402,11 @@ impl ObsHub {
     /// The unified registry.
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// The SLO burn-rate engine.
+    pub fn slo(&self) -> &Arc<SloEngine> {
+        &self.slo
     }
 
     /// Create a `cap`-bounded recorder for `node` on the hub clock and
@@ -332,6 +425,68 @@ impl ObsHub {
     /// All tracked recorders.
     pub fn recorders(&self) -> Vec<Arc<FlightRecorder>> {
         self.recorders.lock().clone()
+    }
+
+    /// Track a node's slow-op log so its ring health is exported.
+    pub fn attach_slow_log(&self, node: &str, log: Arc<SlowOpLog>) {
+        self.slow_logs.lock().push((node.to_string(), log));
+    }
+
+    /// All tracked slow-op logs with their node names.
+    pub fn slow_logs(&self) -> Vec<(String, Arc<SlowOpLog>)> {
+        self.slow_logs.lock().clone()
+    }
+
+    /// All spans recorded for `trace_id` across every tracked recorder
+    /// and slow-op log, deduplicated by span id and sorted by start
+    /// time: the exemplar→trace join in one call.
+    pub fn trace_spans(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        for r in self.recorders.lock().iter() {
+            spans.extend(r.spans_for_trace(trace_id));
+        }
+        for (_, log) in self.slow_logs.lock().iter() {
+            for op in log.entries() {
+                if op.root.trace_id == trace_id {
+                    spans.push(op.root.clone());
+                    spans.extend(op.children);
+                }
+            }
+        }
+        spans.sort_by_key(|s| (s.span_id, s.start_us));
+        spans.dedup_by_key(|s| s.span_id);
+        spans.sort_by_key(|s| (s.start_us, s.span_id));
+        spans
+    }
+
+    /// Rendered span tree for `trace_id` (empty string when the trace
+    /// has aged out of every ring).
+    pub fn trace_tree(&self, trace_id: u64) -> String {
+        render_span_tree(&self.trace_spans(trace_id))
+    }
+
+    /// Render the most recent `limit` distinct traces (by newest span
+    /// end time) as indented span trees: the `/traces/recent` endpoint.
+    pub fn recent_traces(&self, limit: usize) -> String {
+        let mut latest: Vec<(u64, u64)> = Vec::new(); // (end_us, trace_id)
+        for r in self.recorders.lock().iter() {
+            for e in r.events() {
+                if let crate::recorder::FlightEvent::Span(s) = e {
+                    match latest.iter_mut().find(|(_, t)| *t == s.trace_id) {
+                        Some(entry) => entry.0 = entry.0.max(s.end_us),
+                        None => latest.push((s.end_us, s.trace_id)),
+                    }
+                }
+            }
+        }
+        latest.sort_by(|a, b| b.cmp(a));
+        latest.truncate(limit);
+        let mut out = String::new();
+        for (_, trace_id) in latest {
+            out.push_str(&format!("trace {trace_id:x}\n"));
+            out.push_str(&self.trace_tree(trace_id));
+        }
+        out
     }
 }
 
@@ -370,6 +525,11 @@ mod tests {
                     p95_us: 8,
                     p99_us: 8,
                     max_us: 7,
+                    exemplars: vec![Exemplar {
+                        trace_id: 1,
+                        span_id: 1,
+                        value_us: 7,
+                    }],
                 },
             ),
         ]);
@@ -386,6 +546,11 @@ mod tests {
                     p95_us: 64,
                     p99_us: 64,
                     max_us: 90,
+                    exemplars: vec![Exemplar {
+                        trace_id: 2,
+                        span_id: 2,
+                        value_us: 90,
+                    }],
                 },
             ),
         ]);
@@ -396,7 +561,7 @@ mod tests {
             MetricValue::Gauge(v) => assert_eq!(v, 5.0),
             _ => panic!("gauge"),
         }
-        match a.find("h").unwrap().value {
+        match &a.find("h").unwrap().value {
             MetricValue::Histogram(h) => {
                 assert_eq!(h.count, 3);
                 assert_eq!(h.sum_us, 110);
@@ -421,6 +586,11 @@ mod tests {
                     p95_us: 16,
                     p99_us: 16,
                     max_us: 12,
+                    exemplars: vec![Exemplar {
+                        trace_id: 0xab,
+                        span_id: 0xcd,
+                        value_us: 12,
+                    }],
                 },
             ),
         ]);

@@ -1,0 +1,254 @@
+//! Live telemetry exposition server.
+//!
+//! A deliberately tiny HTTP/1.0 responder on `std::net::TcpListener` —
+//! no framework, no dependency — good enough for Prometheus scrapes and
+//! `curl` during incident triage. Routes are closures producing
+//! `(content_type, body)`; each request re-renders from the live hub,
+//! so a scrape always sees current state. Binding `127.0.0.1:0` picks a
+//! free port ([`ObsServer::addr`] reports it), which is what the tests
+//! use.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A route handler: returns `(content_type, body)`.
+pub type RouteFn = dyn Fn() -> (String, String) + Send + Sync;
+
+/// Collects routes before binding the listener.
+#[derive(Default)]
+pub struct ObsServerBuilder {
+    routes: Vec<(String, Arc<RouteFn>)>,
+}
+
+impl ObsServerBuilder {
+    /// Register a handler for an exact request path (query strings are
+    /// stripped before matching).
+    pub fn route(
+        mut self,
+        path: &str,
+        f: impl Fn() -> (String, String) + Send + Sync + 'static,
+    ) -> ObsServerBuilder {
+        self.routes.push((path.to_string(), Arc::new(f)));
+        self
+    }
+
+    /// Bind `addr` (e.g. `"127.0.0.1:9464"`, or port `0` for an
+    /// ephemeral one) and start the accept thread.
+    pub fn start(self, addr: &str) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let routes = Arc::new(self.routes);
+        let handle = {
+            let stop = stop.clone();
+            let served = served.clone();
+            std::thread::Builder::new()
+                .name("evostore-obs-serve".to_string())
+                .spawn(move || accept_loop(listener, routes, stop, served))?
+        };
+        Ok(ObsServer {
+            addr: local,
+            stop,
+            served,
+            handle: Some(handle),
+        })
+    }
+}
+
+/// Handle to a running exposition server; shuts down on drop.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ObsServer {
+    /// Start building a server.
+    pub fn builder() -> ObsServerBuilder {
+        ObsServerBuilder::default()
+    }
+
+    /// The bound address (reports the real port when started on `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far (including 404s).
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    routes: Arc<Vec<(String, Arc<RouteFn>)>>,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        // A stuck client must not wedge the (single) accept thread.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        if serve_one(&mut stream, &routes).is_ok() {
+            served.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn serve_one(stream: &mut TcpStream, routes: &[(String, Arc<RouteFn>)]) -> std::io::Result<()> {
+    let path = read_request_path(stream)?;
+    let response = match routes.iter().find(|(p, _)| *p == path) {
+        Some((_, handler)) => {
+            let (content_type, body) = handler();
+            format!(
+                "HTTP/1.0 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                content_type,
+                body.len(),
+                body
+            )
+        }
+        None => {
+            let routes_list: Vec<&str> = routes.iter().map(|(p, _)| p.as_str()).collect();
+            let body = format!("404 not found; routes: {}\n", routes_list.join(" "));
+            format!(
+                "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                body.len(),
+                body
+            )
+        }
+    };
+    stream.write_all(response.as_bytes())
+}
+
+/// Read the request head and extract the path from the request line
+/// (`GET /slo HTTP/1.1`), dropping any query string.
+fn read_request_path(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 8192 {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let _method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("/");
+    let path = target.split('?').next().unwrap_or("/");
+    Ok(path.to_string())
+}
+
+/// Minimal GET helper for tests and examples: fetch `path` from `addr`
+/// and return the body (after the blank line).
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(stream, "GET {} HTTP/1.0\r\nHost: obs\r\n\r\n", path)?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Ok(raw),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn routes_render_live_state_per_request() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let server = ObsServer::builder()
+            .route("/metrics", move || {
+                let n = h.fetch_add(1, Ordering::SeqCst) + 1;
+                ("text/plain".to_string(), format!("scrape {}\n", n))
+            })
+            .route("/slo", || {
+                ("application/json".to_string(), "[]".to_string())
+            })
+            .start("127.0.0.1:0")
+            .expect("bind ephemeral port");
+
+        assert_eq!(http_get(server.addr(), "/metrics").unwrap(), "scrape 1\n");
+        assert_eq!(http_get(server.addr(), "/metrics").unwrap(), "scrape 2\n");
+        assert_eq!(http_get(server.addr(), "/slo").unwrap(), "[]");
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn unknown_paths_get_a_404_listing_the_routes() {
+        let server = ObsServer::builder()
+            .route("/flight", || ("text/plain".to_string(), "ok".to_string()))
+            .start("127.0.0.1:0")
+            .unwrap();
+        let body = http_get(server.addr(), "/nope").unwrap();
+        assert!(body.contains("404"));
+        assert!(body.contains("/flight"));
+        assert!(server.requests_served() >= 1);
+    }
+
+    #[test]
+    fn query_strings_are_stripped_before_route_match() {
+        let server = ObsServer::builder()
+            .route("/traces/recent", || {
+                ("text/plain".to_string(), "traces".to_string())
+            })
+            .start("127.0.0.1:0")
+            .unwrap();
+        let body = http_get(server.addr(), "/traces/recent?limit=5").unwrap();
+        assert_eq!(body, "traces");
+    }
+
+    #[test]
+    fn drop_shuts_the_listener_down() {
+        let server = ObsServer::builder()
+            .route("/metrics", || ("text/plain".to_string(), "x".to_string()))
+            .start("127.0.0.1:0")
+            .unwrap();
+        let addr = server.addr();
+        drop(server);
+        // The port is released: either connect fails or the read sees EOF
+        // with no HTTP response.
+        if let Ok(body) = http_get(addr, "/metrics") {
+            assert!(!body.contains('x') || body.is_empty());
+        }
+    }
+}

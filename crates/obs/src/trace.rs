@@ -309,6 +309,64 @@ impl Drop for Span<'_> {
     }
 }
 
+/// Render a flat span list as an indented tree (children under their
+/// parents, siblings by start time). Spans whose parent is missing from
+/// the list are rendered as roots, so partial rings still produce a
+/// useful tree.
+pub fn render_span_tree(spans: &[SpanRecord]) -> String {
+    let ids: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
+    let mut roots: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.parent_span_id == 0 || !ids.contains(&s.parent_span_id))
+        .collect();
+    roots.sort_by_key(|s| (s.start_us, s.span_id));
+    let mut out = String::new();
+    for root in roots {
+        render_subtree(spans, root, 0, &mut out);
+    }
+    out
+}
+
+fn render_subtree(spans: &[SpanRecord], span: &SpanRecord, depth: usize, out: &mut String) {
+    out.push_str(&format!(
+        "{}{} [{}{}] {}us {}\n",
+        "  ".repeat(depth),
+        span.name,
+        span.node,
+        span.endpoint.map(|e| format!(" ep{e}")).unwrap_or_default(),
+        span.duration_us(),
+        span.status,
+    ));
+    let mut children: Vec<&SpanRecord> = spans
+        .iter()
+        .filter(|s| s.parent_span_id == span.span_id && s.span_id != span.span_id)
+        .collect();
+    children.sort_by_key(|s| (s.start_us, s.span_id));
+    for c in children {
+        render_subtree(spans, c, depth + 1, out);
+    }
+}
+
+/// Depth of `span_id` in the trace (roots are depth 1; 0 when the span
+/// is not in the list). Walks parent links, bounded by the list length.
+pub fn span_depth(spans: &[SpanRecord], span_id: u64) -> usize {
+    let mut depth = 0;
+    let mut cursor = span_id;
+    for _ in 0..=spans.len() {
+        match spans.iter().find(|s| s.span_id == cursor) {
+            Some(s) => {
+                depth += 1;
+                if s.parent_span_id == 0 {
+                    break;
+                }
+                cursor = s.parent_span_id;
+            }
+            None => break,
+        }
+    }
+    depth
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +466,35 @@ mod tests {
         assert_eq!(entries[0].children[0].name, "inner");
         // Pending buffer drained.
         assert!(tracer.pending.lock().is_empty());
+    }
+
+    #[test]
+    fn span_tree_renders_depth_and_orphans() {
+        let mk = |id: u64, parent: u64, name: &str, start: u64| SpanRecord {
+            trace_id: 1,
+            span_id: id,
+            parent_span_id: parent,
+            name: name.to_string(),
+            node: "n".to_string(),
+            endpoint: None,
+            start_us: start,
+            end_us: start + 1,
+            status: "ok".to_string(),
+        };
+        let spans = vec![
+            mk(1, 0, "root", 0),
+            mk(2, 1, "child", 1),
+            mk(3, 2, "grandchild", 2),
+            mk(9, 7, "orphan", 3), // parent 7 missing: rendered as root
+        ];
+        let tree = render_span_tree(&spans);
+        assert!(tree.contains("root [n]"));
+        assert!(tree.contains("\n  child"));
+        assert!(tree.contains("\n    grandchild"));
+        assert!(tree.contains("\norphan"));
+        assert_eq!(span_depth(&spans, 3), 3);
+        assert_eq!(span_depth(&spans, 1), 1);
+        assert_eq!(span_depth(&spans, 42), 0);
     }
 
     #[test]

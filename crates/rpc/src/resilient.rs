@@ -20,6 +20,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use evostore_obs::ledger::{
+    add_failovers, add_queue_wait_us, add_retry, current_costs, install_costs,
+};
 use evostore_obs::{Span, TraceContext, Tracer};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -218,7 +221,10 @@ pub fn call_with_retry_traced(
                 note_metrics(metrics, |m| {
                     m.retries.fetch_add(1, Ordering::Relaxed);
                 });
-                std::thread::sleep(policy.backoff(attempt));
+                add_retry();
+                let backoff = policy.backoff(attempt);
+                add_queue_wait_us(backoff.as_micros() as u64);
+                std::thread::sleep(backoff);
             }
         }
     }
@@ -295,10 +301,16 @@ pub fn unary_failover_traced<Req: Serialize, Resp: DeserializeOwned>(
     let mut last_err = None;
     for (skipped, &target) in targets.iter().enumerate() {
         match call_with_retry_traced(fabric, target, method, body.clone(), policy, metrics, trace) {
-            Ok(reply) => return decode(&reply).map(|resp| (target, resp, skipped)),
+            Ok(reply) => {
+                if skipped > 0 {
+                    add_failovers(skipped as u64);
+                }
+                return decode(&reply).map(|resp| (target, resp, skipped));
+            }
             Err(err) => last_err = Some(err),
         }
     }
+    add_failovers(targets.len() as u64);
     Err(last_err.expect("at least one target attempted"))
 }
 
@@ -337,12 +349,17 @@ where
     Req: Serialize + Sync,
     Resp: DeserializeOwned + Send,
 {
+    // Leg threads are fresh threads: re-install the caller's ambient
+    // cost cell so per-leg retries/backoff charge the enclosing op.
+    let costs = current_costs();
     std::thread::scope(|scope| {
         let handles: Vec<_> = legs
             .iter()
             .map(|(target, req)| {
                 let target = *target;
+                let costs = costs.clone();
                 scope.spawn(move || {
+                    let _costs = install_costs(costs);
                     let resp = encode(req).and_then(|body| {
                         call_with_retry_traced(fabric, target, method, body, policy, metrics, trace)
                     });
@@ -455,7 +472,12 @@ pub fn broadcast_with_retry_traced(
         note_metrics(metrics, |m| {
             m.retries.fetch_add(pending.len() as u64, Ordering::Relaxed);
         });
-        std::thread::sleep(policy.backoff(attempt));
+        for _ in &pending {
+            add_retry();
+        }
+        let backoff = policy.backoff(attempt);
+        add_queue_wait_us(backoff.as_micros() as u64);
+        std::thread::sleep(backoff);
     }
 
     targets

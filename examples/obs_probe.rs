@@ -1,0 +1,101 @@
+//! Obs probe: stand up a deployment with the live exposition server
+//! enabled, run a few traced operations, then scrape the server the way
+//! a Prometheus-style collector would and print what came back.
+//!
+//! ```text
+//! cargo run --release --example obs_probe
+//! ```
+
+use evostore::core::{random_tensors, trained_tensors, Deployment, DeploymentConfig, OwnerMap};
+use evostore::graph::{flatten, Activation, Architecture, LayerConfig, LayerKind};
+use evostore::obs::serve::http_get;
+use evostore::tensor::ModelId;
+
+fn mlp(name: &str, widths: &[u32]) -> Architecture {
+    let mut a = Architecture::new(name);
+    let mut prev = a.add_layer(LayerConfig::new(
+        "input",
+        LayerKind::Input {
+            shape: vec![widths[0]],
+        },
+    ));
+    let mut inf = widths[0];
+    for (i, &w) in widths.iter().enumerate().skip(1) {
+        prev = a.chain(
+            prev,
+            LayerConfig::new(
+                format!("dense_{i}"),
+                LayerKind::Dense {
+                    in_features: inf,
+                    units: w,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        inf = w;
+    }
+    a
+}
+
+fn main() {
+    // Ephemeral port: the kernel picks one, `obs_addr()` reports it.
+    let dep = Deployment::new(DeploymentConfig {
+        providers: 4,
+        obs_listen: Some("127.0.0.1:0".into()),
+        ..DeploymentConfig::default()
+    });
+    let addr = dep.obs_addr().expect("obs_listen was set");
+    println!("exposition server listening on http://{addr}");
+
+    // Generate some traffic so every telemetry layer has data: a store,
+    // a derived incremental store, an LCP query, and a fetch.
+    let client = dep.client();
+    let mut rng = rand::rng();
+    let base_graph = flatten(&mlp("base", &[128, 256, 256, 256, 10])).unwrap();
+    let base_id = ModelId(1);
+    let tensors = random_tensors(base_id, &base_graph, &mut rng);
+    client
+        .store_model(
+            base_graph.clone(),
+            OwnerMap::fresh(base_id, &base_graph),
+            None,
+            0.85,
+            &tensors,
+        )
+        .unwrap();
+
+    let child_graph = flatten(&mlp("child", &[128, 256, 256, 256, 32])).unwrap();
+    let best = client
+        .query_best_ancestor(&child_graph)
+        .unwrap()
+        .into_inner()
+        .unwrap();
+    let (meta, _prefix) = client.fetch_prefix(&best).unwrap();
+    let child_id = ModelId(2);
+    let child_map = OwnerMap::derive(child_id, &child_graph, &best.lcp, &meta.owner_map);
+    let new_tensors = trained_tensors(&child_graph, &child_map, 7);
+    client
+        .store_model(child_graph, child_map, Some(best.model), 0.9, &new_tensors)
+        .unwrap();
+    client.load_model(child_id).unwrap();
+
+    // Scrape the endpoints over plain HTTP, as a collector would.
+    let slo = http_get(addr, "/slo").unwrap();
+    println!("\n== /slo ==\n{slo}");
+
+    let metrics = http_get(addr, "/metrics").unwrap();
+    let interesting = metrics
+        .lines()
+        .filter(|l| {
+            l.contains("evostore_slo_")
+                || l.contains("evostore_ledger_bytes")
+                || l.contains("# exemplar")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("== /metrics (SLO, ledger and exemplar lines) ==\n{interesting}");
+
+    let traces = http_get(addr, "/traces/recent").unwrap();
+    let head = traces.lines().take(12).collect::<Vec<_>>().join("\n");
+    println!("\n== /traces/recent (head) ==\n{head}");
+}

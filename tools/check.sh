@@ -59,6 +59,15 @@ if [[ "${RUN_BENCH_CATALOG:-0}" == "1" ]]; then
     tools/bench-catalog.sh
 fi
 
+# Optional tier-2: observability overhead A/B — the same batched LCP
+# query stream through TelemetryLevel::Full vs Minimal clients, recorded
+# to results/BENCH_obs.json and gated on the full telemetry pipeline
+# (spans + exemplars + SLO engine + ledger) costing <= 5% on the catalog
+# hot path.
+if [[ "${RUN_BENCH_OBS:-0}" == "1" ]]; then
+    tools/bench-obs.sh
+fi
+
 # Optional tier-2: delivery-plane A/B — one release fanned out over
 # broadcast-tree fetch chains with peer-assisted segment exchange vs
 # provider unicast, live and simulated to 10k subscribers, recorded to

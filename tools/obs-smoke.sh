@@ -6,7 +6,11 @@
 # the endpoint DOWN/UP transitions around it.
 #
 # Also checks the unified metrics excerpt made it out (one export
-# surface: client counters + kv byte counters + flight tallies).
+# surface: client counters + kv byte counters + flight tallies), then
+# scrapes the live exposition server through the obs_probe example and
+# asserts the telemetry-pipeline surfaces are present: SLO statuses on
+# /slo, and exemplar lines joining histogram buckets to traces on
+# /metrics.
 #
 # Invoked from tools/check.sh when RUN_OBS_SMOKE=1, or standalone:
 #   tools/obs-smoke.sh
@@ -14,7 +18,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="$(mktemp)"
-trap 'rm -f "${OUT}"' EXIT
+PROBE="$(mktemp)"
+trap 'rm -f "${OUT}" "${PROBE}"' EXIT
 
 echo "== obs smoke: chaos_resilience with flight recorders"
 cargo run --release -q --example chaos_resilience | tee "${OUT}"
@@ -58,4 +63,42 @@ grep -q "evostore_obs_flight_events{node=" "${OUT}" || {
     exit 1
 }
 
-echo "== obs smoke: OK ($(grep -c 'DEGRADED evostore.lcp' "${OUT}") degraded answers, all explained)"
+echo
+echo "== obs smoke: scraping the live exposition server (obs_probe)"
+cargo run --release -q --example obs_probe | tee "${PROBE}"
+
+# /slo must report every registered op class with burn-rate windows.
+grep -q '"op_class":"store"' "${PROBE}" || {
+    echo "FAIL: /slo missing the store op class" >&2
+    exit 1
+}
+grep -q '"op_class":"deliver"' "${PROBE}" || {
+    echo "FAIL: /slo missing the deliver op class" >&2
+    exit 1
+}
+grep -q '"burn_rate"' "${PROBE}" || {
+    echo "FAIL: /slo statuses carry no burn-rate windows" >&2
+    exit 1
+}
+
+# /metrics must carry the SLO series, the per-op resource ledger, and
+# exemplar lines joining latency buckets to recorded traces.
+grep -q "evostore_slo_" "${PROBE}" || {
+    echo "FAIL: SLO series missing from /metrics" >&2
+    exit 1
+}
+grep -q "evostore_ledger_bytes_in_total" "${PROBE}" || {
+    echo "FAIL: resource-ledger series missing from /metrics" >&2
+    exit 1
+}
+grep -Eq "# exemplar evostore_client_(store|fetch|query)_latency_us.*trace_id=" "${PROBE}" || {
+    echo "FAIL: no exemplar lines on the latency histograms" >&2
+    exit 1
+}
+# The exemplar's trace must be resolvable: /traces/recent shows spans.
+grep -q "fetch_tensors" "${PROBE}" || {
+    echo "FAIL: /traces/recent does not show the fetch root span" >&2
+    exit 1
+}
+
+echo "== obs smoke: OK ($(grep -c 'DEGRADED evostore.lcp' "${OUT}") degraded answers explained; SLO + exemplars live)"
