@@ -118,7 +118,11 @@ fn run_point(force_copy: bool, providers: usize, models: usize, iters: usize) ->
             let model = ModelId(i as u64 + 1);
             let keys = client.get_meta(model).unwrap().owner_map.all_tensor_keys();
             let ep = dep.provider_ids()[model.provider_for(providers)];
-            let body = serde_json::to_vec(&ReadTensorsRequest { keys }).unwrap();
+            let body = serde_json::to_vec(&ReadTensorsRequest {
+                keys,
+                raw_records: false,
+            })
+            .unwrap();
             (ep, Bytes::from(body))
         })
         .collect();

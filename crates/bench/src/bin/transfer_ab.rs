@@ -1,0 +1,485 @@
+//! Transfer A/B — derivative-aware transfer plane vs materialized sync.
+//!
+//! Two experiments, each run once negotiated and once materialized:
+//!
+//! 1. **repair** (headline) — a parent model plus a churn of fine-tuned
+//!    children stored while their mirror is down, then `repair()`. The
+//!    negotiated plane exchanges possession sets (HAVE_CHUNKS) and
+//!    pushes only missing chunks with stored delta records shipped
+//!    verbatim; the materialized plane re-serializes whole payloads
+//!    through SYNC_MODEL. Bytes moved come from the per-op resource
+//!    ledger's `transfer` class — the figure gates on
+//!    `materialized / negotiated >= 3x`.
+//! 2. **watch** — a `ModelWatcher` follows a fine-tuning lineage where
+//!    each release changes only the tail quarter of every tensor. The
+//!    fabric's bulk plane is shaped to a fixed link rate so wall-clock
+//!    reflects bytes pulled; the chunk-exchange watcher reassembles
+//!    each release from its cached predecessor while the baseline
+//!    pulls every byte. Gates on time-to-weights
+//!    `negotiated p99 <= 0.5x baseline`.
+//!
+//! Everything here is REAL execution and wall-clock measurement — no
+//! cost models. `--json PATH` records both planes for EXPERIMENTS.md;
+//! tools/bench-transfer.sh writes results/BENCH_transfer.json.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use evostore_bench::{banner, f1, f2, print_table, Args};
+use evostore_core::{
+    random_tensors, CachingClient, Deployment, DeploymentConfig, ModelWatcher, OwnerMap,
+    ReplicationPolicy, StorePolicy, WatchConfig,
+};
+use evostore_deliver::SubscriptionFilter;
+use evostore_graph::{flatten, Activation, Architecture, CompactGraph, LayerConfig, LayerKind};
+use evostore_rpc::FaultPlan;
+use evostore_tensor::{ModelId, TensorData, TensorKey};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const WAIT: Duration = Duration::from_secs(60);
+
+fn seq(units: &[u32]) -> CompactGraph {
+    let mut a = Architecture::new("seq");
+    let mut prev = a.add_layer(LayerConfig::new(
+        "in",
+        LayerKind::Input {
+            shape: vec![units[0]],
+        },
+    ));
+    let mut inf = units[0];
+    for (i, &u) in units.iter().enumerate().skip(1) {
+        prev = a.chain(
+            prev,
+            LayerConfig::new(
+                format!("d{i}"),
+                LayerKind::Dense {
+                    in_features: inf,
+                    units: u,
+                    activation: Activation::ReLU,
+                },
+            ),
+        );
+        inf = u;
+    }
+    flatten(&a).unwrap()
+}
+
+/// Model ids (ascending from 1) whose primary is provider `want` of `n`.
+fn models_on(want: usize, n: usize) -> impl Iterator<Item = ModelId> {
+    (1u64..)
+        .map(ModelId)
+        .filter(move |m| m.provider_for(n) == want)
+}
+
+fn by_vertex_slot(tensors: &HashMap<TensorKey, TensorData>) -> HashMap<(u32, u32), TensorData> {
+    tensors
+        .iter()
+        .map(|(k, t)| ((k.vertex.0, k.slot), t.clone()))
+        .collect()
+}
+
+/// A fine-tuned generation: sparse perturbation of the parent's tensor
+/// at the same vertex/slot, so the provider delta-encodes it.
+fn finetuned(
+    map: &OwnerMap,
+    parent_tensors: &HashMap<TensorKey, TensorData>,
+    rng: &mut ChaCha8Rng,
+) -> HashMap<TensorKey, TensorData> {
+    let prev = by_vertex_slot(parent_tensors);
+    map.all_tensor_keys()
+        .into_iter()
+        .map(|k| {
+            let t = prev[&(k.vertex.0, k.slot)].perturbed_sparse(rng, 0.05);
+            (k, t)
+        })
+        .collect()
+}
+
+/// A release that rewrites only the tail quarter of each tensor's
+/// bytes: most exchange-granularity chunks stay identical.
+fn tail_tuned(
+    map: &OwnerMap,
+    parent_tensors: &HashMap<TensorKey, TensorData>,
+    rng: &mut ChaCha8Rng,
+) -> HashMap<TensorKey, TensorData> {
+    let prev = by_vertex_slot(parent_tensors);
+    map.all_tensor_keys()
+        .into_iter()
+        .map(|k| {
+            let old = &prev[&(k.vertex.0, k.slot)];
+            let fresh = TensorData::random(rng, old.dtype(), old.shape().to_vec());
+            let mut data = fresh.bytes().to_vec();
+            let keep = data.len() * 3 / 4;
+            data[..keep].copy_from_slice(&old.bytes()[..keep]);
+            let t = TensorData::from_bytes(old.dtype(), old.shape().to_vec(), Bytes::from(data))
+                .unwrap();
+            (k, t)
+        })
+        .collect()
+}
+
+struct RepairPoint {
+    plane: &'static str,
+    repair_s: f64,
+    models_synced: usize,
+    transfer_bytes_out: u64,
+    transfer_ops: u64,
+    deltas_shipped: u64,
+    chunks_offered: u64,
+    chunks_skipped: u64,
+    bytes_saved: u64,
+    metrics: evostore_obs::RegistrySnapshot,
+}
+
+/// Repair of derived-model churn on one plane: parent healthy, mirror
+/// down for every fine-tuned child, then repair and audit.
+fn run_repair(negotiated: bool, graph: &CompactGraph, children: usize) -> RepairPoint {
+    let dep = Deployment::new(DeploymentConfig {
+        providers: 4,
+        replication: ReplicationPolicy::new(2),
+        store_policy: StorePolicy::chunked_with_delta(),
+        ..Default::default()
+    });
+    dep.set_negotiated_transfer(negotiated);
+    let client = dep.client();
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+
+    let mut ids = models_on(1, 4);
+    let parent = ids.next().unwrap();
+    let parent_tensors = random_tensors(parent, graph, &mut rng);
+    client
+        .store_model(
+            graph.clone(),
+            OwnerMap::fresh(parent, graph),
+            None,
+            0.5,
+            &parent_tensors,
+        )
+        .unwrap();
+
+    let mirror = dep.provider_ids()[2];
+    let plan = dep.fabric().install_fault_plan(FaultPlan::new(0));
+    plan.set_down(mirror);
+    for child in ids.take(children) {
+        let map = OwnerMap::fresh(child, graph);
+        let new = finetuned(&map, &parent_tensors, &mut rng);
+        client
+            .store_model(graph.clone(), map, Some(parent), 0.6, &new)
+            .unwrap();
+    }
+    plan.set_up(mirror);
+
+    let t0 = Instant::now();
+    let report = dep.repair().unwrap();
+    let repair_s = t0.elapsed().as_secs_f64();
+    assert!(report.models_synced >= children, "{report:?}");
+    assert_eq!(report.missing_payloads, 0, "{report:?}");
+    dep.gc_audit().unwrap();
+
+    let ledger = dep.ledger().entry("transfer").unwrap();
+    let stats = dep.stats();
+    RepairPoint {
+        plane: if negotiated {
+            "negotiated"
+        } else {
+            "materialized"
+        },
+        repair_s,
+        models_synced: report.models_synced,
+        transfer_bytes_out: ledger.bytes_out,
+        transfer_ops: ledger.ops,
+        deltas_shipped: stats.iter().map(|s| s.transfer_deltas_shipped).sum(),
+        chunks_offered: stats.iter().map(|s| s.transfer_chunks_offered).sum(),
+        chunks_skipped: stats.iter().map(|s| s.transfer_chunks_skipped).sum(),
+        bytes_saved: stats.iter().map(|s| s.transfer_bytes_saved).sum(),
+        metrics: dep.metrics_snapshot(),
+    }
+}
+
+struct WatchPoint {
+    plane: &'static str,
+    releases: usize,
+    p50_us: u64,
+    p99_us: u64,
+    update_bytes: u64,
+    chunk_fetches: u64,
+    chunk_bytes_reused: u64,
+    metrics: evostore_obs::RegistrySnapshot,
+}
+
+/// Time-to-weights for a watcher following a fine-tuning lineage over a
+/// shaped bulk plane (`rate` bytes/s): each release changes only the
+/// tail quarter of every tensor.
+fn run_watch(negotiated: bool, graph: &CompactGraph, releases: usize, rate: u64) -> WatchPoint {
+    let dep = Deployment::new(DeploymentConfig {
+        providers: 1,
+        store_policy: StorePolicy::chunked_with_delta(),
+        ..Default::default()
+    });
+    let parent = ModelId(1);
+    let cfg = if negotiated {
+        WatchConfig {
+            exchange_chunk_size: 2048,
+            ..WatchConfig::default()
+        }
+    } else {
+        WatchConfig {
+            chunk_exchange: false,
+            use_fetch_chain: false,
+            ..WatchConfig::default()
+        }
+    };
+    let watcher = ModelWatcher::attach(
+        CachingClient::new(dep.client(), 256 << 20),
+        SubscriptionFilter::NewVersionOf(parent),
+        cfg,
+        Some(dep.obs()),
+    )
+    .unwrap();
+
+    // The initial (materialized, identical either way) parent prefetch
+    // runs unshaped so the histogram isolates the updates.
+    let writer = dep.client();
+    let mut rng = ChaCha8Rng::seed_from_u64(91);
+    let parent_map = OwnerMap::fresh(parent, graph);
+    let parent_tensors = random_tensors(parent, graph, &mut rng);
+    writer
+        .store_model(
+            graph.clone(),
+            parent_map.clone(),
+            None,
+            0.5,
+            &parent_tensors,
+        )
+        .unwrap();
+    let keys = parent_map.all_tensor_keys();
+    assert!(
+        watcher.wait_until(WAIT, || watcher
+            .client()
+            .cache()
+            .get_batch(&keys)
+            .1
+            .is_empty()),
+        "parent version cached"
+    );
+    let prefetch_bytes = watcher.stats().provider_bytes_fetched;
+
+    // Every release is a direct new version of the watched model (the
+    // subscription filter matches direct descendants), sharing the
+    // leading three quarters of every tensor's bytes with it.
+    dep.fabric().set_bulk_throughput(Some(rate));
+    for r in 0..releases {
+        let child = ModelId(2 + r as u64);
+        let map = OwnerMap::fresh(child, graph);
+        let new = tail_tuned(&map, &parent_tensors, &mut rng);
+        writer
+            .store_model(graph.clone(), map.clone(), Some(parent), 0.6, &new)
+            .unwrap();
+        let keys = map.all_tensor_keys();
+        assert!(
+            watcher.wait_until(WAIT, || watcher
+                .client()
+                .cache()
+                .get_batch(&keys)
+                .1
+                .is_empty()),
+            "release {child} cached"
+        );
+    }
+    dep.fabric().set_bulk_throughput(None);
+
+    let stats = watcher.stats();
+    WatchPoint {
+        plane: if negotiated {
+            "chunk_exchange"
+        } else {
+            "materialized"
+        },
+        releases,
+        p50_us: stats.time_to_weights.p50_us,
+        p99_us: stats.time_to_weights.p99_us,
+        update_bytes: stats.provider_bytes_fetched + stats.peer_bytes_fetched - prefetch_bytes,
+        chunk_fetches: stats.chunk_fetches,
+        chunk_bytes_reused: stats.chunk_bytes_reused,
+        metrics: dep.metrics_snapshot(),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let children: usize = args.get("children", if args.flag("full") { 12 } else { 6 });
+    let releases: usize = args.get("releases", if args.flag("full") { 8 } else { 5 });
+    let rate_mb: u64 = args.get("rate_mb", 8);
+    let json_path: String = args.get("json", String::new());
+    let graph = seq(&[64, 256, 256, 64]);
+
+    banner(
+        "Transfer A/B",
+        "chunk-negotiated delta transfer vs materialized sync",
+    );
+    println!(
+        "repair: {children} fine-tuned children re-replicated after an outage; \
+         watch: {releases} tail-quarter releases over a {rate_mb} MB/s link"
+    );
+
+    let repair: Vec<RepairPoint> = [true, false]
+        .iter()
+        .map(|&n| run_repair(n, &graph, children))
+        .collect();
+    let watch: Vec<WatchPoint> = [true, false]
+        .iter()
+        .map(|&n| run_watch(n, &graph, releases, rate_mb * 1_000_000))
+        .collect();
+
+    println!();
+    print_table(
+        &[
+            "repair plane",
+            "synced",
+            "bytes out",
+            "legs",
+            "deltas",
+            "offered",
+            "skipped",
+            "saved",
+            "repair s",
+        ],
+        &repair
+            .iter()
+            .map(|p| {
+                vec![
+                    p.plane.to_string(),
+                    p.models_synced.to_string(),
+                    p.transfer_bytes_out.to_string(),
+                    p.transfer_ops.to_string(),
+                    p.deltas_shipped.to_string(),
+                    p.chunks_offered.to_string(),
+                    p.chunks_skipped.to_string(),
+                    p.bytes_saved.to_string(),
+                    f2(p.repair_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    print_table(
+        &[
+            "watch plane",
+            "ttw p50 ms",
+            "ttw p99 ms",
+            "update bytes",
+            "chunk fetches",
+            "bytes reused",
+        ],
+        &watch
+            .iter()
+            .map(|p| {
+                vec![
+                    p.plane.to_string(),
+                    f1(p.p50_us as f64 / 1e3),
+                    f1(p.p99_us as f64 / 1e3),
+                    p.update_bytes.to_string(),
+                    p.chunk_fetches.to_string(),
+                    p.chunk_bytes_reused.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let bytes_ratio = repair[1].transfer_bytes_out as f64 / repair[0].transfer_bytes_out as f64;
+    let p99_ratio = watch[0].p99_us as f64 / watch[1].p99_us as f64;
+    println!();
+    println!(
+        "repair: negotiated moved {} bytes vs {} materialized ({:.2}x reduction); \
+         watch: time-to-weights p99 {:.1} ms vs {:.1} ms ({:.2}x of baseline)",
+        repair[0].transfer_bytes_out,
+        repair[1].transfer_bytes_out,
+        bytes_ratio,
+        watch[0].p99_us as f64 / 1e3,
+        watch[1].p99_us as f64 / 1e3,
+        p99_ratio
+    );
+
+    if !json_path.is_empty() {
+        let repair_rows: Vec<String> = repair
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"plane\": \"{}\", \"repair_s\": {}, \"models_synced\": {}, \
+                     \"transfer_bytes_out\": {}, \"transfer_ops\": {}, \"deltas_shipped\": {}, \
+                     \"chunks_offered\": {}, \"chunks_skipped\": {}, \"bytes_saved\": {}}}",
+                    p.plane,
+                    f2(p.repair_s),
+                    p.models_synced,
+                    p.transfer_bytes_out,
+                    p.transfer_ops,
+                    p.deltas_shipped,
+                    p.chunks_offered,
+                    p.chunks_skipped,
+                    p.bytes_saved
+                )
+            })
+            .collect();
+        let watch_rows: Vec<String> = watch
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"plane\": \"{}\", \"releases\": {}, \"ttw_p50_us\": {}, \
+                     \"ttw_p99_us\": {}, \"update_bytes\": {}, \"chunk_fetches\": {}, \
+                     \"chunk_bytes_reused\": {}}}",
+                    p.plane,
+                    p.releases,
+                    p.p50_us,
+                    p.p99_us,
+                    p.update_bytes,
+                    p.chunk_fetches,
+                    p.chunk_bytes_reused
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"figure\": \"transfer_ab\",\n  \"children\": {children},\n  \
+             \"releases\": {releases},\n  \"link_rate_mb\": {rate_mb},\n  \
+             \"bytes_moved_reduction\": {},\n  \"watch_p99_ratio\": {},\n  \
+             \"repair_points\": [\n{}\n  ],\n  \"watch_points\": [\n{}\n  ]\n}}\n",
+            f2(bytes_ratio),
+            f2(p99_ratio),
+            repair_rows.join(",\n"),
+            watch_rows.join(",\n")
+        );
+        if let Some(parent) = std::path::Path::new(&json_path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(&json_path, json).expect("write --json output");
+        println!("wrote {json_path}");
+
+        // Alongside the result points: the unified registry snapshot of
+        // each run, so a regression in any counter (including the new
+        // evostore_transfer_* series) is visible next to the figure.
+        let metrics_path = json_path.replace(".json", "_metrics.json");
+        let runs: Vec<String> = repair
+            .iter()
+            .map(|p| (format!("repair_{}", p.plane), &p.metrics))
+            .chain(
+                watch
+                    .iter()
+                    .map(|p| (format!("watch_{}", p.plane), &p.metrics)),
+            )
+            .map(|(plane, m)| {
+                format!(
+                    "    {{\"plane\": \"{}\", \"snapshot\": {}}}",
+                    plane,
+                    m.to_json()
+                )
+            })
+            .collect();
+        let metrics_json = format!(
+            "{{\n  \"figure\": \"transfer_ab_metrics\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+            runs.join(",\n")
+        );
+        std::fs::write(&metrics_path, metrics_json).expect("write metrics snapshot");
+        println!("wrote {metrics_path}");
+    }
+}

@@ -1166,6 +1166,7 @@ impl EvoStoreClient {
         let chain = self.replication.chain(primary, self.providers.len());
         let req = ReadTensorsRequest {
             keys: keys.to_vec(),
+            raw_records: false,
         };
         let mut last_err = None;
         for (attempt, &idx) in chain.iter().enumerate() {

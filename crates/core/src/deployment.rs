@@ -2,30 +2,39 @@
 //! run deployment-wide maintenance (GC audit, anti-entropy repair).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use evostore_kv::{ChunkStats, ChunkedStore, FannedLogStore, KvBackend, LogStore, MemPoolStore};
+use evostore_obs::ledger::install_costs;
 use evostore_obs::{
-    FlightEvent, MonotonicClock, ObsHub, ObsServer, RegistrySnapshot, SloSpec, TimeSource,
+    FlightEvent, MonotonicClock, ObsHub, ObsServer, OpCosts, OpLedger, RegistrySnapshot, SloSpec,
+    TimeSource, Tracer,
 };
-use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy};
+use evostore_rpc::{BulkHandle, EndpointId, Fabric, RetryPolicy, TraceHandle};
 use evostore_tensor::{ModelId, TensorKey};
 
 use crate::client::EvoStoreClient;
 use crate::messages::{
-    methods, DigestReply, DigestRequest, GetMetaRequest, ModelMetaReply, ObsSnapshotRequest,
-    ProviderStats, ReadTensorsReply, ReadTensorsRequest, SyncModelReply, SyncModelRequest,
-    SyncRefsReply, SyncRefsRequest, SyncRetireReply, SyncRetireRequest, Tombstone,
+    methods, DigestReply, DigestRequest, GetMetaRequest, HaveChunksReply, HaveChunksRequest,
+    ModelMetaReply, ObsSnapshotRequest, ProviderStats, ReadChunksReply, ReadChunksRequest,
+    ReadTensorsReply, ReadTensorsRequest, SyncChunksReply, SyncChunksRequest, SyncModelReply,
+    SyncModelRequest, SyncRefsReply, SyncRefsRequest, SyncRetireReply, SyncRetireRequest,
+    Tombstone, TransferManifestReply, TransferManifestRequest,
 };
-use crate::policy::{ChunkingPolicy, DataPlanePolicy, StorePolicy};
+use crate::policy::{ChunkingPolicy, DataPlanePolicy, DeltaPolicy, StorePolicy};
 use crate::provider::{Provider, ProviderState};
 use crate::replication::ReplicationPolicy;
 
 /// Flight-recorder capacity of the fabric's ring (faults, endpoint
 /// down/up transitions).
 pub const FABRIC_FLIGHT_EVENTS: usize = 4096;
+
+/// Flight-recorder capacity of the deployment's own ring (repair and
+/// transfer spans).
+pub const DEPLOYMENT_FLIGHT_EVENTS: usize = 1024;
 
 /// Which KV backend providers persist tensors into.
 #[derive(Debug, Clone)]
@@ -85,6 +94,12 @@ pub struct DeploymentConfig {
     /// `/slo`, `/traces/recent` and `/flight` over HTTP. `None` (the
     /// default) serves nothing.
     pub obs_listen: Option<String>,
+    /// Repair/re-replication transfer discipline: negotiate chunk
+    /// possession and ship only missing chunks and stored delta records
+    /// (the default), or always ship materialized payloads — the A/B
+    /// measurement lever behind the transfer bench's `--materialized`
+    /// mode. Results are identical either way; only bytes moved differ.
+    pub negotiated_transfer: bool,
 }
 
 impl Default for DeploymentConfig {
@@ -101,6 +116,7 @@ impl Default for DeploymentConfig {
             force_copy_data_plane: false,
             deliver_fanout: 4,
             obs_listen: None,
+            negotiated_transfer: true,
         }
     }
 }
@@ -114,6 +130,19 @@ pub struct Deployment {
     obs: Arc<ObsHub>,
     force_copy: bool,
     obs_server: Option<ObsServer>,
+    /// Per-op-class resource attribution for deployment-driven work
+    /// (`repair` passes, per-model `transfer` legs), exported as
+    /// `evostore_ledger_*` under node `deployment`.
+    ledger: Arc<OpLedger>,
+    /// Span factory for the transfer plane: every `transfer.sync_model`
+    /// root carries the negotiation round-trips as child spans.
+    tracer: Arc<Tracer>,
+    /// Chunk-negotiated, delta-preserving sync (the default) vs always
+    /// materialized — the transfer bench's A/B lever.
+    negotiated_transfer: AtomicBool,
+    /// The delta policy providers were built with; bounds the
+    /// post-repair chain compaction pass.
+    delta: DeltaPolicy,
 }
 
 /// What one [`Deployment::repair`] pass did.
@@ -250,6 +279,16 @@ impl Deployment {
             Self::start_obs_server(addr, Arc::clone(&fabric), provider_ids.clone(), &obs)
                 .unwrap_or_else(|e| panic!("obs exposition server on {addr}: {e}"))
         });
+        let ledger = Arc::new(OpLedger::new());
+        {
+            let l = Arc::clone(&ledger);
+            obs.registry().register(move || l.metrics("deployment"));
+        }
+        let tracer = Arc::new(Tracer::new(
+            "deployment",
+            Arc::clone(obs.clock()),
+            obs.new_recorder("deployment", DEPLOYMENT_FLIGHT_EVENTS),
+        ));
         Deployment {
             fabric,
             providers,
@@ -258,6 +297,10 @@ impl Deployment {
             obs,
             force_copy,
             obs_server,
+            ledger,
+            tracer,
+            negotiated_transfer: AtomicBool::new(cfg.negotiated_transfer),
+            delta: cfg.store_policy.delta,
         }
     }
 
@@ -456,6 +499,29 @@ impl Deployment {
         }
     }
 
+    /// Switch between chunk-negotiated, delta-preserving re-replication
+    /// (the default) and materialized payload shipping — the A/B lever
+    /// behind the transfer bench's `--materialized` mode. Results are
+    /// identical either way; only bytes moved differ.
+    pub fn set_negotiated_transfer(&self, on: bool) {
+        self.negotiated_transfer.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether repair currently negotiates chunk possession before
+    /// shipping payloads.
+    pub fn negotiated_transfer(&self) -> bool {
+        self.negotiated_transfer.load(Ordering::Relaxed)
+    }
+
+    /// Per-op-class resource attribution for deployment-driven work:
+    /// every [`Deployment::repair`] pass folds into the `repair` class
+    /// and every per-model re-replication leg into `transfer`, so the
+    /// bytes a negotiated sync avoided moving are visible right in the
+    /// ledger (`evostore_ledger_bytes_*{node="deployment"}`).
+    pub fn ledger(&self) -> &Arc<OpLedger> {
+        &self.ledger
+    }
+
     /// Per-provider statistics, in provider-index order — including the
     /// KV byte counters ([`ProviderStats::tensor_kv`] /
     /// [`ProviderStats::meta_kv`]) carried in STATS replies.
@@ -613,9 +679,22 @@ impl Deployment {
     /// reports zero work.
     pub fn repair(&self) -> Result<RepairReport, String> {
         let start_us = self.obs.clock().now_us();
-        let out = self.repair_inner();
+        let costs = OpCosts::new();
+        let out = {
+            let _costs = install_costs(Some(Arc::clone(&costs)));
+            self.repair_inner()
+        };
         let latency_us = self.obs.clock().now_us().saturating_sub(start_us);
         self.obs.slo().record("repair", latency_us, out.is_ok());
+        self.ledger.finish_op("repair", out.is_ok(), &costs);
+        // Post-repair maintenance: verbatim delta transfer re-installs
+        // chains at their stored depth, so re-base anything a prior
+        // policy (or a lowered bound) left beyond the cap. Idempotent —
+        // a healthy deployment re-bases nothing.
+        if out.is_ok() && self.delta.enabled {
+            self.compact_deltas(self.delta.max_chain_depth)
+                .map_err(|e| format!("post-repair delta compaction: {e}"))?;
+        }
         out
     }
 
@@ -798,6 +877,19 @@ impl Deployment {
     /// provider `source` to provider `target`. Returns `Ok(false)` when
     /// the source no longer serves the payloads (lost beyond the
     /// replication factor).
+    ///
+    /// With [`DeploymentConfig::negotiated_transfer`] on (the default)
+    /// this is a chunk-negotiated, delta-preserving driver: it asks the
+    /// source how the stored bytes decompose (`TRANSFER_MANIFEST`),
+    /// probes the target's possession set (`HAVE_CHUNKS`), and ships
+    /// only the missing chunks (`READ_CHUNKS` → `SYNC_CHUNKS`) — or, on
+    /// layout mismatch, the stored delta records verbatim. Any decline
+    /// or failure along the way falls back to the materialized
+    /// `SYNC_MODEL` path, which is the correctness backstop.
+    ///
+    /// The whole leg is accounted as one `transfer` op in the
+    /// deployment ledger and as a `transfer.sync_model` span tree whose
+    /// children are the negotiation round-trips.
     fn sync_model_to(
         &self,
         model: ModelId,
@@ -806,14 +898,45 @@ impl Deployment {
         target: usize,
         retry: &RetryPolicy,
     ) -> Result<bool, String> {
+        let costs = OpCosts::new();
+        let mut root = self.tracer.start_root("transfer.sync_model");
+        let out = {
+            let _costs = install_costs(Some(Arc::clone(&costs)));
+            let trace = TraceHandle::new(&self.tracer, root.ctx());
+            self.sync_model_inner(model, optimizer_keys, source, target, retry, &trace)
+        };
+        self.ledger.finish_op("transfer", out.is_ok(), &costs);
+        // Credit the same movement to the enclosing repair op (the
+        // transfer cell replaced the repair cell while installed).
+        let s = costs.snapshot();
+        evostore_obs::ledger::add_bytes_in(s.bytes_in);
+        evostore_obs::ledger::add_bytes_out(s.bytes_out);
+        evostore_obs::ledger::add_chunks_touched(s.chunks_touched);
+        if let Err(e) = &out {
+            root.fail(e.to_string());
+        }
+        root.finish();
+        out
+    }
+
+    fn sync_model_inner(
+        &self,
+        model: ModelId,
+        optimizer_keys: &[TensorKey],
+        source: usize,
+        target: usize,
+        retry: &RetryPolicy,
+        trace: &TraceHandle<'_>,
+    ) -> Result<bool, String> {
         let src = self.provider_ids[source];
-        let meta: ModelMetaReply = evostore_rpc::unary(
+        let meta: ModelMetaReply = evostore_rpc::unary_traced(
             &self.fabric,
             src,
             methods::GET_META,
             &GetMetaRequest { model },
             retry,
             None,
+            Some(trace),
         )
         .map_err(|e| format!("get_meta({model}) from provider {source}: {e}"))?;
         // Ship only what the target's replica role needs: the model's
@@ -827,13 +950,318 @@ impl Deployment {
             .filter(|k| k.owner == model)
             .collect();
         keys.extend_from_slice(optimizer_keys);
-        let read: ReadTensorsReply = match evostore_rpc::unary(
+        if self.negotiated_transfer() {
+            // Anything short of a completed negotiation — declined
+            // (layout mismatch, missing delta base, whole-record source
+            // without deltas) or failed mid-flight — falls through to
+            // the materialized backstop.
+            if let Ok(Some(done)) =
+                self.sync_model_negotiated(model, &meta, &keys, source, target, retry, trace)
+            {
+                return Ok(done);
+            }
+        }
+        self.sync_model_materialized(model, meta, keys, source, target, retry, trace)
+    }
+
+    /// Try the derivative-aware path. `Ok(None)` means negotiation
+    /// declined and the caller should ship materialized payloads.
+    #[allow(clippy::too_many_arguments)]
+    fn sync_model_negotiated(
+        &self,
+        model: ModelId,
+        meta: &ModelMetaReply,
+        keys: &[TensorKey],
+        source: usize,
+        target: usize,
+        retry: &RetryPolicy,
+        trace: &TraceHandle<'_>,
+    ) -> Result<Option<bool>, String> {
+        let src = self.provider_ids[source];
+        let dst = self.provider_ids[target];
+        // 1. How do the source's stored records decompose?
+        let manifest: TransferManifestReply = match evostore_rpc::unary_traced(
+            &self.fabric,
+            src,
+            methods::TRANSFER_MANIFEST,
+            &TransferManifestRequest {
+                keys: keys.to_vec(),
+            },
+            retry,
+            None,
+            Some(trace),
+        ) {
+            Ok(m) => m,
+            Err(e) if e.is_transient() => {
+                return Err(format!("transfer_manifest({model}) from {source}: {e}"))
+            }
+            // The source can't describe its stored layout: decline.
+            Err(_) => return Ok(None),
+        };
+        let has_deltas = manifest.records.iter().any(|r| r.delta_base.is_some());
+        if !manifest.chunked && !has_deltas {
+            // Whole records, no delta linkage: negotiation saves nothing.
+            return Ok(None);
+        }
+        // Union of the chunk hashes to probe (dedup, source order) and
+        // the delta bases that must already sit on the target (bases
+        // riding along in this shipment fence themselves).
+        let shipped: HashSet<TensorKey> = keys.iter().copied().collect();
+        let mut hashes: Vec<[u8; 16]> = Vec::new();
+        let mut seen: HashSet<[u8; 16]> = HashSet::new();
+        for r in &manifest.records {
+            for h in &r.hashes {
+                if seen.insert(*h) {
+                    hashes.push(*h);
+                }
+            }
+        }
+        let mut base_keys: Vec<TensorKey> = manifest
+            .records
+            .iter()
+            .filter_map(|r| r.delta_base)
+            .filter(|b| !shipped.contains(b))
+            .collect();
+        base_keys.sort_unstable();
+        base_keys.dedup();
+        // 2. Probe the receiver's possession set.
+        let have: HaveChunksReply = match evostore_rpc::unary_traced(
+            &self.fabric,
+            dst,
+            methods::HAVE_CHUNKS,
+            &HaveChunksRequest {
+                hashes: hashes.clone(),
+                keys: base_keys,
+            },
+            retry,
+            None,
+            Some(trace),
+        ) {
+            Ok(h) => h,
+            Err(e) if e.is_transient() => {
+                return Err(format!("have_chunks({model}) on {target}: {e}"))
+            }
+            Err(_) => return Ok(None),
+        };
+        // Every delta base must be on the target (or in this shipment),
+        // or verbatim delta transfer would strand the chain.
+        if have.have_records.iter().any(|ok| !ok) {
+            return Ok(None);
+        }
+        if manifest.chunked && have.chunked && have.chunk_size == manifest.chunk_size {
+            return self.sync_chunks_to(
+                model, meta, &manifest, &hashes, &have, source, target, retry, trace,
+            );
+        }
+        if has_deltas {
+            // Chunk negotiation is off the table (layout or granularity
+            // mismatch) but the delta linkage still transfers: ship the
+            // stored records verbatim over SYNC_MODEL.
+            return self.sync_raw_records_to(model, meta, keys, source, target, retry, trace);
+        }
+        Ok(None)
+    }
+
+    /// Chunk-negotiated leg: pull only the chunks the target reported
+    /// missing from the source and install the records manifest-level —
+    /// no tensor is materialized on either side.
+    #[allow(clippy::too_many_arguments)]
+    fn sync_chunks_to(
+        &self,
+        model: ModelId,
+        meta: &ModelMetaReply,
+        manifest: &TransferManifestReply,
+        hashes: &[[u8; 16]],
+        have: &HaveChunksReply,
+        source: usize,
+        target: usize,
+        retry: &RetryPolicy,
+        trace: &TraceHandle<'_>,
+    ) -> Result<Option<bool>, String> {
+        let src = self.provider_ids[source];
+        let dst = self.provider_ids[target];
+        let missing: Vec<[u8; 16]> = hashes
+            .iter()
+            .zip(&have.have_chunks)
+            .filter(|(_, held)| !**held)
+            .map(|(h, _)| *h)
+            .collect();
+        let mut lens: Vec<u64> = Vec::with_capacity(missing.len());
+        let mut segments: Vec<Bytes> = Vec::with_capacity(missing.len());
+        if !missing.is_empty() {
+            let read: ReadChunksReply = match evostore_rpc::unary_traced(
+                &self.fabric,
+                src,
+                methods::READ_CHUNKS,
+                &ReadChunksRequest {
+                    hashes: missing.clone(),
+                },
+                retry,
+                None,
+                Some(trace),
+            ) {
+                Ok(r) => r,
+                Err(e) if e.is_transient() => {
+                    return Err(format!("read_chunks({model}) from {source}: {e}"))
+                }
+                Err(_) => return Ok(None),
+            };
+            let handle = BulkHandle(read.bulk);
+            let region = self
+                .fabric
+                .bulk_get_vec(handle)
+                .map_err(|e| format!("chunk bulk pull for {model}: {e}"))?;
+            let mut off = 0usize;
+            for &len in &read.lens {
+                let len = len as usize;
+                let chunk = region
+                    .slice(off, len)
+                    .ok_or_else(|| format!("chunk region truncated for {model}"))?;
+                off += len;
+                lens.push(len as u64);
+                segments.push(chunk);
+            }
+            self.fabric.bulk_release(handle);
+            evostore_obs::ledger::add_bytes_in(off as u64);
+            evostore_obs::ledger::add_chunks_touched(segments.len() as u64);
+        }
+        let moved: u64 = lens.iter().sum();
+        let out = self.fabric.bulk_expose_vec(segments);
+        let result: Result<SyncChunksReply, _> = evostore_rpc::unary_traced(
+            &self.fabric,
+            dst,
+            methods::SYNC_CHUNKS,
+            &SyncChunksRequest {
+                model,
+                graph: meta.graph.clone(),
+                owner_map: meta.owner_map.clone(),
+                parent: meta.parent,
+                quality: meta.quality,
+                timestamp: meta.timestamp,
+                records: manifest.records.clone(),
+                pushed: missing,
+                lens,
+                bulk: out.0,
+            },
+            retry,
+            None,
+            Some(trace),
+        );
+        self.fabric.bulk_release(out);
+        match result {
+            Ok(_) => {
+                evostore_obs::ledger::add_bytes_out(moved);
+                Ok(Some(true))
+            }
+            Err(e) if e.is_transient() => Err(format!("sync_chunks({model}) to {target}: {e}")),
+            // The target rejected the manifest (e.g. a chunk it claimed
+            // got reclaimed concurrently): materialized backstop.
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Delta-preserving leg over the whole-record plane: read the stored
+    /// bytes verbatim (EVDL delta records included) and sync them as
+    /// raw records, so a repaired derived model keeps its O(changed
+    /// bytes) encoding and its reclaim fencing.
+    #[allow(clippy::too_many_arguments)]
+    fn sync_raw_records_to(
+        &self,
+        model: ModelId,
+        meta: &ModelMetaReply,
+        keys: &[TensorKey],
+        source: usize,
+        target: usize,
+        retry: &RetryPolicy,
+        trace: &TraceHandle<'_>,
+    ) -> Result<Option<bool>, String> {
+        let src = self.provider_ids[source];
+        let read: ReadTensorsReply = match evostore_rpc::unary_traced(
             &self.fabric,
             src,
             methods::READ,
-            &ReadTensorsRequest { keys },
+            &ReadTensorsRequest {
+                keys: keys.to_vec(),
+                raw_records: true,
+            },
             retry,
             None,
+            Some(trace),
+        ) {
+            Ok(r) => r,
+            Err(e) if e.is_transient() => {
+                return Err(format!("read raw records of {model} from {source}: {e}"))
+            }
+            Err(_) => return Ok(None),
+        };
+        let handle = BulkHandle(read.bulk);
+        let region = self
+            .fabric
+            .bulk_get(handle)
+            .map_err(|e| format!("bulk pull for {model}: {e}"))?;
+        evostore_obs::ledger::add_bytes_in(region.len() as u64);
+        evostore_obs::ledger::add_chunks_touched(read.manifest.len() as u64);
+        let moved = region.len() as u64;
+        let out = self.fabric.bulk_expose(region);
+        let result: Result<SyncModelReply, _> = evostore_rpc::unary_traced(
+            &self.fabric,
+            self.provider_ids[target],
+            methods::SYNC_MODEL,
+            &SyncModelRequest {
+                model,
+                graph: meta.graph.clone(),
+                owner_map: meta.owner_map.clone(),
+                parent: meta.parent,
+                quality: meta.quality,
+                timestamp: meta.timestamp,
+                manifest: read.manifest,
+                bulk: out.0,
+                raw_records: true,
+            },
+            retry,
+            None,
+            Some(trace),
+        );
+        self.fabric.bulk_release(out);
+        self.fabric.bulk_release(handle);
+        match result {
+            Ok(_) => {
+                evostore_obs::ledger::add_bytes_out(moved);
+                Ok(Some(true))
+            }
+            Err(e) if e.is_transient() => Err(format!("sync_model({model}) to {target}: {e}")),
+            // The target rejected the verbatim records (e.g. delta
+            // disabled there): materialized backstop.
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Materialized fallback: read fully reconstructed tensor records
+    /// from the source and push them whole — correct against any layout
+    /// or policy mismatch, at O(model bytes) cost.
+    #[allow(clippy::too_many_arguments)]
+    fn sync_model_materialized(
+        &self,
+        model: ModelId,
+        meta: ModelMetaReply,
+        keys: Vec<TensorKey>,
+        source: usize,
+        target: usize,
+        retry: &RetryPolicy,
+        trace: &TraceHandle<'_>,
+    ) -> Result<bool, String> {
+        let src = self.provider_ids[source];
+        let read: ReadTensorsReply = match evostore_rpc::unary_traced(
+            &self.fabric,
+            src,
+            methods::READ,
+            &ReadTensorsRequest {
+                keys,
+                raw_records: false,
+            },
+            retry,
+            None,
+            Some(trace),
         ) {
             Ok(r) => r,
             // The source catalogs the record but lost payloads (e.g. a
@@ -849,10 +1277,13 @@ impl Deployment {
             .fabric
             .bulk_get(handle)
             .map_err(|e| format!("bulk pull for {model}: {e}"))?;
+        evostore_obs::ledger::add_bytes_in(region.len() as u64);
+        evostore_obs::ledger::add_chunks_touched(read.manifest.len() as u64);
+        let moved = region.len() as u64;
         // Re-expose the same bytes for the target; the manifest offsets
         // carry over unchanged.
         let out = self.fabric.bulk_expose(region);
-        let result: Result<SyncModelReply, String> = evostore_rpc::unary(
+        let result: Result<SyncModelReply, String> = evostore_rpc::unary_traced(
             &self.fabric,
             self.provider_ids[target],
             methods::SYNC_MODEL,
@@ -865,13 +1296,16 @@ impl Deployment {
                 timestamp: meta.timestamp,
                 manifest: read.manifest,
                 bulk: out.0,
+                raw_records: false,
             },
             retry,
             None,
+            Some(trace),
         )
         .map_err(|e| format!("sync_model({model}) to provider {target}: {e}"));
         self.fabric.bulk_release(out);
         self.fabric.bulk_release(handle);
+        evostore_obs::ledger::add_bytes_out(moved);
         result.map(|_| true)
     }
 }

@@ -87,6 +87,12 @@ pub struct ModelMetaReply {
 pub struct ReadTensorsRequest {
     /// Keys to read; every key's owner must hash to the target provider.
     pub keys: Vec<TensorKey>,
+    /// When true, return the *stored* record bytes verbatim — possibly
+    /// EVDL delta records — instead of materialized tensors. Only the
+    /// delta-preserving sync driver sets this; ordinary readers always
+    /// want materialized payloads. `default` keeps old clients decodable.
+    #[serde(default)]
+    pub raw_records: bool,
 }
 
 /// Reply: a freshly exposed bulk region + manifest. The *client* releases
@@ -393,6 +399,14 @@ pub struct SyncModelRequest {
     pub manifest: Vec<ManifestEntry>,
     /// Bulk region holding the payloads.
     pub bulk: u64,
+    /// When true, the payloads are the source's *stored* record bytes
+    /// shipped verbatim — possibly EVDL delta records — instead of
+    /// materialized tensors. The receiver validates delta framing,
+    /// requires each delta's base to be locally present (or part of this
+    /// same request), and registers `delta_deps` fencing on arrival.
+    /// `default` keeps pre-transfer-plane senders decodable.
+    #[serde(default)]
+    pub raw_records: bool,
 }
 
 /// Reply to a model sync.
@@ -402,6 +416,158 @@ pub struct SyncModelReply {
     pub applied: bool,
     /// Tensor payloads written.
     pub tensors_stored: usize,
+}
+
+// ---- derivative-aware transfer plane -------------------------------------
+
+/// One record's *transfer manifest*: how the stored bytes decompose into
+/// content-addressed chunks at the source, plus the record's delta
+/// linkage. `hashes` is empty when the source stores records whole; the
+/// delta fields describe the *stored* encoding (which a chunk-verbatim
+/// transfer preserves).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Which record this is.
+    pub key: TensorKey,
+    /// Stored record length in bytes (the chunked logical total).
+    pub total: u64,
+    /// Content hashes of the record's chunks in order
+    /// ([`evostore_tensor::ContentHash::to_bytes`] form).
+    pub hashes: Vec<[u8; 16]>,
+    /// When the stored record is an EVDL delta: the base record's key.
+    pub delta_base: Option<TensorKey>,
+    /// Delta chain depth of the stored record (0 = raw).
+    pub delta_depth: u8,
+}
+
+/// Ask the *source* provider how a model's records decompose into chunks
+/// and deltas — the opening move of chunk-negotiated re-replication.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferManifestRequest {
+    /// The records (self-owned + optimizer keys) to describe.
+    pub keys: Vec<TensorKey>,
+}
+
+/// The source's transfer manifests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferManifestReply {
+    /// Whether the source stores records chunked (chunk hashes present
+    /// and usable for negotiation).
+    pub chunked: bool,
+    /// The source's chunk size; manifests transfer verbatim only between
+    /// stores chunking at the same granularity.
+    pub chunk_size: u64,
+    /// One entry per requested key, in request order.
+    pub records: Vec<TransferRecord>,
+}
+
+/// Possession probe on the *receiver*: which of these chunks (by content
+/// hash) and records (by key — delta-base fencing) it already holds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HaveChunksRequest {
+    /// Chunk content hashes to probe.
+    pub hashes: Vec<[u8; 16]>,
+    /// Record keys whose presence the sender needs (delta bases).
+    pub keys: Vec<TensorKey>,
+}
+
+/// The receiver's possession set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HaveChunksReply {
+    /// Whether the receiver can accept manifest-level chunk inserts.
+    pub chunked: bool,
+    /// The receiver's chunk size.
+    pub chunk_size: u64,
+    /// `have_chunks[i]` answers `hashes[i]`.
+    pub have_chunks: Vec<bool>,
+    /// `have_records[i]` answers `keys[i]`.
+    pub have_records: Vec<bool>,
+}
+
+/// Read chunk payloads by content hash from the source, as a freshly
+/// exposed bulk region (the caller releases it).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadChunksRequest {
+    /// The chunks to read.
+    pub hashes: Vec<[u8; 16]>,
+}
+
+/// Reply: chunk payloads concatenated in request order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReadChunksReply {
+    /// Byte length of each requested chunk inside the region.
+    pub lens: Vec<u64>,
+    /// The exposed region.
+    pub bulk: u64,
+}
+
+/// Chunk-negotiated re-replication: install a model from transfer
+/// manifests plus only the chunks the receiver reported missing — the
+/// tensor is never materialized on either side, and delta-encoded
+/// records transfer verbatim (their `delta_deps` fencing is registered
+/// on arrival). Staleness rules are identical to [`SyncModelRequest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncChunksRequest {
+    /// The model being re-replicated.
+    pub model: ModelId,
+    /// The flattened architecture.
+    pub graph: CompactGraph,
+    /// Ownership of every vertex.
+    pub owner_map: OwnerMap,
+    /// Direct ancestor.
+    pub parent: Option<ModelId>,
+    /// Quality metric.
+    pub quality: f64,
+    /// The authoritative write-order stamp (from the source replica).
+    pub timestamp: u64,
+    /// Transfer manifest of every self-owned + optimizer record.
+    pub records: Vec<TransferRecord>,
+    /// Hashes of the pushed (receiver-missing) chunks, in bulk order.
+    pub pushed: Vec<[u8; 16]>,
+    /// Byte length of each pushed chunk (framing of the bulk region).
+    pub lens: Vec<u64>,
+    /// Bulk region holding the pushed chunk payloads.
+    pub bulk: u64,
+}
+
+/// Reply to a chunk-negotiated sync.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyncChunksReply {
+    /// Whether the record was installed (false: target already newer).
+    pub applied: bool,
+    /// Records written (manifest-level inserts).
+    pub records_stored: usize,
+    /// Chunk payload bytes the negotiation avoided shipping.
+    pub bytes_saved: u64,
+}
+
+/// Chunk-negotiated tensor fetch (delivery plane): the client names the
+/// content hashes it can already source locally — typically chunks of
+/// the superseded cached version after a `NewVersionOf` event — and the
+/// provider pushes only the rest. The provider frames each *materialized*
+/// record at `chunk_size`, so this works over any storage layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FetchChunksRequest {
+    /// Keys to fetch; every key's owner must hash to the target provider.
+    pub keys: Vec<TensorKey>,
+    /// Chunking granularity the client hashed at (> 0).
+    pub chunk_size: u64,
+    /// Hashes the client already holds.
+    pub have: Vec<[u8; 16]>,
+}
+
+/// Reply: per-key chunk framing plus the missing chunk payloads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FetchChunksReply {
+    /// Chunk framing of each materialized record, in request order (the
+    /// delta fields are unused here — materialized records are raw).
+    pub records: Vec<TransferRecord>,
+    /// Hashes pushed in the bulk region, in order.
+    pub pushed: Vec<[u8; 16]>,
+    /// Byte length of each pushed chunk.
+    pub lens: Vec<u64>,
+    /// The exposed region (the client releases it).
+    pub bulk: u64,
 }
 
 /// Spread retirements to a replica: record each tombstone, drop any
@@ -529,6 +695,25 @@ pub struct ProviderStats {
     /// trees).
     #[serde(default)]
     pub deliver: evostore_deliver::DeliverStats,
+    /// Chunk hashes this provider was asked to probe for possession
+    /// (negotiated-transfer offers it received as a sync target, plus
+    /// chunk-aware watcher fetches it served).
+    #[serde(default)]
+    pub transfer_chunks_offered: u64,
+    /// Chunk payloads this provider shipped for negotiated transfers.
+    #[serde(default)]
+    pub transfer_chunks_sent: u64,
+    /// Offered chunks the negotiation elided (already held by the
+    /// receiving side).
+    #[serde(default)]
+    pub transfer_chunks_skipped: u64,
+    /// Delta-encoded records that crossed the wire verbatim (never
+    /// materialized) during sync.
+    #[serde(default)]
+    pub transfer_deltas_shipped: u64,
+    /// Payload bytes negotiation kept off the wire.
+    #[serde(default)]
+    pub transfer_bytes_saved: u64,
 }
 
 impl ProviderStats {
@@ -568,6 +753,11 @@ impl ProviderStats {
             batch_envelopes: self.batch_envelopes + other.batch_envelopes,
             batch_queries: self.batch_queries + other.batch_queries,
             deliver: self.deliver.merge(other.deliver),
+            transfer_chunks_offered: self.transfer_chunks_offered + other.transfer_chunks_offered,
+            transfer_chunks_sent: self.transfer_chunks_sent + other.transfer_chunks_sent,
+            transfer_chunks_skipped: self.transfer_chunks_skipped + other.transfer_chunks_skipped,
+            transfer_deltas_shipped: self.transfer_deltas_shipped + other.transfer_deltas_shipped,
+            transfer_bytes_saved: self.transfer_bytes_saved + other.transfer_bytes_saved,
         }
     }
 }
@@ -619,6 +809,17 @@ pub mod methods {
     pub const SYNC_REFS: &str = "evostore.sync_refs";
     /// Observability registry snapshot (metrics exposition fan-in).
     pub const OBS_SNAPSHOT: &str = "evostore.obs_snapshot";
+    /// Transfer manifests (chunk + delta decomposition) of stored
+    /// records, from the sync source.
+    pub const TRANSFER_MANIFEST: &str = "evostore.transfer_manifest";
+    /// Chunk/record possession probe on the sync target.
+    pub const HAVE_CHUNKS: &str = "evostore.have_chunks";
+    /// Read chunk payloads by content hash from the sync source.
+    pub const READ_CHUNKS: &str = "evostore.read_chunks";
+    /// Chunk-negotiated, delta-preserving model re-replication.
+    pub const SYNC_CHUNKS: &str = "evostore.sync_chunks";
+    /// Chunk-negotiated tensor fetch (delivery-plane peer exchange).
+    pub const FETCH_CHUNKS: &str = "evostore.fetch_chunks";
 }
 
 #[cfg(test)]
@@ -669,6 +870,11 @@ mod tests {
                 tree_depth: 2,
                 ..Default::default()
             },
+            transfer_chunks_offered: 10,
+            transfer_chunks_sent: 3,
+            transfer_chunks_skipped: 7,
+            transfer_deltas_shipped: 2,
+            transfer_bytes_saved: 4096,
         };
         let b = ProviderStats {
             models: 3,
@@ -704,6 +910,11 @@ mod tests {
                 tree_depth: 3,
                 ..Default::default()
             },
+            transfer_chunks_offered: 5,
+            transfer_chunks_sent: 1,
+            transfer_chunks_skipped: 4,
+            transfer_deltas_shipped: 1,
+            transfer_bytes_saved: 1024,
         };
         let m = a.merge(b);
         assert_eq!(m.models, 4);
@@ -736,6 +947,65 @@ mod tests {
         assert_eq!(m.batch_queries, 12);
         assert_eq!(m.deliver.events_published, 7);
         assert_eq!(m.deliver.tree_depth, 3, "gauges merge by max");
+        assert_eq!(m.transfer_chunks_offered, 15);
+        assert_eq!(m.transfer_chunks_sent, 4);
+        assert_eq!(m.transfer_chunks_skipped, 11);
+        assert_eq!(m.transfer_deltas_shipped, 3);
+        assert_eq!(m.transfer_bytes_saved, 5120);
+    }
+
+    #[test]
+    fn transfer_messages_roundtrip_json() {
+        use evostore_graph::{flatten, Architecture, LayerConfig, LayerKind};
+        let mut arch = Architecture::new("t");
+        arch.add_layer(LayerConfig::new("in", LayerKind::Input { shape: vec![4] }));
+        let graph = flatten(&arch).unwrap();
+        let owner_map = OwnerMap::fresh(ModelId(3), &graph);
+        let key = TensorKey::new(ModelId(3), evostore_tensor::VertexId(1), 0);
+        let base = TensorKey::new(ModelId(2), evostore_tensor::VertexId(1), 0);
+        let req = SyncChunksRequest {
+            model: ModelId(3),
+            graph,
+            owner_map,
+            parent: Some(ModelId(2)),
+            quality: 0.9,
+            timestamp: 7,
+            records: vec![TransferRecord {
+                key,
+                total: 128,
+                hashes: vec![[1u8; 16], [2u8; 16]],
+                delta_base: Some(base),
+                delta_depth: 1,
+            }],
+            pushed: vec![[2u8; 16]],
+            lens: vec![64],
+            bulk: 9,
+        };
+        let bytes = serde_json::to_vec(&req).unwrap();
+        let back: SyncChunksRequest = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].hashes, req.records[0].hashes);
+        assert_eq!(back.records[0].delta_base, Some(base));
+        assert_eq!(back.pushed, vec![[2u8; 16]]);
+
+        let probe = HaveChunksRequest {
+            hashes: vec![[5u8; 16]],
+            keys: vec![key],
+        };
+        let back: HaveChunksRequest =
+            serde_json::from_slice(&serde_json::to_vec(&probe).unwrap()).unwrap();
+        assert_eq!(back.hashes, probe.hashes);
+        assert_eq!(back.keys, probe.keys);
+    }
+
+    #[test]
+    fn sync_request_raw_records_defaults_to_false() {
+        // Wire compatibility: a pre-transfer-plane sync body (no
+        // raw_records field) still decodes as a materialized sync.
+        let json = r#"{"model":1,"graph":{"vertices":[],"edges":[]},"owner_map":{"model":1,"owners":[]},"parent":null,"quality":0.5,"timestamp":3,"manifest":[],"bulk":0}"#;
+        if let Ok(req) = serde_json::from_str::<SyncModelRequest>(json) {
+            assert!(!req.raw_records);
+        }
     }
 
     #[test]

@@ -26,19 +26,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use evostore_deliver::wire::methods as deliver_methods;
 use evostore_deliver::{
     EventAck, EventKind, EventPush, ModelEvent, PeerFetchReply, PeerFetchRequest, SegmentEntry,
     SubscribeReply, SubscribeRequest, SubscriptionFilter, UnsubscribeReply, UnsubscribeRequest,
 };
+use evostore_kv::DEFAULT_CHUNK_SIZE;
 use evostore_obs::{current_trace, HistogramSummary, Metric, ObsHub, SloEngine, Tracer};
 use evostore_rpc::{typed_handler, unary, BulkHandle, Endpoint, EndpointId, Fabric, RetryPolicy};
-use evostore_tensor::{read_tensor, write_tensor, ModelId, TensorData, TensorKey};
+use evostore_tensor::{read_tensor, write_tensor, ContentHash, ModelId, TensorData, TensorKey};
 use parking_lot::Mutex;
 
 use crate::cache::CachingClient;
 use crate::client::{EvoError, Result};
+use crate::messages::{methods as core_methods, FetchChunksReply, FetchChunksRequest};
 use crate::telemetry::LatencyHistogram;
 
 /// Watcher tuning knobs.
@@ -67,6 +69,17 @@ pub struct WatchConfig {
     pub peer_poll: Duration,
     /// Polls before giving up on a parent and walking up the chain.
     pub peer_poll_attempts: usize,
+    /// When a release names a parent whose tensors are still cached
+    /// (the superseded version a `NewVersionOf` watch just replaced),
+    /// fetch from the provider by chunk negotiation: hash the cached
+    /// parent bytes and pull only the chunks that actually changed —
+    /// O(changed bytes) on the wire instead of O(model bytes). `false`
+    /// always pulls materialized tensors (the `transfer_ab` baseline).
+    pub chunk_exchange: bool,
+    /// Granularity the chunk exchange hashes at (bytes, > 0). Must only
+    /// be consistent within one exchange; it is independent of the
+    /// providers' storage chunk size.
+    pub exchange_chunk_size: usize,
 }
 
 impl Default for WatchConfig {
@@ -81,6 +94,8 @@ impl Default for WatchConfig {
             service_threads: 2,
             peer_poll: Duration::from_millis(2),
             peer_poll_attempts: 500,
+            chunk_exchange: true,
+            exchange_chunk_size: DEFAULT_CHUNK_SIZE,
         }
     }
 }
@@ -135,6 +150,12 @@ pub struct WatchStats {
     pub peer_bytes_served: u64,
     /// Tensors a prefetch found already cached.
     pub cache_hits_on_fetch: u64,
+    /// Provider fetches satisfied by chunk negotiation (only changed
+    /// chunks crossed the wire).
+    pub chunk_fetches: u64,
+    /// Payload bytes reassembled from the superseded cached version
+    /// instead of the wire, across chunk-negotiated fetches.
+    pub chunk_bytes_reused: u64,
     /// Event receipt → weights cached, per prefetched release.
     pub time_to_weights: HistogramSummary,
 }
@@ -151,6 +172,8 @@ struct WatchTelemetry {
     provider_bytes_fetched: AtomicU64,
     peer_bytes_served: AtomicU64,
     cache_hits_on_fetch: AtomicU64,
+    chunk_fetches: AtomicU64,
+    chunk_bytes_reused: AtomicU64,
     time_to_weights: LatencyHistogram,
 }
 
@@ -167,6 +190,8 @@ impl WatchTelemetry {
             provider_bytes_fetched: self.provider_bytes_fetched.load(Ordering::Relaxed),
             peer_bytes_served: self.peer_bytes_served.load(Ordering::Relaxed),
             cache_hits_on_fetch: self.cache_hits_on_fetch.load(Ordering::Relaxed),
+            chunk_fetches: self.chunk_fetches.load(Ordering::Relaxed),
+            chunk_bytes_reused: self.chunk_bytes_reused.load(Ordering::Relaxed),
             time_to_weights: self.time_to_weights.summary(),
         }
     }
@@ -192,6 +217,10 @@ impl WatchTelemetry {
             )
             .with_label("client", node),
             Metric::counter("evostore_deliver_peer_bytes_served", s.peer_bytes_served)
+                .with_label("client", node),
+            Metric::counter("evostore_deliver_chunk_fetches", s.chunk_fetches)
+                .with_label("client", node),
+            Metric::counter("evostore_deliver_chunk_bytes_reused", s.chunk_bytes_reused)
                 .with_label("client", node),
             Metric::histogram("evostore_deliver_time_to_weights_us", s.time_to_weights)
                 .with_label("client", node),
@@ -599,8 +628,15 @@ impl WatcherInner {
             for (i, &hop) in chain.iter().enumerate() {
                 let from_provider = i == last;
                 let outcome = if from_provider {
-                    self.fetch_from_provider(&missing, &mut have)
-                        .map(|()| FetchSource::Provider)
+                    // Chunk negotiation first (reuse the superseded
+                    // cached version, ship only changed chunks); the
+                    // materialized read is the backstop for any decline.
+                    if self.fetch_chunks_from_provider(ev, &missing, &mut have, &mut raw_segments) {
+                        Ok(FetchSource::Provider)
+                    } else {
+                        self.fetch_from_provider(&missing, &mut have)
+                            .map(|()| FetchSource::Provider)
+                    }
                 } else {
                     self.fetch_from_peer(hop, ev.model, &missing, &mut have, &mut raw_segments)
                         .map(|()| FetchSource::Peer(hop))
@@ -627,6 +663,157 @@ impl WatcherInner {
             self.expose(ev.model, &keys, &have, &raw_segments);
         }
         Ok(source)
+    }
+
+    /// Chunk-negotiated provider fetch: hash the superseded cached
+    /// version (the release's recorded parent) into a possession set
+    /// and ask each provider to push only the chunks the watcher cannot
+    /// reassemble locally — O(changed bytes) of provider egress per
+    /// `NewVersionOf` release instead of O(model bytes). Nothing is
+    /// committed to the cache until every record reassembles and
+    /// validates; returns `false` (caller falls back to the
+    /// materialized read) when the exchange doesn't apply — no parent,
+    /// nothing cached to reuse, the lever off — or any leg fails.
+    fn fetch_chunks_from_provider(
+        &self,
+        ev: &ModelEvent,
+        missing: &[TensorKey],
+        have: &mut HashMap<TensorKey, TensorData>,
+        raw_segments: &mut HashMap<TensorKey, Bytes>,
+    ) -> bool {
+        if !self.cfg.chunk_exchange || missing.is_empty() {
+            return false;
+        }
+        let Some(parent) = ev.parent else {
+            return false;
+        };
+        let csize = self.cfg.exchange_chunk_size.max(1);
+        let Ok(pmeta) = self.client.inner().get_meta(parent) else {
+            return false;
+        };
+        let (pcached, _) = self
+            .client
+            .cache()
+            .get_batch(&pmeta.owner_map.all_tensor_keys());
+        if pcached.is_empty() {
+            return false;
+        }
+        // Possession set: the superseded tensors, serialized and hashed
+        // at the exchange granularity.
+        let mut local: HashMap<u128, Bytes> = HashMap::new();
+        for t in pcached.values() {
+            let raw = write_tensor(t);
+            let mut at = 0usize;
+            while at < raw.len() {
+                let end = (at + csize).min(raw.len());
+                let chunk = raw.slice(at..end);
+                at = end;
+                local.insert(ContentHash::of_bytes(&chunk).0, chunk);
+            }
+        }
+        let have_hashes: Vec<[u8; 16]> = local.keys().map(|h| ContentHash(*h).to_bytes()).collect();
+        // One FETCH_CHUNKS per primary provider of the missing keys.
+        let n = self.client.inner().num_providers();
+        let eps = self.client.inner().provider_endpoints();
+        let rep = self.client.inner().replication();
+        let mut groups: HashMap<u32, Vec<TensorKey>> = HashMap::new();
+        for &k in missing {
+            groups
+                .entry(eps[rep.replicas(k.owner, n)[0]].0)
+                .or_default()
+                .push(k);
+        }
+        let mut staged: Vec<(TensorKey, Bytes, TensorData)> = Vec::new();
+        let mut wire_bytes = 0u64;
+        let mut reused_bytes = 0u64;
+        for (ep, keys) in groups {
+            let reply: FetchChunksReply = match unary(
+                &self.fabric,
+                EndpointId(ep),
+                core_methods::FETCH_CHUNKS,
+                &FetchChunksRequest {
+                    keys,
+                    chunk_size: csize as u64,
+                    have: have_hashes.clone(),
+                },
+                &self.retry,
+                None,
+            ) {
+                Ok(r) => r,
+                Err(_) => return false,
+            };
+            let handle = BulkHandle(reply.bulk);
+            let Ok(region) = self.fabric.bulk_get_vec(handle) else {
+                return false;
+            };
+            // Frame and content-verify the pushed chunks.
+            let mut pushed: HashMap<u128, Bytes> = HashMap::with_capacity(reply.pushed.len());
+            let mut off = 0usize;
+            for (hb, len) in reply.pushed.iter().zip(&reply.lens) {
+                let len = *len as usize;
+                let (Some(chunk), Some(h)) = (region.slice(off, len), ContentHash::from_bytes(hb))
+                else {
+                    self.fabric.bulk_release(handle);
+                    return false;
+                };
+                off += len;
+                if ContentHash::of_bytes(&chunk) != h {
+                    self.fabric.bulk_release(handle);
+                    return false;
+                }
+                pushed.insert(h.0, chunk);
+            }
+            self.fabric.bulk_release(handle);
+            wire_bytes += off as u64;
+            // Reassemble each record from the push + the local set, and
+            // validate it fully before staging.
+            for rec in &reply.records {
+                let mut raw = BytesMut::with_capacity(rec.total as usize);
+                for hb in &rec.hashes {
+                    let Some(h) = ContentHash::from_bytes(hb) else {
+                        return false;
+                    };
+                    match pushed.get(&h.0) {
+                        Some(chunk) => raw.extend_from_slice(chunk),
+                        None => match local.get(&h.0) {
+                            Some(chunk) => {
+                                reused_bytes += chunk.len() as u64;
+                                raw.extend_from_slice(chunk);
+                            }
+                            None => return false,
+                        },
+                    }
+                }
+                if raw.len() as u64 != rec.total {
+                    return false;
+                }
+                let raw = raw.freeze();
+                let Ok(tensor) = read_tensor(raw.clone()) else {
+                    return false;
+                };
+                staged.push((rec.key, raw, tensor));
+            }
+        }
+        if staged.len() != missing.len() {
+            return false;
+        }
+        // Commit: every record reassembled and validated.
+        for (key, raw, tensor) in staged {
+            self.client.cache().put(key, tensor.clone());
+            have.insert(key, tensor);
+            raw_segments.insert(key, raw);
+        }
+        self.telemetry.chunk_fetches.fetch_add(1, Ordering::Relaxed);
+        self.telemetry
+            .chunk_bytes_reused
+            .fetch_add(reused_bytes, Ordering::Relaxed);
+        self.telemetry
+            .provider_fetches
+            .fetch_add(1, Ordering::Relaxed);
+        self.telemetry
+            .provider_bytes_fetched
+            .fetch_add(wire_bytes, Ordering::Relaxed);
+        true
     }
 
     /// Fetch `missing` straight from the deployment (placement-routed

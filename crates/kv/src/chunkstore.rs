@@ -61,6 +61,11 @@ pub struct ChunkStats {
     pub physical_bytes: u64,
     /// Chunk writes elided because an identical chunk was already stored.
     pub dedup_hits: u64,
+    /// Configured chunking granularity in bytes. Transfer negotiation
+    /// ships manifests verbatim only between stores chunking at the same
+    /// granularity. `default` keeps pre-transfer snapshots decodable.
+    #[serde(default)]
+    pub chunk_size: u64,
 }
 
 /// A [`KvBackend`] storing values as content-addressed, deduplicated,
@@ -198,6 +203,7 @@ impl<B: KvBackend> ChunkedStore<B> {
             logical_bytes: self.logical_bytes.load(Ordering::Relaxed),
             physical_bytes: self.backend.bytes_used() as u64,
             dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+            chunk_size: self.chunk_size as u64,
         }
     }
 
@@ -246,6 +252,121 @@ impl<B: KvBackend> ChunkedStore<B> {
             },
             other => other,
         })
+    }
+
+    /// Possession probe: for each hash, whether a chunk with that content
+    /// is physically stored (referenced by at least one manifest). One
+    /// lock acquisition for the whole batch — this is the receiver side
+    /// of chunk-negotiated transfer.
+    pub fn probe_chunks(&self, hashes: &[ContentHash]) -> Vec<bool> {
+        let refs = self.chunk_refs.lock();
+        hashes.iter().map(|h| refs.contains_key(&h.0)).collect()
+    }
+
+    /// The logical length and chunk-hash list of one stored record —
+    /// the record's *transfer manifest*, read without touching any chunk
+    /// payload.
+    pub fn chunk_manifest(&self, key: &[u8]) -> Result<(usize, Vec<ContentHash>), KvError> {
+        decode_manifest(&self.backend.get(&manifest_key(key))?)
+    }
+
+    /// One chunk's payload by content hash ([`KvError::NotFound`] when no
+    /// manifest references it). The sender side of chunk-negotiated
+    /// transfer: serving chunks the receiver reported missing.
+    pub fn chunk_payload(&self, h: ContentHash) -> Result<Bytes, KvError> {
+        self.backend.get(&chunk_key(h))
+    }
+
+    /// Manifest-level insert: store a record as `(total, hashes)` without
+    /// ever holding the assembled value, taking missing chunk payloads
+    /// from `provided` (keyed by content hash). Chunks already stored are
+    /// reference-bumped exactly like [`KvBackend::put`]'s dedup path;
+    /// provided payloads are verified against their claimed hash and the
+    /// chunk-size framing before anything is written. Overwrite releases
+    /// the old value's chunks, same as `put`.
+    pub fn put_manifest(
+        &self,
+        key: &[u8],
+        total: usize,
+        hashes: &[ContentHash],
+        provided: &HashMap<u128, Bytes>,
+    ) -> Result<(), KvError> {
+        let corrupt = |detail: String| KvError::Corrupt { detail };
+        let expected_count = total.div_ceil(self.chunk_size);
+        if hashes.len() != expected_count {
+            return Err(corrupt(format!(
+                "manifest insert: {} hashes for {total} bytes at chunk size {} (expected {})",
+                hashes.len(),
+                self.chunk_size,
+                expected_count
+            )));
+        }
+        let chunk_len_at = |i: usize| {
+            if i + 1 == hashes.len() {
+                total - (hashes.len() - 1) * self.chunk_size
+            } else {
+                self.chunk_size
+            }
+        };
+        let mkey = manifest_key(key);
+        let mut refs = self.chunk_refs.lock();
+        // Validate every not-yet-stored chunk before mutating anything,
+        // so a bad push leaves the store untouched.
+        for (i, h) in hashes.iter().enumerate() {
+            if refs.contains_key(&h.0) {
+                continue;
+            }
+            let chunk = provided.get(&h.0).ok_or_else(|| {
+                corrupt(format!(
+                    "manifest insert: chunk {h} neither stored nor provided"
+                ))
+            })?;
+            if chunk.len() != chunk_len_at(i) {
+                return Err(corrupt(format!(
+                    "manifest insert: chunk {h} is {} bytes, framing expects {}",
+                    chunk.len(),
+                    chunk_len_at(i)
+                )));
+            }
+            if ContentHash::of_bytes(chunk) != *h {
+                return Err(corrupt(format!(
+                    "manifest insert: provided payload does not hash to {h}"
+                )));
+            }
+        }
+        self.metrics.record_put(total);
+        // Overwrite: release the chunks of the previous value first.
+        match self.backend.get(&mkey) {
+            Ok(old) => {
+                let (old_total, old_hashes) = decode_manifest(&old)?;
+                self.release_chunks(&mut refs, &old_hashes)?;
+                self.logical_bytes
+                    .fetch_sub(old_total as u64, Ordering::Relaxed);
+            }
+            Err(KvError::NotFound) => {
+                self.manifest_count.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => return Err(e),
+        }
+        for h in hashes {
+            match refs.get_mut(&h.0) {
+                Some(c) => {
+                    *c += 1;
+                    self.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    let chunk = provided
+                        .get(&h.0)
+                        .expect("validated above: missing chunk is provided");
+                    self.backend.put(&chunk_key(*h), chunk.clone())?;
+                    refs.insert(h.0, 1);
+                }
+            }
+        }
+        self.backend.put(&mkey, encode_manifest(total, hashes))?;
+        self.logical_bytes
+            .fetch_add(total as u64, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -419,6 +540,28 @@ impl<B: KvBackend> KvBackend for ChunkedStore<B> {
     fn chunk_stats(&self) -> Option<ChunkStats> {
         Some(self.stats())
     }
+
+    fn chunk_probe(&self, hashes: &[ContentHash]) -> Option<Vec<bool>> {
+        Some(self.probe_chunks(hashes))
+    }
+
+    fn chunk_listing(&self, key: &[u8]) -> Option<Result<(usize, Vec<ContentHash>), KvError>> {
+        Some(self.chunk_manifest(key))
+    }
+
+    fn chunk_fetch(&self, h: ContentHash) -> Option<Result<Bytes, KvError>> {
+        Some(self.chunk_payload(h))
+    }
+
+    fn chunk_insert(
+        &self,
+        key: &[u8],
+        total: usize,
+        hashes: &[ContentHash],
+        provided: &HashMap<u128, Bytes>,
+    ) -> Option<Result<(), KvError>> {
+        Some(self.put_manifest(key, total, hashes, provided))
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +718,110 @@ mod tests {
         assert!(s.delete(b"b").unwrap());
         assert_eq!(s.stats().chunks, 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn probe_and_listing_expose_possession() {
+        let s = store(8);
+        let value = Bytes::from((0..20u8).collect::<Vec<u8>>());
+        s.put(b"k", value.clone()).unwrap();
+        let (total, hashes) = s.chunk_manifest(b"k").unwrap();
+        assert_eq!(total, 20);
+        assert_eq!(hashes.len(), 3);
+        let absent = ContentHash::of_bytes(b"not stored anywhere");
+        let mut probe_set = hashes.clone();
+        probe_set.push(absent);
+        assert_eq!(s.probe_chunks(&probe_set), vec![true, true, true, false]);
+        // Payload fetch reassembles the original value chunk by chunk.
+        let mut flat = Vec::new();
+        for h in &hashes {
+            flat.extend_from_slice(&s.chunk_payload(*h).unwrap());
+        }
+        assert_eq!(flat, value.to_vec());
+        assert_eq!(s.chunk_payload(absent), Err(KvError::NotFound));
+        assert!(matches!(s.chunk_manifest(b"gone"), Err(KvError::NotFound)));
+    }
+
+    #[test]
+    fn manifest_insert_reconstitutes_without_assembly() {
+        let src = store(8);
+        let dst = store(8);
+        let value = Bytes::from((0..50u8).map(|i| i % 7).collect::<Vec<u8>>());
+        src.put(b"rec", value.clone()).unwrap();
+        // Destination already holds a record sharing most chunks.
+        let mut shared = value.to_vec();
+        shared[48] ^= 0xFF; // only the last chunk differs
+        dst.put(b"other", Bytes::from(shared)).unwrap();
+
+        let (total, hashes) = src.chunk_manifest(b"rec").unwrap();
+        let have = dst.probe_chunks(&hashes);
+        let mut provided = HashMap::new();
+        let mut pushed = 0usize;
+        for (h, have) in hashes.iter().zip(&have) {
+            if !have {
+                let chunk = src.chunk_payload(*h).unwrap();
+                pushed += chunk.len();
+                provided.insert(h.0, chunk);
+            }
+        }
+        assert!(
+            pushed < value.len(),
+            "negotiation must ship fewer bytes than the value"
+        );
+        dst.put_manifest(b"rec", total, &hashes, &provided).unwrap();
+        assert_eq!(dst.get(b"rec").unwrap(), value);
+        // Shared chunks are refcounted: dropping the pre-existing record
+        // keeps the transferred one intact.
+        assert!(dst.delete(b"other").unwrap());
+        assert_eq!(dst.get(b"rec").unwrap(), value);
+    }
+
+    #[test]
+    fn manifest_insert_overwrite_releases_old_chunks() {
+        let s = store(8);
+        s.put(b"k", Bytes::from(vec![1u8; 64])).unwrap();
+        let value = Bytes::from(vec![2u8; 24]);
+        let hashes: Vec<ContentHash> = value.chunks(8).map(ContentHash::of_bytes).collect();
+        let provided: HashMap<u128, Bytes> = hashes
+            .iter()
+            .zip(value.chunks(8))
+            .map(|(h, c)| (h.0, Bytes::copy_from_slice(c)))
+            .collect();
+        s.put_manifest(b"k", value.len(), &hashes, &provided)
+            .unwrap();
+        assert_eq!(s.get(b"k").unwrap(), value);
+        let st = s.stats();
+        assert_eq!(st.chunks, 1, "old chunks must be released");
+        assert_eq!(st.logical_bytes, 24);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn manifest_insert_rejects_bad_pushes_untouched() {
+        let s = store(8);
+        let value = Bytes::from(vec![9u8; 16]);
+        let hashes: Vec<ContentHash> = value.chunks(8).map(ContentHash::of_bytes).collect();
+        // Missing payload for an unknown chunk.
+        assert!(matches!(
+            s.put_manifest(b"k", 16, &hashes, &HashMap::new()),
+            Err(KvError::Corrupt { .. })
+        ));
+        // Payload that does not hash to its claim.
+        let mut lying = HashMap::new();
+        lying.insert(hashes[0].0, Bytes::from(vec![7u8; 8]));
+        assert!(matches!(
+            s.put_manifest(b"k", 16, &hashes, &lying),
+            Err(KvError::Corrupt { .. })
+        ));
+        // Wrong framing: hash count disagrees with total/chunk_size.
+        assert!(matches!(
+            s.put_manifest(b"k", 64, &hashes, &HashMap::new()),
+            Err(KvError::Corrupt { .. })
+        ));
+        // Nothing was written by the failed attempts.
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.stats().chunks, 0);
+        assert_eq!(s.bytes_used(), 0);
     }
 
     #[test]

@@ -90,6 +90,37 @@ pub trait TensorStore: Send + Sync {
     /// Chunk-occupancy counters, when the physical layer is
     /// content-addressed.
     fn record_chunk_stats(&self) -> Option<ChunkStats>;
+
+    /// Chunk possession probe (chunk-negotiated transfer, receiver side):
+    /// for each content hash, whether that chunk is physically stored.
+    /// `None` when the physical layer stores records whole.
+    fn record_chunk_probe(&self, hashes: &[evostore_tensor::ContentHash]) -> Option<Vec<bool>>;
+
+    /// A record's transfer manifest — logical length plus chunk-hash list
+    /// — without touching payloads. `None` when the physical layer stores
+    /// records whole.
+    fn record_chunk_listing(
+        &self,
+        key: &[u8],
+    ) -> Option<Result<(usize, Vec<evostore_tensor::ContentHash>), KvError>>;
+
+    /// One chunk payload by content hash (chunk-negotiated transfer,
+    /// sender side). `None` when the physical layer stores records whole.
+    fn record_chunk_fetch(&self, h: evostore_tensor::ContentHash)
+        -> Option<Result<Bytes, KvError>>;
+
+    /// Manifest-level insert: store a record from its transfer manifest
+    /// plus the payloads of chunks not already held, registering
+    /// `initial_refs` references, without ever assembling the value.
+    /// `None` when the physical layer stores records whole.
+    fn put_record_chunked(
+        &self,
+        key: &[u8],
+        total: usize,
+        hashes: &[evostore_tensor::ContentHash],
+        provided: &std::collections::HashMap<u128, Bytes>,
+        initial_refs: u64,
+    ) -> Option<Result<(), KvError>>;
 }
 
 impl<B: KvBackend> TensorStore for RefCountedStore<B> {
@@ -168,6 +199,35 @@ impl<B: KvBackend> TensorStore for RefCountedStore<B> {
     fn record_chunk_stats(&self) -> Option<ChunkStats> {
         self.backend().chunk_stats()
     }
+
+    fn record_chunk_probe(&self, hashes: &[evostore_tensor::ContentHash]) -> Option<Vec<bool>> {
+        self.backend().chunk_probe(hashes)
+    }
+
+    fn record_chunk_listing(
+        &self,
+        key: &[u8],
+    ) -> Option<Result<(usize, Vec<evostore_tensor::ContentHash>), KvError>> {
+        self.backend().chunk_listing(key)
+    }
+
+    fn record_chunk_fetch(
+        &self,
+        h: evostore_tensor::ContentHash,
+    ) -> Option<Result<Bytes, KvError>> {
+        self.backend().chunk_fetch(h)
+    }
+
+    fn put_record_chunked(
+        &self,
+        key: &[u8],
+        total: usize,
+        hashes: &[evostore_tensor::ContentHash],
+        provided: &std::collections::HashMap<u128, Bytes>,
+        initial_refs: u64,
+    ) -> Option<Result<(), KvError>> {
+        self.put_chunked(key, total, hashes, provided, initial_refs)
+    }
 }
 
 #[cfg(test)]
@@ -238,5 +298,42 @@ mod tests {
         let s = RefCountedStore::new(backend);
         exercise(&s);
         assert!(s.record_chunk_stats().is_some());
+
+        // The chunk-transfer surface passes through the boxed layering.
+        s.put_record(b"src", Bytes::from(vec![7u8; 64]), 1).unwrap();
+        let (total, hashes) = s.record_chunk_listing(b"src").unwrap().unwrap();
+        assert_eq!(total, 64);
+        assert_eq!(
+            s.record_chunk_probe(&hashes).unwrap(),
+            vec![true; hashes.len()]
+        );
+        let chunk = s.record_chunk_fetch(hashes[0]).unwrap().unwrap();
+        assert_eq!(chunk.len(), 32);
+        // All chunks already held: the manifest insert ships zero bytes.
+        s.put_record_chunked(
+            b"copy",
+            total,
+            &hashes,
+            &std::collections::HashMap::new(),
+            1,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(s.get_record(b"copy").unwrap(), Bytes::from(vec![7u8; 64]));
+        s.audit_records().unwrap();
+    }
+
+    #[test]
+    fn chunk_transfer_surface_declines_on_whole_layout() {
+        let s = RefCountedStore::new(MemPoolStore::new());
+        s.put_record(b"k", Bytes::from(vec![1u8; 8]), 1).unwrap();
+        assert!(s.record_chunk_probe(&[]).is_none());
+        assert!(s.record_chunk_listing(b"k").is_none());
+        assert!(s
+            .record_chunk_fetch(evostore_tensor::ContentHash::of_bytes(b"x"))
+            .is_none());
+        assert!(s
+            .put_record_chunked(b"k2", 0, &[], &std::collections::HashMap::new(), 1)
+            .is_none());
     }
 }

@@ -52,6 +52,31 @@ impl<B: KvBackend> RefCountedStore<B> {
         Ok(())
     }
 
+    /// Manifest-level insert for chunked backends (see
+    /// [`KvBackend::chunk_insert`]): store a record as its chunk-hash
+    /// manifest plus the payloads of chunks not already held, registering
+    /// `initial_refs` references exactly like [`RefCountedStore::put`]
+    /// (an existing key is overwritten and its count *increased*).
+    /// `None` when the wrapped backend stores values whole.
+    pub fn put_chunked(
+        &self,
+        key: &[u8],
+        total: usize,
+        hashes: &[evostore_tensor::ContentHash],
+        provided: &HashMap<u128, Bytes>,
+        initial_refs: u64,
+    ) -> Option<Result<(), KvError>> {
+        assert!(initial_refs > 0, "storing with zero references leaks");
+        let mut counts = self.counts.lock();
+        match self.backend.chunk_insert(key, total, hashes, provided)? {
+            Ok(()) => {
+                *counts.entry(key.into()).or_insert(0) += initial_refs;
+                Some(Ok(()))
+            }
+            Err(e) => Some(Err(e)),
+        }
+    }
+
     /// Fetch a value.
     pub fn get(&self, key: &[u8]) -> Result<Bytes, KvError> {
         self.backend.get(key)
@@ -286,6 +311,35 @@ mod tests {
         assert_eq!(s.refs(b"t"), 3);
         assert_eq!(s.get(b"t").unwrap(), Bytes::from_static(b"b"));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn put_chunked_registers_refs_over_chunked_backend() {
+        use evostore_tensor::ContentHash;
+        let s = RefCountedStore::new(crate::ChunkedStore::open(MemPoolStore::new(), 8).unwrap());
+        assert!(
+            store()
+                .put_chunked(b"t", 0, &[], &HashMap::new(), 1)
+                .is_none(),
+            "whole-value backend declines manifest inserts"
+        );
+        let value = Bytes::from((0..20u8).collect::<Vec<u8>>());
+        let hashes: Vec<ContentHash> = value.chunks(8).map(ContentHash::of_bytes).collect();
+        let provided: HashMap<u128, Bytes> = hashes
+            .iter()
+            .zip(value.chunks(8))
+            .map(|(h, c)| (h.0, Bytes::copy_from_slice(c)))
+            .collect();
+        s.put_chunked(b"t", value.len(), &hashes, &provided, 2)
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.refs(b"t"), 2);
+        assert_eq!(s.get(b"t").unwrap(), value);
+        s.audit().unwrap();
+        assert_eq!(s.decr(b"t").unwrap(), 1);
+        assert_eq!(s.decr(b"t").unwrap(), 0);
+        assert!(!s.contains(b"t"), "reclaimed at zero like a plain put");
+        s.audit().unwrap();
     }
 
     #[test]

@@ -117,28 +117,39 @@ pub fn is_delta(record: &[u8]) -> bool {
     record.len() >= 4 && u32::from_le_bytes(record[0..4].try_into().unwrap()) == DELTA_MAGIC
 }
 
+/// Bytes of record prefix [`delta_probe`] needs to parse a header.
+pub const DELTA_PROBE_LEN: usize = HEADER_LEN;
+
 /// Parse the header of a delta record produced by [`encode_delta`].
 pub fn delta_header(record: &[u8]) -> Result<DeltaHeader, DeltaError> {
-    if record.len() < 4 {
+    delta_probe(record, record.len())
+}
+
+/// Parse a delta header from a *prefix* of the record (at least
+/// [`DELTA_PROBE_LEN`] bytes) plus the record's total length — the
+/// chunk-negotiated transfer plane validates framing from a record's
+/// head chunk without ever assembling the record.
+pub fn delta_probe(prefix: &[u8], record_len: usize) -> Result<DeltaHeader, DeltaError> {
+    if prefix.len() < 4 {
         return Err(DeltaError::Truncated);
     }
-    let magic = u32::from_le_bytes(record[0..4].try_into().unwrap());
+    let magic = u32::from_le_bytes(prefix[0..4].try_into().unwrap());
     if magic != DELTA_MAGIC {
         return Err(DeltaError::BadMagic(magic));
     }
-    if record.len() < HEADER_LEN {
+    if prefix.len() < HEADER_LEN {
         return Err(DeltaError::Truncated);
     }
-    let version = record[4];
+    let version = prefix[4];
     if version != VERSION {
         return Err(DeltaError::BadVersion(version));
     }
-    let depth = record[5];
+    let depth = prefix[5];
     let mut base_key = [0u8; 16];
-    base_key.copy_from_slice(&record[8..24]);
-    let raw_len = u64::from_le_bytes(record[24..32].try_into().unwrap()) as usize;
-    let comp_len = u64::from_le_bytes(record[32..40].try_into().unwrap()) as usize;
-    if record.len() < HEADER_LEN + comp_len + CHECK_LEN {
+    base_key.copy_from_slice(&prefix[8..24]);
+    let raw_len = u64::from_le_bytes(prefix[24..32].try_into().unwrap()) as usize;
+    let comp_len = u64::from_le_bytes(prefix[32..40].try_into().unwrap()) as usize;
+    if record_len < HEADER_LEN + comp_len + CHECK_LEN {
         return Err(DeltaError::Truncated);
     }
     Ok(DeltaHeader {

@@ -24,7 +24,8 @@ pub mod ser;
 pub mod tensor;
 
 pub use delta::{
-    decode_delta, delta_header, encode_delta, is_delta, DeltaError, DeltaHeader, DELTA_MAGIC,
+    decode_delta, delta_header, delta_probe, encode_delta, is_delta, DeltaError, DeltaHeader,
+    DELTA_MAGIC, DELTA_PROBE_LEN,
 };
 pub use dtype::DType;
 pub use hash::{fnv1a128, ContentHash, Fnv128};

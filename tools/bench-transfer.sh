@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-2 transfer-plane A/B smoke. One real-execution pass of the
+# transfer_ab bench: repair of derived-model churn on the
+# chunk-negotiated delta-preserving plane vs the materialized SYNC_MODEL
+# fallback, plus watcher time-to-weights for chunk exchange vs a
+# materialized pull over a shaped bulk link, recorded (with per-plane
+# registry snapshots) to results/BENCH_transfer.json. Fails unless the
+# negotiated plane moves >= 3x fewer repair bytes and the chunk-exchange
+# watcher's update p99 is <= 0.5x the materialized baseline.
+#
+# Sized to finish in well under a minute. Invoked from tools/check.sh
+# when RUN_BENCH_TRANSFER=1, or standalone:
+#   tools/bench-transfer.sh [extra transfer_ab args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CHILDREN="${TRANSFER_SMOKE_CHILDREN:-6}"
+RELEASES="${TRANSFER_SMOKE_RELEASES:-5}"
+OUT="${TRANSFER_SMOKE_OUT:-results/BENCH_transfer.json}"
+
+echo "== transfer smoke: negotiated vs materialized A/B"
+cargo run --release -q -p evostore-bench --bin transfer_ab -- \
+    --children "${CHILDREN}" \
+    --releases "${RELEASES}" \
+    --json "${OUT}" \
+    "$@"
+
+REDUCTION=$(sed -n 's/.*"bytes_moved_reduction": \([0-9.]*\).*/\1/p' "${OUT}")
+P99_RATIO=$(sed -n 's/.*"watch_p99_ratio": \([0-9.]*\).*/\1/p' "${OUT}")
+echo "== transfer smoke: repair bytes reduction ${REDUCTION}x (gate: >= 3)," \
+     "watcher p99 ratio ${P99_RATIO} (gate: <= 0.5)"
+awk -v r="${REDUCTION}" 'BEGIN { exit !(r >= 3.0) }' || {
+    echo "== transfer smoke: FAIL — negotiated repair under 3x bytes saved" >&2
+    exit 1
+}
+awk -v p="${P99_RATIO}" 'BEGIN { exit !(p <= 0.5) }' || {
+    echo "== transfer smoke: FAIL — chunk-exchange watcher p99 over 0.5x baseline" >&2
+    exit 1
+}
+
+echo "== transfer smoke: wrote ${OUT}"

@@ -77,4 +77,13 @@ if [[ "${RUN_BENCH_DELIVER:-0}" == "1" ]]; then
     tools/bench-deliver.sh
 fi
 
+# Optional tier-2: transfer-plane A/B — chunk-negotiated delta-
+# preserving repair/re-replication and watcher chunk exchange vs the
+# materialized fallback, recorded to results/BENCH_transfer.json and
+# gated on >= 3x fewer repair bytes moved with chunk-exchange
+# time-to-weights p99 <= 0.5x the materialized baseline.
+if [[ "${RUN_BENCH_TRANSFER:-0}" == "1" ]]; then
+    tools/bench-transfer.sh
+fi
+
 echo "== OK"
